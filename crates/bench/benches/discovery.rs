@@ -1,0 +1,56 @@
+//! Criterion benches for the discovery substrate (MinHash sketching and
+//! candidate retrieval).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mileena_bench::index_of;
+use mileena_datagen::{generate_corpus, CorpusConfig};
+use mileena_discovery::{DatasetProfile, MinHashSignature};
+use mileena_relation::Column;
+
+fn bench_minhash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery/minhash");
+    group.sample_size(20);
+    for n in [1_000usize, 100_000] {
+        let col = Column::from_ints(&(0..n as i64).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::new("sign_k128", n), &n, |b, _| {
+            b.iter(|| MinHashSignature::from_column(&col, 128))
+        });
+    }
+    let a = MinHashSignature::from_column(&Column::from_ints(&(0..1000).collect::<Vec<_>>()), 128);
+    let b2 = MinHashSignature::from_column(&Column::from_ints(&(500..1500).collect::<Vec<_>>()), 128);
+    group.bench_function("jaccard_k128", |b| b.iter(|| a.jaccard(&b2)));
+    group.finish();
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery/candidates");
+    group.sample_size(10);
+    for n in [100usize, 500] {
+        let corpus = generate_corpus(&CorpusConfig {
+            num_datasets: n,
+            num_signal: 5,
+            num_union: 3,
+            num_novelty_traps: 5,
+            train_rows: 300,
+            test_rows: 300,
+            provider_rows: 150,
+            key_domain: 100,
+            signal_rows_per_key: 1,
+            noise: 0.15,
+            nonlinear_strength: 0.0,
+            seed: 21,
+        });
+        let index = index_of(&corpus);
+        let profile = DatasetProfile::of(&corpus.train, 128);
+        group.bench_with_input(BenchmarkId::new("join_candidates", n), &n, |b, _| {
+            b.iter(|| index.find_join_candidates(&profile))
+        });
+        group.bench_with_input(BenchmarkId::new("union_candidates", n), &n, |b, _| {
+            b.iter(|| index.find_union_candidates(&profile))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minhash, bench_candidates);
+criterion_main!(benches);

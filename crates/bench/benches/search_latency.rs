@@ -1,0 +1,58 @@
+//! Criterion benches for end-to-end search latency (the §1 claim that
+//! sketch-based search answers in seconds where retraining takes minutes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mileena_bench::{index_of, request_of};
+use mileena_core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena_datagen::{generate_corpus, CorpusConfig};
+use mileena_search::arda::ArdaSearch;
+use mileena_search::{enumerate_candidates, SearchConfig};
+
+fn corpus_cfg(n: usize) -> CorpusConfig {
+    CorpusConfig {
+        num_datasets: n,
+        num_signal: 4,
+        num_union: 2,
+        num_novelty_traps: 4,
+        train_rows: 400,
+        test_rows: 400,
+        provider_rows: 200,
+        key_domain: 100,
+        signal_rows_per_key: 1,
+        noise: 0.15,
+        nonlinear_strength: 0.0,
+        seed: 9,
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        let corpus = generate_corpus(&corpus_cfg(n));
+        let request = request_of(&corpus);
+        let index = index_of(&corpus);
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        for p in &corpus.providers {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap())
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("mileena_search", n), &n, |b, _| {
+            b.iter(|| platform.search(&request, &SearchConfig::default()).unwrap())
+        });
+        // ARDA on the same candidates, one greedy round only (full runs are
+        // measured by the fig4 binary; this isolates per-round cost).
+        let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
+        let cands = enumerate_candidates(&index, platform.store(), &profile);
+        let arda_cfg = SearchConfig { max_augmentations: 1, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("arda_one_round", n), &n, |b, _| {
+            let arda = ArdaSearch::new(arda_cfg.clone(), &corpus.providers, false);
+            b.iter(|| arda.run(&request, cands.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion microbenches: the semi-ring sketch operations at the heart of
+//! candidate evaluation (§3.2's O(1)/O(d) claims, measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mileena_relation::RelationBuilder;
+use mileena_semiring::{triple_of, CovarTriple};
+use mileena_sketch::{build_sketch, eval_join, eval_union, SketchConfig};
+
+fn relation(n: usize, d: usize, seed: u64) -> mileena_relation::Relation {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+    };
+    RelationBuilder::new("r")
+        .int_col("k", &(0..n).map(|i| (i % d) as i64).collect::<Vec<_>>())
+        .float_col("x", &(0..n).map(|_| next()).collect::<Vec<_>>())
+        .float_col("y", &(0..n).map(|_| next()).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+fn bench_union_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment_eval/horizontal");
+    group.sample_size(20);
+    for n in [1_000usize, 100_000] {
+        let cfg = SketchConfig {
+            key_columns: Some(vec![]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::requester()
+        };
+        let a = build_sketch(&relation(n, n / 10, 1), &cfg).unwrap();
+        let b = build_sketch(&relation(n, n / 10, 2), &cfg).unwrap();
+        group.bench_with_input(BenchmarkId::new("sketch_O1", n), &n, |bench, _| {
+            bench.iter(|| eval_union(&a.full, &b.full, |s| s.to_string()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment_eval/vertical");
+    group.sample_size(20);
+    for d in [100usize, 10_000] {
+        let train = relation(d * 10, d, 3);
+        let cand = relation(d, d, 4);
+        let tcfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["y".into()]),
+            ..SketchConfig::requester()
+        };
+        let ccfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["x".into()]),
+            ..SketchConfig::default()
+        };
+        let ts = build_sketch(&train, &tcfg).unwrap();
+        let cs = build_sketch(&cand, &ccfg).unwrap();
+        group.bench_with_input(BenchmarkId::new("sketch_Od", d), &d, |bench, _| {
+            bench.iter(|| {
+                eval_join(ts.keyed_for("k").unwrap(), cs.keyed_for("k").unwrap()).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", d), &d, |bench, _| {
+            bench.iter(|| {
+                let j = train.hash_join(&cand, &["k"], &["k"]).unwrap();
+                triple_of(&j, &["y", "r.x"]).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_triple_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semiring");
+    group.sample_size(50);
+    let features: Vec<String> = (0..8).map(|i| format!("f{i}")).collect();
+    let refs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+    let vals: Vec<f64> = (0..8).map(|i| i as f64 / 8.0).collect();
+    let mut t = CovarTriple::zero(&refs);
+    for _ in 0..100 {
+        t = t.add(&CovarTriple::of_row(&refs, &vals).unwrap()).unwrap();
+    }
+    let other_feats: Vec<String> = (0..4).map(|i| format!("g{i}")).collect();
+    let orefs: Vec<&str> = other_feats.iter().map(|s| s.as_str()).collect();
+    let u = CovarTriple::of_row(&orefs, &vals[..4]).unwrap();
+    group.bench_function("add_m8", |b| b.iter(|| t.add(&t).unwrap()));
+    group.bench_function("mul_m8xm4", |b| b.iter(|| t.mul(&u).unwrap()));
+    group.bench_function("lr_system_m8", |b| {
+        b.iter(|| t.lr_system(&refs[..7], "f7", true).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_proxy_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy_model");
+    group.sample_size(50);
+    let features: Vec<String> = (0..12).map(|i| format!("f{i}")).collect();
+    let refs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+    let mut t = CovarTriple::zero(&refs);
+    let mut s = 5u64;
+    for _ in 0..500 {
+        let vals: Vec<f64> = (0..12)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+            })
+            .collect();
+        t = t.add(&CovarTriple::of_row(&refs, &vals).unwrap()).unwrap();
+    }
+    let sys = t.lr_system(&refs[..11], "f11", true).unwrap();
+    group.bench_function("ridge_fit_k12", |b| {
+        b.iter(|| {
+            let mut m =
+                mileena_ml::LinearModel::new(mileena_ml::RidgeConfig::default());
+            m.fit_from_system(&sys).unwrap();
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_union_eval,
+    bench_join_eval,
+    bench_triple_algebra,
+    bench_proxy_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §4.2 experiment reproduction: relative error of the two DP treatment-
+//! effect estimators (paper: backdoor 10.25% vs marginal-based 0.21% at
+//! ε = 1, δ = 1e-6).
+//!
+//! ```sh
+//! cargo run -p mileena-bench --release --bin causal_ate
+//! ```
+
+use mileena_causal::{run_ate_experiment, AteExperimentConfig};
+use mileena_datagen::{generate_causal, CausalConfig};
+use mileena_privacy::PrivacyBudget;
+
+fn main() {
+    println!("=== §4.2: differentially private treatment effects ===\n");
+    let data = generate_causal(&CausalConfig { rows: 1_000_000, ..Default::default() });
+    println!(
+        "population: {} rows; R1(id,T,Y), R2(id,T,G), R3(id,P,A,Y); true ATE = {:.4}\n",
+        data.population.num_rows(),
+        data.true_ate
+    );
+    let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+
+    let mut bd = Vec::new();
+    let mut fd = Vec::new();
+    for seed in 0..5 {
+        let r = run_ate_experiment(&data, &AteExperimentConfig { budget, seed }).unwrap();
+        bd.push(r.backdoor_rel_error);
+        fd.push(r.frontdoor_rel_error);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("{:<44} {:>10} {:>10}", "estimator", "measured", "paper");
+    println!(
+        "{:<44} {:>9.2}% {:>10}",
+        "(1) backdoor over privatized R1⋈R2",
+        100.0 * mean(&bd),
+        "10.25%"
+    );
+    println!(
+        "{:<44} {:>9.2}% {:>10}",
+        "(2) marginal factorization (R1⋈R3 + hist(R3))",
+        100.0 * mean(&fd),
+        "0.21%"
+    );
+    println!("\n(mean over 5 noise seeds; ε = 1, δ = 1e-6 per relation)");
+}

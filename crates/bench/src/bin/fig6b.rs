@@ -1,0 +1,118 @@
+//! Figure 6b reproduction: model R² across transformation strategies
+//! {Raw, Embed, Agent} × models {LR, XGB→GBDT, ASK→AutoML, NN→MLP} on the
+//! Airbnb-like listings data.
+//!
+//! ```sh
+//! cargo run -p mileena-bench --release --bin fig6b
+//! ```
+
+use mileena_datagen::{generate_airbnb, AirbnbConfig};
+use mileena_ml::{
+    AutoMl, AutoMlConfig, Gbdt, GbdtConfig, LinearModel, Mlp, MlpConfig, Regressor, RidgeConfig,
+};
+use mileena_relation::Relation;
+use mileena_transform::{embed_columns, MockLlm, TransformPipeline};
+use std::time::Duration;
+
+fn numeric_features(r: &Relation, exclude: &[&str]) -> Vec<String> {
+    r.schema()
+        .numeric_names()
+        .into_iter()
+        .filter(|c| !exclude.contains(c))
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn score_model(
+    name: &str,
+    train: &Relation,
+    test: &Relation,
+    cols: &[String],
+    target: &str,
+) -> f64 {
+    let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let (Ok(train_xy), Ok(test_xy)) = (train.to_xy(&refs, target), test.to_xy(&refs, target))
+    else {
+        return f64::NAN;
+    };
+    let r2 = |mut m: Box<dyn Regressor>| -> f64 {
+        m.fit_evaluate(&train_xy, &test_xy).unwrap_or(f64::NAN)
+    };
+    match name {
+        "LR" => r2(Box::new(LinearModel::new(RidgeConfig::default()))),
+        "XGB" => r2(Box::new(Gbdt::new(GbdtConfig {
+            n_estimators: 80,
+            max_depth: 3,
+            ..Default::default()
+        }))),
+        "NN" => r2(Box::new(Mlp::new(MlpConfig { epochs: 120, ..Default::default() }))),
+        "ASK" => {
+            let automl = AutoMl::new(AutoMlConfig {
+                budget: Duration::from_secs(20),
+                enforce_budget: true,
+                folds: 3,
+                seed: 5,
+            });
+            match automl.run(&train_xy) {
+                Ok(report) => report
+                    .best_model
+                    .predict(&test_xy)
+                    .ok()
+                    .and_then(|p| mileena_ml::r2_score(&test_xy.y, &p).ok())
+                    .unwrap_or(f64::NAN),
+                Err(_) => f64::NAN,
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    println!("=== Figure 6b: transformations × models on Airbnb-like listings ===\n");
+    let listings = generate_airbnb(&AirbnbConfig { rows: 2000, ..Default::default() });
+    let target = "price";
+    // Raw numeric columns only (ids excluded).
+    let raw_cols = numeric_features(&listings, &["id", "price"]);
+
+    // Embed: raw numerics + 16-dim hash embeddings of the string columns.
+    let embedded =
+        embed_columns(&listings, &["name", "neighbourhood", "room_type"], 16).unwrap();
+    let embed_cols = numeric_features(&embedded, &["id", "price"]);
+
+    // Agent: the §4.1 pipeline's engineered features + raw numerics.
+    let llm = MockLlm::new();
+    let report = TransformPipeline::new(&llm).run(&listings, "predict price").unwrap();
+    let agent_cols = numeric_features(&report.transformed, &["id", "price"]);
+
+    let (raw_train, raw_test) = listings.train_test_split(0.3, 77);
+    let (emb_train, emb_test) = embedded.train_test_split(0.3, 77);
+    let (agt_train, agt_test) = report.transformed.train_test_split(0.3, 77);
+
+    println!(
+        "{:<7} {:>8} {:>8} {:>8}   ({} raw / {} embed / {} agent features)",
+        "model", "Raw", "Embed", "Agent", raw_cols.len(), embed_cols.len(), agent_cols.len()
+    );
+    let mut agent_lr = f64::NAN;
+    let mut best_other: f64 = f64::NEG_INFINITY;
+    for model in ["LR", "XGB", "ASK", "NN"] {
+        let raw = score_model(model, &raw_train, &raw_test, &raw_cols, target);
+        let emb = score_model(model, &emb_train, &emb_test, &embed_cols, target);
+        let agt = score_model(model, &agt_train, &agt_test, &agent_cols, target);
+        println!("{model:<7} {raw:>8.3} {emb:>8.3} {agt:>8.3}");
+        if model == "LR" {
+            agent_lr = agt;
+        } else {
+            best_other = best_other.max(agt).max(emb).max(raw);
+        }
+    }
+    println!(
+        "\nAgent + LR = {agent_lr:.3}; best non-LR anywhere = {best_other:.3} → \
+         {}",
+        if agent_lr >= best_other - 0.02 {
+            "agent-transformed linear regression wins (the paper's headline)"
+        } else {
+            "shape deviation — see EXPERIMENTS.md notes"
+        }
+    );
+    println!("paper: agent transformations beat raw/embeddings across models, and LR+agents tops the chart.");
+}

@@ -1,0 +1,109 @@
+//! §3.2 complexity-claim table: candidate-evaluation latency, sketch path
+//! vs materialize-and-retrain path.
+//!
+//! Horizontal augmentation is O(1) and vertical O(d) over sketches, both
+//! independent of relation size n — against O(n) (or worse) materialized.
+//!
+//! ```sh
+//! cargo run -p mileena-bench --release --bin latency_table
+//! ```
+
+use mileena_relation::{Relation, RelationBuilder};
+use mileena_semiring::triple_of;
+use mileena_sketch::{build_sketch, eval_join, eval_union, SketchConfig};
+use std::time::Instant;
+
+fn table_relation(name: &str, n: usize, d: usize, seed: u64) -> Relation {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+    };
+    let keys: Vec<i64> = (0..n).map(|i| (i % d) as i64).collect();
+    let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+    let ys: Vec<f64> = (0..n).map(|_| next()).collect();
+    RelationBuilder::new(name)
+        .int_col("k", &keys)
+        .float_col("x", &xs)
+        .float_col("y", &ys)
+        .build()
+        .unwrap()
+}
+
+fn time_us(mut f: impl FnMut(), reps: usize) -> f64 {
+    // One warm-up, then the average of `reps`.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn main() {
+    println!("=== §3.2 claim: augmentation evaluation latency (µs per candidate) ===\n");
+
+    println!("horizontal (union) — sketch path is O(1) in n:");
+    println!("{:>10} {:>14} {:>18} {:>9}", "n", "sketch (µs)", "materialize (µs)", "speedup");
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let train = table_relation("train", n, (n / 10).max(2), 1);
+        let cand = table_relation("cand", n, (n / 10).max(2), 2);
+        let cfg = SketchConfig {
+            key_columns: Some(vec![]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::requester()
+        };
+        let ts = build_sketch(&train, &cfg).unwrap();
+        let cs = build_sketch(&cand, &cfg).unwrap();
+        let reps = if n >= 100_000 { 3 } else { 20 };
+        let sketch_us =
+            time_us(|| drop(eval_union(&ts.full, &cs.full, |s| s.to_string()).unwrap()), 200);
+        let mat_us = time_us(
+            || {
+                let u = train.union(&cand).unwrap();
+                drop(triple_of(&u, &["x", "y"]).unwrap());
+            },
+            reps,
+        );
+        println!(
+            "{n:>10} {sketch_us:>14.1} {mat_us:>18.1} {:>8.0}×",
+            mat_us / sketch_us.max(1e-3)
+        );
+    }
+
+    println!("\nvertical (join) — sketch path is O(d), d = distinct keys (n = 100·d):");
+    println!("{:>10} {:>14} {:>18} {:>9}", "d", "sketch (µs)", "materialize (µs)", "speedup");
+    for d in [10usize, 100, 1_000, 10_000] {
+        let n = d * 100;
+        let train = table_relation("train", n, d, 3);
+        let cand = table_relation("cand", d, d, 4); // dimension table: 1 row/key
+        let tcfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["y".into()]),
+            ..SketchConfig::requester()
+        };
+        let ccfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["x".into()]),
+            ..SketchConfig::default()
+        };
+        let ts = build_sketch(&train, &tcfg).unwrap();
+        let cs = build_sketch(&cand, &ccfg).unwrap();
+        let tk = ts.keyed_for("k").unwrap();
+        let ck = cs.keyed_for("k").unwrap();
+        let reps = if d >= 1_000 { 5 } else { 50 };
+        let sketch_us = time_us(|| drop(eval_join(tk, ck).unwrap()), reps * 4);
+        let mat_us = time_us(
+            || {
+                let j = train.hash_join(&cand, &["k"], &["k"]).unwrap();
+                drop(triple_of(&j, &["y", "cand.x"]).unwrap());
+            },
+            reps,
+        );
+        println!(
+            "{d:>10} {sketch_us:>14.1} {mat_us:>18.1} {:>8.0}×",
+            mat_us / sketch_us.max(1e-3)
+        );
+    }
+    println!("\npaper: proxy evaluation in milliseconds, independent of relation sizes.");
+}

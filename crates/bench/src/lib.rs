@@ -1,0 +1,38 @@
+//! Shared helpers for the figure-reproduction binaries and Criterion
+//! benches. Each binary regenerates one table/figure from the paper; see
+//! EXPERIMENTS.md for the index and the recorded paper-vs-measured values.
+
+use mileena_datagen::NycCorpus;
+use mileena_discovery::{DatasetProfile, DiscoveryConfig, DiscoveryIndex};
+use mileena_search::{SearchRequest, TaskSpec};
+
+/// Build the discovery index over a corpus's providers.
+pub fn index_of(corpus: &NycCorpus) -> DiscoveryIndex {
+    let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+    for p in &corpus.providers {
+        index.register(DatasetProfile::of(p, 128));
+    }
+    index
+}
+
+/// The standard request for a corpus task.
+pub fn request_of(corpus: &NycCorpus) -> SearchRequest {
+    SearchRequest {
+        train: corpus.train.clone(),
+        test: corpus.test.clone(),
+        task: TaskSpec::new("y", &["base_x"]),
+        budget: None,
+        key_columns: Some(vec!["zone".into()]),
+    }
+}
+
+/// Median of a slice (panics on empty).
+pub fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values[values.len() / 2]
+}
+
+/// Pretty fixed-width number for report rows.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:>7.3}")
+}

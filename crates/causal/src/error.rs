@@ -1,0 +1,70 @@
+//! Errors for causal inference.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CausalError>;
+
+/// Errors raised by causal discovery and estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CausalError {
+    /// Not enough samples for the requested test.
+    TooFewSamples {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// A referenced variable is missing.
+    VariableNotFound(String),
+    /// Underlying relational error.
+    Relation(String),
+    /// Underlying privacy error.
+    Privacy(String),
+    /// Underlying ML/linear-algebra error.
+    Ml(String),
+    /// Degenerate input (zero variance, empty domain, ...).
+    Degenerate(String),
+}
+
+impl fmt::Display for CausalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalError::TooFewSamples { have, need } => {
+                write!(f, "too few samples: have {have}, need {need}")
+            }
+            CausalError::VariableNotFound(v) => write!(f, "variable not found: {v}"),
+            CausalError::Relation(m) => write!(f, "relation error: {m}"),
+            CausalError::Privacy(m) => write!(f, "privacy error: {m}"),
+            CausalError::Ml(m) => write!(f, "ml error: {m}"),
+            CausalError::Degenerate(m) => write!(f, "degenerate input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CausalError {}
+
+impl From<mileena_relation::RelationError> for CausalError {
+    fn from(e: mileena_relation::RelationError) -> Self {
+        CausalError::Relation(e.to_string())
+    }
+}
+impl From<mileena_privacy::PrivacyError> for CausalError {
+    fn from(e: mileena_privacy::PrivacyError) -> Self {
+        CausalError::Privacy(e.to_string())
+    }
+}
+impl From<mileena_ml::MlError> for CausalError {
+    fn from(e: mileena_ml::MlError) -> Self {
+        CausalError::Ml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        let e = super::CausalError::TooFewSamples { have: 3, need: 10 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,323 @@
+//! PC-style constraint-based structure discovery: partial-correlation CI
+//! tests prune a complete graph; v-structures (colliders) are then
+//! oriented. The paper's relational angle — 1-N/N-N relationships create
+//! colliders on the lifted representation — is exercised in the tests.
+
+use crate::error::{CausalError, Result};
+use mileena_relation::{FxHashMap, Relation};
+
+/// Configuration for skeleton discovery.
+#[derive(Debug, Clone, Copy)]
+pub struct SkeletonConfig {
+    /// Significance threshold for the Fisher-z statistic (≈1.96 ⇒ α=0.05).
+    pub z_threshold: f64,
+    /// Largest conditioning-set size to try.
+    pub max_condition: usize,
+}
+
+impl Default for SkeletonConfig {
+    fn default() -> Self {
+        SkeletonConfig { z_threshold: 1.96, max_condition: 2 }
+    }
+}
+
+/// A partially directed graph (CPDAG-ish) over named variables.
+#[derive(Debug, Clone)]
+pub struct CpDag {
+    /// Variable names, index-aligned with the adjacency structure.
+    pub variables: Vec<String>,
+    /// Undirected skeleton edges `(i, j)` with `i < j`.
+    pub edges: Vec<(usize, usize)>,
+    /// Oriented edges `(from, to)` (collider orientation only).
+    pub directed: Vec<(usize, usize)>,
+}
+
+impl CpDag {
+    /// Whether the skeleton links the two named variables.
+    pub fn adjacent(&self, a: &str, b: &str) -> bool {
+        let (Some(i), Some(j)) = (self.index(a), self.index(b)) else { return false };
+        let key = (i.min(j), i.max(j));
+        self.edges.contains(&key)
+    }
+
+    /// Whether `a → b` was oriented.
+    pub fn oriented(&self, a: &str, b: &str) -> bool {
+        let (Some(i), Some(j)) = (self.index(a), self.index(b)) else { return false };
+        self.directed.contains(&(i, j))
+    }
+
+    fn index(&self, name: &str) -> Option<usize> {
+        self.variables.iter().position(|v| v == name)
+    }
+}
+
+/// Pearson correlation matrix of the given columns.
+fn correlation_matrix(relation: &Relation, columns: &[&str]) -> Result<(Vec<f64>, usize)> {
+    let m = columns.len();
+    let mut data: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for c in columns {
+        let col = relation.column(c)?;
+        let vals: Vec<f64> = (0..relation.num_rows()).filter_map(|i| col.f64_at(i)).collect();
+        if vals.len() < relation.num_rows() {
+            return Err(CausalError::Degenerate(format!("column {c} has NULLs")));
+        }
+        data.push(vals);
+    }
+    let n = data[0].len();
+    if n < 10 {
+        return Err(CausalError::TooFewSamples { have: n, need: 10 });
+    }
+    let means: Vec<f64> = data.iter().map(|v| v.iter().sum::<f64>() / n as f64).collect();
+    let stds: Vec<f64> = data
+        .iter()
+        .zip(&means)
+        .map(|(v, mu)| (v.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / n as f64).sqrt())
+        .collect();
+    let mut corr = vec![0.0; m * m];
+    for i in 0..m {
+        for j in 0..m {
+            if stds[i] <= 0.0 || stds[j] <= 0.0 {
+                return Err(CausalError::Degenerate(format!(
+                    "zero variance in {}",
+                    columns[if stds[i] <= 0.0 { i } else { j }]
+                )));
+            }
+            let cov = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(a, b)| (a - means[i]) * (b - means[j]))
+                .sum::<f64>()
+                / n as f64;
+            corr[i * m + j] = cov / (stds[i] * stds[j]);
+        }
+    }
+    Ok((corr, n))
+}
+
+/// Partial correlation of (i, j) given `cond`, by the recursive formula
+/// (adequate for the small conditioning sets PC uses).
+fn partial_corr(corr: &[f64], m: usize, i: usize, j: usize, cond: &[usize]) -> f64 {
+    match cond.split_last() {
+        None => corr[i * m + j],
+        Some((&k, rest)) => {
+            let rij = partial_corr(corr, m, i, j, rest);
+            let rik = partial_corr(corr, m, i, k, rest);
+            let rjk = partial_corr(corr, m, j, k, rest);
+            let denom = ((1.0 - rik * rik) * (1.0 - rjk * rjk)).sqrt();
+            if denom <= 1e-12 {
+                0.0
+            } else {
+                ((rij - rik * rjk) / denom).clamp(-0.999_999, 0.999_999)
+            }
+        }
+    }
+}
+
+/// Fisher-z CI test: returns true iff i ⟂ j | cond at the configured level.
+fn independent(
+    corr: &[f64],
+    m: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    cond: &[usize],
+    z_threshold: f64,
+) -> bool {
+    let r = partial_corr(corr, m, i, j, cond).clamp(-0.999_999, 0.999_999);
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    let dof = n as f64 - cond.len() as f64 - 3.0;
+    if dof <= 1.0 {
+        return false;
+    }
+    (dof.sqrt() * z).abs() < z_threshold
+}
+
+/// All subsets of `pool` of exactly `k` elements (k ≤ 2 in practice).
+fn subsets(pool: &[usize], k: usize) -> Vec<Vec<usize>> {
+    match k {
+        0 => vec![vec![]],
+        1 => pool.iter().map(|&x| vec![x]).collect(),
+        2 => {
+            let mut out = Vec::new();
+            for (a, &x) in pool.iter().enumerate() {
+                for &y in &pool[a + 1..] {
+                    out.push(vec![x, y]);
+                }
+            }
+            out
+        }
+        _ => {
+            // General recursive case for completeness.
+            let mut out = Vec::new();
+            if pool.len() < k {
+                return out;
+            }
+            for (a, &x) in pool.iter().enumerate() {
+                for mut rest in subsets(&pool[a + 1..], k - 1) {
+                    rest.insert(0, x);
+                    out.push(rest);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Run PC skeleton discovery + collider orientation over numeric columns.
+pub fn discover_skeleton(
+    relation: &Relation,
+    columns: &[&str],
+    config: &SkeletonConfig,
+) -> Result<CpDag> {
+    let m = columns.len();
+    let (corr, n) = correlation_matrix(relation, columns)?;
+
+    // Adjacency (complete graph) + separating sets.
+    let mut adj: Vec<Vec<bool>> = vec![vec![true; m]; m];
+    for (i, row) in adj.iter_mut().enumerate() {
+        row[i] = false;
+    }
+    let mut sepsets: FxHashMap<(usize, usize), Vec<usize>> = FxHashMap::default();
+
+    for level in 0..=config.max_condition {
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if !adj[i][j] {
+                    continue;
+                }
+                // Condition on neighbors of i (minus j).
+                let neighbors: Vec<usize> =
+                    (0..m).filter(|&k| k != i && k != j && adj[i][k]).collect();
+                for cond in subsets(&neighbors, level) {
+                    if independent(&corr, m, n, i, j, &cond, config.z_threshold) {
+                        adj[i][j] = false;
+                        adj[j][i] = false;
+                        sepsets.insert((i, j), cond);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Collider orientation: for i — k — j with (i, j) non-adjacent and
+    // k ∉ sepset(i, j): orient i → k ← j.
+    let mut directed = Vec::new();
+    for k in 0..m {
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if i == k || j == k || !adj[i][k] || !adj[j][k] || adj[i][j] {
+                    continue;
+                }
+                let sep = sepsets.get(&(i, j)).cloned().unwrap_or_default();
+                if !sep.contains(&k) {
+                    if !directed.contains(&(i, k)) {
+                        directed.push((i, k));
+                    }
+                    if !directed.contains(&(j, k)) {
+                        directed.push((j, k));
+                    }
+                }
+            }
+        }
+    }
+
+    let edges = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .filter(|&(i, j)| adj[i][j])
+        .collect();
+    Ok(CpDag {
+        variables: columns.iter().map(|s| s.to_string()).collect(),
+        edges,
+        directed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Chain X → Z → Y: skeleton X—Z—Y, no X—Y edge, no collider at Z.
+    #[test]
+    fn chain_recovered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 4000;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let z: Vec<f64> = x.iter().map(|v| 0.9 * v + 0.4 * rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = z.iter().map(|v| 0.9 * v + 0.4 * rng.gen_range(-1.0..1.0)).collect();
+        let r = RelationBuilder::new("t")
+            .float_col("x", &x)
+            .float_col("z", &z)
+            .float_col("y", &y)
+            .build()
+            .unwrap();
+        let g = discover_skeleton(&r, &["x", "z", "y"], &SkeletonConfig::default()).unwrap();
+        assert!(g.adjacent("x", "z"));
+        assert!(g.adjacent("z", "y"));
+        assert!(!g.adjacent("x", "y"), "chain must drop the x–y edge");
+        assert!(!g.oriented("x", "z") || !g.oriented("y", "z"), "no collider at z");
+    }
+
+    /// Collider X → Z ← Y (the structure 1-N relationships induce on the
+    /// lifted representation): X ⟂ Y marginally, dependent given Z.
+    #[test]
+    fn collider_oriented() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 4000;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let z: Vec<f64> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| 0.7 * a + 0.7 * b + 0.3 * rng.gen_range(-1.0..1.0))
+            .collect();
+        let r = RelationBuilder::new("t")
+            .float_col("x", &x)
+            .float_col("z", &z)
+            .float_col("y", &y)
+            .build()
+            .unwrap();
+        let g = discover_skeleton(&r, &["x", "z", "y"], &SkeletonConfig::default()).unwrap();
+        assert!(g.adjacent("x", "z") && g.adjacent("y", "z"));
+        assert!(!g.adjacent("x", "y"));
+        assert!(g.oriented("x", "z"), "x → z should be oriented");
+        assert!(g.oriented("y", "z"), "y → z should be oriented");
+    }
+
+    #[test]
+    fn independent_variables_disconnected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let r =
+            RelationBuilder::new("t").float_col("a", &a).float_col("b", &b).build().unwrap();
+        let g = discover_skeleton(&r, &["a", "b"], &SkeletonConfig::default()).unwrap();
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let r = RelationBuilder::new("t")
+            .float_col("a", &[1.0; 50])
+            .float_col("b", &(0..50).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            discover_skeleton(&r, &["a", "b"], &SkeletonConfig::default()),
+            Err(CausalError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        assert_eq!(subsets(&[1, 2, 3], 0), vec![Vec::<usize>::new()]);
+        assert_eq!(subsets(&[1, 2, 3], 1).len(), 3);
+        assert_eq!(subsets(&[1, 2, 3], 2).len(), 3);
+        assert_eq!(subsets(&[1, 2, 3, 4], 3).len(), 4);
+        assert!(subsets(&[1], 2).is_empty());
+    }
+}

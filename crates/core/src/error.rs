@@ -1,0 +1,69 @@
+//! Platform-level errors.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors surfaced by the platform facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying sketch failure.
+    Sketch(String),
+    /// Underlying privacy failure (budget exhaustion etc.).
+    Privacy(String),
+    /// Underlying search failure.
+    Search(String),
+    /// Underlying transformation failure.
+    Transform(String),
+    /// Underlying relational failure.
+    Relation(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sketch(m) => write!(f, "sketch: {m}"),
+            CoreError::Privacy(m) => write!(f, "privacy: {m}"),
+            CoreError::Search(m) => write!(f, "search: {m}"),
+            CoreError::Transform(m) => write!(f, "transform: {m}"),
+            CoreError::Relation(m) => write!(f, "relation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<mileena_sketch::SketchError> for CoreError {
+    fn from(e: mileena_sketch::SketchError) -> Self {
+        CoreError::Sketch(e.to_string())
+    }
+}
+impl From<mileena_privacy::PrivacyError> for CoreError {
+    fn from(e: mileena_privacy::PrivacyError) -> Self {
+        CoreError::Privacy(e.to_string())
+    }
+}
+impl From<mileena_search::SearchError> for CoreError {
+    fn from(e: mileena_search::SearchError) -> Self {
+        CoreError::Search(e.to_string())
+    }
+}
+impl From<mileena_transform::TransformError> for CoreError {
+    fn from(e: mileena_transform::TransformError) -> Self {
+        CoreError::Transform(e.to_string())
+    }
+}
+impl From<mileena_relation::RelationError> for CoreError {
+    fn from(e: mileena_relation::RelationError) -> Self {
+        CoreError::Relation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        assert!(super::CoreError::Privacy("x".into()).to_string().contains("privacy"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The Mileena platform: the architecture of Figure 1 wired end to end.
+//!
+//! Two halves, matching the two-tier trust model (Figure 2):
+//!
+//! - [`LocalDataStore`] — runs **at the provider/requester**, who is
+//!   trusted with their own raw data: automatic (agent-based)
+//!   transformation, feature clipping, sketch computation, and FPM
+//!   privatization all happen here. Only the resulting [`ProviderUpload`]
+//!   (noisy sketches + discovery profile) ever leaves.
+//! - [`CentralPlatform`] — the **untrusted** central search service: stores
+//!   uploads, indexes them for discovery, and answers search requests over
+//!   privatized sketches only. Budget accounting is enforced per dataset
+//!   at upload time; searches are free post-processing.
+//!
+//! ```
+//! use mileena_core::{CentralPlatform, LocalDataStore, PlatformConfig};
+//! use mileena_privacy::PrivacyBudget;
+//! use mileena_relation::RelationBuilder;
+//! use mileena_search::{SearchConfig, SearchRequest, TaskSpec};
+//!
+//! // Provider side: prepare an upload (non-private here; pass a budget
+//! // for FPM privatization).
+//! let weather = RelationBuilder::new("weather")
+//!     .int_col("zone", &(0..50).collect::<Vec<_>>())
+//!     .float_col("temp", &(0..50).map(|z| (z as f64 * 0.7).sin()).collect::<Vec<_>>())
+//!     .build().unwrap();
+//! let upload = LocalDataStore::new(weather).prepare_upload(None, 7).unwrap();
+//!
+//! // Central side: register, then serve a request.
+//! let platform = CentralPlatform::new(PlatformConfig::default());
+//! platform.register(upload).unwrap();
+//! let train = RelationBuilder::new("train")
+//!     .int_col("zone", &(0..50).collect::<Vec<_>>())
+//!     .float_col("y", &(0..50).map(|z| (z as f64 * 0.7).sin() * 2.0).collect::<Vec<_>>())
+//!     .build().unwrap();
+//! let test = train.clone().with_name("test");
+//! let request = SearchRequest {
+//!     train, test,
+//!     task: TaskSpec::new("y", &[]),
+//!     budget: None,
+//!     key_columns: Some(vec!["zone".into()]),
+//! };
+//! let result = platform.search(&request, &SearchConfig::default()).unwrap();
+//! assert_eq!(result.outcome.selected_joins(), vec!["weather"]);
+//! ```
+
+pub mod error;
+pub mod local;
+pub mod platform;
+
+pub use error::{CoreError, Result};
+pub use local::{LocalDataStore, ProviderUpload};
+pub use platform::{CentralPlatform, PlatformConfig, PlatformSearchResult};

@@ -1,0 +1,165 @@
+//! The provider/requester-side Local Data Store (Figure 1, blue workflow):
+//! transform → clip → sketch → privatize → upload bundle.
+
+use crate::error::Result;
+use mileena_discovery::DatasetProfile;
+use mileena_privacy::{clip_relation, FactorizedMechanism, FpmConfig, PrivacyBudget};
+use mileena_relation::Relation;
+use mileena_sketch::{build_sketch, DatasetSketch, SketchConfig};
+use mileena_transform::{Llm, TransformPipeline};
+
+/// The bundle a provider sends to the central platform. Contains only
+/// privacy-safe artifacts: (possibly privatized) sketches and the
+/// discovery profile — never raw rows.
+#[derive(Debug, Clone)]
+pub struct ProviderUpload {
+    /// The dataset's sketches (privatized when a budget was supplied).
+    pub sketch: DatasetSketch,
+    /// Discovery profile (MinHash + TF-IDF per column).
+    pub profile: DatasetProfile,
+    /// Budget consumed at privatization (None = non-private upload).
+    pub budget: Option<PrivacyBudget>,
+}
+
+/// A provider's (or requester's) local store around one raw relation.
+#[derive(Debug)]
+pub struct LocalDataStore {
+    relation: Relation,
+    sketch_config: SketchConfig,
+    fpm_config: FpmConfig,
+    minhash_k: usize,
+}
+
+impl LocalDataStore {
+    /// Wrap a raw relation with default configs.
+    pub fn new(relation: Relation) -> Self {
+        LocalDataStore {
+            relation,
+            sketch_config: SketchConfig::default(),
+            fpm_config: FpmConfig::default(),
+            minhash_k: 128,
+        }
+    }
+
+    /// Override the sketch configuration.
+    pub fn with_sketch_config(mut self, config: SketchConfig) -> Self {
+        self.sketch_config = config;
+        self
+    }
+
+    /// Override the FPM configuration.
+    pub fn with_fpm_config(mut self, config: FpmConfig) -> Self {
+        self.fpm_config = config;
+        self
+    }
+
+    /// The current (possibly transformed) relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Run the agent-based transformation pipeline (§4.1) in place,
+    /// returning the number of accepted transformations. This happens
+    /// *before* sketching, on raw data the owner is trusted with.
+    pub fn auto_transform(&mut self, llm: &dyn Llm, task_context: &str) -> Result<usize> {
+        let report = TransformPipeline::new(llm).run(&self.relation, task_context)?;
+        let accepted = report.accepted().len();
+        self.relation = report.transformed;
+        Ok(accepted)
+    }
+
+    /// Produce the upload bundle.
+    ///
+    /// With a budget: numeric feature columns are clipped to the FPM bound
+    /// and the sketches privatized (the dataset's entire (ε, δ) is consumed
+    /// here, once — every later search is free post-processing).
+    /// Without: raw sketches (for non-private deployments and baselines).
+    pub fn prepare_upload(
+        &self,
+        budget: Option<PrivacyBudget>,
+        seed: u64,
+    ) -> Result<ProviderUpload> {
+        let profile = DatasetProfile::of(&self.relation, self.minhash_k);
+        match budget {
+            None => {
+                let sketch = build_sketch(&self.relation, &self.sketch_config)?;
+                Ok(ProviderUpload { sketch, profile, budget: None })
+            }
+            Some(b) => {
+                // Clip features so the FPM sensitivity bound holds.
+                let feature_cols: Vec<String> = match &self.sketch_config.feature_columns {
+                    Some(cols) => cols.clone(),
+                    None => self
+                        .relation
+                        .schema()
+                        .numeric_names()
+                        .into_iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                };
+                let refs: Vec<&str> = feature_cols.iter().map(|s| s.as_str()).collect();
+                let clipped = clip_relation(&self.relation, &refs, self.fpm_config.bound)?;
+                let raw_sketch = build_sketch(&clipped, &self.sketch_config)?;
+                let fpm = FactorizedMechanism::new(self.fpm_config);
+                let privatized = fpm.privatize(&raw_sketch, b, seed)?;
+                Ok(ProviderUpload {
+                    sketch: privatized.sketch,
+                    profile,
+                    budget: Some(b),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+    use mileena_transform::MockLlm;
+
+    fn rel() -> Relation {
+        RelationBuilder::new("d")
+            .int_col("k", &[1, 1, 2, 2])
+            .float_col("x", &[0.5, -0.5, 3.0, -3.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn non_private_upload_keeps_exact_sketch() {
+        let upload = LocalDataStore::new(rel()).prepare_upload(None, 1).unwrap();
+        assert_eq!(upload.sketch.full.c, 4.0);
+        assert!(upload.budget.is_none());
+        assert_eq!(upload.profile.name, "d");
+    }
+
+    #[test]
+    fn private_upload_clips_and_noises() {
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let upload = LocalDataStore::new(rel()).prepare_upload(Some(b), 1).unwrap();
+        // x was clipped to [-1, 1] before sketching, then noised; the sum
+        // of |x| can't reflect the unclipped ±3 magnitudes.
+        let xi = upload.sketch.full.feature_index("d.x").unwrap();
+        assert!(upload.sketch.full.q[xi * 2 + xi].abs() < 100.0);
+        assert_eq!(upload.budget, Some(b));
+        // Perturbed relative to the clipped-exact sketch.
+        let clipped = clip_relation(&rel(), &["k", "x"], 1.0).unwrap();
+        let exact = build_sketch(&clipped, &SketchConfig::default()).unwrap();
+        assert_ne!(upload.sketch.full, exact.full);
+    }
+
+    #[test]
+    fn auto_transform_runs_agents() {
+        let r = RelationBuilder::new("d")
+            .str_col("title", &["2BR flat", "3BR loft", "1BR spot"])
+            .float_col("y", &[2.0, 3.0, 1.0])
+            .build()
+            .unwrap();
+        let mut store = LocalDataStore::new(r);
+        let llm = MockLlm::new();
+        let accepted = store.auto_transform(&llm, "predict y").unwrap();
+        assert!(accepted >= 1);
+        assert!(store.relation().schema().contains("title_num"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The central task-based dataset search service (Figure 1, green
+//! workflow): sketch store + discovery index + search, behind one API.
+
+use crate::error::{CoreError, Result};
+use crate::local::ProviderUpload;
+use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
+use mileena_ml::{LinearModel, RidgeConfig};
+use mileena_privacy::BudgetAccountant;
+use mileena_search::{
+    enumerate_candidates, GreedySearch, SearchConfig, SearchOutcome, SearchRequest,
+};
+use mileena_sketch::SketchStore;
+use parking_lot::Mutex;
+
+/// Platform-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformConfig {
+    /// Discovery tuning.
+    pub discovery: DiscoveryConfig,
+}
+
+/// What a search request returns to the requester.
+#[derive(Debug)]
+pub struct PlatformSearchResult {
+    /// The greedy search trace and final state.
+    pub outcome: SearchOutcome,
+    /// The proxy model trained on the final augmented statistics, ready
+    /// for the requester to use (or to hand the materialized augmented
+    /// data to AutoML, as the Figure 4 pipeline does).
+    pub model: LinearModel,
+}
+
+/// The central platform. Thread-safe: uploads and searches may interleave.
+#[derive(Debug)]
+pub struct CentralPlatform {
+    store: SketchStore,
+    index: Mutex<DiscoveryIndex>,
+    accountant: Mutex<BudgetAccountant>,
+    #[allow(dead_code)]
+    config: PlatformConfig,
+}
+
+impl CentralPlatform {
+    /// New empty platform.
+    pub fn new(config: PlatformConfig) -> Self {
+        CentralPlatform {
+            store: SketchStore::new(),
+            index: Mutex::new(DiscoveryIndex::new(config.discovery.clone())),
+            accountant: Mutex::new(BudgetAccountant::new()),
+            config,
+        }
+    }
+
+    /// Register a provider upload: sketches into the store, profile into
+    /// the discovery index, and — for private uploads — the consumed
+    /// budget into the accountant (rejecting double registration).
+    pub fn register(&self, upload: ProviderUpload) -> Result<()> {
+        if let Some(budget) = upload.budget {
+            let mut acc = self.accountant.lock();
+            acc.register(&upload.sketch.name, budget)?;
+            acc.charge(&upload.sketch.name, budget)?;
+        }
+        self.store.register(upload.sketch)?;
+        self.index.lock().register(upload.profile);
+        Ok(())
+    }
+
+    /// Number of registered datasets.
+    pub fn num_datasets(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The sketch store (read access for benches/inspection).
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// Serve a search request (Problem 1): discovery → greedy sketch
+    /// search → fitted proxy model. Pure post-processing of the uploaded
+    /// sketches — no budget is consumed here, regardless of how many
+    /// requests arrive (the FPM guarantee).
+    pub fn search(
+        &self,
+        request: &SearchRequest,
+        config: &SearchConfig,
+    ) -> Result<PlatformSearchResult> {
+        let (state, profile) = mileena_search::greedy::build_requester_state(request, config)?;
+        let candidates = {
+            let index = self.index.lock();
+            enumerate_candidates(&index, &self.store, &profile)
+        };
+        let outcome = GreedySearch::new(config.clone()).run(state, candidates, &self.store)?;
+
+        // Train the final proxy model on the augmented statistics.
+        let mut model = LinearModel::new(RidgeConfig { lambda: config.lambda, intercept: true });
+        let features: Vec<&str> =
+            outcome.state.features().iter().map(|s| s.as_str()).collect();
+        let triple = outcome.state.train_triple();
+        let sys = triple
+            .lr_system(&features, &request.task.target, true)
+            .map_err(|e| CoreError::Search(e.to_string()))?;
+        model.fit_from_system(&sys).map_err(|e| CoreError::Search(e.to_string()))?;
+        Ok(PlatformSearchResult { outcome, model })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalDataStore;
+    use mileena_datagen::{generate_corpus, CorpusConfig};
+    use mileena_privacy::PrivacyBudget;
+    use mileena_search::TaskSpec;
+
+    fn corpus() -> mileena_datagen::NycCorpus {
+        generate_corpus(&CorpusConfig {
+            num_datasets: 15,
+            num_signal: 2,
+            num_union: 1,
+            num_novelty_traps: 2,
+            train_rows: 300,
+            test_rows: 300,
+            provider_rows: 150,
+            key_domain: 60,
+            signal_rows_per_key: 1,
+            noise: 0.1,
+            nonlinear_strength: 0.0,
+            seed: 55,
+        })
+    }
+
+    fn request(c: &mileena_datagen::NycCorpus) -> SearchRequest {
+        SearchRequest {
+            train: c.train.clone(),
+            test: c.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: Some(vec!["zone".into()]),
+        }
+    }
+
+    #[test]
+    fn end_to_end_non_private() {
+        let c = corpus();
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        for p in &c.providers {
+            let upload = LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap();
+            platform.register(upload).unwrap();
+        }
+        assert_eq!(platform.num_datasets(), 15);
+        let result = platform.search(&request(&c), &SearchConfig::default()).unwrap();
+        assert!(
+            result.outcome.final_score > result.outcome.base_score + 0.3,
+            "{} → {}",
+            result.outcome.base_score,
+            result.outcome.final_score
+        );
+        // The returned model is fitted over base + augmented features.
+        assert!(result.model.coefficients().is_some());
+    }
+
+    #[test]
+    fn double_registration_of_private_upload_rejected() {
+        let c = corpus();
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let upload = LocalDataStore::new(c.providers[0].clone())
+            .prepare_upload(Some(b), 1)
+            .unwrap();
+        platform.register(upload.clone()).unwrap();
+        assert!(platform.register(upload).is_err());
+    }
+
+    #[test]
+    fn searches_are_free_and_repeatable() {
+        let c = corpus();
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        let b = PrivacyBudget::new(2.0, 1e-6).unwrap();
+        for p in &c.providers {
+            let upload =
+                LocalDataStore::new(p.clone()).prepare_upload(Some(b), 11).unwrap();
+            platform.register(upload).unwrap();
+        }
+        let r1 = platform.search(&request(&c), &SearchConfig::default()).unwrap();
+        // Many more searches: none can fail on budget; results identical
+        // (post-processing of the same release is deterministic).
+        for _ in 0..5 {
+            let rn = platform.search(&request(&c), &SearchConfig::default()).unwrap();
+            assert_eq!(rn.outcome.final_score, r1.outcome.final_score);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Airbnb-like listings generator for the transformation experiment
+//! (Figure 6b).
+//!
+//! The nightly price is a linear function of features that raw numerics do
+//! not expose:
+//!
+//! - bedroom count, embedded in the listing title ("Cozy 2BR in …");
+//! - tenure in days, derivable only from two date *strings*;
+//! - neighborhood and room-type effects (categorical strings);
+//! - log of the cleaning fee (heavily skewed raw column);
+//! - reviews-per-month with missingness that itself carries signal.
+//!
+//! A linear model on well-engineered features therefore beats any model on
+//! raw columns — the paper's headline Figure 6b observation.
+
+use mileena_relation::{Column, Relation, RelationBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AirbnbConfig {
+    /// Number of listings.
+    pub rows: usize,
+    /// Price noise std (dollars).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AirbnbConfig {
+    fn default() -> Self {
+        AirbnbConfig { rows: 2000, noise: 12.0, seed: 11 }
+    }
+}
+
+/// Neighborhoods with their additive price effects (dollars).
+pub const NEIGHBORHOODS: [(&str, f64); 8] = [
+    ("tribeca", 95.0),
+    ("west village", 80.0),
+    ("williamsburg", 55.0),
+    ("park slope", 45.0),
+    ("astoria", 25.0),
+    ("harlem", 15.0),
+    ("bushwick", 10.0),
+    ("flatbush", 0.0),
+];
+
+/// Room types with their additive price effects.
+pub const ROOM_TYPES: [(&str, f64); 3] =
+    [("entire home", 60.0), ("private room", 25.0), ("shared room", 0.0)];
+
+const ADJECTIVES: [&str; 8] =
+    ["Cozy", "Sunny", "Charming", "Modern", "Spacious", "Quiet", "Stylish", "Bright"];
+
+/// Format `days` since 2015-01-01 as an ISO date string (civil arithmetic,
+/// good for the 2015–2024 range we generate).
+fn iso_date(days_since_2015: i64) -> String {
+    let mut y = 2015i64;
+    let mut d = days_since_2015;
+    loop {
+        let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+        let len = if leap { 366 } else { 365 };
+        if d < len {
+            break;
+        }
+        d -= len;
+        y += 1;
+    }
+    let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+    let month_lens =
+        [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let mut m = 0usize;
+    while d >= month_lens[m] {
+        d -= month_lens[m];
+        m += 1;
+    }
+    format!("{y:04}-{:02}-{:02}", m + 1, d + 1)
+}
+
+/// Generate the listings relation.
+///
+/// Schema: `id:int, name:str, neighbourhood:str, room_type:str,
+/// first_review:str, last_review:str, reviews_per_month:float?,
+/// minimum_nights:int, availability_365:int, cleaning_fee:float, price:float`.
+pub fn generate_airbnb(cfg: &AirbnbConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.rows;
+
+    let mut id = Vec::with_capacity(n);
+    let mut name = Vec::with_capacity(n);
+    let mut neigh = Vec::with_capacity(n);
+    let mut room = Vec::with_capacity(n);
+    let mut first_review = Vec::with_capacity(n);
+    let mut last_review = Vec::with_capacity(n);
+    let mut rpm: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut min_nights = Vec::with_capacity(n);
+    let mut avail = Vec::with_capacity(n);
+    let mut fee = Vec::with_capacity(n);
+    let mut price = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let bedrooms = rng.gen_range(1..=4i64);
+        let (nb, nb_eff) = NEIGHBORHOODS[rng.gen_range(0..NEIGHBORHOODS.len())];
+        let (rt, rt_eff) = ROOM_TYPES[rng.gen_range(0..ROOM_TYPES.len())];
+        let adj = ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())];
+
+        let start = rng.gen_range(0..3000i64);
+        let duration = rng.gen_range(30..2000i64);
+        let end = (start + duration).min(3500);
+        let tenure = end - start;
+
+        // Missing reviews ⇒ newer/less active listing ⇒ small discount,
+        // so the missingness indicator itself is predictive.
+        let has_reviews = rng.gen::<f64>() < 0.8;
+        let reviews_pm = if has_reviews { Some(rng.gen_range(0.1..9.0)) } else { None };
+
+        // Log-normal-ish cleaning fee: raw value skewed, log is linear.
+        let log_fee: f64 = rng.gen_range(1.0..5.0);
+        let fee_v = log_fee.exp(); // ~ 2.7 .. 148 dollars
+
+        let mn = rng.gen_range(1..=30i64);
+        let av = rng.gen_range(0..=365i64);
+
+        let noise = {
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let p = 20.0
+            + 30.0 * bedrooms as f64
+            + nb_eff
+            + rt_eff
+            + 0.02 * tenure as f64
+            + 8.0 * log_fee
+            + if has_reviews { 6.0 } else { 0.0 }
+            // Raw numerics contribute only marginally:
+            + 0.15 * mn as f64
+            + 0.01 * av as f64
+            + cfg.noise * noise;
+
+        id.push(i as i64);
+        name.push(format!("{adj} {bedrooms}BR in {nb}"));
+        neigh.push(nb.to_string());
+        room.push(rt.to_string());
+        first_review.push(iso_date(start));
+        last_review.push(iso_date(end));
+        rpm.push(reviews_pm);
+        min_nights.push(mn);
+        avail.push(av);
+        fee.push(fee_v);
+        price.push(p.max(10.0));
+    }
+
+    RelationBuilder::new("airbnb")
+        .int_col("id", &id)
+        .col("name", Column::from_strs(&name))
+        .col("neighbourhood", Column::from_strs(&neigh))
+        .col("room_type", Column::from_strs(&room))
+        .col("first_review", Column::from_strs(&first_review))
+        .col("last_review", Column::from_strs(&last_review))
+        .opt_float_col("reviews_per_month", &rpm)
+        .int_col("minimum_nights", &min_nights)
+        .int_col("availability_365", &avail)
+        .float_col("cleaning_fee", &fee)
+        .float_col("price", &price)
+        .build()
+        .expect("valid airbnb relation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_ml::{LinearModel, Regressor, RidgeConfig};
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = AirbnbConfig { rows: 100, ..Default::default() };
+        let a = generate_airbnb(&cfg);
+        let b = generate_airbnb(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.num_rows(), 100);
+        assert_eq!(a.num_columns(), 11);
+        // Titles carry the bedroom signal.
+        let title = a.value(0, "name").unwrap().to_string();
+        assert!(title.contains("BR in"), "{title}");
+    }
+
+    #[test]
+    fn iso_dates_valid() {
+        assert_eq!(iso_date(0), "2015-01-01");
+        assert_eq!(iso_date(31), "2015-02-01");
+        assert_eq!(iso_date(365), "2016-01-01");
+        // 2016 is a leap year: 2016-02-29 exists.
+        assert_eq!(iso_date(365 + 31 + 28), "2016-02-29");
+        assert_eq!(iso_date(365 + 366), "2017-01-01");
+    }
+
+    #[test]
+    fn missingness_rate_reasonable() {
+        let r = generate_airbnb(&AirbnbConfig { rows: 1000, ..Default::default() });
+        let nulls = r.column("reviews_per_month").unwrap().null_count();
+        assert!(nulls > 100 && nulls < 350, "{nulls}");
+    }
+
+    #[test]
+    fn raw_numerics_are_weak_predictors() {
+        // The core premise of Figure 6b: raw numeric columns alone leave
+        // most of the price variance unexplained.
+        let r = generate_airbnb(&AirbnbConfig { rows: 1500, ..Default::default() });
+        let (train, test) = r.train_test_split(0.3, 5);
+        let cols = ["minimum_nights", "availability_365", "cleaning_fee"];
+        let mut m = LinearModel::new(RidgeConfig::default());
+        let r2 = m
+            .fit_evaluate(
+                &train.to_xy(&cols, "price").unwrap(),
+                &test.to_xy(&cols, "price").unwrap(),
+            )
+            .unwrap();
+        assert!(r2 < 0.45, "raw-numeric R² should be weak, got {r2}");
+        assert!(r2 > -0.2, "but not absurd, got {r2}");
+    }
+
+    #[test]
+    fn prices_positive() {
+        let r = generate_airbnb(&AirbnbConfig { rows: 500, ..Default::default() });
+        let (lo, _) = r.column("price").unwrap().min_max().unwrap();
+        assert!(lo >= 10.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Structural-causal-model generator for the §4.2 treatment-effect
+//! experiment: three relations over one population with a known ATE.
+//!
+//! SCM (all binary; `B(p)` = Bernoulli):
+//!
+//! ```text
+//! D ~ B(0.5)                      (latent confounder, in no relation)
+//! T ~ B(t0 + t_d·D)               (treatment: student qualification)
+//! P ~ B(p0 + p_t·T)               (participation)
+//! A ~ B(a0 + a_p·P)               (assignment completion)
+//! Y ~ B(y0 + y_a·A + y_d·D)       (overall score)
+//! G ~ B(0.5)                      (gender; causally inert)
+//! ```
+//!
+//! Relations (1-to-1 via the shared `id`): `R1(id, T, Y)`, `R2(id, T, G)`,
+//! `R3(id, P, A, Y)` — exactly the paper's setup. The true
+//! `ATE = E[Y|do(T=1)] − E[Y|do(T=0)] = y_a·a_p·p_t` is returned in closed
+//! form for harnesses to score estimators against.
+
+use mileena_relation::{Relation, RelationBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// SCM parameters. Defaults are tuned so the observational (confounded)
+/// estimate is off by ≈10% relative — the regime of the paper's comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CausalConfig {
+    /// Population size.
+    pub rows: usize,
+    /// Base treatment rate.
+    pub t0: f64,
+    /// Confounder → treatment strength.
+    pub t_d: f64,
+    /// Base participation rate.
+    pub p0: f64,
+    /// Treatment → participation strength.
+    pub p_t: f64,
+    /// Base completion rate.
+    pub a0: f64,
+    /// Participation → completion strength.
+    pub a_p: f64,
+    /// Base score rate.
+    pub y0: f64,
+    /// Completion → score strength.
+    pub y_a: f64,
+    /// Confounder → score strength (drives backdoor bias).
+    pub y_d: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CausalConfig {
+    fn default() -> Self {
+        CausalConfig {
+            rows: 20_000,
+            t0: 0.25,
+            t_d: 0.5,
+            p0: 0.2,
+            p_t: 0.6,
+            a0: 0.25,
+            a_p: 0.5,
+            y0: 0.15,
+            y_a: 0.5,
+            y_d: 0.03,
+            seed: 23,
+        }
+    }
+}
+
+impl CausalConfig {
+    /// Closed-form `E[Y | do(T=t)]`.
+    pub fn expected_y_do(&self, t: i64) -> f64 {
+        let p1 = self.p0 + self.p_t * t as f64;
+        let a1 = self.a0 + self.a_p * p1;
+        self.y0 + self.y_a * a1 + self.y_d * 0.5
+    }
+
+    /// Closed-form average treatment effect `y_a · a_p · p_t`.
+    pub fn true_ate(&self) -> f64 {
+        self.y_a * self.a_p * self.p_t
+    }
+
+    /// Closed-form *observational* difference `E[Y|T=1] − E[Y|T=0]`,
+    /// which includes the confounding bias through D.
+    pub fn observational_diff(&self) -> f64 {
+        // P(D=1|T=t) by Bayes with P(D)=0.5.
+        let p_t1_d1 = self.t0 + self.t_d;
+        let p_t1_d0 = self.t0;
+        let p_t1 = 0.5 * (p_t1_d1 + p_t1_d0);
+        let p_d1_given_t1 = 0.5 * p_t1_d1 / p_t1;
+        let p_d1_given_t0 = 0.5 * (1.0 - p_t1_d1) / (1.0 - p_t1);
+        self.true_ate() + self.y_d * (p_d1_given_t1 - p_d1_given_t0)
+    }
+}
+
+/// The generated population and its three projected relations.
+#[derive(Debug, Clone)]
+pub struct CausalData {
+    /// Full population `[id, D, T, G, P, A, Y]` (the "oracle" view; the
+    /// estimators never see D).
+    pub population: Relation,
+    /// `R1(id, T, Y)`.
+    pub r1: Relation,
+    /// `R2(id, T, G)`.
+    pub r2: Relation,
+    /// `R3(id, P, A, Y)`.
+    pub r3: Relation,
+    /// Closed-form ATE.
+    pub true_ate: f64,
+    /// Config used.
+    pub config: CausalConfig,
+}
+
+/// Sample the SCM and project the three relations.
+pub fn generate_causal(cfg: &CausalConfig) -> CausalData {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.rows;
+    let mut id = Vec::with_capacity(n);
+    let (mut d, mut t, mut g, mut p, mut a, mut y) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    let bern = |prob: f64, rng: &mut StdRng| i64::from(rng.gen::<f64>() < prob);
+    for i in 0..n {
+        let di = bern(0.5, &mut rng);
+        let ti = bern(cfg.t0 + cfg.t_d * di as f64, &mut rng);
+        let gi = bern(0.5, &mut rng);
+        let pi = bern(cfg.p0 + cfg.p_t * ti as f64, &mut rng);
+        let ai = bern(cfg.a0 + cfg.a_p * pi as f64, &mut rng);
+        let yi = bern(cfg.y0 + cfg.y_a * ai as f64 + cfg.y_d * di as f64, &mut rng);
+        id.push(i as i64);
+        d.push(di);
+        t.push(ti);
+        g.push(gi);
+        p.push(pi);
+        a.push(ai);
+        y.push(yi);
+    }
+    let population = RelationBuilder::new("population")
+        .int_col("id", &id)
+        .int_col("D", &d)
+        .int_col("T", &t)
+        .int_col("G", &g)
+        .int_col("P", &p)
+        .int_col("A", &a)
+        .int_col("Y", &y)
+        .build()
+        .expect("valid population");
+    let r1 = population.project(&["id", "T", "Y"]).unwrap().with_name("R1");
+    let r2 = population.project(&["id", "T", "G"]).unwrap().with_name("R2");
+    let r3 = population.project(&["id", "P", "A", "Y"]).unwrap().with_name("R3");
+    CausalData { population, r1, r2, r3, true_ate: cfg.true_ate(), config: cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms() {
+        let cfg = CausalConfig::default();
+        // ATE = 0.5 · 0.5 · 0.6 = 0.15
+        assert!((cfg.true_ate() - 0.15).abs() < 1e-12);
+        assert!(
+            (cfg.expected_y_do(1) - cfg.expected_y_do(0) - cfg.true_ate()).abs() < 1e-12
+        );
+        // Default bias keeps observational error near 10% relative.
+        let rel_err = (cfg.observational_diff() - cfg.true_ate()).abs() / cfg.true_ate();
+        assert!(rel_err > 0.05 && rel_err < 0.2, "{rel_err}");
+    }
+
+    #[test]
+    fn empirical_matches_closed_form() {
+        let cfg = CausalConfig { rows: 60_000, ..Default::default() };
+        let data = generate_causal(&cfg);
+        // Empirical E[Y|T=t] from the population should match the
+        // observational closed form within sampling error.
+        let tcol = data.population.column("T").unwrap();
+        let ycol = data.population.column("Y").unwrap();
+        let mut sums = [0.0f64; 2];
+        let mut cnts = [0.0f64; 2];
+        for i in 0..data.population.num_rows() {
+            let t = tcol.f64_at(i).unwrap() as usize;
+            sums[t] += ycol.f64_at(i).unwrap();
+            cnts[t] += 1.0;
+        }
+        let emp_diff = sums[1] / cnts[1] - sums[0] / cnts[0];
+        assert!(
+            (emp_diff - cfg.observational_diff()).abs() < 0.02,
+            "emp {emp_diff} vs closed {}",
+            cfg.observational_diff()
+        );
+    }
+
+    #[test]
+    fn projections_are_one_to_one() {
+        let data = generate_causal(&CausalConfig { rows: 500, ..Default::default() });
+        assert_eq!(data.r1.schema().names(), vec!["id", "T", "Y"]);
+        assert_eq!(data.r2.schema().names(), vec!["id", "T", "G"]);
+        assert_eq!(data.r3.schema().names(), vec!["id", "P", "A", "Y"]);
+        let j = data.r1.hash_join(&data.r2, &["id"], &["id"]).unwrap();
+        assert_eq!(j.num_rows(), 500); // 1-to-1
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CausalConfig { rows: 200, ..Default::default() };
+        assert_eq!(generate_causal(&cfg).population, generate_causal(&cfg).population);
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic data generators standing in for the paper's gated corpora
+//! (DESIGN.md §3 documents each substitution):
+//!
+//! - [`nyc`] — an NYC-Open-Data-like corpus for the search experiments
+//!   (Figures 4 and 5): a requester task plus hundreds of provider
+//!   relations, a few of which genuinely improve the task via joins or
+//!   unions, most of which are realistic distractors;
+//! - [`airbnb`] — a Kaggle-Airbnb-like listings table for the
+//!   transformation experiment (Figure 6b): the price signal is only
+//!   recoverable through string/date feature engineering;
+//! - [`causal`] — the 3-relation structural causal model of the §4.2
+//!   treatment-effect experiment.
+//!
+//! Everything is deterministic given the config seed.
+
+pub mod airbnb;
+pub mod causal;
+pub mod nyc;
+
+pub use airbnb::{generate_airbnb, AirbnbConfig};
+pub use causal::{generate_causal, CausalConfig, CausalData};
+pub use nyc::{generate_corpus, CorpusConfig, NycCorpus};

@@ -1,0 +1,483 @@
+//! NYC-Open-Data-like corpus generator.
+//!
+//! Generative model: a latent factor `z_k(zone)` per signal table over a
+//! shared `zone` key domain. The requester's target is
+//!
+//! `y = β₀ + β_b·base_x + Σ_k β_k·z_k(zone) + γ·z₀(zone)² + ε`
+//!
+//! so (a) joining the right provider tables adds the `z_k` features and
+//! lifts test R² step by step, (b) a mild quadratic term leaves headroom
+//! that only a non-linear model (AutoML on the materialized augmented data)
+//! can capture — reproducing Figure 4's "Mileena ≈ 0.7 fast, then AutoML
+//! → 0.82" shape. Distractor tables join but don't help; novelty traps
+//! carry deliberately exotic values with no signal (they seduce the Novelty
+//! baseline); union tables extend the training sample.
+//!
+//! All features live in `[-1, 1]` so DP clipping at `B = 1` is lossless.
+
+use mileena_relation::{Relation, RelationBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Total provider datasets (the paper's headline corpus has 517).
+    pub num_datasets: usize,
+    /// Join-augmentable tables carrying true signal.
+    pub num_signal: usize,
+    /// Union-compatible tables extending the training sample.
+    pub num_union: usize,
+    /// Novelty traps (exotic values, zero signal).
+    pub num_novelty_traps: usize,
+    /// Requester training rows.
+    pub train_rows: usize,
+    /// Requester test rows.
+    pub test_rows: usize,
+    /// Rows per provider table (signal tables use the key domain size).
+    pub provider_rows: usize,
+    /// Join key domain size `d` (distinct zones).
+    pub key_domain: usize,
+    /// Rows per key in signal tables. 1 = dimension table (the Figure 4
+    /// regime); larger values produce "measurement" tables whose per-key
+    /// group mass keeps DP noise survivable (the Figure 5 regime — NYC
+    /// datasets have thousands of rows per borough/zone). Uniform per key,
+    /// so the join fan-out is a harmless constant re-weighting.
+    pub signal_rows_per_key: usize,
+    /// Std of the irreducible target noise ε.
+    pub noise: f64,
+    /// Coefficient of the quadratic term (AutoML headroom); 0 disables.
+    pub nonlinear_strength: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            num_datasets: 100,
+            num_signal: 6,
+            num_union: 4,
+            num_novelty_traps: 8,
+            train_rows: 400,
+            test_rows: 400,
+            provider_rows: 300,
+            key_domain: 150,
+            signal_rows_per_key: 1,
+            noise: 0.25,
+            nonlinear_strength: 0.35,
+            seed: 42,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The paper's headline setting: 517 datasets (Figure 4).
+    pub fn paper_scale(seed: u64) -> Self {
+        CorpusConfig {
+            num_datasets: 517,
+            num_signal: 8,
+            num_union: 6,
+            num_novelty_traps: 20,
+            train_rows: 2000,
+            test_rows: 1000,
+            provider_rows: 600,
+            key_domain: 200,
+            signal_rows_per_key: 1,
+            noise: 0.2,
+            nonlinear_strength: 0.5,
+            seed,
+        }
+    }
+
+    /// The Figure 5 regime: fewer, heavier keys so DP noise is survivable,
+    /// and measurement-style signal tables (many rows per key).
+    pub fn privacy_scale(num_datasets: usize, seed: u64) -> Self {
+        CorpusConfig {
+            num_datasets,
+            num_signal: 4.min(num_datasets / 3).max(1),
+            num_union: 2.min(num_datasets / 5),
+            num_novelty_traps: 2.min(num_datasets / 5),
+            train_rows: 2000,
+            test_rows: 1000,
+            provider_rows: 800,
+            key_domain: 20,
+            signal_rows_per_key: 40,
+            noise: 0.35,
+            nonlinear_strength: 0.0,
+            seed,
+        }
+    }
+}
+
+/// What the generator planted — used by harnesses to score search quality,
+/// never shown to the search itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Names of join-signal datasets, strongest first.
+    pub signal_datasets: Vec<String>,
+    /// Names of union-helpful datasets.
+    pub union_datasets: Vec<String>,
+    /// Names of the novelty traps.
+    pub trap_datasets: Vec<String>,
+    /// Signal coefficients β_k aligned with `signal_datasets`.
+    pub betas: Vec<f64>,
+}
+
+/// A generated corpus: the requester's task plus the provider relations.
+#[derive(Debug, Clone)]
+pub struct NycCorpus {
+    /// Requester training relation `[zone, week, base_x, y]`.
+    pub train: Relation,
+    /// Requester test relation (same schema).
+    pub test: Relation,
+    /// Provider relations, shuffled (signal positions are random).
+    pub providers: Vec<Relation>,
+    /// The planted truth.
+    pub ground_truth: GroundTruth,
+    /// The config used.
+    pub config: CorpusConfig,
+}
+
+impl NycCorpus {
+    /// Feature columns of the requester relations.
+    pub fn feature_columns() -> Vec<&'static str> {
+        vec!["base_x", "y"]
+    }
+
+    /// The task's target column.
+    pub fn target_column() -> &'static str {
+        "y"
+    }
+}
+
+fn uniform_pm1(rng: &mut StdRng) -> f64 {
+    rng.gen_range(-1.0..1.0)
+}
+
+/// Build one requester relation of `n` rows.
+#[allow(clippy::too_many_arguments)]
+fn requester_relation(
+    name: &str,
+    n: usize,
+    latents: &[Vec<f64>],
+    betas: &[f64],
+    cfg: &CorpusConfig,
+    beta_base: f64,
+    rng: &mut StdRng,
+) -> Relation {
+    let mut zone = Vec::with_capacity(n);
+    let mut week = Vec::with_capacity(n);
+    let mut base_x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let z = rng.gen_range(0..cfg.key_domain);
+        let w = rng.gen_range(0..52i64);
+        let bx = uniform_pm1(rng);
+        let mut target = beta_base * bx;
+        for (k, lat) in latents.iter().enumerate() {
+            target += betas[k] * lat[z];
+        }
+        if cfg.nonlinear_strength > 0.0 {
+            target += cfg.nonlinear_strength * (latents[0][z] * latents[0][z] - 0.5);
+        }
+        target += cfg.noise * {
+            // Box–Muller normal from the corpus rng.
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        zone.push(z as i64);
+        week.push(w);
+        base_x.push(bx);
+        y.push(target.clamp(-1.0, 1.0));
+    }
+    RelationBuilder::new(name)
+        .int_col("zone", &zone)
+        .int_col("week", &week)
+        .float_col("base_x", &base_x)
+        .float_col("y", &y)
+        .build()
+        .expect("valid requester relation")
+}
+
+/// Generate the corpus.
+pub fn generate_corpus(cfg: &CorpusConfig) -> NycCorpus {
+    assert!(
+        cfg.num_signal + cfg.num_union + cfg.num_novelty_traps <= cfg.num_datasets,
+        "special datasets exceed corpus size"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Latent factors per signal table, over the zone domain.
+    let latents: Vec<Vec<f64>> = (0..cfg.num_signal)
+        .map(|_| (0..cfg.key_domain).map(|_| uniform_pm1(&mut rng)).collect())
+        .collect();
+    // Decaying signal coefficients: strongest-first greedy order is planted.
+    let betas: Vec<f64> =
+        (0..cfg.num_signal).map(|k| 0.55 * 0.82f64.powi(k as i32)).collect();
+    let beta_base = 0.15;
+
+    let train =
+        requester_relation("train", cfg.train_rows, &latents, &betas, cfg, beta_base, &mut rng);
+    let test =
+        requester_relation("test", cfg.test_rows, &latents, &betas, cfg, beta_base, &mut rng);
+
+    // Assign provider roles to shuffled slots.
+    let mut roles: Vec<usize> = (0..cfg.num_datasets).collect();
+    use rand::seq::SliceRandom;
+    roles.shuffle(&mut rng);
+    let signal_slots = &roles[..cfg.num_signal];
+    let union_slots = &roles[cfg.num_signal..cfg.num_signal + cfg.num_union];
+    let trap_slots =
+        &roles[cfg.num_signal + cfg.num_union..cfg.num_signal + cfg.num_union + cfg.num_novelty_traps];
+
+    let mut providers: Vec<Option<Relation>> = (0..cfg.num_datasets).map(|_| None).collect();
+    let mut gt = GroundTruth {
+        signal_datasets: Vec::new(),
+        union_datasets: Vec::new(),
+        trap_datasets: Vec::new(),
+        betas: betas.clone(),
+    };
+
+    // Signal tables: zone → z_k(zone) + small measurement noise; partial
+    // key coverage (85–100%) for realism. With `signal_rows_per_key > 1`
+    // each covered key carries that many noisy measurements (uniform per
+    // key, so join fan-out is a constant re-weighting).
+    for (k, &slot) in signal_slots.iter().enumerate() {
+        let name = format!("dataset_{slot:04}");
+        gt.signal_datasets.push(name.clone());
+        let coverage = rng.gen_range(0.85..1.0);
+        let per_key = cfg.signal_rows_per_key.max(1);
+        let mut zones = Vec::new();
+        let mut feat = Vec::new();
+        for z in 0..cfg.key_domain {
+            if rng.gen::<f64>() <= coverage {
+                for _ in 0..per_key {
+                    zones.push(z as i64);
+                    feat.push(
+                        (latents[k][z] + 0.05 * uniform_pm1(&mut rng)).clamp(-1.0, 1.0),
+                    );
+                }
+            }
+        }
+        providers[slot] = Some(
+            RelationBuilder::new(&name)
+                .int_col("zone", &zones)
+                .float_col(&format!("feat_{k}"), &feat)
+                .build()
+                .expect("valid signal relation"),
+        );
+    }
+
+    // Union tables: same schema and distribution as train.
+    for &slot in union_slots {
+        let name = format!("dataset_{slot:04}");
+        gt.union_datasets.push(name.clone());
+        let r = requester_relation(
+            &name,
+            cfg.provider_rows,
+            &latents,
+            &betas,
+            cfg,
+            beta_base,
+            &mut rng,
+        );
+        providers[slot] = Some(r);
+    }
+
+    // Novelty traps: zone-keyed (N:1, so they survive join guards), with
+    // feature values in an exotic range far outside anything the training
+    // data has seen — maximally "novel", zero signal.
+    for &slot in trap_slots {
+        let name = format!("dataset_{slot:04}");
+        gt.trap_datasets.push(name.clone());
+        let mut zones = Vec::new();
+        let mut feat = Vec::new();
+        for z in 0..cfg.key_domain {
+            zones.push(z as i64);
+            feat.push(rng.gen_range(5.0..10.0));
+        }
+        providers[slot] = Some(
+            RelationBuilder::new(&name)
+                .int_col("zone", &zones)
+                .float_col("trapfeat", &feat)
+                .build()
+                .expect("valid trap relation"),
+        );
+    }
+
+    // Everything else: distractors. Half join-compatible (one row per zone,
+    // random features — discovery loves them, utility rejects them), half
+    // foreign (disjoint key domain, never joinable).
+    for slot in 0..cfg.num_datasets {
+        if providers[slot].is_some() {
+            continue;
+        }
+        let name = format!("dataset_{slot:04}");
+        let joinable = rng.gen::<bool>();
+        let mut keys = Vec::new();
+        let mut f1 = Vec::new();
+        let mut f2 = Vec::new();
+        if joinable {
+            for z in 0..cfg.key_domain {
+                keys.push(z as i64);
+                f1.push(uniform_pm1(&mut rng));
+                f2.push(uniform_pm1(&mut rng));
+            }
+        } else {
+            for _ in 0..cfg.provider_rows {
+                keys.push(rng.gen_range(10_000..20_000) as i64);
+                f1.push(uniform_pm1(&mut rng));
+                f2.push(uniform_pm1(&mut rng));
+            }
+        }
+        providers[slot] = Some(
+            RelationBuilder::new(&name)
+                .int_col("zone", &keys)
+                .float_col("m1", &f1)
+                .float_col("m2", &f2)
+                .build()
+                .expect("valid distractor relation"),
+        );
+    }
+
+    NycCorpus {
+        train,
+        test,
+        providers: providers.into_iter().map(|p| p.expect("all slots filled")).collect(),
+        ground_truth: gt,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_ml::{LinearModel, Regressor, RidgeConfig};
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            num_datasets: 20,
+            num_signal: 3,
+            num_union: 2,
+            num_novelty_traps: 2,
+            train_rows: 300,
+            test_rows: 300,
+            provider_rows: 150,
+            key_domain: 80,
+            signal_rows_per_key: 1,
+            noise: 0.1,
+            nonlinear_strength: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = generate_corpus(&small());
+        assert_eq!(c.providers.len(), 20);
+        assert_eq!(c.train.num_rows(), 300);
+        assert_eq!(c.ground_truth.signal_datasets.len(), 3);
+        // Names unique.
+        let mut names: Vec<&str> = c.providers.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate_corpus(&small());
+        let b = generate_corpus(&small());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.providers[5], b.providers[5]);
+        let mut cfg = small();
+        cfg.seed = 8;
+        let c = generate_corpus(&cfg);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn values_bounded_for_dp() {
+        let c = generate_corpus(&small());
+        for col in ["base_x", "y"] {
+            let (lo, hi) = c.train.column(col).unwrap().min_max().unwrap();
+            assert!(lo >= -1.0 && hi <= 1.0, "{col}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn signal_join_improves_linear_model() {
+        // The planted contract: joining the strongest signal table must
+        // raise test R² substantially over the base features alone.
+        let c = generate_corpus(&small());
+        let base_train = c.train.to_xy(&["base_x"], "y").unwrap();
+        let base_test = c.test.to_xy(&["base_x"], "y").unwrap();
+        let mut m = LinearModel::new(RidgeConfig::default());
+        let r2_base = m.fit_evaluate(&base_train, &base_test).unwrap();
+
+        let sig_name = &c.ground_truth.signal_datasets[0];
+        let sig = c.providers.iter().find(|p| p.name() == sig_name).unwrap();
+        let feat_col = sig.schema().names()[1].to_string();
+        let jtrain = c.train.hash_join(sig, &["zone"], &["zone"]).unwrap();
+        let jtest = c.test.hash_join(sig, &["zone"], &["zone"]).unwrap();
+        let aug_train = jtrain.to_xy(&["base_x", &feat_col], "y").unwrap();
+        let aug_test = jtest.to_xy(&["base_x", &feat_col], "y").unwrap();
+        let mut m2 = LinearModel::new(RidgeConfig::default());
+        let r2_aug = m2.fit_evaluate(&aug_train, &aug_test).unwrap();
+        assert!(
+            r2_aug > r2_base + 0.1,
+            "join should help: base {r2_base:.3}, augmented {r2_aug:.3}"
+        );
+    }
+
+    #[test]
+    fn distractor_join_does_not_help() {
+        let c = generate_corpus(&small());
+        let special: std::collections::HashSet<&str> = c
+            .ground_truth
+            .signal_datasets
+            .iter()
+            .chain(&c.ground_truth.union_datasets)
+            .chain(&c.ground_truth.trap_datasets)
+            .map(|s| s.as_str())
+            .collect();
+        let distractor = c
+            .providers
+            .iter()
+            .find(|p| !special.contains(p.name()) && p.schema().contains("m1"))
+            .expect("some joinable distractor exists");
+        let jtrain = c.train.hash_join(distractor, &["zone"], &["zone"]).unwrap();
+        let jtest = c.test.hash_join(distractor, &["zone"], &["zone"]).unwrap();
+        if jtrain.num_rows() == 0 || jtest.num_rows() == 0 {
+            return; // foreign-key distractor: join empty, trivially unhelpful
+        }
+        let base_train = c.train.to_xy(&["base_x"], "y").unwrap();
+        let base_test = c.test.to_xy(&["base_x"], "y").unwrap();
+        let mut m = LinearModel::new(RidgeConfig::default());
+        let r2_base = m.fit_evaluate(&base_train, &base_test).unwrap();
+        let aug_train = jtrain.to_xy(&["base_x", "m1", "m2"], "y").unwrap();
+        let aug_test = jtest.to_xy(&["base_x", "m1", "m2"], "y").unwrap();
+        let mut m2 = LinearModel::new(RidgeConfig::default());
+        let r2_aug = m2.fit_evaluate(&aug_train, &aug_test).unwrap();
+        assert!(r2_aug < r2_base + 0.05, "distractor must not help: {r2_base} → {r2_aug}");
+    }
+
+    #[test]
+    fn union_table_is_schema_compatible() {
+        let c = generate_corpus(&small());
+        let un = &c.ground_truth.union_datasets[0];
+        let u = c.providers.iter().find(|p| p.name() == un).unwrap();
+        assert!(c.train.union(u).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "special datasets exceed corpus size")]
+    fn rejects_overfull_config() {
+        let mut cfg = small();
+        cfg.num_datasets = 4;
+        generate_corpus(&cfg);
+    }
+}

@@ -1,0 +1,429 @@
+//! The discovery index: `Discover(R, augType)` from Problem 1.
+//!
+//! Join candidates come from MinHash-LSH over keyable columns; union
+//! candidates from schema compatibility plus TF-IDF cosine over columns.
+
+use crate::profile::{ColumnProfile, DatasetProfile};
+use mileena_relation::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for discovery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// MinHash signature length.
+    pub minhash_k: usize,
+    /// LSH bands (more bands = more recall, more candidate noise).
+    pub lsh_bands: usize,
+    /// Jaccard threshold for join candidates.
+    pub join_threshold: f64,
+    /// Mean-cosine threshold for union candidates.
+    pub union_threshold: f64,
+    /// A join key column must have at least this many distinct values.
+    pub min_key_distinct: usize,
+    /// Below this many indexed key columns, candidate pairing scans all
+    /// columns exactly instead of using LSH buckets. LSH trades recall for
+    /// scale; small corpora get the exact answer (hybrid, as deployed
+    /// discovery systems do).
+    pub brute_force_limit: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            minhash_k: 128,
+            lsh_bands: 16,
+            join_threshold: 0.3,
+            union_threshold: 0.5,
+            min_key_distinct: 2,
+            brute_force_limit: 10_000,
+        }
+    }
+}
+
+/// A discovered join opportunity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinCandidate {
+    /// Provider dataset name.
+    pub dataset: String,
+    /// Column in the *query* (requester) dataset to join on.
+    pub query_column: String,
+    /// Column in the provider dataset to join on.
+    pub candidate_column: String,
+    /// Estimated Jaccard similarity of the two key sets.
+    pub jaccard: f64,
+}
+
+/// A discovered union opportunity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnionCandidate {
+    /// Provider dataset name.
+    pub dataset: String,
+    /// Mean TF-IDF cosine over matched columns.
+    pub score: f64,
+}
+
+/// Key for the LSH bucket table: (band index, band hash).
+type LshKey = (u32, u64);
+/// Bucket entry: (dataset index, column index).
+type ColRef = (u32, u32);
+
+/// The Aurum-style discovery index.
+#[derive(Debug, Default)]
+pub struct DiscoveryIndex {
+    config: DiscoveryConfig,
+    datasets: Vec<DatasetProfile>,
+    by_name: FxHashMap<String, usize>,
+    /// LSH buckets over keyable columns.
+    lsh: FxHashMap<LshKey, Vec<ColRef>>,
+    /// All key-like columns (for the small-corpus exact path).
+    key_columns: Vec<ColRef>,
+    /// Document frequency per term (documents = columns), for IDF.
+    doc_freq: FxHashMap<String, f64>,
+    /// Total indexed columns (documents).
+    num_docs: f64,
+}
+
+impl DiscoveryIndex {
+    /// New index with the given config.
+    pub fn new(config: DiscoveryConfig) -> Self {
+        DiscoveryIndex {
+            config,
+            datasets: Vec::new(),
+            by_name: FxHashMap::default(),
+            lsh: FxHashMap::default(),
+            key_columns: Vec::new(),
+            doc_freq: FxHashMap::default(),
+            num_docs: 0.0,
+        }
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &DiscoveryConfig {
+        &self.config
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// True iff no datasets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Register a dataset profile. Re-registering a name replaces nothing —
+    /// duplicate names are ignored (first registration wins) to keep LSH
+    /// bookkeeping simple; use distinct dataset names.
+    pub fn register(&mut self, profile: DatasetProfile) {
+        if self.by_name.contains_key(&profile.name) {
+            return;
+        }
+        let di = self.datasets.len() as u32;
+        self.by_name.insert(profile.name.clone(), self.datasets.len());
+        for (ci, col) in profile.columns.iter().enumerate() {
+            // IDF corpus over all columns.
+            self.num_docs += 1.0;
+            let mut seen: FxHashSet<&str> = FxHashSet::default();
+            for term in col.terms.counts.keys() {
+                if seen.insert(term) {
+                    *self.doc_freq.entry(term.clone()).or_insert(0.0) += 1.0;
+                }
+            }
+            // LSH only for plausible key columns.
+            if self.is_key_like(col) {
+                self.key_columns.push((di, ci as u32));
+                for (b, h) in col.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate()
+                {
+                    self.lsh.entry((b as u32, h)).or_default().push((di, ci as u32));
+                }
+            }
+        }
+        self.datasets.push(profile);
+    }
+
+    fn is_key_like(&self, col: &ColumnProfile) -> bool {
+        col.data_type.is_keyable()
+            && col.distinct >= self.config.min_key_distinct
+            && !col.minhash.is_empty()
+    }
+
+    /// Current IDF table (`ln(1 + N/df)`), computed on demand.
+    fn idf(&self) -> FxHashMap<String, f64> {
+        self.doc_freq
+            .iter()
+            .map(|(t, &df)| (t.clone(), (1.0 + self.num_docs / df.max(1.0)).ln()))
+            .collect()
+    }
+
+    /// `Discover(R, ⋈)`: join candidates for a query dataset, best column
+    /// pair per provider dataset, sorted by descending Jaccard.
+    pub fn find_join_candidates(&self, query: &DatasetProfile) -> Vec<JoinCandidate> {
+        let mut best: FxHashMap<u32, JoinCandidate> = FxHashMap::default();
+        for qcol in query.keyable_columns() {
+            if !self.is_key_like(qcol) {
+                continue;
+            }
+            // Candidate pairs: exact scan for small corpora, LSH at scale.
+            let mut seen: FxHashSet<ColRef> = FxHashSet::default();
+            if self.key_columns.len() <= self.config.brute_force_limit {
+                seen.extend(self.key_columns.iter().copied());
+            } else {
+                for (b, h) in
+                    qcol.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate()
+                {
+                    if let Some(bucket) = self.lsh.get(&(b as u32, h)) {
+                        for &cref in bucket {
+                            seen.insert(cref);
+                        }
+                    }
+                }
+            }
+            for (di, ci) in seen {
+                let ds = &self.datasets[di as usize];
+                if ds.name == query.name {
+                    continue; // don't join a dataset with itself
+                }
+                let cand_col = &ds.columns[ci as usize];
+                if cand_col.data_type != qcol.data_type {
+                    continue; // int keys join int keys, str join str
+                }
+                let j = qcol.minhash.jaccard(&cand_col.minhash);
+                if j < self.config.join_threshold {
+                    continue;
+                }
+                let entry = JoinCandidate {
+                    dataset: ds.name.clone(),
+                    query_column: qcol.name.clone(),
+                    candidate_column: cand_col.name.clone(),
+                    jaccard: j,
+                };
+                match best.get(&di) {
+                    Some(existing) if existing.jaccard >= j => {}
+                    _ => {
+                        best.insert(di, entry);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<JoinCandidate> = best.into_values().collect();
+        out.sort_by(|a, b| {
+            b.jaccard
+                .partial_cmp(&a.jaccard)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.dataset.cmp(&b.dataset))
+        });
+        out
+    }
+
+    /// `Discover(R, ∪)`: union candidates — datasets whose schema matches the
+    /// query's (same column names and types) with mean column cosine ≥ τ.
+    pub fn find_union_candidates(&self, query: &DatasetProfile) -> Vec<UnionCandidate> {
+        let idf = self.idf();
+        let default_idf = (1.0 + self.num_docs).ln();
+        let mut out = Vec::new();
+        'ds: for ds in &self.datasets {
+            if ds.name == query.name || ds.columns.len() != query.columns.len() {
+                continue;
+            }
+            let mut cos_sum = 0.0;
+            for qcol in &query.columns {
+                let Some(ccol) = ds.column(&qcol.name) else { continue 'ds };
+                if ccol.data_type != qcol.data_type {
+                    continue 'ds;
+                }
+                cos_sum += qcol.terms.cosine(&ccol.terms, &idf, default_idf);
+            }
+            let score = cos_sum / query.columns.len() as f64;
+            if score >= self.config.union_threshold {
+                out.push(UnionCandidate { dataset: ds.name.clone(), score });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.dataset.cmp(&b.dataset))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::{Relation, RelationBuilder};
+
+    fn profile(r: &Relation) -> DatasetProfile {
+        DatasetProfile::of(r, 128)
+    }
+
+    fn index_with(relations: &[&Relation]) -> DiscoveryIndex {
+        let mut idx = DiscoveryIndex::new(DiscoveryConfig::default());
+        for r in relations {
+            idx.register(profile(r));
+        }
+        idx
+    }
+
+    fn train() -> Relation {
+        RelationBuilder::new("train")
+            .int_col("zone", &(0..50).collect::<Vec<_>>())
+            .float_col("y", &(0..50).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_join_candidate_on_shared_keys() {
+        let prov = RelationBuilder::new("weather")
+            .int_col("zone_id", &(0..50).collect::<Vec<_>>())
+            .float_col("temp", &(0..50).map(|i| i as f64 * 0.5).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let idx = index_with(&[&prov]);
+        let cands = idx.find_join_candidates(&profile(&train()));
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].dataset, "weather");
+        assert_eq!(cands[0].query_column, "zone");
+        assert_eq!(cands[0].candidate_column, "zone_id");
+        assert!(cands[0].jaccard > 0.9);
+    }
+
+    #[test]
+    fn no_join_candidate_for_disjoint_keys() {
+        let prov = RelationBuilder::new("other")
+            .int_col("id", &(1000..1050).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let idx = index_with(&[&prov]);
+        let cands = idx.find_join_candidates(&profile(&train()));
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn self_join_excluded() {
+        let t = train();
+        let idx = index_with(&[&t]);
+        assert!(idx.find_join_candidates(&profile(&t)).is_empty());
+    }
+
+    #[test]
+    fn best_column_pair_reported_per_dataset() {
+        // Provider has two int columns; one overlaps much more.
+        let prov = RelationBuilder::new("p")
+            .int_col("good", &(0..50).collect::<Vec<_>>())
+            .int_col("bad", &(40..90).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let idx = index_with(&[&prov]);
+        let cands = idx.find_join_candidates(&profile(&train()));
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].candidate_column, "good");
+    }
+
+    #[test]
+    fn finds_union_candidates_with_same_schema() {
+        let t = RelationBuilder::new("train")
+            .str_col("boro", &["brooklyn", "queens", "bronx"])
+            .float_col("y", &[1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let same = RelationBuilder::new("more_rows")
+            .str_col("boro", &["brooklyn", "manhattan", "queens"])
+            .float_col("y", &[4.0, 5.0, 6.0])
+            .build()
+            .unwrap();
+        let unrelated = RelationBuilder::new("unrelated")
+            .str_col("boro", &["tokyo", "osaka", "kyoto"])
+            .float_col("y", &[1e6, 2e6, 3e6])
+            .build()
+            .unwrap();
+        let wrong_schema = RelationBuilder::new("wrong")
+            .str_col("city", &["brooklyn"])
+            .float_col("y", &[1.0])
+            .build()
+            .unwrap();
+        let idx = index_with(&[&same, &unrelated, &wrong_schema]);
+        let cands = idx.find_union_candidates(&profile(&t));
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].dataset, "more_rows");
+        assert!(cands[0].score > 0.5);
+    }
+
+    #[test]
+    fn lsh_path_finds_high_similarity_pairs() {
+        // Force the LSH path (no brute force) and check that near-identical
+        // key columns still collide in some band.
+        let cfg = DiscoveryConfig { brute_force_limit: 0, ..Default::default() };
+        let mut idx = DiscoveryIndex::new(cfg);
+        let prov = RelationBuilder::new("prov")
+            .int_col("zone", &(0..200).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 200])
+            .build()
+            .unwrap();
+        idx.register(profile(&prov));
+        let q = RelationBuilder::new("q")
+            .int_col("zone", &(0..200).collect::<Vec<_>>())
+            .float_col("y", &[0.0; 200])
+            .build()
+            .unwrap();
+        let cands = idx.find_join_candidates(&profile(&q));
+        assert_eq!(cands.len(), 1, "identical key sets must LSH-collide");
+        assert!(cands[0].jaccard > 0.95);
+    }
+
+    #[test]
+    fn lsh_path_prunes_low_similarity_pairs() {
+        // Under pure LSH, a weakly-similar pair (J ≈ 0.1) should almost
+        // never surface — that's the scalability trade documented on
+        // `brute_force_limit`.
+        let cfg = DiscoveryConfig { brute_force_limit: 0, ..Default::default() };
+        let mut idx = DiscoveryIndex::new(cfg);
+        let prov = RelationBuilder::new("prov")
+            .int_col("zone", &(180..380).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 200])
+            .build()
+            .unwrap();
+        idx.register(profile(&prov));
+        let q = RelationBuilder::new("q")
+            .int_col("zone", &(0..200).collect::<Vec<_>>())
+            .float_col("y", &[0.0; 200])
+            .build()
+            .unwrap();
+        let cands = idx.find_join_candidates(&profile(&q));
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn duplicate_registration_ignored() {
+        let t = train();
+        let mut idx = DiscoveryIndex::new(DiscoveryConfig::default());
+        idx.register(profile(&t));
+        idx.register(profile(&t));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn candidates_sorted_by_similarity() {
+        let strong = RelationBuilder::new("strong")
+            .int_col("zone", &(0..50).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        // J = 35/65 ≈ 0.54: comfortably above threshold (0.3) even under
+        // MinHash estimation noise, and clearly below strong's ≈ 1.0.
+        let weak = RelationBuilder::new("weak")
+            .int_col("zone", &(15..65).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let idx = index_with(&[&weak, &strong]);
+        let cands = idx.find_join_candidates(&profile(&train()));
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].dataset, "strong");
+        assert!(cands[0].jaccard > cands[1].jaccard);
+    }
+}

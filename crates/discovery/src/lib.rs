@@ -1,0 +1,28 @@
+//! Data discovery for Mileena — the Aurum [16] role in the architecture.
+//!
+//! The paper: *"We currently use min-hash and TF-IDF sketches based on Aurum
+//! to search for augmentation datasets based on column similarity"* and the
+//! central search *"retrieves augmentable data based on the column Jaccard
+//! similarity (minhash sketches) and cosine similarity (TF-IDF sketches)"*.
+//!
+//! This crate implements exactly that, from scratch:
+//! - [`MinHashSignature`] — k-hash MinHash over a column's distinct values;
+//!   Jaccard ≥ τ between key-like columns ⇒ **join candidate**;
+//! - [`TermVector`] — TF vectors over column tokens, scored with corpus IDF
+//!   maintained by the index; cosine ≥ τ across a whole schema ⇒ **union
+//!   candidate**;
+//! - [`DiscoveryIndex`] — the registry with LSH banding so join-candidate
+//!   lookup does not scan every column pair.
+//!
+//! Discovery sees only column *sketches*, never raw rows — consistent with
+//! the trust model (raw data stays in the provider's local store).
+
+pub mod index;
+pub mod minhash;
+pub mod profile;
+pub mod tfidf;
+
+pub use index::{DiscoveryConfig, DiscoveryIndex, JoinCandidate, UnionCandidate};
+pub use minhash::MinHashSignature;
+pub use profile::{ColumnProfile, DatasetProfile};
+pub use tfidf::TermVector;

@@ -1,0 +1,165 @@
+//! MinHash signatures for Jaccard similarity between column value sets.
+
+use mileena_relation::hash::fx_hash64;
+use mileena_relation::Column;
+use serde::{Deserialize, Serialize};
+
+/// A MinHash signature: for each of `k` hash functions, the minimum hash
+/// over the column's distinct values. `E[matches/k] = Jaccard(A, B)`.
+///
+/// The `k` hash functions are derived from one base hash via the standard
+/// multiply-xor reseeding `h_i(x) = mix(h(x) ^ seed_i)`, which is cheap and
+/// adequate for similarity estimation (not adversarial settings).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature {
+    mins: Vec<u64>,
+}
+
+/// 64-bit finalizer (splitmix64) used to derive independent hash functions.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl MinHashSignature {
+    /// Signature length.
+    pub fn k(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Build from an iterator of element hashes.
+    pub fn from_hashes(hashes: impl Iterator<Item = u64>, k: usize) -> Self {
+        let mut mins = vec![u64::MAX; k];
+        for h in hashes {
+            for (i, m) in mins.iter_mut().enumerate() {
+                let hi = mix(h ^ (i as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+                if hi < *m {
+                    *m = hi;
+                }
+            }
+        }
+        MinHashSignature { mins }
+    }
+
+    /// Build from the distinct non-NULL values of a column.
+    pub fn from_column(column: &Column, k: usize) -> Self {
+        let validity = column.validity();
+        let hashes = (0..column.len()).filter(|&i| validity.get(i)).map(|i| match column {
+            Column::Int { data, .. } => fx_hash64(&data[i]),
+            Column::Str { data, .. } => fx_hash64(&data[i]),
+            Column::Float { data, .. } => fx_hash64(&data[i].to_bits()),
+        });
+        Self::from_hashes(hashes, k)
+    }
+
+    /// Estimated Jaccard similarity with another signature (same `k`).
+    pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
+        assert_eq!(self.k(), other.k(), "mismatched signature lengths");
+        if self.k() == 0 {
+            return 0.0;
+        }
+        let matches = self.mins.iter().zip(&other.mins).filter(|(a, b)| a == b).count();
+        matches as f64 / self.k() as f64
+    }
+
+    /// True iff the signature saw no elements (empty column).
+    pub fn is_empty(&self) -> bool {
+        self.mins.iter().all(|&m| m == u64::MAX)
+    }
+
+    /// LSH band hashes: split the signature into `bands` groups and hash
+    /// each; two columns sharing any band bucket are candidate pairs.
+    pub fn band_hashes(&self, bands: usize) -> Vec<u64> {
+        let bands = bands.max(1).min(self.mins.len().max(1));
+        let rows = (self.mins.len() / bands).max(1);
+        (0..bands)
+            .map(|b| {
+                let start = b * rows;
+                let end = ((b + 1) * rows).min(self.mins.len());
+                let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ (b as u64);
+                for &m in &self.mins[start..end] {
+                    acc = mix(acc ^ m);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(values: &[i64]) -> Column {
+        Column::from_ints(values)
+    }
+
+    #[test]
+    fn identical_columns_jaccard_one() {
+        let a = MinHashSignature::from_column(&int_col(&[1, 2, 3, 4, 5]), 128);
+        let b = MinHashSignature::from_column(&int_col(&[5, 4, 3, 2, 1]), 128);
+        assert_eq!(a.jaccard(&b), 1.0); // order/multiplicity irrelevant
+    }
+
+    #[test]
+    fn disjoint_columns_jaccard_near_zero() {
+        let a = MinHashSignature::from_column(&int_col(&(0..100).collect::<Vec<_>>()), 128);
+        let b = MinHashSignature::from_column(&int_col(&(1000..1100).collect::<Vec<_>>()), 128);
+        assert!(a.jaccard(&b) < 0.05, "{}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn estimates_half_overlap() {
+        // |A∩B| = 100, |A∪B| = 300 → J = 1/3.
+        let a: Vec<i64> = (0..200).collect();
+        let b: Vec<i64> = (100..300).collect();
+        let sa = MinHashSignature::from_column(&int_col(&a), 256);
+        let sb = MinHashSignature::from_column(&int_col(&b), 256);
+        let j = sa.jaccard(&sb);
+        assert!((j - 1.0 / 3.0).abs() < 0.12, "estimate {j} too far from 1/3");
+    }
+
+    #[test]
+    fn nulls_ignored_and_duplicates_collapse() {
+        let with_nulls = Column::from_opt_ints(&[Some(1), None, Some(2), Some(1)]);
+        let plain = int_col(&[1, 2]);
+        let a = MinHashSignature::from_column(&with_nulls, 64);
+        let b = MinHashSignature::from_column(&plain, 64);
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn empty_column_detected() {
+        let sig = MinHashSignature::from_column(&Column::from_opt_ints(&[None, None]), 32);
+        assert!(sig.is_empty());
+    }
+
+    #[test]
+    fn band_hashes_match_for_identical_sigs() {
+        let a = MinHashSignature::from_column(&int_col(&[1, 2, 3]), 64);
+        let b = MinHashSignature::from_column(&int_col(&[3, 2, 1]), 64);
+        assert_eq!(a.band_hashes(8), b.band_hashes(8));
+        assert_eq!(a.band_hashes(8).len(), 8);
+    }
+
+    #[test]
+    fn string_and_int_columns_hash_independently() {
+        let s = Column::from_strs(&["1", "2"]);
+        let i = int_col(&[1, 2]);
+        let ss = MinHashSignature::from_column(&s, 64);
+        let si = MinHashSignature::from_column(&i, 64);
+        // "1" and 1i64 are different elements; similarity should be low.
+        assert!(ss.jaccard(&si) < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_k_panics() {
+        let a = MinHashSignature::from_column(&int_col(&[1]), 16);
+        let b = MinHashSignature::from_column(&int_col(&[1]), 32);
+        a.jaccard(&b);
+    }
+}

@@ -1,0 +1,107 @@
+//! Column/dataset profiles: the sketch bundle discovery operates on.
+
+use crate::minhash::MinHashSignature;
+use crate::tfidf::TermVector;
+use mileena_relation::{DataType, Relation};
+use serde::{Deserialize, Serialize};
+
+/// Discovery sketch of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Distinct non-NULL values.
+    pub distinct: usize,
+    /// Non-NULL row count.
+    pub non_null: usize,
+    /// MinHash over distinct values (join-key similarity).
+    pub minhash: MinHashSignature,
+    /// TF vector over tokens (unionability similarity).
+    pub terms: TermVector,
+}
+
+/// Discovery sketches for a whole dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Per-column profiles, in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl DatasetProfile {
+    /// Build the profile of a relation (`k` = MinHash signature length).
+    pub fn of(relation: &Relation, k: usize) -> Self {
+        let columns = relation
+            .schema()
+            .fields()
+            .iter()
+            .zip(relation.columns())
+            .map(|(f, col)| ColumnProfile {
+                name: f.name.clone(),
+                data_type: f.data_type,
+                distinct: col.distinct_count(),
+                non_null: col.len() - col.null_count(),
+                minhash: MinHashSignature::from_column(col, k),
+                terms: TermVector::from_column(col),
+            })
+            .collect();
+        DatasetProfile {
+            name: relation.name().to_string(),
+            rows: relation.num_rows(),
+            columns,
+        }
+    }
+
+    /// Profile of a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Columns that could serve as join keys (keyable type, mostly distinct
+    /// enough to carry information, mostly non-NULL).
+    pub fn keyable_columns(&self) -> impl Iterator<Item = &ColumnProfile> {
+        self.columns.iter().filter(|c| c.data_type.is_keyable() && c.non_null > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    #[test]
+    fn profiles_every_column() {
+        let r = RelationBuilder::new("d")
+            .int_col("k", &[1, 1, 2])
+            .float_col("x", &[0.5, 1.5, 2.5])
+            .opt_str_col("s", &[Some("a".into()), None, Some("b".into())])
+            .build()
+            .unwrap();
+        let p = DatasetProfile::of(&r, 32);
+        assert_eq!(p.rows, 3);
+        assert_eq!(p.columns.len(), 3);
+        let k = p.column("k").unwrap();
+        assert_eq!(k.distinct, 2);
+        assert_eq!(k.non_null, 3);
+        let s = p.column("s").unwrap();
+        assert_eq!(s.non_null, 2);
+        assert!(p.column("zz").is_none());
+        // keyable: k (int) and s (str); x (float) excluded.
+        let keyables: Vec<&str> = p.keyable_columns().map(|c| c.name.as_str()).collect();
+        assert_eq!(keyables, vec!["k", "s"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = RelationBuilder::new("d").int_col("k", &[1]).build().unwrap();
+        let p = DatasetProfile::of(&r, 16);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DatasetProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

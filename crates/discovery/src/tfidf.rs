@@ -1,0 +1,209 @@
+//! Term-frequency vectors over column contents, scored with corpus IDF.
+//!
+//! Used for the cosine-similarity side of Aurum-style discovery: two columns
+//! whose value distributions are close (cosine of their TF-IDF vectors ≥ τ)
+//! are union-compatible evidence; averaged across a schema they rank union
+//! candidates.
+
+use mileena_relation::{Column, FxHashMap};
+use serde::{Deserialize, Serialize};
+
+/// A sparse term-frequency vector for one column.
+///
+/// Tokens: string values are lower-cased and split on non-alphanumerics;
+/// numeric values are bucketed by order of magnitude and leading digit
+/// (`"num:3:1e2"` for 300-ish) so numeric columns with similar ranges look
+/// similar without leaking exact values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TermVector {
+    /// term → occurrence count.
+    pub counts: FxHashMap<String, f64>,
+    /// Total tokens (for TF normalization).
+    pub total: f64,
+}
+
+/// Tokenize one string cell.
+fn tokenize_str(s: &str, out: &mut Vec<String>) {
+    for tok in s.split(|c: char| !c.is_alphanumeric()) {
+        if !tok.is_empty() {
+            out.push(tok.to_lowercase());
+        }
+    }
+}
+
+/// Bucket a numeric cell into tokens: a coarse magnitude token (shared by
+/// all values of the same order of magnitude — the unionability signal) and
+/// a finer leading-digit token (distribution shape within the magnitude).
+fn tokenize_num(v: f64, out: &mut Vec<String>) {
+    if !v.is_finite() {
+        out.push("num:nan".to_string());
+        return;
+    }
+    if v == 0.0 {
+        out.push("num:0".to_string());
+        return;
+    }
+    let sign = if v < 0.0 { "-" } else { "" };
+    let a = v.abs();
+    let mag = a.log10().floor() as i32;
+    let lead = (a / 10f64.powi(mag)).floor() as i64; // leading digit 1..9
+    out.push(format!("num:{sign}1e{mag}"));
+    out.push(format!("num:{sign}{lead}:1e{mag}"));
+}
+
+impl TermVector {
+    /// Build from a column's non-NULL values.
+    pub fn from_column(column: &Column) -> Self {
+        let mut counts: FxHashMap<String, f64> = FxHashMap::default();
+        let mut total = 0.0;
+        let mut toks = Vec::new();
+        let validity = column.validity();
+        for i in 0..column.len() {
+            if !validity.get(i) {
+                continue;
+            }
+            toks.clear();
+            match column {
+                Column::Str { data, .. } => tokenize_str(&data[i], &mut toks),
+                Column::Int { data, .. } => tokenize_num(data[i] as f64, &mut toks),
+                Column::Float { data, .. } => tokenize_num(data[i], &mut toks),
+            }
+            for t in toks.drain(..) {
+                *counts.entry(t).or_insert(0.0) += 1.0;
+                total += 1.0;
+            }
+        }
+        TermVector { counts, total }
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Cosine similarity of the two TF-IDF-weighted vectors. `idf` maps a
+    /// term to its inverse document frequency; unseen terms weigh
+    /// `default_idf` (the most-informative weight, for never-indexed terms).
+    pub fn cosine(&self, other: &TermVector, idf: &FxHashMap<String, f64>, default_idf: f64) -> f64 {
+        if self.total == 0.0 || other.total == 0.0 {
+            return 0.0;
+        }
+        let weight = |tv: &TermVector, term: &str, count: f64| {
+            let tf = count / tv.total;
+            tf * idf.get(term).copied().unwrap_or(default_idf)
+        };
+        let mut dot = 0.0;
+        for (term, &ca) in &self.counts {
+            if let Some(&cb) = other.counts.get(term) {
+                dot += weight(self, term, ca) * weight(other, term, cb);
+            }
+        }
+        if dot == 0.0 {
+            return 0.0;
+        }
+        let norm = |tv: &TermVector| {
+            tv.counts
+                .iter()
+                .map(|(t, &c)| {
+                    let w = weight(tv, t, c);
+                    w * w
+                })
+                .sum::<f64>()
+                .sqrt()
+        };
+        let na = norm(self);
+        let nb = norm(other);
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_idf() -> FxHashMap<String, f64> {
+        FxHashMap::default() // all terms fall back to default_idf
+    }
+
+    #[test]
+    fn identical_string_columns_cosine_one() {
+        let c = Column::from_strs(&["brooklyn heights", "park slope", "brooklyn"]);
+        let a = TermVector::from_column(&c);
+        let b = TermVector::from_column(&c);
+        let cos = a.cosine(&b, &uniform_idf(), 1.0);
+        assert!((cos - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_vocabularies_cosine_zero() {
+        let a = TermVector::from_column(&Column::from_strs(&["alpha beta"]));
+        let b = TermVector::from_column(&Column::from_strs(&["gamma delta"]));
+        assert_eq!(a.cosine(&b, &uniform_idf(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let a = TermVector::from_column(&Column::from_strs(&["red blue", "red"]));
+        let b = TermVector::from_column(&Column::from_strs(&["red green"]));
+        let cos = a.cosine(&b, &uniform_idf(), 1.0);
+        assert!(cos > 0.2 && cos < 0.95, "{cos}");
+    }
+
+    #[test]
+    fn numeric_bucketing_groups_similar_ranges() {
+        let a = TermVector::from_column(&Column::from_floats(&[110.0, 120.0, 130.0]));
+        let b = TermVector::from_column(&Column::from_floats(&[115.0, 125.0]));
+        let c = TermVector::from_column(&Column::from_floats(&[0.001, 0.002]));
+        let idf = uniform_idf();
+        assert!(a.cosine(&b, &idf, 1.0) > 0.9);
+        assert_eq!(a.cosine(&c, &idf, 1.0), 0.0);
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_terms() {
+        // Both share "the"; only one pair shares "tribeca". With idf making
+        // "the" worthless, similarity should collapse for the "the"-only pair.
+        let a = TermVector::from_column(&Column::from_strs(&["the tribeca"]));
+        let b = TermVector::from_column(&Column::from_strs(&["the tribeca"]));
+        let c = TermVector::from_column(&Column::from_strs(&["the bronx"]));
+        let mut idf = FxHashMap::default();
+        idf.insert("the".to_string(), 0.0);
+        idf.insert("tribeca".to_string(), 3.0);
+        idf.insert("bronx".to_string(), 3.0);
+        assert!(a.cosine(&b, &idf, 1.0) > 0.99);
+        assert_eq!(a.cosine(&c, &idf, 1.0), 0.0);
+    }
+
+    #[test]
+    fn nulls_and_empty() {
+        let e = TermVector::from_column(&Column::from_opt_strs(&[None]));
+        assert_eq!(e.num_terms(), 0);
+        let a = TermVector::from_column(&Column::from_strs(&["x"]));
+        assert_eq!(e.cosine(&a, &uniform_idf(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_and_negative_numbers_tokenize() {
+        fn toks(v: f64) -> Vec<String> {
+            let mut out = Vec::new();
+            tokenize_num(v, &mut out);
+            out
+        }
+        assert_eq!(toks(0.0), vec!["num:0"]);
+        assert_eq!(toks(-250.0), vec!["num:-1e2", "num:-2:1e2"]);
+        assert_eq!(toks(250.0), vec!["num:1e2", "num:2:1e2"]);
+        assert_eq!(toks(f64::NAN), vec!["num:nan"]);
+    }
+
+    #[test]
+    fn same_magnitude_different_digits_partially_similar() {
+        let a = TermVector::from_column(&Column::from_floats(&[1.0, 2.0, 3.0]));
+        let b = TermVector::from_column(&Column::from_floats(&[4.0, 5.0, 6.0]));
+        let cos = a.cosine(&b, &uniform_idf(), 1.0);
+        assert!(cos > 0.4 && cos < 0.95, "{cos}");
+    }
+}

@@ -1,0 +1,279 @@
+//! AutoML surrogate: k-fold cross-validated model selection over the model
+//! zoo under a wall-clock budget.
+//!
+//! Substitutes for Auto-sklearn and Vertex AI in the paper's Figure 4 and
+//! Figure 6b (see DESIGN.md §3): given whatever feature matrix it receives,
+//! it searches model families and hyper-parameters and returns the best
+//! model — it does *not* search for data, which is exactly the gap Mileena's
+//! dataset search fills.
+
+use crate::error::{MlError, Result};
+use crate::gbdt::{Gbdt, GbdtConfig};
+use crate::knn::KnnRegressor;
+use crate::linear::{LinearModel, RidgeConfig};
+use crate::metrics::{kfold_indices, r2_score};
+use crate::mlp::{Mlp, MlpConfig};
+use crate::model::Regressor;
+use mileena_relation::relation::XyMatrix;
+use std::time::{Duration, Instant};
+
+/// Configuration for the AutoML search.
+#[derive(Debug, Clone)]
+pub struct AutoMlConfig {
+    /// Wall-clock budget. Candidates are tried in a fixed order until the
+    /// budget is exhausted (at least one candidate always runs).
+    pub budget: Duration,
+    /// If true the budget is advisory only — the search runs every candidate
+    /// regardless. Models the paper's observation that "ARDA and Vertex AI
+    /// don't enforce the time budgets" (Figure 4).
+    pub enforce_budget: bool,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// RNG seed for fold assignment.
+    pub seed: u64,
+}
+
+impl Default for AutoMlConfig {
+    fn default() -> Self {
+        AutoMlConfig {
+            budget: Duration::from_secs(10),
+            enforce_budget: true,
+            folds: 4,
+            seed: 17,
+        }
+    }
+}
+
+/// One candidate evaluation in the report.
+#[derive(Debug, Clone)]
+pub struct CandidateResult {
+    /// Human-readable candidate description.
+    pub name: String,
+    /// Mean CV R².
+    pub cv_r2: f64,
+    /// Time spent on this candidate.
+    pub elapsed: Duration,
+}
+
+/// Outcome of an AutoML run.
+#[derive(Debug)]
+pub struct AutoMlReport {
+    /// The winning model, refit on the full training set.
+    pub best_model: Box<dyn Regressor>,
+    /// Winning candidate name.
+    pub best_name: String,
+    /// Winning mean CV R².
+    pub best_cv_r2: f64,
+    /// All evaluated candidates, in evaluation order.
+    pub candidates: Vec<CandidateResult>,
+    /// Total wall-clock time.
+    pub total_elapsed: Duration,
+}
+
+impl std::fmt::Debug for Box<dyn Regressor> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Regressor({})", self.name())
+    }
+}
+
+/// The AutoML surrogate runner.
+#[derive(Debug, Clone, Default)]
+pub struct AutoMl {
+    config: AutoMlConfig,
+}
+
+/// Candidate factory: name + constructor (fresh model per fold).
+type Candidate = (String, Box<dyn Fn() -> Box<dyn Regressor>>);
+
+fn zoo(seed: u64) -> Vec<Candidate> {
+    let mut cands: Vec<Candidate> = Vec::new();
+    for lambda in [1e-6, 1e-2, 1.0] {
+        cands.push((
+            format!("ridge(λ={lambda})"),
+            Box::new(move || {
+                Box::new(LinearModel::new(RidgeConfig { lambda, intercept: true }))
+                    as Box<dyn Regressor>
+            }),
+        ));
+    }
+    for (nt, depth) in [(50, 3), (150, 4)] {
+        cands.push((
+            format!("gbdt(trees={nt},depth={depth})"),
+            Box::new(move || {
+                Box::new(Gbdt::new(GbdtConfig {
+                    n_estimators: nt,
+                    max_depth: depth,
+                    ..Default::default()
+                })) as Box<dyn Regressor>
+            }),
+        ));
+    }
+    cands.push((
+        "knn(k=5)".to_string(),
+        Box::new(|| Box::new(KnnRegressor::new(5)) as Box<dyn Regressor>),
+    ));
+    cands.push((
+        "mlp(h=16)".to_string(),
+        Box::new(move || {
+            Box::new(Mlp::new(MlpConfig { seed, epochs: 150, ..Default::default() }))
+                as Box<dyn Regressor>
+        }),
+    ));
+    cands
+}
+
+/// Gather rows of an [`XyMatrix`] by index.
+fn subset(data: &XyMatrix, idx: &[usize]) -> XyMatrix {
+    let m = data.num_features;
+    let mut x = Vec::with_capacity(idx.len() * m);
+    let mut y = Vec::with_capacity(idx.len());
+    for &i in idx {
+        x.extend_from_slice(data.row(i));
+        y.push(data.y[i]);
+    }
+    XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+}
+
+impl AutoMl {
+    /// New runner with the given config.
+    pub fn new(config: AutoMlConfig) -> Self {
+        AutoMl { config }
+    }
+
+    /// Run CV model selection on `data`; returns the refit best model and a
+    /// full report.
+    pub fn run(&self, data: &XyMatrix) -> Result<AutoMlReport> {
+        if data.num_rows() < 4 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let start = Instant::now();
+        let folds = kfold_indices(data.num_rows(), self.config.folds, self.config.seed);
+        let mut results: Vec<CandidateResult> = Vec::new();
+        let mut best: Option<(usize, f64)> = None;
+
+        let candidates = zoo(self.config.seed);
+        for (ci, (name, make)) in candidates.iter().enumerate() {
+            if self.config.enforce_budget && !results.is_empty() && start.elapsed() >= self.config.budget
+            {
+                break;
+            }
+            let t0 = Instant::now();
+            let mut scores = Vec::with_capacity(folds.len());
+            for (train_idx, val_idx) in &folds {
+                let train = subset(data, train_idx);
+                let val = subset(data, val_idx);
+                let mut model = make();
+                if model.fit(&train).is_err() {
+                    continue;
+                }
+                if let Ok(preds) = model.predict(&val) {
+                    if let Ok(r2) = r2_score(&val.y, &preds) {
+                        scores.push(r2);
+                    }
+                }
+            }
+            let cv_r2 = if scores.is_empty() {
+                f64::NEG_INFINITY
+            } else {
+                scores.iter().sum::<f64>() / scores.len() as f64
+            };
+            results.push(CandidateResult {
+                name: name.clone(),
+                cv_r2,
+                elapsed: t0.elapsed(),
+            });
+            if best.map_or(true, |(_, b)| cv_r2 > b) {
+                best = Some((ci, cv_r2));
+            }
+        }
+
+        let (best_ci, best_cv) =
+            best.ok_or_else(|| MlError::InvalidConfig("no candidate succeeded".into()))?;
+        let mut best_model = (candidates[best_ci].1)();
+        best_model.fit(data)?;
+        Ok(AutoMlReport {
+            best_model,
+            best_name: candidates[best_ci].0.clone(),
+            best_cv_r2: best_cv,
+            candidates: results,
+            total_elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy(x: Vec<f64>, y: Vec<f64>, m: usize) -> XyMatrix {
+        XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+    }
+
+    #[test]
+    fn picks_linear_for_linear_data() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 / 6.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x + 2.0).collect();
+        let data = xy(xs, ys, 1);
+        let report = AutoMl::new(AutoMlConfig::default()).run(&data).unwrap();
+        assert!(report.best_cv_r2 > 0.99, "{report:?}");
+        assert!(
+            report.best_name.starts_with("ridge"),
+            "expected ridge to win on exactly-linear data, got {}",
+            report.best_name
+        );
+    }
+
+    #[test]
+    fn picks_nonlinear_model_for_step_data() {
+        let xs: Vec<f64> = (0..80).map(|i| i as f64 / 80.0).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|&x| if x > 0.3 { 5.0 } else { 0.0 }).collect();
+        let data = xy(xs, ys, 1);
+        let report = AutoMl::new(AutoMlConfig::default()).run(&data).unwrap();
+        assert!(
+            !report.best_name.starts_with("ridge"),
+            "step function should favor trees/knn, got {}",
+            report.best_name
+        );
+        assert!(report.best_cv_r2 > 0.8, "{}", report.best_cv_r2);
+    }
+
+    #[test]
+    fn budget_stops_early_but_runs_at_least_one() {
+        let data = xy(
+            (0..40).map(|i| i as f64).collect(),
+            (0..40).map(|i| i as f64).collect(),
+            1,
+        );
+        let cfg = AutoMlConfig {
+            budget: Duration::from_nanos(1),
+            enforce_budget: true,
+            ..Default::default()
+        };
+        let report = AutoMl::new(cfg).run(&data).unwrap();
+        assert_eq!(report.candidates.len(), 1);
+    }
+
+    #[test]
+    fn non_enforced_budget_runs_everything() {
+        let data = xy(
+            (0..24).map(|i| i as f64).collect(),
+            (0..24).map(|i| i as f64).collect(),
+            1,
+        );
+        let cfg = AutoMlConfig {
+            budget: Duration::from_nanos(1),
+            enforce_budget: false,
+            folds: 3,
+            seed: 1,
+        };
+        let report = AutoMl::new(cfg).run(&data).unwrap();
+        assert!(report.candidates.len() >= 7, "{}", report.candidates.len());
+    }
+
+    #[test]
+    fn rejects_tiny_input() {
+        let data = xy(vec![1.0], vec![1.0], 1);
+        assert!(AutoMl::new(AutoMlConfig::default()).run(&data).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the ML layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Errors raised while training or evaluating models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training set is empty (or all rows were dropped as NULL).
+    EmptyTrainingSet,
+    /// Dimension disagreement between fit and predict, or malformed matrix.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// Linear system could not be solved (singular / not positive definite).
+    SingularSystem(String),
+    /// Numeric failure (NaN/∞ encountered where finite values are required).
+    NonFinite(String),
+    /// Underlying semi-ring error.
+    Semiring(String),
+    /// Invalid hyper-parameter.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "empty training set"),
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MlError::SingularSystem(msg) => write!(f, "singular system: {msg}"),
+            MlError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
+            MlError::Semiring(msg) => write!(f, "semiring error: {msg}"),
+            MlError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<mileena_semiring::SemiringError> for MlError {
+    fn from(e: mileena_semiring::SemiringError) -> Self {
+        MlError::Semiring(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_works() {
+        assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
+        let e = MlError::DimensionMismatch { expected: 3, found: 2 };
+        assert!(e.to_string().contains('3'));
+    }
+}

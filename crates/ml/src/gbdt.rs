@@ -1,0 +1,311 @@
+//! Gradient-boosted regression trees (squared loss) — the in-tree stand-in
+//! for XGBoost in the paper's Figure 6b comparison.
+//!
+//! Exact greedy splits (features scanned in sorted order, variance-reduction
+//! criterion), depth-limited trees, shrinkage. Deliberately simple: the
+//! experiments use it as a *model-capacity* baseline, not a speed record.
+
+use crate::error::{MlError, Result};
+use crate::model::Regressor;
+use mileena_relation::relation::XyMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`Gbdt`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Learning rate (shrinkage) applied to each tree's output.
+    pub learning_rate: f64,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig { n_estimators: 50, max_depth: 3, learning_rate: 0.1, min_samples_split: 4 }
+    }
+}
+
+/// Node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the left child (rows with `x[feature] <= threshold`).
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+/// One fitted regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Best split found for a node, if any.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+fn mean(targets: &[f64], idx: &[u32]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| targets[i as usize]).sum::<f64>() / idx.len() as f64
+}
+
+/// Find the variance-reduction-optimal split of `idx` over all features.
+fn best_split(
+    data: &XyMatrix,
+    targets: &[f64],
+    idx: &[u32],
+    sorted_scratch: &mut Vec<u32>,
+) -> Option<BestSplit> {
+    let n = idx.len();
+    let total_sum: f64 = idx.iter().map(|&i| targets[i as usize]).sum();
+    let mut best: Option<BestSplit> = None;
+    for f in 0..data.num_features {
+        sorted_scratch.clear();
+        sorted_scratch.extend_from_slice(idx);
+        sorted_scratch.sort_unstable_by(|&a, &b| {
+            let va = data.row(a as usize)[f];
+            let vb = data.row(b as usize)[f];
+            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        for pos in 0..n - 1 {
+            let i = sorted_scratch[pos] as usize;
+            left_sum += targets[i];
+            let v = data.row(i)[f];
+            let v_next = data.row(sorted_scratch[pos + 1] as usize)[f];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let nl = (pos + 1) as f64;
+            let nr = (n - pos - 1) as f64;
+            let right_sum = total_sum - left_sum;
+            // Variance reduction ∝ sum²/n improvements (constant terms drop).
+            let gain = left_sum * left_sum / nl + right_sum * right_sum / nr
+                - total_sum * total_sum / n as f64;
+            if gain > best.as_ref().map_or(1e-12, |b| b.gain) {
+                best = Some(BestSplit { feature: f, threshold: 0.5 * (v + v_next), gain });
+            }
+        }
+    }
+    best
+}
+
+fn build_tree(
+    data: &XyMatrix,
+    targets: &[f64],
+    idx: Vec<u32>,
+    depth: usize,
+    config: &GbdtConfig,
+    nodes: &mut Vec<Node>,
+    scratch: &mut Vec<u32>,
+) -> usize {
+    let node_mean = mean(targets, &idx);
+    if depth >= config.max_depth || idx.len() < config.min_samples_split {
+        nodes.push(Node::Leaf { value: node_mean });
+        return nodes.len() - 1;
+    }
+    match best_split(data, targets, &idx, scratch) {
+        None => {
+            nodes.push(Node::Leaf { value: node_mean });
+            nodes.len() - 1
+        }
+        Some(split) => {
+            let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
+                .iter()
+                .partition(|&&i| data.row(i as usize)[split.feature] <= split.threshold);
+            // Reserve our slot, then build children.
+            nodes.push(Node::Leaf { value: node_mean });
+            let me = nodes.len() - 1;
+            let left = build_tree(data, targets, left_idx, depth + 1, config, nodes, scratch);
+            let right = build_tree(data, targets, right_idx, depth + 1, config, nodes, scratch);
+            nodes[me] =
+                Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+            me
+        }
+    }
+}
+
+/// Gradient-boosted regression trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    config: GbdtConfig,
+    base: f64,
+    trees: Vec<Tree>,
+    num_features: usize,
+}
+
+impl Gbdt {
+    /// New, unfitted booster.
+    pub fn new(config: GbdtConfig) -> Self {
+        Gbdt { config, base: 0.0, trees: Vec::new(), num_features: 0 }
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for Gbdt {
+    fn fit(&mut self, data: &XyMatrix) -> Result<()> {
+        if data.num_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.config.n_estimators == 0 {
+            return Err(MlError::InvalidConfig("n_estimators must be > 0".into()));
+        }
+        self.num_features = data.num_features;
+        self.trees.clear();
+        let n = data.num_rows();
+        self.base = data.y.iter().sum::<f64>() / n as f64;
+        let mut preds = vec![self.base; n];
+        let mut residuals = vec![0.0; n];
+        let all_idx: Vec<u32> = (0..n as u32).collect();
+        let mut scratch = Vec::with_capacity(n);
+        for _ in 0..self.config.n_estimators {
+            for i in 0..n {
+                residuals[i] = data.y[i] - preds[i];
+            }
+            let mut nodes = Vec::new();
+            build_tree(data, &residuals, all_idx.clone(), 0, &self.config, &mut nodes, &mut scratch);
+            let tree = Tree { nodes };
+            for i in 0..n {
+                preds[i] += self.config.learning_rate * tree.predict(data.row(i));
+            }
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if self.trees.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if row.len() != self.num_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.num_features,
+                found: row.len(),
+            });
+        }
+        let mut pred = self.base;
+        for t in &self.trees {
+            pred += self.config.learning_rate * t.predict(row);
+        }
+        Ok(pred)
+    }
+
+    fn name(&self) -> &'static str {
+        "gbdt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn xy(x: Vec<f64>, y: Vec<f64>, m: usize) -> XyMatrix {
+        XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+    }
+
+    #[test]
+    fn fits_step_function() {
+        // y = 1 if x > 0.5 else 0: one split should nail it.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 / 40.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| if x > 0.5 { 1.0 } else { 0.0 }).collect();
+        let data = xy(xs, ys, 1);
+        let mut g = Gbdt::new(GbdtConfig { n_estimators: 20, ..Default::default() });
+        g.fit(&data).unwrap();
+        let preds = g.predict(&data).unwrap();
+        let r2 = r2_score(&data.y, &preds).unwrap();
+        assert!(r2 > 0.95, "r2 = {r2}");
+    }
+
+    #[test]
+    fn fits_nonlinear_surface() {
+        // y = x1² + x2, not reachable by a linear model.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                let a = i as f64 / 7.0 - 1.0;
+                let b = j as f64 / 7.0 - 1.0;
+                x.extend([a, b]);
+                y.push(a * a + b);
+            }
+        }
+        let data = xy(x, y, 2);
+        let mut g = Gbdt::new(GbdtConfig {
+            n_estimators: 120,
+            max_depth: 4,
+            learning_rate: 0.2,
+            min_samples_split: 4,
+        });
+        g.fit(&data).unwrap();
+        let r2 = r2_score(&data.y, &g.predict(&data).unwrap()).unwrap();
+        assert!(r2 > 0.9, "r2 = {r2}");
+    }
+
+    #[test]
+    fn constant_target_yields_constant_prediction() {
+        let data = xy(vec![1.0, 2.0, 3.0, 4.0], vec![5.0; 4], 1);
+        let mut g = Gbdt::new(GbdtConfig::default());
+        g.fit(&data).unwrap();
+        assert!((g.predict_row(&[2.5]).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_and_dimensions() {
+        let mut g = Gbdt::new(GbdtConfig::default());
+        assert!(g.fit(&xy(vec![], vec![], 1)).is_err());
+        assert!(g.predict_row(&[1.0]).is_err());
+        g.fit(&xy(vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 2.0, 3.0, 4.0], 1)).unwrap();
+        assert!(g.predict_row(&[1.0, 2.0]).is_err());
+        let mut bad = Gbdt::new(GbdtConfig { n_estimators: 0, ..Default::default() });
+        assert!(bad.fit(&xy(vec![1.0], vec![1.0], 1)).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = xy(
+            (0..30).map(|i| (i as f64 * 0.37).sin()).collect(),
+            (0..30).map(|i| (i as f64 * 0.91).cos()).collect(),
+            1,
+        );
+        let mut a = Gbdt::new(GbdtConfig::default());
+        let mut b = Gbdt::new(GbdtConfig::default());
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&data).unwrap(), b.predict(&data).unwrap());
+    }
+}

@@ -1,0 +1,154 @@
+//! k-nearest-neighbor regression (brute force, standardized L2 distance).
+//!
+//! Rounds out the AutoML surrogate's model zoo with a non-parametric
+//! learner, mirroring the breadth of an Auto-sklearn search space.
+
+use crate::error::{MlError, Result};
+use crate::model::Regressor;
+use mileena_relation::relation::XyMatrix;
+use serde::{Deserialize, Serialize};
+
+/// k-NN regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// Neighborhood size.
+    k: usize,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    d: usize,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// New regressor with neighborhood size `k`.
+    pub fn new(k: usize) -> Self {
+        KnnRegressor { k, x: Vec::new(), y: Vec::new(), d: 0, mean: Vec::new(), std: Vec::new() }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, data: &XyMatrix) -> Result<()> {
+        if data.num_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.k == 0 {
+            return Err(MlError::InvalidConfig("k must be > 0".into()));
+        }
+        let n = data.num_rows();
+        self.d = data.num_features;
+        self.mean = vec![0.0; self.d];
+        self.std = vec![0.0; self.d];
+        for i in 0..n {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                self.mean[j] += v;
+            }
+        }
+        for m in &mut self.mean {
+            *m /= n as f64;
+        }
+        for i in 0..n {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                self.std[j] += (v - self.mean[j]).powi(2);
+            }
+        }
+        for s in &mut self.std {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        self.x = Vec::with_capacity(n * self.d);
+        for i in 0..n {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                self.x.push((v - self.mean[j]) / self.std[j]);
+            }
+        }
+        self.y = data.y.clone();
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if self.y.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if row.len() != self.d {
+            return Err(MlError::DimensionMismatch { expected: self.d, found: row.len() });
+        }
+        let q: Vec<f64> =
+            row.iter().enumerate().map(|(j, &v)| (v - self.mean[j]) / self.std[j]).collect();
+        // Max-heap of (distance, index) capped at k via simple partial sort:
+        // n is small in our workloads, so collect-then-select is fine.
+        let mut dists: Vec<(f64, usize)> = (0..self.y.len())
+            .map(|i| {
+                let xi = &self.x[i * self.d..(i + 1) * self.d];
+                let d2: f64 = xi.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, i)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let sum: f64 = dists[..k].iter().map(|&(_, i)| self.y[i]).sum();
+        Ok(sum / k as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy(x: Vec<f64>, y: Vec<f64>, m: usize) -> XyMatrix {
+        XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+    }
+
+    #[test]
+    fn one_nn_memorizes() {
+        let data = xy(vec![0.0, 1.0, 2.0], vec![10.0, 20.0, 30.0], 1);
+        let mut m = KnnRegressor::new(1);
+        m.fit(&data).unwrap();
+        assert_eq!(m.predict_row(&[1.01]).unwrap(), 20.0);
+        assert_eq!(m.predict_row(&[-5.0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn k_averages_neighbors() {
+        let data = xy(vec![0.0, 1.0, 10.0], vec![0.0, 2.0, 100.0], 1);
+        let mut m = KnnRegressor::new(2);
+        m.fit(&data).unwrap();
+        assert_eq!(m.predict_row(&[0.4]).unwrap(), 1.0); // avg of 0 and 2
+    }
+
+    #[test]
+    fn k_larger_than_n_uses_all() {
+        let data = xy(vec![0.0, 1.0], vec![1.0, 3.0], 1);
+        let mut m = KnnRegressor::new(10);
+        m.fit(&data).unwrap();
+        assert_eq!(m.predict_row(&[0.5]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn standardization_balances_scales() {
+        // Feature 2 has huge scale; without standardization it would dominate.
+        // Points: (0, 0)→0, (1, 1000)→1. Query (0.9, 100): raw L2 picks
+        // point 1 by feature-2 distance... standardized should pick by both.
+        let data = xy(vec![0.0, 0.0, 1.0, 1000.0], vec![0.0, 1.0], 2);
+        let mut m = KnnRegressor::new(1);
+        m.fit(&data).unwrap();
+        let p = m.predict_row(&[0.9, 900.0]).unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn errors() {
+        let mut m = KnnRegressor::new(0);
+        assert!(m.fit(&xy(vec![1.0], vec![1.0], 1)).is_err());
+        let m = KnnRegressor::new(1);
+        assert!(m.predict_row(&[1.0]).is_err());
+    }
+}

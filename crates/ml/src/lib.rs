@@ -1,0 +1,35 @@
+//! Machine-learning substrate for Mileena.
+//!
+//! The paper's search needs two training paths:
+//!
+//! 1. **The proxy path** (§3.2): ridge linear regression trained *directly on
+//!    covariance-triple sufficient statistics* — `θ = (XᵀX + λI)⁻¹Xᵀy` with
+//!    `XᵀX`, `Xᵀy`, `yᵀy` read out of a [`mileena_semiring::CovarTriple`] in
+//!    time independent of relation size. Evaluation (R²) is likewise
+//!    computed from the test triple alone.
+//! 2. **The materialized path** used by retrain-based baselines (ARDA) and
+//!    by the AutoML surrogate: models fit on an explicit feature matrix.
+//!
+//! The model zoo (linear, gradient-boosted trees, MLP, kNN) substitutes for
+//! the paper's sklearn/XGBoost/TabNet stack (see DESIGN.md §3), and
+//! [`automl::AutoMl`] substitutes for Auto-sklearn / Vertex AI: k-fold CV
+//! model selection over the zoo under a time budget.
+
+pub mod automl;
+pub mod error;
+pub mod gbdt;
+pub mod knn;
+pub mod linalg;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+
+pub use automl::{AutoMl, AutoMlConfig, AutoMlReport};
+pub use error::{MlError, Result};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use knn::KnnRegressor;
+pub use linear::{LinearModel, RidgeConfig};
+pub use metrics::{mae, mse, r2_score};
+pub use mlp::{Mlp, MlpConfig};
+pub use model::Regressor;

@@ -1,0 +1,254 @@
+//! Small dense linear algebra: exactly what the proxy model and the privacy
+//! layer need (Cholesky solves of ridge systems, symmetric eigenvalues for
+//! PSD repair). Matrices are row-major `Vec<f64>`; dimensions are tiny
+//! (number of model features), so no blocking/SIMD is warranted.
+
+use crate::error::{MlError, Result};
+
+/// Solve `(A + λI) x = b` for symmetric positive-(semi)definite `A` of
+/// dimension `n` via Cholesky. `a` is row-major and left unmodified.
+///
+/// Falls back to increasing jitter (up to 1e-6·trace) if the factorization
+/// hits a non-positive pivot — privatized (noisy) systems are often
+/// indefinite and the paper's proxy still needs an answer.
+pub fn solve_ridge(a: &[f64], b: &[f64], n: usize, lambda: f64) -> Result<Vec<f64>> {
+    if a.len() != n * n || b.len() != n {
+        return Err(MlError::DimensionMismatch { expected: n * n, found: a.len() });
+    }
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(MlError::InvalidConfig(format!("lambda must be ≥ 0, got {lambda}")));
+    }
+    let trace: f64 = (0..n).map(|i| a[i * n + i].abs()).sum();
+    let base = lambda;
+    let mut jitter = 0.0;
+    for attempt in 0..6 {
+        match cholesky_solve(a, b, n, base + jitter) {
+            Ok(x) => {
+                if x.iter().all(|v| v.is_finite()) {
+                    return Ok(x);
+                }
+                return Err(MlError::NonFinite("solution contains NaN/inf".into()));
+            }
+            Err(_) if attempt < 5 => {
+                jitter = if jitter == 0.0 {
+                    1e-10 * trace.max(1.0)
+                } else {
+                    jitter * 100.0
+                };
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop always returns")
+}
+
+/// One Cholesky factorization + triangular solves of `(A + dI) x = b`.
+fn cholesky_solve(a: &[f64], b: &[f64], n: usize, d: f64) -> Result<Vec<f64>> {
+    // Factor L Lᵀ = A + dI, L lower-triangular (row-major, in place copy).
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            if i == j {
+                sum += d;
+            }
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(MlError::SingularSystem(format!(
+                        "non-positive pivot {sum} at {i}"
+                    )));
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// `y = A x` for row-major `A` (`rows × cols`).
+pub fn matvec(a: &[f64], x: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    let mut y = vec![0.0; rows];
+    for i in 0..rows {
+        let row = &a[i * cols..(i + 1) * cols];
+        let mut acc = 0.0;
+        for (av, xv) in row.iter().zip(x) {
+            acc += av * xv;
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Quadratic form `xᵀ A x` for symmetric row-major `A` (`n × n`).
+pub fn quad_form(a: &[f64], x: &[f64], n: usize) -> f64 {
+    dot(&matvec(a, x, n, n), x)
+}
+
+/// Eigenvalues of a symmetric matrix by cyclic Jacobi rotation (ascending).
+///
+/// `n` is small (feature count), so O(n³) per sweep is fine. Used by the
+/// privacy layer to measure/repair positive-semidefiniteness of noisy `Q`.
+pub fn sym_eigenvalues(a: &[f64], n: usize) -> Result<Vec<f64>> {
+    if a.len() != n * n {
+        return Err(MlError::DimensionMismatch { expected: n * n, found: a.len() });
+    }
+    let mut m = a.to_vec();
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(m[i * n + j].abs());
+            }
+        }
+        let scale: f64 = (0..n).map(|i| m[i * n + i].abs()).fold(1.0, f64::max);
+        if off <= 1e-12 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+            }
+        }
+    }
+    let mut eig: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+    eig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    Ok(eig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -4.0];
+        let x = solve_ridge(&a, &b, 2, 0.0).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2.0]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 9.0];
+        let x = solve_ridge(&a, &b, 2, 0.0).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-10, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn ridge_shrinks_solution() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 1.0];
+        let x0 = solve_ridge(&a, &b, 2, 0.0).unwrap();
+        let x1 = solve_ridge(&a, &b, 2, 1.0).unwrap();
+        assert!(x1[0] < x0[0]);
+        assert!((x1[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_rescues_singular_system() {
+        // Rank-deficient A; plain Cholesky fails, jittered solve succeeds.
+        let a = vec![1.0, 1.0, 1.0, 1.0];
+        let b = vec![2.0, 2.0];
+        let x = solve_ridge(&a, &b, 2, 0.0).unwrap();
+        // Solution of jittered system is approximately the min-norm answer.
+        assert!(x.iter().all(|v| v.is_finite()));
+        let pred = matvec(&a, &x, 2, 2);
+        assert!((pred[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(solve_ridge(&[1.0], &[1.0, 2.0], 2, 0.0).is_err());
+        assert!(solve_ridge(&[1.0, 0.0, 0.0, 1.0], &[1.0, 1.0], 2, -1.0).is_err());
+    }
+
+    #[test]
+    fn matvec_and_quad_form() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let y = matvec(&a, &[1.0, 1.0], 2, 2);
+        assert_eq!(y, vec![3.0, 7.0]);
+        // xᵀAx with x=[1,1]: 1+2+3+4 = 10
+        assert_eq!(quad_form(&a, &[1.0, 1.0], 2), 10.0);
+    }
+
+    #[test]
+    fn eigenvalues_of_known_matrix() {
+        // [[2,1],[1,2]] → eigenvalues 1, 3
+        let a = vec![2.0, 1.0, 1.0, 2.0];
+        let e = sym_eigenvalues(&a, 2).unwrap();
+        assert!((e[0] - 1.0).abs() < 1e-9, "{e:?}");
+        assert!((e[1] - 3.0).abs() < 1e-9, "{e:?}");
+    }
+
+    #[test]
+    fn eigenvalues_detect_indefiniteness() {
+        // [[1, 2],[2, 1]] has a negative eigenvalue (-1).
+        let a = vec![1.0, 2.0, 2.0, 1.0];
+        let e = sym_eigenvalues(&a, 2).unwrap();
+        assert!(e[0] < 0.0);
+    }
+
+    #[test]
+    fn eigenvalues_diagonal_passthrough() {
+        let a = vec![5.0, 0.0, 0.0, 0.0, -2.0, 0.0, 0.0, 0.0, 1.0];
+        let e = sym_eigenvalues(&a, 3).unwrap();
+        assert_eq!(e.len(), 3);
+        assert!((e[0] + 2.0).abs() < 1e-12);
+        assert!((e[2] - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,289 @@
+//! Ridge linear regression — Mileena's proxy model (§2.2.2, §3.2).
+//!
+//! Two training paths produce the *same* model:
+//! - [`LinearModel::fit_from_system`]: closed form from semi-ring sufficient
+//!   statistics, cost `O(k³)` in the feature count only (the fast path that
+//!   makes candidate evaluation "milliseconds");
+//! - [`LinearModel::fit`] (via [`Regressor`]): from a materialized matrix,
+//!   used by retrain-based baselines so that latency comparisons are fair.
+
+use crate::error::{MlError, Result};
+use crate::linalg::{dot, quad_form, solve_ridge};
+use crate::model::Regressor;
+use mileena_relation::relation::XyMatrix;
+use mileena_semiring::LrSystem;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for ridge regression.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RidgeConfig {
+    /// L2 regularization strength λ (applied to all coefficients, including
+    /// the intercept — acceptable here because features/targets in the
+    /// pipeline are standardized or bounded).
+    pub lambda: f64,
+    /// Whether to add an intercept term.
+    pub intercept: bool,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        RidgeConfig { lambda: 1e-6, intercept: true }
+    }
+}
+
+/// A fitted linear model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearModel {
+    config: RidgeConfig,
+    /// Coefficients; if `config.intercept`, index 0 is the intercept.
+    theta: Option<Vec<f64>>,
+    /// Feature count (excluding intercept).
+    num_features: usize,
+}
+
+impl LinearModel {
+    /// New, unfitted model.
+    pub fn new(config: RidgeConfig) -> Self {
+        LinearModel { config, theta: None, num_features: 0 }
+    }
+
+    /// The fitted coefficients (intercept first when enabled).
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.theta.as_deref()
+    }
+
+    /// Fit from semi-ring sufficient statistics: `θ = (XᵀX + λI)⁻¹ Xᵀy`.
+    ///
+    /// This is the factorized path: the system came out of a
+    /// [`mileena_semiring::CovarTriple`] (possibly privatized), so no raw
+    /// data is touched and cost is independent of the relation sizes.
+    pub fn fit_from_system(&mut self, sys: &LrSystem) -> Result<()> {
+        if sys.n < 1.0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let theta = solve_ridge(&sys.xtx, &sys.xty, sys.k, self.config.lambda)?;
+        self.num_features = sys.k - usize::from(self.config.intercept);
+        self.theta = Some(theta);
+        Ok(())
+    }
+
+    /// R² of this model on a *test* sufficient-statistics system (same
+    /// feature order as training, intercept handling matching the config):
+    /// `SSE = yᵀy − 2θᵀXᵀy + θᵀXᵀXθ`, `SST = yᵀy − (Σy)²/n`.
+    ///
+    /// With privatized statistics SSE/SST can be distorted; the result is
+    /// clamped to `[-1, 1]` so downstream greedy comparisons stay sane
+    /// (matching how the paper reports utilities in Figure 5).
+    pub fn r2_from_system(&self, sys: &LrSystem) -> Result<f64> {
+        let theta = self.theta.as_ref().ok_or(MlError::EmptyTrainingSet)?;
+        if theta.len() != sys.k {
+            return Err(MlError::DimensionMismatch { expected: theta.len(), found: sys.k });
+        }
+        if sys.n < 2.0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let sse = sys.yty - 2.0 * dot(theta, &sys.xty) + quad_form(&sys.xtx, theta, sys.k);
+        let sst = sys.yty - sys.y_sum * sys.y_sum / sys.n;
+        if !sse.is_finite() || !sst.is_finite() {
+            return Err(MlError::NonFinite("sse/sst".into()));
+        }
+        if sst <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok((1.0 - sse / sst).clamp(-1.0, 1.0))
+    }
+
+    /// Convenience: fit on a training system and score on a test system.
+    pub fn fit_evaluate_systems(&mut self, train: &LrSystem, test: &LrSystem) -> Result<f64> {
+        self.fit_from_system(train)?;
+        self.r2_from_system(test)
+    }
+
+    /// Build the (XᵀX, Xᵀy, …) system from a materialized matrix — the slow
+    /// path, equivalent by construction to the semi-ring path.
+    fn system_of(&self, data: &XyMatrix) -> LrSystem {
+        let m = data.num_features;
+        let off = usize::from(self.config.intercept);
+        let k = m + off;
+        let mut xtx = vec![0.0; k * k];
+        let mut xty = vec![0.0; k];
+        let mut yty = 0.0;
+        let mut y_sum = 0.0;
+        for r in 0..data.num_rows() {
+            let row = data.row(r);
+            let y = data.y[r];
+            yty += y * y;
+            y_sum += y;
+            if self.config.intercept {
+                xtx[0] += 1.0;
+                for (j, &v) in row.iter().enumerate() {
+                    xtx[j + 1] += v;
+                    xtx[(j + 1) * k] += v;
+                }
+                xty[0] += y;
+            }
+            for (i, &vi) in row.iter().enumerate() {
+                for (j, &vj) in row.iter().enumerate() {
+                    xtx[(i + off) * k + (j + off)] += vi * vj;
+                }
+                xty[i + off] += vi * y;
+            }
+        }
+        LrSystem { xtx, xty, yty, y_sum, n: data.num_rows() as f64, k }
+    }
+}
+
+impl Regressor for LinearModel {
+    fn fit(&mut self, data: &XyMatrix) -> Result<()> {
+        if data.num_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let sys = self.system_of(data);
+        self.fit_from_system(&sys)
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        let theta = self.theta.as_ref().ok_or(MlError::EmptyTrainingSet)?;
+        if row.len() != self.num_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.num_features,
+                found: row.len(),
+            });
+        }
+        let mut pred = 0.0;
+        let off = usize::from(self.config.intercept);
+        if self.config.intercept {
+            pred += theta[0];
+        }
+        for (j, &v) in row.iter().enumerate() {
+            pred += theta[j + off] * v;
+        }
+        Ok(pred)
+    }
+
+    fn name(&self) -> &'static str {
+        "ridge-lr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_semiring::CovarTriple;
+
+    fn xy(x: Vec<f64>, y: Vec<f64>, m: usize) -> XyMatrix {
+        XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 3x + 1
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let data = xy(xs.to_vec(), ys, 1);
+        let mut m = LinearModel::new(RidgeConfig { lambda: 0.0, intercept: true });
+        m.fit(&data).unwrap();
+        let th = m.coefficients().unwrap();
+        assert!((th[0] - 1.0).abs() < 1e-9, "{th:?}");
+        assert!((th[1] - 3.0).abs() < 1e-9, "{th:?}");
+        assert!((m.predict_row(&[10.0]).unwrap() - 31.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn system_path_equals_matrix_path() {
+        // Build sufficient stats via the semi-ring and check the same θ.
+        let rows: Vec<[f64; 3]> = vec![
+            [1.0, 2.0, 7.1],
+            [2.0, 1.0, 8.3],
+            [3.0, 5.0, 21.2],
+            [4.0, 2.0, 14.9],
+            [0.5, 1.5, 5.6],
+        ];
+        let mut triple = CovarTriple::zero(&["x1", "x2", "y"]);
+        for r in &rows {
+            triple = triple.add(&CovarTriple::of_row(&["x1", "x2", "y"], r).unwrap()).unwrap();
+        }
+        let sys = triple.lr_system(&["x1", "x2"], "y", true).unwrap();
+        let mut m1 = LinearModel::new(RidgeConfig::default());
+        m1.fit_from_system(&sys).unwrap();
+
+        let data = xy(
+            rows.iter().flat_map(|r| [r[0], r[1]]).collect(),
+            rows.iter().map(|r| r[2]).collect(),
+            2,
+        );
+        let mut m2 = LinearModel::new(RidgeConfig::default());
+        m2.fit(&data).unwrap();
+
+        let t1 = m1.coefficients().unwrap();
+        let t2 = m2.coefficients().unwrap();
+        for (a, b) in t1.iter().zip(t2) {
+            assert!((a - b).abs() < 1e-8, "{t1:?} vs {t2:?}");
+        }
+    }
+
+    #[test]
+    fn r2_from_system_matches_pointwise_r2() {
+        let rows: Vec<[f64; 2]> = (0..20)
+            .map(|i| {
+                let x = i as f64 / 3.0;
+                [x, 2.0 * x + 0.5 + if i % 2 == 0 { 0.3 } else { -0.3 }]
+            })
+            .collect();
+        let mut triple = CovarTriple::zero(&["x", "y"]);
+        for r in &rows {
+            triple = triple.add(&CovarTriple::of_row(&["x", "y"], r).unwrap()).unwrap();
+        }
+        let sys = triple.lr_system(&["x"], "y", true).unwrap();
+        let mut m = LinearModel::new(RidgeConfig { lambda: 0.0, intercept: true });
+        m.fit_from_system(&sys).unwrap();
+        let r2_sys = m.r2_from_system(&sys).unwrap();
+
+        let data = xy(
+            rows.iter().map(|r| r[0]).collect(),
+            rows.iter().map(|r| r[1]).collect(),
+            1,
+        );
+        let preds = m.predict(&data).unwrap();
+        let r2_pts = crate::metrics::r2_score(&data.y, &preds).unwrap();
+        assert!((r2_sys - r2_pts).abs() < 1e-9, "{r2_sys} vs {r2_pts}");
+    }
+
+    #[test]
+    fn unfitted_and_mismatched_errors() {
+        let m = LinearModel::new(RidgeConfig::default());
+        assert!(m.predict_row(&[1.0]).is_err());
+        let mut m = LinearModel::new(RidgeConfig::default());
+        m.fit(&xy(vec![1.0, 2.0], vec![1.0, 2.0], 1)).unwrap();
+        assert!(m.predict_row(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn no_intercept_config() {
+        // y = 2x through origin.
+        let data = xy(vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0], 1);
+        let mut m = LinearModel::new(RidgeConfig { lambda: 0.0, intercept: false });
+        m.fit(&data).unwrap();
+        let th = m.coefficients().unwrap();
+        assert_eq!(th.len(), 1);
+        assert!((th[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn r2_clamped_under_distortion() {
+        // Hand-build a corrupted test system where SSE blows up.
+        let mut m = LinearModel::new(RidgeConfig { lambda: 0.0, intercept: true });
+        let data = xy(vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], 1);
+        m.fit(&data).unwrap();
+        let sys = LrSystem {
+            xtx: vec![3.0, 6.0, 6.0, 14.0],
+            xty: vec![-100.0, -100.0],
+            yty: 14.0,
+            y_sum: 6.0,
+            n: 3.0,
+            k: 2,
+        };
+        let r2 = m.r2_from_system(&sys).unwrap();
+        assert!(r2 >= -1.0);
+    }
+}

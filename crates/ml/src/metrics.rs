@@ -1,0 +1,131 @@
+//! Regression metrics and cross-validation splitting.
+
+use crate::error::{MlError, Result};
+
+/// Coefficient of determination `R² = 1 − SSE/SST` (SST around the mean of
+/// `y_true`). Returns an error on length mismatch or empty input; a constant
+/// `y_true` (SST = 0) yields `R² = 0` by convention.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    if y_true.len() != y_pred.len() {
+        return Err(MlError::DimensionMismatch { expected: y_true.len(), found: y_pred.len() });
+    }
+    if y_true.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let n = y_true.len() as f64;
+    let mean = y_true.iter().sum::<f64>() / n;
+    let sst: f64 = y_true.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let sse: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    if sst <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(1.0 - sse / sst)
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    if y_true.len() != y_pred.len() {
+        return Err(MlError::DimensionMismatch { expected: y_true.len(), found: y_pred.len() });
+    }
+    if y_true.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    Ok(y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    if y_true.len() != y_pred.len() {
+        return Err(MlError::DimensionMismatch { expected: y_true.len(), found: y_pred.len() });
+    }
+    if y_true.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    Ok(y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64)
+}
+
+/// Deterministic k-fold index split: returns `k` (train, validation) index
+/// pairs covering `0..n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let k = k.max(2).min(n.max(2));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let val: Vec<usize> = idx.iter().copied().skip(f).step_by(k).collect();
+        let train: Vec<usize> =
+            idx.iter().copied().enumerate().filter(|(i, _)| i % k != f).map(|(_, v)| v).collect();
+        folds.push((train, val));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_r2_is_one() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert!((r2_score(&y, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_prediction_r2_is_zero() {
+        let y = vec![1.0, 2.0, 3.0];
+        let pred = vec![2.0, 2.0, 2.0];
+        assert!(r2_score(&y, &pred).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_prediction_r2_negative() {
+        let y = vec![1.0, 2.0, 3.0];
+        let pred = vec![3.0, 1.0, -5.0];
+        assert!(r2_score(&y, &pred).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn constant_target_convention() {
+        let y = vec![5.0, 5.0];
+        assert_eq!(r2_score(&y, &[5.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_mae_values() {
+        let y = vec![0.0, 0.0];
+        let p = vec![1.0, -3.0];
+        assert_eq!(mse(&y, &p).unwrap(), 5.0);
+        assert_eq!(mae(&y, &p).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn errors_on_mismatch_and_empty() {
+        assert!(r2_score(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn kfold_covers_everything_disjointly() {
+        let folds = kfold_indices(10, 3, 1);
+        assert_eq!(folds.len(), 3);
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 10);
+            let mut all: Vec<usize> = train.iter().chain(val.iter()).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..10).collect::<Vec<_>>());
+        }
+        // Union of validation folds covers all indices exactly once.
+        let mut vals: Vec<usize> = folds.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_deterministic_by_seed() {
+        assert_eq!(kfold_indices(20, 4, 9), kfold_indices(20, 4, 9));
+    }
+}

@@ -1,0 +1,309 @@
+//! A small multi-layer perceptron regressor — the in-tree stand-in for the
+//! paper's TabNet ("SOTA DNN for tabular data") baseline in Figure 6b.
+//!
+//! One tanh hidden layer trained with mini-batch SGD + momentum on
+//! internally standardized inputs/targets. Seeded and fully deterministic.
+
+use crate::error::{MlError, Result};
+use crate::model::Regressor;
+use mileena_relation::relation::XyMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`Mlp`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 16,
+            epochs: 200,
+            learning_rate: 0.03,
+            momentum: 0.9,
+            batch_size: 16,
+            seed: 7,
+        }
+    }
+}
+
+/// Fitted MLP (1 hidden layer, tanh, linear output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    config: MlpConfig,
+    /// Input → hidden weights, `hidden × d` row-major, plus hidden biases.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Hidden → output weights plus output bias.
+    w2: Vec<f64>,
+    b2: f64,
+    /// Standardization parameters.
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    fitted: bool,
+}
+
+impl Mlp {
+    /// New, unfitted network.
+    pub fn new(config: MlpConfig) -> Self {
+        Mlp {
+            config,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: 0.0,
+            x_mean: Vec::new(),
+            x_std: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+            fitted: false,
+        }
+    }
+
+    fn forward(&self, xs: &[f64], hidden_out: &mut [f64]) -> f64 {
+        let h = self.config.hidden;
+        let d = self.x_mean.len();
+        for j in 0..h {
+            let mut acc = self.b1[j];
+            let row = &self.w1[j * d..(j + 1) * d];
+            for (w, x) in row.iter().zip(xs) {
+                acc += w * x;
+            }
+            hidden_out[j] = acc.tanh();
+        }
+        let mut out = self.b2;
+        for j in 0..h {
+            out += self.w2[j] * hidden_out[j];
+        }
+        out
+    }
+
+    fn standardize_row(&self, row: &[f64], out: &mut [f64]) {
+        for (k, &v) in row.iter().enumerate() {
+            out[k] = (v - self.x_mean[k]) / self.x_std[k];
+        }
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, data: &XyMatrix) -> Result<()> {
+        let n = data.num_rows();
+        if n == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.config.hidden == 0 || self.config.epochs == 0 || self.config.batch_size == 0 {
+            return Err(MlError::InvalidConfig("hidden/epochs/batch_size must be > 0".into()));
+        }
+        let d = data.num_features;
+        let h = self.config.hidden;
+
+        // Standardization (guard zero variance with std = 1).
+        self.x_mean = vec![0.0; d];
+        self.x_std = vec![0.0; d];
+        for i in 0..n {
+            for (k, &v) in data.row(i).iter().enumerate() {
+                self.x_mean[k] += v;
+            }
+        }
+        for m in &mut self.x_mean {
+            *m /= n as f64;
+        }
+        for i in 0..n {
+            for (k, &v) in data.row(i).iter().enumerate() {
+                let dlt = v - self.x_mean[k];
+                self.x_std[k] += dlt * dlt;
+            }
+        }
+        for s in &mut self.x_std {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        self.y_mean = data.y.iter().sum::<f64>() / n as f64;
+        self.y_std = (data.y.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n as f64)
+            .sqrt()
+            .max(1e-12);
+
+        // Xavier-ish init.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let scale1 = (1.0 / d.max(1) as f64).sqrt();
+        let scale2 = (1.0 / h as f64).sqrt();
+        self.w1 = (0..h * d).map(|_| rng.gen_range(-scale1..scale1)).collect();
+        self.b1 = vec![0.0; h];
+        self.w2 = (0..h).map(|_| rng.gen_range(-scale2..scale2)).collect();
+        self.b2 = 0.0;
+
+        let mut vw1 = vec![0.0; h * d];
+        let mut vb1 = vec![0.0; h];
+        let mut vw2 = vec![0.0; h];
+        let mut vb2 = 0.0;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut xrow = vec![0.0; d];
+        let mut hid = vec![0.0; h];
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+
+        // Pre-standardize the whole matrix once.
+        let mut xs = vec![0.0; n * d];
+        let mut ys = vec![0.0; n];
+        for i in 0..n {
+            for (k, &v) in data.row(i).iter().enumerate() {
+                xs[i * d + k] = (v - self.x_mean[k]) / self.x_std[k];
+            }
+            ys[i] = (data.y[i] - self.y_mean) / self.y_std;
+        }
+        // mark fitted early so forward() sees dimensions
+        self.fitted = true;
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.config.batch_size) {
+                // Accumulate gradients over the batch.
+                let mut gw1 = vec![0.0; h * d];
+                let mut gb1 = vec![0.0; h];
+                let mut gw2 = vec![0.0; h];
+                let mut gb2 = 0.0;
+                for &i in chunk {
+                    xrow.copy_from_slice(&xs[i * d..(i + 1) * d]);
+                    let pred = self.forward(&xrow, &mut hid);
+                    let err = pred - ys[i]; // dL/dpred for 0.5*(pred-y)²
+                    gb2 += err;
+                    for j in 0..h {
+                        gw2[j] += err * hid[j];
+                        let dh = err * self.w2[j] * (1.0 - hid[j] * hid[j]);
+                        gb1[j] += dh;
+                        for k in 0..d {
+                            gw1[j * d + k] += dh * xrow[k];
+                        }
+                    }
+                }
+                let bs = chunk.len() as f64;
+                // Momentum SGD update.
+                for (v, g) in vw1.iter_mut().zip(&gw1) {
+                    *v = mu * *v - lr * g / bs;
+                }
+                for (w, v) in self.w1.iter_mut().zip(&vw1) {
+                    *w += v;
+                }
+                for (v, g) in vb1.iter_mut().zip(&gb1) {
+                    *v = mu * *v - lr * g / bs;
+                }
+                for (b, v) in self.b1.iter_mut().zip(&vb1) {
+                    *b += v;
+                }
+                for (v, g) in vw2.iter_mut().zip(&gw2) {
+                    *v = mu * *v - lr * g / bs;
+                }
+                for (w, v) in self.w2.iter_mut().zip(&vw2) {
+                    *w += v;
+                }
+                vb2 = mu * vb2 - lr * gb2 / bs;
+                self.b2 += vb2;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if !self.fitted {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if row.len() != self.x_mean.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.x_mean.len(),
+                found: row.len(),
+            });
+        }
+        let mut xrow = vec![0.0; row.len()];
+        self.standardize_row(row, &mut xrow);
+        let mut hid = vec![0.0; self.config.hidden];
+        let out = self.forward(&xrow, &mut hid);
+        Ok(out * self.y_std + self.y_mean)
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn xy(x: Vec<f64>, y: Vec<f64>, m: usize) -> XyMatrix {
+        XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x - 1.0).collect();
+        let data = xy(xs, ys, 1);
+        let mut m = Mlp::new(MlpConfig::default());
+        m.fit(&data).unwrap();
+        let r2 = r2_score(&data.y, &m.predict(&data).unwrap()).unwrap();
+        assert!(r2 > 0.98, "r2 = {r2}");
+    }
+
+    #[test]
+    fn learns_mild_nonlinearity() {
+        let xs: Vec<f64> = (0..80).map(|i| i as f64 / 10.0 - 4.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.9).tanh() * 3.0).collect();
+        let data = xy(xs, ys, 1);
+        let mut m = Mlp::new(MlpConfig { epochs: 400, ..Default::default() });
+        m.fit(&data).unwrap();
+        let r2 = r2_score(&data.y, &m.predict(&data).unwrap()).unwrap();
+        assert!(r2 > 0.95, "r2 = {r2}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let data = xy(
+            (0..30).map(|i| i as f64 * 0.1).collect(),
+            (0..30).map(|i| (i as f64 * 0.1).sin()).collect(),
+            1,
+        );
+        let mut a = Mlp::new(MlpConfig::default());
+        let mut b = Mlp::new(MlpConfig::default());
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&data).unwrap(), b.predict(&data).unwrap());
+    }
+
+    #[test]
+    fn errors() {
+        let mut m = Mlp::new(MlpConfig::default());
+        assert!(m.fit(&xy(vec![], vec![], 1)).is_err());
+        assert!(m.predict_row(&[0.0]).is_err());
+        let mut bad = Mlp::new(MlpConfig { hidden: 0, ..Default::default() });
+        assert!(bad.fit(&xy(vec![1.0], vec![1.0], 1)).is_err());
+    }
+
+    #[test]
+    fn constant_features_do_not_nan() {
+        let data = xy(vec![3.0; 10], (0..10).map(|i| i as f64).collect(), 1);
+        let mut m = Mlp::new(MlpConfig { epochs: 30, ..Default::default() });
+        m.fit(&data).unwrap();
+        assert!(m.predict_row(&[3.0]).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,80 @@
+//! The common regressor interface for the materialized training path.
+
+use crate::error::Result;
+use mileena_relation::relation::XyMatrix;
+
+/// A regression model trainable on a dense feature matrix.
+///
+/// This is the interface of the *materialized* path (baselines, AutoML,
+/// transformation benchmarks). The proxy path bypasses it entirely — see
+/// [`crate::linear::LinearModel::fit_from_system`].
+pub trait Regressor {
+    /// Fit on a feature matrix + target.
+    fn fit(&mut self, data: &XyMatrix) -> Result<()>;
+
+    /// Predict one row (length must equal the training feature count).
+    fn predict_row(&self, row: &[f64]) -> Result<f64>;
+
+    /// Predict every row of a matrix.
+    fn predict(&self, data: &XyMatrix) -> Result<Vec<f64>> {
+        (0..data.num_rows()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Convenience: fit on `train`, return R² on `test`.
+    fn fit_evaluate(&mut self, train: &XyMatrix, test: &XyMatrix) -> Result<f64> {
+        self.fit(train)?;
+        let preds = self.predict(test)?;
+        crate::metrics::r2_score(&test.y, &preds)
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::MlError;
+
+    /// Trivial mean-predictor to exercise the trait's default methods.
+    struct MeanModel {
+        mean: Option<f64>,
+        dim: usize,
+    }
+
+    impl Regressor for MeanModel {
+        fn fit(&mut self, data: &XyMatrix) -> Result<()> {
+            if data.y.is_empty() {
+                return Err(MlError::EmptyTrainingSet);
+            }
+            self.mean = Some(data.y.iter().sum::<f64>() / data.y.len() as f64);
+            self.dim = data.num_features;
+            Ok(())
+        }
+        fn predict_row(&self, row: &[f64]) -> Result<f64> {
+            if row.len() != self.dim {
+                return Err(MlError::DimensionMismatch { expected: self.dim, found: row.len() });
+            }
+            Ok(self.mean.unwrap_or(0.0))
+        }
+        fn name(&self) -> &'static str {
+            "mean"
+        }
+    }
+
+    fn xy(x: Vec<f64>, y: Vec<f64>, m: usize) -> XyMatrix {
+        XyMatrix { x, y, num_features: m, dropped_rows: 0 }
+    }
+
+    #[test]
+    fn default_methods_flow() {
+        let train = xy(vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0], 1);
+        let mut m = MeanModel { mean: None, dim: 0 };
+        m.fit(&train).unwrap();
+        assert_eq!(m.predict(&train).unwrap(), vec![20.0, 20.0, 20.0]);
+        // Mean predictor scores R² = 0 on its own training data.
+        let r2 = m.fit_evaluate(&train.clone(), &train).unwrap();
+        assert!(r2.abs() < 1e-12);
+        assert!(m.predict_row(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! APM — the Aggregate Privacy Mechanism baseline ([47] in the paper).
+//!
+//! APM assumes the global trust model: the central search computes exact
+//! aggregates over materialized join/union results and adds noise *per
+//! query*. Every candidate evaluation of every request consumes fresh
+//! budget from each involved dataset, so per-query ε shrinks as
+//! `ε_i / (expected queries)` — utility collapses as corpus size or request
+//! count grows, which is precisely Figure 5(b,c)'s comparison axis.
+
+use crate::budget::{BudgetAccountant, PrivacyBudget};
+use crate::error::{PrivacyError, Result};
+use crate::fpm::noise_triple;
+use crate::mechanism::gaussian_sigma;
+use crate::noise::NoiseRng;
+use crate::sensitivity::{triple_l2_sensitivity, FeatureBounds};
+use mileena_semiring::CovarTriple;
+
+/// The per-query aggregate mechanism.
+#[derive(Debug, Clone)]
+pub struct AggregateMechanism {
+    bound: f64,
+    accountant: BudgetAccountant,
+    per_query: mileena_relation::FxHashMap<String, PrivacyBudget>,
+    rng: NoiseRng,
+}
+
+impl AggregateMechanism {
+    /// New mechanism; `bound` is the feature clip bound, `seed` drives the
+    /// noise stream.
+    pub fn new(bound: f64, seed: u64) -> Self {
+        AggregateMechanism {
+            bound,
+            accountant: BudgetAccountant::new(),
+            per_query: mileena_relation::FxHashMap::default(),
+            rng: NoiseRng::seeded(seed),
+        }
+    }
+
+    /// Register a dataset with its total budget, pre-divided across the
+    /// expected number of queries (how APM deployments provision: the
+    /// workload size must be fixed up front — itself a practical weakness
+    /// FPM does not share).
+    pub fn register(
+        &mut self,
+        dataset: &str,
+        total: PrivacyBudget,
+        expected_queries: usize,
+    ) -> Result<()> {
+        if expected_queries == 0 {
+            return Err(PrivacyError::InvalidArgument("expected_queries must be > 0".into()));
+        }
+        self.accountant.register(dataset, total)?;
+        self.per_query.insert(dataset.to_string(), total.split(expected_queries)?);
+        Ok(())
+    }
+
+    /// Remaining budget for a dataset.
+    pub fn remaining(&self, dataset: &str) -> Result<PrivacyBudget> {
+        self.accountant.remaining(dataset)
+    }
+
+    /// Answer one query: privatize `triple` (the exact aggregate of a
+    /// materialized augmented relation), charging every involved dataset
+    /// one per-query budget unit. Errors — without releasing anything — if
+    /// any involved dataset is exhausted.
+    ///
+    /// Noise variance is the sum over involved datasets of each dataset's
+    /// calibrated variance (one neighboring-row change in any single input
+    /// dataset must be masked).
+    pub fn privatize_query(
+        &mut self,
+        triple: &CovarTriple,
+        involved: &[&str],
+    ) -> Result<CovarTriple> {
+        if involved.is_empty() {
+            return Err(PrivacyError::InvalidArgument("no datasets involved".into()));
+        }
+        let m = triple.num_features();
+        let delta2 = triple_l2_sensitivity(&FeatureBounds::uniform(m, self.bound))?;
+
+        // First pass: check affordability and compute total variance.
+        let mut var = 0.0f64;
+        for ds in involved {
+            let pq = self
+                .per_query
+                .get(*ds)
+                .ok_or_else(|| PrivacyError::InvalidArgument(format!("unknown dataset {ds}")))?;
+            let rem = self.accountant.remaining(ds)?;
+            if pq.epsilon > rem.epsilon + 1e-12 {
+                return Err(PrivacyError::BudgetExhausted {
+                    dataset: ds.to_string(),
+                    requested: pq.epsilon,
+                    remaining: rem.epsilon,
+                });
+            }
+            let sigma = gaussian_sigma(delta2, *pq)?;
+            var += sigma * sigma;
+        }
+        // Second pass: actually charge.
+        for ds in involved {
+            let pq = self.per_query[*ds];
+            self.accountant.charge(ds, pq)?;
+        }
+        let mut out = triple.clone();
+        noise_triple(&mut out, var.sqrt(), &mut self.rng, true);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triple() -> CovarTriple {
+        let mut t = CovarTriple::zero(&["x", "y"]);
+        for i in 0..100 {
+            let x = (i % 10) as f64 / 10.0;
+            t = t.add(&CovarTriple::of_row(&["x", "y"], &[x, x * 0.5]).unwrap()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn noise_grows_with_expected_queries() {
+        let t = triple();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let mut few = AggregateMechanism::new(1.0, 1);
+        few.register("d", b, 2).unwrap();
+        let mut many = AggregateMechanism::new(1.0, 1);
+        many.register("d", b, 500).unwrap();
+        // Averaged over repeats, the many-queries mechanism is far noisier.
+        let mut err_few = 0.0;
+        let mut err_many = 0.0;
+        for _ in 0..2 {
+            err_few += (few.privatize_query(&t, &["d"]).unwrap().s[0] - t.s[0]).abs();
+        }
+        for _ in 0..2 {
+            err_many += (many.privatize_query(&t, &["d"]).unwrap().s[0] - t.s[0]).abs();
+        }
+        assert!(err_many > err_few, "{err_many} vs {err_few}");
+    }
+
+    #[test]
+    fn budget_exhausts_after_expected_queries() {
+        let t = triple();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let mut apm = AggregateMechanism::new(1.0, 2);
+        apm.register("d", b, 3).unwrap();
+        for _ in 0..3 {
+            apm.privatize_query(&t, &["d"]).unwrap();
+        }
+        assert!(matches!(
+            apm.privatize_query(&t, &["d"]),
+            Err(PrivacyError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_dataset_queries_charge_everyone() {
+        let t = triple();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let mut apm = AggregateMechanism::new(1.0, 3);
+        apm.register("a", b, 10).unwrap();
+        apm.register("b", b, 10).unwrap();
+        apm.privatize_query(&t, &["a", "b"]).unwrap();
+        let ra = apm.remaining("a").unwrap().epsilon;
+        let rb = apm.remaining("b").unwrap().epsilon;
+        assert!((ra - 0.9).abs() < 1e-9);
+        assert!((rb - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_partner_blocks_before_any_charge() {
+        let t = triple();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let mut apm = AggregateMechanism::new(1.0, 4);
+        apm.register("rich", b, 100).unwrap();
+        apm.register("poor", b, 1).unwrap();
+        apm.privatize_query(&t, &["poor"]).unwrap(); // exhausts "poor"
+        let before = apm.remaining("rich").unwrap().epsilon;
+        assert!(apm.privatize_query(&t, &["rich", "poor"]).is_err());
+        // "rich" must not have been charged by the failed query.
+        assert_eq!(apm.remaining("rich").unwrap().epsilon, before);
+    }
+
+    #[test]
+    fn validation() {
+        let mut apm = AggregateMechanism::new(1.0, 5);
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        assert!(apm.register("d", b, 0).is_err());
+        apm.register("d", b, 1).unwrap();
+        let t = triple();
+        assert!(apm.privatize_query(&t, &[]).is_err());
+        assert!(apm.privatize_query(&t, &["nope"]).is_err());
+    }
+}

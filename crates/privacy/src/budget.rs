@@ -1,0 +1,175 @@
+//! (ε, δ) budgets and sequential-composition accounting.
+
+use crate::error::{PrivacyError, Result};
+use mileena_relation::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// An (ε, δ) differential-privacy budget (Definition 2.1 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    /// Privacy-loss bound ε > 0.
+    pub epsilon: f64,
+    /// Approximation slack δ ∈ [0, 1).
+    pub delta: f64,
+}
+
+impl PrivacyBudget {
+    /// Validated constructor.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidBudget(format!("ε must be > 0, got {epsilon}")));
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(PrivacyError::InvalidBudget(format!("δ must be in [0,1), got {delta}")));
+        }
+        Ok(PrivacyBudget { epsilon, delta })
+    }
+
+    /// Split evenly into `parts` sub-budgets (basic sequential composition
+    /// in reverse: releasing each part sums back to the whole).
+    pub fn split(&self, parts: usize) -> Result<PrivacyBudget> {
+        if parts == 0 {
+            return Err(PrivacyError::InvalidArgument("split into 0 parts".into()));
+        }
+        Ok(PrivacyBudget { epsilon: self.epsilon / parts as f64, delta: self.delta / parts as f64 })
+    }
+
+    /// A weighted fraction of this budget (`0 < w ≤ 1`).
+    pub fn fraction(&self, w: f64) -> Result<PrivacyBudget> {
+        if !(0.0..=1.0).contains(&w) || w == 0.0 {
+            return Err(PrivacyError::InvalidArgument(format!("fraction {w} not in (0,1]")));
+        }
+        Ok(PrivacyBudget { epsilon: self.epsilon * w, delta: self.delta * w })
+    }
+}
+
+/// Tracks, per dataset, how much budget has been spent under basic
+/// sequential composition (ε and δ add across releases).
+///
+/// The central platform holds one accountant; FPM charges it exactly once
+/// per dataset (at upload), APM charges it on every query — which is exactly
+/// the asymmetry Figure 5(b,c) measures.
+#[derive(Debug, Default, Clone)]
+pub struct BudgetAccountant {
+    limits: FxHashMap<String, PrivacyBudget>,
+    spent: FxHashMap<String, PrivacyBudget>,
+}
+
+impl BudgetAccountant {
+    /// New, empty accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dataset with its total budget. Re-registration is
+    /// rejected (budgets are not renewable).
+    pub fn register(&mut self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        if self.limits.contains_key(dataset) {
+            return Err(PrivacyError::InvalidArgument(format!(
+                "dataset {dataset} already has a budget"
+            )));
+        }
+        self.limits.insert(dataset.to_string(), budget);
+        self.spent.insert(
+            dataset.to_string(),
+            PrivacyBudget { epsilon: 0.0, delta: 0.0 },
+        );
+        Ok(())
+    }
+
+    /// Remaining budget for a dataset.
+    pub fn remaining(&self, dataset: &str) -> Result<PrivacyBudget> {
+        let limit = self
+            .limits
+            .get(dataset)
+            .ok_or_else(|| PrivacyError::InvalidArgument(format!("unknown dataset {dataset}")))?;
+        let spent = &self.spent[dataset];
+        Ok(PrivacyBudget {
+            epsilon: (limit.epsilon - spent.epsilon).max(0.0),
+            delta: (limit.delta - spent.delta).max(0.0),
+        })
+    }
+
+    /// Charge a release against a dataset's budget; errors (and charges
+    /// nothing) if insufficient.
+    pub fn charge(&mut self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
+        let rem = self.remaining(dataset)?;
+        // ε governs exhaustion; δ is checked too but with tolerance for
+        // float accumulation across many small charges.
+        if cost.epsilon > rem.epsilon + 1e-12 || cost.delta > rem.delta + 1e-15 {
+            return Err(PrivacyError::BudgetExhausted {
+                dataset: dataset.to_string(),
+                requested: cost.epsilon,
+                remaining: rem.epsilon,
+            });
+        }
+        let s = self.spent.get_mut(dataset).expect("registered above");
+        s.epsilon += cost.epsilon;
+        s.delta += cost.delta;
+        Ok(())
+    }
+
+    /// Total ε spent for a dataset.
+    pub fn spent(&self, dataset: &str) -> Option<PrivacyBudget> {
+        self.spent.get(dataset).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_validation() {
+        assert!(PrivacyBudget::new(1.0, 1e-6).is_ok());
+        assert!(PrivacyBudget::new(0.0, 1e-6).is_err());
+        assert!(PrivacyBudget::new(-1.0, 1e-6).is_err());
+        assert!(PrivacyBudget::new(1.0, 1.0).is_err());
+        assert!(PrivacyBudget::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn split_and_fraction() {
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let s = b.split(4).unwrap();
+        assert_eq!(s.epsilon, 0.25);
+        assert_eq!(s.delta, 2.5e-7);
+        let f = b.fraction(0.5).unwrap();
+        assert_eq!(f.epsilon, 0.5);
+        assert!(b.split(0).is_err());
+        assert!(b.fraction(0.0).is_err());
+        assert!(b.fraction(1.5).is_err());
+    }
+
+    #[test]
+    fn accountant_charges_until_exhausted() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        acc.register("d", b).unwrap();
+        let half = b.fraction(0.5).unwrap();
+        acc.charge("d", half).unwrap();
+        acc.charge("d", half).unwrap();
+        let e = acc.charge("d", b.fraction(0.1).unwrap());
+        assert!(matches!(e, Err(PrivacyError::BudgetExhausted { .. })));
+        let rem = acc.remaining("d").unwrap();
+        assert!(rem.epsilon.abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_charge_spends_nothing() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(0.5, 1e-6).unwrap();
+        acc.register("d", b).unwrap();
+        assert!(acc.charge("d", PrivacyBudget::new(1.0, 1e-7).unwrap()).is_err());
+        assert_eq!(acc.spent("d").unwrap().epsilon, 0.0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_datasets() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        assert!(acc.remaining("x").is_err());
+        acc.register("d", b).unwrap();
+        assert!(acc.register("d", b).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors for the privacy layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PrivacyError>;
+
+/// Errors raised by DP mechanisms and accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// ε or δ out of range.
+    InvalidBudget(String),
+    /// The dataset's budget is exhausted (further releases forbidden).
+    BudgetExhausted {
+        /// Dataset whose budget ran out.
+        dataset: String,
+        /// ε requested.
+        requested: f64,
+        /// ε remaining.
+        remaining: f64,
+    },
+    /// Sensitivity could not be established (unbounded/unclipped features).
+    UnboundedSensitivity(String),
+    /// Underlying sketch error.
+    Sketch(String),
+    /// Underlying relational error.
+    Relation(String),
+    /// Invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidBudget(m) => write!(f, "invalid privacy budget: {m}"),
+            PrivacyError::BudgetExhausted { dataset, requested, remaining } => write!(
+                f,
+                "budget exhausted for {dataset}: requested ε={requested}, remaining ε={remaining}"
+            ),
+            PrivacyError::UnboundedSensitivity(m) => write!(f, "unbounded sensitivity: {m}"),
+            PrivacyError::Sketch(m) => write!(f, "sketch error: {m}"),
+            PrivacyError::Relation(m) => write!(f, "relation error: {m}"),
+            PrivacyError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+impl From<mileena_sketch::SketchError> for PrivacyError {
+    fn from(e: mileena_sketch::SketchError) -> Self {
+        PrivacyError::Sketch(e.to_string())
+    }
+}
+
+impl From<mileena_relation::RelationError> for PrivacyError {
+    fn from(e: mileena_relation::RelationError) -> Self {
+        PrivacyError::Relation(e.to_string())
+    }
+}
+
+impl From<mileena_semiring::SemiringError> for PrivacyError {
+    fn from(e: mileena_semiring::SemiringError) -> Self {
+        PrivacyError::Sketch(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        let e = super::PrivacyError::BudgetExhausted {
+            dataset: "d".into(),
+            requested: 1.0,
+            remaining: 0.5,
+        };
+        assert!(e.to_string().contains("0.5"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Differential privacy for Mileena (§2.1, §3.3 of the paper).
+//!
+//! Three mechanisms cover the paper's Figure 5 comparison:
+//!
+//! - **FPM** ([`fpm`]) — the paper's *Factorized Privacy Mechanism*: apply
+//!   the Gaussian mechanism to semi-ring sketches **once, locally, before
+//!   upload**. Privatized sketches are then composable (through semi-ring
+//!   operators) and reusable (post-processing is free), so search cost in
+//!   privacy budget is *zero per request* — the property that lets FPM
+//!   "scale to arbitrary corpus sizes and numbers of requests".
+//! - **APM** ([`apm`]) — the global-trust baseline [47]: every search-time
+//!   aggregate over a materialized join/union consumes fresh budget, so a
+//!   provider's ε must be divided across all evaluations of all requests.
+//! - **TPM** ([`tpm`]) — the local-DP baseline [50]: noise every tuple at
+//!   upload; variance grows with the number of rows.
+//!
+//! Assumptions documented per the DP literature for factorized/keyed
+//! releases (and inherited from the paper's Saibot lineage [20]):
+//! join-key *domains* are treated as public (group identities are released;
+//! only group contents are protected), and feature values are clipped to
+//! known bounds before sketching so sensitivities are finite.
+
+pub mod apm;
+pub mod budget;
+pub mod error;
+pub mod fpm;
+pub mod histogram;
+pub mod mechanism;
+pub mod noise;
+pub mod sensitivity;
+pub mod tpm;
+
+pub use apm::AggregateMechanism;
+pub use budget::{BudgetAccountant, PrivacyBudget};
+pub use error::{PrivacyError, Result};
+pub use fpm::{FactorizedMechanism, FpmConfig, PrivatizedSketch};
+pub use histogram::{noisy_histogram, Histogram};
+pub use mechanism::{gaussian_sigma, laplace_scale};
+pub use noise::NoiseRng;
+pub use sensitivity::{clip_relation, triple_l2_sensitivity, FeatureBounds};
+pub use tpm::TupleMechanism;

@@ -1,0 +1,100 @@
+//! Seeded noise sampling (Gaussian via Box–Muller, Laplace via inverse CDF).
+//!
+//! Implemented in-tree so the only RNG dependency is `rand`'s core (the
+//! distributions live in `rand_distr`, which is outside the approved set).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded noise source for DP mechanisms.
+#[derive(Debug, Clone)]
+pub struct NoiseRng {
+    rng: StdRng,
+    /// Cached second Box–Muller variate.
+    spare: Option<f64>,
+}
+
+impl NoiseRng {
+    /// Deterministic source from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        NoiseRng { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Standard normal sample (Box–Muller, pair-cached).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 ∈ (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// N(0, σ²) sample.
+    pub fn gaussian(&mut self, sigma: f64) -> f64 {
+        self.standard_normal() * sigma
+    }
+
+    /// Laplace(0, b) sample via inverse CDF.
+    pub fn laplace(&mut self, b: f64) -> f64 {
+        let u: f64 = self.rng.gen::<f64>() - 0.5;
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = NoiseRng::seeded(5);
+        let mut b = NoiseRng::seeded(5);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+            assert_eq!(a.laplace(1.0), b.laplace(1.0));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = NoiseRng::seeded(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = NoiseRng::seeded(43);
+        let n = 20_000;
+        let b = 1.5;
+        let samples: Vec<f64> = (0..n).map(|_| rng.laplace(b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var(Laplace(b)) = 2b² = 4.5
+        assert!((var - 4.5).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn all_finite() {
+        let mut rng = NoiseRng::seeded(1);
+        for _ in 0..10_000 {
+            assert!(rng.standard_normal().is_finite());
+            assert!(rng.laplace(0.1).is_finite());
+        }
+    }
+}

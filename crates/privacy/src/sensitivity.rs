@@ -1,0 +1,144 @@
+//! Sensitivity analysis for covariance triples, and the clipping that makes
+//! it finite.
+
+use crate::error::{PrivacyError, Result};
+use mileena_relation::{Column, Relation};
+use serde::{Deserialize, Serialize};
+
+/// Per-feature value bounds `|x_i| ≤ b_i`, established by clipping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureBounds {
+    /// Bound per feature, aligned with the sketched feature order.
+    pub bounds: Vec<f64>,
+}
+
+impl FeatureBounds {
+    /// Uniform bound for `m` features.
+    pub fn uniform(m: usize, b: f64) -> Self {
+        FeatureBounds { bounds: vec![b; m] }
+    }
+
+    /// Validated constructor.
+    pub fn new(bounds: Vec<f64>) -> Result<Self> {
+        for &b in &bounds {
+            if !b.is_finite() || b <= 0.0 {
+                return Err(PrivacyError::UnboundedSensitivity(format!("bound {b}")));
+            }
+        }
+        Ok(FeatureBounds { bounds })
+    }
+}
+
+/// L2 sensitivity of a covariance triple `(c, s, Q)` to adding/removing one
+/// row with `|x_i| ≤ b_i`:
+///
+/// `Δ₂² = 1 + Σᵢ bᵢ² + (Σᵢ bᵢ²)²`
+///
+/// (the `c` component changes by 1, `s` by at most `(b₁..b_m)`, and the full
+/// `m×m` of `Q` by `x xᵀ` whose squared Frobenius norm is `(Σxᵢ²)²`).
+/// Counting all `m²` ordered entries of symmetric `Q` is conservative.
+pub fn triple_l2_sensitivity(bounds: &FeatureBounds) -> Result<f64> {
+    let mut sum_b2 = 0.0;
+    for &b in &bounds.bounds {
+        if !b.is_finite() || b <= 0.0 {
+            return Err(PrivacyError::UnboundedSensitivity(format!("bound {b}")));
+        }
+        sum_b2 += b * b;
+    }
+    Ok((1.0 + sum_b2 + sum_b2 * sum_b2).sqrt())
+}
+
+/// Clip every listed numeric column of `relation` into `[-bound, bound]`
+/// (the provider-side pre-processing step that makes the sensitivity above
+/// valid). Returns the clipped relation; NULLs pass through.
+pub fn clip_relation(relation: &Relation, columns: &[&str], bound: f64) -> Result<Relation> {
+    if !bound.is_finite() || bound <= 0.0 {
+        return Err(PrivacyError::InvalidArgument(format!("clip bound {bound}")));
+    }
+    let mut out = relation.clone();
+    for name in columns {
+        let col = relation.column(name)?;
+        let clipped = match col {
+            Column::Float { data, validity } => Column::Float {
+                data: data.iter().map(|v| v.clamp(-bound, bound)).collect(),
+                validity: validity.clone(),
+            },
+            Column::Int { data, validity } => {
+                let b = bound.floor() as i64;
+                Column::Int {
+                    data: data.iter().map(|v| (*v).clamp(-b, b)).collect(),
+                    validity: validity.clone(),
+                }
+            }
+            Column::Str { .. } => {
+                return Err(PrivacyError::InvalidArgument(format!(
+                    "cannot clip string column {name}"
+                )))
+            }
+        };
+        // Rebuild with the clipped column in place.
+        let idx = relation.schema().index_of(name)?;
+        let mut cols = out.columns().to_vec();
+        cols[idx] = clipped;
+        out = Relation::new(out.name(), out.schema().clone(), cols)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::{RelationBuilder, Value};
+
+    #[test]
+    fn sensitivity_formula() {
+        // m = 1, b = 1: Δ₂ = √3.
+        let b = FeatureBounds::uniform(1, 1.0);
+        assert!((triple_l2_sensitivity(&b).unwrap() - 3f64.sqrt()).abs() < 1e-12);
+        // m = 2, b = 1: Σb² = 2 → √(1 + 2 + 4) = √7.
+        let b = FeatureBounds::uniform(2, 1.0);
+        assert!((triple_l2_sensitivity(&b).unwrap() - 7f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_grows_with_bounds() {
+        let small = triple_l2_sensitivity(&FeatureBounds::uniform(3, 1.0)).unwrap();
+        let large = triple_l2_sensitivity(&FeatureBounds::uniform(3, 10.0)).unwrap();
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(FeatureBounds::new(vec![1.0, -1.0]).is_err());
+        assert!(FeatureBounds::new(vec![f64::INFINITY]).is_err());
+        assert!(triple_l2_sensitivity(&FeatureBounds { bounds: vec![0.0] }).is_err());
+    }
+
+    #[test]
+    fn clipping_bounds_values() {
+        let r = RelationBuilder::new("t")
+            .float_col("x", &[-5.0, 0.5, 9.0])
+            .int_col("k", &[100, -3, 2])
+            .build()
+            .unwrap();
+        let c = clip_relation(&r, &["x", "k"], 2.0).unwrap();
+        assert_eq!(c.value(0, "x").unwrap(), Value::Float(-2.0));
+        assert_eq!(c.value(1, "x").unwrap(), Value::Float(0.5));
+        assert_eq!(c.value(2, "x").unwrap(), Value::Float(2.0));
+        assert_eq!(c.value(0, "k").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn clipping_preserves_nulls_and_rejects_strings() {
+        let r = RelationBuilder::new("t")
+            .opt_float_col("x", &[None, Some(10.0)])
+            .str_col("s", &["a", "b"])
+            .build()
+            .unwrap();
+        let c = clip_relation(&r, &["x"], 1.0).unwrap();
+        assert_eq!(c.value(0, "x").unwrap(), Value::Null);
+        assert_eq!(c.value(1, "x").unwrap(), Value::Float(1.0));
+        assert!(clip_relation(&r, &["s"], 1.0).is_err());
+        assert!(clip_relation(&r, &["x"], 0.0).is_err());
+    }
+}

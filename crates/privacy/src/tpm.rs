@@ -1,0 +1,198 @@
+//! TPM — the Tuple (local-DP) Privacy Mechanism baseline ([50] in the
+//! paper): every tuple's values are perturbed *before* any aggregation.
+//!
+//! Under the local model no aggregator is trusted, so each of the `n` rows
+//! carries its own noise; aggregate error grows like `√n · σ_tuple` (and
+//! second moments pick up an additive bias of `n·σ²`), which is why TPM's
+//! task utility in Figure 5 is near zero regardless of corpus size or
+//! request count — privatization happens once, but at ruinous noise.
+
+use crate::budget::PrivacyBudget;
+use crate::error::{PrivacyError, Result};
+use crate::noise::NoiseRng;
+use mileena_relation::{Column, Relation};
+
+/// The per-tuple (local DP) mechanism.
+#[derive(Debug, Clone)]
+pub struct TupleMechanism {
+    /// Feature clip bound `B` (values assumed in `[-B, B]`).
+    bound: f64,
+}
+
+impl TupleMechanism {
+    /// New mechanism for features clipped to `[-bound, bound]`.
+    pub fn new(bound: f64) -> Self {
+        TupleMechanism { bound }
+    }
+
+    /// Privatize the listed numeric columns of a relation tuple-by-tuple
+    /// with the Laplace mechanism.
+    ///
+    /// Per-value L1 sensitivity is the domain width `2B`; the per-tuple
+    /// budget ε is split evenly across the `k` released columns (sequential
+    /// composition within one tuple). δ is unused (pure ε-LDP).
+    pub fn privatize_relation(
+        &self,
+        relation: &Relation,
+        columns: &[&str],
+        budget: PrivacyBudget,
+        seed: u64,
+    ) -> Result<Relation> {
+        if columns.is_empty() {
+            return Err(PrivacyError::InvalidArgument("no columns to privatize".into()));
+        }
+        let eps_col = budget.epsilon / columns.len() as f64;
+        let scale = crate::mechanism::laplace_scale(2.0 * self.bound, eps_col)?;
+        let mut rng = NoiseRng::seeded(seed);
+        let mut out = relation.clone();
+        for name in columns {
+            let col = relation.column(name)?;
+            let noisy = match col {
+                Column::Float { data, validity } => Column::Float {
+                    data: data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            if validity.get(i) {
+                                v + rng.laplace(scale)
+                            } else {
+                                *v
+                            }
+                        })
+                        .collect(),
+                    validity: validity.clone(),
+                },
+                Column::Int { data, validity } => Column::Float {
+                    // Int features become float after noising.
+                    data: data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            if validity.get(i) {
+                                *v as f64 + rng.laplace(scale)
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect(),
+                    validity: validity.clone(),
+                },
+                Column::Str { .. } => {
+                    return Err(PrivacyError::InvalidArgument(format!(
+                        "cannot tuple-privatize string column {name}"
+                    )))
+                }
+            };
+            let idx = relation.schema().index_of(name)?;
+            let mut fields = out.schema().fields().to_vec();
+            fields[idx].data_type = mileena_relation::DataType::Float;
+            let mut cols = out.columns().to_vec();
+            cols[idx] = noisy;
+            out = Relation::new(
+                out.name(),
+                mileena_relation::Schema::new(fields)
+                    .map_err(mileena_relation::RelationError::from)?,
+                cols,
+            )?;
+        }
+        Ok(out)
+    }
+
+    /// Expected per-value noise standard deviation for a given budget and
+    /// column count (`√2 · b` for Laplace(b)) — used by benches to report
+    /// the noise regime.
+    pub fn tuple_noise_std(&self, budget: PrivacyBudget, num_columns: usize) -> Result<f64> {
+        let eps_col = budget.epsilon / num_columns.max(1) as f64;
+        let b = crate::mechanism::laplace_scale(2.0 * self.bound, eps_col)?;
+        Ok(std::f64::consts::SQRT_2 * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    fn rel(n: usize) -> Relation {
+        RelationBuilder::new("t")
+            .float_col("x", &(0..n).map(|i| (i % 7) as f64 / 7.0).collect::<Vec<_>>())
+            .int_col("k", &(0..n as i64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn perturbs_every_tuple() {
+        let r = rel(50);
+        let tpm = TupleMechanism::new(1.0);
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        let p = tpm.privatize_relation(&r, &["x"], b, 1).unwrap();
+        let mut changed = 0;
+        for i in 0..50 {
+            if p.value(i, "x").unwrap() != r.value(i, "x").unwrap() {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, 50); // Laplace noise is a.s. nonzero
+        // Untouched column intact.
+        assert_eq!(p.value(3, "k").unwrap(), r.value(3, "k").unwrap());
+    }
+
+    #[test]
+    fn aggregate_error_grows_with_n() {
+        // Mean of privatized column: sd of mean ≈ σ_tuple/√n. Aggregate
+        // *sums* (what sketches need) have error √n·σ — check sums degrade.
+        let tpm = TupleMechanism::new(1.0);
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        let mut errs = Vec::new();
+        for &n in &[100usize, 10_000] {
+            let r = rel(n);
+            let p = tpm.privatize_relation(&r, &["x"], b, 7).unwrap();
+            let true_sum: f64 = (0..n).map(|i| (i % 7) as f64 / 7.0).sum();
+            let noisy_sum: f64 =
+                (0..n).map(|i| p.value(i, "x").unwrap().as_f64().unwrap()).sum();
+            errs.push((noisy_sum - true_sum).abs());
+        }
+        assert!(errs[1] > errs[0], "{errs:?}");
+    }
+
+    #[test]
+    fn int_columns_become_float() {
+        let r = rel(10);
+        let tpm = TupleMechanism::new(1.0);
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        let p = tpm.privatize_relation(&r, &["k"], b, 2).unwrap();
+        assert_eq!(
+            p.schema().field("k").unwrap().data_type,
+            mileena_relation::DataType::Float
+        );
+    }
+
+    #[test]
+    fn budget_split_across_columns_increases_noise() {
+        let tpm = TupleMechanism::new(1.0);
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        let one = tpm.tuple_noise_std(b, 1).unwrap();
+        let four = tpm.tuple_noise_std(b, 4).unwrap();
+        assert!((four / one - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_strings_and_empty() {
+        let r = RelationBuilder::new("t").str_col("s", &["a"]).build().unwrap();
+        let tpm = TupleMechanism::new(1.0);
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        assert!(tpm.privatize_relation(&r, &["s"], b, 1).is_err());
+        assert!(tpm.privatize_relation(&r, &[], b, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let r = rel(20);
+        let tpm = TupleMechanism::new(1.0);
+        let b = PrivacyBudget::new(1.0, 0.0).unwrap();
+        let a = tpm.privatize_relation(&r, &["x"], b, 5).unwrap();
+        let c = tpm.privatize_relation(&r, &["x"], b, 5).unwrap();
+        assert_eq!(a, c);
+    }
+}

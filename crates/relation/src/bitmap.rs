@@ -1,0 +1,185 @@
+//! A compact validity bitmap (one bit per row).
+//!
+//! Used by [`crate::Column`] to mark NULLs without widening element storage,
+//! the standard columnar-engine layout.
+
+use serde::{Deserialize, Serialize};
+
+/// A growable bitmap; bit `i` is `true` iff row `i` is valid (non-NULL).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Bitmap { words: Vec::new(), len: 0 }
+    }
+
+    /// Bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let word = if value { u64::MAX } else { 0 };
+        let mut b = Bitmap { words: vec![word; nwords], len };
+        b.mask_tail();
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get bit `i`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bitmap index {i} out of bounds (len {})", self.len);
+        let w = &mut self.words[i / 64];
+        if value {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, value: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        let i = self.len;
+        self.len += 1;
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Append all bits from `other`.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// New bitmap keeping only the given row indices, in order.
+    pub fn take(&self, indices: &[u32]) -> Bitmap {
+        let mut out = Bitmap::new();
+        for &i in indices {
+            out.push(self.get(i as usize));
+        }
+        out
+    }
+
+    /// Iterate over bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Zero out the bits beyond `len` in the last word so that equality and
+    /// popcount are well defined.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl Default for Bitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut b = Bitmap::new();
+        for v in iter {
+            b.push(v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut b = Bitmap::new();
+        for i in 0..200 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 200);
+        for i in 0..200 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(1, true);
+        assert!(b.get(1));
+        b.set(0, false);
+        assert!(!b.get(0));
+    }
+
+    #[test]
+    fn filled_and_count() {
+        let b = Bitmap::filled(130, true);
+        assert_eq!(b.count_set(), 130);
+        let b = Bitmap::filled(130, false);
+        assert_eq!(b.count_set(), 0);
+    }
+
+    #[test]
+    fn filled_true_equals_pushed_true() {
+        // Regression: the tail word of `filled` must be masked, otherwise
+        // equality with an incrementally built bitmap fails.
+        let a = Bitmap::filled(70, true);
+        let b: Bitmap = (0..70).map(|_| true).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let b: Bitmap = [true, false, true, true].into_iter().collect();
+        let t = b.take(&[3, 0, 1, 1]);
+        let got: Vec<bool> = t.iter().collect();
+        assert_eq!(got, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a: Bitmap = [true, false].into_iter().collect();
+        let b: Bitmap = [false, true, true].into_iter().collect();
+        a.extend_from(&b);
+        let got: Vec<bool> = a.iter().collect();
+        assert_eq!(got, vec![true, false, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::new().get(0);
+    }
+}

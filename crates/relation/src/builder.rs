@@ -1,0 +1,117 @@
+//! Ergonomic construction of relations, used pervasively in tests, examples
+//! and the synthetic data generators.
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+
+/// Fluent builder: `RelationBuilder::new("r").int_col("k", &[1]).build()`.
+#[derive(Debug, Default)]
+pub struct RelationBuilder {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+}
+
+impl RelationBuilder {
+    /// Start a new builder for a relation called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationBuilder { name: name.into(), fields: Vec::new(), columns: Vec::new() }
+    }
+
+    /// Add an all-valid int column.
+    pub fn int_col(mut self, name: &str, values: &[i64]) -> Self {
+        self.fields.push(Field::new(name, DataType::Int));
+        self.columns.push(Column::from_ints(values));
+        self
+    }
+
+    /// Add an all-valid float column.
+    pub fn float_col(mut self, name: &str, values: &[f64]) -> Self {
+        self.fields.push(Field::new(name, DataType::Float));
+        self.columns.push(Column::from_floats(values));
+        self
+    }
+
+    /// Add an all-valid string column.
+    pub fn str_col<S: AsRef<str>>(mut self, name: &str, values: &[S]) -> Self {
+        self.fields.push(Field::new(name, DataType::Str));
+        self.columns.push(Column::from_strs(values));
+        self
+    }
+
+    /// Add a float column with NULLs (`None`).
+    pub fn opt_float_col(mut self, name: &str, values: &[Option<f64>]) -> Self {
+        self.fields.push(Field::new(name, DataType::Float));
+        self.columns.push(Column::from_opt_floats(values));
+        self
+    }
+
+    /// Add an int column with NULLs (`None`).
+    pub fn opt_int_col(mut self, name: &str, values: &[Option<i64>]) -> Self {
+        self.fields.push(Field::new(name, DataType::Int));
+        self.columns.push(Column::from_opt_ints(values));
+        self
+    }
+
+    /// Add a string column with NULLs (`None`).
+    pub fn opt_str_col(mut self, name: &str, values: &[Option<String>]) -> Self {
+        self.fields.push(Field::new(name, DataType::Str));
+        self.columns.push(Column::from_opt_strs(values));
+        self
+    }
+
+    /// Add a pre-built column.
+    pub fn col(mut self, name: &str, column: Column) -> Self {
+        self.fields.push(Field::new(name, column.data_type()));
+        self.columns.push(column);
+        self
+    }
+
+    /// Finish, validating lengths/types/duplicates.
+    pub fn build(self) -> Result<Relation> {
+        let schema = Schema::new(self.fields)?;
+        Relation::new(self.name, schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn builds_mixed_relation() {
+        let r = RelationBuilder::new("mix")
+            .int_col("a", &[1, 2])
+            .float_col("b", &[0.5, 1.5])
+            .str_col("c", &["x", "y"])
+            .opt_int_col("d", &[None, Some(9)])
+            .build()
+            .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.num_columns(), 4);
+        assert_eq!(r.value(0, "d").unwrap(), Value::Null);
+        assert_eq!(r.value(1, "d").unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let r = RelationBuilder::new("bad")
+            .int_col("a", &[1, 2])
+            .float_col("b", &[0.5])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = RelationBuilder::new("bad")
+            .int_col("a", &[1])
+            .float_col("a", &[0.5])
+            .build();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! Typed columnar storage with validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::error::{RelationError, Result};
+use crate::value::{DataType, KeyValue, Value};
+use serde::{Deserialize, Serialize};
+
+/// A column of values of a single [`DataType`], with NULLs tracked by a
+/// validity [`Bitmap`] (bit set = value present).
+///
+/// Invalid slots still hold a placeholder element (0 / 0.0 / "") so that the
+/// data vector and the bitmap always have equal lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Integer column.
+    Int {
+        /// Element storage (placeholder 0 where invalid).
+        data: Vec<i64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Float column.
+    Float {
+        /// Element storage (placeholder 0.0 where invalid).
+        data: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// String column.
+    Str {
+        /// Element storage (placeholder "" where invalid).
+        data: Vec<String>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+}
+
+impl Column {
+    /// A new empty column of the given type.
+    pub fn empty(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int => Column::Int { data: Vec::new(), validity: Bitmap::new() },
+            DataType::Float => Column::Float { data: Vec::new(), validity: Bitmap::new() },
+            DataType::Str => Column::Str { data: Vec::new(), validity: Bitmap::new() },
+        }
+    }
+
+    /// Build an all-valid int column.
+    pub fn from_ints(values: &[i64]) -> Self {
+        Column::Int { data: values.to_vec(), validity: Bitmap::filled(values.len(), true) }
+    }
+
+    /// Build an all-valid float column.
+    pub fn from_floats(values: &[f64]) -> Self {
+        Column::Float { data: values.to_vec(), validity: Bitmap::filled(values.len(), true) }
+    }
+
+    /// Build an all-valid string column.
+    pub fn from_strs<S: AsRef<str>>(values: &[S]) -> Self {
+        Column::Str {
+            data: values.iter().map(|s| s.as_ref().to_string()).collect(),
+            validity: Bitmap::filled(values.len(), true),
+        }
+    }
+
+    /// Build a float column where `None` marks NULL.
+    pub fn from_opt_floats(values: &[Option<f64>]) -> Self {
+        let mut data = Vec::with_capacity(values.len());
+        let mut validity = Bitmap::new();
+        for v in values {
+            data.push(v.unwrap_or(0.0));
+            validity.push(v.is_some());
+        }
+        Column::Float { data, validity }
+    }
+
+    /// Build an int column where `None` marks NULL.
+    pub fn from_opt_ints(values: &[Option<i64>]) -> Self {
+        let mut data = Vec::with_capacity(values.len());
+        let mut validity = Bitmap::new();
+        for v in values {
+            data.push(v.unwrap_or(0));
+            validity.push(v.is_some());
+        }
+        Column::Int { data, validity }
+    }
+
+    /// Build a string column where `None` marks NULL.
+    pub fn from_opt_strs(values: &[Option<String>]) -> Self {
+        let mut data = Vec::with_capacity(values.len());
+        let mut validity = Bitmap::new();
+        for v in values {
+            data.push(v.clone().unwrap_or_default());
+            validity.push(v.is_some());
+        }
+        Column::Str { data, validity }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int { .. } => DataType::Int,
+            Column::Float { .. } => DataType::Float,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Str { data, .. } => data.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Str { validity, .. } => validity,
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.len() - self.validity().count_set()
+    }
+
+    /// Value at row `i` (NULL-aware). Panics if out of bounds.
+    pub fn value(&self, i: usize) -> Value {
+        if !self.validity().get(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int { data, .. } => Value::Int(data[i]),
+            Column::Float { data, .. } => Value::Float(data[i]),
+            Column::Str { data, .. } => Value::Str(data[i].clone()),
+        }
+    }
+
+    /// Numeric value at row `i`; `None` for NULLs and strings.
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if !self.validity().get(i) {
+            return None;
+        }
+        match self {
+            Column::Int { data, .. } => Some(data[i] as f64),
+            Column::Float { data, .. } => Some(data[i]),
+            Column::Str { .. } => None,
+        }
+    }
+
+    /// Key value at row `i` for joins/group-bys; errors for float columns.
+    #[inline]
+    pub fn key_at(&self, i: usize, column_name: &str) -> Result<KeyValue> {
+        if !self.validity().get(i) {
+            return Ok(KeyValue::Null);
+        }
+        match self {
+            Column::Int { data, .. } => Ok(KeyValue::Int(data[i])),
+            Column::Str { data, .. } => Ok(KeyValue::Str(data[i].clone())),
+            Column::Float { .. } => Err(RelationError::InvalidKeyType {
+                column: column_name.to_string(),
+                data_type: "float".to_string(),
+            }),
+        }
+    }
+
+    /// Append a [`Value`]; `Value::Null` appends a NULL. Integers widen to
+    /// float when pushed into a float column. Errors on other type clashes.
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        match (self, v) {
+            (Column::Int { data, validity }, Value::Int(x)) => {
+                data.push(*x);
+                validity.push(true);
+            }
+            (Column::Float { data, validity }, Value::Float(x)) => {
+                data.push(*x);
+                validity.push(true);
+            }
+            (Column::Float { data, validity }, Value::Int(x)) => {
+                data.push(*x as f64);
+                validity.push(true);
+            }
+            (Column::Str { data, validity }, Value::Str(x)) => {
+                data.push(x.clone());
+                validity.push(true);
+            }
+            (Column::Int { data, validity }, Value::Null) => {
+                data.push(0);
+                validity.push(false);
+            }
+            (Column::Float { data, validity }, Value::Null) => {
+                data.push(0.0);
+                validity.push(false);
+            }
+            (Column::Str { data, validity }, Value::Null) => {
+                data.push(String::new());
+                validity.push(false);
+            }
+            (col, v) => {
+                return Err(RelationError::TypeMismatch {
+                    context: "push_value".to_string(),
+                    expected: col.data_type().to_string(),
+                    found: v
+                        .data_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// New column with only the given row indices, in order (gather).
+    pub fn take(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int { data, validity } => Column::Int {
+                data: indices.iter().map(|&i| data[i as usize]).collect(),
+                validity: validity.take(indices),
+            },
+            Column::Float { data, validity } => Column::Float {
+                data: indices.iter().map(|&i| data[i as usize]).collect(),
+                validity: validity.take(indices),
+            },
+            Column::Str { data, validity } => Column::Str {
+                data: indices.iter().map(|&i| data[i as usize].clone()).collect(),
+                validity: validity.take(indices),
+            },
+        }
+    }
+
+    /// Append all rows of `other` (types must match exactly).
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (
+                Column::Int { data, validity },
+                Column::Int { data: od, validity: ov },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Column::Float { data, validity },
+                Column::Float { data: od, validity: ov },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Column::Str { data, validity },
+                Column::Str { data: od, validity: ov },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (me, other) => {
+                return Err(RelationError::TypeMismatch {
+                    context: "extend_from".to_string(),
+                    expected: me.data_type().to_string(),
+                    found: other.data_type().to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterator over rows as [`Value`]s (clones strings; prefer `f64_at` for
+    /// numeric hot paths).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Mean of valid numeric values (`None` if no valid values or non-numeric).
+    pub fn mean(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..self.len() {
+            if let Some(v) = self.f64_at(i) {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Min and max of valid numeric values.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut mm: Option<(f64, f64)> = None;
+        for i in 0..self.len() {
+            if let Some(v) = self.f64_at(i) {
+                mm = Some(match mm {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        mm
+    }
+
+    /// Number of distinct valid values (exact; hashes every value).
+    pub fn distinct_count(&self) -> usize {
+        use crate::hash::FxHashSet;
+        match self {
+            Column::Int { data, validity } => {
+                let mut s: FxHashSet<i64> = FxHashSet::default();
+                for (i, v) in data.iter().enumerate() {
+                    if validity.get(i) {
+                        s.insert(*v);
+                    }
+                }
+                s.len()
+            }
+            Column::Str { data, validity } => {
+                let mut s: FxHashSet<&str> = FxHashSet::default();
+                for (i, v) in data.iter().enumerate() {
+                    if validity.get(i) {
+                        s.insert(v.as_str());
+                    }
+                }
+                s.len()
+            }
+            Column::Float { data, validity } => {
+                let mut s: FxHashSet<u64> = FxHashSet::default();
+                for (i, v) in data.iter().enumerate() {
+                    if validity.get(i) {
+                        s.insert(v.to_bits());
+                    }
+                }
+                s.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_access() {
+        let c = Column::from_ints(&[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(1), Value::Int(2));
+        assert_eq!(c.f64_at(2), Some(3.0));
+        assert_eq!(c.null_count(), 0);
+
+        let c = Column::from_opt_floats(&[Some(1.5), None, Some(2.5)]);
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.f64_at(1), None);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(c.min_max(), Some((1.5, 2.5)));
+    }
+
+    #[test]
+    fn push_value_with_widening() {
+        let mut c = Column::empty(DataType::Float);
+        c.push_value(&Value::Int(2)).unwrap();
+        c.push_value(&Value::Float(0.5)).unwrap();
+        c.push_value(&Value::Null).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.f64_at(0), Some(2.0));
+        assert!(c.push_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn key_at_rules() {
+        let c = Column::from_strs(&["a", "b"]);
+        assert_eq!(c.key_at(0, "c").unwrap(), KeyValue::Str("a".into()));
+        let c = Column::from_floats(&[1.0]);
+        assert!(c.key_at(0, "c").is_err());
+        let c = Column::from_opt_ints(&[None]);
+        assert_eq!(c.key_at(0, "c").unwrap(), KeyValue::Null);
+    }
+
+    #[test]
+    fn take_gathers_with_nulls() {
+        let c = Column::from_opt_ints(&[Some(10), None, Some(30)]);
+        let t = c.take(&[2, 1, 0, 2]);
+        assert_eq!(t.value(0), Value::Int(30));
+        assert_eq!(t.value(1), Value::Null);
+        assert_eq!(t.value(3), Value::Int(30));
+    }
+
+    #[test]
+    fn extend_matches_types() {
+        let mut a = Column::from_ints(&[1]);
+        a.extend_from(&Column::from_ints(&[2, 3])).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.extend_from(&Column::from_floats(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls() {
+        let c = Column::from_opt_ints(&[Some(1), Some(1), None, Some(2)]);
+        assert_eq!(c.distinct_count(), 2);
+        let c = Column::from_strs(&["x", "y", "x"]);
+        assert_eq!(c.distinct_count(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports RFC-4180-style quoting (`"` with `""` escapes), header rows, and
+//! per-column type inference (int → float → string; empty cells are NULL).
+//! This is the ingestion path a provider's Local Data Store would use before
+//! transformation and sketching.
+
+use crate::column::Column;
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse one CSV record (handles quotes); returns fields.
+fn parse_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(RelationError::Csv(format!(
+                            "unexpected quote mid-field in: {line}"
+                        )));
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Csv(format!("unterminated quote in: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Infer the narrowest type for a set of raw cells (NULLs ignored).
+fn infer_type(cells: &[Option<String>]) -> DataType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut any = false;
+    for c in cells.iter().flatten() {
+        any = true;
+        if c.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if c.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if !all_int && !all_float {
+            return DataType::Str;
+        }
+    }
+    if !any || all_int {
+        // all-NULL columns default to Int
+        if all_int {
+            return DataType::Int;
+        }
+    }
+    if all_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+/// Read a relation from CSV text. The first record is the header.
+pub fn read_csv_from<R: Read>(reader: R, name: &str) -> Result<Relation> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = match lines.next() {
+        Some(h) => parse_record(&h?)?,
+        None => return Err(RelationError::Csv("empty input".into())),
+    };
+    let ncols = header.len();
+    let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse_record(&line)?;
+        if rec.len() != ncols {
+            return Err(RelationError::Csv(format!(
+                "row {} has {} fields, expected {ncols}",
+                lineno + 2,
+                rec.len()
+            )));
+        }
+        for (ci, cell) in rec.into_iter().enumerate() {
+            raw[ci].push(if cell.is_empty() { None } else { Some(cell) });
+        }
+    }
+
+    let mut fields = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols);
+    for (ci, cells) in raw.iter().enumerate() {
+        let dt = infer_type(cells);
+        fields.push(Field::new(header[ci].clone(), dt));
+        let col = match dt {
+            DataType::Int => Column::from_opt_ints(
+                &cells
+                    .iter()
+                    .map(|c| c.as_ref().map(|s| s.parse::<i64>().unwrap()))
+                    .collect::<Vec<_>>(),
+            ),
+            DataType::Float => Column::from_opt_floats(
+                &cells
+                    .iter()
+                    .map(|c| c.as_ref().map(|s| s.parse::<f64>().unwrap()))
+                    .collect::<Vec<_>>(),
+            ),
+            DataType::Str => Column::from_opt_strs(
+                &cells.iter().map(|c| c.clone()).collect::<Vec<_>>(),
+            ),
+        };
+        columns.push(col);
+    }
+    Relation::new(name, Schema::new(fields)?, columns)
+}
+
+/// Read a relation from a CSV file; the relation is named after the file stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Relation> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "csv".to_string());
+    let file = std::fs::File::open(path)?;
+    read_csv_from(file, &name)
+}
+
+/// Quote a cell if needed.
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Write a relation as CSV text.
+pub fn write_csv_to<W: Write>(relation: &Relation, writer: &mut W) -> Result<()> {
+    let names = relation.schema().names();
+    writeln!(writer, "{}", names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","))?;
+    for i in 0..relation.num_rows() {
+        let row: Vec<String> =
+            relation.columns().iter().map(|c| quote(&c.value(i).to_string())).collect();
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write a relation to a CSV file.
+pub fn write_csv(relation: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_csv_to(relation, &mut file)?;
+    use std::io::Write as _;
+    file.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_types_and_nulls() {
+        let csv = "id,price,city\n1,10.5,nyc\n2,,sf\n3,7,\"a,b\"\n";
+        let r = read_csv_from(csv.as_bytes(), "t").unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.schema().field("id").unwrap().data_type, DataType::Int);
+        assert_eq!(r.schema().field("price").unwrap().data_type, DataType::Float);
+        assert_eq!(r.schema().field("city").unwrap().data_type, DataType::Str);
+        assert_eq!(r.value(1, "price").unwrap(), Value::Null);
+        assert_eq!(r.value(2, "city").unwrap(), Value::Str("a,b".into()));
+    }
+
+    #[test]
+    fn int_column_stays_int_float_promotes() {
+        let csv = "a,b\n1,1.0\n2,2\n";
+        let r = read_csv_from(csv.as_bytes(), "t").unwrap();
+        assert_eq!(r.schema().field("a").unwrap().data_type, DataType::Int);
+        assert_eq!(r.schema().field("b").unwrap().data_type, DataType::Float);
+    }
+
+    #[test]
+    fn quoted_quotes_roundtrip() {
+        let csv = "s\n\"he said \"\"hi\"\"\"\n";
+        let r = read_csv_from(csv.as_bytes(), "t").unwrap();
+        assert_eq!(r.value(0, "s").unwrap(), Value::Str("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_quotes() {
+        assert!(read_csv_from("a,b\n1\n".as_bytes(), "t").is_err());
+        assert!(read_csv_from("a\n\"unterminated\n".as_bytes(), "t").is_err());
+        assert!(read_csv_from("".as_bytes(), "t").is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let r = crate::builder::RelationBuilder::new("t")
+            .int_col("k", &[1, 2])
+            .float_col("x", &[1.5, -2.0])
+            .str_col("s", &["plain", "with,comma"])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&r, &mut buf).unwrap();
+        let r2 = read_csv_from(buf.as_slice(), "t").unwrap();
+        assert_eq!(r2.num_rows(), 2);
+        assert_eq!(r2.value(1, "s").unwrap(), Value::Str("with,comma".into()));
+        assert_eq!(r2.value(0, "x").unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mileena_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let r = crate::builder::RelationBuilder::new("roundtrip")
+            .int_col("k", &[7])
+            .build()
+            .unwrap();
+        write_csv(&r, &path).unwrap();
+        let r2 = read_csv(&path).unwrap();
+        assert_eq!(r2.name(), "roundtrip");
+        assert_eq!(r2.value(0, "k").unwrap(), Value::Int(7));
+        std::fs::remove_file(&path).ok();
+    }
+}

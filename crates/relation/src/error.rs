@@ -1,0 +1,107 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors raised by relational operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound(String),
+    /// Two columns (or a column and an operation) disagree on data type.
+    TypeMismatch {
+        /// Context of the mismatch (column or operation name).
+        context: String,
+        /// The type that was expected.
+        expected: String,
+        /// The type that was found.
+        found: String,
+    },
+    /// Columns within one relation have differing lengths.
+    LengthMismatch {
+        /// Context of the mismatch.
+        context: String,
+        /// First length.
+        left: usize,
+        /// Second length.
+        right: usize,
+    },
+    /// Schemas are incompatible for the attempted operation (e.g. union).
+    SchemaMismatch(String),
+    /// A column name is duplicated within one schema.
+    DuplicateColumn(String),
+    /// The operation requires a hashable key type (int or string).
+    InvalidKeyType {
+        /// Column used as a key.
+        column: String,
+        /// The offending type.
+        data_type: String,
+    },
+    /// Malformed CSV input.
+    Csv(String),
+    /// Underlying I/O failure (message only, to stay `Clone`/`PartialEq`).
+    Io(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            RelationError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            RelationError::LengthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "length mismatch in {context}: {left} vs {right}"),
+            RelationError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelationError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            RelationError::InvalidKeyType { column, data_type } => {
+                write!(f, "column {column} of type {data_type} cannot be used as a key")
+            }
+            RelationError::Csv(msg) => write!(f, "csv error: {msg}"),
+            RelationError::Io(msg) => write!(f, "io error: {msg}"),
+            RelationError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        RelationError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::ColumnNotFound("price".into());
+        assert!(e.to_string().contains("price"));
+        let e = RelationError::TypeMismatch {
+            context: "union".into(),
+            expected: "float".into(),
+            found: "str".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("union") && s.contains("float") && s.contains("str"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let e: RelationError = io.into();
+        assert!(matches!(e, RelationError::Io(_)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Relational substrate for the Mileena dataset-search platform.
+//!
+//! This crate implements the standard relational data model from §2.1 of the
+//! paper: relations `R[A1, ..., An]` with typed, columnar storage and the
+//! operators the rest of the system is built on — hash join (vertical
+//! augmentation), union (horizontal augmentation), group-by (semi-ring
+//! aggregation pushdown), projection, filtering and sampling.
+//!
+//! Design notes
+//! - Storage is columnar ([`Column`]) with an explicit validity [`Bitmap`],
+//!   which keeps scans cache-friendly and makes aggregate pushdown cheap.
+//! - Join/group-by keys are [`KeyValue`]s (ints or strings); floating-point
+//!   keys are rejected because they are not reliably hashable/equatable.
+//! - All hash tables use the in-tree [`hash::FxHashMap`] (an Fx-style
+//!   multiply-xor hasher) per the performance guidance for integer-heavy keys.
+//!
+//! # Example
+//! ```
+//! use mileena_relation::{Relation, RelationBuilder, Value};
+//!
+//! let orders = RelationBuilder::new("orders")
+//!     .int_col("customer", &[1, 2, 1])
+//!     .float_col("amount", &[10.0, 20.0, 30.0])
+//!     .build()
+//!     .unwrap();
+//! let customers = RelationBuilder::new("customers")
+//!     .int_col("customer", &[1, 2])
+//!     .float_col("age", &[33.0, 41.0])
+//!     .build()
+//!     .unwrap();
+//! let joined = orders.hash_join(&customers, &["customer"], &["customer"]).unwrap();
+//! assert_eq!(joined.num_rows(), 3);
+//! assert_eq!(joined.value(0, "age").unwrap(), Value::Float(33.0));
+//! ```
+
+pub mod bitmap;
+pub mod builder;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod hash;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use builder::RelationBuilder;
+pub use column::Column;
+pub use error::{RelationError, Result};
+pub use hash::{FxHashMap, FxHashSet};
+pub use relation::Relation;
+pub use schema::{Field, Schema};
+pub use value::{DataType, KeyValue, Value};

@@ -1,0 +1,90 @@
+//! Group-by: partition row indices by key columns.
+//!
+//! This is deliberately *not* an aggregating operator: it returns row-index
+//! groups so the semi-ring layer (`mileena-semiring`) can fold arbitrary
+//! semi-ring annotations over each group — the `γ_j(R)` primitive that
+//! aggregation pushdown (§3.1 of the paper) is built from.
+
+use crate::error::Result;
+use crate::hash::FxHashMap;
+use crate::relation::Relation;
+use crate::value::KeyValue;
+
+/// Result of grouping: each key maps to the row indices holding it.
+pub type GroupedRows = FxHashMap<Vec<KeyValue>, Vec<u32>>;
+
+/// Partition `relation`'s rows by the given key columns.
+///
+/// NULL keys form their own group (keyed by [`KeyValue::Null`]); callers that
+/// need SQL join semantics must skip that group explicitly.
+pub fn group_rows(relation: &Relation, key_columns: &[&str]) -> Result<GroupedRows> {
+    let idx: Vec<usize> = key_columns
+        .iter()
+        .map(|k| relation.schema().index_of(k))
+        .collect::<Result<_>>()?;
+    let mut groups: GroupedRows = FxHashMap::default();
+    for i in 0..relation.num_rows() {
+        let mut key = Vec::with_capacity(idx.len());
+        for (&ci, kname) in idx.iter().zip(key_columns) {
+            key.push(relation.column_at(ci).key_at(i, kname)?);
+        }
+        groups.entry(key).or_default().push(i as u32);
+    }
+    Ok(groups)
+}
+
+impl Relation {
+    /// Group rows by key columns; see [`group_rows`].
+    pub fn group_by(&self, key_columns: &[&str]) -> Result<GroupedRows> {
+        group_rows(self, key_columns)
+    }
+
+    /// Distinct keys of the given key columns (order unspecified).
+    pub fn distinct_keys(&self, key_columns: &[&str]) -> Result<Vec<Vec<KeyValue>>> {
+        Ok(self.group_by(key_columns)?.into_keys().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RelationBuilder;
+
+    #[test]
+    fn groups_by_single_key() {
+        let r = RelationBuilder::new("t")
+            .int_col("k", &[1, 2, 1, 1])
+            .float_col("x", &[1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
+        let g = r.group_by(&["k"]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[&vec![KeyValue::Int(1)]], vec![0, 2, 3]);
+        assert_eq!(g[&vec![KeyValue::Int(2)]], vec![1]);
+    }
+
+    #[test]
+    fn groups_by_composite_key_with_nulls() {
+        let r = RelationBuilder::new("t")
+            .opt_int_col("a", &[Some(1), Some(1), None])
+            .str_col("b", &["x", "y", "x"])
+            .build()
+            .unwrap();
+        let g = r.group_by(&["a", "b"]).unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.contains_key(&vec![KeyValue::Null, KeyValue::Str("x".into())]));
+    }
+
+    #[test]
+    fn float_key_rejected() {
+        let r = RelationBuilder::new("t").float_col("x", &[1.0]).build().unwrap();
+        assert!(r.group_by(&["x"]).is_err());
+    }
+
+    #[test]
+    fn distinct_keys_counts() {
+        let r = RelationBuilder::new("t").int_col("k", &[5, 5, 6]).build().unwrap();
+        let keys = r.distinct_keys(&["k"]).unwrap();
+        assert_eq!(keys.len(), 2);
+    }
+}

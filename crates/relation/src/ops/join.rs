@@ -1,0 +1,244 @@
+//! Hash join between two relations.
+
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::KeyValue;
+
+/// Join variants supported by [`Relation::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep all left rows; unmatched right columns become NULL.
+    Left,
+}
+
+impl Relation {
+    /// Inner hash join (convenience for [`Relation::join`]).
+    ///
+    /// Output columns: all left columns, then right columns except the right
+    /// join keys. Right column names clashing with left names get a
+    /// `<right-relation>.` prefix.
+    pub fn hash_join(
+        &self,
+        right: &Relation,
+        left_keys: &[&str],
+        right_keys: &[&str],
+    ) -> Result<Relation> {
+        self.join(right, left_keys, right_keys, JoinKind::Inner)
+    }
+
+    /// Hash join with an explicit [`JoinKind`].
+    ///
+    /// NULL keys never match (SQL semantics). For multi-row matches the
+    /// output contains the cross product of matching row pairs.
+    pub fn join(
+        &self,
+        right: &Relation,
+        left_keys: &[&str],
+        right_keys: &[&str],
+        kind: JoinKind,
+    ) -> Result<Relation> {
+        if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+            return Err(RelationError::InvalidArgument(format!(
+                "join requires equal, non-empty key lists (got {} and {})",
+                left_keys.len(),
+                right_keys.len()
+            )));
+        }
+        // Resolve key columns up front (also validates names/types).
+        let rkey_idx: Vec<usize> = right_keys
+            .iter()
+            .map(|k| right.schema().index_of(k))
+            .collect::<Result<_>>()?;
+        let lkey_idx: Vec<usize> = left_keys
+            .iter()
+            .map(|k| self.schema().index_of(k))
+            .collect::<Result<_>>()?;
+
+        // Build phase on the right (usually the smaller augmentation table).
+        let mut table: FxHashMap<Vec<KeyValue>, Vec<u32>> = FxHashMap::default();
+        'build: for i in 0..right.num_rows() {
+            let mut key = Vec::with_capacity(rkey_idx.len());
+            for (&ci, kname) in rkey_idx.iter().zip(right_keys) {
+                let kv = right.column_at(ci).key_at(i, kname)?;
+                if kv == KeyValue::Null {
+                    continue 'build; // NULL keys never match
+                }
+                key.push(kv);
+            }
+            table.entry(key).or_default().push(i as u32);
+        }
+
+        // Probe phase on the left.
+        let mut left_take: Vec<u32> = Vec::new();
+        let mut right_take: Vec<i64> = Vec::new(); // -1 marks "no match" (left join)
+        let mut keybuf: Vec<KeyValue> = Vec::with_capacity(lkey_idx.len());
+        'probe: for i in 0..self.num_rows() {
+            keybuf.clear();
+            for (&ci, kname) in lkey_idx.iter().zip(left_keys) {
+                let kv = self.column_at(ci).key_at(i, kname)?;
+                if kv == KeyValue::Null {
+                    if kind == JoinKind::Left {
+                        left_take.push(i as u32);
+                        right_take.push(-1);
+                    }
+                    continue 'probe;
+                }
+                keybuf.push(kv);
+            }
+            match table.get(keybuf.as_slice()) {
+                Some(matches) => {
+                    for &j in matches {
+                        left_take.push(i as u32);
+                        right_take.push(j as i64);
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_take.push(i as u32);
+                        right_take.push(-1);
+                    }
+                }
+            }
+        }
+
+        // Assemble output: left columns gathered by left_take, right non-key
+        // columns gathered by right_take (with NULL for -1).
+        let left_part = self.take(&left_take);
+        let mut out_fields = left_part.schema().fields().to_vec();
+        let mut out_columns = left_part.columns().to_vec();
+
+        for (ci, f) in right.schema().fields().iter().enumerate() {
+            if rkey_idx.contains(&ci) {
+                continue; // drop right join keys: equal to left's by definition
+            }
+            let name = if self.schema().contains(&f.name) {
+                format!("{}.{}", right.name(), f.name)
+            } else {
+                f.name.clone()
+            };
+            let src = right.column_at(ci);
+            let mut col = crate::column::Column::empty(f.data_type);
+            for &j in &right_take {
+                if j < 0 {
+                    col.push_value(&crate::value::Value::Null)?;
+                } else {
+                    col.push_value(&src.value(j as usize))?;
+                }
+            }
+            out_fields.push(crate::schema::Field::new(name, f.data_type));
+            out_columns.push(col);
+        }
+
+        let out_name = format!("{}⋈{}", self.name(), right.name());
+        Relation::new(out_name, Schema::new(out_fields)?, out_columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RelationBuilder;
+    use crate::value::Value;
+
+    fn left() -> Relation {
+        RelationBuilder::new("L")
+            .int_col("k", &[1, 2, 3])
+            .float_col("x", &[10.0, 20.0, 30.0])
+            .build()
+            .unwrap()
+    }
+
+    fn right() -> Relation {
+        RelationBuilder::new("R")
+            .int_col("k", &[1, 1, 3])
+            .float_col("y", &[0.1, 0.2, 0.3])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let j = left().hash_join(&right(), &["k"], &["k"]).unwrap();
+        // k=1 matches twice, k=2 none, k=3 once → 3 rows
+        assert_eq!(j.num_rows(), 3);
+        assert_eq!(j.schema().names(), vec!["k", "x", "y"]);
+        assert_eq!(j.value(0, "x").unwrap(), Value::Float(10.0));
+        assert_eq!(j.value(2, "y").unwrap(), Value::Float(0.3));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let j = left().join(&right(), &["k"], &["k"], JoinKind::Left).unwrap();
+        assert_eq!(j.num_rows(), 4); // 2 + 1(null) + 1
+        let k2_row = (0..4).find(|&i| j.value(i, "k").unwrap() == Value::Int(2)).unwrap();
+        assert_eq!(j.value(k2_row, "y").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = RelationBuilder::new("L")
+            .opt_int_col("k", &[None, Some(1)])
+            .float_col("x", &[1.0, 2.0])
+            .build()
+            .unwrap();
+        let r = RelationBuilder::new("R")
+            .opt_int_col("k", &[None, Some(1)])
+            .float_col("y", &[5.0, 6.0])
+            .build()
+            .unwrap();
+        let j = l.hash_join(&r, &["k"], &["k"]).unwrap();
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.value(0, "y").unwrap(), Value::Float(6.0));
+        let lj = l.join(&r, &["k"], &["k"], JoinKind::Left).unwrap();
+        assert_eq!(lj.num_rows(), 2);
+    }
+
+    #[test]
+    fn string_and_composite_keys() {
+        let l = RelationBuilder::new("L")
+            .str_col("city", &["nyc", "nyc", "sf"])
+            .int_col("yr", &[2020, 2021, 2020])
+            .float_col("x", &[1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let r = RelationBuilder::new("R")
+            .str_col("city", &["nyc", "sf"])
+            .int_col("yr", &[2021, 2020])
+            .float_col("y", &[7.0, 8.0])
+            .build()
+            .unwrap();
+        let j = l.hash_join(&r, &["city", "yr"], &["city", "yr"]).unwrap();
+        assert_eq!(j.num_rows(), 2);
+        let vals: Vec<f64> = (0..2).map(|i| j.value(i, "y").unwrap().as_f64().unwrap()).collect();
+        assert!(vals.contains(&7.0) && vals.contains(&8.0));
+    }
+
+    #[test]
+    fn clashing_right_columns_are_prefixed() {
+        let l = left();
+        let r = RelationBuilder::new("R")
+            .int_col("k", &[1])
+            .float_col("x", &[9.0]) // clashes with left "x"
+            .build()
+            .unwrap();
+        let j = l.hash_join(&r, &["k"], &["k"]).unwrap();
+        assert!(j.schema().contains("R.x"));
+        assert_eq!(j.value(0, "R.x").unwrap(), Value::Float(9.0));
+    }
+
+    #[test]
+    fn float_keys_rejected() {
+        let l = left();
+        let r = right();
+        assert!(l.hash_join(&r, &["x"], &["y"]).is_err());
+    }
+
+    #[test]
+    fn mismatched_key_lists_rejected() {
+        assert!(left().hash_join(&right(), &["k"], &[]).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Relational operators: hash join, union, group-by.
+//!
+//! These implement the augmentation primitives of Problem 1 in the paper:
+//! vertical augmentation is a key–foreign-key hash join, horizontal
+//! augmentation is a union of schema-compatible relations, and group-by is
+//! the building block for semi-ring aggregation pushdown (§3.1).
+
+mod groupby;
+mod join;
+mod union;
+
+pub use groupby::{group_rows, GroupedRows};
+pub use join::JoinKind;

@@ -1,0 +1,88 @@
+//! Union (UNION ALL) of schema-compatible relations.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+impl Relation {
+    /// Append all rows of `other` (bag semantics, like SQL `UNION ALL`).
+    ///
+    /// Schemas must contain the same column names with identical types;
+    /// `other`'s columns are reordered to match `self`'s schema, mirroring
+    /// how horizontal augmentation unions a provider relation into the
+    /// requester's training data.
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        let mapping = self.schema().union_mapping(other.schema())?;
+        let mut columns = self.columns().to_vec();
+        for (ci, col) in columns.iter_mut().enumerate() {
+            col.extend_from(other.column_at(mapping[ci]))?;
+        }
+        Relation::new(
+            format!("{}∪{}", self.name(), other.name()),
+            self.schema().clone(),
+            columns,
+        )
+    }
+
+    /// Union of many relations onto `self` (left fold).
+    pub fn union_all<'a, I: IntoIterator<Item = &'a Relation>>(&self, others: I) -> Result<Relation> {
+        let mut acc = self.clone();
+        for r in others {
+            acc = acc.union(r)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::RelationBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn union_reorders_columns() {
+        let a = RelationBuilder::new("a")
+            .int_col("k", &[1])
+            .float_col("x", &[1.0])
+            .build()
+            .unwrap();
+        let b = RelationBuilder::new("b")
+            .float_col("x", &[2.0])
+            .int_col("k", &[2])
+            .build()
+            .unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.num_rows(), 2);
+        assert_eq!(u.schema().names(), vec!["k", "x"]);
+        assert_eq!(u.value(1, "k").unwrap(), Value::Int(2));
+        assert_eq!(u.value(1, "x").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn union_keeps_duplicates() {
+        let a = RelationBuilder::new("a").int_col("k", &[1]).build().unwrap();
+        let u = a.union(&a).unwrap();
+        assert_eq!(u.num_rows(), 2); // bag semantics
+    }
+
+    #[test]
+    fn union_rejects_incompatible() {
+        let a = RelationBuilder::new("a").int_col("k", &[1]).build().unwrap();
+        let b = RelationBuilder::new("b").float_col("k", &[1.0]).build().unwrap();
+        assert!(a.union(&b).is_err());
+        let c = RelationBuilder::new("c")
+            .int_col("k", &[1])
+            .int_col("extra", &[0])
+            .build()
+            .unwrap();
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn union_all_folds() {
+        let a = RelationBuilder::new("a").int_col("k", &[1]).build().unwrap();
+        let b = RelationBuilder::new("b").int_col("k", &[2]).build().unwrap();
+        let c = RelationBuilder::new("c").int_col("k", &[3]).build().unwrap();
+        let u = a.union_all([&b, &c]).unwrap();
+        assert_eq!(u.num_rows(), 3);
+    }
+}

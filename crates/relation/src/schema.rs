@@ -1,0 +1,198 @@
+//! Relation schemas: named, typed fields.
+
+use crate::error::{RelationError, Result};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// One named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column data type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of uniquely named fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.clone()) {
+                return Err(RelationError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| RelationError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        let i = self.index_of(name)?;
+        Ok(&self.fields[i])
+    }
+
+    /// True iff the schema contains a column with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Names of all columns, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Names of numeric (int/float) columns.
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.data_type.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Append a field (rejecting duplicates).
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.contains(&field.name) {
+            return Err(RelationError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// A new schema with only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            fields.push(self.field(n)?.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Check two schemas are union-compatible: same column names (any order)
+    /// with identical types. Returns for each of `self`'s fields the index of
+    /// the matching field in `other`.
+    pub fn union_mapping(&self, other: &Schema) -> Result<Vec<usize>> {
+        if self.len() != other.len() {
+            return Err(RelationError::SchemaMismatch(format!(
+                "union arity {} vs {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        let mut mapping = Vec::with_capacity(self.len());
+        for f in &self.fields {
+            let j = other.index_of(&f.name).map_err(|_| {
+                RelationError::SchemaMismatch(format!("union: column {} missing on right", f.name))
+            })?;
+            if other.fields[j].data_type != f.data_type {
+                return Err(RelationError::TypeMismatch {
+                    context: format!("union column {}", f.name),
+                    expected: f.data_type.to_string(),
+                    found: other.fields[j].data_type.to_string(),
+                });
+            }
+            mapping.push(j);
+        }
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::new("c", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new(vec![Field::new("a", DataType::Int), Field::new("a", DataType::Str)]);
+        assert!(matches!(r, Err(RelationError::DuplicateColumn(_))));
+        let mut s = abc();
+        assert!(s.push(Field::new("a", DataType::Int)).is_err());
+        assert!(s.push(Field::new("d", DataType::Int)).is_ok());
+    }
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = abc();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zz").is_err());
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert_eq!(s.numeric_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn union_mapping_reorders() {
+        let left = abc();
+        let right = Schema::new(vec![
+            Field::new("c", DataType::Str),
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+        ])
+        .unwrap();
+        assert_eq!(left.union_mapping(&right).unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn union_mapping_rejects_mismatch() {
+        let left = abc();
+        let right = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str), // wrong type
+            Field::new("c", DataType::Str),
+        ])
+        .unwrap();
+        assert!(left.union_mapping(&right).is_err());
+        let narrower = Schema::new(vec![Field::new("a", DataType::Int)]).unwrap();
+        assert!(left.union_mapping(&narrower).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Scalar values, data types, and hashable key values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The data types supported by Mileena relations.
+///
+/// Dates/timestamps are carried as [`DataType::Str`] at ingestion and turned
+/// into numeric features by the transformation layer (`mileena-transform`),
+/// mirroring how the paper's agents derive "stay duration from date strings".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for join keys and booleans as 0/1).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Str => write!(f, "str"),
+        }
+    }
+}
+
+impl DataType {
+    /// Whether values of this type can serve as join / group-by keys.
+    pub fn is_keyable(self) -> bool {
+        matches!(self, DataType::Int | DataType::Str)
+    }
+
+    /// Whether values of this type can be used directly as model features.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+/// A dynamically typed scalar value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL-style NULL (absent value).
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// The type of this value, or `None` for NULL (which is type-polymorphic).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True iff this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of this value (ints widen to float), `None` for
+    /// NULL/strings. Used by feature extraction.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view (only for [`Value::Str`]).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Integer view (only for [`Value::Int`]).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Convert to a hashable [`KeyValue`] if possible (ints and strings;
+    /// NULLs map to [`KeyValue::Null`], floats are rejected).
+    pub fn to_key(&self) -> Option<KeyValue> {
+        match self {
+            Value::Null => Some(KeyValue::Null),
+            Value::Int(i) => Some(KeyValue::Int(*i)),
+            Value::Str(s) => Some(KeyValue::Str(s.clone())),
+            Value::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A hashable, equatable key used for joins and group-bys.
+///
+/// NULL keys are allowed as group identities but never match other keys in
+/// joins (SQL semantics), which the join implementation enforces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum KeyValue {
+    /// NULL key (groups rows with missing keys; never join-matches).
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+}
+
+impl fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyValue::Null => write!(f, "∅"),
+            KeyValue::Int(i) => write!(f, "{i}"),
+            KeyValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl KeyValue {
+    /// Back-convert into a [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            KeyValue::Null => Value::Null,
+            KeyValue::Int(i) => Value::Int(*i),
+            KeyValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_type_and_views() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn key_conversion_rules() {
+        assert_eq!(Value::Int(7).to_key(), Some(KeyValue::Int(7)));
+        assert_eq!(Value::Str("a".into()).to_key(), Some(KeyValue::Str("a".into())));
+        assert_eq!(Value::Null.to_key(), Some(KeyValue::Null));
+        assert_eq!(Value::Float(1.0).to_key(), None);
+    }
+
+    #[test]
+    fn keyability_by_type() {
+        assert!(DataType::Int.is_keyable());
+        assert!(DataType::Str.is_keyable());
+        assert!(!DataType::Float.is_keyable());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        for k in [KeyValue::Null, KeyValue::Int(-4), KeyValue::Str("k".into())] {
+            assert_eq!(k.to_value().to_key(), Some(k.clone()));
+        }
+    }
+}

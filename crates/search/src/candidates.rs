@@ -1,0 +1,119 @@
+//! Candidate augmentations: the bridge from discovery output to the search
+//! loop, validated against the sketch store.
+
+use mileena_discovery::{DatasetProfile, DiscoveryIndex};
+use mileena_sketch::SketchStore;
+use serde::{Deserialize, Serialize};
+
+/// One candidate augmentation of the requester's training data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Augmentation {
+    /// Vertical augmentation: join the provider dataset.
+    Join {
+        /// Provider dataset name.
+        dataset: String,
+        /// Requester column to join on.
+        query_key: String,
+        /// Provider column to join on.
+        candidate_key: String,
+        /// Discovery similarity (Jaccard).
+        similarity: f64,
+    },
+    /// Horizontal augmentation: union the provider dataset.
+    Union {
+        /// Provider dataset name.
+        dataset: String,
+        /// Discovery similarity (mean cosine).
+        similarity: f64,
+    },
+}
+
+impl Augmentation {
+    /// The provider dataset this augmentation uses.
+    pub fn dataset(&self) -> &str {
+        match self {
+            Augmentation::Join { dataset, .. } | Augmentation::Union { dataset, .. } => dataset,
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Augmentation::Join { dataset, query_key, candidate_key, .. } => {
+                format!("⋈ {dataset} on {query_key}={candidate_key}")
+            }
+            Augmentation::Union { dataset, .. } => format!("∪ {dataset}"),
+        }
+    }
+}
+
+/// Enumerate candidates for a request: run discovery, then keep only those
+/// the sketch store can actually evaluate (join candidates need a keyed
+/// sketch on the join column; union candidates need a full sketch).
+pub fn enumerate_candidates(
+    index: &DiscoveryIndex,
+    store: &SketchStore,
+    query_profile: &DatasetProfile,
+) -> Vec<Augmentation> {
+    let mut out = Vec::new();
+    for jc in index.find_join_candidates(query_profile) {
+        let Ok(sketch) = store.get(&jc.dataset) else { continue };
+        if sketch.keyed_for(&jc.candidate_column).is_err() {
+            continue;
+        }
+        out.push(Augmentation::Join {
+            dataset: jc.dataset,
+            query_key: jc.query_column,
+            candidate_key: jc.candidate_column,
+            similarity: jc.jaccard,
+        });
+    }
+    for uc in index.find_union_candidates(query_profile) {
+        if store.get(&uc.dataset).is_err() {
+            continue;
+        }
+        out.push(Augmentation::Union { dataset: uc.dataset, similarity: uc.score });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_discovery::DiscoveryConfig;
+    use mileena_relation::RelationBuilder;
+    use mileena_sketch::{build_sketch, SketchConfig};
+
+    #[test]
+    fn candidates_require_store_backing() {
+        let train = RelationBuilder::new("train")
+            .int_col("zone", &(0..40).collect::<Vec<_>>())
+            .float_col("y", &(0..40).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let prov = RelationBuilder::new("prov")
+            .int_col("zone", &(0..40).collect::<Vec<_>>())
+            .float_col("f", &(0..40).map(|i| (i as f64).sin()).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let ghost = RelationBuilder::new("ghost")
+            .int_col("zone", &(0..40).collect::<Vec<_>>())
+            .float_col("g", &[0.5; 40])
+            .build()
+            .unwrap();
+
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        index.register(mileena_discovery::DatasetProfile::of(&prov, 128));
+        index.register(mileena_discovery::DatasetProfile::of(&ghost, 128));
+
+        // Only `prov` is registered in the sketch store.
+        let store = SketchStore::new();
+        store.register(build_sketch(&prov, &SketchConfig::default()).unwrap()).unwrap();
+
+        let q = mileena_discovery::DatasetProfile::of(&train, 128);
+        let cands = enumerate_candidates(&index, &store, &q);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].dataset(), "prov");
+        assert!(cands[0].describe().contains("⋈"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors for the search layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SearchError>;
+
+/// Errors raised during dataset search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The request's task is malformed (unknown target, no features, ...).
+    InvalidTask(String),
+    /// Underlying sketch failure.
+    Sketch(String),
+    /// Underlying model failure.
+    Ml(String),
+    /// Underlying relational failure.
+    Relation(String),
+    /// Underlying privacy failure (e.g. APM budget exhaustion).
+    Privacy(String),
+    /// A referenced dataset is missing from the store/corpus.
+    DatasetNotFound(String),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidTask(m) => write!(f, "invalid task: {m}"),
+            SearchError::Sketch(m) => write!(f, "sketch error: {m}"),
+            SearchError::Ml(m) => write!(f, "ml error: {m}"),
+            SearchError::Relation(m) => write!(f, "relation error: {m}"),
+            SearchError::Privacy(m) => write!(f, "privacy error: {m}"),
+            SearchError::DatasetNotFound(m) => write!(f, "dataset not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<mileena_sketch::SketchError> for SearchError {
+    fn from(e: mileena_sketch::SketchError) -> Self {
+        SearchError::Sketch(e.to_string())
+    }
+}
+impl From<mileena_semiring::SemiringError> for SearchError {
+    fn from(e: mileena_semiring::SemiringError) -> Self {
+        SearchError::Sketch(e.to_string())
+    }
+}
+impl From<mileena_ml::MlError> for SearchError {
+    fn from(e: mileena_ml::MlError) -> Self {
+        SearchError::Ml(e.to_string())
+    }
+}
+impl From<mileena_relation::RelationError> for SearchError {
+    fn from(e: mileena_relation::RelationError) -> Self {
+        SearchError::Relation(e.to_string())
+    }
+}
+impl From<mileena_privacy::PrivacyError> for SearchError {
+    fn from(e: mileena_privacy::PrivacyError) -> Self {
+        SearchError::Privacy(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        assert!(super::SearchError::InvalidTask("no target".into())
+            .to_string()
+            .contains("no target"));
+    }
+}

@@ -1,0 +1,360 @@
+//! The greedy search loop of §2.2.2: evaluate every remaining candidate via
+//! the sketch proxy, commit the best improvement, repeat.
+
+use crate::candidates::Augmentation;
+use crate::error::{Result, SearchError};
+use crate::proxy::ProxyState;
+use crate::request::SearchConfig;
+use mileena_sketch::SketchStore;
+use std::time::Instant;
+
+/// One committed augmentation with its measured effect.
+#[derive(Debug, Clone)]
+pub struct SelectionStep {
+    /// The augmentation taken.
+    pub augmentation: Augmentation,
+    /// Proxy test-R² after committing it.
+    pub score_after: f64,
+    /// Wall-clock since search start when committed.
+    pub elapsed: std::time::Duration,
+}
+
+/// Result of a greedy search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Proxy test-R² before any augmentation.
+    pub base_score: f64,
+    /// Proxy test-R² after all augmentations.
+    pub final_score: f64,
+    /// Committed steps, in order.
+    pub steps: Vec<SelectionStep>,
+    /// Number of candidate evaluations performed (across all rounds).
+    pub evaluations: usize,
+    /// Total wall-clock.
+    pub elapsed: std::time::Duration,
+    /// The final proxy state (for training the returned model / AutoML
+    /// handoff).
+    pub state: ProxyState,
+}
+
+impl SearchOutcome {
+    /// The selected union set `R*_∪` (dataset names).
+    pub fn selected_unions(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| match &s.augmentation {
+                Augmentation::Union { dataset, .. } => Some(dataset.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The selected join set `R*_⋈` (dataset names).
+    pub fn selected_joins(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| match &s.augmentation {
+                Augmentation::Join { dataset, .. } => Some(dataset.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The greedy searcher.
+#[derive(Debug, Clone, Default)]
+pub struct GreedySearch {
+    config: SearchConfig,
+}
+
+impl GreedySearch {
+    /// New searcher.
+    pub fn new(config: SearchConfig) -> Self {
+        GreedySearch { config }
+    }
+
+    /// Run the loop from an initial proxy state over the given candidates.
+    ///
+    /// Candidates that error (no key overlap, stale key, missing columns,
+    /// excessive fan-out) are dropped silently — they are expected in a
+    /// heterogeneous corpus.
+    pub fn run(
+        &self,
+        mut state: ProxyState,
+        mut candidates: Vec<Augmentation>,
+        store: &SketchStore,
+    ) -> Result<SearchOutcome> {
+        let start = Instant::now();
+        let base_score = state.current_score()?;
+        let mut current = base_score;
+        let mut steps = Vec::new();
+        let mut evaluations = 0usize;
+
+        for _round in 0..self.config.max_augmentations {
+            if start.elapsed() >= self.config.time_budget {
+                break;
+            }
+            // Evaluate all remaining candidates against the current state.
+            let scored: Vec<(usize, f64)> = if self.config.parallel && candidates.len() > 8 {
+                self.evaluate_parallel(&state, &candidates, store, &mut evaluations)
+            } else {
+                let mut out = Vec::new();
+                for (i, aug) in candidates.iter().enumerate() {
+                    evaluations += 1;
+                    if let Some(score) = self.evaluate_one(&state, aug, store) {
+                        out.push((i, score));
+                    }
+                }
+                out
+            };
+
+            let best = scored.into_iter().max_by(|a, b| {
+                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let Some((best_idx, best_score)) = best else { break };
+            if best_score - current < self.config.min_gain {
+                break;
+            }
+            let aug = candidates.swap_remove(best_idx);
+            let sketch = store.get(aug.dataset())?;
+            state.apply(&aug, &sketch)?;
+            current = best_score;
+            steps.push(SelectionStep {
+                augmentation: aug,
+                score_after: best_score,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        Ok(SearchOutcome {
+            base_score,
+            final_score: current,
+            steps,
+            evaluations,
+            elapsed: start.elapsed(),
+            state,
+        })
+    }
+
+    fn evaluate_one(
+        &self,
+        state: &ProxyState,
+        aug: &Augmentation,
+        store: &SketchStore,
+    ) -> Option<f64> {
+        let sketch = store.get(aug.dataset()).ok()?;
+        let score = state.evaluate(aug, &sketch).ok()?;
+        // Join-survival guard: don't let a low-overlap or exploding join
+        // eat the training set.
+        if let Augmentation::Join { .. } = aug {
+            let rows = state.train_rows();
+            if score.train_rows < self.config.min_join_survival * rows
+                || score.train_rows > self.config.max_join_fanout * rows
+            {
+                return None;
+            }
+        }
+        score.test_r2.is_finite().then_some(score.test_r2)
+    }
+
+    fn evaluate_parallel(
+        &self,
+        state: &ProxyState,
+        candidates: &[Augmentation],
+        store: &SketchStore,
+        evaluations: &mut usize,
+    ) -> Vec<(usize, f64)> {
+        let nthreads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = candidates.len().div_ceil(nthreads);
+        let mut results: Vec<(usize, f64)> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, cands) in candidates.chunks(chunk).enumerate() {
+                let state = &*state;
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for (j, aug) in cands.iter().enumerate() {
+                        if let Some(score) = self.evaluate_one(state, aug, store) {
+                            out.push((ci * chunk + j, score));
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("scope failed");
+        *evaluations += candidates.len();
+        results
+    }
+}
+
+/// Convenience: build requester sketches, enumerate candidates via
+/// discovery, and run the greedy search end to end (non-private path; the
+/// privacy modes in [`crate::modes`] feed privatized stores instead).
+pub fn search_with_discovery(
+    request: &crate::request::SearchRequest,
+    store: &SketchStore,
+    index: &mileena_discovery::DiscoveryIndex,
+    config: &SearchConfig,
+) -> Result<SearchOutcome> {
+    let (state, profile) = build_requester_state(request, config)?;
+    let candidates = crate::candidates::enumerate_candidates(index, store, &profile);
+    GreedySearch::new(config.clone()).run(state, candidates, store)
+}
+
+/// Build the requester-side proxy state and discovery profile for a request.
+pub fn build_requester_state(
+    request: &crate::request::SearchRequest,
+    config: &SearchConfig,
+) -> Result<(ProxyState, mileena_discovery::DatasetProfile)> {
+    let cols: Vec<String> =
+        request.task.all_columns().iter().map(|s| s.to_string()).collect();
+    let sketch_cfg = mileena_sketch::SketchConfig {
+        feature_columns: Some(cols),
+        key_columns: request.key_columns.clone(),
+        ..mileena_sketch::SketchConfig::requester()
+    };
+    let train_sketch = mileena_sketch::build_sketch(&request.train, &sketch_cfg)?;
+    let test_sketch = mileena_sketch::build_sketch(&request.test, &sketch_cfg)?;
+    let state = ProxyState::new(&train_sketch, &test_sketch, &request.task, config.lambda)?;
+    let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
+    if request.train.num_rows() == 0 {
+        return Err(SearchError::InvalidTask("empty training relation".into()));
+    }
+    Ok((state, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{SearchRequest, TaskSpec};
+    use mileena_datagen::{generate_corpus, CorpusConfig};
+    use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
+    use mileena_sketch::{build_sketch, SketchConfig};
+
+    fn small_corpus() -> CorpusConfig {
+        CorpusConfig {
+            num_datasets: 30,
+            num_signal: 3,
+            num_union: 2,
+            num_novelty_traps: 3,
+            train_rows: 300,
+            test_rows: 300,
+            provider_rows: 200,
+            key_domain: 80,
+            signal_rows_per_key: 1,
+            noise: 0.08,
+            nonlinear_strength: 0.0,
+            seed: 13,
+        }
+    }
+
+    fn setup(
+        cfg: &CorpusConfig,
+    ) -> (SearchRequest, SketchStore, DiscoveryIndex) {
+        let corpus = generate_corpus(cfg);
+        let store = SketchStore::new();
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        for p in &corpus.providers {
+            store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+            index.register(mileena_discovery::DatasetProfile::of(p, 128));
+        }
+        let request = SearchRequest {
+            train: corpus.train.clone(),
+            test: corpus.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: None,
+        };
+        (request, store, index)
+    }
+
+    #[test]
+    fn greedy_finds_planted_signal() {
+        let cfg = small_corpus();
+        let corpus = generate_corpus(&cfg);
+        let (request, store, index) = setup(&cfg);
+        let out = search_with_discovery(&request, &store, &index, &SearchConfig::default())
+            .unwrap();
+        assert!(
+            out.final_score > out.base_score + 0.3,
+            "search should lift R² substantially: {} → {} ({} evals, steps: {:?})",
+            out.base_score,
+            out.final_score,
+            out.evaluations,
+            out.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>()
+        );
+        // The strongest planted signal should be among the selections.
+        let joined = out.selected_joins();
+        assert!(
+            joined.contains(&corpus.ground_truth.signal_datasets[0].as_str()),
+            "strongest signal {} not selected; got {joined:?}",
+            corpus.ground_truth.signal_datasets[0]
+        );
+    }
+
+    #[test]
+    fn traps_not_selected() {
+        let cfg = small_corpus();
+        let corpus = generate_corpus(&cfg);
+        let (request, store, index) = setup(&cfg);
+        let out = search_with_discovery(&request, &store, &index, &SearchConfig::default())
+            .unwrap();
+        for step in &out.steps {
+            assert!(
+                !corpus.ground_truth.trap_datasets.iter().any(|t| t == step.augmentation.dataset()),
+                "trap selected: {:?}",
+                step.augmentation
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let seq = search_with_discovery(&request, &store, &index, &SearchConfig::default())
+            .unwrap();
+        let par = search_with_discovery(
+            &request,
+            &store,
+            &index,
+            &SearchConfig { parallel: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(seq.selected_joins(), par.selected_joins());
+        assert!((seq.final_score - par.final_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_augmentations_respected() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let out = search_with_discovery(
+            &request,
+            &store,
+            &index,
+            &SearchConfig { max_augmentations: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.steps.len() <= 1);
+    }
+
+    #[test]
+    fn zero_time_budget_stops_immediately() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let out = search_with_discovery(
+            &request,
+            &store,
+            &index,
+            &SearchConfig { time_budget: std::time::Duration::ZERO, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.steps.is_empty());
+        assert_eq!(out.evaluations, 0);
+    }
+}

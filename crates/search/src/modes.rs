@@ -1,0 +1,655 @@
+//! Privacy-mode sessions for the Figure 5 comparison: the same greedy
+//! search run under Non-Private, FPM, APM and TPM regimes.
+//!
+//! A [`ModeSession`] is prepared **once** per corpus and then serves many
+//! requests — which is exactly where the mechanisms diverge:
+//!
+//! - **Non-private**: raw sketches, reusable, no noise (upper bound);
+//! - **FPM**: sketches privatized once at upload; requests are free
+//!   post-processing — utility is flat in corpus size and request count;
+//! - **APM**: every candidate evaluation issues fresh noisy queries against
+//!   materialized aggregates, so each provider's ε must be pre-divided by
+//!   the *expected total query volume* — utility collapses as corpus or
+//!   request count grows;
+//! - **TPM**: provider and requester tuples are noised at upload (local
+//!   DP); reusable like FPM but the noise floor is ruinous.
+//!
+//! The reported `utility` is the paper's metric: the **non-private** test
+//! R² of a model retrained on the raw data materialized according to the
+//! augmentations each private search *selected* (Figure 5's "task utility
+//! (non-private r²)").
+
+use crate::candidates::{enumerate_candidates, Augmentation};
+use crate::error::{Result, SearchError};
+use crate::greedy::{build_requester_state, GreedySearch};
+use crate::request::{SearchConfig, SearchRequest};
+use mileena_discovery::DiscoveryIndex;
+use mileena_ml::{LinearModel, Regressor, RidgeConfig};
+use mileena_privacy::{
+    AggregateMechanism, FactorizedMechanism, FpmConfig, PrivacyBudget, TupleMechanism,
+};
+use mileena_relation::Relation;
+use mileena_semiring::triple_of;
+use mileena_sketch::{build_sketch, SketchConfig, SketchStore};
+
+/// Which privacy regime a session runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrivacyMode {
+    /// No privacy (utility upper bound).
+    NonPrivate,
+    /// Factorized Privacy Mechanism (the paper's contribution).
+    Fpm,
+    /// Aggregate (per-query) mechanism; budgets pre-divided across this
+    /// many expected queries.
+    Apm {
+        /// Total queries the deployment is provisioned for.
+        expected_queries: usize,
+    },
+    /// Tuple-level local DP.
+    Tpm,
+}
+
+/// Privacy parameters shared by all modes.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeConfig {
+    /// Each provider dataset's (ε, δ).
+    pub provider_budget: PrivacyBudget,
+    /// The requester's (ε, δ) for its train/test sketches.
+    pub requester_budget: PrivacyBudget,
+    /// Feature clip bound.
+    pub bound: f64,
+    /// Base seed for all noise.
+    pub seed: u64,
+}
+
+/// Result of one request under a mode.
+#[derive(Debug, Clone)]
+pub struct ModeOutcome {
+    /// Augmentations the (private) search selected.
+    pub selections: Vec<Augmentation>,
+    /// The score the private search itself believed (noisy).
+    pub search_score: f64,
+    /// Non-private test R² after materializing the selections on raw data.
+    pub utility: f64,
+    /// Candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+/// A prepared corpus under one privacy regime.
+#[derive(Debug)]
+pub struct ModeSession {
+    mode: PrivacyMode,
+    store: SketchStore,
+    apm: Option<AggregateMechanism>,
+    providers: Vec<Relation>,
+    cfg: ModeConfig,
+    request_counter: u64,
+}
+
+/// Budget key for the requester's data under APM's global model.
+const APM_REQUESTER: &str = "__requester__";
+
+/// Sketch config for providers (qualified features, keys auto-detected).
+fn provider_sketch_cfg() -> SketchConfig {
+    SketchConfig::default()
+}
+
+impl ModeSession {
+    /// Prepare a corpus under `mode`. This is the *offline* provider flow:
+    /// clip → (privatize) → sketch → upload.
+    pub fn prepare(mode: PrivacyMode, providers: &[Relation], cfg: ModeConfig) -> Result<Self> {
+        let store = SketchStore::new();
+        let mut apm = None;
+        match mode {
+            PrivacyMode::NonPrivate => {
+                for p in providers {
+                    store.register(build_sketch(p, &provider_sketch_cfg())?)?;
+                }
+            }
+            PrivacyMode::Fpm => {
+                let fpm = FactorizedMechanism::new(FpmConfig {
+                    bound: cfg.bound,
+                    ..Default::default()
+                });
+                for (i, p) in providers.iter().enumerate() {
+                    let raw = build_sketch(p, &provider_sketch_cfg())?;
+                    let priv_sketch =
+                        fpm.privatize(&raw, cfg.provider_budget, cfg.seed ^ (i as u64) << 17)?;
+                    store.register(priv_sketch.sketch)?;
+                }
+            }
+            PrivacyMode::Tpm => {
+                let tpm = TupleMechanism::new(cfg.bound);
+                for (i, p) in providers.iter().enumerate() {
+                    let numeric: Vec<&str> = p.schema().numeric_names();
+                    let noisy = tpm.privatize_relation(
+                        p,
+                        &numeric,
+                        cfg.provider_budget,
+                        cfg.seed ^ (i as u64) << 21,
+                    )?;
+                    store.register(build_sketch(&noisy, &provider_sketch_cfg())?)?;
+                }
+            }
+            PrivacyMode::Apm { expected_queries } => {
+                let mut mech = AggregateMechanism::new(cfg.bound, cfg.seed);
+                for p in providers {
+                    mech.register(p.name(), cfg.provider_budget, expected_queries)?;
+                }
+                // Under the global model the requester's training data is an
+                // input to *every* candidate evaluation, so its budget must
+                // be pre-divided across the whole query volume — the reason
+                // APM decays with corpus size and request count (Fig 5b/c).
+                mech.register(
+                    APM_REQUESTER,
+                    cfg.requester_budget,
+                    expected_queries.saturating_mul(providers.len().max(1)),
+                )?;
+                apm = Some(mech);
+            }
+        }
+        Ok(ModeSession {
+            mode,
+            store,
+            apm,
+            providers: providers.to_vec(),
+            cfg,
+            request_counter: 0,
+        })
+    }
+
+    /// The privatized sketch store (empty for APM).
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// Serve one request. Sessions are reusable across requests — the
+    /// defining experiment of Figure 5(c).
+    pub fn search(
+        &mut self,
+        request: &SearchRequest,
+        index: &DiscoveryIndex,
+        search_cfg: &SearchConfig,
+    ) -> Result<ModeOutcome> {
+        self.request_counter += 1;
+        match self.mode {
+            PrivacyMode::NonPrivate => self.search_sketch_modes(request, index, search_cfg, false),
+            PrivacyMode::Fpm => self.search_sketch_modes(request, index, search_cfg, true),
+            PrivacyMode::Tpm => self.search_tpm(request, index, search_cfg),
+            PrivacyMode::Apm { .. } => self.search_apm(request, index, search_cfg),
+        }
+    }
+
+    /// Shared path for modes that search over a (possibly privatized)
+    /// sketch store: Non-Private and FPM.
+    fn search_sketch_modes(
+        &self,
+        request: &SearchRequest,
+        index: &DiscoveryIndex,
+        search_cfg: &SearchConfig,
+        privatize_requester: bool,
+    ) -> Result<ModeOutcome> {
+        let cols: Vec<String> =
+            request.task.all_columns().iter().map(|s| s.to_string()).collect();
+        let sketch_cfg = SketchConfig {
+            feature_columns: Some(cols),
+            key_columns: request.key_columns.clone(),
+            ..SketchConfig::requester()
+        };
+        let (state, profile) = if privatize_requester {
+            let fpm = FactorizedMechanism::new(FpmConfig {
+                bound: self.cfg.bound,
+                ..Default::default()
+            });
+            let budget = request.budget.unwrap_or(self.cfg.requester_budget);
+            let train_raw = build_sketch(&request.train, &sketch_cfg)?;
+            let test_raw = build_sketch(&request.test, &sketch_cfg)?;
+            // One privatization per requester dataset: the seed derives from
+            // the dataset identity, so repeat requests reuse the same noisy
+            // release instead of spending budget again (the FPM contract).
+            let seed = self.cfg.seed
+                ^ mileena_relation::hash::fx_hash64(&request.train.name());
+            let train_p = fpm.privatize(&train_raw, budget, seed)?;
+            let test_p = fpm.privatize(&test_raw, budget, seed ^ 1)?;
+            let state = crate::proxy::ProxyState::new(
+                &train_p.sketch,
+                &test_p.sketch,
+                &request.task,
+                search_cfg.lambda,
+            )?;
+            let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
+            (state, profile)
+        } else {
+            build_requester_state(request, search_cfg)?
+        };
+        let candidates = enumerate_candidates(index, &self.store, &profile);
+        let out = GreedySearch::new(search_cfg.clone()).run(state, candidates, &self.store)?;
+        let selections: Vec<Augmentation> =
+            out.steps.iter().map(|s| s.augmentation.clone()).collect();
+        let utility =
+            materialized_utility(request, &selections, &self.providers, search_cfg.lambda)?;
+        Ok(ModeOutcome {
+            selections,
+            search_score: out.final_score,
+            utility,
+            evaluations: out.evaluations,
+        })
+    }
+
+    /// TPM: the requester also noises its own relations before sketching.
+    fn search_tpm(
+        &self,
+        request: &SearchRequest,
+        index: &DiscoveryIndex,
+        search_cfg: &SearchConfig,
+    ) -> Result<ModeOutcome> {
+        let tpm = TupleMechanism::new(self.cfg.bound);
+        let budget = request.budget.unwrap_or(self.cfg.requester_budget);
+        let cols = request.task.all_columns();
+        // Like FPM: one tuple-privatized release per requester dataset.
+        let seed = self.cfg.seed
+            ^ mileena_relation::hash::fx_hash64(&request.train.name()).rotate_left(7);
+        let noisy_train = tpm.privatize_relation(&request.train, &cols, budget, seed)?;
+        let noisy_test = tpm.privatize_relation(&request.test, &cols, budget, seed ^ 1)?;
+        let noisy_request = SearchRequest {
+            train: noisy_train,
+            test: noisy_test,
+            task: request.task.clone(),
+            budget: request.budget,
+            key_columns: request.key_columns.clone(),
+        };
+        let (state, profile) = build_requester_state(&noisy_request, search_cfg)?;
+        let candidates = enumerate_candidates(index, &self.store, &profile);
+        let out = GreedySearch::new(search_cfg.clone()).run(state, candidates, &self.store)?;
+        let selections: Vec<Augmentation> =
+            out.steps.iter().map(|s| s.augmentation.clone()).collect();
+        let utility =
+            materialized_utility(request, &selections, &self.providers, search_cfg.lambda)?;
+        Ok(ModeOutcome {
+            selections,
+            search_score: out.final_score,
+            utility,
+            evaluations: out.evaluations,
+        })
+    }
+
+    /// APM: greedy over *materialized* aggregates, each answered through
+    /// the per-query mechanism (and charged to the provider's budget).
+    fn search_apm(
+        &mut self,
+        request: &SearchRequest,
+        index: &DiscoveryIndex,
+        search_cfg: &SearchConfig,
+    ) -> Result<ModeOutcome> {
+        let apm = self.apm.as_mut().expect("APM session has a mechanism");
+        let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
+        // Discovery over provider profiles is assumed already indexed; the
+        // store is empty in APM mode, so enumerate from the index directly.
+        let mut candidates: Vec<Augmentation> = index
+            .find_join_candidates(&profile)
+            .into_iter()
+            .map(|jc| Augmentation::Join {
+                dataset: jc.dataset,
+                query_key: jc.query_column,
+                candidate_key: jc.candidate_column,
+                similarity: jc.jaccard,
+            })
+            .chain(index.find_union_candidates(&profile).into_iter().map(|uc| {
+                Augmentation::Union { dataset: uc.dataset, similarity: uc.score }
+            }))
+            .collect();
+
+        let by_name = |name: &str| -> Result<&Relation> {
+            self.providers
+                .iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| SearchError::DatasetNotFound(name.to_string()))
+        };
+
+        let mut train = request.train.clone();
+        let mut test = request.test.clone();
+        let mut features = request.task.features.clone();
+        let target = request.task.target.clone();
+        let mut selections = Vec::new();
+        let mut evaluations = 0usize;
+        let mut current = f64::NEG_INFINITY;
+
+        for _round in 0..search_cfg.max_augmentations {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, aug) in candidates.iter().enumerate() {
+                evaluations += 1;
+                let cand = by_name(aug.dataset())?;
+                let (atrain, atest, added) = match aug {
+                    Augmentation::Union { .. } => match train.union(cand) {
+                        Ok(u) => (u, test.clone(), Vec::new()),
+                        Err(_) => continue,
+                    },
+                    Augmentation::Join { query_key, candidate_key, .. } => {
+                        let Ok(cand) = aggregate_per_key(cand, candidate_key) else {
+                            continue;
+                        };
+                        let before: Vec<String> =
+                            train.schema().names().iter().map(|s| s.to_string()).collect();
+                        let (Ok(jt), Ok(je)) = (
+                            train.hash_join(&cand, &[query_key], &[candidate_key]),
+                            test.hash_join(&cand, &[query_key], &[candidate_key]),
+                        ) else {
+                            continue;
+                        };
+                        let ratio = jt.num_rows() as f64 / train.num_rows().max(1) as f64;
+                        if ratio < search_cfg.min_join_survival
+                            || ratio > search_cfg.max_join_fanout
+                        {
+                            continue;
+                        }
+                        let added: Vec<String> = jt
+                            .schema()
+                            .fields()
+                            .iter()
+                            .filter(|f| {
+                                !before.contains(&f.name) && f.data_type.is_numeric()
+                            })
+                            .map(|f| f.name.clone())
+                            .collect();
+                        (jt, je, added)
+                    }
+                };
+                let mut feats: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+                let added_refs: Vec<&str> = added.iter().map(|s| s.as_str()).collect();
+                feats.extend(added_refs.iter());
+                let mut all_cols = feats.clone();
+                all_cols.push(target.as_str());
+                let (Ok(tr_triple), Ok(te_triple)) =
+                    (triple_of(&atrain, &all_cols), triple_of(&atest, &all_cols))
+                else {
+                    continue;
+                };
+                // Two noisy queries per evaluation, each charged to the
+                // involved provider.
+                let (Ok(tr_noisy), Ok(te_noisy)) = (
+                    apm.privatize_query(&tr_triple, &[aug.dataset(), APM_REQUESTER]),
+                    apm.privatize_query(&te_triple, &[aug.dataset(), APM_REQUESTER]),
+                ) else {
+                    continue; // budget exhausted → candidate unusable
+                };
+                let (Ok(tr_sys), Ok(te_sys)) = (
+                    tr_noisy.lr_system(&feats, &target, true),
+                    te_noisy.lr_system(&feats, &target, true),
+                ) else {
+                    continue;
+                };
+                let mut model = LinearModel::new(RidgeConfig {
+                    lambda: search_cfg.lambda,
+                    intercept: true,
+                });
+                let Ok(score) = model.fit_evaluate_systems(&tr_sys, &te_sys) else {
+                    continue;
+                };
+                if best.map_or(true, |(_, b)| score > b) {
+                    best = Some((i, score));
+                }
+            }
+            let Some((idx, score)) = best else { break };
+            if current.is_finite() && score - current < search_cfg.min_gain {
+                break;
+            }
+            let aug = candidates.swap_remove(idx);
+            let cand = by_name(aug.dataset())?;
+            match &aug {
+                Augmentation::Union { .. } => {
+                    train = train.union(cand)?;
+                }
+                Augmentation::Join { query_key, candidate_key, .. } => {
+                    let cand = aggregate_per_key(cand, candidate_key)?;
+                    let before: Vec<String> =
+                        train.schema().names().iter().map(|s| s.to_string()).collect();
+                    train = train.hash_join(&cand, &[query_key], &[candidate_key])?;
+                    test = test.hash_join(&cand, &[query_key], &[candidate_key])?;
+                    features.extend(
+                        train
+                            .schema()
+                            .fields()
+                            .iter()
+                            .filter(|f| !before.contains(&f.name) && f.data_type.is_numeric())
+                            .map(|f| f.name.clone()),
+                    );
+                }
+            }
+            current = score;
+            selections.push(aug);
+        }
+
+        let utility =
+            materialized_utility(request, &selections, &self.providers, search_cfg.lambda)?;
+        Ok(ModeOutcome { selections, search_score: current, utility, evaluations })
+    }
+}
+
+/// Pre-aggregate a measurement-style join candidate to one row per key
+/// (mean of each numeric feature). Joining raw measurement tables would fan
+/// training rows out multiplicatively; real feature augmentation joins the
+/// per-key summary instead. Dimension tables (≤ ~1 row per key) pass
+/// through untouched.
+pub fn aggregate_per_key(cand: &Relation, key: &str) -> Result<Relation> {
+    let groups = cand.group_by(&[key])?;
+    let n_keys = groups.len().max(1);
+    if cand.num_rows() as f64 / n_keys as f64 <= 1.5 {
+        return Ok(cand.clone());
+    }
+    let numeric: Vec<&str> =
+        cand.schema().numeric_names().into_iter().filter(|c| *c != key).collect();
+    let mut keys: Vec<mileena_relation::KeyValue> = Vec::with_capacity(n_keys);
+    let mut cols: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(n_keys); numeric.len()];
+    let mut sorted: Vec<_> = groups.into_iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for (key_vals, rows) in sorted {
+        if key_vals.iter().any(|k| *k == mileena_relation::KeyValue::Null) {
+            continue;
+        }
+        keys.push(key_vals[0].clone());
+        for (ci, col_name) in numeric.iter().enumerate() {
+            let col = cand.column(col_name)?;
+            let vals: Vec<f64> =
+                rows.iter().filter_map(|&i| col.f64_at(i as usize)).collect();
+            cols[ci].push(if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            });
+        }
+    }
+    let key_col = match keys.first() {
+        Some(mileena_relation::KeyValue::Str(_)) => mileena_relation::Column::from_opt_strs(
+            &keys
+                .iter()
+                .map(|k| match k {
+                    mileena_relation::KeyValue::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>(),
+        ),
+        _ => mileena_relation::Column::from_opt_ints(
+            &keys
+                .iter()
+                .map(|k| match k {
+                    mileena_relation::KeyValue::Int(i) => Some(*i),
+                    _ => None,
+                })
+                .collect::<Vec<_>>(),
+        ),
+    };
+    let mut builder =
+        mileena_relation::RelationBuilder::new(cand.name()).col(key, key_col);
+    for (ci, col_name) in numeric.iter().enumerate() {
+        builder = builder.opt_float_col(col_name, &cols[ci]);
+    }
+    Ok(builder.build()?)
+}
+
+/// The paper's Figure 5 metric: materialize the selected augmentations on
+/// raw data, retrain non-privately, and report test R². No selections ⇒
+/// the base model's score.
+pub fn materialized_utility(
+    request: &SearchRequest,
+    selections: &[Augmentation],
+    providers: &[Relation],
+    lambda: f64,
+) -> Result<f64> {
+    let mut train = request.train.clone();
+    let mut test = request.test.clone();
+    let mut features = request.task.features.clone();
+    for aug in selections {
+        let cand = providers
+            .iter()
+            .find(|p| p.name() == aug.dataset())
+            .ok_or_else(|| SearchError::DatasetNotFound(aug.dataset().to_string()))?;
+        match aug {
+            Augmentation::Union { .. } => {
+                train = train.union(cand)?;
+            }
+            Augmentation::Join { query_key, candidate_key, .. } => {
+                let cand = aggregate_per_key(cand, candidate_key)?;
+                let before: Vec<String> =
+                    train.schema().names().iter().map(|s| s.to_string()).collect();
+                train = train.hash_join(&cand, &[query_key], &[candidate_key])?;
+                test = test.hash_join(&cand, &[query_key], &[candidate_key])?;
+                features.extend(
+                    train
+                        .schema()
+                        .fields()
+                        .iter()
+                        .filter(|f| !before.contains(&f.name) && f.data_type.is_numeric())
+                        .map(|f| f.name.clone()),
+                );
+            }
+        }
+    }
+    let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+    let train_xy = train.to_xy(&frefs, &request.task.target)?;
+    let test_xy = test.to_xy(&frefs, &request.task.target)?;
+    if train_xy.num_rows() < 2 || test_xy.num_rows() < 2 {
+        return Err(SearchError::InvalidTask("degenerate materialized task".into()));
+    }
+    let mut model = LinearModel::new(RidgeConfig { lambda, intercept: true });
+    Ok(model.fit_evaluate(&train_xy, &test_xy)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TaskSpec;
+    use mileena_datagen::{generate_corpus, CorpusConfig};
+    use mileena_discovery::DiscoveryConfig;
+
+    fn corpus_cfg(seed: u64) -> CorpusConfig {
+        // The Figure 5 regime: heavy keys so DP noise is survivable.
+        let mut cfg = CorpusConfig::privacy_scale(20, seed);
+        cfg.noise = 0.15;
+        cfg
+    }
+
+    fn search_cfg() -> SearchConfig {
+        // Measurement tables fan out ≈ signal_rows_per_key per join.
+        SearchConfig { max_join_fanout: 60.0, ..Default::default() }
+    }
+
+    fn setup(seed: u64) -> (SearchRequest, Vec<Relation>, DiscoveryIndex) {
+        let corpus = generate_corpus(&corpus_cfg(seed));
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        for p in &corpus.providers {
+            index.register(mileena_discovery::DatasetProfile::of(p, 128));
+        }
+        let request = SearchRequest {
+            train: corpus.train.clone(),
+            test: corpus.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: Some(vec!["zone".into()]),
+        };
+        (request, corpus.providers, index)
+    }
+
+    fn mode_cfg() -> ModeConfig {
+        ModeConfig {
+            provider_budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
+            requester_budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
+            bound: 1.0,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn fpm_close_to_non_private_tpm_near_zero() {
+        let (request, providers, index) = setup(5);
+        let cfg = search_cfg();
+
+        let mut nonp =
+            ModeSession::prepare(PrivacyMode::NonPrivate, &providers, mode_cfg()).unwrap();
+        let u_nonp = nonp.search(&request, &index, &cfg).unwrap().utility;
+
+        let mut fpm = ModeSession::prepare(PrivacyMode::Fpm, &providers, mode_cfg()).unwrap();
+        let u_fpm = fpm.search(&request, &index, &cfg).unwrap().utility;
+
+        let mut tpm = ModeSession::prepare(PrivacyMode::Tpm, &providers, mode_cfg()).unwrap();
+        let u_tpm = tpm.search(&request, &index, &cfg).unwrap().utility;
+
+        assert!(u_nonp > 0.4, "non-private search should work, got {u_nonp}");
+        assert!(
+            u_fpm > 0.3 * u_nonp,
+            "FPM should retain a large share of utility: {u_fpm} vs {u_nonp}"
+        );
+        assert!(
+            u_tpm < u_fpm + 0.05,
+            "TPM should not beat FPM: tpm {u_tpm}, fpm {u_fpm}"
+        );
+    }
+
+    #[test]
+    fn apm_degrades_with_expected_queries() {
+        let (request, providers, index) = setup(6);
+        let cfg = SearchConfig { max_augmentations: 3, ..search_cfg() };
+
+        let mut small = ModeSession::prepare(
+            PrivacyMode::Apm { expected_queries: 200 },
+            &providers,
+            mode_cfg(),
+        )
+        .unwrap();
+        let u_small = small.search(&request, &index, &cfg).unwrap().utility;
+
+        let mut large = ModeSession::prepare(
+            PrivacyMode::Apm { expected_queries: 200_000 },
+            &providers,
+            mode_cfg(),
+        )
+        .unwrap();
+        let u_large = large.search(&request, &index, &cfg).unwrap().utility;
+
+        // Heavier provisioning ⇒ more noise per query ⇒ worse selections.
+        assert!(
+            u_small >= u_large - 0.05,
+            "APM with 1000× provisioning should not do better: {u_small} vs {u_large}"
+        );
+    }
+
+    #[test]
+    fn fpm_store_reusable_across_requests() {
+        let (request, providers, index) = setup(7);
+        let cfg = search_cfg();
+        let mut fpm = ModeSession::prepare(PrivacyMode::Fpm, &providers, mode_cfg()).unwrap();
+        let u1 = fpm.search(&request, &index, &cfg).unwrap().utility;
+        // Ten more requests against the same privatized store: no budget
+        // mechanics can fail, and provider-side noise is identical.
+        for _ in 0..10 {
+            let u = fpm.search(&request, &index, &cfg).unwrap().utility;
+            assert!((u - u1).abs() < 0.25, "FPM utility should stay stable: {u} vs {u1}");
+        }
+    }
+
+    #[test]
+    fn materialized_utility_empty_selection_is_base() {
+        let (request, providers, _) = setup(8);
+        let u = materialized_utility(&request, &[], &providers, 1e-4).unwrap();
+        assert!(u < 0.4, "base utility should be weak, got {u}");
+    }
+}

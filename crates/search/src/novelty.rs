@@ -1,0 +1,275 @@
+//! Novelty-based baseline [31]: rank candidates by how *novel* their data
+//! is relative to the training set, take the top-k, and hope.
+//!
+//! The paper's finding (Figure 4): novelty "is uncorrelated with model
+//! utility and actually degrades the final model" — the traps in the
+//! synthetic corpus are maximally novel and minimally useful by design, so
+//! this baseline reproduces that failure mode.
+
+use crate::candidates::Augmentation;
+use crate::error::{Result, SearchError};
+use crate::request::{SearchConfig, SearchRequest};
+use mileena_ml::{LinearModel, Regressor, RidgeConfig};
+use mileena_relation::{FxHashMap, FxHashSet, KeyValue, Relation};
+
+/// Outcome of the novelty-ranked augmentation.
+#[derive(Debug, Clone)]
+pub struct NoveltyOutcome {
+    /// Test R² before augmentation.
+    pub base_score: f64,
+    /// Test R² after applying the top-k most-novel augmentations.
+    pub final_score: f64,
+    /// The applied augmentations with their novelty scores, most novel
+    /// first.
+    pub applied: Vec<(Augmentation, f64)>,
+}
+
+/// The novelty searcher (needs raw relations to measure novelty; this
+/// baseline predates the privacy requirements).
+#[derive(Debug)]
+pub struct NoveltySearch<'a> {
+    config: SearchConfig,
+    providers: FxHashMap<String, &'a Relation>,
+    /// How many top-novelty augmentations to apply.
+    pub top_k: usize,
+}
+
+impl<'a> NoveltySearch<'a> {
+    /// New searcher.
+    pub fn new(config: SearchConfig, providers: &'a [Relation], top_k: usize) -> Self {
+        let providers =
+            providers.iter().map(|r| (r.name().to_string(), r)).collect::<FxHashMap<_, _>>();
+        NoveltySearch { config, providers, top_k }
+    }
+
+    /// Novelty of a candidate against the training relation:
+    /// - join: fraction of candidate numeric values falling *outside* the
+    ///   value range observed anywhere in the training data ("new data!"),
+    ///   blended with the fraction of unseen join-key values;
+    /// - union: 1 − fraction of candidate rows whose target bucket was seen.
+    fn novelty(&self, train: &Relation, aug: &Augmentation) -> Result<f64> {
+        let cand = *self
+            .providers
+            .get(aug.dataset())
+            .ok_or_else(|| SearchError::DatasetNotFound(aug.dataset().to_string()))?;
+        match aug {
+            Augmentation::Join { query_key, candidate_key, .. } => {
+                let train_keys: FxHashSet<KeyValue> = (0..train.num_rows())
+                    .filter_map(|i| train.key(i, query_key).ok())
+                    .collect();
+                let ccol = cand.column(candidate_key)?;
+                let mut unseen = 0usize;
+                let mut total = 0usize;
+                for i in 0..cand.num_rows() {
+                    if let Ok(k) = ccol.key_at(i, candidate_key) {
+                        total += 1;
+                        if !train_keys.contains(&k) {
+                            unseen += 1;
+                        }
+                    }
+                }
+                // Global value range of the training data's *measure*
+                // columns (floats; int columns are ids/ordinals): candidate
+                // measures outside it are "novel".
+                let float_cols = |r: &Relation| -> Vec<String> {
+                    r.schema()
+                        .fields()
+                        .iter()
+                        .filter(|f| f.data_type == mileena_relation::DataType::Float)
+                        .map(|f| f.name.clone())
+                        .collect()
+                };
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for f in float_cols(train) {
+                    if let Some((a, b)) = train.column(&f).ok().and_then(|c| c.min_max()) {
+                        lo = lo.min(a);
+                        hi = hi.max(b);
+                    }
+                }
+                let mut outside = 0usize;
+                let mut values = 0usize;
+                for f in float_cols(cand) {
+                    if f == *candidate_key {
+                        continue; // keys aren't "data" for this metric
+                    }
+                    if let Ok(col) = cand.column(&f) {
+                        for i in 0..cand.num_rows() {
+                            if let Some(v) = col.f64_at(i) {
+                                values += 1;
+                                if v < lo || v > hi {
+                                    outside += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                let key_novelty =
+                    if total == 0 { 1.0 } else { unseen as f64 / total as f64 };
+                let range_novelty =
+                    if values == 0 { 0.0 } else { outside as f64 / values as f64 };
+                Ok(0.3 * key_novelty + 0.7 * range_novelty)
+            }
+            Augmentation::Union { .. } => {
+                // Bucketize target values seen in train; novelty = fraction
+                // of candidate target values landing in unseen buckets.
+                let target_col = train.schema().names().last().map(|s| s.to_string());
+                let Some(tc) = target_col else { return Ok(0.0) };
+                let bucket = |v: f64| (v * 10.0).round() as i64;
+                let train_buckets: FxHashSet<i64> = (0..train.num_rows())
+                    .filter_map(|i| train.column(&tc).ok().and_then(|c| c.f64_at(i)))
+                    .map(bucket)
+                    .collect();
+                let Ok(ccol) = cand.column(&tc) else { return Ok(1.0) };
+                let mut unseen = 0usize;
+                let mut total = 0usize;
+                for i in 0..cand.num_rows() {
+                    if let Some(v) = ccol.f64_at(i) {
+                        total += 1;
+                        if !train_buckets.contains(&bucket(v)) {
+                            unseen += 1;
+                        }
+                    }
+                }
+                Ok(if total == 0 { 1.0 } else { unseen as f64 / total as f64 })
+            }
+        }
+    }
+
+    /// Rank by novelty, apply the top-k, retrain once, report test R².
+    pub fn run(
+        &self,
+        request: &SearchRequest,
+        candidates: Vec<Augmentation>,
+    ) -> Result<NoveltyOutcome> {
+        let target = request.task.target.clone();
+        let mut features = request.task.features.clone();
+        let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+        let base_train = request.train.to_xy(&frefs, &target)?;
+        let base_test = request.test.to_xy(&frefs, &target)?;
+        let mut model =
+            LinearModel::new(RidgeConfig { lambda: self.config.lambda, intercept: true });
+        let base_score = model.fit_evaluate(&base_train, &base_test)?;
+
+        // Rank by novelty, descending.
+        let mut ranked: Vec<(Augmentation, f64)> = candidates
+            .into_iter()
+            .filter_map(|a| self.novelty(&request.train, &a).ok().map(|n| (a, n)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(self.top_k);
+
+        // Apply them all (novelty search does not re-validate utility).
+        let mut train = request.train.clone();
+        let mut test = request.test.clone();
+        let mut applied = Vec::new();
+        for (aug, nov) in ranked {
+            let cand = self.providers[aug.dataset()];
+            match &aug {
+                Augmentation::Union { .. } => {
+                    if let Ok(u) = train.union(cand) {
+                        train = u;
+                        applied.push((aug, nov));
+                    }
+                }
+                Augmentation::Join { query_key, candidate_key, .. } => {
+                    let before: Vec<String> =
+                        train.schema().names().iter().map(|s| s.to_string()).collect();
+                    let (Ok(jt), Ok(je)) = (
+                        train.hash_join(cand, &[query_key], &[candidate_key]),
+                        test.hash_join(cand, &[query_key], &[candidate_key]),
+                    ) else {
+                        continue;
+                    };
+                    if jt.num_rows() == 0 || je.num_rows() == 0 {
+                        continue;
+                    }
+                    features.extend(
+                        jt.schema()
+                            .fields()
+                            .iter()
+                            .filter(|f| !before.contains(&f.name) && f.data_type.is_numeric())
+                            .map(|f| f.name.clone()),
+                    );
+                    train = jt;
+                    test = je;
+                    applied.push((aug, nov));
+                }
+            }
+        }
+
+        let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+        let final_score = match (train.to_xy(&frefs, &target), test.to_xy(&frefs, &target)) {
+            (Ok(tr), Ok(te)) if tr.num_rows() >= 2 && te.num_rows() >= 2 => {
+                let mut m = LinearModel::new(RidgeConfig {
+                    lambda: self.config.lambda,
+                    intercept: true,
+                });
+                m.fit_evaluate(&tr, &te).unwrap_or(f64::NEG_INFINITY)
+            }
+            _ => f64::NEG_INFINITY,
+        };
+
+        Ok(NoveltyOutcome { base_score, final_score, applied })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TaskSpec;
+    use mileena_datagen::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn novelty_prefers_traps_and_underperforms() {
+        let cfg = CorpusConfig {
+            num_datasets: 20,
+            num_signal: 2,
+            num_union: 1,
+            num_novelty_traps: 4,
+            train_rows: 250,
+            test_rows: 250,
+            provider_rows: 150,
+            key_domain: 60,
+            signal_rows_per_key: 1,
+            noise: 0.08,
+            nonlinear_strength: 0.0,
+            seed: 77,
+        };
+        let corpus = generate_corpus(&cfg);
+        let request = SearchRequest {
+            train: corpus.train.clone(),
+            test: corpus.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: None,
+        };
+        let candidates: Vec<Augmentation> = corpus
+            .providers
+            .iter()
+            .filter(|p| p.schema().contains("zone"))
+            .map(|p| {
+                if p.schema().names() == corpus.train.schema().names() {
+                    Augmentation::Union { dataset: p.name().into(), similarity: 1.0 }
+                } else {
+                    Augmentation::Join {
+                        dataset: p.name().into(),
+                        query_key: "zone".into(),
+                        candidate_key: "zone".into(),
+                        similarity: 1.0,
+                    }
+                }
+            })
+            .collect();
+        let nov = NoveltySearch::new(SearchConfig::default(), &corpus.providers, 3);
+        let out = nov.run(&request, candidates).unwrap();
+        // Novelty must not reliably find the signal: its final score should
+        // stay well below what greedy utility search reaches (≈ base+0.4).
+        assert!(
+            out.final_score < out.base_score + 0.3,
+            "novelty should not match utility search: {} → {}",
+            out.base_score,
+            out.final_score
+        );
+        assert!(!out.applied.is_empty());
+    }
+}

@@ -1,0 +1,552 @@
+//! The proxy-model evaluation state: everything needed to score a candidate
+//! augmentation in milliseconds, without touching raw data.
+//!
+//! [`ProxyState`] tracks the (virtual) augmented training/test relations as
+//! covariance triples plus per-join-key grouped sketches. Scoring a
+//! candidate composes sketches (O(1) union / O(d) join) and solves the
+//! k×k ridge system — independent of relation sizes, the §3.2 claim.
+//!
+//! Multi-join policy: vertical augmentations compose exactly when they share
+//! one requester join key (the grouped state threads through
+//! `compose_keyed`). The first selected join fixes that key; candidates on
+//! other keys are skipped afterwards. This is the one simplification vs the
+//! paper's (unspecified) multi-key handling, documented in DESIGN.md.
+
+use crate::error::{Result, SearchError};
+use crate::request::TaskSpec;
+use mileena_ml::{LinearModel, RidgeConfig};
+use mileena_relation::FxHashMap;
+use mileena_semiring::CovarTriple;
+use mileena_sketch::{eval_join, eval_union, DatasetSketch, KeyedSketch};
+
+/// Outcome of evaluating one candidate (before committing it).
+#[derive(Debug, Clone)]
+pub struct CandidateScore {
+    /// Test-utility (R²) of the proxy trained on the augmented statistics.
+    pub test_r2: f64,
+    /// Join keys matched (0 for unions).
+    pub matched_keys: usize,
+    /// Augmented-train row count (after join fan-in/out).
+    pub train_rows: f64,
+}
+
+/// Pre-staged state for committing a candidate.
+#[derive(Debug, Clone)]
+struct Staged {
+    train_triple: CovarTriple,
+    test_triple: CovarTriple,
+    new_features: Vec<String>,
+    /// For joins: the composed per-key sketches (train, test) on the key.
+    composed: Option<(String, KeyedSketch, KeyedSketch)>,
+    /// For unions: candidate keyed sketches to fold in, by key.
+    union_keyed: Option<Vec<(String, KeyedSketch)>>,
+}
+
+/// The evolving augmented-task state.
+#[derive(Debug, Clone)]
+pub struct ProxyState {
+    /// γ of the (virtually) augmented training relation.
+    train_triple: CovarTriple,
+    /// γ of the (virtually) augmented test relation (joins only).
+    test_triple: CovarTriple,
+    /// Exact per-key grouped sketches of the augmented train relation.
+    train_keyed: FxHashMap<String, KeyedSketch>,
+    /// Same for test.
+    test_keyed: FxHashMap<String, KeyedSketch>,
+    /// Key fixed by the first vertical augmentation.
+    active_join_key: Option<String>,
+    /// Current model features (target excluded).
+    features: Vec<String>,
+    /// Target column.
+    target: String,
+    /// Ridge λ for the proxy.
+    lambda: f64,
+}
+
+impl ProxyState {
+    /// Build the initial state from requester sketches (built with
+    /// `SketchConfig::requester()` over the task columns).
+    pub fn new(
+        train: &DatasetSketch,
+        test: &DatasetSketch,
+        task: &TaskSpec,
+        lambda: f64,
+    ) -> Result<Self> {
+        for c in task.all_columns() {
+            if !train.features.iter().any(|f| f == c) {
+                return Err(SearchError::InvalidTask(format!(
+                    "task column {c} not sketched in train"
+                )));
+            }
+            if !test.features.iter().any(|f| f == c) {
+                return Err(SearchError::InvalidTask(format!(
+                    "task column {c} not sketched in test"
+                )));
+            }
+        }
+        let cols = task.all_columns();
+        let train_triple = train.full.project(&cols)?;
+        let test_triple = test.full.project(&cols)?;
+        let project_keyed = |ks: &KeyedSketch| -> Result<KeyedSketch> {
+            let mut groups = FxHashMap::default();
+            for (k, t) in &ks.groups {
+                groups.insert(k.clone(), t.project(&cols)?);
+            }
+            Ok(KeyedSketch::new(ks.key_column.clone(), groups))
+        };
+        let mut train_keyed = FxHashMap::default();
+        for ks in &train.keyed {
+            train_keyed.insert(ks.key_column.clone(), project_keyed(ks)?);
+        }
+        let mut test_keyed = FxHashMap::default();
+        for ks in &test.keyed {
+            test_keyed.insert(ks.key_column.clone(), project_keyed(ks)?);
+        }
+        Ok(ProxyState {
+            train_triple,
+            test_triple,
+            train_keyed,
+            test_keyed,
+            active_join_key: None,
+            features: task.features.clone(),
+            target: task.target.clone(),
+            lambda,
+        })
+    }
+
+    /// Current model feature names (target excluded).
+    pub fn features(&self) -> &[String] {
+        &self.features
+    }
+
+    /// The current augmented-train covariance triple.
+    pub fn train_triple(&self) -> &CovarTriple {
+        &self.train_triple
+    }
+
+    /// The current augmented-test covariance triple.
+    pub fn test_triple(&self) -> &CovarTriple {
+        &self.test_triple
+    }
+
+    /// Current augmented-train row count.
+    pub fn train_rows(&self) -> f64 {
+        self.train_triple.c
+    }
+
+    /// The join key locked in by the first vertical augmentation, if any.
+    pub fn active_join_key(&self) -> Option<&str> {
+        self.active_join_key.as_deref()
+    }
+
+    /// Train the ridge proxy on `train` stats and score R² on `test` stats,
+    /// over the given feature set.
+    fn score_triples(
+        &self,
+        train: &CovarTriple,
+        test: &CovarTriple,
+        features: &[String],
+    ) -> Result<f64> {
+        let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+        let train_sys = train.lr_system(&frefs, &self.target, true)?;
+        let test_sys = test.lr_system(&frefs, &self.target, true)?;
+        let mut model = LinearModel::new(RidgeConfig { lambda: self.lambda, intercept: true });
+        model.fit_from_system(&train_sys)?;
+        Ok(model.r2_from_system(&test_sys)?)
+    }
+
+    /// Utility of the *current* state (test R² of the proxy).
+    pub fn current_score(&self) -> Result<f64> {
+        self.score_triples(&self.train_triple, &self.test_triple, &self.features)
+    }
+
+    /// Stage a union candidate: add the provider's full triple (projected
+    /// and renamed onto the requester's columns) to the train triple.
+    fn stage_union(&self, cand: &DatasetSketch) -> Result<Staged> {
+        // Map provider-qualified names back to raw; require every task
+        // column present.
+        let rename = |qualified: &str| -> String {
+            qualified.strip_prefix(&format!("{}.", cand.name)).unwrap_or(qualified).to_string()
+        };
+        // Project candidate onto the requester task columns (post-rename).
+        let renamed = cand.full.rename_features(|n| rename(n));
+        let want: Vec<&str> = self.train_triple.feature_names();
+        let projected = renamed.project(&want).map_err(|_| {
+            SearchError::Sketch(format!(
+                "union candidate {} lacks task columns {want:?}",
+                cand.name
+            ))
+        })?;
+        let stats = eval_union(&self.train_triple, &projected, |n| n.to_string())?;
+
+        // Collect candidate keyed sketches for keys we still track exactly,
+        // projected and renamed the same way.
+        let mut union_keyed = Vec::new();
+        for key in self.train_keyed.keys() {
+            if let Ok(ks) = cand.keyed_for(key) {
+                let mut groups = FxHashMap::default();
+                let mut ok = true;
+                for (k, t) in &ks.groups {
+                    let rt = t.rename_features(|n| rename(n));
+                    match rt.project(&want) {
+                        Ok(p) => {
+                            groups.insert(k.clone(), p);
+                        }
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    union_keyed.push((key.clone(), KeyedSketch::new(key.clone(), groups)));
+                }
+            }
+        }
+        Ok(Staged {
+            train_triple: stats.triple,
+            test_triple: self.test_triple.clone(),
+            new_features: Vec::new(),
+            composed: None,
+            union_keyed: Some(union_keyed),
+        })
+    }
+
+    /// Stage a join candidate on `query_key` = requester column,
+    /// `candidate_key` = provider column.
+    fn stage_join(
+        &self,
+        cand: &DatasetSketch,
+        query_key: &str,
+        candidate_key: &str,
+    ) -> Result<Staged> {
+        if let Some(active) = &self.active_join_key {
+            if active != query_key {
+                return Err(SearchError::Sketch(format!(
+                    "join key {query_key} conflicts with active key {active} \
+                     (single-key composition policy)"
+                )));
+            }
+        }
+        let train_k = self.train_keyed.get(query_key).ok_or_else(|| {
+            SearchError::Sketch(format!("no grouped train sketch for key {query_key}"))
+        })?;
+        let test_k = self.test_keyed.get(query_key).ok_or_else(|| {
+            SearchError::Sketch(format!("no grouped test sketch for key {query_key}"))
+        })?;
+        let cand_k = cand.keyed_for(candidate_key)?;
+
+        // Features the candidate adds: its qualified features minus the join
+        // key column itself (joining on it makes it redundant).
+        let key_feature = format!("{}.{}", cand.name, candidate_key);
+        let added: Vec<String> =
+            cand.features.iter().filter(|f| **f != key_feature).cloned().collect();
+        if added.is_empty() {
+            return Err(SearchError::Sketch(format!(
+                "join candidate {} adds no features",
+                cand.name
+            )));
+        }
+        let added_refs: Vec<&str> = added.iter().map(|s| s.as_str()).collect();
+        let mut cand_groups = FxHashMap::default();
+        for (k, t) in &cand_k.groups {
+            cand_groups.insert(k.clone(), t.project(&added_refs)?);
+        }
+        let cand_proj = KeyedSketch::new(cand_k.key_column.clone(), cand_groups);
+
+        let train_stats = eval_join(train_k, &cand_proj)?;
+        let test_stats = eval_join(test_k, &cand_proj)?;
+        if train_stats.matched_keys == 0 || test_stats.matched_keys == 0 {
+            return Err(SearchError::Sketch(format!(
+                "join with {} matches no keys",
+                cand.name
+            )));
+        }
+        let composed_train = mileena_sketch::augment::compose_keyed(train_k, &cand_proj)?;
+        let composed_test = mileena_sketch::augment::compose_keyed(test_k, &cand_proj)?;
+        Ok(Staged {
+            train_triple: train_stats.triple,
+            test_triple: test_stats.triple,
+            new_features: added,
+            composed: Some((query_key.to_string(), composed_train, composed_test)),
+            union_keyed: None,
+        })
+    }
+
+    fn stage(&self, aug: &crate::candidates::Augmentation, cand: &DatasetSketch) -> Result<Staged> {
+        match aug {
+            crate::candidates::Augmentation::Union { .. } => self.stage_union(cand),
+            crate::candidates::Augmentation::Join { query_key, candidate_key, .. } => {
+                self.stage_join(cand, query_key, candidate_key)
+            }
+        }
+    }
+
+    /// Score a candidate without committing it.
+    pub fn evaluate(
+        &self,
+        aug: &crate::candidates::Augmentation,
+        cand: &DatasetSketch,
+    ) -> Result<CandidateScore> {
+        let staged = self.stage(aug, cand)?;
+        let mut features = self.features.clone();
+        features.extend(staged.new_features.iter().cloned());
+        let r2 = self.score_triples(&staged.train_triple, &staged.test_triple, &features)?;
+        Ok(CandidateScore {
+            test_r2: r2,
+            matched_keys: staged.composed.as_ref().map_or(0, |(_, t, _)| t.num_keys()),
+            train_rows: staged.train_triple.c,
+        })
+    }
+
+    /// Commit a candidate: update triples, grouped sketches, features, and
+    /// the active join key.
+    pub fn apply(
+        &mut self,
+        aug: &crate::candidates::Augmentation,
+        cand: &DatasetSketch,
+    ) -> Result<()> {
+        let staged = self.stage(aug, cand)?;
+        self.train_triple = staged.train_triple;
+        self.test_triple = staged.test_triple;
+        self.features.extend(staged.new_features);
+        match (staged.composed, staged.union_keyed) {
+            (Some((key, ctrain, ctest)), _) => {
+                // Join: grouped state on the active key threads exactly;
+                // other keys go stale and are dropped.
+                self.train_keyed.clear();
+                self.test_keyed.clear();
+                self.train_keyed.insert(key.clone(), ctrain);
+                self.test_keyed.insert(key.clone(), ctest);
+                self.active_join_key = Some(key);
+            }
+            (None, Some(union_keyed)) => {
+                // Union: fold candidate groups into keys we could map; keys
+                // the candidate couldn't support go stale.
+                let supported: Vec<String> =
+                    union_keyed.iter().map(|(k, _)| k.clone()).collect();
+                self.train_keyed.retain(|k, _| supported.contains(k));
+                self.test_keyed.retain(|k, _| supported.contains(k));
+                for (key, ks) in union_keyed {
+                    if let Some(existing) = self.train_keyed.get_mut(&key) {
+                        for (gk, gt) in ks.groups {
+                            match existing.groups.get_mut(&gk) {
+                                Some(t) => *t = t.add(&gt)?,
+                                None => {
+                                    existing.groups.insert(gk, gt);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Test keyed sketches are untouched by unions.
+            }
+            (None, None) => unreachable!("staged state always carries one branch"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Augmentation;
+    use mileena_relation::{Relation, RelationBuilder};
+    use mileena_sketch::{build_sketch, SketchConfig};
+
+    /// Train/test where y = 0.8·latent(zone) + small noise; provider carries
+    /// the latent. Joining should push test R² from ~0 to near 1.
+    fn fixtures() -> (Relation, Relation, Relation) {
+        let latent = |z: i64| ((z * 37 % 100) as f64 / 50.0) - 1.0;
+        let mk = |name: &str, n: usize, off: i64| {
+            let zones: Vec<i64> = (0..n as i64).map(|i| (i + off) % 60).collect();
+            let base: Vec<f64> = zones.iter().map(|&z| ((z * 13 % 7) as f64) / 7.0).collect();
+            let y: Vec<f64> =
+                zones.iter().map(|&z| 0.8 * latent(z) + 0.05 * ((z % 3) as f64)).collect();
+            RelationBuilder::new(name)
+                .int_col("zone", &zones)
+                .float_col("base_x", &base)
+                .float_col("y", &y)
+                .build()
+                .unwrap()
+        };
+        let prov_zones: Vec<i64> = (0..60).collect();
+        let prov_feat: Vec<f64> = prov_zones.iter().map(|&z| latent(z)).collect();
+        let prov = RelationBuilder::new("prov")
+            .int_col("zone", &prov_zones)
+            .float_col("lat", &prov_feat)
+            .build()
+            .unwrap();
+        (mk("train", 200, 0), mk("test", 200, 7), prov)
+    }
+
+    fn requester_sketch(r: &Relation, cols: &[&str]) -> DatasetSketch {
+        let cfg = SketchConfig {
+            feature_columns: Some(cols.iter().map(|s| s.to_string()).collect()),
+            key_columns: Some(vec!["zone".into()]),
+            ..SketchConfig::requester()
+        };
+        build_sketch(r, &cfg).unwrap()
+    }
+
+    fn state() -> (ProxyState, DatasetSketch) {
+        let (train, test, prov) = fixtures();
+        let task = TaskSpec::new("y", &["base_x"]);
+        let ts = requester_sketch(&train, &["base_x", "y"]);
+        let es = requester_sketch(&test, &["base_x", "y"]);
+        let ps = build_sketch(
+            &prov,
+            &SketchConfig {
+                key_columns: Some(vec!["zone".into()]),
+                feature_columns: Some(vec!["lat".into()]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (ProxyState::new(&ts, &es, &task, 1e-6).unwrap(), ps)
+    }
+
+    #[test]
+    fn join_candidate_scores_high() {
+        let (state, prov_sketch) = state();
+        let base = state.current_score().unwrap();
+        assert!(base < 0.3, "base R² should be weak, got {base}");
+        let aug = Augmentation::Join {
+            dataset: "prov".into(),
+            query_key: "zone".into(),
+            candidate_key: "zone".into(),
+            similarity: 1.0,
+        };
+        let score = state.evaluate(&aug, &prov_sketch).unwrap();
+        assert!(score.test_r2 > 0.9, "augmented R² {}", score.test_r2);
+        assert!(score.matched_keys > 0);
+    }
+
+    #[test]
+    fn apply_join_commits_state() {
+        let (mut state, prov_sketch) = state();
+        let aug = Augmentation::Join {
+            dataset: "prov".into(),
+            query_key: "zone".into(),
+            candidate_key: "zone".into(),
+            similarity: 1.0,
+        };
+        state.apply(&aug, &prov_sketch).unwrap();
+        assert_eq!(state.active_join_key(), Some("zone"));
+        assert!(state.features().iter().any(|f| f == "prov.lat"));
+        let after = state.current_score().unwrap();
+        assert!(after > 0.9, "{after}");
+    }
+
+    #[test]
+    fn union_candidate_changes_train_only() {
+        let (state, _) = state();
+        let (train, _, _) = fixtures();
+        // A union provider with the same schema (qualified names).
+        let more = train.clone().with_name("more");
+        let us = build_sketch(
+            &more,
+            &SketchConfig {
+                key_columns: Some(vec!["zone".into()]),
+                feature_columns: Some(vec!["base_x".into(), "y".into()]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let aug = Augmentation::Union { dataset: "more".into(), similarity: 1.0 };
+        let before_rows = state.train_rows();
+        let score = state.evaluate(&aug, &us).unwrap();
+        assert!((score.train_rows - 2.0 * before_rows).abs() < 1e-9);
+        let mut state2 = state.clone();
+        state2.apply(&aug, &us).unwrap();
+        assert!((state2.train_rows() - 2.0 * before_rows).abs() < 1e-9);
+        // Union keeps the zone grouping exact, so a join can still follow.
+        assert!(state2.train_keyed.contains_key("zone"));
+    }
+
+    #[test]
+    fn single_key_policy_enforced() {
+        let (mut state, prov_sketch) = state();
+        let aug = Augmentation::Join {
+            dataset: "prov".into(),
+            query_key: "zone".into(),
+            candidate_key: "zone".into(),
+            similarity: 1.0,
+        };
+        state.apply(&aug, &prov_sketch).unwrap();
+        let other = Augmentation::Join {
+            dataset: "prov".into(),
+            query_key: "week".into(),
+            candidate_key: "week".into(),
+            similarity: 1.0,
+        };
+        assert!(state.evaluate(&other, &prov_sketch).is_err());
+    }
+
+    #[test]
+    fn missing_task_columns_rejected() {
+        let (train, test, _) = fixtures();
+        let task = TaskSpec::new("nope", &["base_x"]);
+        let ts = requester_sketch(&train, &["base_x", "y"]);
+        let es = requester_sketch(&test, &["base_x", "y"]);
+        assert!(ProxyState::new(&ts, &es, &task, 1e-6).is_err());
+    }
+
+    #[test]
+    fn chained_joins_compose_exactly() {
+        // Two providers on the same key; applying both must equal the
+        // materialized two-way join statistics.
+        let (train, test, prov) = fixtures();
+        let prov2_zones: Vec<i64> = (0..60).collect();
+        let prov2_feat: Vec<f64> =
+            prov2_zones.iter().map(|&z| ((z % 5) as f64) / 5.0).collect();
+        let prov2 = RelationBuilder::new("prov2")
+            .int_col("zone", &prov2_zones)
+            .float_col("g", &prov2_feat)
+            .build()
+            .unwrap();
+
+        let task = TaskSpec::new("y", &["base_x"]);
+        let ts = requester_sketch(&train, &["base_x", "y"]);
+        let es = requester_sketch(&test, &["base_x", "y"]);
+        let mut state = ProxyState::new(&ts, &es, &task, 0.0).unwrap();
+        let mk_sketch = |r: &Relation, feat: &str| {
+            build_sketch(
+                r,
+                &SketchConfig {
+                    key_columns: Some(vec!["zone".into()]),
+                    feature_columns: Some(vec![feat.into()]),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let s1 = mk_sketch(&prov, "lat");
+        let s2 = mk_sketch(&prov2, "g");
+        let j = |ds: &str| Augmentation::Join {
+            dataset: ds.into(),
+            query_key: "zone".into(),
+            candidate_key: "zone".into(),
+            similarity: 1.0,
+        };
+        state.apply(&j("prov"), &s1).unwrap();
+        state.apply(&j("prov2"), &s2).unwrap();
+
+        // Materialized oracle.
+        let m = train
+            .hash_join(&prov, &["zone"], &["zone"])
+            .unwrap()
+            .hash_join(&prov2, &["zone"], &["zone"])
+            .unwrap();
+        let naive =
+            mileena_semiring::triple_of(&m, &["base_x", "y", "lat", "g"]).unwrap();
+        assert!((state.train_rows() - naive.c).abs() < 1e-9);
+        let naive = naive.rename_features(|n| match n {
+            "lat" => "prov.lat".to_string(),
+            "g" => "prov2.g".to_string(),
+            other => other.to_string(),
+        });
+        let aligned = state.train_triple.align(&naive.feature_names()).unwrap();
+        assert!(aligned.approx_eq(&naive, 1e-6), "\n{aligned:?}\n{naive:?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Search requests and configuration.
+
+use mileena_privacy::PrivacyBudget;
+use mileena_relation::Relation;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The ML task `(M, R_train, R_test)` of §2.1, restricted to regression:
+/// predict `target` from `features` (plus whatever augmentation adds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Target column name in the requester relations.
+    pub target: String,
+    /// Base feature columns in the requester relations.
+    pub features: Vec<String>,
+}
+
+impl TaskSpec {
+    /// Construct a task.
+    pub fn new(target: impl Into<String>, features: &[&str]) -> Self {
+        TaskSpec {
+            target: target.into(),
+            features: features.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// All columns the task touches (features + target).
+    pub fn all_columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.features.iter().map(|s| s.as_str()).collect();
+        cols.push(self.target.as_str());
+        cols
+    }
+}
+
+/// A requester's search request `(R_train, R_test, M, ε, δ)`.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Training relation (stays in the requester's local store; only its
+    /// sketches reach the platform).
+    pub train: Relation,
+    /// Test relation.
+    pub test: Relation,
+    /// The task.
+    pub task: TaskSpec,
+    /// The requester's own DP budget for its train/test sketches
+    /// (`None` = requester opts out of privacy for its own data).
+    pub budget: Option<PrivacyBudget>,
+    /// Join-key columns the requester is willing to join on (`None` = every
+    /// keyable column). Narrowing this matters under FPM: each sketched key
+    /// consumes a share of the requester's privacy budget.
+    pub key_columns: Option<Vec<String>>,
+}
+
+/// Search tuning knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Maximum augmentations to select (greedy rounds).
+    pub max_augmentations: usize,
+    /// Stop when the best candidate improves train-proxy R² by less than
+    /// this (absolute).
+    pub min_gain: f64,
+    /// Ridge λ for the proxy model.
+    pub lambda: f64,
+    /// Wall-clock budget for the search loop.
+    #[serde(with = "duration_millis")]
+    pub time_budget: Duration,
+    /// Joins require at least this fraction of training rows to survive
+    /// (low-overlap joins wreck the training set).
+    pub min_join_survival: f64,
+    /// Joins may multiply training rows by at most this factor. Vertical
+    /// augmentation adds *features*, so it should be (near) N:1; a
+    /// many-to-many join that fans rows out re-weights the training set
+    /// with no semantic justification.
+    pub max_join_fanout: f64,
+    /// Evaluate candidates on worker threads (crossbeam scoped).
+    pub parallel: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_augmentations: 10,
+            min_gain: 0.01,
+            lambda: 1e-4,
+            time_budget: Duration::from_secs(10),
+            min_join_survival: 0.5,
+            max_join_fanout: 1.5,
+            parallel: false,
+        }
+    }
+}
+
+/// Serde helper: store durations as integer milliseconds.
+mod duration_millis {
+    use serde::{Deserialize, Deserializer, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(d.as_millis() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_millis(u64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_columns() {
+        let t = TaskSpec::new("y", &["a", "b"]);
+        assert_eq!(t.all_columns(), vec!["a", "b", "y"]);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = SearchConfig { time_budget: Duration::from_millis(1234), ..Default::default() };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SearchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.time_budget, Duration::from_millis(1234));
+        assert_eq!(back.max_augmentations, cfg.max_augmentations);
+    }
+}

@@ -1,0 +1,181 @@
+//! Crate-level integration: chained augmentation sequences composed purely
+//! from sketches must equal the materialized oracle.
+
+use mileena_relation::{Relation, RelationBuilder};
+use mileena_search::{Augmentation, ProxyState, TaskSpec};
+use mileena_semiring::triple_of;
+use mileena_sketch::{build_sketch, DatasetSketch, SketchConfig};
+
+fn requester(name: &str, n: usize, off: i64) -> Relation {
+    let zones: Vec<i64> = (0..n as i64).map(|i| (i * 7 + off) % 40).collect();
+    let x: Vec<f64> = zones.iter().map(|&z| ((z * 13 % 11) as f64) / 11.0).collect();
+    let y: Vec<f64> = zones.iter().map(|&z| ((z * 5 % 9) as f64) / 9.0).collect();
+    RelationBuilder::new(name)
+        .int_col("zone", &zones)
+        .float_col("x", &x)
+        .float_col("y", &y)
+        .build()
+        .unwrap()
+}
+
+fn requester_sketch(r: &Relation) -> DatasetSketch {
+    build_sketch(
+        r,
+        &SketchConfig {
+            key_columns: Some(vec!["zone".into()]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::requester()
+        },
+    )
+    .unwrap()
+}
+
+fn provider(name: &str, feat: &str, scale: f64) -> Relation {
+    let zones: Vec<i64> = (0..40).collect();
+    let vals: Vec<f64> = zones.iter().map(|&z| ((z * 3 % 13) as f64) / 13.0 * scale).collect();
+    RelationBuilder::new(name).int_col("zone", &zones).float_col(feat, &vals).build().unwrap()
+}
+
+fn provider_sketch(r: &Relation, feat: &str) -> DatasetSketch {
+    build_sketch(
+        r,
+        &SketchConfig {
+            key_columns: Some(vec!["zone".into()]),
+            feature_columns: Some(vec![feat.into()]),
+            ..SketchConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn join_aug(ds: &str) -> Augmentation {
+    Augmentation::Join {
+        dataset: ds.into(),
+        query_key: "zone".into(),
+        candidate_key: "zone".into(),
+        similarity: 1.0,
+    }
+}
+
+/// union → join → join, sketches vs materialized.
+#[test]
+fn union_then_two_joins_matches_materialized() {
+    let train = requester("train", 150, 0);
+    let test = requester("test", 120, 3);
+    let extra = requester("extra", 90, 5);
+    let p1 = provider("p1", "a", 1.0);
+    let p2 = provider("p2", "b", 2.0);
+
+    let task = TaskSpec::new("y", &["x"]);
+    let mut state =
+        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0)
+            .unwrap();
+
+    // Union partner sketched with qualified names, like any provider.
+    let extra_sketch = build_sketch(
+        &extra,
+        &SketchConfig {
+            key_columns: Some(vec!["zone".into()]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::default()
+        },
+    )
+    .unwrap();
+    state
+        .apply(&Augmentation::Union { dataset: "extra".into(), similarity: 1.0 }, &extra_sketch)
+        .unwrap();
+    state.apply(&join_aug("p1"), &provider_sketch(&p1, "a")).unwrap();
+    state.apply(&join_aug("p2"), &provider_sketch(&p2, "b")).unwrap();
+
+    // Materialized oracle.
+    let m = train
+        .union(&extra)
+        .unwrap()
+        .hash_join(&p1, &["zone"], &["zone"])
+        .unwrap()
+        .hash_join(&p2, &["zone"], &["zone"])
+        .unwrap();
+    let naive = triple_of(&m, &["x", "y", "a", "b"]).unwrap().rename_features(|n| match n {
+        "a" => "p1.a".to_string(),
+        "b" => "p2.b".to_string(),
+        other => other.to_string(),
+    });
+    let got = state.train_triple().align(&naive.feature_names()).unwrap();
+    assert!(got.approx_eq(&naive, 1e-6), "\n{got:?}\n{naive:?}");
+
+    // Test side (joins only — unions never touch the test relation).
+    let mt = test
+        .hash_join(&p1, &["zone"], &["zone"])
+        .unwrap()
+        .hash_join(&p2, &["zone"], &["zone"])
+        .unwrap();
+    let naive_t = triple_of(&mt, &["x", "y", "a", "b"]).unwrap().rename_features(|n| match n {
+        "a" => "p1.a".to_string(),
+        "b" => "p2.b".to_string(),
+        other => other.to_string(),
+    });
+    let got_t = state.test_triple().align(&naive_t.feature_names()).unwrap();
+    assert!(got_t.approx_eq(&naive_t, 1e-6));
+}
+
+/// join → union must keep the union exact over the already-joined features'
+/// base columns (the union partner lacks provider features, so it can only
+/// be staged before joins; verify the error is clean, not silent corruption).
+#[test]
+fn union_after_join_rejected_cleanly() {
+    let train = requester("train", 100, 0);
+    let test = requester("test", 100, 1);
+    let extra = requester("extra", 60, 2);
+    let p1 = provider("p1", "a", 1.0);
+
+    let task = TaskSpec::new("y", &["x"]);
+    let mut state =
+        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0)
+            .unwrap();
+    state.apply(&join_aug("p1"), &provider_sketch(&p1, "a")).unwrap();
+    let extra_sketch = build_sketch(
+        &extra,
+        &SketchConfig {
+            key_columns: Some(vec!["zone".into()]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::default()
+        },
+    )
+    .unwrap();
+    // The union candidate cannot cover the joined feature p1.a.
+    let res = state
+        .evaluate(&Augmentation::Union { dataset: "extra".into(), similarity: 1.0 }, &extra_sketch);
+    assert!(res.is_err(), "union lacking joined features must not evaluate");
+}
+
+/// Sequences of unions accumulate counts exactly.
+#[test]
+fn repeated_unions_accumulate() {
+    let train = requester("train", 100, 0);
+    let test = requester("test", 100, 1);
+    let task = TaskSpec::new("y", &["x"]);
+    let mut state =
+        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0)
+            .unwrap();
+    let mut expected = 100.0;
+    for (i, n) in [40usize, 70, 25].iter().enumerate() {
+        let u = requester(&format!("u{i}"), *n, i as i64);
+        let us = build_sketch(
+            &u,
+            &SketchConfig {
+                key_columns: Some(vec!["zone".into()]),
+                feature_columns: Some(vec!["x".into(), "y".into()]),
+                ..SketchConfig::default()
+            },
+        )
+        .unwrap();
+        state
+            .apply(
+                &Augmentation::Union { dataset: format!("u{i}"), similarity: 1.0 },
+                &us,
+            )
+            .unwrap();
+        expected += *n as f64;
+        assert_eq!(state.train_rows(), expected);
+    }
+}

@@ -1,0 +1,120 @@
+//! The generic [`Semiring`] trait and simple instances.
+//!
+//! The covariance triple ([`crate::CovarTriple`]) is the production semi-ring;
+//! the simple instances here (count, sum) exist because the paper's framework
+//! ("semi-rings have been designed for common statistical aggregation
+//! functions") is generic, and they give the property-test suite independent
+//! witnesses of the algebraic laws.
+
+use serde::{Deserialize, Serialize};
+
+/// A commutative semi-ring `(D, +, ×, 0, 1)`.
+///
+/// `add` is used by group-by and union; `mul` by join. Implementations must
+/// satisfy (checked by property tests in `tests/semiring_laws.rs`):
+/// - `(D, +, 0)` is a commutative monoid,
+/// - `(D, ×, 1)` is a commutative monoid,
+/// - `×` distributes over `+`,
+/// - `0` annihilates: `a × 0 = 0`.
+pub trait Semiring: Clone + std::fmt::Debug + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Commutative addition (group-by / union).
+    fn add(&self, other: &Self) -> Self;
+    /// Commutative multiplication (join).
+    fn mul(&self, other: &Self) -> Self;
+}
+
+/// Natural-number semi-ring: annotation = row multiplicity; expresses COUNT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountSemiring(pub u64);
+
+impl Semiring for CountSemiring {
+    fn zero() -> Self {
+        CountSemiring(0)
+    }
+    fn one() -> Self {
+        CountSemiring(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        CountSemiring(self.0 + other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        CountSemiring(self.0 * other.0)
+    }
+}
+
+/// (count, sum) semi-ring: expresses SUM over joins/unions.
+///
+/// The count component is required so that multiplication scales sums by the
+/// partner's multiplicity: `(c₁,s₁)×(c₂,s₂) = (c₁c₂, c₂s₁ + c₁s₂)` — the
+/// 1-feature shadow of the covariance triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SumSemiring {
+    /// Row multiplicity.
+    pub count: f64,
+    /// Sum of the annotated value.
+    pub sum: f64,
+}
+
+impl SumSemiring {
+    /// Annotation of one row holding value `v`.
+    pub fn of(v: f64) -> Self {
+        SumSemiring { count: 1.0, sum: v }
+    }
+}
+
+impl Semiring for SumSemiring {
+    fn zero() -> Self {
+        SumSemiring { count: 0.0, sum: 0.0 }
+    }
+    fn one() -> Self {
+        SumSemiring { count: 1.0, sum: 0.0 }
+    }
+    fn add(&self, other: &Self) -> Self {
+        SumSemiring { count: self.count + other.count, sum: self.sum + other.sum }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        SumSemiring {
+            count: self.count * other.count,
+            sum: other.count * self.sum + self.count * other.sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_expresses_join_cardinality() {
+        // 3 rows join 4 rows on one key → 12 rows.
+        let a = CountSemiring(3);
+        let b = CountSemiring(4);
+        assert_eq!(a.mul(&b), CountSemiring(12));
+        assert_eq!(a.add(&b), CountSemiring(7));
+        assert_eq!(a.mul(&CountSemiring::one()), a);
+        assert_eq!(a.mul(&CountSemiring::zero()), CountSemiring::zero());
+    }
+
+    #[test]
+    fn sum_scales_by_partner_multiplicity() {
+        // Group with sum 10 over 2 rows joined to 3 partner rows (sum 0):
+        // every left row repeats 3 times → sum 30.
+        let left = SumSemiring { count: 2.0, sum: 10.0 };
+        let right = SumSemiring { count: 3.0, sum: 0.0 };
+        let j = left.mul(&right);
+        assert_eq!(j.count, 6.0);
+        assert_eq!(j.sum, 30.0);
+    }
+
+    #[test]
+    fn sum_identities() {
+        let a = SumSemiring::of(5.0);
+        assert_eq!(a.mul(&SumSemiring::one()), a);
+        assert_eq!(a.add(&SumSemiring::zero()), a);
+        assert_eq!(a.mul(&SumSemiring::zero()), SumSemiring::zero());
+    }
+}

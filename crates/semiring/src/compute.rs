@@ -1,0 +1,207 @@
+//! Computing covariance triples from relations (the "γ" of the paper).
+
+use crate::covar::CovarTriple;
+use crate::error::{Result, SemiringError};
+use mileena_relation::{FxHashMap, KeyValue, Relation};
+
+/// Per-join-key triples: the pre-computed `γ_j(R)` sketch of §3.2.2.
+pub type GroupedTriples = FxHashMap<Vec<KeyValue>, CovarTriple>;
+
+/// Compute the covariance triple of `relation` over the given numeric
+/// columns (`γ(R)` with no grouping — the horizontal-augmentation sketch).
+///
+/// Rows with a NULL in any of the requested columns are skipped, matching
+/// the semantics of the materialized training path (`Relation::to_xy`).
+pub fn triple_of(relation: &Relation, columns: &[&str]) -> Result<CovarTriple> {
+    if columns.is_empty() {
+        return Err(SemiringError::InvalidArgument("triple_of: no columns".into()));
+    }
+    let cols: Vec<&mileena_relation::Column> = columns
+        .iter()
+        .map(|c| relation.column(c))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(SemiringError::from)?;
+    for (c, name) in cols.iter().zip(columns) {
+        if !c.data_type().is_numeric() {
+            return Err(SemiringError::InvalidArgument(format!(
+                "column {name} is not numeric"
+            )));
+        }
+    }
+    let m = columns.len();
+    let mut c_total = 0.0f64;
+    let mut s = vec![0.0f64; m];
+    let mut q = vec![0.0f64; m * m];
+    let mut buf = vec![0.0f64; m];
+    'rows: for i in 0..relation.num_rows() {
+        for (k, col) in cols.iter().enumerate() {
+            match col.f64_at(i) {
+                Some(v) => buf[k] = v,
+                None => continue 'rows,
+            }
+        }
+        c_total += 1.0;
+        for a in 0..m {
+            s[a] += buf[a];
+            // Fill the upper triangle; mirror below the loop.
+            for b in a..m {
+                q[a * m + b] += buf[a] * buf[b];
+            }
+        }
+    }
+    for a in 0..m {
+        for b in 0..a {
+            q[a * m + b] = q[b * m + a];
+        }
+    }
+    Ok(CovarTriple {
+        features: columns.iter().map(|s| s.to_string()).collect(),
+        c: c_total,
+        s,
+        q,
+    })
+}
+
+/// Compute per-key triples `γ_j(R)` for vertical augmentation (§3.2.2):
+/// group by `key_columns`, then aggregate the covariance triple over
+/// `feature_columns` within each group.
+///
+/// NULL keys are excluded (they can never join). Rows with NULL features are
+/// skipped within their group; a group whose rows are all skipped still
+/// appears with a zero triple so that join-key statistics remain faithful.
+pub fn grouped_triples(
+    relation: &Relation,
+    key_columns: &[&str],
+    feature_columns: &[&str],
+) -> Result<GroupedTriples> {
+    let groups = relation.group_by(key_columns).map_err(SemiringError::from)?;
+    let cols: Vec<&mileena_relation::Column> = feature_columns
+        .iter()
+        .map(|c| relation.column(c))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(SemiringError::from)?;
+    let m = feature_columns.len();
+    let mut out: GroupedTriples = FxHashMap::default();
+    let mut buf = vec![0.0f64; m];
+    for (key, rows) in groups {
+        if key.iter().any(|k| *k == KeyValue::Null) {
+            continue;
+        }
+        let mut triple = CovarTriple::zero(feature_columns);
+        'rows: for &i in &rows {
+            let i = i as usize;
+            for (k, col) in cols.iter().enumerate() {
+                match col.f64_at(i) {
+                    Some(v) => buf[k] = v,
+                    None => continue 'rows,
+                }
+            }
+            triple.c += 1.0;
+            for a in 0..m {
+                triple.s[a] += buf[a];
+                for b in 0..m {
+                    triple.q[a * m + b] += buf[a] * buf[b];
+                }
+            }
+        }
+        out.insert(key, triple);
+    }
+    Ok(out)
+}
+
+/// Sum all grouped triples back into a single triple (`γ(γ_j(R)) = γ(R)`
+/// over the non-NULL-key rows) — used in tests and budget accounting.
+pub fn total_of_groups(groups: &GroupedTriples) -> Result<CovarTriple> {
+    let mut acc = CovarTriple::zero(&[]);
+    for t in groups.values() {
+        acc = acc.add(t)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    #[test]
+    fn triple_of_matches_manual() {
+        let r = RelationBuilder::new("t")
+            .float_col("x", &[1.0, 2.0, 3.0])
+            .float_col("y", &[2.0, 4.0, 6.0])
+            .build()
+            .unwrap();
+        let t = triple_of(&r, &["x", "y"]).unwrap();
+        assert_eq!(t.c, 3.0);
+        assert_eq!(t.s, vec![6.0, 12.0]);
+        assert_eq!(t.q_at(0, 0), 14.0); // 1+4+9
+        assert_eq!(t.q_at(0, 1), 28.0); // 2+8+18
+        assert_eq!(t.q_at(1, 1), 56.0); // 4+16+36
+    }
+
+    #[test]
+    fn triple_of_skips_null_rows() {
+        let r = RelationBuilder::new("t")
+            .opt_float_col("x", &[Some(1.0), None])
+            .float_col("y", &[10.0, 20.0])
+            .build()
+            .unwrap();
+        let t = triple_of(&r, &["x", "y"]).unwrap();
+        assert_eq!(t.c, 1.0);
+        assert_eq!(t.s, vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn triple_of_int_columns_widen() {
+        let r = RelationBuilder::new("t").int_col("x", &[2, 4]).build().unwrap();
+        let t = triple_of(&r, &["x"]).unwrap();
+        assert_eq!(t.s, vec![6.0]);
+        assert_eq!(t.q, vec![20.0]);
+    }
+
+    #[test]
+    fn triple_of_rejects_strings_and_empty() {
+        let r = RelationBuilder::new("t").str_col("s", &["a"]).build().unwrap();
+        assert!(triple_of(&r, &["s"]).is_err());
+        assert!(triple_of(&r, &[]).is_err());
+    }
+
+    #[test]
+    fn grouped_triples_partition_and_total() {
+        let r = RelationBuilder::new("t")
+            .int_col("k", &[1, 1, 2])
+            .float_col("x", &[1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let g = grouped_triples(&r, &["k"], &["x"]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[&vec![KeyValue::Int(1)]].c, 2.0);
+        assert_eq!(g[&vec![KeyValue::Int(2)]].s, vec![3.0]);
+        let total = total_of_groups(&g).unwrap();
+        let direct = triple_of(&r, &["x"]).unwrap();
+        assert!(total.approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn grouped_triples_drop_null_keys() {
+        let r = RelationBuilder::new("t")
+            .opt_int_col("k", &[Some(1), None])
+            .float_col("x", &[1.0, 2.0])
+            .build()
+            .unwrap();
+        let g = grouped_triples(&r, &["k"], &["x"]).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn grouped_triples_keep_empty_groups_for_null_features() {
+        let r = RelationBuilder::new("t")
+            .int_col("k", &[1])
+            .opt_float_col("x", &[None])
+            .build()
+            .unwrap();
+        let g = grouped_triples(&r, &["k"], &["x"]).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[&vec![KeyValue::Int(1)]].c, 0.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! The covariance-matrix semi-ring of Schleich et al. [44], the sufficient
+//! statistics carrier for Mileena's proxy model.
+
+use crate::error::{Result, SemiringError};
+use serde::{Deserialize, Serialize};
+
+/// The covariance semi-ring triple `(c, s, Q)` over a named feature set.
+///
+/// - `c` — row count (float so privatized/noisy counts stay representable),
+/// - `s[i]` — sum of feature `i`,
+/// - `q[i*m + j]` — sum of products `feature_i · feature_j` (symmetric, row
+///   major, `m = features.len()`).
+///
+/// Addition requires identical feature lists (use [`CovarTriple::align`] to
+/// reorder); multiplication requires *disjoint* feature lists and produces
+/// the concatenated feature space — matching union and join respectively.
+///
+/// Fields are public so that the privacy layer can perturb them in place;
+/// the invariants (`s.len() == m`, `q.len() == m*m`, `q` symmetric) must be
+/// preserved by such edits. Noise injection keeps symmetry by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovarTriple {
+    /// Ordered feature names (unique).
+    pub features: Vec<String>,
+    /// Row count.
+    pub c: f64,
+    /// Per-feature sums, length `m`.
+    pub s: Vec<f64>,
+    /// Sums of pairwise products, length `m*m`, row-major, symmetric.
+    pub q: Vec<f64>,
+}
+
+impl CovarTriple {
+    /// The additive identity over a given feature set.
+    pub fn zero(features: &[&str]) -> Self {
+        let m = features.len();
+        CovarTriple {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            c: 0.0,
+            s: vec![0.0; m],
+            q: vec![0.0; m * m],
+        }
+    }
+
+    /// The multiplicative identity: one "row" with no features.
+    pub fn one() -> Self {
+        CovarTriple { features: Vec::new(), c: 1.0, s: Vec::new(), q: Vec::new() }
+    }
+
+    /// Annotation of a single row with the given feature values.
+    pub fn of_row(features: &[&str], values: &[f64]) -> Result<Self> {
+        if features.len() != values.len() {
+            return Err(SemiringError::InvalidArgument(format!(
+                "of_row: {} features but {} values",
+                features.len(),
+                values.len()
+            )));
+        }
+        let m = values.len();
+        let mut q = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                q[i * m + j] = values[i] * values[j];
+            }
+        }
+        Ok(CovarTriple {
+            features: features.iter().map(|s| s.to_string()).collect(),
+            c: 1.0,
+            s: values.to_vec(),
+            q,
+        })
+    }
+
+    /// Number of features `m`.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Feature names as `&str`s (for align/project calls).
+    pub fn feature_names(&self) -> Vec<&str> {
+        self.features.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Index of a feature.
+    pub fn feature_index(&self, name: &str) -> Result<usize> {
+        self.features
+            .iter()
+            .position(|f| f == name)
+            .ok_or_else(|| SemiringError::FeatureNotFound(name.to_string()))
+    }
+
+    /// `Q[i,j]` accessor.
+    #[inline]
+    pub fn q_at(&self, i: usize, j: usize) -> f64 {
+        self.q[i * self.features.len() + j]
+    }
+
+    /// Semi-ring addition (union / within-group accumulation).
+    pub fn add(&self, other: &CovarTriple) -> Result<CovarTriple> {
+        // Adding zero-with-no-features is always allowed: it adapts to the
+        // partner's feature space (useful as a fold seed).
+        if self.features.is_empty() && self.c == 0.0 {
+            return Ok(other.clone());
+        }
+        if other.features.is_empty() && other.c == 0.0 {
+            return Ok(self.clone());
+        }
+        if self.features != other.features {
+            return Err(SemiringError::FeatureMismatch {
+                left: self.features.clone(),
+                right: other.features.clone(),
+            });
+        }
+        let mut out = self.clone();
+        out.c += other.c;
+        for (a, b) in out.s.iter_mut().zip(&other.s) {
+            *a += b;
+        }
+        for (a, b) in out.q.iter_mut().zip(&other.q) {
+            *a += b;
+        }
+        Ok(out)
+    }
+
+    /// Semi-ring multiplication (join). Feature sets must be disjoint; the
+    /// result covers `self.features ++ other.features`:
+    ///
+    /// `a×b = (c_a c_b, c_b s_a ∥ c_a s_b, blocks[c_b Q_a, s_a s_bᵀ; s_b s_aᵀ, c_a Q_b])`
+    pub fn mul(&self, other: &CovarTriple) -> Result<CovarTriple> {
+        let shared: Vec<String> = self
+            .features
+            .iter()
+            .filter(|f| other.features.contains(f))
+            .cloned()
+            .collect();
+        if !shared.is_empty() {
+            return Err(SemiringError::FeatureOverlap(shared));
+        }
+        let ma = self.features.len();
+        let mb = other.features.len();
+        let m = ma + mb;
+        let mut features = Vec::with_capacity(m);
+        features.extend(self.features.iter().cloned());
+        features.extend(other.features.iter().cloned());
+
+        let c = self.c * other.c;
+        let mut s = Vec::with_capacity(m);
+        s.extend(self.s.iter().map(|v| v * other.c));
+        s.extend(other.s.iter().map(|v| v * self.c));
+
+        let mut q = vec![0.0; m * m];
+        // top-left: c_b * Q_a
+        for i in 0..ma {
+            for j in 0..ma {
+                q[i * m + j] = other.c * self.q[i * ma + j];
+            }
+        }
+        // bottom-right: c_a * Q_b
+        for i in 0..mb {
+            for j in 0..mb {
+                q[(ma + i) * m + (ma + j)] = self.c * other.q[i * mb + j];
+            }
+        }
+        // cross blocks: s_a s_bᵀ and its transpose
+        for i in 0..ma {
+            for j in 0..mb {
+                let v = self.s[i] * other.s[j];
+                q[i * m + (ma + j)] = v;
+                q[(ma + j) * m + i] = v;
+            }
+        }
+        Ok(CovarTriple { features, c, s, q })
+    }
+
+    /// Reorder features to the given order (a permutation of the current
+    /// feature set). Needed before `add` when operands were built in
+    /// different column orders.
+    pub fn align(&self, order: &[&str]) -> Result<CovarTriple> {
+        if order.len() != self.features.len() {
+            return Err(SemiringError::FeatureMismatch {
+                left: self.features.clone(),
+                right: order.iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        let perm: Vec<usize> =
+            order.iter().map(|f| self.feature_index(f)).collect::<Result<_>>()?;
+        Ok(self.permuted(&perm, order))
+    }
+
+    /// Keep only the named features (subset; any order): the semi-ring
+    /// analogue of projection, used to select model features at train time.
+    pub fn project(&self, keep: &[&str]) -> Result<CovarTriple> {
+        let perm: Vec<usize> =
+            keep.iter().map(|f| self.feature_index(f)).collect::<Result<_>>()?;
+        Ok(self.permuted(&perm, keep))
+    }
+
+    fn permuted(&self, perm: &[usize], names: &[&str]) -> CovarTriple {
+        let m0 = self.features.len();
+        let m = perm.len();
+        let s = perm.iter().map(|&i| self.s[i]).collect();
+        let mut q = vec![0.0; m * m];
+        for (ni, &oi) in perm.iter().enumerate() {
+            for (nj, &oj) in perm.iter().enumerate() {
+                q[ni * m + nj] = self.q[oi * m0 + oj];
+            }
+        }
+        CovarTriple {
+            features: names.iter().map(|s| s.to_string()).collect(),
+            c: self.c,
+            s,
+            q,
+        }
+    }
+
+    /// Rename features via a mapping function (used when join would collide
+    /// column names, mirroring the relational operator's prefixing).
+    pub fn rename_features(&self, f: impl Fn(&str) -> String) -> CovarTriple {
+        let mut out = self.clone();
+        out.features = self.features.iter().map(|n| f(n)).collect();
+        out
+    }
+
+    /// Approximate equality (same features in same order, values within
+    /// `tol` absolutely or 1e-9 relatively).
+    pub fn approx_eq(&self, other: &CovarTriple, tol: f64) -> bool {
+        fn close(a: f64, b: f64, tol: f64) -> bool {
+            let diff = (a - b).abs();
+            diff <= tol || diff <= 1e-9 * a.abs().max(b.abs())
+        }
+        self.features == other.features
+            && close(self.c, other.c, tol)
+            && self.s.iter().zip(&other.s).all(|(a, b)| close(*a, *b, tol))
+            && self.q.iter().zip(&other.q).all(|(a, b)| close(*a, *b, tol))
+    }
+
+    /// Extract the normal-equation system for ridge regression of `target`
+    /// on `features` (optionally with an intercept term).
+    ///
+    /// Returns [`LrSystem`] holding `XᵀX` (with the intercept as the leading
+    /// dimension when requested), `Xᵀy`, `yᵀy` and `n` — everything a solver
+    /// needs, straight from the triple with no data access.
+    pub fn lr_system(
+        &self,
+        features: &[&str],
+        target: &str,
+        intercept: bool,
+    ) -> Result<LrSystem> {
+        let fidx: Vec<usize> =
+            features.iter().map(|f| self.feature_index(f)).collect::<Result<_>>()?;
+        let ti = self.feature_index(target)?;
+        let k = fidx.len() + usize::from(intercept);
+        let mut xtx = vec![0.0; k * k];
+        let mut xty = vec![0.0; k];
+        let off = usize::from(intercept);
+        if intercept {
+            xtx[0] = self.c;
+            for (a, &i) in fidx.iter().enumerate() {
+                xtx[a + 1] = self.s[i];
+                xtx[(a + 1) * k] = self.s[i];
+            }
+            xty[0] = self.s[ti];
+        }
+        for (a, &i) in fidx.iter().enumerate() {
+            for (b, &j) in fidx.iter().enumerate() {
+                xtx[(a + off) * k + (b + off)] = self.q_at(i, j);
+            }
+            xty[a + off] = self.q_at(i, ti);
+        }
+        Ok(LrSystem { xtx, xty, yty: self.q_at(ti, ti), y_sum: self.s[ti], n: self.c, k })
+    }
+}
+
+/// Normal-equation view of a [`CovarTriple`] for one regression task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrSystem {
+    /// `XᵀX`, `k × k` row-major (leading row/col is the intercept if used).
+    pub xtx: Vec<f64>,
+    /// `Xᵀy`, length `k`.
+    pub xty: Vec<f64>,
+    /// `yᵀy` scalar.
+    pub yty: f64,
+    /// `Σy` (needed for test-time R² around the mean).
+    pub y_sum: f64,
+    /// Row count.
+    pub n: f64,
+    /// System dimension `k` (features + intercept).
+    pub k: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(features: &[&str], data: &[&[f64]]) -> CovarTriple {
+        let mut acc = CovarTriple::zero(features);
+        for r in data {
+            acc = acc.add(&CovarTriple::of_row(features, r).unwrap()).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn of_row_builds_outer_product() {
+        let t = CovarTriple::of_row(&["x", "y"], &[2.0, 3.0]).unwrap();
+        assert_eq!(t.c, 1.0);
+        assert_eq!(t.s, vec![2.0, 3.0]);
+        assert_eq!(t.q, vec![4.0, 6.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn add_accumulates_sufficient_stats() {
+        let t = rows(&["x", "y"], &[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.c, 2.0);
+        assert_eq!(t.s, vec![4.0, 6.0]);
+        // Q = [[1+9, 2+12],[2+12, 4+16]]
+        assert_eq!(t.q, vec![10.0, 14.0, 14.0, 20.0]);
+    }
+
+    #[test]
+    fn add_rejects_mismatched_features() {
+        let a = CovarTriple::zero(&["x"]);
+        let b = CovarTriple::zero(&["y"]);
+        assert!(a.add(&b).is_err());
+        // but empty-zero is a universal seed
+        let z = CovarTriple::zero(&[]);
+        assert_eq!(z.add(&a).unwrap(), a);
+        assert_eq!(a.add(&z).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_matches_materialized_cross_product() {
+        // Left group: rows x ∈ {1, 2}; right group: rows z ∈ {10}.
+        // Join (cross product within the key group) has rows (1,10),(2,10).
+        let left = rows(&["x"], &[&[1.0], &[2.0]]);
+        let right = rows(&["z"], &[&[10.0]]);
+        let prod = left.mul(&right).unwrap();
+        let expect = rows(&["x", "z"], &[&[1.0, 10.0], &[2.0, 10.0]]);
+        assert!(prod.approx_eq(&expect, 1e-12), "{prod:?} vs {expect:?}");
+    }
+
+    #[test]
+    fn mul_many_to_many() {
+        let left = rows(&["x"], &[&[1.0], &[2.0]]);
+        let right = rows(&["z"], &[&[10.0], &[20.0], &[30.0]]);
+        let prod = left.mul(&right).unwrap();
+        let expect = rows(
+            &["x", "z"],
+            &[
+                &[1.0, 10.0],
+                &[1.0, 20.0],
+                &[1.0, 30.0],
+                &[2.0, 10.0],
+                &[2.0, 20.0],
+                &[2.0, 30.0],
+            ],
+        );
+        assert!(prod.approx_eq(&expect, 1e-12));
+        assert_eq!(prod.c, 6.0);
+    }
+
+    #[test]
+    fn mul_rejects_overlap_and_identity_holds() {
+        let a = rows(&["x"], &[&[1.0]]);
+        assert!(a.mul(&a).is_err());
+        let prod = a.mul(&CovarTriple::one()).unwrap();
+        assert!(prod.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn align_and_project() {
+        let t = rows(&["x", "y", "z"], &[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let a = t.align(&["z", "x", "y"]).unwrap();
+        assert_eq!(a.features, vec!["z", "x", "y"]);
+        assert_eq!(a.s, vec![9.0, 5.0, 7.0]);
+        assert_eq!(a.q_at(0, 1), t.q_at(2, 0)); // (z,x) == (x,z)
+        let p = t.project(&["y"]).unwrap();
+        assert_eq!(p.s, vec![7.0]);
+        assert_eq!(p.q, vec![4.0 + 25.0]);
+        assert!(t.align(&["x", "y"]).is_err());
+        assert!(t.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn lr_system_blocks() {
+        // y = 2x exactly on two points.
+        let t = rows(&["x", "y"], &[&[1.0, 2.0], &[2.0, 4.0]]);
+        let sys = t.lr_system(&["x"], "y", true).unwrap();
+        assert_eq!(sys.k, 2);
+        // XᵀX = [[n, Σx],[Σx, Σx²]] = [[2,3],[3,5]]
+        assert_eq!(sys.xtx, vec![2.0, 3.0, 3.0, 5.0]);
+        // Xᵀy = [Σy, Σxy] = [6, 10]
+        assert_eq!(sys.xty, vec![6.0, 10.0]);
+        assert_eq!(sys.yty, 20.0);
+        assert_eq!(sys.y_sum, 6.0);
+        let sys = t.lr_system(&["x"], "y", false).unwrap();
+        assert_eq!(sys.k, 1);
+        assert_eq!(sys.xtx, vec![5.0]);
+        assert_eq!(sys.xty, vec![10.0]);
+    }
+
+    #[test]
+    fn rename_features_applies_mapping() {
+        let t = rows(&["x"], &[&[1.0]]);
+        let r = t.rename_features(|n| format!("aug.{n}"));
+        assert_eq!(r.features, vec!["aug.x"]);
+        assert_eq!(r.s, t.s);
+    }
+}

@@ -1,0 +1,163 @@
+//! Aggregation pushdown (§3.1) — reference implementations used to validate
+//! that the factorized plans equal the naive materialize-then-aggregate
+//! plans, including the paper's worked Example 1 / Figure 3.
+
+use crate::compute::{grouped_triples, triple_of, GroupedTriples};
+use crate::covar::CovarTriple;
+use crate::error::Result;
+use mileena_relation::Relation;
+
+/// Factorized evaluation of `γ((R_train ∪ R_u) ...)` — horizontal
+/// augmentation: the pushed-down plan is just triple addition
+/// (`γ(R ∪ A) = γ(R) + γ(A)`), O(1) in relation size once sketches exist.
+pub fn union_pushdown(left: &CovarTriple, right: &CovarTriple) -> Result<CovarTriple> {
+    left.add(right)
+}
+
+/// Factorized evaluation of `γ(R ⋈_j A)` — vertical augmentation: multiply
+/// per-key triples and sum over the key intersection (`γ(γ_j(R) ⋈ γ_j(A))`),
+/// O(d) in the number of distinct join keys.
+pub fn join_pushdown(left: &GroupedTriples, right: &GroupedTriples) -> Result<CovarTriple> {
+    let mut acc = CovarTriple::zero(&[]);
+    // Iterate over the smaller side for the usual hash-join asymptotics.
+    let (probe, build) = if left.len() <= right.len() { (left, right) } else { (right, left) };
+    let flipped = left.len() > right.len();
+    for (key, pt) in probe {
+        if let Some(bt) = build.get(key) {
+            // Keep feature order stable as (left ++ right) regardless of
+            // which side we probed, so results are deterministic.
+            let prod = if flipped { bt.mul(pt)? } else { pt.mul(bt)? };
+            acc = acc.add(&prod)?;
+        }
+    }
+    Ok(acc)
+}
+
+/// Naive evaluation used as the oracle in tests and as the slow path for the
+/// retrain-based baselines: materialize `(R1 ∪ R2) ⋈_key R3`, then aggregate.
+pub fn naive_union_join_triple(
+    r1: &Relation,
+    r2: &Relation,
+    r3: &Relation,
+    key: &str,
+    columns: &[&str],
+) -> Result<CovarTriple> {
+    let unioned = r1.union(r2)?;
+    let joined = unioned.hash_join(r3, &[key], &[key])?;
+    triple_of(&joined, columns)
+}
+
+/// Factorized evaluation of the same query:
+/// `γ((γ_A(R1) ∪ γ_A(R2)) ⋈_A γ_A(R3))` (the optimized plan of Figure 3).
+pub fn factorized_union_join_triple(
+    r1: &Relation,
+    r2: &Relation,
+    r3: &Relation,
+    key: &str,
+    left_columns: &[&str],
+    right_columns: &[&str],
+) -> Result<CovarTriple> {
+    let g1 = grouped_triples(r1, &[key], left_columns)?;
+    let g2 = grouped_triples(r2, &[key], left_columns)?;
+    // Union of grouped sketches: add triples key-wise.
+    let mut unioned = g1;
+    for (k, t) in g2 {
+        match unioned.get_mut(&k) {
+            Some(existing) => *existing = existing.add(&t)?,
+            None => {
+                unioned.insert(k, t);
+            }
+        }
+    }
+    let g3 = grouped_triples(r3, &[key], right_columns)?;
+    join_pushdown(&unioned, &g3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    /// The paper's Example 1 / Figure 3 shape: train linear regression on
+    /// `(R1 ∪ R2) ⋈_A R3` with D as the feature and C as the target. The
+    /// factorized plan must produce exactly the naive plan's statistics.
+    #[test]
+    fn example1_fig3_pushdown_equals_naive() {
+        let r1 = RelationBuilder::new("R1")
+            .int_col("A", &[1, 3])
+            .float_col("B", &[2.0, 2.0])
+            .float_col("C", &[2.0, 3.0])
+            .build()
+            .unwrap();
+        let r2 = RelationBuilder::new("R2")
+            .int_col("A", &[2, 3])
+            .float_col("B", &[3.0, 4.0])
+            .float_col("C", &[4.0, 4.0])
+            .build()
+            .unwrap();
+        let r3 = RelationBuilder::new("R3")
+            .int_col("A", &[2, 4, 3])
+            .float_col("D", &[2.0, 6.0, 4.0])
+            .build()
+            .unwrap();
+
+        let naive = naive_union_join_triple(&r1, &r2, &r3, "A", &["C", "D"]).unwrap();
+        let fact =
+            factorized_union_join_triple(&r1, &r2, &r3, "A", &["C"], &["D"]).unwrap();
+        let fact = fact.align(&naive.feature_names()).unwrap();
+        assert!(fact.approx_eq(&naive, 1e-9), "\nfact:  {fact:?}\nnaive: {naive:?}");
+        // Join keeps A ∈ {2, 3}; R1∪R2 has rows A=2 (one), A=3 (two).
+        assert_eq!(naive.c, 3.0);
+    }
+
+    #[test]
+    fn union_pushdown_is_o1_triple_add() {
+        let r1 = RelationBuilder::new("a").float_col("x", &[1.0, 2.0]).build().unwrap();
+        let r2 = RelationBuilder::new("b").float_col("x", &[3.0]).build().unwrap();
+        let t1 = triple_of(&r1, &["x"]).unwrap();
+        let t2 = triple_of(&r2, &["x"]).unwrap();
+        let pushed = union_pushdown(&t1, &t2).unwrap();
+        let naive = triple_of(&r1.union(&r2).unwrap(), &["x"]).unwrap();
+        assert!(pushed.approx_eq(&naive, 1e-12));
+    }
+
+    #[test]
+    fn join_pushdown_handles_many_to_many() {
+        let left = RelationBuilder::new("L")
+            .int_col("k", &[1, 1, 2, 3])
+            .float_col("x", &[1.0, 2.0, 3.0, 9.0])
+            .build()
+            .unwrap();
+        let right = RelationBuilder::new("R")
+            .int_col("k", &[1, 1, 2, 4])
+            .float_col("z", &[5.0, 6.0, 7.0, 8.0])
+            .build()
+            .unwrap();
+        let gl = grouped_triples(&left, &["k"], &["x"]).unwrap();
+        let gr = grouped_triples(&right, &["k"], &["z"]).unwrap();
+        let pushed = join_pushdown(&gl, &gr).unwrap();
+        let naive =
+            triple_of(&left.hash_join(&right, &["k"], &["k"]).unwrap(), &["x", "z"]).unwrap();
+        let pushed = pushed.align(&naive.feature_names()).unwrap();
+        assert!(pushed.approx_eq(&naive, 1e-9), "\n{pushed:?}\n{naive:?}");
+        assert_eq!(naive.c, 5.0); // 2*2 + 1*1
+    }
+
+    #[test]
+    fn join_pushdown_empty_intersection_is_zero() {
+        let left = RelationBuilder::new("L")
+            .int_col("k", &[1])
+            .float_col("x", &[1.0])
+            .build()
+            .unwrap();
+        let right = RelationBuilder::new("R")
+            .int_col("k", &[2])
+            .float_col("z", &[5.0])
+            .build()
+            .unwrap();
+        let gl = grouped_triples(&left, &["k"], &["x"]).unwrap();
+        let gr = grouped_triples(&right, &["k"], &["z"]).unwrap();
+        let pushed = join_pushdown(&gl, &gr).unwrap();
+        assert_eq!(pushed.c, 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: the algebraic laws every semi-ring instance must satisfy,
+//! plus the crate's central correctness claim — factorized (pushdown)
+//! aggregation equals materialize-then-aggregate for arbitrary data.
+
+use mileena_relation::RelationBuilder;
+use mileena_semiring::pushdown::{join_pushdown, union_pushdown};
+use mileena_semiring::{
+    grouped_triples, triple_of, CountSemiring, CovarTriple, Semiring, SumSemiring,
+};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    // Bounded magnitude keeps float associativity error in tolerance.
+    (-100i32..=100).prop_map(|v| v as f64 / 4.0)
+}
+
+fn count() -> impl Strategy<Value = CountSemiring> {
+    (0u64..1000).prop_map(CountSemiring)
+}
+
+fn sumsr() -> impl Strategy<Value = SumSemiring> {
+    (0u32..50, small_f64()).prop_map(|(c, s)| SumSemiring { count: c as f64, sum: s })
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn sum_eq(a: &SumSemiring, b: &SumSemiring) -> bool {
+    approx(a.count, b.count) && approx(a.sum, b.sum)
+}
+
+proptest! {
+    #[test]
+    fn count_semiring_laws(a in count(), b in count(), c in count()) {
+        // commutativity
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        // associativity
+        prop_assert_eq!(a.add(&b.add(&c)), a.add(&b).add(&c));
+        prop_assert_eq!(a.mul(&b.mul(&c)), a.mul(&b).mul(&c));
+        // identities and annihilation
+        prop_assert_eq!(a.add(&CountSemiring::zero()), a);
+        prop_assert_eq!(a.mul(&CountSemiring::one()), a);
+        prop_assert_eq!(a.mul(&CountSemiring::zero()), CountSemiring::zero());
+        // distributivity
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn sum_semiring_laws(a in sumsr(), b in sumsr(), c in sumsr()) {
+        prop_assert!(sum_eq(&a.add(&b), &b.add(&a)));
+        prop_assert!(sum_eq(&a.mul(&b), &b.mul(&a)));
+        prop_assert!(sum_eq(&a.add(&b.add(&c)), &a.add(&b).add(&c)));
+        prop_assert!(sum_eq(&a.mul(&b.mul(&c)), &a.mul(&b).mul(&c)));
+        prop_assert!(sum_eq(&a.add(&SumSemiring::zero()), &a));
+        prop_assert!(sum_eq(&a.mul(&SumSemiring::one()), &a));
+        prop_assert!(sum_eq(&a.mul(&b.add(&c)), &a.mul(&b).add(&a.mul(&c))));
+    }
+}
+
+/// Strategy: a covariance triple over feature set `names` built from up to
+/// 8 random rows (so it is always a *valid* aggregate, not arbitrary floats).
+fn covar_over(names: &'static [&'static str]) -> impl Strategy<Value = CovarTriple> {
+    prop::collection::vec(prop::collection::vec(small_f64(), names.len()), 0..8).prop_map(
+        move |rows| {
+            let mut acc = CovarTriple::zero(names);
+            for r in rows {
+                acc = acc.add(&CovarTriple::of_row(names, &r).unwrap()).unwrap();
+            }
+            acc
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn covar_add_commutative_associative(
+        a in covar_over(&["x", "y"]),
+        b in covar_over(&["x", "y"]),
+        c in covar_over(&["x", "y"]),
+    ) {
+        prop_assert!(a.add(&b).unwrap().approx_eq(&b.add(&a).unwrap(), 1e-9));
+        let l = a.add(&b.add(&c).unwrap()).unwrap();
+        let r = a.add(&b).unwrap().add(&c).unwrap();
+        prop_assert!(l.approx_eq(&r, 1e-6));
+    }
+
+    #[test]
+    fn covar_mul_commutative_up_to_alignment(
+        a in covar_over(&["x"]),
+        b in covar_over(&["z"]),
+    ) {
+        let ab = a.mul(&b).unwrap();
+        let ba = b.mul(&a).unwrap().align(&["x", "z"]).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-6));
+    }
+
+    #[test]
+    fn covar_mul_distributes_over_add(
+        a in covar_over(&["x"]),
+        b in covar_over(&["z"]),
+        c in covar_over(&["z"]),
+    ) {
+        let l = a.mul(&b.add(&c).unwrap()).unwrap();
+        let r = a.mul(&b).unwrap().add(&a.mul(&c).unwrap()).unwrap();
+        prop_assert!(l.approx_eq(&r, 1e-6));
+    }
+
+    #[test]
+    fn covar_identities(a in covar_over(&["x", "y"])) {
+        prop_assert!(a.mul(&CovarTriple::one()).unwrap().approx_eq(&a, 1e-9));
+        prop_assert!(a.add(&CovarTriple::zero(&["x", "y"])).unwrap().approx_eq(&a, 1e-9));
+    }
+}
+
+/// Arbitrary join tables: pushdown must equal materialization.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pushdown_equals_materialize_join(
+        left_rows in prop::collection::vec((0i64..5, small_f64()), 1..30),
+        right_rows in prop::collection::vec((0i64..5, small_f64()), 1..30),
+    ) {
+        let left = RelationBuilder::new("L")
+            .int_col("k", &left_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("x", &left_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .build().unwrap();
+        let right = RelationBuilder::new("R")
+            .int_col("k", &right_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("z", &right_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .build().unwrap();
+
+        let gl = grouped_triples(&left, &["k"], &["x"]).unwrap();
+        let gr = grouped_triples(&right, &["k"], &["z"]).unwrap();
+        let pushed = join_pushdown(&gl, &gr).unwrap();
+
+        let joined = left.hash_join(&right, &["k"], &["k"]).unwrap();
+        let naive = triple_of(&joined, &["x", "z"]).unwrap();
+        if naive.c == 0.0 {
+            prop_assert_eq!(pushed.c, 0.0);
+        } else {
+            let pushed = pushed.align(&naive.feature_names()).unwrap();
+            prop_assert!(pushed.approx_eq(&naive, 1e-6), "\n{:?}\n{:?}", pushed, naive);
+        }
+    }
+
+    #[test]
+    fn pushdown_equals_materialize_union(
+        a_rows in prop::collection::vec(small_f64(), 1..40),
+        b_rows in prop::collection::vec(small_f64(), 1..40),
+    ) {
+        let a = RelationBuilder::new("a").float_col("x", &a_rows).build().unwrap();
+        let b = RelationBuilder::new("b").float_col("x", &b_rows).build().unwrap();
+        let pushed = union_pushdown(
+            &triple_of(&a, &["x"]).unwrap(),
+            &triple_of(&b, &["x"]).unwrap(),
+        ).unwrap();
+        let naive = triple_of(&a.union(&b).unwrap(), &["x"]).unwrap();
+        prop_assert!(pushed.approx_eq(&naive, 1e-6));
+    }
+}

@@ -1,0 +1,71 @@
+//! Errors for sketch building and evaluation.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SketchError>;
+
+/// Errors raised by the sketch layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// The relation has no numeric columns to sketch.
+    NoNumericColumns(String),
+    /// The requested join key is not sketched for this dataset.
+    KeyNotSketched {
+        /// Dataset name.
+        dataset: String,
+        /// Join key column.
+        key: String,
+    },
+    /// A dataset with this name is already registered.
+    DuplicateDataset(String),
+    /// No dataset with this name is registered.
+    DatasetNotFound(String),
+    /// Underlying semi-ring failure.
+    Semiring(String),
+    /// Underlying relational failure.
+    Relation(String),
+    /// Serialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::NoNumericColumns(d) => {
+                write!(f, "dataset {d} has no numeric columns to sketch")
+            }
+            SketchError::KeyNotSketched { dataset, key } => {
+                write!(f, "dataset {dataset} has no sketch for join key {key}")
+            }
+            SketchError::DuplicateDataset(d) => write!(f, "dataset already registered: {d}"),
+            SketchError::DatasetNotFound(d) => write!(f, "dataset not found: {d}"),
+            SketchError::Semiring(m) => write!(f, "semiring error: {m}"),
+            SketchError::Relation(m) => write!(f, "relation error: {m}"),
+            SketchError::Serde(m) => write!(f, "serde error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+impl From<mileena_semiring::SemiringError> for SketchError {
+    fn from(e: mileena_semiring::SemiringError) -> Self {
+        SketchError::Semiring(e.to_string())
+    }
+}
+
+impl From<mileena_relation::RelationError> for SketchError {
+    fn from(e: mileena_relation::RelationError) -> Self {
+        SketchError::Relation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn displays() {
+        let e = super::SketchError::KeyNotSketched { dataset: "d".into(), key: "k".into() };
+        assert!(e.to_string().contains('d') && e.to_string().contains('k'));
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-join-key grouped sketches with a JSON-safe wire format.
+
+use mileena_relation::{FxHashMap, KeyValue};
+use mileena_semiring::{CovarTriple, GroupedTriples};
+use serde::de::{Deserializer, SeqAccess, Visitor};
+use serde::ser::{SerializeSeq, Serializer};
+use serde::{Deserialize, Serialize};
+
+/// The `γ_j(R)` sketch: one covariance triple per distinct join-key value.
+///
+/// Wire format: a *sorted* sequence of `(key, triple)` pairs — JSON maps
+/// require string keys, and sorting makes uploads byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedSketch {
+    /// The join-key column this sketch is grouped by.
+    pub key_column: String,
+    /// Per-key triples.
+    pub groups: GroupedTriples,
+}
+
+impl KeyedSketch {
+    /// Construct from parts.
+    pub fn new(key_column: impl Into<String>, groups: GroupedTriples) -> Self {
+        KeyedSketch { key_column: key_column.into(), groups }
+    }
+
+    /// Number of distinct keys (`d` in the paper's O(d) vertical cost).
+    pub fn num_keys(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Triple for one key.
+    pub fn get(&self, key: &[KeyValue]) -> Option<&CovarTriple> {
+        self.groups.get(key)
+    }
+
+    /// Apply an in-place edit to every triple (used by the privacy layer).
+    pub fn map_triples(&mut self, mut f: impl FnMut(&mut CovarTriple)) {
+        for t in self.groups.values_mut() {
+            f(t);
+        }
+    }
+
+    /// Sorted `(key, triple)` view (deterministic iteration for wire/tests).
+    pub fn sorted_pairs(&self) -> Vec<(&Vec<KeyValue>, &CovarTriple)> {
+        let mut pairs: Vec<_> = self.groups.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        pairs
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct PairRepr {
+    key: Vec<KeyValue>,
+    triple: CovarTriple,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SketchRepr {
+    key_column: String,
+}
+
+impl Serialize for KeyedSketch {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // (key_column, [pairs...]) as a 1 + n sequence keeps the format flat.
+        let pairs = self.sorted_pairs();
+        let mut seq = serializer.serialize_seq(Some(pairs.len() + 1))?;
+        seq.serialize_element(&SketchRepr { key_column: self.key_column.clone() })?;
+        for (k, t) in pairs {
+            seq.serialize_element(&PairRepr { key: k.clone(), triple: t.clone() })?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for KeyedSketch {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = KeyedSketch;
+            fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                write!(f, "a sequence [header, pair...]")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let header: SketchRepr = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::custom("missing sketch header"))?;
+                let mut groups: GroupedTriples = FxHashMap::default();
+                while let Some(p) = seq.next_element::<PairRepr>()? {
+                    groups.insert(p.key, p.triple);
+                }
+                Ok(KeyedSketch { key_column: header.key_column, groups })
+            }
+        }
+        deserializer.deserialize_seq(V)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KeyedSketch {
+        let mut groups: GroupedTriples = FxHashMap::default();
+        groups.insert(
+            vec![KeyValue::Int(1)],
+            CovarTriple::of_row(&["x"], &[2.0]).unwrap(),
+        );
+        groups.insert(
+            vec![KeyValue::Str("a".into())],
+            CovarTriple::of_row(&["x"], &[3.0]).unwrap(),
+        );
+        KeyedSketch::new("k", groups)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: KeyedSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = serde_json::to_string(&sample()).unwrap();
+        let b = serde_json::to_string(&sample()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_triples_edits_all() {
+        let mut s = sample();
+        s.map_triples(|t| t.c += 10.0);
+        for (_, t) in s.sorted_pairs() {
+            assert!(t.c >= 11.0);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.num_keys(), 2);
+        assert!(s.get(&[KeyValue::Int(1)]).is_some());
+        assert!(s.get(&[KeyValue::Int(99)]).is_none());
+    }
+}

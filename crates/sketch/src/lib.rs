@@ -1,0 +1,28 @@
+//! Pre-computed semi-ring sketches (§3.2 of the paper).
+//!
+//! Providers compute, per relation:
+//! - one **full triple** `γ(R)` over its numeric columns — makes horizontal
+//!   (union) augmentation evaluation O(1): just add triples;
+//! - one **keyed sketch** `γ_j(R)` per candidate join key `j` — makes
+//!   vertical (join) augmentation evaluation O(d) in the number of distinct
+//!   keys `d` (typically `d ≪ n`).
+//!
+//! Sketches are the only thing uploaded to the central platform; with the
+//! Factorized Privacy Mechanism (`mileena-privacy`) they are privatized
+//! before upload and reused forever at no further privacy cost.
+//!
+//! Provider feature names are *qualified* as `"<dataset>.<column>"` at sketch
+//! build time so that semi-ring multiplication (which requires disjoint
+//! feature sets) never collides across datasets.
+
+pub mod augment;
+pub mod build;
+pub mod error;
+pub mod keyed;
+pub mod store;
+
+pub use augment::{eval_join, eval_union, AugmentedStats};
+pub use build::{build_sketch, qualify, DatasetSketch, SketchConfig};
+pub use error::{Result, SketchError};
+pub use keyed::KeyedSketch;
+pub use store::SketchStore;

@@ -1,0 +1,143 @@
+//! The central sketch store: thread-safe registry of uploaded dataset
+//! sketches (the "Central Data Store" of Figure 1).
+
+use crate::build::DatasetSketch;
+use crate::error::{Result, SketchError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Thread-safe sketch registry keyed by dataset name.
+///
+/// Iteration order is name-sorted (BTreeMap) so searches are deterministic.
+/// Cloning the store is cheap (shared `Arc`), matching the multi-requester
+/// usage pattern: many concurrent searches over one corpus.
+#[derive(Debug, Clone, Default)]
+pub struct SketchStore {
+    inner: Arc<RwLock<BTreeMap<String, Arc<DatasetSketch>>>>,
+}
+
+impl SketchStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a sketch; rejects duplicates (privacy budgets are accounted
+    /// per upload, so silent replacement would be unsound).
+    pub fn register(&self, sketch: DatasetSketch) -> Result<()> {
+        let mut map = self.inner.write();
+        if map.contains_key(&sketch.name) {
+            return Err(SketchError::DuplicateDataset(sketch.name));
+        }
+        map.insert(sketch.name.clone(), Arc::new(sketch));
+        Ok(())
+    }
+
+    /// Replace a sketch unconditionally (used by re-uploads after local
+    /// re-transformation; budget accounting is the caller's concern).
+    pub fn replace(&self, sketch: DatasetSketch) {
+        self.inner.write().insert(sketch.name.clone(), Arc::new(sketch));
+    }
+
+    /// Remove a dataset's sketch.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        self.inner
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))
+    }
+
+    /// Fetch a dataset's sketch.
+    pub fn get(&self, name: &str) -> Result<Arc<DatasetSketch>> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))
+    }
+
+    /// All registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Snapshot of all sketches, name-sorted.
+    pub fn all(&self) -> Vec<Arc<DatasetSketch>> {
+        self.inner.read().values().cloned().collect()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_sketch, SketchConfig};
+    use mileena_relation::RelationBuilder;
+
+    fn sketch(name: &str) -> DatasetSketch {
+        let r = RelationBuilder::new(name)
+            .int_col("k", &[1, 2])
+            .float_col("x", &[1.0, 2.0])
+            .build()
+            .unwrap();
+        build_sketch(&r, &SketchConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn register_get_remove() {
+        let store = SketchStore::new();
+        store.register(sketch("a")).unwrap();
+        store.register(sketch("b")).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.names(), vec!["a", "b"]);
+        assert_eq!(store.get("a").unwrap().name, "a");
+        assert!(store.get("zz").is_err());
+        store.remove("a").unwrap();
+        assert!(store.remove("a").is_err());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected_replace_allowed() {
+        let store = SketchStore::new();
+        store.register(sketch("a")).unwrap();
+        assert!(store.register(sketch("a")).is_err());
+        store.replace(sketch("a"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = SketchStore::new();
+        let clone = store.clone();
+        store.register(sketch("a")).unwrap();
+        assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_registration() {
+        let store = SketchStore::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..10 {
+                        store.register(sketch(&format!("d{t}_{i}"))).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 80);
+    }
+}

@@ -1,0 +1,315 @@
+//! The agent pipeline: EDA → Coder → Debugger → Reviewer (Figure 6a).
+
+use crate::dsl::Transform;
+use crate::error::Result;
+use crate::llm::{Llm, ReviewVerdict, Suggestion};
+use crate::profile::TransformProfile;
+use mileena_relation::Relation;
+
+/// What happened to each suggestion.
+#[derive(Debug, Clone)]
+pub enum SuggestionFate {
+    /// Finalized; the transform ran on the full dataset.
+    Accepted(Transform),
+    /// The Debugger exhausted its repair attempts.
+    DebugFailed {
+        /// Last error message.
+        last_error: String,
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// The Reviewer rejected the output.
+    Rejected(String),
+    /// The Coder produced no program.
+    NotImplemented,
+}
+
+impl SuggestionFate {
+    /// Short status label for logs/UIs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuggestionFate::Accepted(_) => "accepted",
+            SuggestionFate::DebugFailed { .. } => "debug-failed",
+            SuggestionFate::Rejected(_) => "rejected",
+            SuggestionFate::NotImplemented => "not-implemented",
+        }
+    }
+}
+
+/// Full report of one pipeline run.
+#[derive(Debug)]
+pub struct TransformReport {
+    /// The relation with all accepted transformations applied.
+    pub transformed: Relation,
+    /// Every suggestion with its fate, in EDA order.
+    pub outcomes: Vec<(Suggestion, SuggestionFate)>,
+    /// Names of the feature columns the pipeline created.
+    pub new_columns: Vec<String>,
+}
+
+impl TransformReport {
+    /// Accepted transforms only.
+    pub fn accepted(&self) -> Vec<&Transform> {
+        self.outcomes
+            .iter()
+            .filter_map(|(_, f)| match f {
+                SuggestionFate::Accepted(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The agent pipeline. Generic over the [`Llm`] seam: deterministic with
+/// [`crate::MockLlm`], pluggable with a real model.
+pub struct TransformPipeline<'a> {
+    llm: &'a dyn Llm,
+    /// Debugger retry bound (the paper uses 10).
+    pub max_debug_attempts: usize,
+    /// Rows of the sample the Debugger/Reviewer run on.
+    pub sample_rows: usize,
+}
+
+impl<'a> TransformPipeline<'a> {
+    /// New pipeline around an LLM.
+    pub fn new(llm: &'a dyn Llm) -> Self {
+        TransformPipeline { llm, max_debug_attempts: 10, sample_rows: 50 }
+    }
+
+    /// Run the full pipeline on `relation` for the given task context.
+    pub fn run(&self, relation: &Relation, task_context: &str) -> Result<TransformReport> {
+        let profile = TransformProfile::of(relation);
+        let suggestions = self.llm.suggest(&profile, task_context);
+        let sample = relation.head(self.sample_rows);
+
+        let mut outcomes = Vec::with_capacity(suggestions.len());
+        let mut current = relation.clone();
+        let mut new_columns = Vec::new();
+
+        for suggestion in suggestions {
+            let fate = self.process_one(&suggestion, &profile, &sample, &mut current);
+            if let SuggestionFate::Accepted(t) = &fate {
+                new_columns.extend(t.output_columns(relation));
+            }
+            outcomes.push((suggestion, fate));
+        }
+        Ok(TransformReport { transformed: current, outcomes, new_columns })
+    }
+
+    /// Coder → Debugger loop → Reviewer → (apply to full data).
+    fn process_one(
+        &self,
+        suggestion: &Suggestion,
+        profile: &TransformProfile,
+        sample: &Relation,
+        current: &mut Relation,
+    ) -> SuggestionFate {
+        // Coder writes the first program; Debugger iterates on errors.
+        let mut last_error: Option<String> = None;
+        let mut attempts = 0usize;
+        let mut working: Option<(Transform, Relation)> = None;
+        while attempts < self.max_debug_attempts {
+            let Some(program) =
+                self.llm.implement(suggestion, profile, last_error.as_deref(), attempts)
+            else {
+                // The model gave up (or had nothing to offer).
+                return match last_error {
+                    Some(e) => SuggestionFate::DebugFailed { last_error: e, attempts },
+                    None => SuggestionFate::NotImplemented,
+                };
+            };
+            attempts += 1;
+            match program.apply(sample) {
+                Ok(sample_out) => {
+                    working = Some((program, sample_out));
+                    break;
+                }
+                Err(e) => last_error = Some(e.to_string()),
+            }
+        }
+        let Some((program, sample_out)) = working else {
+            return SuggestionFate::DebugFailed {
+                last_error: last_error.unwrap_or_else(|| "retries exhausted".into()),
+                attempts,
+            };
+        };
+
+        // Reviewer: valid fraction + variance of each output column on the
+        // transformed sample.
+        let stats: Vec<(String, f64, f64)> = program
+            .output_columns(sample)
+            .iter()
+            .filter_map(|name| {
+                let col = sample_out.column(name).ok()?;
+                let n = col.len().max(1);
+                let valid = (n - col.null_count()) as f64 / n as f64;
+                let mean = col.mean().unwrap_or(0.0);
+                let var = (0..col.len())
+                    .filter_map(|i| col.f64_at(i))
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f64>()
+                    / n as f64;
+                Some((name.clone(), valid, var))
+            })
+            .collect();
+        match self.llm.review(suggestion, &stats) {
+            ReviewVerdict::Reject(reason) => SuggestionFate::Rejected(reason),
+            ReviewVerdict::Accept => match program.apply(current) {
+                Ok(next) => {
+                    *current = next;
+                    SuggestionFate::Accepted(program)
+                }
+                Err(e) => SuggestionFate::DebugFailed {
+                    last_error: format!("full-data run failed after review: {e}"),
+                    attempts,
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llm::MockLlm;
+    use mileena_datagen::{generate_airbnb, AirbnbConfig};
+    use mileena_relation::RelationBuilder;
+
+    #[test]
+    fn pipeline_engineers_airbnb_features() {
+        let listings = generate_airbnb(&AirbnbConfig { rows: 300, ..Default::default() });
+        let llm = MockLlm::new();
+        let report = TransformPipeline::new(&llm).run(&listings, "predict price").unwrap();
+        let names = report.new_columns.clone();
+        assert!(names.iter().any(|n| n == "name_num"), "bedrooms feature: {names:?}");
+        assert!(names.iter().any(|n| n == "last_review_days"), "duration: {names:?}");
+        assert!(names.iter().any(|n| n.starts_with("neighbourhood_")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("room_type_")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n == "reviews_per_month_filled"),
+            "imputation: {names:?}"
+        );
+        // The transformed relation actually contains them.
+        for n in &report.new_columns {
+            assert!(report.transformed.schema().contains(n), "missing {n}");
+        }
+        assert!(!report.accepted().is_empty());
+    }
+
+    #[test]
+    fn debugger_repairs_a_broken_first_program() {
+        /// An LLM whose first program is buggy (wrong anchor token) and
+        /// whose repair fixes it — exercising the Debugger loop.
+        struct FlakyLlm;
+        impl Llm for FlakyLlm {
+            fn suggest(&self, _: &TransformProfile, _: &str) -> Vec<Suggestion> {
+                vec![Suggestion {
+                    description: "extract bedrooms".into(),
+                    columns: vec!["name".into()],
+                }]
+            }
+            fn implement(
+                &self,
+                _: &Suggestion,
+                _: &TransformProfile,
+                previous_error: Option<&str>,
+                attempt: usize,
+            ) -> Option<Transform> {
+                match attempt {
+                    0 => Some(Transform::ExtractNumberBefore {
+                        source: "name".into(),
+                        token: String::new(), // hard error: empty token
+                        output: "bedrooms".into(),
+                    }),
+                    1 => {
+                        assert!(previous_error.is_some(), "repair must see the error");
+                        Some(Transform::ExtractNumberBefore {
+                            source: "name".into(),
+                            token: "BR".into(),
+                            output: "bedrooms".into(),
+                        })
+                    }
+                    _ => None,
+                }
+            }
+            fn review(&self, _: &Suggestion, _: &[(String, f64, f64)]) -> ReviewVerdict {
+                ReviewVerdict::Accept
+            }
+        }
+        let r = RelationBuilder::new("t")
+            .str_col("name", &["2BR flat", "3BR loft"])
+            .build()
+            .unwrap();
+        let llm = FlakyLlm;
+        let report = TransformPipeline::new(&llm).run(&r, "").unwrap();
+        assert!(matches!(report.outcomes[0].1, SuggestionFate::Accepted(_)));
+        assert!(report.transformed.schema().contains("bedrooms"));
+    }
+
+    #[test]
+    fn debugger_gives_up_after_bound() {
+        /// An LLM that always produces the same broken program.
+        struct BrokenLlm;
+        impl Llm for BrokenLlm {
+            fn suggest(&self, _: &TransformProfile, _: &str) -> Vec<Suggestion> {
+                vec![Suggestion { description: "d".into(), columns: vec!["name".into()] }]
+            }
+            fn implement(
+                &self,
+                _: &Suggestion,
+                _: &TransformProfile,
+                _: Option<&str>,
+                _: usize,
+            ) -> Option<Transform> {
+                Some(Transform::Log1p { source: "missing".into(), output: "o".into() })
+            }
+            fn review(&self, _: &Suggestion, _: &[(String, f64, f64)]) -> ReviewVerdict {
+                ReviewVerdict::Accept
+            }
+        }
+        let r = RelationBuilder::new("t").str_col("name", &["x"]).build().unwrap();
+        let report = TransformPipeline::new(&BrokenLlm).run(&r, "").unwrap();
+        match &report.outcomes[0].1 {
+            SuggestionFate::DebugFailed { attempts, .. } => assert_eq!(*attempts, 10),
+            other => panic!("expected DebugFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reviewer_rejects_degenerate_output() {
+        // A column of strings with no digits: extraction yields all NULLs →
+        // Reviewer must reject.
+        struct EagerLlm;
+        impl Llm for EagerLlm {
+            fn suggest(&self, _: &TransformProfile, _: &str) -> Vec<Suggestion> {
+                vec![Suggestion {
+                    description: "extract".into(),
+                    columns: vec!["name".into()],
+                }]
+            }
+            fn implement(
+                &self,
+                _: &Suggestion,
+                _: &TransformProfile,
+                _: Option<&str>,
+                attempt: usize,
+            ) -> Option<Transform> {
+                (attempt == 0).then(|| Transform::ExtractNumberBefore {
+                    source: "name".into(),
+                    token: "BR".into(),
+                    output: "o".into(),
+                })
+            }
+            fn review(&self, s: &Suggestion, stats: &[(String, f64, f64)]) -> ReviewVerdict {
+                MockLlm::new().review(s, stats)
+            }
+        }
+        let r = RelationBuilder::new("t")
+            .str_col("name", &["studio", "loft", "house"])
+            .build()
+            .unwrap();
+        let report = TransformPipeline::new(&EagerLlm).run(&r, "").unwrap();
+        assert!(matches!(report.outcomes[0].1, SuggestionFate::Rejected(_)));
+        assert!(!report.transformed.schema().contains("o"));
+    }
+}

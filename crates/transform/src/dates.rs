@@ -1,0 +1,77 @@
+//! ISO-8601 date parsing (`YYYY-MM-DD` → days since 1970-01-01).
+//!
+//! Implemented in-tree (no chrono in the approved dependency set) using the
+//! standard civil-date algorithm; valid over the proleptic Gregorian range
+//! the generators produce.
+
+/// Parse `YYYY-MM-DD`; returns days since 1970-01-01, or `None` when the
+/// string is not a valid civil date.
+pub fn parse_iso_date(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i64 = s.get(0..4)?.parse().ok()?;
+    let month: u32 = s.get(5..7)?.parse().ok()?;
+    let day: u32 = s.get(8..10)?.parse().ok()?;
+    if !(1..=12).contains(&month) {
+        return None;
+    }
+    let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    let month_lens =
+        [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    if day == 0 || day > month_lens[(month - 1) as usize] {
+        return None;
+    }
+    Some(days_from_civil(year, month, day))
+}
+
+/// Howard Hinnant's `days_from_civil`: civil date → days since 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(parse_iso_date("1970-01-01"), Some(0));
+        assert_eq!(parse_iso_date("1970-01-02"), Some(1));
+        assert_eq!(parse_iso_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_iso_date("2000-03-01"), Some(11_017));
+        assert_eq!(parse_iso_date("2015-01-01"), Some(16_436));
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(parse_iso_date("2016-02-29").is_some());
+        assert!(parse_iso_date("2015-02-29").is_none());
+        assert!(parse_iso_date("2000-02-29").is_some()); // 400-rule
+        assert!(parse_iso_date("1900-02-29").is_none()); // 100-rule
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "2020-13-01", "2020-00-10", "2020-01-32", "20-01-01", "2020/01/01",
+                    "abcd-ef-gh", "2020-1-1"] {
+            assert!(parse_iso_date(bad).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn differences_are_day_counts() {
+        let a = parse_iso_date("2019-03-14").unwrap();
+        let b = parse_iso_date("2019-03-21").unwrap();
+        assert_eq!(b - a, 7);
+        let c = parse_iso_date("2020-03-14").unwrap();
+        assert_eq!(c - a, 366); // 2020 is a leap year
+    }
+}

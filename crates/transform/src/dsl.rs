@@ -1,0 +1,381 @@
+//! The transformation DSL and its interpreter — the "Python environment"
+//! the paper's Coder/Debugger agents execute in.
+//!
+//! Each [`Transform`] appends one or more derived columns to a relation.
+//! Failures are of two kinds: *hard* errors (missing/incompatible source,
+//! name collision — raised immediately, like a Python exception the
+//! Debugger would see) and *soft* degradation (rows that fail to parse
+//! become NULL; the Reviewer judges whether the output is usable).
+
+use crate::dates::parse_iso_date;
+use crate::error::{Result, TransformError};
+use mileena_relation::{Column, DataType, Field, Relation};
+use serde::{Deserialize, Serialize};
+
+/// One executable data transformation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Extract the integer immediately preceding `token` in a string
+    /// column (e.g. `"2BR"` with token `"BR"` → 2).
+    ExtractNumberBefore {
+        /// Source string column.
+        source: String,
+        /// Token to anchor on.
+        token: String,
+        /// New column name.
+        output: String,
+    },
+    /// Day difference between two ISO-date string columns (`end − start`).
+    DateDiffDays {
+        /// Start-date column.
+        start: String,
+        /// End-date column.
+        end: String,
+        /// New column name.
+        output: String,
+    },
+    /// One-hot encode a low-cardinality string column (categories beyond
+    /// `max_categories`, by frequency, fall into no bucket).
+    OneHot {
+        /// Source string column.
+        source: String,
+        /// Prefix for generated indicator columns.
+        prefix: String,
+        /// Maximum number of indicator columns.
+        max_categories: usize,
+    },
+    /// `ln(1 + x)` of a non-negative numeric column (skew correction).
+    Log1p {
+        /// Source numeric column.
+        source: String,
+        /// New column name.
+        output: String,
+    },
+    /// Fill NULLs with a constant and emit a 0/1 missingness indicator.
+    ImputeWithIndicator {
+        /// Source numeric column.
+        source: String,
+        /// Fill value.
+        fill: f64,
+        /// Imputed column name.
+        output: String,
+        /// Indicator column name.
+        indicator: String,
+    },
+}
+
+impl Transform {
+    /// The columns this transform will create.
+    pub fn output_columns(&self, relation: &Relation) -> Vec<String> {
+        match self {
+            Transform::ExtractNumberBefore { output, .. }
+            | Transform::DateDiffDays { output, .. }
+            | Transform::Log1p { output, .. } => vec![output.clone()],
+            Transform::ImputeWithIndicator { output, indicator, .. } => {
+                vec![output.clone(), indicator.clone()]
+            }
+            Transform::OneHot { source, prefix, max_categories } => {
+                top_categories(relation, source, *max_categories)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|c| format!("{prefix}_{}", sanitize(c)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Execute against a relation, returning the relation with the derived
+    /// columns appended.
+    pub fn apply(&self, relation: &Relation) -> Result<Relation> {
+        match self {
+            Transform::ExtractNumberBefore { source, token, output } => {
+                let col = str_column(relation, source)?;
+                if token.is_empty() {
+                    return Err(TransformError::Execution("empty anchor token".into()));
+                }
+                let mut values = Vec::with_capacity(relation.num_rows());
+                for i in 0..relation.num_rows() {
+                    values.push(match col_str(col, i) {
+                        Some(s) => extract_number_before(s, token),
+                        None => None,
+                    });
+                }
+                append(relation, output, Column::from_opt_floats(&values))
+            }
+            Transform::DateDiffDays { start, end, output } => {
+                let sc = str_column(relation, start)?;
+                let ec = str_column(relation, end)?;
+                let mut values = Vec::with_capacity(relation.num_rows());
+                for i in 0..relation.num_rows() {
+                    let v = match (col_str(sc, i), col_str(ec, i)) {
+                        (Some(a), Some(b)) => match (parse_iso_date(a), parse_iso_date(b)) {
+                            (Some(da), Some(db)) => Some((db - da) as f64),
+                            _ => None,
+                        },
+                        _ => None,
+                    };
+                    values.push(v);
+                }
+                append(relation, output, Column::from_opt_floats(&values))
+            }
+            Transform::OneHot { source, prefix, max_categories } => {
+                let cats = top_categories(relation, source, *max_categories)?;
+                if cats.is_empty() {
+                    return Err(TransformError::DegenerateOutput(format!(
+                        "no categories in {source}"
+                    )));
+                }
+                let col = str_column(relation, source)?;
+                let mut out = relation.clone();
+                for cat in &cats {
+                    let name = format!("{prefix}_{}", sanitize(cat));
+                    let mut vals = Vec::with_capacity(relation.num_rows());
+                    for i in 0..relation.num_rows() {
+                        vals.push(match col_str(col, i) {
+                            Some(s) => Some(if s == cat { 1.0 } else { 0.0 }),
+                            None => None,
+                        });
+                    }
+                    out = append(&out, &name, Column::from_opt_floats(&vals))?;
+                }
+                Ok(out)
+            }
+            Transform::Log1p { source, output } => {
+                let col = relation.column(source)?;
+                if !col.data_type().is_numeric() {
+                    return Err(TransformError::BadSource {
+                        column: source.clone(),
+                        reason: "log1p needs a numeric column".into(),
+                    });
+                }
+                let mut values = Vec::with_capacity(relation.num_rows());
+                for i in 0..relation.num_rows() {
+                    values.push(col.f64_at(i).and_then(|v| {
+                        if v < 0.0 {
+                            None // like Python's math.log domain error per row
+                        } else {
+                            Some((1.0 + v).ln())
+                        }
+                    }));
+                }
+                append(relation, output, Column::from_opt_floats(&values))
+            }
+            Transform::ImputeWithIndicator { source, fill, output, indicator } => {
+                let col = relation.column(source)?;
+                if !col.data_type().is_numeric() {
+                    return Err(TransformError::BadSource {
+                        column: source.clone(),
+                        reason: "impute needs a numeric column".into(),
+                    });
+                }
+                let mut vals = Vec::with_capacity(relation.num_rows());
+                let mut inds = Vec::with_capacity(relation.num_rows());
+                for i in 0..relation.num_rows() {
+                    match col.f64_at(i) {
+                        Some(v) => {
+                            vals.push(v);
+                            inds.push(0.0);
+                        }
+                        None => {
+                            vals.push(*fill);
+                            inds.push(1.0);
+                        }
+                    }
+                }
+                let out = append(relation, output, Column::from_floats(&vals))?;
+                append(&out, indicator, Column::from_floats(&inds))
+            }
+        }
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn str_column<'a>(relation: &'a Relation, name: &str) -> Result<&'a Column> {
+    let col = relation.column(name)?;
+    if col.data_type() != DataType::Str {
+        return Err(TransformError::BadSource {
+            column: name.to_string(),
+            reason: format!("expected str, found {}", col.data_type()),
+        });
+    }
+    Ok(col)
+}
+
+fn col_str(col: &Column, i: usize) -> Option<&str> {
+    match col {
+        Column::Str { data, validity } if validity.get(i) => Some(data[i].as_str()),
+        _ => None,
+    }
+}
+
+fn append(relation: &Relation, name: &str, column: Column) -> Result<Relation> {
+    if relation.schema().contains(name) {
+        return Err(TransformError::OutputCollision(name.to_string()));
+    }
+    Ok(relation
+        .clone()
+        .with_column(Field::new(name, column.data_type()), column)?)
+}
+
+/// The integer token immediately preceding `token` (e.g. "2BR" → 2).
+fn extract_number_before(s: &str, token: &str) -> Option<f64> {
+    let pos = s.find(token)?;
+    let head = &s[..pos];
+    let digits: String =
+        head.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
+    if digits.is_empty() {
+        return None;
+    }
+    let n: String = digits.chars().rev().collect();
+    n.parse::<f64>().ok()
+}
+
+/// Most frequent category values of a string column, capped.
+fn top_categories(relation: &Relation, source: &str, cap: usize) -> Result<Vec<String>> {
+    let col = str_column(relation, source)?;
+    let mut counts: mileena_relation::FxHashMap<&str, usize> =
+        mileena_relation::FxHashMap::default();
+    for i in 0..relation.num_rows() {
+        if let Some(s) = col_str(col, i) {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<(&str, usize)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    pairs.truncate(cap);
+    Ok(pairs.into_iter().map(|(s, _)| s.to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::{RelationBuilder, Value};
+
+    #[test]
+    fn extract_number_before_token() {
+        let r = RelationBuilder::new("t")
+            .str_col("name", &["Cozy 2BR in Soho", "Big 10BR loft", "Studio apartment"])
+            .build()
+            .unwrap();
+        let t = Transform::ExtractNumberBefore {
+            source: "name".into(),
+            token: "BR".into(),
+            output: "bedrooms".into(),
+        };
+        let out = t.apply(&r).unwrap();
+        assert_eq!(out.value(0, "bedrooms").unwrap(), Value::Float(2.0));
+        assert_eq!(out.value(1, "bedrooms").unwrap(), Value::Float(10.0));
+        assert_eq!(out.value(2, "bedrooms").unwrap(), Value::Null); // no token
+    }
+
+    #[test]
+    fn date_diff_with_bad_rows() {
+        let r = RelationBuilder::new("t")
+            .str_col("a", &["2019-01-01", "garbage", "2020-02-28"])
+            .str_col("b", &["2019-01-08", "2020-01-01", "2020-03-01"])
+            .build()
+            .unwrap();
+        let t = Transform::DateDiffDays {
+            start: "a".into(),
+            end: "b".into(),
+            output: "dur".into(),
+        };
+        let out = t.apply(&r).unwrap();
+        assert_eq!(out.value(0, "dur").unwrap(), Value::Float(7.0));
+        assert_eq!(out.value(1, "dur").unwrap(), Value::Null);
+        assert_eq!(out.value(2, "dur").unwrap(), Value::Float(2.0)); // leap year
+    }
+
+    #[test]
+    fn one_hot_caps_categories() {
+        let r = RelationBuilder::new("t")
+            .str_col("c", &["a", "a", "b", "b", "b", "z"])
+            .build()
+            .unwrap();
+        let t = Transform::OneHot { source: "c".into(), prefix: "c".into(), max_categories: 2 };
+        let out = t.apply(&r).unwrap();
+        assert!(out.schema().contains("c_a"));
+        assert!(out.schema().contains("c_b"));
+        assert!(!out.schema().contains("c_z")); // beyond cap
+        assert_eq!(out.value(2, "c_b").unwrap(), Value::Float(1.0));
+        assert_eq!(out.value(0, "c_b").unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn log1p_and_negative_guard() {
+        let r = RelationBuilder::new("t").float_col("x", &[0.0, (1.0f64).exp() - 1.0, -1.0]).build().unwrap();
+        let t = Transform::Log1p { source: "x".into(), output: "lx".into() };
+        let out = t.apply(&r).unwrap();
+        assert_eq!(out.value(0, "lx").unwrap(), Value::Float(0.0));
+        assert!((out.value(1, "lx").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(out.value(2, "lx").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn impute_with_indicator() {
+        let r = RelationBuilder::new("t")
+            .opt_float_col("x", &[Some(2.0), None])
+            .build()
+            .unwrap();
+        let t = Transform::ImputeWithIndicator {
+            source: "x".into(),
+            fill: 0.0,
+            output: "x_f".into(),
+            indicator: "x_m".into(),
+        };
+        let out = t.apply(&r).unwrap();
+        assert_eq!(out.value(1, "x_f").unwrap(), Value::Float(0.0));
+        assert_eq!(out.value(1, "x_m").unwrap(), Value::Float(1.0));
+        assert_eq!(out.value(0, "x_m").unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn hard_errors() {
+        let r = RelationBuilder::new("t")
+            .float_col("x", &[1.0])
+            .str_col("s", &["a"])
+            .build()
+            .unwrap();
+        // wrong type
+        assert!(matches!(
+            Transform::ExtractNumberBefore {
+                source: "x".into(),
+                token: "BR".into(),
+                output: "o".into()
+            }
+            .apply(&r),
+            Err(TransformError::BadSource { .. })
+        ));
+        // collision
+        assert!(matches!(
+            Transform::Log1p { source: "x".into(), output: "s".into() }.apply(&r),
+            Err(TransformError::OutputCollision(_))
+        ));
+        // missing column
+        assert!(Transform::Log1p { source: "nope".into(), output: "o".into() }
+            .apply(&r)
+            .is_err());
+        // empty token
+        assert!(matches!(
+            Transform::ExtractNumberBefore {
+                source: "s".into(),
+                token: String::new(),
+                output: "o".into()
+            }
+            .apply(&r),
+            Err(TransformError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn output_columns_listed() {
+        let r = RelationBuilder::new("t").str_col("c", &["a", "b"]).build().unwrap();
+        let t = Transform::OneHot { source: "c".into(), prefix: "c".into(), max_categories: 5 };
+        let mut cols = t.output_columns(&r);
+        cols.sort();
+        assert_eq!(cols, vec!["c_a", "c_b"]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Feature-hashing "embeddings" of string columns — the deterministic
+//! stand-in for the paper's ada-002 baseline (Figure 6b, "Embed").
+//!
+//! Each string cell is tokenized; each token lands in one of `dim` buckets
+//! with a ±1 sign (signed feature hashing, Weinberger et al.), normalized
+//! by token count. Captures coarse lexical similarity — which is the point:
+//! generic embeddings pick up *some* signal (e.g. neighborhood identity)
+//! but not targeted numeric semantics like "the 2 in 2BR".
+
+use crate::error::Result;
+use mileena_relation::hash::fx_hash64;
+use mileena_relation::{Column, DataType, Field, Relation};
+
+/// Append `dim` hash-embedding columns (`<col>_emb<k>`) for each listed
+/// string column. NULL cells embed as all-NULL.
+pub fn embed_columns(relation: &Relation, columns: &[&str], dim: usize) -> Result<Relation> {
+    let mut out = relation.clone();
+    for name in columns {
+        let col = relation.column(name)?;
+        if col.data_type() != DataType::Str {
+            return Err(crate::error::TransformError::BadSource {
+                column: name.to_string(),
+                reason: format!("embedding needs str, found {}", col.data_type()),
+            });
+        }
+        let mut features: Vec<Vec<Option<f64>>> =
+            vec![Vec::with_capacity(relation.num_rows()); dim];
+        for i in 0..relation.num_rows() {
+            match col.value(i) {
+                mileena_relation::Value::Str(s) => {
+                    let mut acc = vec![0.0f64; dim];
+                    let mut count = 0usize;
+                    for tok in s.split(|c: char| !c.is_alphanumeric()) {
+                        if tok.is_empty() {
+                            continue;
+                        }
+                        let h = fx_hash64(&tok.to_lowercase());
+                        let bucket = (h % dim as u64) as usize;
+                        let sign = if (h >> 32) & 1 == 1 { 1.0 } else { -1.0 };
+                        acc[bucket] += sign;
+                        count += 1;
+                    }
+                    let norm = (count.max(1) as f64).sqrt();
+                    for (k, f) in features.iter_mut().enumerate() {
+                        f.push(Some(acc[k] / norm));
+                    }
+                }
+                _ => {
+                    for f in features.iter_mut() {
+                        f.push(None);
+                    }
+                }
+            }
+        }
+        for (k, vals) in features.into_iter().enumerate() {
+            let cname = format!("{name}_emb{k}");
+            out = out.with_column(
+                Field::new(&cname, DataType::Float),
+                Column::from_opt_floats(&vals),
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    #[test]
+    fn embeds_deterministically() {
+        let r = RelationBuilder::new("t")
+            .str_col("s", &["brooklyn loft", "brooklyn loft", "queens studio"])
+            .build()
+            .unwrap();
+        let a = embed_columns(&r, &["s"], 8).unwrap();
+        let b = embed_columns(&r, &["s"], 8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_columns(), 1 + 8);
+        // Identical strings → identical embeddings.
+        for k in 0..8 {
+            let c = format!("s_emb{k}");
+            assert_eq!(a.value(0, &c).unwrap(), a.value(1, &c).unwrap());
+        }
+        // Different strings → at least one differing coordinate.
+        let differs = (0..8).any(|k| {
+            let c = format!("s_emb{k}");
+            a.value(0, &c).unwrap() != a.value(2, &c).unwrap()
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn nulls_embed_as_null() {
+        let r = RelationBuilder::new("t")
+            .opt_str_col("s", &[Some("x".into()), None])
+            .build()
+            .unwrap();
+        let e = embed_columns(&r, &["s"], 4).unwrap();
+        assert_eq!(e.value(1, "s_emb0").unwrap(), mileena_relation::Value::Null);
+        assert_ne!(e.column("s_emb0").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn rejects_non_string() {
+        let r = RelationBuilder::new("t").float_col("x", &[1.0]).build().unwrap();
+        assert!(embed_columns(&r, &["x"], 4).is_err());
+    }
+
+    #[test]
+    fn shared_tokens_correlate() {
+        // "brooklyn" token shared → dot product of embeddings should be
+        // positive and larger than with a disjoint string.
+        let r = RelationBuilder::new("t")
+            .str_col("s", &["brooklyn heights", "brooklyn slope", "tokyo shibuya"])
+            .build()
+            .unwrap();
+        let e = embed_columns(&r, &["s"], 64).unwrap();
+        let vec_of = |row: usize| -> Vec<f64> {
+            (0..64)
+                .map(|k| e.value(row, &format!("s_emb{k}")).unwrap().as_f64().unwrap())
+                .collect()
+        };
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        let (v0, v1, v2) = (vec_of(0), vec_of(1), vec_of(2));
+        assert!(dot(&v0, &v1) > dot(&v0, &v2), "{} vs {}", dot(&v0, &v1), dot(&v0, &v2));
+    }
+}

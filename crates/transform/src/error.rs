@@ -1,0 +1,57 @@
+//! Errors for the transformation layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, TransformError>;
+
+/// Errors raised while profiling, generating, or executing transformations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// Source column missing or of the wrong type.
+    BadSource {
+        /// Column name.
+        column: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The transform produced unusable output (all NULL / zero variance).
+    DegenerateOutput(String),
+    /// Output column name collides with an existing column.
+    OutputCollision(String),
+    /// Underlying relational error.
+    Relation(String),
+    /// Execution failed (the "Python env" raised).
+    Execution(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::BadSource { column, reason } => {
+                write!(f, "bad source column {column}: {reason}")
+            }
+            TransformError::DegenerateOutput(m) => write!(f, "degenerate output: {m}"),
+            TransformError::OutputCollision(m) => write!(f, "output column collision: {m}"),
+            TransformError::Relation(m) => write!(f, "relation error: {m}"),
+            TransformError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<mileena_relation::RelationError> for TransformError {
+    fn from(e: mileena_relation::RelationError) -> Self {
+        TransformError::Relation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        let e = super::TransformError::BadSource { column: "c".into(), reason: "r".into() };
+        assert!(e.to_string().contains('c'));
+    }
+}

@@ -1,0 +1,37 @@
+//! Hands-free data transformation (§4.1 of the paper).
+//!
+//! The paper's agent architecture is reproduced faithfully:
+//!
+//! - **EDA** explores a dataset *profile* (task context, a sample of ten
+//!   rows, column aggregates) and emits transformation suggestions in
+//!   natural language;
+//! - **Coder** turns one suggestion into an executable program — here a
+//!   term of the transformation [`dsl`], our stand-in for the paper's
+//!   generated Python;
+//! - **Debugger** runs the program in the execution environment (the DSL
+//!   interpreter) on a sample, feeding errors back for up to 10 repair
+//!   attempts before giving up on that suggestion (mirroring [40]);
+//! - **Reviewer** checks the transformed sample against the suggestion
+//!   (non-null rate, non-degenerate variance) and accepts or rejects.
+//!
+//! The LLM inside each agent is the [`llm::Llm`] trait; the deterministic
+//! [`llm::MockLlm`] rule engine substitutes for GPT-4 (DESIGN.md §3), and a
+//! real model can be plugged in without touching the pipeline.
+//!
+//! [`embed`] implements the ada-002-style baseline: feature hashing of
+//! string columns.
+
+pub mod agents;
+pub mod dates;
+pub mod dsl;
+pub mod embed;
+pub mod error;
+pub mod llm;
+pub mod profile;
+
+pub use agents::{SuggestionFate, TransformPipeline, TransformReport};
+pub use dsl::Transform;
+pub use embed::embed_columns;
+pub use error::{Result, TransformError};
+pub use llm::{Llm, MockLlm, ReviewVerdict, Suggestion};
+pub use profile::TransformProfile;

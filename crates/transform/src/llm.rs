@@ -1,0 +1,350 @@
+//! The LLM seam of the agent framework.
+//!
+//! [`Llm`] is what each agent role calls into; [`MockLlm`] is the
+//! deterministic rule engine that substitutes for GPT-4 in this offline
+//! reproduction (DESIGN.md §3). A real model client can implement the same
+//! trait — the agent pipeline does not change.
+
+use crate::dsl::Transform;
+use crate::profile::{ColumnSummary, TransformProfile};
+use mileena_relation::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A transformation suggestion from the EDA agent: a natural-language
+/// description plus the source columns it concerns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suggestion {
+    /// Natural-language description (what the paper's EDA agent outputs).
+    pub description: String,
+    /// Columns the suggestion involves.
+    pub columns: Vec<String>,
+}
+
+/// Reviewer output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReviewVerdict {
+    /// The transformation is finalized.
+    Accept,
+    /// Rejected, with a reason.
+    Reject(String),
+}
+
+/// What each agent role asks of the model.
+pub trait Llm {
+    /// EDA role: propose transformations from profile + task context.
+    fn suggest(&self, profile: &TransformProfile, task_context: &str) -> Vec<Suggestion>;
+
+    /// Coder role: produce an executable program for a suggestion
+    /// (`attempt` 0); Debugger role re-invokes with the error message and
+    /// `attempt` > 0 for a repaired program. `None` = give up.
+    fn implement(
+        &self,
+        suggestion: &Suggestion,
+        profile: &TransformProfile,
+        previous_error: Option<&str>,
+        attempt: usize,
+    ) -> Option<Transform>;
+
+    /// Reviewer role: given the suggestion and statistics of the sample
+    /// output (valid fraction and variance per output column), finalize.
+    fn review(
+        &self,
+        suggestion: &Suggestion,
+        output_stats: &[(String, f64, f64)],
+    ) -> ReviewVerdict;
+}
+
+/// Deterministic rule-based "model".
+///
+/// Rules (each mirrors a transformation the paper's agents discovered on
+/// the Airbnb data — string extraction, stay duration from date strings,
+/// one-hot encoding, skew correction, imputation):
+/// - string column whose samples contain `<digits><TOKEN>` → extract the
+///   number before the most frequent such token;
+/// - two ISO-date string columns → day difference (start/first vs
+///   end/last resolved by name, else column order);
+/// - low-cardinality string column → one-hot;
+/// - positive numeric column with mean ≫ median (right skew) → log1p;
+/// - numeric column with some NULLs → impute + missingness indicator.
+#[derive(Debug, Clone, Default)]
+pub struct MockLlm {
+    /// Minimum fraction of valid output rows the reviewer demands.
+    pub min_valid_fraction: f64,
+}
+
+impl MockLlm {
+    /// New mock with the default review threshold (0.3).
+    pub fn new() -> Self {
+        MockLlm { min_valid_fraction: 0.3 }
+    }
+
+    /// Find the most common alphabetic token directly following digits in
+    /// the sample values of `col` (e.g. "BR" in "2BR").
+    fn digit_suffix_token(profile: &TransformProfile, col: &str) -> Option<String> {
+        let ci = profile.columns.iter().position(|c| c.name == col)?;
+        let mut counts: mileena_relation::FxHashMap<String, usize> =
+            mileena_relation::FxHashMap::default();
+        for row in &profile.sample {
+            let s = row.get(ci)?;
+            let chars: Vec<char> = s.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if chars[i].is_ascii_digit() {
+                    let mut j = i;
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let mut k = j;
+                    while k < chars.len() && chars[k].is_alphabetic() {
+                        k += 1;
+                    }
+                    if k > j {
+                        let tok: String = chars[j..k].iter().collect();
+                        *counts.entry(tok).or_insert(0) += 1;
+                    }
+                    i = k.max(j);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(t, _)| t)
+    }
+
+    fn is_datey(c: &ColumnSummary) -> bool {
+        c.data_type == DataType::Str && c.iso_date_fraction > 0.8
+    }
+}
+
+impl Llm for MockLlm {
+    fn suggest(&self, profile: &TransformProfile, _task_context: &str) -> Vec<Suggestion> {
+        let mut out = Vec::new();
+        // Digit-extraction candidates.
+        for c in &profile.columns {
+            if c.data_type == DataType::Str && c.digit_fraction > 0.3 {
+                if let Some(tok) = Self::digit_suffix_token(profile, &c.name) {
+                    out.push(Suggestion {
+                        description: format!(
+                            "extract the number before '{tok}' in column {}",
+                            c.name
+                        ),
+                        columns: vec![c.name.clone()],
+                    });
+                }
+            }
+        }
+        // Date differences.
+        let datey: Vec<&ColumnSummary> =
+            profile.columns.iter().filter(|c| Self::is_datey(c)).collect();
+        if datey.len() >= 2 {
+            let start = datey
+                .iter()
+                .find(|c| c.name.contains("first") || c.name.contains("start"))
+                .or(datey.first())
+                .unwrap();
+            let end = datey
+                .iter()
+                .find(|c| {
+                    (c.name.contains("last") || c.name.contains("end"))
+                        && c.name != start.name
+                })
+                .or_else(|| datey.iter().find(|c| c.name != start.name))
+                .unwrap();
+            out.push(Suggestion {
+                description: format!(
+                    "compute duration in days between {} and {}",
+                    start.name, end.name
+                ),
+                columns: vec![start.name.clone(), end.name.clone()],
+            });
+        }
+        // One-hot.
+        for c in &profile.columns {
+            if c.data_type == DataType::Str
+                && (2..=12).contains(&c.distinct)
+                && c.iso_date_fraction < 0.5
+            {
+                out.push(Suggestion {
+                    description: format!("one-hot encode categorical column {}", c.name),
+                    columns: vec![c.name.clone()],
+                });
+            }
+        }
+        // Skew correction.
+        for c in &profile.columns {
+            if c.data_type.is_numeric() {
+                if let (Some(mean), Some(median), Some(min)) = (c.mean, c.median, c.min) {
+                    if min >= 0.0 && median > 0.0 && mean > 1.5 * median {
+                        out.push(Suggestion {
+                            description: format!(
+                                "log-transform right-skewed column {}",
+                                c.name
+                            ),
+                            columns: vec![c.name.clone()],
+                        });
+                    }
+                }
+            }
+        }
+        // Imputation.
+        for c in &profile.columns {
+            if c.data_type.is_numeric() && c.null_fraction > 0.0 && c.null_fraction < 0.9 {
+                out.push(Suggestion {
+                    description: format!(
+                        "impute missing values of {} and add a missingness indicator",
+                        c.name
+                    ),
+                    columns: vec![c.name.clone()],
+                });
+            }
+        }
+        out
+    }
+
+    fn implement(
+        &self,
+        suggestion: &Suggestion,
+        profile: &TransformProfile,
+        _previous_error: Option<&str>,
+        attempt: usize,
+    ) -> Option<Transform> {
+        if attempt > 0 {
+            // The rule engine is deterministic: a second attempt would
+            // produce the same program, so it gives up (a real LLM would
+            // rewrite; the pipeline supports up to 10 rounds).
+            return None;
+        }
+        let d = &suggestion.description;
+        let col = suggestion.columns.first()?;
+        if d.starts_with("extract the number before") {
+            let tok = d.split('\'').nth(1)?.to_string();
+            Some(Transform::ExtractNumberBefore {
+                source: col.clone(),
+                token: tok,
+                output: format!("{col}_num"),
+            })
+        } else if d.starts_with("compute duration") {
+            Some(Transform::DateDiffDays {
+                start: suggestion.columns.first()?.clone(),
+                end: suggestion.columns.get(1)?.clone(),
+                output: format!("{}_days", suggestion.columns.get(1)?),
+            })
+        } else if d.starts_with("one-hot") {
+            Some(Transform::OneHot {
+                source: col.clone(),
+                prefix: col.clone(),
+                max_categories: 12,
+            })
+        } else if d.starts_with("log-transform") {
+            Some(Transform::Log1p { source: col.clone(), output: format!("{col}_log") })
+        } else if d.starts_with("impute") {
+            let fill = profile.column(col).and_then(|c| c.median).unwrap_or(0.0);
+            Some(Transform::ImputeWithIndicator {
+                source: col.clone(),
+                fill,
+                output: format!("{col}_filled"),
+                indicator: format!("{col}_missing"),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn review(
+        &self,
+        _suggestion: &Suggestion,
+        output_stats: &[(String, f64, f64)],
+    ) -> ReviewVerdict {
+        if output_stats.is_empty() {
+            return ReviewVerdict::Reject("no output columns produced".into());
+        }
+        let any_variance = output_stats.iter().any(|(_, _, var)| *var > 1e-12);
+        if !any_variance {
+            return ReviewVerdict::Reject("all output columns are constant".into());
+        }
+        for (name, valid, _) in output_stats {
+            if *valid < self.min_valid_fraction {
+                return ReviewVerdict::Reject(format!(
+                    "column {name} valid on only {:.0}% of rows",
+                    valid * 100.0
+                ));
+            }
+        }
+        ReviewVerdict::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    fn airbnbish() -> TransformProfile {
+        let r = RelationBuilder::new("t")
+            .str_col("name", &["Cozy 2BR in Soho", "Nice 3BR flat", "Tiny 1BR spot"])
+            .str_col("first_review", &["2019-01-01", "2018-05-05", "2020-02-02"])
+            .str_col("last_review", &["2020-01-01", "2019-05-05", "2021-02-02"])
+            .str_col("room_type", &["entire home", "private room", "entire home"])
+            .float_col("fee", &[3.0, 4.0, 200.0])
+            .opt_float_col("rpm", &[Some(1.0), None, Some(2.0)])
+            .build()
+            .unwrap();
+        TransformProfile::of(&r)
+    }
+
+    #[test]
+    fn suggests_the_papers_transformations() {
+        let llm = MockLlm::new();
+        let suggestions = llm.suggest(&airbnbish(), "predict price");
+        let descs: Vec<&str> = suggestions.iter().map(|s| s.description.as_str()).collect();
+        assert!(descs.iter().any(|d| d.contains("extract the number before 'BR'")), "{descs:?}");
+        assert!(descs.iter().any(|d| d.contains("duration in days")), "{descs:?}");
+        assert!(descs.iter().any(|d| d.contains("one-hot") && d.contains("room_type")));
+        assert!(descs.iter().any(|d| d.contains("log-transform") && d.contains("fee")));
+        assert!(descs.iter().any(|d| d.contains("impute") && d.contains("rpm")));
+    }
+
+    #[test]
+    fn implement_produces_runnable_programs() {
+        let llm = MockLlm::new();
+        let profile = airbnbish();
+        for s in llm.suggest(&profile, "") {
+            let t = llm.implement(&s, &profile, None, 0);
+            assert!(t.is_some(), "no program for: {}", s.description);
+        }
+    }
+
+    #[test]
+    fn date_pairing_uses_first_last_names() {
+        let llm = MockLlm::new();
+        let profile = airbnbish();
+        let s = llm
+            .suggest(&profile, "")
+            .into_iter()
+            .find(|s| s.description.contains("duration"))
+            .unwrap();
+        assert_eq!(s.columns, vec!["first_review", "last_review"]);
+    }
+
+    #[test]
+    fn review_rules() {
+        let llm = MockLlm::new();
+        let sug = Suggestion { description: "d".into(), columns: vec![] };
+        assert_eq!(
+            llm.review(&sug, &[]),
+            ReviewVerdict::Reject("no output columns produced".into())
+        );
+        assert!(matches!(
+            llm.review(&sug, &[("o".into(), 1.0, 0.0)]),
+            ReviewVerdict::Reject(_)
+        ));
+        assert!(matches!(
+            llm.review(&sug, &[("o".into(), 0.1, 1.0)]),
+            ReviewVerdict::Reject(_)
+        ));
+        assert_eq!(llm.review(&sug, &[("o".into(), 0.9, 1.0)]), ReviewVerdict::Accept);
+    }
+}

@@ -1,0 +1,148 @@
+//! Dataset profiling for the EDA agent: exactly what the paper feeds it —
+//! "the ML task contexts, a sample of ten rows, and column aggregates
+//! (min, max, median)".
+
+use crate::dates::parse_iso_date;
+use mileena_relation::{DataType, Relation, Value};
+use serde::{Deserialize, Serialize};
+
+/// Aggregates and detected patterns for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Min of numeric values.
+    pub min: Option<f64>,
+    /// Max of numeric values.
+    pub max: Option<f64>,
+    /// Median of numeric values.
+    pub median: Option<f64>,
+    /// Mean of numeric values.
+    pub mean: Option<f64>,
+    /// NULL fraction.
+    pub null_fraction: f64,
+    /// Distinct-value count.
+    pub distinct: usize,
+    /// Fraction of sampled string values parsing as ISO dates.
+    pub iso_date_fraction: f64,
+    /// Fraction of sampled string values containing a digit.
+    pub digit_fraction: f64,
+}
+
+/// Profile of a dataset: per-column summaries + a small row sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformProfile {
+    /// Dataset name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Per-column summaries.
+    pub columns: Vec<ColumnSummary>,
+    /// A sample of up to ten rows (stringified, aligned with columns).
+    pub sample: Vec<Vec<String>>,
+}
+
+impl TransformProfile {
+    /// Profile a relation (deterministic: first ten rows as the sample, as
+    /// a provider's local store would show a curator).
+    pub fn of(relation: &Relation) -> Self {
+        let n = relation.num_rows();
+        let columns = relation
+            .schema()
+            .fields()
+            .iter()
+            .zip(relation.columns())
+            .map(|(f, col)| {
+                let mut numeric: Vec<f64> = (0..n).filter_map(|i| col.f64_at(i)).collect();
+                numeric.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let median = if numeric.is_empty() {
+                    None
+                } else {
+                    Some(numeric[numeric.len() / 2])
+                };
+                let (mut dates, mut digits, mut sampled) = (0usize, 0usize, 0usize);
+                if f.data_type == DataType::Str {
+                    for i in 0..n.min(200) {
+                        if let Value::Str(s) = col.value(i) {
+                            sampled += 1;
+                            if parse_iso_date(&s).is_some() {
+                                dates += 1;
+                            }
+                            if s.chars().any(|c| c.is_ascii_digit()) {
+                                digits += 1;
+                            }
+                        }
+                    }
+                }
+                let frac = |k: usize| if sampled == 0 { 0.0 } else { k as f64 / sampled as f64 };
+                ColumnSummary {
+                    name: f.name.clone(),
+                    data_type: f.data_type,
+                    min: numeric.first().copied(),
+                    max: numeric.last().copied(),
+                    median,
+                    mean: col.mean(),
+                    null_fraction: if n == 0 {
+                        0.0
+                    } else {
+                        col.null_count() as f64 / n as f64
+                    },
+                    distinct: col.distinct_count(),
+                    iso_date_fraction: frac(dates),
+                    digit_fraction: frac(digits),
+                }
+            })
+            .collect();
+        let sample = (0..n.min(10))
+            .map(|i| relation.row(i).iter().map(|v| v.to_string()).collect())
+            .collect();
+        TransformProfile { name: relation.name().to_string(), rows: n, columns, sample }
+    }
+
+    /// Summary of a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnSummary> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+
+    #[test]
+    fn profiles_aggregates_and_patterns() {
+        let r = RelationBuilder::new("t")
+            .float_col("x", &[3.0, 1.0, 2.0])
+            .str_col("d", &["2020-01-01", "2020-05-05", "not a date"])
+            .str_col("title", &["2BR flat", "house", "3BR loft"])
+            .opt_float_col("m", &[Some(1.0), None, None])
+            .build()
+            .unwrap();
+        let p = TransformProfile::of(&r);
+        let x = p.column("x").unwrap();
+        assert_eq!(x.min, Some(1.0));
+        assert_eq!(x.max, Some(3.0));
+        assert_eq!(x.median, Some(2.0));
+        let d = p.column("d").unwrap();
+        assert!((d.iso_date_fraction - 2.0 / 3.0).abs() < 1e-12);
+        let t = p.column("title").unwrap();
+        assert!((t.digit_fraction - 2.0 / 3.0).abs() < 1e-12);
+        let m = p.column("m").unwrap();
+        assert!((m.null_fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.sample.len(), 3);
+        assert_eq!(p.sample[0].len(), 4);
+    }
+
+    #[test]
+    fn sample_capped_at_ten() {
+        let r = RelationBuilder::new("t")
+            .int_col("k", &(0..50).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let p = TransformProfile::of(&r);
+        assert_eq!(p.sample.len(), 10);
+    }
+}

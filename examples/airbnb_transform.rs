@@ -1,0 +1,53 @@
+//! Agent-based data transformation (§4.1): the EDA → Coder → Debugger →
+//! Reviewer pipeline engineers features from strings and dates, and plain
+//! linear regression on those features beats raw numerics by a wide margin.
+//!
+//! ```sh
+//! cargo run --release --example airbnb_transform
+//! ```
+
+use mileena::datagen::{generate_airbnb, AirbnbConfig};
+use mileena::ml::{LinearModel, Regressor, RidgeConfig};
+use mileena::transform::{MockLlm, TransformPipeline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let listings = generate_airbnb(&AirbnbConfig { rows: 2000, ..Default::default() });
+    println!(
+        "generated {} listings; sample title: {:?}",
+        listings.num_rows(),
+        listings.value(0, "name")?
+    );
+
+    // Run the agent pipeline (deterministic MockLlm stands in for GPT-4).
+    let llm = MockLlm::new();
+    let report = TransformPipeline::new(&llm).run(&listings, "predict nightly price")?;
+    println!("\nagent outcomes:");
+    for (suggestion, fate) in &report.outcomes {
+        println!("  [{}] {}", fate.label(), suggestion.description);
+    }
+
+    // Raw numerics vs engineered features, same 70/30 split, same model.
+    let raw_cols = vec!["minimum_nights", "availability_365", "cleaning_fee"];
+    let mut eng_cols: Vec<String> = raw_cols.iter().map(|s| s.to_string()).collect();
+    eng_cols.extend(report.new_columns.iter().cloned());
+
+    let (train_raw, test_raw) = listings.train_test_split(0.3, 9);
+    let (train_eng, test_eng) = report.transformed.train_test_split(0.3, 9);
+
+    let score = |train: &mileena::relation::Relation,
+                 test: &mileena::relation::Relation,
+                 cols: &[String]|
+     -> Result<f64, Box<dyn std::error::Error>> {
+        let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        let mut m = LinearModel::new(RidgeConfig::default());
+        Ok(m.fit_evaluate(&train.to_xy(&refs, "price")?, &test.to_xy(&refs, "price")?)?)
+    };
+
+    let raw_cols_owned: Vec<String> = raw_cols.iter().map(|s| s.to_string()).collect();
+    let r2_raw = score(&train_raw, &test_raw, &raw_cols_owned)?;
+    let r2_eng = score(&train_eng, &test_eng, &eng_cols)?;
+    println!("\nlinear regression, raw numeric columns:    R² = {r2_raw:.3}");
+    println!("linear regression, agent-engineered cols:  R² = {r2_eng:.3}");
+    println!("\n(the paper's Figure 6b: with agent transformations, plain LR wins)");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Causal inference over relations (§4.2): pairwise direction discovery and
+//! differentially private treatment-effect estimation.
+//!
+//! ```sh
+//! cargo run --release --example causal_inference
+//! ```
+
+use mileena::causal::{
+    discover_skeleton, pairwise_direction, run_ate_experiment, AteExperimentConfig,
+    SkeletonConfig,
+};
+use mileena::datagen::{generate_causal, CausalConfig};
+use mileena::privacy::PrivacyBudget;
+use mileena::relation::RelationBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Part 1: direction from non-Gaussianity (the paper's X→Y example) ──
+    let mut rng = StdRng::seed_from_u64(1);
+    let x: Vec<f64> = (0..5000).map(|_| rng.gen_range(0.0..10.0)).collect();
+    let y: Vec<f64> = x.iter().map(|xi| 2.0 * xi + rng.gen_range(0.0..10.0)).collect();
+    println!(
+        "X ~ U(0,10), Y = 2X + U(0,10): direction test says {:?}",
+        pairwise_direction(&x, &y, 0.02)?
+    );
+
+    // ── Part 2: collider discovery (the 1-N relationship structure) ───────
+    let a: Vec<f64> = (0..5000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f64> = (0..5000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let c: Vec<f64> =
+        a.iter().zip(&b).map(|(x, y)| 0.7 * x + 0.7 * y + 0.3 * rng.gen_range(-1.0..1.0)).collect();
+    let r = RelationBuilder::new("t")
+        .float_col("a", &a)
+        .float_col("c", &c)
+        .float_col("b", &b)
+        .build()?;
+    let g = discover_skeleton(&r, &["a", "c", "b"], &SkeletonConfig::default())?;
+    println!(
+        "collider structure: a—c adjacent: {}, b—c adjacent: {}, a—b adjacent: {}, \
+         a→c oriented: {}, b→c oriented: {}",
+        g.adjacent("a", "c"),
+        g.adjacent("b", "c"),
+        g.adjacent("a", "b"),
+        g.oriented("a", "c"),
+        g.oriented("b", "c"),
+    );
+
+    // ── Part 3: the paper's DP ATE experiment (ε = 1, δ = 1e-6) ───────────
+    let data = generate_causal(&CausalConfig { rows: 1_000_000, ..Default::default() });
+    let result = run_ate_experiment(
+        &data,
+        &AteExperimentConfig { budget: PrivacyBudget::new(1.0, 1e-6)?, seed: 7 },
+    )?;
+    println!("\nDP treatment-effect estimation (true ATE = {:.4}):", result.true_ate);
+    println!(
+        "  (1) backdoor over privatized R1⋈R2:      {:.4}  (rel. err {:>6.2}%)",
+        result.backdoor_estimate,
+        100.0 * result.backdoor_rel_error
+    );
+    println!(
+        "  (2) marginal/front-door factorization:   {:.4}  (rel. err {:>6.2}%)",
+        result.frontdoor_estimate,
+        100.0 * result.frontdoor_rel_error
+    );
+    println!("\n(paper reports 10.25% vs 0.21% — estimator (2) wins by splitting budgets)");
+    Ok(())
+}

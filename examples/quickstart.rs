@@ -1,0 +1,61 @@
+//! Quickstart: providers upload sketches, a requester searches, the model
+//! improves. Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mileena::core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena::datagen::{generate_corpus, CorpusConfig};
+use mileena::search::{SearchConfig, SearchRequest, TaskSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic "NYC open data"-style corpus: 40 provider datasets, a few
+    // of which genuinely help the requester's task.
+    let corpus = generate_corpus(&CorpusConfig {
+        num_datasets: 40,
+        train_rows: 500,
+        test_rows: 500,
+        ..Default::default()
+    });
+
+    // ── Offline (blue) flow: every provider sketches + uploads. ────────────
+    let platform = CentralPlatform::new(PlatformConfig::default());
+    for provider in &corpus.providers {
+        let upload = LocalDataStore::new(provider.clone()).prepare_upload(None, 7)?;
+        platform.register(upload)?;
+    }
+    println!("registered {} provider datasets", platform.num_datasets());
+
+    // ── Online (green) flow: the requester sends its task. ────────────────
+    let request = SearchRequest {
+        train: corpus.train.clone(),
+        test: corpus.test.clone(),
+        task: TaskSpec::new("y", &["base_x"]),
+        budget: None,
+        key_columns: Some(vec!["zone".into()]),
+    };
+    let result = platform.search(&request, &SearchConfig::default())?;
+
+    println!(
+        "\nbase test R² = {:.3} → augmented test R² = {:.3}  ({} candidates evaluated in {:?})",
+        result.outcome.base_score,
+        result.outcome.final_score,
+        result.outcome.evaluations,
+        result.outcome.elapsed,
+    );
+    println!("\nselected augmentations:");
+    for step in &result.outcome.steps {
+        println!(
+            "  {:<40} → R² {:.3}  (t = {:?})",
+            step.augmentation.describe(),
+            step.score_after,
+            step.elapsed
+        );
+    }
+    println!(
+        "\nplanted signal datasets (ground truth): {:?}",
+        corpus.ground_truth.signal_datasets
+    );
+    Ok(())
+}

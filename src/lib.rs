@@ -1,0 +1,55 @@
+//! # Mileena — fast, private, task-based dataset search
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"The Fast and the Private: Task-based Dataset Search"* (CIDR 2024):
+//! given an ML task (training/test relations + model + privacy budget),
+//! find the datasets in a corpus whose join or union most improves the
+//! model — evaluating each candidate in milliseconds via pre-computed
+//! semi-ring sketches, under differential privacy via the Factorized
+//! Privacy Mechanism.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here.
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`relation`] | `mileena-relation` | columnar relations, join/union/group-by |
+//! | [`semiring`] | `mileena-semiring` | covariance semi-ring, aggregation pushdown |
+//! | [`sketch`] | `mileena-sketch` | pre-computed per-dataset/per-key sketches |
+//! | [`discovery`] | `mileena-discovery` | MinHash/TF-IDF join & union candidates |
+//! | [`ml`] | `mileena-ml` | ridge LR over sufficient stats, GBDT, MLP, kNN, AutoML |
+//! | [`privacy`] | `mileena-privacy` | (ε,δ) accounting, FPM, APM/TPM baselines |
+//! | [`search`] | `mileena-search` | greedy proxy search, ARDA/Novelty baselines |
+//! | [`transform`] | `mileena-transform` | EDA/Coder/Debugger/Reviewer agents |
+//! | [`causal`] | `mileena-causal` | direction tests, skeletons, DP ATE |
+//! | [`datagen`] | `mileena-datagen` | NYC-like corpus, Airbnb-like table, SCM |
+//! | [`core`] | `mileena-core` | LocalDataStore + CentralPlatform |
+//!
+//! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+pub use mileena_causal as causal;
+pub use mileena_core as core;
+pub use mileena_datagen as datagen;
+pub use mileena_discovery as discovery;
+pub use mileena_ml as ml;
+pub use mileena_privacy as privacy;
+pub use mileena_relation as relation;
+pub use mileena_search as search;
+pub use mileena_semiring as semiring;
+pub use mileena_sketch as sketch;
+pub use mileena_transform as transform;
+
+/// Crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_exposes_subsystems() {
+        // Compile-time smoke test that the re-exports resolve.
+        let _ = crate::relation::RelationBuilder::new("t");
+        let _ = crate::semiring::CovarTriple::one();
+        assert!(!crate::VERSION.is_empty());
+    }
+}

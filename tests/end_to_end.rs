@@ -1,0 +1,140 @@
+//! Cross-crate integration: the full provider → platform → requester flow,
+//! including exactness of the sketch path against materialized retraining.
+
+use mileena::core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena::datagen::{generate_corpus, CorpusConfig};
+use mileena::ml::{LinearModel, Regressor, RidgeConfig};
+use mileena::search::modes::materialized_utility;
+use mileena::search::{SearchConfig, SearchRequest, TaskSpec};
+
+fn corpus_cfg(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        num_datasets: 30,
+        num_signal: 3,
+        num_union: 2,
+        num_novelty_traps: 3,
+        train_rows: 400,
+        test_rows: 400,
+        provider_rows: 200,
+        key_domain: 80,
+        signal_rows_per_key: 1,
+        noise: 0.1,
+        nonlinear_strength: 0.0,
+        seed,
+    }
+}
+
+fn request(c: &mileena::datagen::NycCorpus) -> SearchRequest {
+    SearchRequest {
+        train: c.train.clone(),
+        test: c.test.clone(),
+        task: TaskSpec::new("y", &["base_x"]),
+        budget: None,
+        key_columns: Some(vec!["zone".into()]),
+    }
+}
+
+#[test]
+fn platform_search_improves_model_and_matches_materialized() {
+    let corpus = generate_corpus(&corpus_cfg(101));
+    let platform = CentralPlatform::new(PlatformConfig::default());
+    for p in &corpus.providers {
+        platform
+            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
+            .unwrap();
+    }
+    let req = request(&corpus);
+    let result = platform.search(&req, &SearchConfig::default()).unwrap();
+    assert!(
+        result.outcome.final_score > result.outcome.base_score + 0.3,
+        "{} → {}",
+        result.outcome.base_score,
+        result.outcome.final_score
+    );
+
+    // The proxy's claimed score must match retraining on materialized data
+    // (exact sketches ⇒ identical sufficient statistics).
+    let selections: Vec<_> =
+        result.outcome.steps.iter().map(|s| s.augmentation.clone()).collect();
+    let materialized = materialized_utility(&req, &selections, &corpus.providers, 1e-4).unwrap();
+    assert!(
+        (materialized - result.outcome.final_score).abs() < 0.02,
+        "sketch path {} vs materialized {materialized}",
+        result.outcome.final_score
+    );
+}
+
+#[test]
+fn search_latency_is_subsecond_on_a_hundred_datasets() {
+    let corpus = generate_corpus(&corpus_cfg(102));
+    let platform = CentralPlatform::new(PlatformConfig::default());
+    for p in &corpus.providers {
+        platform
+            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
+            .unwrap();
+    }
+    let req = request(&corpus);
+    let t0 = std::time::Instant::now();
+    let result = platform.search(&req, &SearchConfig::default()).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(result.outcome.evaluations > 0);
+    // Debug-build headroom: the paper's claim is seconds even on 517
+    // datasets in release; 30 datasets in debug must clear 5 s easily.
+    assert!(elapsed < std::time::Duration::from_secs(5), "{elapsed:?}");
+}
+
+#[test]
+fn returned_model_predicts_on_augmented_features() {
+    let corpus = generate_corpus(&corpus_cfg(103));
+    let platform = CentralPlatform::new(PlatformConfig::default());
+    for p in &corpus.providers {
+        platform
+            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
+            .unwrap();
+    }
+    let req = request(&corpus);
+    let result = platform.search(&req, &SearchConfig::default()).unwrap();
+    let k = result.outcome.state.features().len();
+    // Coefficients: intercept + one per feature.
+    assert_eq!(result.model.coefficients().unwrap().len(), k + 1);
+}
+
+#[test]
+fn quality_matches_direct_oracle_join() {
+    // The search result should be at least as good as manually joining the
+    // single strongest planted signal (the "data scientist did it by hand"
+    // oracle for one augmentation).
+    let corpus = generate_corpus(&corpus_cfg(104));
+    let platform = CentralPlatform::new(PlatformConfig::default());
+    for p in &corpus.providers {
+        platform
+            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
+            .unwrap();
+    }
+    let req = request(&corpus);
+    let result = platform.search(&req, &SearchConfig::default()).unwrap();
+
+    let strongest = &corpus.ground_truth.signal_datasets[0];
+    let sig = corpus.providers.iter().find(|p| p.name() == strongest).unwrap();
+    let feat = sig
+        .schema()
+        .names()
+        .iter()
+        .find(|n| n.starts_with("feat_"))
+        .unwrap()
+        .to_string();
+    let jtrain = corpus.train.hash_join(sig, &["zone"], &["zone"]).unwrap();
+    let jtest = corpus.test.hash_join(sig, &["zone"], &["zone"]).unwrap();
+    let mut m = LinearModel::new(RidgeConfig::default());
+    let oracle = m
+        .fit_evaluate(
+            &jtrain.to_xy(&["base_x", &feat], "y").unwrap(),
+            &jtest.to_xy(&["base_x", &feat], "y").unwrap(),
+        )
+        .unwrap();
+    assert!(
+        result.outcome.final_score >= oracle - 0.02,
+        "search {} vs single-join oracle {oracle}",
+        result.outcome.final_score
+    );
+}

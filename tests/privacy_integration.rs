@@ -1,0 +1,79 @@
+//! Cross-crate privacy integration: FPM end-to-end through the platform,
+//! and the Figure 5 mechanism ordering at miniature scale.
+
+use mileena::core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena::datagen::{generate_corpus, CorpusConfig};
+use mileena::privacy::PrivacyBudget;
+use mileena::search::modes::{ModeConfig, ModeSession, PrivacyMode};
+use mileena::search::{SearchConfig, SearchRequest, TaskSpec};
+
+fn setup(seed: u64) -> (SearchRequest, Vec<mileena::relation::Relation>) {
+    let corpus = generate_corpus(&CorpusConfig::privacy_scale(16, seed));
+    let request = SearchRequest {
+        train: corpus.train.clone(),
+        test: corpus.test.clone(),
+        task: TaskSpec::new("y", &["base_x"]),
+        budget: None,
+        key_columns: Some(vec!["zone".into()]),
+    };
+    (request, corpus.providers)
+}
+
+fn mode_cfg() -> ModeConfig {
+    ModeConfig {
+        provider_budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
+        requester_budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
+        bound: 1.0,
+        seed: 202,
+    }
+}
+
+fn search_cfg() -> SearchConfig {
+    SearchConfig { max_join_fanout: 60.0, ..Default::default() }
+}
+
+#[test]
+fn figure5_mechanism_ordering() {
+    let (request, providers) = setup(11);
+    let mut index = mileena::discovery::DiscoveryIndex::new(Default::default());
+    for p in &providers {
+        index.register(mileena::discovery::DatasetProfile::of(p, 128));
+    }
+
+    let mut run = |mode: PrivacyMode| -> f64 {
+        let mut session = ModeSession::prepare(mode, &providers, mode_cfg()).unwrap();
+        session.search(&request, &index, &search_cfg()).unwrap().utility
+    };
+    let u_nonp = run(PrivacyMode::NonPrivate);
+    let u_fpm = run(PrivacyMode::Fpm);
+    let u_apm_heavy = run(PrivacyMode::Apm { expected_queries: 100_000 });
+    let u_tpm = run(PrivacyMode::Tpm);
+
+    // The Figure 5 shape: Non-P ≥ FPM ≫ heavily-provisioned APM, TPM ≈ floor.
+    assert!(u_nonp >= u_fpm - 0.05, "nonp {u_nonp} vs fpm {u_fpm}");
+    assert!(u_fpm > 0.35 * u_nonp, "FPM keeps a large share: {u_fpm} vs {u_nonp}");
+    assert!(u_fpm >= u_apm_heavy - 0.05, "fpm {u_fpm} vs heavy apm {u_apm_heavy}");
+    assert!(u_fpm >= u_tpm - 0.05, "fpm {u_fpm} vs tpm {u_tpm}");
+}
+
+#[test]
+fn platform_enforces_provider_budgets() {
+    let (_, providers) = setup(12);
+    let platform = CentralPlatform::new(PlatformConfig::default());
+    let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+    let upload = LocalDataStore::new(providers[0].clone()).prepare_upload(Some(b), 1).unwrap();
+    platform.register(upload.clone()).unwrap();
+    // A second upload of the same dataset would double-spend its budget.
+    assert!(platform.register(upload).is_err());
+}
+
+#[test]
+fn fpm_sketches_are_serializable_for_upload() {
+    // The wire format survives a JSON round trip after privatization.
+    let (_, providers) = setup(13);
+    let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+    let upload = LocalDataStore::new(providers[0].clone()).prepare_upload(Some(b), 2).unwrap();
+    let json = upload.sketch.to_json().unwrap();
+    let back = mileena::sketch::DatasetSketch::from_json(&json).unwrap();
+    assert_eq!(upload.sketch, back);
+}

@@ -1,0 +1,122 @@
+//! System-level property tests spanning crates.
+
+use mileena::privacy::{FactorizedMechanism, FpmConfig, PrivacyBudget};
+use mileena::relation::RelationBuilder;
+use mileena::semiring::triple_of;
+use mileena::sketch::{build_sketch, eval_join, eval_union, SketchConfig};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-50i32..=50).prop_map(|v| v as f64 / 50.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The crate stack's central invariant, end to end: evaluating an
+    /// augmentation on *sketches* equals aggregating the *materialized*
+    /// augmented relation, for arbitrary data.
+    #[test]
+    fn sketch_eval_equals_materialized_join(
+        train_rows in prop::collection::vec((0i64..6, small_f64(), small_f64()), 5..40),
+        cand_rows in prop::collection::vec((0i64..6, small_f64()), 1..20),
+    ) {
+        let train = RelationBuilder::new("train")
+            .int_col("k", &train_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("x", &train_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .float_col("y", &train_rows.iter().map(|r| r.2).collect::<Vec<_>>())
+            .build().unwrap();
+        let cand = RelationBuilder::new("prov")
+            .int_col("k", &cand_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("z", &cand_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .build().unwrap();
+
+        let tcfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::requester()
+        };
+        let ccfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["z".into()]),
+            ..Default::default()
+        };
+        let ts = build_sketch(&train, &tcfg).unwrap();
+        let cs = build_sketch(&cand, &ccfg).unwrap();
+        let stats = eval_join(ts.keyed_for("k").unwrap(), cs.keyed_for("k").unwrap()).unwrap();
+
+        let joined = train.hash_join(&cand, &["k"], &["k"]).unwrap();
+        if joined.num_rows() == 0 {
+            prop_assert_eq!(stats.triple.c, 0.0);
+        } else {
+            let naive = triple_of(&joined, &["x", "y", "z"]).unwrap()
+                .rename_features(|n| if n == "z" { "prov.z".into() } else { n.to_string() });
+            let got = stats.triple.align(&naive.feature_names()).unwrap();
+            prop_assert!(got.approx_eq(&naive, 1e-6), "\n{:?}\n{:?}", got, naive);
+        }
+    }
+
+    /// Union-side invariant with provider-qualified renaming.
+    #[test]
+    fn sketch_eval_equals_materialized_union(
+        a_rows in prop::collection::vec((small_f64(), small_f64()), 2..30),
+        b_rows in prop::collection::vec((small_f64(), small_f64()), 2..30),
+    ) {
+        let mk = |name: &str, rows: &[(f64, f64)]| RelationBuilder::new(name)
+            .float_col("x", &rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("y", &rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .build().unwrap();
+        let train = mk("train", &a_rows);
+        let cand = mk("prov", &b_rows);
+        let ts = build_sketch(&train, &SketchConfig::requester()).unwrap();
+        let cs = build_sketch(&cand, &SketchConfig::default()).unwrap();
+        let stats = eval_union(&ts.full, &cs.full, |n| {
+            n.strip_prefix("prov.").unwrap_or(n).to_string()
+        }).unwrap();
+        let naive = triple_of(&train.union(&cand).unwrap(), &["x", "y"]).unwrap();
+        prop_assert!(stats.triple.approx_eq(&naive, 1e-6));
+    }
+
+    /// FPM noise is unbiased-ish and deterministic: privatizing twice with
+    /// one seed gives identical sketches; with more budget, the expected
+    /// distortion shrinks.
+    #[test]
+    fn fpm_determinism_under_any_data(
+        rows in prop::collection::vec((0i64..4, small_f64()), 4..30),
+        seed in 0u64..1000,
+    ) {
+        let r = RelationBuilder::new("d")
+            .int_col("k", &rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("x", &rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .build().unwrap();
+        let sketch = build_sketch(&r, &SketchConfig::default()).unwrap();
+        let fpm = FactorizedMechanism::new(FpmConfig::default());
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let p1 = fpm.privatize(&sketch, b, seed).unwrap();
+        let p2 = fpm.privatize(&sketch, b, seed).unwrap();
+        prop_assert_eq!(&p1.sketch, &p2.sketch);
+        // Symmetry of Q preserved under noise.
+        let t = &p1.sketch.full;
+        let m = t.num_features();
+        for i in 0..m {
+            for j in 0..m {
+                prop_assert_eq!(t.q[i * m + j], t.q[j * m + i]);
+            }
+        }
+    }
+
+    /// CSV round trip at the system boundary preserves relations.
+    #[test]
+    fn csv_roundtrip_arbitrary_numeric(
+        rows in prop::collection::vec((any::<i32>(), small_f64()), 1..30),
+    ) {
+        let r = RelationBuilder::new("t")
+            .int_col("a", &rows.iter().map(|r| r.0 as i64).collect::<Vec<_>>())
+            .float_col("b", &rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .build().unwrap();
+        let mut buf = Vec::new();
+        mileena::relation::csv::write_csv_to(&r, &mut buf).unwrap();
+        let back = mileena::relation::csv::read_csv_from(buf.as_slice(), "t").unwrap();
+        prop_assert_eq!(r, back);
+    }
+}
