@@ -17,7 +17,8 @@ fn bench_minhash(c: &mut Criterion) {
         });
     }
     let a = MinHashSignature::from_column(&Column::from_ints(&(0..1000).collect::<Vec<_>>()), 128);
-    let b2 = MinHashSignature::from_column(&Column::from_ints(&(500..1500).collect::<Vec<_>>()), 128);
+    let b2 =
+        MinHashSignature::from_column(&Column::from_ints(&(500..1500).collect::<Vec<_>>()), 128);
     group.bench_function("jaccard_k128", |b| b.iter(|| a.jaccard(&b2)));
     group.finish();
 }

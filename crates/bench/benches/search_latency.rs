@@ -1,12 +1,16 @@
 //! Criterion benches for end-to-end search latency (the §1 claim that
-//! sketch-based search answers in seconds where retraining takes minutes).
+//! sketch-based search answers in seconds where retraining takes minutes),
+//! plus the cached-vs-uncached candidate-evaluation comparison that tracks
+//! the projection cache's win (see DESIGN.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mileena_bench::{index_of, request_of};
 use mileena_core::{CentralPlatform, LocalDataStore, PlatformConfig};
 use mileena_datagen::{generate_corpus, CorpusConfig};
 use mileena_search::arda::ArdaSearch;
-use mileena_search::{enumerate_candidates, SearchConfig};
+use mileena_search::greedy::build_requester_state;
+use mileena_search::{enumerate_candidates, CandidateCache, GreedySearch, SearchConfig};
+use mileena_sketch::{build_sketch, SketchConfig, SketchStore};
 
 fn corpus_cfg(n: usize) -> CorpusConfig {
     CorpusConfig {
@@ -54,5 +58,52 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
+/// The projection-cache comparison (acceptance gate for the arena PR):
+/// one greedy *round* — every candidate evaluated once against the current
+/// state — with pre-projected cache entries vs the re-project-per-eval
+/// reference path, on a 500-candidate corpus.
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_round_500");
+    group.sample_size(10);
+    let corpus = generate_corpus(&corpus_cfg(500));
+    let request = request_of(&corpus);
+    let index = index_of(&corpus);
+    let store = SketchStore::new();
+    for p in &corpus.providers {
+        store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+    }
+    let cfg = SearchConfig::default();
+    let (state, profile) = build_requester_state(&request, &cfg).unwrap();
+    let candidates = enumerate_candidates(&index, &store, &profile);
+    let n = candidates.len();
+
+    let entries = CandidateCache::build(&state, candidates.clone(), &store).into_entries();
+    group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+        b.iter(|| entries.iter().filter_map(|e| e.evaluate(&state).ok()).count())
+    });
+    group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .filter_map(|aug| {
+                    let sketch = store.get(aug.dataset()).ok()?;
+                    state.evaluate_reference(aug, &sketch).ok()
+                })
+                .count()
+        })
+    });
+
+    // Full greedy searches (all rounds), cached vs reference — the
+    // user-visible difference.
+    let searcher = GreedySearch::new(cfg.clone());
+    group.bench_with_input(BenchmarkId::new("full_search_cached", n), &n, |b, _| {
+        b.iter(|| searcher.run(state.clone(), candidates.clone(), &store).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("full_search_uncached", n), &n, |b, _| {
+        b.iter(|| searcher.run_uncached(state.clone(), candidates.clone(), &store).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_cached_vs_uncached);
 criterion_main!(benches);

@@ -111,8 +111,7 @@ fn bench_proxy_fit(c: &mut Criterion) {
     let sys = t.lr_system(&refs[..11], "f11", true).unwrap();
     group.bench_function("ridge_fit_k12", |b| {
         b.iter(|| {
-            let mut m =
-                mileena_ml::LinearModel::new(mileena_ml::RidgeConfig::default());
+            let mut m = mileena_ml::LinearModel::new(mileena_ml::RidgeConfig::default());
             m.fit_from_system(&sys).unwrap();
             m
         })
@@ -120,11 +119,5 @@ fn bench_proxy_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_union_eval,
-    bench_join_eval,
-    bench_triple_algebra,
-    bench_proxy_fit
-);
+criterion_group!(benches, bench_union_eval, bench_join_eval, bench_triple_algebra, bench_proxy_fit);
 criterion_main!(benches);

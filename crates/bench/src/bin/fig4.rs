@@ -26,18 +26,13 @@ fn main() {
     let corpus = generate_corpus(&cfg);
     let request = request_of(&corpus);
     let index = index_of(&corpus);
-    let search_cfg = SearchConfig {
-        time_budget: Duration::from_secs(10),
-        ..Default::default()
-    };
+    let search_cfg = SearchConfig { time_budget: Duration::from_secs(10), ..Default::default() };
 
     // ── Mileena: sketch upload (offline) + proxy search (online) ──────────
     let t_offline = Instant::now();
     let platform = CentralPlatform::new(PlatformConfig::default());
     for p in &corpus.providers {
-        platform
-            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap())
-            .unwrap();
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap()).unwrap();
     }
     let offline = t_offline.elapsed();
 
@@ -55,8 +50,7 @@ fn main() {
     // augmentations, let AutoML use the rest of the 10 s budget.
     let selections: Vec<Augmentation> =
         result.outcome.steps.iter().map(|s| s.augmentation.clone()).collect();
-    let (aug_train, aug_test, feats) =
-        materialize(&request, &selections, &corpus.providers);
+    let (aug_train, aug_test, feats) = materialize(&request, &selections, &corpus.providers);
     let t1 = Instant::now();
     let automl = AutoMl::new(AutoMlConfig {
         budget: Duration::from_secs(10).saturating_sub(mileena_time),
@@ -111,10 +105,7 @@ fn main() {
         materialized_utility(&request, &selections, &corpus.providers, 1e-4).unwrap();
 
     println!("\nsummary (per-system final point):");
-    println!(
-        "  {:<22} {:>10} {:>8}   note",
-        "system", "time", "test R²"
-    );
+    println!("  {:<22} {:>10} {:>8}   note", "system", "time", "test R²");
     let row = |name: &str, t: Duration, r2: f64, note: &str| {
         println!("  {:<22} {:>10.2?} {}   {note}", name, t, fmt3(r2));
     };
@@ -150,8 +141,7 @@ fn materialize(
                 train = train.union(cand).unwrap();
             }
             Augmentation::Join { query_key, candidate_key, .. } => {
-                let cand =
-                    mileena_search::modes::aggregate_per_key(cand, candidate_key).unwrap();
+                let cand = mileena_search::modes::aggregate_per_key(cand, candidate_key).unwrap();
                 let before: Vec<String> =
                     train.schema().names().iter().map(|s| s.to_string()).collect();
                 train = train.hash_join(&cand, &[query_key], &[candidate_key]).unwrap();

@@ -28,11 +28,7 @@ fn mode_cfg(seed: u64) -> ModeConfig {
 }
 
 fn search_cfg() -> SearchConfig {
-    SearchConfig {
-        max_augmentations: 5,
-        max_join_fanout: 60.0,
-        ..Default::default()
-    }
+    SearchConfig { max_augmentations: 5, max_join_fanout: 60.0, ..Default::default() }
 }
 
 /// Run one (mechanism, corpus seed) cell and return the utility.
@@ -41,12 +37,10 @@ fn run_cell(mode: PrivacyMode, corpus_size: usize, seed: u64) -> f64 {
     let request = request_of(&corpus);
     let index = index_of(&corpus);
     let mut session = ModeSession::prepare(mode, &corpus.providers, mode_cfg(seed)).unwrap();
-    session
-        .search(&request, &index, &search_cfg())
-        .map(|o| o.utility)
-        .unwrap_or(f64::NAN)
+    session.search(&request, &index, &search_cfg()).map(|o| o.utility).unwrap_or(f64::NAN)
 }
 
+#[allow(clippy::type_complexity)]
 const MODES: [(&str, fn(usize) -> PrivacyMode); 4] = [
     ("Non-P", |_| PrivacyMode::NonPrivate),
     ("FPM", |_| PrivacyMode::Fpm),
@@ -63,11 +57,8 @@ fn panel_a() {
         // APM is provisioned for a 10-request deployment (a mechanism that
         // must pre-divide budgets has to plan for more than one request;
         // FPM needs no provisioning — that asymmetry is the experiment).
-        let mut utils: Vec<f64> =
-            (0..10).map(|seed| run_cell(mk(10), 100, 1000 + seed)).collect();
-        let (lo, hi) = utils.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| {
-            (l.min(v), h.max(v))
-        });
+        let mut utils: Vec<f64> = (0..10).map(|seed| run_cell(mk(10), 100, 1000 + seed)).collect();
+        let (lo, hi) = utils.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
         println!("{:<8} {:>7.3} {:>7.3} {:>7.3}", name, lo, median(&mut utils), hi);
     }
     println!("paper: Non-P ≈0.3; FPM 40–90% of Non-P; APM lower; TPM ≈0.\n");

@@ -75,8 +75,7 @@ fn main() {
     let raw_cols = numeric_features(&listings, &["id", "price"]);
 
     // Embed: raw numerics + 16-dim hash embeddings of the string columns.
-    let embedded =
-        embed_columns(&listings, &["name", "neighbourhood", "room_type"], 16).unwrap();
+    let embedded = embed_columns(&listings, &["name", "neighbourhood", "room_type"], 16).unwrap();
     let embed_cols = numeric_features(&embedded, &["id", "price"]);
 
     // Agent: the §4.1 pipeline's engineered features + raw numerics.
@@ -90,7 +89,13 @@ fn main() {
 
     println!(
         "{:<7} {:>8} {:>8} {:>8}   ({} raw / {} embed / {} agent features)",
-        "model", "Raw", "Embed", "Agent", raw_cols.len(), embed_cols.len(), agent_cols.len()
+        "model",
+        "Raw",
+        "Embed",
+        "Agent",
+        raw_cols.len(),
+        embed_cols.len(),
+        agent_cols.len()
     );
     let mut agent_lr = f64::NAN;
     let mut best_other: f64 = f64::NEG_INFINITY;

@@ -26,16 +26,12 @@ fn main() {
             let corpus = generate_corpus(&CorpusConfig::privacy_scale(20, 500 + seed));
             let request = request_of(&corpus);
             let index = index_of(&corpus);
-            let fpm = FactorizedMechanism::new(FpmConfig {
-                bound: 1.0,
-                full_weight,
-                clamp_counts: true,
-            });
+            let fpm =
+                FactorizedMechanism::new(FpmConfig { bound: 1.0, full_weight, clamp_counts: true });
             let store = SketchStore::new();
             for (i, p) in corpus.providers.iter().enumerate() {
                 let raw = build_sketch(p, &SketchConfig::default()).unwrap();
-                let priv_sketch =
-                    fpm.privatize(&raw, budget, seed ^ ((i as u64) << 13)).unwrap();
+                let priv_sketch = fpm.privatize(&raw, budget, seed ^ ((i as u64) << 13)).unwrap();
                 store.register(priv_sketch.sketch).unwrap();
             }
             // Requester sketches stay exact here so the sweep isolates the
@@ -46,11 +42,9 @@ fn main() {
             let candidates = enumerate_candidates(&index, &store, &profile);
             let outcome =
                 GreedySearch::new(search_cfg.clone()).run(state, candidates, &store).unwrap();
-            let selections: Vec<_> =
-                outcome.steps.iter().map(|s| s.augmentation.clone()).collect();
+            let selections: Vec<_> = outcome.steps.iter().map(|s| s.augmentation.clone()).collect();
             utils.push(
-                materialized_utility(&request, &selections, &corpus.providers, 1e-4)
-                    .unwrap_or(0.0),
+                materialized_utility(&request, &selections, &corpus.providers, 1e-4).unwrap_or(0.0),
             );
         }
         let n = utils.len();

@@ -65,10 +65,7 @@ fn main() {
             },
             reps,
         );
-        println!(
-            "{n:>10} {sketch_us:>14.1} {mat_us:>18.1} {:>8.0}×",
-            mat_us / sketch_us.max(1e-3)
-        );
+        println!("{n:>10} {sketch_us:>14.1} {mat_us:>18.1} {:>8.0}×", mat_us / sketch_us.max(1e-3));
     }
 
     println!("\nvertical (join) — sketch path is O(d), d = distinct keys (n = 100·d):");
@@ -100,10 +97,7 @@ fn main() {
             },
             reps,
         );
-        println!(
-            "{d:>10} {sketch_us:>14.1} {mat_us:>18.1} {:>8.0}×",
-            mat_us / sketch_us.max(1e-3)
-        );
+        println!("{d:>10} {sketch_us:>14.1} {mat_us:>18.1} {:>8.0}×", mat_us / sketch_us.max(1e-3));
     }
     println!("\npaper: proxy evaluation in milliseconds, independent of relation sizes.");
 }

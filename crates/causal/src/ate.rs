@@ -153,24 +153,10 @@ pub fn frontdoor_ate(
     p_dim: &str,
     y_dim: &str,
 ) -> Result<f64> {
-    let e1 = frontdoor_expected_y(
-        at_joint,
-        pay_joint,
-        &KeyValue::Int(1),
-        t_dim,
-        a_dim,
-        p_dim,
-        y_dim,
-    )?;
-    let e0 = frontdoor_expected_y(
-        at_joint,
-        pay_joint,
-        &KeyValue::Int(0),
-        t_dim,
-        a_dim,
-        p_dim,
-        y_dim,
-    )?;
+    let e1 =
+        frontdoor_expected_y(at_joint, pay_joint, &KeyValue::Int(1), t_dim, a_dim, p_dim, y_dim)?;
+    let e0 =
+        frontdoor_expected_y(at_joint, pay_joint, &KeyValue::Int(0), t_dim, a_dim, p_dim, y_dim)?;
     Ok(e1 - e0)
 }
 
@@ -184,22 +170,16 @@ mod tests {
         // Adjusting for the real confounder D (oracle view) must debias.
         let cfg = CausalConfig { rows: 200_000, ..Default::default() };
         let data = generate_causal(&cfg);
-        let joint =
-            Histogram::from_relation(&data.population, &["T", "Y", "D"]).unwrap();
+        let joint = Histogram::from_relation(&data.population, &["T", "Y", "D"]).unwrap();
         let ate = backdoor_ate(&joint, "T", "Y", &["D"]).unwrap();
-        assert!(
-            (ate - cfg.true_ate()).abs() < 0.01,
-            "adjusted {ate} vs true {}",
-            cfg.true_ate()
-        );
+        assert!((ate - cfg.true_ate()).abs() < 0.01, "adjusted {ate} vs true {}", cfg.true_ate());
     }
 
     #[test]
     fn backdoor_on_inert_variable_stays_confounded() {
         let cfg = CausalConfig { rows: 200_000, ..Default::default() };
         let data = generate_causal(&cfg);
-        let joint =
-            Histogram::from_relation(&data.population, &["T", "Y", "G"]).unwrap();
+        let joint = Histogram::from_relation(&data.population, &["T", "Y", "G"]).unwrap();
         let ate = backdoor_ate(&joint, "T", "Y", &["G"]).unwrap();
         assert!(
             (ate - cfg.observational_diff()).abs() < 0.01,
@@ -215,11 +195,7 @@ mod tests {
         let at = Histogram::from_relation(&data.population, &["T", "A"]).unwrap();
         let pay = Histogram::from_relation(&data.population, &["P", "A", "Y"]).unwrap();
         let ate = frontdoor_ate(&at, &pay, "T", "A", "P", "Y").unwrap();
-        assert!(
-            (ate - cfg.true_ate()).abs() < 0.01,
-            "frontdoor {ate} vs true {}",
-            cfg.true_ate()
-        );
+        assert!((ate - cfg.true_ate()).abs() < 0.01, "frontdoor {ate} vs true {}", cfg.true_ate());
     }
 
     #[test]

@@ -108,11 +108,7 @@ mod tests {
     fn stable_across_seeds() {
         for seed in 2..8 {
             let (x, y) = uniform_data(2000, seed);
-            assert_eq!(
-                pairwise_direction(&x, &y, 0.02).unwrap(),
-                Direction::XtoY,
-                "seed {seed}"
-            );
+            assert_eq!(pairwise_direction(&x, &y, 0.02).unwrap(), Direction::XtoY, "seed {seed}");
         }
     }
 

@@ -48,14 +48,14 @@ pub fn run_ate_experiment(
     data: &CausalData,
     config: &AteExperimentConfig,
 ) -> Result<AteExperimentResult> {
-    let half = config.budget.split(2).map_err(mileena_privacy::PrivacyError::from)?;
+    let half = config.budget.split(2)?;
 
     // Estimator (1): joint histogram of (T, Y, G) over R1 ⋈ R2, privatized.
     // Both relations' budgets are consumed by the single joined release;
     // the effective ε is the tighter half-share.
     let joined12 = data.r1.hash_join(&data.r2, &["id"], &["id"])?;
-    let joint_tyg = Histogram::from_relation(&joined12, &["T", "Y", "G"])?
-        .privatize(half, config.seed)?;
+    let joint_tyg =
+        Histogram::from_relation(&joined12, &["T", "Y", "G"])?.privatize(half, config.seed)?;
     let backdoor_estimate = backdoor_ate(&joint_tyg, "T", "Y", &["G"])?;
 
     // Estimator (2): (T, A) from R1 ⋈ R3 (half of each relation's budget),
@@ -87,10 +87,7 @@ mod tests {
     fn reproduces_the_papers_ordering() {
         // Paper: backdoor ≈ 10.25%, marginal-based ≈ 0.21% at ε=1, δ=1e-6.
         let data = generate_causal(&CausalConfig { rows: 400_000, ..Default::default() });
-        let cfg = AteExperimentConfig {
-            budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
-            seed: 7,
-        };
+        let cfg = AteExperimentConfig { budget: PrivacyBudget::new(1.0, 1e-6).unwrap(), seed: 7 };
         let r = run_ate_experiment(&data, &cfg).unwrap();
         assert!(
             r.backdoor_rel_error > 3.0 * r.frontdoor_rel_error,
@@ -116,10 +113,7 @@ mod tests {
         let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
         for seed in 0..5 {
             let r = run_ate_experiment(&data, &AteExperimentConfig { budget, seed }).unwrap();
-            assert!(
-                r.frontdoor_rel_error < r.backdoor_rel_error,
-                "seed {seed}: {r:?}"
-            );
+            assert!(r.frontdoor_rel_error < r.backdoor_rel_error, "seed {seed}: {r:?}");
         }
     }
 
@@ -136,10 +130,7 @@ mod tests {
         for seed in 0..5 {
             let starved = run_ate_experiment(
                 &data,
-                &AteExperimentConfig {
-                    budget: PrivacyBudget::new(0.001, 1e-6).unwrap(),
-                    seed,
-                },
+                &AteExperimentConfig { budget: PrivacyBudget::new(0.001, 1e-6).unwrap(), seed },
             )
             .unwrap();
             starved_err += starved.frontdoor_rel_error / 5.0;

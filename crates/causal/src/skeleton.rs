@@ -164,6 +164,7 @@ fn subsets(pool: &[usize], k: usize) -> Vec<Vec<usize>> {
 }
 
 /// Run PC skeleton discovery + collider orientation over numeric columns.
+#[allow(clippy::needless_range_loop)] // adjacency-matrix sweeps read clearer indexed
 pub fn discover_skeleton(
     relation: &Relation,
     columns: &[&str],
@@ -226,11 +227,7 @@ pub fn discover_skeleton(
         .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
         .filter(|&(i, j)| adj[i][j])
         .collect();
-    Ok(CpDag {
-        variables: columns.iter().map(|s| s.to_string()).collect(),
-        edges,
-        directed,
-    })
+    Ok(CpDag { variables: columns.iter().map(|s| s.to_string()).collect(), edges, directed })
 }
 
 #[cfg(test)]
@@ -293,8 +290,7 @@ mod tests {
         let n = 2000;
         let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let r =
-            RelationBuilder::new("t").float_col("a", &a).float_col("b", &b).build().unwrap();
+        let r = RelationBuilder::new("t").float_col("a", &a).float_col("b", &b).build().unwrap();
         let g = discover_skeleton(&r, &["a", "b"], &SkeletonConfig::default()).unwrap();
         assert!(g.edges.is_empty());
     }

@@ -102,11 +102,7 @@ impl LocalDataStore {
                 let raw_sketch = build_sketch(&clipped, &self.sketch_config)?;
                 let fpm = FactorizedMechanism::new(self.fpm_config);
                 let privatized = fpm.privatize(&raw_sketch, b, seed)?;
-                Ok(ProviderUpload {
-                    sketch: privatized.sketch,
-                    profile,
-                    budget: Some(b),
-                })
+                Ok(ProviderUpload { sketch: privatized.sketch, profile, budget: Some(b) })
             }
         }
     }

@@ -93,8 +93,7 @@ impl CentralPlatform {
 
         // Train the final proxy model on the augmented statistics.
         let mut model = LinearModel::new(RidgeConfig { lambda: config.lambda, intercept: true });
-        let features: Vec<&str> =
-            outcome.state.features().iter().map(|s| s.as_str()).collect();
+        let features: Vec<&str> = outcome.state.features().iter().map(|s| s.as_str()).collect();
         let triple = outcome.state.train_triple();
         let sys = triple
             .lr_system(&features, &request.task.target, true)
@@ -164,9 +163,8 @@ mod tests {
         let c = corpus();
         let platform = CentralPlatform::new(PlatformConfig::default());
         let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
-        let upload = LocalDataStore::new(c.providers[0].clone())
-            .prepare_upload(Some(b), 1)
-            .unwrap();
+        let upload =
+            LocalDataStore::new(c.providers[0].clone()).prepare_upload(Some(b), 1).unwrap();
         platform.register(upload.clone()).unwrap();
         assert!(platform.register(upload).is_err());
     }
@@ -177,8 +175,7 @@ mod tests {
         let platform = CentralPlatform::new(PlatformConfig::default());
         let b = PrivacyBudget::new(2.0, 1e-6).unwrap();
         for p in &c.providers {
-            let upload =
-                LocalDataStore::new(p.clone()).prepare_upload(Some(b), 11).unwrap();
+            let upload = LocalDataStore::new(p.clone()).prepare_upload(Some(b), 11).unwrap();
             platform.register(upload).unwrap();
         }
         let r1 = platform.search(&request(&c), &SearchConfig::default()).unwrap();

@@ -166,9 +166,7 @@ mod tests {
         let cfg = CausalConfig::default();
         // ATE = 0.5 · 0.5 · 0.6 = 0.15
         assert!((cfg.true_ate() - 0.15).abs() < 1e-12);
-        assert!(
-            (cfg.expected_y_do(1) - cfg.expected_y_do(0) - cfg.true_ate()).abs() < 1e-12
-        );
+        assert!((cfg.expected_y_do(1) - cfg.expected_y_do(0) - cfg.true_ate()).abs() < 1e-12);
         // Default bias keeps observational error near 10% relative.
         let rel_err = (cfg.observational_diff() - cfg.true_ate()).abs() / cfg.true_ate();
         assert!(rel_err > 0.05 && rel_err < 0.2, "{rel_err}");

@@ -203,6 +203,7 @@ fn requester_relation(
 }
 
 /// Generate the corpus.
+#[allow(clippy::needless_range_loop)] // zone/slot loops index several parallel arrays
 pub fn generate_corpus(cfg: &CorpusConfig) -> NycCorpus {
     assert!(
         cfg.num_signal + cfg.num_union + cfg.num_novelty_traps <= cfg.num_datasets,
@@ -215,8 +216,7 @@ pub fn generate_corpus(cfg: &CorpusConfig) -> NycCorpus {
         .map(|_| (0..cfg.key_domain).map(|_| uniform_pm1(&mut rng)).collect())
         .collect();
     // Decaying signal coefficients: strongest-first greedy order is planted.
-    let betas: Vec<f64> =
-        (0..cfg.num_signal).map(|k| 0.55 * 0.82f64.powi(k as i32)).collect();
+    let betas: Vec<f64> = (0..cfg.num_signal).map(|k| 0.55 * 0.82f64.powi(k as i32)).collect();
     let beta_base = 0.15;
 
     let train =
@@ -230,8 +230,8 @@ pub fn generate_corpus(cfg: &CorpusConfig) -> NycCorpus {
     roles.shuffle(&mut rng);
     let signal_slots = &roles[..cfg.num_signal];
     let union_slots = &roles[cfg.num_signal..cfg.num_signal + cfg.num_union];
-    let trap_slots =
-        &roles[cfg.num_signal + cfg.num_union..cfg.num_signal + cfg.num_union + cfg.num_novelty_traps];
+    let trap_slots = &roles
+        [cfg.num_signal + cfg.num_union..cfg.num_signal + cfg.num_union + cfg.num_novelty_traps];
 
     let mut providers: Vec<Option<Relation>> = (0..cfg.num_datasets).map(|_| None).collect();
     let mut gt = GroundTruth {
@@ -256,9 +256,7 @@ pub fn generate_corpus(cfg: &CorpusConfig) -> NycCorpus {
             if rng.gen::<f64>() <= coverage {
                 for _ in 0..per_key {
                     zones.push(z as i64);
-                    feat.push(
-                        (latents[k][z] + 0.05 * uniform_pm1(&mut rng)).clamp(-1.0, 1.0),
-                    );
+                    feat.push((latents[k][z] + 0.05 * uniform_pm1(&mut rng)).clamp(-1.0, 1.0));
                 }
             }
         }

@@ -81,6 +81,9 @@ pub struct DiscoveryIndex {
     doc_freq: FxHashMap<String, f64>,
     /// Total indexed columns (documents).
     num_docs: f64,
+    /// Memoized IDF table; rebuilt lazily after registrations invalidate it
+    /// (previously recomputed from scratch on every union-candidate query).
+    idf_cache: std::sync::Mutex<Option<std::sync::Arc<FxHashMap<String, f64>>>>,
 }
 
 impl DiscoveryIndex {
@@ -94,6 +97,7 @@ impl DiscoveryIndex {
             key_columns: Vec::new(),
             doc_freq: FxHashMap::default(),
             num_docs: 0.0,
+            idf_cache: std::sync::Mutex::new(None),
         }
     }
 
@@ -119,6 +123,8 @@ impl DiscoveryIndex {
         if self.by_name.contains_key(&profile.name) {
             return;
         }
+        // New documents change document frequencies: drop the memoized IDF.
+        *self.idf_cache.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
         let di = self.datasets.len() as u32;
         self.by_name.insert(profile.name.clone(), self.datasets.len());
         for (ci, col) in profile.columns.iter().enumerate() {
@@ -148,12 +154,21 @@ impl DiscoveryIndex {
             && !col.minhash.is_empty()
     }
 
-    /// Current IDF table (`ln(1 + N/df)`), computed on demand.
-    fn idf(&self) -> FxHashMap<String, f64> {
-        self.doc_freq
-            .iter()
-            .map(|(t, &df)| (t.clone(), (1.0 + self.num_docs / df.max(1.0)).ln()))
-            .collect()
+    /// Current IDF table (`ln(1 + N/df)`), memoized until the next
+    /// registration (it was previously rebuilt on every union query).
+    fn idf(&self) -> std::sync::Arc<FxHashMap<String, f64>> {
+        let mut cache = self.idf_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(idf) = cache.as_ref() {
+            return std::sync::Arc::clone(idf);
+        }
+        let idf: std::sync::Arc<FxHashMap<String, f64>> = std::sync::Arc::new(
+            self.doc_freq
+                .iter()
+                .map(|(t, &df)| (t.clone(), (1.0 + self.num_docs / df.max(1.0)).ln()))
+                .collect(),
+        );
+        *cache = Some(std::sync::Arc::clone(&idf));
+        idf
     }
 
     /// `Discover(R, ⋈)`: join candidates for a query dataset, best column
@@ -395,6 +410,37 @@ mod tests {
             .unwrap();
         let cands = idx.find_join_candidates(&profile(&q));
         assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn idf_cache_invalidated_by_registration() {
+        let t = RelationBuilder::new("q")
+            .str_col("boro", &["brooklyn", "queens", "bronx"])
+            .float_col("y", &[1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let same = |name: &str| {
+            RelationBuilder::new(name)
+                .str_col("boro", &["brooklyn", "manhattan", "queens"])
+                .float_col("y", &[4.0, 5.0, 6.0])
+                .build()
+                .unwrap()
+        };
+        let mut idx = index_with(&[&same("a")]);
+        // Prime the cache.
+        let first = idx.find_union_candidates(&profile(&t));
+        assert_eq!(first.len(), 1);
+        // A new registration must be visible (stale IDF would miss it or
+        // keep stale weights).
+        idx.register(profile(&same("b")));
+        let second = idx.find_union_candidates(&profile(&t));
+        assert_eq!(second.len(), 2, "{second:?}");
+        // Cached and fresh IDF agree on identical corpora.
+        let idx2 = index_with(&[&same("a"), &same("b")]);
+        let fresh = idx2.find_union_candidates(&profile(&t));
+        let cached: Vec<f64> = second.iter().map(|c| c.score).collect();
+        let fresh_scores: Vec<f64> = fresh.iter().map(|c| c.score).collect();
+        assert_eq!(cached, fresh_scores);
     }
 
     #[test]

@@ -50,11 +50,7 @@ impl DatasetProfile {
                 terms: TermVector::from_column(col),
             })
             .collect();
-        DatasetProfile {
-            name: relation.name().to_string(),
-            rows: relation.num_rows(),
-            columns,
-        }
+        DatasetProfile { name: relation.name().to_string(), rows: relation.num_rows(), columns }
     }
 
     /// Profile of a column by name.

@@ -84,7 +84,12 @@ impl TermVector {
     /// Cosine similarity of the two TF-IDF-weighted vectors. `idf` maps a
     /// term to its inverse document frequency; unseen terms weigh
     /// `default_idf` (the most-informative weight, for never-indexed terms).
-    pub fn cosine(&self, other: &TermVector, idf: &FxHashMap<String, f64>, default_idf: f64) -> f64 {
+    pub fn cosine(
+        &self,
+        other: &TermVector,
+        idf: &FxHashMap<String, f64>,
+        default_idf: f64,
+    ) -> f64 {
         if self.total == 0.0 || other.total == 0.0 {
             return 0.0;
         }

@@ -35,12 +35,7 @@ pub struct AutoMlConfig {
 
 impl Default for AutoMlConfig {
     fn default() -> Self {
-        AutoMlConfig {
-            budget: Duration::from_secs(10),
-            enforce_budget: true,
-            folds: 4,
-            seed: 17,
-        }
+        AutoMlConfig { budget: Duration::from_secs(10), enforce_budget: true, folds: 4, seed: 17 }
     }
 }
 
@@ -153,7 +148,9 @@ impl AutoMl {
 
         let candidates = zoo(self.config.seed);
         for (ci, (name, make)) in candidates.iter().enumerate() {
-            if self.config.enforce_budget && !results.is_empty() && start.elapsed() >= self.config.budget
+            if self.config.enforce_budget
+                && !results.is_empty()
+                && start.elapsed() >= self.config.budget
             {
                 break;
             }
@@ -177,12 +174,8 @@ impl AutoMl {
             } else {
                 scores.iter().sum::<f64>() / scores.len() as f64
             };
-            results.push(CandidateResult {
-                name: name.clone(),
-                cv_r2,
-                elapsed: t0.elapsed(),
-            });
-            if best.map_or(true, |(_, b)| cv_r2 > b) {
+            results.push(CandidateResult { name: name.clone(), cv_r2, elapsed: t0.elapsed() });
+            if best.is_none_or(|(_, b)| cv_r2 > b) {
                 best = Some((ci, cv_r2));
             }
         }
@@ -226,8 +219,7 @@ mod tests {
     #[test]
     fn picks_nonlinear_model_for_step_data() {
         let xs: Vec<f64> = (0..80).map(|i| i as f64 / 80.0).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|&x| if x > 0.3 { 5.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| if x > 0.3 { 5.0 } else { 0.0 }).collect();
         let data = xy(xs, ys, 1);
         let report = AutoMl::new(AutoMlConfig::default()).run(&data).unwrap();
         assert!(
@@ -240,11 +232,7 @@ mod tests {
 
     #[test]
     fn budget_stops_early_but_runs_at_least_one() {
-        let data = xy(
-            (0..40).map(|i| i as f64).collect(),
-            (0..40).map(|i| i as f64).collect(),
-            1,
-        );
+        let data = xy((0..40).map(|i| i as f64).collect(), (0..40).map(|i| i as f64).collect(), 1);
         let cfg = AutoMlConfig {
             budget: Duration::from_nanos(1),
             enforce_budget: true,
@@ -256,11 +244,7 @@ mod tests {
 
     #[test]
     fn non_enforced_budget_runs_everything() {
-        let data = xy(
-            (0..24).map(|i| i as f64).collect(),
-            (0..24).map(|i| i as f64).collect(),
-            1,
-        );
+        let data = xy((0..24).map(|i| i as f64).collect(), (0..24).map(|i| i as f64).collect(), 1);
         let cfg = AutoMlConfig {
             budget: Duration::from_nanos(1),
             enforce_budget: false,

@@ -140,9 +140,8 @@ fn build_tree(
             nodes.len() - 1
         }
         Some(split) => {
-            let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
-                .iter()
-                .partition(|&&i| data.row(i as usize)[split.feature] <= split.threshold);
+            let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+                idx.iter().partition(|&&i| data.row(i as usize)[split.feature] <= split.threshold);
             // Reserve our slot, then build children.
             nodes.push(Node::Leaf { value: node_mean });
             let me = nodes.len() - 1;
@@ -177,6 +176,7 @@ impl Gbdt {
 }
 
 impl Regressor for Gbdt {
+    #[allow(clippy::needless_range_loop)] // preds/residuals share the row index
     fn fit(&mut self, data: &XyMatrix) -> Result<()> {
         if data.num_rows() == 0 {
             return Err(MlError::EmptyTrainingSet);
@@ -197,7 +197,15 @@ impl Regressor for Gbdt {
                 residuals[i] = data.y[i] - preds[i];
             }
             let mut nodes = Vec::new();
-            build_tree(data, &residuals, all_idx.clone(), 0, &self.config, &mut nodes, &mut scratch);
+            build_tree(
+                data,
+                &residuals,
+                all_idx.clone(),
+                0,
+                &self.config,
+                &mut nodes,
+                &mut scratch,
+            );
             let tree = Tree { nodes };
             for i in 0..n {
                 preds[i] += self.config.learning_rate * tree.predict(data.row(i));

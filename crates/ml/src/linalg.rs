@@ -30,11 +30,7 @@ pub fn solve_ridge(a: &[f64], b: &[f64], n: usize, lambda: f64) -> Result<Vec<f6
                 return Err(MlError::NonFinite("solution contains NaN/inf".into()));
             }
             Err(_) if attempt < 5 => {
-                jitter = if jitter == 0.0 {
-                    1e-10 * trace.max(1.0)
-                } else {
-                    jitter * 100.0
-                };
+                jitter = if jitter == 0.0 { 1e-10 * trace.max(1.0) } else { jitter * 100.0 };
             }
             Err(e) => return Err(e),
         }

@@ -239,11 +239,7 @@ mod tests {
         m.fit_from_system(&sys).unwrap();
         let r2_sys = m.r2_from_system(&sys).unwrap();
 
-        let data = xy(
-            rows.iter().map(|r| r[0]).collect(),
-            rows.iter().map(|r| r[1]).collect(),
-            1,
-        );
+        let data = xy(rows.iter().map(|r| r[0]).collect(), rows.iter().map(|r| r[1]).collect(), 1);
         let preds = m.predict(&data).unwrap();
         let r2_pts = crate::metrics::r2_score(&data.y, &preds).unwrap();
         assert!((r2_sys - r2_pts).abs() < 1e-9, "{r2_sys} vs {r2_pts}");

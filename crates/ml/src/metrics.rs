@@ -30,8 +30,7 @@ pub fn mse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
     if y_true.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
-    Ok(y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>()
-        / y_true.len() as f64)
+    Ok(y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / y_true.len() as f64)
 }
 
 /// Mean absolute error.

@@ -77,6 +77,7 @@ impl Mlp {
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
     fn forward(&self, xs: &[f64], hidden_out: &mut [f64]) -> f64 {
         let h = self.config.hidden;
         let d = self.x_mean.len();

@@ -70,10 +70,7 @@ impl BudgetAccountant {
             )));
         }
         self.limits.insert(dataset.to_string(), budget);
-        self.spent.insert(
-            dataset.to_string(),
-            PrivacyBudget { epsilon: 0.0, delta: 0.0 },
-        );
+        self.spent.insert(dataset.to_string(), PrivacyBudget { epsilon: 0.0, delta: 0.0 });
         Ok(())
     }
 

@@ -67,28 +67,44 @@ pub struct FactorizedMechanism {
     config: FpmConfig,
 }
 
-/// Add symmetric Gaussian noise to a triple in place.
+/// Add symmetric Gaussian noise to raw `(c, s, Q)` slabs in place — the
+/// zero-allocation kernel shared by the full-triple and arena-backed keyed
+/// paths. Draw order (c, then s, then upper-triangular Q) is part of the
+/// release's determinism contract.
 ///
 /// `Q` receives one noise draw per *unordered* entry, mirrored, so the
 /// released matrix stays symmetric (solvers and semi-ring ops rely on it).
-pub(crate) fn noise_triple(t: &mut CovarTriple, sigma: f64, rng: &mut NoiseRng, clamp: bool) {
-    let m = t.num_features();
-    t.c += rng.gaussian(sigma);
-    if clamp && t.c < 0.0 {
-        t.c = 0.0;
+pub(crate) fn noise_slabs(
+    c: &mut f64,
+    s: &mut [f64],
+    q: &mut [f64],
+    sigma: f64,
+    rng: &mut NoiseRng,
+    clamp: bool,
+) {
+    let m = s.len();
+    *c += rng.gaussian(sigma);
+    if clamp && *c < 0.0 {
+        *c = 0.0;
     }
-    for s in &mut t.s {
-        *s += rng.gaussian(sigma);
+    for v in s.iter_mut() {
+        *v += rng.gaussian(sigma);
     }
     for i in 0..m {
         for j in i..m {
             let n = rng.gaussian(sigma);
-            t.q[i * m + j] += n;
+            q[i * m + j] += n;
             if i != j {
-                t.q[j * m + i] = t.q[i * m + j];
+                q[j * m + i] = q[i * m + j];
             }
         }
     }
+}
+
+/// [`noise_slabs`] over a materialized triple (full-sketch path).
+pub(crate) fn noise_triple(t: &mut CovarTriple, sigma: f64, rng: &mut NoiseRng, clamp: bool) {
+    let CovarTriple { c, s, q, .. } = t;
+    noise_slabs(c, s, q, sigma, rng, clamp);
 }
 
 impl FactorizedMechanism {
@@ -161,10 +177,12 @@ impl FactorizedMechanism {
             Some(kb) => {
                 for keyed in &mut out.keyed {
                     // Parallel composition across groups: each group gets the
-                    // full per-sketch budget.
+                    // full per-sketch budget. The arena walk noises slabs in
+                    // place — key-sorted visiting order, zero allocation.
                     let sigma = gaussian_sigma(delta2, kb)?;
-                    keyed.map_triples(|t| {
-                        noise_triple(t, sigma, &mut rng, self.config.clamp_counts)
+                    let clamp = self.config.clamp_counts;
+                    keyed.arena_mut().for_each_row_mut(|c, s, q| {
+                        noise_slabs(c, s, q, sigma, &mut rng, clamp);
                     });
                     sigma_keyed.push((keyed.key_column.clone(), sigma));
                 }
@@ -271,9 +289,7 @@ mod tests {
         let s = sketch(20);
         let fpm = FactorizedMechanism::new(FpmConfig::default());
         for seed in 0..20 {
-            let p = fpm
-                .privatize(&s, PrivacyBudget::new(0.01, 1e-7).unwrap(), seed)
-                .unwrap();
+            let p = fpm.privatize(&s, PrivacyBudget::new(0.01, 1e-7).unwrap(), seed).unwrap();
             assert!(p.sketch.full.c >= 0.0);
             for keyed in &p.sketch.keyed {
                 for (_, t) in keyed.sorted_pairs() {
@@ -286,8 +302,7 @@ mod tests {
     #[test]
     fn full_weight_one_drops_keyed_sketches() {
         let s = sketch(100);
-        let fpm =
-            FactorizedMechanism::new(FpmConfig { full_weight: 1.0, ..Default::default() });
+        let fpm = FactorizedMechanism::new(FpmConfig { full_weight: 1.0, ..Default::default() });
         let p = fpm.privatize(&s, budget(), 4).unwrap();
         assert!(p.sketch.keyed.is_empty());
         assert!(p.sigma_full.is_finite());
@@ -296,8 +311,7 @@ mod tests {
     #[test]
     fn full_weight_zero_spends_everything_on_keyed() {
         let s = sketch(100);
-        let fpm =
-            FactorizedMechanism::new(FpmConfig { full_weight: 0.0, ..Default::default() });
+        let fpm = FactorizedMechanism::new(FpmConfig { full_weight: 0.0, ..Default::default() });
         let p = fpm.privatize(&s, budget(), 5).unwrap();
         assert!(p.sigma_full.is_infinite());
         assert_eq!(p.sigma_keyed.len(), 1);

@@ -23,7 +23,7 @@ impl Histogram {
         let groups = relation.group_by(columns)?;
         let mut counts: FxHashMap<Vec<KeyValue>, f64> = FxHashMap::default();
         for (key, rows) in groups {
-            if key.iter().any(|k| *k == KeyValue::Null) {
+            if key.contains(&KeyValue::Null) {
                 continue;
             }
             counts.insert(key, rows.len() as f64);
@@ -211,10 +211,8 @@ mod tests {
 
     #[test]
     fn null_rows_dropped() {
-        let r = RelationBuilder::new("t")
-            .opt_int_col("a", &[Some(1), None, Some(1)])
-            .build()
-            .unwrap();
+        let r =
+            RelationBuilder::new("t").opt_int_col("a", &[Some(1), None, Some(1)]).build().unwrap();
         let h = Histogram::from_relation(&r, &["a"]).unwrap();
         assert_eq!(h.total(), 2.0);
     }

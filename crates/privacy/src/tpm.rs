@@ -52,13 +52,7 @@ impl TupleMechanism {
                     data: data
                         .iter()
                         .enumerate()
-                        .map(|(i, v)| {
-                            if validity.get(i) {
-                                v + rng.laplace(scale)
-                            } else {
-                                *v
-                            }
-                        })
+                        .map(|(i, v)| if validity.get(i) { v + rng.laplace(scale) } else { *v })
                         .collect(),
                     validity: validity.clone(),
                 },
@@ -67,13 +61,15 @@ impl TupleMechanism {
                     data: data
                         .iter()
                         .enumerate()
-                        .map(|(i, v)| {
-                            if validity.get(i) {
-                                *v as f64 + rng.laplace(scale)
-                            } else {
-                                0.0
-                            }
-                        })
+                        .map(
+                            |(i, v)| {
+                                if validity.get(i) {
+                                    *v as f64 + rng.laplace(scale)
+                                } else {
+                                    0.0
+                                }
+                            },
+                        )
                         .collect(),
                     validity: validity.clone(),
                 },
@@ -88,12 +84,7 @@ impl TupleMechanism {
             fields[idx].data_type = mileena_relation::DataType::Float;
             let mut cols = out.columns().to_vec();
             cols[idx] = noisy;
-            out = Relation::new(
-                out.name(),
-                mileena_relation::Schema::new(fields)
-                    .map_err(mileena_relation::RelationError::from)?,
-                cols,
-            )?;
+            out = Relation::new(out.name(), mileena_relation::Schema::new(fields)?, cols)?;
         }
         Ok(out)
     }
@@ -134,7 +125,7 @@ mod tests {
             }
         }
         assert_eq!(changed, 50); // Laplace noise is a.s. nonzero
-        // Untouched column intact.
+                                 // Untouched column intact.
         assert_eq!(p.value(3, "k").unwrap(), r.value(3, "k").unwrap());
     }
 
@@ -149,8 +140,7 @@ mod tests {
             let r = rel(n);
             let p = tpm.privatize_relation(&r, &["x"], b, 7).unwrap();
             let true_sum: f64 = (0..n).map(|i| (i % 7) as f64 / 7.0).sum();
-            let noisy_sum: f64 =
-                (0..n).map(|i| p.value(i, "x").unwrap().as_f64().unwrap()).sum();
+            let noisy_sum: f64 = (0..n).map(|i| p.value(i, "x").unwrap().as_f64().unwrap()).sum();
             errs.push((noisy_sum - true_sum).abs());
         }
         assert!(errs[1] > errs[0], "{errs:?}");
@@ -162,10 +152,7 @@ mod tests {
         let tpm = TupleMechanism::new(1.0);
         let b = PrivacyBudget::new(1.0, 0.0).unwrap();
         let p = tpm.privatize_relation(&r, &["k"], b, 2).unwrap();
-        assert_eq!(
-            p.schema().field("k").unwrap().data_type,
-            mileena_relation::DataType::Float
-        );
+        assert_eq!(p.schema().field("k").unwrap().data_type, mileena_relation::DataType::Float);
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl Bitmap {
     /// Append one bit.
     #[inline]
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         let i = self.len;

@@ -99,19 +99,13 @@ mod tests {
 
     #[test]
     fn rejects_ragged_columns() {
-        let r = RelationBuilder::new("bad")
-            .int_col("a", &[1, 2])
-            .float_col("b", &[0.5])
-            .build();
+        let r = RelationBuilder::new("bad").int_col("a", &[1, 2]).float_col("b", &[0.5]).build();
         assert!(r.is_err());
     }
 
     #[test]
     fn rejects_duplicate_names() {
-        let r = RelationBuilder::new("bad")
-            .int_col("a", &[1])
-            .float_col("a", &[0.5])
-            .build();
+        let r = RelationBuilder::new("bad").int_col("a", &[1]).float_col("a", &[0.5]).build();
         assert!(r.is_err());
     }
 }

@@ -241,24 +241,15 @@ impl Column {
     /// Append all rows of `other` (types must match exactly).
     pub fn extend_from(&mut self, other: &Column) -> Result<()> {
         match (self, other) {
-            (
-                Column::Int { data, validity },
-                Column::Int { data: od, validity: ov },
-            ) => {
+            (Column::Int { data, validity }, Column::Int { data: od, validity: ov }) => {
                 data.extend_from_slice(od);
                 validity.extend_from(ov);
             }
-            (
-                Column::Float { data, validity },
-                Column::Float { data: od, validity: ov },
-            ) => {
+            (Column::Float { data, validity }, Column::Float { data: od, validity: ov }) => {
                 data.extend_from_slice(od);
                 validity.extend_from(ov);
             }
-            (
-                Column::Str { data, validity },
-                Column::Str { data: od, validity: ov },
-            ) => {
+            (Column::Str { data, validity }, Column::Str { data: od, validity: ov }) => {
                 data.extend_from_slice(od);
                 validity.extend_from(ov);
             }

@@ -133,9 +133,7 @@ pub fn read_csv_from<R: Read>(reader: R, name: &str) -> Result<Relation> {
                     .map(|c| c.as_ref().map(|s| s.parse::<f64>().unwrap()))
                     .collect::<Vec<_>>(),
             ),
-            DataType::Str => Column::from_opt_strs(
-                &cells.iter().map(|c| c.clone()).collect::<Vec<_>>(),
-            ),
+            DataType::Str => Column::from_opt_strs(&cells.to_vec()),
         };
         columns.push(col);
     }
@@ -243,10 +241,8 @@ mod tests {
         let dir = std::env::temp_dir().join("mileena_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.csv");
-        let r = crate::builder::RelationBuilder::new("roundtrip")
-            .int_col("k", &[7])
-            .build()
-            .unwrap();
+        let r =
+            crate::builder::RelationBuilder::new("roundtrip").int_col("k", &[7]).build().unwrap();
         write_csv(&r, &path).unwrap();
         let r2 = read_csv(&path).unwrap();
         assert_eq!(r2.name(), "roundtrip");

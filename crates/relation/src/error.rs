@@ -51,16 +51,12 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
-            RelationError::TypeMismatch {
-                context,
-                expected,
-                found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
-            RelationError::LengthMismatch {
-                context,
-                left,
-                right,
-            } => write!(f, "length mismatch in {context}: {left} vs {right}"),
+            RelationError::TypeMismatch { context, expected, found } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            RelationError::LengthMismatch { context, left, right } => {
+                write!(f, "length mismatch in {context}: {left} vs {right}")
+            }
             RelationError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             RelationError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
             RelationError::InvalidKeyType { column, data_type } => {

@@ -18,10 +18,8 @@ pub type GroupedRows = FxHashMap<Vec<KeyValue>, Vec<u32>>;
 /// NULL keys form their own group (keyed by [`KeyValue::Null`]); callers that
 /// need SQL join semantics must skip that group explicitly.
 pub fn group_rows(relation: &Relation, key_columns: &[&str]) -> Result<GroupedRows> {
-    let idx: Vec<usize> = key_columns
-        .iter()
-        .map(|k| relation.schema().index_of(k))
-        .collect::<Result<_>>()?;
+    let idx: Vec<usize> =
+        key_columns.iter().map(|k| relation.schema().index_of(k)).collect::<Result<_>>()?;
     let mut groups: GroupedRows = FxHashMap::default();
     for i in 0..relation.num_rows() {
         let mut key = Vec::with_capacity(idx.len());

@@ -49,14 +49,10 @@ impl Relation {
             )));
         }
         // Resolve key columns up front (also validates names/types).
-        let rkey_idx: Vec<usize> = right_keys
-            .iter()
-            .map(|k| right.schema().index_of(k))
-            .collect::<Result<_>>()?;
-        let lkey_idx: Vec<usize> = left_keys
-            .iter()
-            .map(|k| self.schema().index_of(k))
-            .collect::<Result<_>>()?;
+        let rkey_idx: Vec<usize> =
+            right_keys.iter().map(|k| right.schema().index_of(k)).collect::<Result<_>>()?;
+        let lkey_idx: Vec<usize> =
+            left_keys.iter().map(|k| self.schema().index_of(k)).collect::<Result<_>>()?;
 
         // Build phase on the right (usually the smaller augmentation table).
         let mut table: FxHashMap<Vec<KeyValue>, Vec<u32>> = FxHashMap::default();

@@ -16,15 +16,14 @@ impl Relation {
         for (ci, col) in columns.iter_mut().enumerate() {
             col.extend_from(other.column_at(mapping[ci]))?;
         }
-        Relation::new(
-            format!("{}∪{}", self.name(), other.name()),
-            self.schema().clone(),
-            columns,
-        )
+        Relation::new(format!("{}∪{}", self.name(), other.name()), self.schema().clone(), columns)
     }
 
     /// Union of many relations onto `self` (left fold).
-    pub fn union_all<'a, I: IntoIterator<Item = &'a Relation>>(&self, others: I) -> Result<Relation> {
+    pub fn union_all<'a, I: IntoIterator<Item = &'a Relation>>(
+        &self,
+        others: I,
+    ) -> Result<Relation> {
         let mut acc = self.clone();
         for r in others {
             acc = acc.union(r)?;
@@ -40,16 +39,10 @@ mod tests {
 
     #[test]
     fn union_reorders_columns() {
-        let a = RelationBuilder::new("a")
-            .int_col("k", &[1])
-            .float_col("x", &[1.0])
-            .build()
-            .unwrap();
-        let b = RelationBuilder::new("b")
-            .float_col("x", &[2.0])
-            .int_col("k", &[2])
-            .build()
-            .unwrap();
+        let a =
+            RelationBuilder::new("a").int_col("k", &[1]).float_col("x", &[1.0]).build().unwrap();
+        let b =
+            RelationBuilder::new("b").float_col("x", &[2.0]).int_col("k", &[2]).build().unwrap();
         let u = a.union(&b).unwrap();
         assert_eq!(u.num_rows(), 2);
         assert_eq!(u.schema().names(), vec!["k", "x"]);
@@ -69,11 +62,8 @@ mod tests {
         let a = RelationBuilder::new("a").int_col("k", &[1]).build().unwrap();
         let b = RelationBuilder::new("b").float_col("k", &[1.0]).build().unwrap();
         assert!(a.union(&b).is_err());
-        let c = RelationBuilder::new("c")
-            .int_col("k", &[1])
-            .int_col("extra", &[0])
-            .build()
-            .unwrap();
+        let c =
+            RelationBuilder::new("c").int_col("k", &[1]).int_col("extra", &[0]).build().unwrap();
         assert!(a.union(&c).is_err());
     }
 

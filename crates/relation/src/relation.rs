@@ -171,11 +171,7 @@ impl Relation {
     /// Gather the given row indices (in order, duplicates allowed).
     pub fn take(&self, indices: &[u32]) -> Relation {
         let columns = self.columns.iter().map(|c| c.take(indices)).collect();
-        Relation {
-            name: self.name.clone(),
-            schema: self.schema.clone(),
-            columns,
-        }
+        Relation { name: self.name.clone(), schema: self.schema.clone(), columns }
     }
 
     /// Keep rows where `mask` is true. `mask.len()` must equal `num_rows`.

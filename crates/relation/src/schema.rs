@@ -84,11 +84,7 @@ impl Schema {
 
     /// Names of numeric (int/float) columns.
     pub fn numeric_names(&self) -> Vec<&str> {
-        self.fields
-            .iter()
-            .filter(|f| f.data_type.is_numeric())
-            .map(|f| f.name.as_str())
-            .collect()
+        self.fields.iter().filter(|f| f.data_type.is_numeric()).map(|f| f.name.as_str()).collect()
     }
 
     /// Append a field (rejecting duplicates).

@@ -168,8 +168,7 @@ impl<'a> ArdaSearch<'a> {
                 // Join-survival guard, mirroring the sketch path.
                 if matches!(aug, Augmentation::Join { .. }) {
                     let ratio = atrain.num_rows() as f64 / train.num_rows().max(1) as f64;
-                    if ratio < self.config.min_join_survival
-                        || ratio > self.config.max_join_fanout
+                    if ratio < self.config.min_join_survival || ratio > self.config.max_join_fanout
                     {
                         continue;
                     }
@@ -177,7 +176,7 @@ impl<'a> ArdaSearch<'a> {
                 let mut feats = features.clone();
                 feats.extend(added);
                 let Ok(score) = self.score(&atrain, &atest, &feats, &target) else { continue };
-                if best.map_or(true, |(_, b)| score > b) {
+                if best.is_none_or(|(_, b)| score > b) {
                     best = Some((i, score));
                 }
             }
@@ -281,8 +280,7 @@ mod tests {
             budget: None,
             key_columns: None,
         };
-        let cfg2 =
-            SearchConfig { time_budget: std::time::Duration::ZERO, ..Default::default() };
+        let cfg2 = SearchConfig { time_budget: std::time::Duration::ZERO, ..Default::default() };
         let arda = ArdaSearch::new(cfg2, &corpus.providers, true);
         let out = arda.run(&request, all_candidates(&corpus)).unwrap();
         assert!(out.steps.is_empty());

@@ -1,0 +1,255 @@
+//! Per-search candidate projection cache.
+//!
+//! The greedy loop evaluates every remaining candidate every round. Before
+//! this cache, each evaluation re-fetched the candidate's sketch from the
+//! store (lock + `Arc` clone) and re-projected it onto the task feature
+//! space — a fresh O(d·m²) allocation pass per evaluation, repeated across
+//! rounds. [`CandidateCache::build`] does that work **once** per candidate
+//! (in parallel), so a round's evaluation touches only pre-projected arena
+//! slabs.
+//!
+//! Cache validity:
+//! - join projections depend only on the candidate itself — valid forever;
+//! - union projections target the requester's feature space, which joins
+//!   grow — entries carry their target (`want`) and are re-projected on
+//!   mismatch (after a join, a union candidate lacking the joined features
+//!   fails that re-projection and is dropped, exactly like the uncached
+//!   path).
+
+use crate::candidates::Augmentation;
+use crate::error::Result;
+use crate::proxy::{
+    project_join_candidate, CandidateScore, JoinProjection, ProxyState, UnionProjection,
+};
+use mileena_sketch::{DatasetSketch, SketchStore};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// What a candidate pre-computes for the evaluation loop.
+#[derive(Debug, Clone)]
+enum CachedKind {
+    /// Join: projection is state-independent.
+    Join(JoinProjection),
+    /// Union: projection targets a feature space; the sketch is kept for
+    /// re-projection after joins change that space.
+    Union(UnionProjection, Arc<DatasetSketch>),
+}
+
+/// One cached candidate, ready to evaluate against any [`ProxyState`]
+/// descended from the state the cache was built for.
+#[derive(Debug, Clone)]
+pub struct CachedCandidate {
+    /// The augmentation this entry evaluates.
+    pub aug: Augmentation,
+    kind: CachedKind,
+}
+
+impl CachedCandidate {
+    /// Score this candidate against the current state without committing.
+    pub fn evaluate(&self, state: &ProxyState) -> Result<CandidateScore> {
+        match &self.kind {
+            CachedKind::Join(projection) => {
+                state.evaluate_join_cached(self.aug.dataset(), self.query_key(), projection)
+            }
+            CachedKind::Union(projection, sketch) => {
+                if state.union_projection_valid(projection) {
+                    state.evaluate_union_cached(projection)
+                } else {
+                    // Feature space moved (a join committed): re-project.
+                    let fresh = state.project_union_candidate(sketch)?;
+                    state.evaluate_union_cached(&fresh)
+                }
+            }
+        }
+    }
+
+    /// Commit this candidate into the state.
+    pub fn apply(&self, state: &mut ProxyState) -> Result<()> {
+        match &self.kind {
+            CachedKind::Join(projection) => {
+                state.apply_join_cached(self.aug.dataset(), self.query_key(), projection)
+            }
+            CachedKind::Union(projection, sketch) => {
+                if state.union_projection_valid(projection) {
+                    state.apply_union_cached(projection)
+                } else {
+                    let fresh = state.project_union_candidate(sketch)?;
+                    state.apply_union_cached(&fresh)
+                }
+            }
+        }
+    }
+
+    /// Re-align a stale union projection after a committed join changed the
+    /// feature space; returns `false` when the candidate can no longer
+    /// evaluate (then it should be dropped). The greedy loop calls this once
+    /// per join commit so evaluations never re-project.
+    pub fn refresh(&mut self, state: &ProxyState) -> bool {
+        match &mut self.kind {
+            CachedKind::Join(_) => true,
+            CachedKind::Union(projection, sketch) => {
+                if state.union_projection_valid(projection) {
+                    return true;
+                }
+                match state.project_union_candidate(sketch) {
+                    Ok(fresh) => {
+                        *projection = fresh;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    fn query_key(&self) -> &str {
+        match &self.aug {
+            Augmentation::Join { query_key, .. } => query_key,
+            Augmentation::Union { .. } => unreachable!("unions have no query key"),
+        }
+    }
+}
+
+/// The projected candidate set for one search.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateCache {
+    entries: Vec<CachedCandidate>,
+    /// Candidates whose projection failed outright (missing keyed sketch,
+    /// no features to add, missing task columns) — they could never score
+    /// under any state, so they are dropped before round 1.
+    pub dropped: usize,
+}
+
+impl CandidateCache {
+    /// Project every candidate once, in parallel, against the initial
+    /// state's feature space.
+    pub fn build(
+        state: &ProxyState,
+        candidates: Vec<Augmentation>,
+        store: &SketchStore,
+    ) -> CandidateCache {
+        let target_interner = state.key_interner();
+        let projected: Vec<Option<CachedCandidate>> = candidates
+            .par_iter()
+            .map(|aug| {
+                let sketch = store.get(aug.dataset()).ok()?;
+                let kind = match aug {
+                    Augmentation::Join { candidate_key, .. } => {
+                        let mut projection = project_join_candidate(&sketch, candidate_key).ok()?;
+                        // Align onto the state's key space here, once — the
+                        // eval hot loop must never re-intern (isolated-store
+                        // setups would otherwise remap per evaluation).
+                        if let Some(target) = &target_interner {
+                            if !Arc::ptr_eq(projection.proj.arena().interner(), target) {
+                                projection.proj = mileena_sketch::KeyedSketch::from_arena(
+                                    projection.proj.key_column.clone(),
+                                    projection.proj.arena().reinterned(target),
+                                );
+                            }
+                        }
+                        CachedKind::Join(projection)
+                    }
+                    Augmentation::Union { .. } => {
+                        CachedKind::Union(state.project_union_candidate(&sketch).ok()?, sketch)
+                    }
+                };
+                Some(CachedCandidate { aug: aug.clone(), kind })
+            })
+            .collect();
+        let total = projected.len();
+        let entries: Vec<CachedCandidate> = projected.into_iter().flatten().collect();
+        CandidateCache { dropped: total - entries.len(), entries }
+    }
+
+    /// The cached candidates (ownership passes to the greedy loop).
+    pub fn into_entries(self) -> Vec<CachedCandidate> {
+        self.entries
+    }
+
+    /// Number of cached candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing survived projection.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TaskSpec;
+    use mileena_relation::RelationBuilder;
+    use mileena_sketch::{build_sketch, SketchConfig};
+
+    fn fixture() -> (ProxyState, SketchStore, Vec<Augmentation>) {
+        let zones: Vec<i64> = (0..50).collect();
+        let train = RelationBuilder::new("train")
+            .int_col("zone", &zones)
+            .float_col("base_x", &zones.iter().map(|z| (*z % 7) as f64).collect::<Vec<_>>())
+            .float_col("y", &zones.iter().map(|z| (*z % 5) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let prov = RelationBuilder::new("prov")
+            .int_col("zone", &zones)
+            .float_col("f", &zones.iter().map(|z| (*z % 3) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let req_cfg = SketchConfig {
+            feature_columns: Some(vec!["base_x".into(), "y".into()]),
+            key_columns: Some(vec!["zone".into()]),
+            ..SketchConfig::requester()
+        };
+        let ts = build_sketch(&train, &req_cfg).unwrap();
+        let state = ProxyState::new(&ts, &ts, &TaskSpec::new("y", &["base_x"]), 1e-6).unwrap();
+        let store = SketchStore::new();
+        store.register(build_sketch(&prov, &SketchConfig::default()).unwrap()).unwrap();
+        let augs = vec![
+            Augmentation::Join {
+                dataset: "prov".into(),
+                query_key: "zone".into(),
+                candidate_key: "zone".into(),
+                similarity: 1.0,
+            },
+            Augmentation::Join {
+                dataset: "ghost".into(), // not in store → dropped at build
+                query_key: "zone".into(),
+                candidate_key: "zone".into(),
+                similarity: 1.0,
+            },
+        ];
+        (state, store, augs)
+    }
+
+    #[test]
+    fn build_projects_and_drops() {
+        let (state, store, augs) = fixture();
+        let cache = CandidateCache::build(&state, augs, &store);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.dropped, 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cached_evaluate_matches_uncached() {
+        let (state, store, augs) = fixture();
+        let uncached = state.evaluate(&augs[0], &store.get("prov").unwrap()).unwrap();
+        let cache = CandidateCache::build(&state, augs, &store);
+        let entry = &cache.into_entries()[0];
+        let cached = entry.evaluate(&state).unwrap();
+        assert_eq!(uncached.test_r2, cached.test_r2);
+        assert_eq!(uncached.matched_keys, cached.matched_keys);
+    }
+
+    #[test]
+    fn cached_apply_commits() {
+        let (mut state, store, augs) = fixture();
+        let cache = CandidateCache::build(&state, augs, &store);
+        let entries = cache.into_entries();
+        entries[0].apply(&mut state).unwrap();
+        assert_eq!(state.active_join_key(), Some("zone"));
+        assert!(state.features().iter().any(|f| f == "prov.f"));
+    }
+}

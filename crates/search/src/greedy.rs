@@ -1,11 +1,17 @@
 //! The greedy search loop of §2.2.2: evaluate every remaining candidate via
 //! the sketch proxy, commit the best improvement, repeat.
+//!
+//! Candidates are projected onto the task feature space **once**, before
+//! round 1 ([`CandidateCache`]); every round then scores pre-projected arena
+//! slabs, optionally in parallel via rayon work-stealing.
 
+use crate::cache::{CachedCandidate, CandidateCache};
 use crate::candidates::Augmentation;
 use crate::error::{Result, SearchError};
 use crate::proxy::ProxyState;
 use crate::request::SearchConfig;
 use mileena_sketch::SketchStore;
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// One committed augmentation with its measured effect.
@@ -28,7 +34,9 @@ pub struct SearchOutcome {
     pub final_score: f64,
     /// Committed steps, in order.
     pub steps: Vec<SelectionStep>,
-    /// Number of candidate evaluations performed (across all rounds).
+    /// Number of candidate evaluations performed (across all rounds;
+    /// candidates that can never evaluate are dropped at cache build and
+    /// not counted).
     pub evaluations: usize,
     /// Total wall-clock.
     pub elapsed: std::time::Duration,
@@ -81,6 +89,81 @@ impl GreedySearch {
     pub fn run(
         &self,
         mut state: ProxyState,
+        candidates: Vec<Augmentation>,
+        store: &SketchStore,
+    ) -> Result<SearchOutcome> {
+        let start = Instant::now();
+        let base_score = state.current_score()?;
+        let mut current = base_score;
+        let mut steps = Vec::new();
+        let mut evaluations = 0usize;
+
+        // Project every candidate once; rounds reuse the projections.
+        let mut entries = CandidateCache::build(&state, candidates, store).into_entries();
+
+        for _round in 0..self.config.max_augmentations {
+            if start.elapsed() >= self.config.time_budget {
+                break;
+            }
+            let scored: Vec<(usize, f64)> = if self.config.parallel && entries.len() > 8 {
+                let results: Vec<Option<(usize, f64)>> = entries
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, entry)| self.evaluate_entry(&state, entry).map(|score| (i, score)))
+                    .collect();
+                evaluations += entries.len();
+                results.into_iter().flatten().collect()
+            } else {
+                let mut out = Vec::new();
+                for (i, entry) in entries.iter().enumerate() {
+                    evaluations += 1;
+                    if let Some(score) = self.evaluate_entry(&state, entry) {
+                        out.push((i, score));
+                    }
+                }
+                out
+            };
+
+            let best = scored
+                .into_iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let Some((best_idx, best_score)) = best else { break };
+            if best_score - current < self.config.min_gain {
+                break;
+            }
+            let entry = entries.swap_remove(best_idx);
+            entry.apply(&mut state)?;
+            if matches!(entry.aug, Augmentation::Join { .. }) {
+                // A join grew the feature space: re-project stale union
+                // entries once now (dropping the ones that can't follow),
+                // so per-evaluation work stays projection-free.
+                entries.retain_mut(|e| e.refresh(&state));
+            }
+            current = best_score;
+            steps.push(SelectionStep {
+                augmentation: entry.aug,
+                score_after: best_score,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        Ok(SearchOutcome {
+            base_score,
+            final_score: current,
+            steps,
+            evaluations,
+            elapsed: start.elapsed(),
+            state,
+        })
+    }
+
+    /// Reference implementation without the projection cache: re-fetches
+    /// and re-projects every candidate on every evaluation. Kept for parity
+    /// tests and the cached-vs-uncached latency benchmark; `run` must select
+    /// identical augmentations with identical scores.
+    pub fn run_uncached(
+        &self,
+        mut state: ProxyState,
         mut candidates: Vec<Augmentation>,
         store: &SketchStore,
     ) -> Result<SearchOutcome> {
@@ -94,23 +177,16 @@ impl GreedySearch {
             if start.elapsed() >= self.config.time_budget {
                 break;
             }
-            // Evaluate all remaining candidates against the current state.
-            let scored: Vec<(usize, f64)> = if self.config.parallel && candidates.len() > 8 {
-                self.evaluate_parallel(&state, &candidates, store, &mut evaluations)
-            } else {
-                let mut out = Vec::new();
-                for (i, aug) in candidates.iter().enumerate() {
-                    evaluations += 1;
-                    if let Some(score) = self.evaluate_one(&state, aug, store) {
-                        out.push((i, score));
-                    }
+            let mut scored = Vec::new();
+            for (i, aug) in candidates.iter().enumerate() {
+                evaluations += 1;
+                if let Some(score) = self.evaluate_one(&state, aug, store) {
+                    scored.push((i, score));
                 }
-                out
-            };
-
-            let best = scored.into_iter().max_by(|a, b| {
-                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            }
+            let best = scored
+                .into_iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             let Some((best_idx, best_score)) = best else { break };
             if best_score - current < self.config.min_gain {
                 break;
@@ -136,6 +212,15 @@ impl GreedySearch {
         })
     }
 
+    /// Score one cached candidate against the current state, applying the
+    /// join-survival guard.
+    fn evaluate_entry(&self, state: &ProxyState, entry: &CachedCandidate) -> Option<f64> {
+        let score = entry.evaluate(state).ok()?;
+        self.admit(state, &entry.aug, score)
+    }
+
+    /// Uncached scoring (reference path): store fetch + re-projection +
+    /// pre-composition per evaluation, exactly like the pre-cache code.
     fn evaluate_one(
         &self,
         state: &ProxyState,
@@ -143,9 +228,18 @@ impl GreedySearch {
         store: &SketchStore,
     ) -> Option<f64> {
         let sketch = store.get(aug.dataset()).ok()?;
-        let score = state.evaluate(aug, &sketch).ok()?;
-        // Join-survival guard: don't let a low-overlap or exploding join
-        // eat the training set.
+        let score = state.evaluate_reference(aug, &sketch).ok()?;
+        self.admit(state, aug, score)
+    }
+
+    /// Join-survival guard: don't let a low-overlap or exploding join eat
+    /// the training set.
+    fn admit(
+        &self,
+        state: &ProxyState,
+        aug: &Augmentation,
+        score: crate::proxy::CandidateScore,
+    ) -> Option<f64> {
         if let Augmentation::Join { .. } = aug {
             let rows = state.train_rows();
             if score.train_rows < self.config.min_join_survival * rows
@@ -155,39 +249,6 @@ impl GreedySearch {
             }
         }
         score.test_r2.is_finite().then_some(score.test_r2)
-    }
-
-    fn evaluate_parallel(
-        &self,
-        state: &ProxyState,
-        candidates: &[Augmentation],
-        store: &SketchStore,
-        evaluations: &mut usize,
-    ) -> Vec<(usize, f64)> {
-        let nthreads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let chunk = candidates.len().div_ceil(nthreads);
-        let mut results: Vec<(usize, f64)> = Vec::new();
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, cands) in candidates.chunks(chunk).enumerate() {
-                let state = &*state;
-                handles.push(scope.spawn(move |_| {
-                    let mut out = Vec::new();
-                    for (j, aug) in cands.iter().enumerate() {
-                        if let Some(score) = self.evaluate_one(state, aug, store) {
-                            out.push((ci * chunk + j, score));
-                        }
-                    }
-                    out
-                }));
-            }
-            for h in handles {
-                results.extend(h.join().expect("worker panicked"));
-            }
-        })
-        .expect("scope failed");
-        *evaluations += candidates.len();
-        results
     }
 }
 
@@ -210,8 +271,7 @@ pub fn build_requester_state(
     request: &crate::request::SearchRequest,
     config: &SearchConfig,
 ) -> Result<(ProxyState, mileena_discovery::DatasetProfile)> {
-    let cols: Vec<String> =
-        request.task.all_columns().iter().map(|s| s.to_string()).collect();
+    let cols: Vec<String> = request.task.all_columns().iter().map(|s| s.to_string()).collect();
     let sketch_cfg = mileena_sketch::SketchConfig {
         feature_columns: Some(cols),
         key_columns: request.key_columns.clone(),
@@ -252,9 +312,7 @@ mod tests {
         }
     }
 
-    fn setup(
-        cfg: &CorpusConfig,
-    ) -> (SearchRequest, SketchStore, DiscoveryIndex) {
+    fn setup(cfg: &CorpusConfig) -> (SearchRequest, SketchStore, DiscoveryIndex) {
         let corpus = generate_corpus(cfg);
         let store = SketchStore::new();
         let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
@@ -277,8 +335,8 @@ mod tests {
         let cfg = small_corpus();
         let corpus = generate_corpus(&cfg);
         let (request, store, index) = setup(&cfg);
-        let out = search_with_discovery(&request, &store, &index, &SearchConfig::default())
-            .unwrap();
+        let out =
+            search_with_discovery(&request, &store, &index, &SearchConfig::default()).unwrap();
         assert!(
             out.final_score > out.base_score + 0.3,
             "search should lift R² substantially: {} → {} ({} evals, steps: {:?})",
@@ -301,8 +359,8 @@ mod tests {
         let cfg = small_corpus();
         let corpus = generate_corpus(&cfg);
         let (request, store, index) = setup(&cfg);
-        let out = search_with_discovery(&request, &store, &index, &SearchConfig::default())
-            .unwrap();
+        let out =
+            search_with_discovery(&request, &store, &index, &SearchConfig::default()).unwrap();
         for step in &out.steps {
             assert!(
                 !corpus.ground_truth.trap_datasets.iter().any(|t| t == step.augmentation.dataset()),
@@ -316,8 +374,8 @@ mod tests {
     fn parallel_matches_sequential() {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
-        let seq = search_with_discovery(&request, &store, &index, &SearchConfig::default())
-            .unwrap();
+        let seq =
+            search_with_discovery(&request, &store, &index, &SearchConfig::default()).unwrap();
         let par = search_with_discovery(
             &request,
             &store,
@@ -327,6 +385,48 @@ mod tests {
         .unwrap();
         assert_eq!(seq.selected_joins(), par.selected_joins());
         assert!((seq.final_score - par.final_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_matches_uncached_reference() {
+        // The projection cache is a pure evaluation-plan optimization: the
+        // selected augmentations and scores must be identical to the
+        // re-project-every-time reference path.
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let searcher = GreedySearch::new(SearchConfig::default());
+        let cached = searcher.run(state.clone(), candidates.clone(), &store).unwrap();
+        let reference = searcher.run_uncached(state, candidates, &store).unwrap();
+        assert_eq!(
+            cached.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+            reference.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+        );
+        assert_eq!(cached.final_score, reference.final_score, "bit-for-bit score parity");
+        assert_eq!(cached.base_score, reference.base_score);
+    }
+
+    #[test]
+    fn isolated_store_interner_matches_global() {
+        // A store with its own key space must produce the same search as
+        // the default global-interner store: candidate projections are
+        // aligned once at cache build, never per evaluation.
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let baseline =
+            search_with_discovery(&request, &store, &index, &SearchConfig::default()).unwrap();
+
+        let corpus = generate_corpus(&cfg);
+        let isolated = SketchStore::with_interner(mileena_semiring::KeyInterner::new());
+        for p in &corpus.providers {
+            isolated.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+        }
+        let out =
+            search_with_discovery(&request, &isolated, &index, &SearchConfig::default()).unwrap();
+        assert_eq!(baseline.selected_joins(), out.selected_joins());
+        assert_eq!(baseline.selected_unions(), out.selected_unions());
+        assert!((baseline.final_score - out.final_score).abs() < 1e-12);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! Mechanism's selling point.
 
 pub mod arda;
+pub mod cache;
 pub mod candidates;
 pub mod error;
 pub mod greedy;
@@ -29,6 +30,7 @@ pub mod novelty;
 pub mod proxy;
 pub mod request;
 
+pub use cache::{CachedCandidate, CandidateCache};
 pub use candidates::{enumerate_candidates, Augmentation};
 pub use error::{Result, SearchError};
 pub use greedy::{GreedySearch, SearchOutcome, SelectionStep};

@@ -107,10 +107,8 @@ impl ModeSession {
                 }
             }
             PrivacyMode::Fpm => {
-                let fpm = FactorizedMechanism::new(FpmConfig {
-                    bound: cfg.bound,
-                    ..Default::default()
-                });
+                let fpm =
+                    FactorizedMechanism::new(FpmConfig { bound: cfg.bound, ..Default::default() });
                 for (i, p) in providers.iter().enumerate() {
                     let raw = build_sketch(p, &provider_sketch_cfg())?;
                     let priv_sketch =
@@ -148,14 +146,7 @@ impl ModeSession {
                 apm = Some(mech);
             }
         }
-        Ok(ModeSession {
-            mode,
-            store,
-            apm,
-            providers: providers.to_vec(),
-            cfg,
-            request_counter: 0,
-        })
+        Ok(ModeSession { mode, store, apm, providers: providers.to_vec(), cfg, request_counter: 0 })
     }
 
     /// The privatized sketch store (empty for APM).
@@ -189,26 +180,22 @@ impl ModeSession {
         search_cfg: &SearchConfig,
         privatize_requester: bool,
     ) -> Result<ModeOutcome> {
-        let cols: Vec<String> =
-            request.task.all_columns().iter().map(|s| s.to_string()).collect();
+        let cols: Vec<String> = request.task.all_columns().iter().map(|s| s.to_string()).collect();
         let sketch_cfg = SketchConfig {
             feature_columns: Some(cols),
             key_columns: request.key_columns.clone(),
             ..SketchConfig::requester()
         };
         let (state, profile) = if privatize_requester {
-            let fpm = FactorizedMechanism::new(FpmConfig {
-                bound: self.cfg.bound,
-                ..Default::default()
-            });
+            let fpm =
+                FactorizedMechanism::new(FpmConfig { bound: self.cfg.bound, ..Default::default() });
             let budget = request.budget.unwrap_or(self.cfg.requester_budget);
             let train_raw = build_sketch(&request.train, &sketch_cfg)?;
             let test_raw = build_sketch(&request.test, &sketch_cfg)?;
             // One privatization per requester dataset: the seed derives from
             // the dataset identity, so repeat requests reuse the same noisy
             // release instead of spending budget again (the FPM contract).
-            let seed = self.cfg.seed
-                ^ mileena_relation::hash::fx_hash64(&request.train.name());
+            let seed = self.cfg.seed ^ mileena_relation::hash::fx_hash64(&request.train.name());
             let train_p = fpm.privatize(&train_raw, budget, seed)?;
             let test_p = fpm.privatize(&test_raw, budget, seed ^ 1)?;
             let state = crate::proxy::ProxyState::new(
@@ -247,8 +234,8 @@ impl ModeSession {
         let budget = request.budget.unwrap_or(self.cfg.requester_budget);
         let cols = request.task.all_columns();
         // Like FPM: one tuple-privatized release per requester dataset.
-        let seed = self.cfg.seed
-            ^ mileena_relation::hash::fx_hash64(&request.train.name()).rotate_left(7);
+        let seed =
+            self.cfg.seed ^ mileena_relation::hash::fx_hash64(&request.train.name()).rotate_left(7);
         let noisy_train = tpm.privatize_relation(&request.train, &cols, budget, seed)?;
         let noisy_test = tpm.privatize_relation(&request.test, &cols, budget, seed ^ 1)?;
         let noisy_request = SearchRequest {
@@ -294,9 +281,12 @@ impl ModeSession {
                 candidate_key: jc.candidate_column,
                 similarity: jc.jaccard,
             })
-            .chain(index.find_union_candidates(&profile).into_iter().map(|uc| {
-                Augmentation::Union { dataset: uc.dataset, similarity: uc.score }
-            }))
+            .chain(
+                index
+                    .find_union_candidates(&profile)
+                    .into_iter()
+                    .map(|uc| Augmentation::Union { dataset: uc.dataset, similarity: uc.score }),
+            )
             .collect();
 
         let by_name = |name: &str| -> Result<&Relation> {
@@ -346,9 +336,7 @@ impl ModeSession {
                             .schema()
                             .fields()
                             .iter()
-                            .filter(|f| {
-                                !before.contains(&f.name) && f.data_type.is_numeric()
-                            })
+                            .filter(|f| !before.contains(&f.name) && f.data_type.is_numeric())
                             .map(|f| f.name.clone())
                             .collect();
                         (jt, je, added)
@@ -378,14 +366,12 @@ impl ModeSession {
                 ) else {
                     continue;
                 };
-                let mut model = LinearModel::new(RidgeConfig {
-                    lambda: search_cfg.lambda,
-                    intercept: true,
-                });
+                let mut model =
+                    LinearModel::new(RidgeConfig { lambda: search_cfg.lambda, intercept: true });
                 let Ok(score) = model.fit_evaluate_systems(&tr_sys, &te_sys) else {
                     continue;
                 };
-                if best.map_or(true, |(_, b)| score > b) {
+                if best.is_none_or(|(_, b)| score > b) {
                     best = Some((i, score));
                 }
             }
@@ -443,14 +429,13 @@ pub fn aggregate_per_key(cand: &Relation, key: &str) -> Result<Relation> {
     let mut sorted: Vec<_> = groups.into_iter().collect();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
     for (key_vals, rows) in sorted {
-        if key_vals.iter().any(|k| *k == mileena_relation::KeyValue::Null) {
+        if key_vals.contains(&mileena_relation::KeyValue::Null) {
             continue;
         }
         keys.push(key_vals[0].clone());
         for (ci, col_name) in numeric.iter().enumerate() {
             let col = cand.column(col_name)?;
-            let vals: Vec<f64> =
-                rows.iter().filter_map(|&i| col.f64_at(i as usize)).collect();
+            let vals: Vec<f64> = rows.iter().filter_map(|&i| col.f64_at(i as usize)).collect();
             cols[ci].push(if vals.is_empty() {
                 None
             } else {
@@ -478,8 +463,7 @@ pub fn aggregate_per_key(cand: &Relation, key: &str) -> Result<Relation> {
                 .collect::<Vec<_>>(),
         ),
     };
-    let mut builder =
-        mileena_relation::RelationBuilder::new(cand.name()).col(key, key_col);
+    let mut builder = mileena_relation::RelationBuilder::new(cand.name()).col(key, key_col);
     for (ci, col_name) in numeric.iter().enumerate() {
         builder = builder.opt_float_col(col_name, &cols[ci]);
     }
@@ -598,10 +582,7 @@ mod tests {
             u_fpm > 0.3 * u_nonp,
             "FPM should retain a large share of utility: {u_fpm} vs {u_nonp}"
         );
-        assert!(
-            u_tpm < u_fpm + 0.05,
-            "TPM should not beat FPM: tpm {u_tpm}, fpm {u_fpm}"
-        );
+        assert!(u_tpm < u_fpm + 0.05, "TPM should not beat FPM: tpm {u_tpm}, fpm {u_fpm}");
     }
 
     #[test]

@@ -54,9 +54,8 @@ impl<'a> NoveltySearch<'a> {
             .ok_or_else(|| SearchError::DatasetNotFound(aug.dataset().to_string()))?;
         match aug {
             Augmentation::Join { query_key, candidate_key, .. } => {
-                let train_keys: FxHashSet<KeyValue> = (0..train.num_rows())
-                    .filter_map(|i| train.key(i, query_key).ok())
-                    .collect();
+                let train_keys: FxHashSet<KeyValue> =
+                    (0..train.num_rows()).filter_map(|i| train.key(i, query_key).ok()).collect();
                 let ccol = cand.column(candidate_key)?;
                 let mut unseen = 0usize;
                 let mut total = 0usize;
@@ -103,10 +102,8 @@ impl<'a> NoveltySearch<'a> {
                         }
                     }
                 }
-                let key_novelty =
-                    if total == 0 { 1.0 } else { unseen as f64 / total as f64 };
-                let range_novelty =
-                    if values == 0 { 0.0 } else { outside as f64 / values as f64 };
+                let key_novelty = if total == 0 { 1.0 } else { unseen as f64 / total as f64 };
+                let range_novelty = if values == 0 { 0.0 } else { outside as f64 / values as f64 };
                 Ok(0.3 * key_novelty + 0.7 * range_novelty)
             }
             Augmentation::Union { .. } => {
@@ -200,10 +197,8 @@ impl<'a> NoveltySearch<'a> {
         let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
         let final_score = match (train.to_xy(&frefs, &target), test.to_xy(&frefs, &target)) {
             (Ok(tr), Ok(te)) if tr.num_rows() >= 2 && te.num_rows() >= 2 => {
-                let mut m = LinearModel::new(RidgeConfig {
-                    lambda: self.config.lambda,
-                    intercept: true,
-                });
+                let mut m =
+                    LinearModel::new(RidgeConfig { lambda: self.config.lambda, intercept: true });
                 m.fit_evaluate(&tr, &te).unwrap_or(f64::NEG_INFINITY)
             }
             _ => f64::NEG_INFINITY,

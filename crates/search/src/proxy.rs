@@ -2,9 +2,16 @@
 //! augmentation in milliseconds, without touching raw data.
 //!
 //! [`ProxyState`] tracks the (virtual) augmented training/test relations as
-//! covariance triples plus per-join-key grouped sketches. Scoring a
-//! candidate composes sketches (O(1) union / O(d) join) and solves the
-//! k×k ridge system — independent of relation sizes, the §3.2 claim.
+//! covariance triples plus per-join-key grouped sketches (arena layout: one
+//! shared schema + flat `c`/`s`/`q` slabs per sketch). Scoring a candidate
+//! composes sketches (O(1) union / O(d) join) and solves the k×k ridge
+//! system — independent of relation sizes, the §3.2 claim.
+//!
+//! The per-candidate projection onto the task feature space is split out
+//! ([`project_join_candidate`], [`ProxyState::project_union_candidate`]) so
+//! the search loop can compute it **once** per candidate and reuse it across
+//! every greedy round ([`crate::cache::CandidateCache`]); the one-shot
+//! [`ProxyState::evaluate`] / [`ProxyState::apply`] API projects on the fly.
 //!
 //! Multi-join policy: vertical augmentations compose exactly when they share
 //! one requester join key (the grouped state threads through
@@ -30,16 +37,62 @@ pub struct CandidateScore {
     pub train_rows: f64,
 }
 
-/// Pre-staged state for committing a candidate.
+/// Pre-staged state for scoring and (optionally) committing a candidate.
+///
+/// Scoring needs only the combined triples; the composed per-key sketches
+/// and union fold-in sketches are built **only on the commit path** — they
+/// were the last per-evaluation allocations left after the projection cache
+/// (composing re-groups d keys over (m_a+m_b)² slabs per evaluation, all of
+/// it thrown away for the ~N−1 candidates that don't win the round).
 #[derive(Debug, Clone)]
 struct Staged {
     train_triple: CovarTriple,
     test_triple: CovarTriple,
     new_features: Vec<String>,
-    /// For joins: the composed per-key sketches (train, test) on the key.
+    /// Join keys matched (0 for unions); valid on score-only staging too.
+    matched_keys: usize,
+    /// For committed joins: the composed per-key sketches (train, test).
     composed: Option<(String, KeyedSketch, KeyedSketch)>,
-    /// For unions: candidate keyed sketches to fold in, by key.
+    /// For committed unions: candidate keyed sketches to fold in, by key.
     union_keyed: Option<Vec<(String, KeyedSketch)>>,
+}
+
+/// A join candidate's sketch projected onto exactly the features it would
+/// add — computed once per candidate, reused every round.
+#[derive(Debug, Clone)]
+pub struct JoinProjection {
+    /// Projected keyed sketch over the added features.
+    pub proj: KeyedSketch,
+    /// Qualified feature names the join would add.
+    pub added: Vec<String>,
+}
+
+/// A union candidate renamed and projected onto the requester's current
+/// feature space, plus its keyed sketches for every tracked join key.
+#[derive(Debug, Clone)]
+pub struct UnionProjection {
+    /// The train feature space this projection targets (cache validity tag:
+    /// joins grow the feature space, invalidating union projections).
+    pub want: Vec<String>,
+    /// The candidate's full triple on that feature space.
+    pub projected: CovarTriple,
+    /// Per-tracked-key candidate sketches, projected the same way.
+    pub union_keyed: Vec<(String, KeyedSketch)>,
+}
+
+/// Project a join candidate's keyed sketch onto the features it adds
+/// (everything it sketches minus the join key column itself). This is the
+/// state-independent, O(d·m²) half of join staging — the cacheable part.
+pub fn project_join_candidate(cand: &DatasetSketch, candidate_key: &str) -> Result<JoinProjection> {
+    let cand_k = cand.keyed_for(candidate_key)?;
+    let key_feature = mileena_sketch::qualify(&cand.name, candidate_key);
+    let added: Vec<String> = cand.features.iter().filter(|f| **f != key_feature).cloned().collect();
+    if added.is_empty() {
+        return Err(SearchError::Sketch(format!("join candidate {} adds no features", cand.name)));
+    }
+    let added_refs: Vec<&str> = added.iter().map(|s| s.as_str()).collect();
+    let arena = cand_k.arena().project(&added_refs)?;
+    Ok(JoinProjection { proj: KeyedSketch::from_arena(cand_k.key_column.clone(), arena), added })
 }
 
 /// The evolving augmented-task state.
@@ -87,12 +140,10 @@ impl ProxyState {
         let cols = task.all_columns();
         let train_triple = train.full.project(&cols)?;
         let test_triple = test.full.project(&cols)?;
+        // One arena projection per keyed sketch: single pass over the slabs,
+        // no per-key triple clones.
         let project_keyed = |ks: &KeyedSketch| -> Result<KeyedSketch> {
-            let mut groups = FxHashMap::default();
-            for (k, t) in &ks.groups {
-                groups.insert(k.clone(), t.project(&cols)?);
-            }
-            Ok(KeyedSketch::new(ks.key_column.clone(), groups))
+            Ok(KeyedSketch::from_arena(ks.key_column.clone(), ks.arena().project(&cols)?))
         };
         let mut train_keyed = FxHashMap::default();
         for ks in &train.keyed {
@@ -139,6 +190,19 @@ impl ProxyState {
         self.active_join_key.as_deref()
     }
 
+    /// Join-key columns currently tracked exactly.
+    pub fn tracked_keys(&self) -> Vec<&str> {
+        self.train_keyed.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// The key space this state's grouped sketches index into (None when no
+    /// keyed sketches are tracked). Candidate projections are aligned onto
+    /// it **once** at cache build so the evaluation hot loop never
+    /// re-interns.
+    pub fn key_interner(&self) -> Option<std::sync::Arc<mileena_semiring::KeyInterner>> {
+        self.train_keyed.values().next().map(|ks| std::sync::Arc::clone(ks.arena().interner()))
+    }
+
     /// Train the ridge proxy on `train` stats and score R² on `test` stats,
     /// over the given feature set.
     fn score_triples(
@@ -160,65 +224,67 @@ impl ProxyState {
         self.score_triples(&self.train_triple, &self.test_triple, &self.features)
     }
 
-    /// Stage a union candidate: add the provider's full triple (projected
-    /// and renamed onto the requester's columns) to the train triple.
-    fn stage_union(&self, cand: &DatasetSketch) -> Result<Staged> {
+    /// Rename and project a union candidate onto the requester's current
+    /// feature space — the cacheable half of union staging (valid while the
+    /// train feature space is unchanged, i.e. until a join commits).
+    pub fn project_union_candidate(&self, cand: &DatasetSketch) -> Result<UnionProjection> {
         // Map provider-qualified names back to raw; require every task
         // column present.
+        let prefix = format!("{}.", cand.name);
         let rename = |qualified: &str| -> String {
-            qualified.strip_prefix(&format!("{}.", cand.name)).unwrap_or(qualified).to_string()
+            qualified.strip_prefix(&prefix).unwrap_or(qualified).to_string()
         };
-        // Project candidate onto the requester task columns (post-rename).
         let renamed = cand.full.rename_features(|n| rename(n));
-        let want: Vec<&str> = self.train_triple.feature_names();
-        let projected = renamed.project(&want).map_err(|_| {
+        let want: Vec<String> = self.train_triple.features.clone();
+        let want_refs: Vec<&str> = want.iter().map(|s| s.as_str()).collect();
+        let projected = renamed.project(&want_refs).map_err(|_| {
             SearchError::Sketch(format!(
                 "union candidate {} lacks task columns {want:?}",
                 cand.name
             ))
         })?;
-        let stats = eval_union(&self.train_triple, &projected, |n| n.to_string())?;
 
         // Collect candidate keyed sketches for keys we still track exactly,
-        // projected and renamed the same way.
+        // projected and renamed the same way (one arena pass per key), and
+        // aligned onto the tracked sketch's key space so a later fold-in
+        // never re-interns.
         let mut union_keyed = Vec::new();
-        for key in self.train_keyed.keys() {
+        for (key, tracked) in &self.train_keyed {
             if let Ok(ks) = cand.keyed_for(key) {
-                let mut groups = FxHashMap::default();
-                let mut ok = true;
-                for (k, t) in &ks.groups {
-                    let rt = t.rename_features(|n| rename(n));
-                    match rt.project(&want) {
-                        Ok(p) => {
-                            groups.insert(k.clone(), p);
-                        }
-                        Err(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if ok {
-                    union_keyed.push((key.clone(), KeyedSketch::new(key.clone(), groups)));
+                let renamed_arena = ks.arena().renamed(|n| rename(n));
+                if let Ok(projected_arena) = renamed_arena.project(&want_refs) {
+                    let aligned = projected_arena.reinterned(tracked.arena().interner());
+                    union_keyed.push((key.clone(), KeyedSketch::from_arena(key.clone(), aligned)));
                 }
             }
         }
+        Ok(UnionProjection { want, projected, union_keyed })
+    }
+
+    /// Stage a union candidate from its (possibly cached) projection.
+    /// `for_commit` controls whether the fold-in keyed sketches are cloned
+    /// (score-only staging skips them).
+    fn stage_union_with(&self, proj: &UnionProjection, for_commit: bool) -> Result<Staged> {
+        let stats = eval_union(&self.train_triple, &proj.projected, |n| n.to_string())?;
         Ok(Staged {
             train_triple: stats.triple,
             test_triple: self.test_triple.clone(),
             new_features: Vec::new(),
+            matched_keys: 0,
             composed: None,
-            union_keyed: Some(union_keyed),
+            union_keyed: for_commit.then(|| proj.union_keyed.clone()),
         })
     }
 
-    /// Stage a join candidate on `query_key` = requester column,
-    /// `candidate_key` = provider column.
-    fn stage_join(
+    /// Stage a join candidate from its (possibly cached) projection.
+    /// `for_commit` controls whether the composed per-key sketches are
+    /// built (only a committed join needs them).
+    fn stage_join_with(
         &self,
-        cand: &DatasetSketch,
+        cand_name: &str,
         query_key: &str,
-        candidate_key: &str,
+        projection: &JoinProjection,
+        for_commit: bool,
     ) -> Result<Staged> {
         if let Some(active) = &self.active_join_key {
             if active != query_key {
@@ -234,79 +300,58 @@ impl ProxyState {
         let test_k = self.test_keyed.get(query_key).ok_or_else(|| {
             SearchError::Sketch(format!("no grouped test sketch for key {query_key}"))
         })?;
-        let cand_k = cand.keyed_for(candidate_key)?;
 
-        // Features the candidate adds: its qualified features minus the join
-        // key column itself (joining on it makes it redundant).
-        let key_feature = format!("{}.{}", cand.name, candidate_key);
-        let added: Vec<String> =
-            cand.features.iter().filter(|f| **f != key_feature).cloned().collect();
-        if added.is_empty() {
-            return Err(SearchError::Sketch(format!(
-                "join candidate {} adds no features",
-                cand.name
-            )));
-        }
-        let added_refs: Vec<&str> = added.iter().map(|s| s.as_str()).collect();
-        let mut cand_groups = FxHashMap::default();
-        for (k, t) in &cand_k.groups {
-            cand_groups.insert(k.clone(), t.project(&added_refs)?);
-        }
-        let cand_proj = KeyedSketch::new(cand_k.key_column.clone(), cand_groups);
-
-        let train_stats = eval_join(train_k, &cand_proj)?;
-        let test_stats = eval_join(test_k, &cand_proj)?;
+        let train_stats = eval_join(train_k, &projection.proj)?;
+        let test_stats = eval_join(test_k, &projection.proj)?;
         if train_stats.matched_keys == 0 || test_stats.matched_keys == 0 {
-            return Err(SearchError::Sketch(format!(
-                "join with {} matches no keys",
-                cand.name
-            )));
+            return Err(SearchError::Sketch(format!("join with {cand_name} matches no keys")));
         }
-        let composed_train = mileena_sketch::augment::compose_keyed(train_k, &cand_proj)?;
-        let composed_test = mileena_sketch::augment::compose_keyed(test_k, &cand_proj)?;
+        let composed = if for_commit {
+            let composed_train = mileena_sketch::augment::compose_keyed(train_k, &projection.proj)?;
+            let composed_test = mileena_sketch::augment::compose_keyed(test_k, &projection.proj)?;
+            Some((query_key.to_string(), composed_train, composed_test))
+        } else {
+            None
+        };
         Ok(Staged {
             train_triple: train_stats.triple,
             test_triple: test_stats.triple,
-            new_features: added,
-            composed: Some((query_key.to_string(), composed_train, composed_test)),
+            new_features: projection.added.clone(),
+            matched_keys: train_stats.matched_keys,
+            composed,
             union_keyed: None,
         })
     }
 
-    fn stage(&self, aug: &crate::candidates::Augmentation, cand: &DatasetSketch) -> Result<Staged> {
+    fn stage(
+        &self,
+        aug: &crate::candidates::Augmentation,
+        cand: &DatasetSketch,
+        for_commit: bool,
+    ) -> Result<Staged> {
         match aug {
-            crate::candidates::Augmentation::Union { .. } => self.stage_union(cand),
+            crate::candidates::Augmentation::Union { .. } => {
+                self.stage_union_with(&self.project_union_candidate(cand)?, for_commit)
+            }
             crate::candidates::Augmentation::Join { query_key, candidate_key, .. } => {
-                self.stage_join(cand, query_key, candidate_key)
+                let projection = project_join_candidate(cand, candidate_key)?;
+                self.stage_join_with(&cand.name, query_key, &projection, for_commit)
             }
         }
     }
 
-    /// Score a candidate without committing it.
-    pub fn evaluate(
-        &self,
-        aug: &crate::candidates::Augmentation,
-        cand: &DatasetSketch,
-    ) -> Result<CandidateScore> {
-        let staged = self.stage(aug, cand)?;
+    fn score_staged(&self, staged: &Staged) -> Result<CandidateScore> {
         let mut features = self.features.clone();
         features.extend(staged.new_features.iter().cloned());
         let r2 = self.score_triples(&staged.train_triple, &staged.test_triple, &features)?;
         Ok(CandidateScore {
             test_r2: r2,
-            matched_keys: staged.composed.as_ref().map_or(0, |(_, t, _)| t.num_keys()),
+            matched_keys: staged.matched_keys,
             train_rows: staged.train_triple.c,
         })
     }
 
-    /// Commit a candidate: update triples, grouped sketches, features, and
-    /// the active join key.
-    pub fn apply(
-        &mut self,
-        aug: &crate::candidates::Augmentation,
-        cand: &DatasetSketch,
-    ) -> Result<()> {
-        let staged = self.stage(aug, cand)?;
+    fn commit(&mut self, staged: Staged) -> Result<()> {
         self.train_triple = staged.train_triple;
         self.test_triple = staged.test_triple;
         self.features.extend(staged.new_features);
@@ -323,20 +368,12 @@ impl ProxyState {
             (None, Some(union_keyed)) => {
                 // Union: fold candidate groups into keys we could map; keys
                 // the candidate couldn't support go stale.
-                let supported: Vec<String> =
-                    union_keyed.iter().map(|(k, _)| k.clone()).collect();
+                let supported: Vec<String> = union_keyed.iter().map(|(k, _)| k.clone()).collect();
                 self.train_keyed.retain(|k, _| supported.contains(k));
                 self.test_keyed.retain(|k, _| supported.contains(k));
                 for (key, ks) in union_keyed {
                     if let Some(existing) = self.train_keyed.get_mut(&key) {
-                        for (gk, gt) in ks.groups {
-                            match existing.groups.get_mut(&gk) {
-                                Some(t) => *t = t.add(&gt)?,
-                                None => {
-                                    existing.groups.insert(gk, gt);
-                                }
-                            }
-                        }
+                        existing.arena_mut().merge_add(ks.arena())?;
                     }
                 }
                 // Test keyed sketches are untouched by unions.
@@ -344,6 +381,85 @@ impl ProxyState {
             (None, None) => unreachable!("staged state always carries one branch"),
         }
         Ok(())
+    }
+
+    /// Score a candidate without committing it (projects on the fly; the
+    /// greedy loop uses the cached variants below instead).
+    pub fn evaluate(
+        &self,
+        aug: &crate::candidates::Augmentation,
+        cand: &DatasetSketch,
+    ) -> Result<CandidateScore> {
+        let staged = self.stage(aug, cand, false)?;
+        self.score_staged(&staged)
+    }
+
+    /// Score a candidate the way the pre-cache code did: re-project *and*
+    /// pre-compose on every evaluation. Kept as the reference baseline for
+    /// the `search_latency` cached-vs-uncached benchmark and the parity
+    /// tests; produces identical scores to [`ProxyState::evaluate`].
+    pub fn evaluate_reference(
+        &self,
+        aug: &crate::candidates::Augmentation,
+        cand: &DatasetSketch,
+    ) -> Result<CandidateScore> {
+        let staged = self.stage(aug, cand, true)?;
+        self.score_staged(&staged)
+    }
+
+    /// Score a join candidate from a cached projection — the hot-loop path:
+    /// no store fetch, no projection, no composition, no per-key clones.
+    pub fn evaluate_join_cached(
+        &self,
+        cand_name: &str,
+        query_key: &str,
+        projection: &JoinProjection,
+    ) -> Result<CandidateScore> {
+        let staged = self.stage_join_with(cand_name, query_key, projection, false)?;
+        self.score_staged(&staged)
+    }
+
+    /// Score a union candidate from a cached projection. The projection must
+    /// target the current feature space (`proj.want`); the cache re-projects
+    /// when a join has grown it.
+    pub fn evaluate_union_cached(&self, proj: &UnionProjection) -> Result<CandidateScore> {
+        debug_assert_eq!(proj.want, self.train_triple.features);
+        let staged = self.stage_union_with(proj, false)?;
+        self.score_staged(&staged)
+    }
+
+    /// Whether a cached union projection still targets this state's feature
+    /// space (joins invalidate it; unions don't).
+    pub fn union_projection_valid(&self, proj: &UnionProjection) -> bool {
+        proj.want == self.train_triple.features
+    }
+
+    /// Commit a candidate: update triples, grouped sketches, features, and
+    /// the active join key.
+    pub fn apply(
+        &mut self,
+        aug: &crate::candidates::Augmentation,
+        cand: &DatasetSketch,
+    ) -> Result<()> {
+        let staged = self.stage(aug, cand, true)?;
+        self.commit(staged)
+    }
+
+    /// Commit a join candidate from a cached projection.
+    pub fn apply_join_cached(
+        &mut self,
+        cand_name: &str,
+        query_key: &str,
+        projection: &JoinProjection,
+    ) -> Result<()> {
+        let staged = self.stage_join_with(cand_name, query_key, projection, true)?;
+        self.commit(staged)
+    }
+
+    /// Commit a union candidate from a cached projection.
+    pub fn apply_union_cached(&mut self, proj: &UnionProjection) -> Result<()> {
+        let staged = self.stage_union_with(proj, true)?;
+        self.commit(staged)
     }
 }
 
@@ -423,6 +539,46 @@ mod tests {
     }
 
     #[test]
+    fn cached_join_evaluation_matches_one_shot() {
+        let (state, prov_sketch) = state();
+        let aug = Augmentation::Join {
+            dataset: "prov".into(),
+            query_key: "zone".into(),
+            candidate_key: "zone".into(),
+            similarity: 1.0,
+        };
+        let one_shot = state.evaluate(&aug, &prov_sketch).unwrap();
+        let projection = project_join_candidate(&prov_sketch, "zone").unwrap();
+        let cached = state.evaluate_join_cached("prov", "zone", &projection).unwrap();
+        assert_eq!(one_shot.test_r2, cached.test_r2, "cached path must be bit-identical");
+        assert_eq!(one_shot.matched_keys, cached.matched_keys);
+        assert_eq!(one_shot.train_rows, cached.train_rows);
+    }
+
+    #[test]
+    fn cached_union_evaluation_matches_one_shot() {
+        let (state, _) = state();
+        let (train, _, _) = fixtures();
+        let more = train.clone().with_name("more");
+        let us = build_sketch(
+            &more,
+            &SketchConfig {
+                key_columns: Some(vec!["zone".into()]),
+                feature_columns: Some(vec!["base_x".into(), "y".into()]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let aug = Augmentation::Union { dataset: "more".into(), similarity: 1.0 };
+        let one_shot = state.evaluate(&aug, &us).unwrap();
+        let proj = state.project_union_candidate(&us).unwrap();
+        assert!(state.union_projection_valid(&proj));
+        let cached = state.evaluate_union_cached(&proj).unwrap();
+        assert_eq!(one_shot.test_r2, cached.test_r2);
+        assert_eq!(one_shot.train_rows, cached.train_rows);
+    }
+
+    #[test]
     fn apply_join_commits_state() {
         let (mut state, prov_sketch) = state();
         let aug = Augmentation::Join {
@@ -498,8 +654,7 @@ mod tests {
         // materialized two-way join statistics.
         let (train, test, prov) = fixtures();
         let prov2_zones: Vec<i64> = (0..60).collect();
-        let prov2_feat: Vec<f64> =
-            prov2_zones.iter().map(|&z| ((z % 5) as f64) / 5.0).collect();
+        let prov2_feat: Vec<f64> = prov2_zones.iter().map(|&z| ((z % 5) as f64) / 5.0).collect();
         let prov2 = RelationBuilder::new("prov2")
             .int_col("zone", &prov2_zones)
             .float_col("g", &prov2_feat)
@@ -538,8 +693,7 @@ mod tests {
             .unwrap()
             .hash_join(&prov2, &["zone"], &["zone"])
             .unwrap();
-        let naive =
-            mileena_semiring::triple_of(&m, &["base_x", "y", "lat", "g"]).unwrap();
+        let naive = mileena_semiring::triple_of(&m, &["base_x", "y", "lat", "g"]).unwrap();
         assert!((state.train_rows() - naive.c).abs() < 1e-9);
         let naive = naive.rename_features(|n| match n {
             "lat" => "prov.lat".to_string(),

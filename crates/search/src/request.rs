@@ -72,7 +72,7 @@ pub struct SearchConfig {
     /// many-to-many join that fans rows out re-weights the training set
     /// with no semantic justification.
     pub max_join_fanout: f64,
-    /// Evaluate candidates on worker threads (crossbeam scoped).
+    /// Evaluate candidates on worker threads (rayon work-stealing).
     pub parallel: bool,
 }
 

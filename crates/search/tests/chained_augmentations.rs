@@ -68,8 +68,7 @@ fn union_then_two_joins_matches_materialized() {
 
     let task = TaskSpec::new("y", &["x"]);
     let mut state =
-        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0)
-            .unwrap();
+        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0).unwrap();
 
     // Union partner sketched with qualified names, like any provider.
     let extra_sketch = build_sketch(
@@ -130,8 +129,7 @@ fn union_after_join_rejected_cleanly() {
 
     let task = TaskSpec::new("y", &["x"]);
     let mut state =
-        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0)
-            .unwrap();
+        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0).unwrap();
     state.apply(&join_aug("p1"), &provider_sketch(&p1, "a")).unwrap();
     let extra_sketch = build_sketch(
         &extra,
@@ -155,8 +153,7 @@ fn repeated_unions_accumulate() {
     let test = requester("test", 100, 1);
     let task = TaskSpec::new("y", &["x"]);
     let mut state =
-        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0)
-            .unwrap();
+        ProxyState::new(&requester_sketch(&train), &requester_sketch(&test), &task, 0.0).unwrap();
     let mut expected = 100.0;
     for (i, n) in [40usize, 70, 25].iter().enumerate() {
         let u = requester(&format!("u{i}"), *n, i as i64);
@@ -170,10 +167,7 @@ fn repeated_unions_accumulate() {
         )
         .unwrap();
         state
-            .apply(
-                &Augmentation::Union { dataset: format!("u{i}"), similarity: 1.0 },
-                &us,
-            )
+            .apply(&Augmentation::Union { dataset: format!("u{i}"), similarity: 1.0 }, &us)
             .unwrap();
         expected += *n as f64;
         assert_eq!(state.train_rows(), expected);

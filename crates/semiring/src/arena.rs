@@ -1,0 +1,690 @@
+//! Arena-backed grouped triples: the zero-realloc memory layout behind
+//! keyed sketches.
+//!
+//! The hash-map-of-`CovarTriple` representation paid three per-key costs in
+//! the search hot loop: a `Vec<String>` feature list clone per triple, three
+//! small heap allocations per triple, and a `Vec<KeyValue>` hash per probe.
+//! [`GroupedArena`] stores one shared feature schema plus three contiguous
+//! slabs — `c` (d), `s` (d·m), `q` (d·m²) — indexed by an interned
+//! [`KeyId`], so composing two sketches is a linear merge over two sorted
+//! `u32` arrays with all arithmetic on flat `f64` rows.
+//!
+//! Keys live in a [`KeyInterner`] (one per sketch store; a process-global
+//! default makes independently built sketches join-compatible). Interner ids
+//! are assigned in first-seen order, so row order inside an arena is an
+//! artifact of build order; every *observable* order (serialization,
+//! noise injection, `sorted_pairs`) goes through the key-sorted view.
+
+use crate::covar::CovarTriple;
+use crate::error::{Result, SemiringError};
+use mileena_relation::{FxHashMap, KeyValue};
+use parking_lot::RwLock;
+use std::sync::{Arc, OnceLock};
+
+/// Interned join-key value: a dense `u32` handle into a [`KeyInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyId(pub u32);
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    map: FxHashMap<Vec<KeyValue>, u32>,
+    keys: Vec<Vec<KeyValue>>,
+}
+
+/// Append-only, thread-safe interner of join-key values.
+#[derive(Debug, Default)]
+pub struct KeyInterner {
+    inner: RwLock<InternerInner>,
+}
+
+impl KeyInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> Arc<KeyInterner> {
+        Arc::new(KeyInterner::default())
+    }
+
+    /// The process-global interner: the default key space for sketches not
+    /// built against an explicit store.
+    pub fn global() -> &'static Arc<KeyInterner> {
+        static GLOBAL: OnceLock<Arc<KeyInterner>> = OnceLock::new();
+        GLOBAL.get_or_init(KeyInterner::new)
+    }
+
+    /// Intern a key, returning its stable id.
+    pub fn intern(&self, key: &[KeyValue]) -> KeyId {
+        if let Some(&id) = self.inner.read().map.get(key) {
+            return KeyId(id);
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.map.get(key) {
+            return KeyId(id); // raced with another writer
+        }
+        let id = u32::try_from(inner.keys.len()).expect("interner overflow (2^32 keys)");
+        inner.keys.push(key.to_vec());
+        inner.map.insert(key.to_vec(), id);
+        KeyId(id)
+    }
+
+    /// Look a key up without interning it.
+    pub fn lookup(&self, key: &[KeyValue]) -> Option<KeyId> {
+        self.inner.read().map.get(key).copied().map(KeyId)
+    }
+
+    /// Resolve an id back to its key (clones the key values).
+    pub fn resolve(&self, id: KeyId) -> Vec<KeyValue> {
+        self.inner.read().keys[id.0 as usize].clone()
+    }
+
+    /// Resolve many ids under a single read lock.
+    pub fn resolve_many(&self, ids: &[KeyId]) -> Vec<Vec<KeyValue>> {
+        let inner = self.inner.read();
+        ids.iter().map(|id| inner.keys[id.0 as usize].clone()).collect()
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().keys.len()
+    }
+
+    /// True iff nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-key covariance triples in arena layout: row `r` holds the triple of
+/// `key_ids[r]` as `c[r]`, `s[r·m .. r·m+m]`, `q[r·m² .. r·m²+m²]`.
+///
+/// Rows are sorted by [`KeyId`] so sketch composition is a sorted merge.
+#[derive(Debug, Clone)]
+pub struct GroupedArena {
+    /// Shared feature schema (one copy per sketch, not per key).
+    schema: Arc<[String]>,
+    /// Sorted interned keys, one per row.
+    key_ids: Vec<KeyId>,
+    /// Row counts, length `d`.
+    c: Vec<f64>,
+    /// Feature sums, length `d·m`.
+    s: Vec<f64>,
+    /// Pairwise product sums, length `d·m²`, row-major symmetric per row.
+    q: Vec<f64>,
+    /// The key space the ids live in.
+    interner: Arc<KeyInterner>,
+}
+
+impl GroupedArena {
+    /// Empty arena over a feature schema.
+    pub fn new(schema: Arc<[String]>, interner: Arc<KeyInterner>) -> Self {
+        GroupedArena {
+            schema,
+            key_ids: Vec::new(),
+            c: Vec::new(),
+            s: Vec::new(),
+            q: Vec::new(),
+            interner,
+        }
+    }
+
+    /// Build from `(key, triple)` pairs. Every triple must carry exactly
+    /// `features` (aligned if the order differs).
+    pub fn from_groups<I>(
+        features: &[String],
+        groups: I,
+        interner: &Arc<KeyInterner>,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Vec<KeyValue>, CovarTriple)>,
+    {
+        let m = features.len();
+        let mut arena = GroupedArena::new(features.into(), Arc::clone(interner));
+        let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+        for (key, triple) in groups {
+            let triple = if triple.features == features { triple } else { triple.align(&frefs)? };
+            // Hard-validate slab widths: a malformed triple (e.g. from a
+            // hostile wire payload) would otherwise shear every later row.
+            if triple.s.len() != m || triple.q.len() != m * m {
+                return Err(SemiringError::InvalidArgument(format!(
+                    "triple dims {}x{} do not match {m} features",
+                    triple.s.len(),
+                    triple.q.len(),
+                )));
+            }
+            arena.key_ids.push(interner.intern(&key));
+            arena.c.push(triple.c);
+            arena.s.extend_from_slice(&triple.s);
+            arena.q.extend_from_slice(&triple.q);
+        }
+        arena.sort_rows();
+        Ok(arena)
+    }
+
+    /// Number of keys `d`.
+    pub fn num_keys(&self) -> usize {
+        self.key_ids.len()
+    }
+
+    /// Number of features `m`.
+    pub fn num_features(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The shared feature schema.
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    /// The shared schema handle (cheap to clone onto derived arenas).
+    pub fn schema_arc(&self) -> &Arc<[String]> {
+        &self.schema
+    }
+
+    /// The key space.
+    pub fn interner(&self) -> &Arc<KeyInterner> {
+        &self.interner
+    }
+
+    /// Sorted interned keys.
+    pub fn key_ids(&self) -> &[KeyId] {
+        &self.key_ids
+    }
+
+    /// Row view: `(c, s, q)` slices for row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (f64, &[f64], &[f64]) {
+        let m = self.schema.len();
+        (self.c[r], &self.s[r * m..(r + 1) * m], &self.q[r * m * m..(r + 1) * m * m])
+    }
+
+    /// Materialize row `r` as a standalone triple.
+    pub fn triple_at(&self, r: usize) -> CovarTriple {
+        let (c, s, q) = self.row(r);
+        CovarTriple { features: self.schema.to_vec(), c, s: s.to_vec(), q: q.to_vec() }
+    }
+
+    /// Resolve row `r`'s key.
+    pub fn key_at(&self, r: usize) -> Vec<KeyValue> {
+        self.interner.resolve(self.key_ids[r])
+    }
+
+    /// Row index of a key, if present.
+    pub fn find(&self, key: &[KeyValue]) -> Option<usize> {
+        let id = self.interner.lookup(key)?;
+        self.key_ids.binary_search(&id).ok()
+    }
+
+    /// `(row, key)` pairs in key-sorted order, resolving every key exactly
+    /// once under one interner read lock (the canonical observable order).
+    pub fn sorted_keys(&self) -> Vec<(usize, Vec<KeyValue>)> {
+        let mut pairs: Vec<(usize, Vec<KeyValue>)> =
+            self.interner.resolve_many(&self.key_ids).into_iter().enumerate().collect();
+        pairs.sort_by(|a, b| a.1.cmp(&b.1));
+        pairs
+    }
+
+    /// Row indices in key-sorted order.
+    pub fn sorted_row_order(&self) -> Vec<usize> {
+        self.sorted_keys().into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// In-place edit of every row, visited in key-sorted order so that
+    /// stateful editors (noise injection) are reproducible regardless of
+    /// interner id assignment. Zero allocation per row.
+    pub fn for_each_row_mut(&mut self, mut f: impl FnMut(&mut f64, &mut [f64], &mut [f64])) {
+        let m = self.schema.len();
+        for r in self.sorted_row_order() {
+            let c = &mut self.c[r];
+            let s = &mut self.s[r * m..(r + 1) * m];
+            let q = &mut self.q[r * m * m..(r + 1) * m * m];
+            f(c, s, q);
+        }
+    }
+
+    /// Keep only the named features, in the given order. One pass, one
+    /// allocation for the whole arena (the old layout re-allocated and
+    /// re-cloned feature names per key).
+    pub fn project(&self, keep: &[&str]) -> Result<GroupedArena> {
+        let idx: Vec<usize> = keep
+            .iter()
+            .map(|k| {
+                self.schema
+                    .iter()
+                    .position(|f| f == k)
+                    .ok_or_else(|| SemiringError::FeatureNotFound(k.to_string()))
+            })
+            .collect::<Result<_>>()?;
+        let schema: Arc<[String]> = keep.iter().map(|s| s.to_string()).collect();
+        Ok(self.project_indices(schema, &idx))
+    }
+
+    /// Projection onto pre-resolved source indices with an explicit new
+    /// schema (callers that rename-then-project resolve indices themselves).
+    pub fn project_indices(&self, schema: Arc<[String]>, idx: &[usize]) -> GroupedArena {
+        let m0 = self.schema.len();
+        let m = idx.len();
+        let d = self.num_keys();
+        let mut s = vec![0.0; d * m];
+        let mut q = vec![0.0; d * m * m];
+        for r in 0..d {
+            let (src_s, src_q) = (&self.s[r * m0..], &self.q[r * m0 * m0..]);
+            let (dst_s, dst_q) = (&mut s[r * m..], &mut q[r * m * m..]);
+            for (ni, &oi) in idx.iter().enumerate() {
+                dst_s[ni] = src_s[oi];
+                for (nj, &oj) in idx.iter().enumerate() {
+                    dst_q[ni * m + nj] = src_q[oi * m0 + oj];
+                }
+            }
+        }
+        GroupedArena {
+            schema,
+            key_ids: self.key_ids.clone(),
+            c: self.c.clone(),
+            s,
+            q,
+            interner: Arc::clone(&self.interner),
+        }
+    }
+
+    /// Rename the schema (slabs untouched — renaming is now O(m), not O(d·m)).
+    pub fn renamed(&self, f: impl Fn(&str) -> String) -> GroupedArena {
+        let mut out = self.clone();
+        out.schema = self.schema.iter().map(|n| f(n)).collect();
+        out
+    }
+
+    /// Re-key into another interner (used when sketches cross stores).
+    /// Intentionally an *explicit* conversion: it interns this arena's keys
+    /// into `interner`, growing it — align sketches once (store adoption,
+    /// cache build), not inside read paths.
+    pub fn reinterned(&self, interner: &Arc<KeyInterner>) -> GroupedArena {
+        if Arc::ptr_eq(&self.interner, interner) {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.key_ids = self
+            .interner
+            .resolve_many(&self.key_ids)
+            .into_iter()
+            .map(|key| interner.intern(&key))
+            .collect();
+        out.interner = Arc::clone(interner);
+        out.sort_rows();
+        out
+    }
+
+    /// Features shared with another arena (semi-ring product requires none).
+    pub fn shared_features(&self, other: &GroupedArena) -> Vec<String> {
+        self.schema.iter().filter(|f| other.schema.contains(f)).cloned().collect()
+    }
+
+    /// The join kernel: `Σ_k a[k] × b[k]` over matching keys, accumulated
+    /// into flat output arrays. Returns `(c, s, q, matched)` over the
+    /// concatenated feature space — a sorted merge over two id arrays with
+    /// no hashing and no per-key allocation.
+    pub fn join_stats(&self, other: &GroupedArena) -> (f64, Vec<f64>, Vec<f64>, usize) {
+        let other_re;
+        let other = if Arc::ptr_eq(&self.interner, &other.interner) {
+            other
+        } else {
+            other_re = other.reinterned(&self.interner);
+            &other_re
+        };
+        let ma = self.num_features();
+        let mb = other.num_features();
+        let m = ma + mb;
+        let mut c_acc = 0.0f64;
+        let mut s_acc = vec![0.0f64; m];
+        let mut q_acc = vec![0.0f64; m * m];
+        let mut matched = 0usize;
+
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.key_ids.len() && j < other.key_ids.len() {
+            match self.key_ids[i].cmp(&other.key_ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let (ca, sa, qa) = self.row(i);
+                    let (cb, sb, qb) = other.row(j);
+                    matched += 1;
+                    c_acc += ca * cb;
+                    for x in 0..ma {
+                        s_acc[x] += cb * sa[x];
+                    }
+                    for y in 0..mb {
+                        s_acc[ma + y] += ca * sb[y];
+                    }
+                    // Q blocks: [c_b·Q_a, s_a s_bᵀ; s_b s_aᵀ, c_a·Q_b].
+                    for x in 0..ma {
+                        let dst = &mut q_acc[x * m..x * m + ma];
+                        let src = &qa[x * ma..x * ma + ma];
+                        for (d, v) in dst.iter_mut().zip(src) {
+                            *d += cb * v;
+                        }
+                    }
+                    for y in 0..mb {
+                        let dst = &mut q_acc[(ma + y) * m + ma..(ma + y) * m + m];
+                        let src = &qb[y * mb..y * mb + mb];
+                        for (d, v) in dst.iter_mut().zip(src) {
+                            *d += ca * v;
+                        }
+                    }
+                    for x in 0..ma {
+                        let sax = sa[x];
+                        for y in 0..mb {
+                            let v = sax * sb[y];
+                            q_acc[x * m + (ma + y)] += v;
+                            q_acc[(ma + y) * m + x] += v;
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (c_acc, s_acc, q_acc, matched)
+    }
+
+    /// Per-key semi-ring product over the key intersection, producing the
+    /// composed arena over the concatenated feature space (the multi-join
+    /// threading step). Feature disjointness is the caller's contract.
+    pub fn compose(&self, other: &GroupedArena) -> GroupedArena {
+        let other_re;
+        let other = if Arc::ptr_eq(&self.interner, &other.interner) {
+            other
+        } else {
+            other_re = other.reinterned(&self.interner);
+            &other_re
+        };
+        let ma = self.num_features();
+        let mb = other.num_features();
+        let m = ma + mb;
+        let schema: Arc<[String]> =
+            self.schema.iter().chain(other.schema.iter()).cloned().collect();
+        let mut out = GroupedArena::new(schema, Arc::clone(&self.interner));
+
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.key_ids.len() && j < other.key_ids.len() {
+            match self.key_ids[i].cmp(&other.key_ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let (ca, sa, qa) = self.row(i);
+                    let (cb, sb, qb) = other.row(j);
+                    out.key_ids.push(self.key_ids[i]);
+                    out.c.push(ca * cb);
+                    out.s.extend(sa.iter().map(|v| cb * v));
+                    out.s.extend(sb.iter().map(|v| ca * v));
+                    let base = out.q.len();
+                    out.q.resize(base + m * m, 0.0);
+                    let qo = &mut out.q[base..];
+                    for x in 0..ma {
+                        for y in 0..ma {
+                            qo[x * m + y] = cb * qa[x * ma + y];
+                        }
+                    }
+                    for x in 0..mb {
+                        for y in 0..mb {
+                            qo[(ma + x) * m + (ma + y)] = ca * qb[x * mb + y];
+                        }
+                    }
+                    for x in 0..ma {
+                        let sax = sa[x];
+                        for y in 0..mb {
+                            let v = sax * sb[y];
+                            qo[x * m + (ma + y)] = v;
+                            qo[(ma + y) * m + x] = v;
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out // rows inherit self's sorted order over the intersection
+    }
+
+    /// Fold `other`'s rows into `self` (union semantics: add triples on
+    /// matching keys, append new keys). Schemas must match exactly.
+    pub fn merge_add(&mut self, other: &GroupedArena) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(SemiringError::FeatureMismatch {
+                left: self.schema.to_vec(),
+                right: other.schema.to_vec(),
+            });
+        }
+        let other_re;
+        let other = if Arc::ptr_eq(&self.interner, &other.interner) {
+            other
+        } else {
+            other_re = other.reinterned(&self.interner);
+            &other_re
+        };
+        let m = self.num_features();
+        let mut appended = false;
+        for j in 0..other.num_keys() {
+            let id = other.key_ids[j];
+            let (cb, sb, qb) = other.row(j);
+            match self.key_ids.binary_search(&id) {
+                Ok(r) => {
+                    self.c[r] += cb;
+                    for (a, b) in self.s[r * m..(r + 1) * m].iter_mut().zip(sb) {
+                        *a += b;
+                    }
+                    for (a, b) in self.q[r * m * m..(r + 1) * m * m].iter_mut().zip(qb) {
+                        *a += b;
+                    }
+                }
+                Err(_) => {
+                    self.key_ids.push(id);
+                    self.c.push(cb);
+                    self.s.extend_from_slice(sb);
+                    self.q.extend_from_slice(qb);
+                    appended = true;
+                }
+            }
+        }
+        if appended {
+            self.sort_rows();
+        }
+        Ok(())
+    }
+
+    /// Sum of all rows (`γ` over all groups).
+    pub fn total(&self) -> CovarTriple {
+        let m = self.num_features();
+        let mut acc =
+            CovarTriple::zero(&self.schema.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for r in 0..self.num_keys() {
+            let (c, s, q) = self.row(r);
+            acc.c += c;
+            for (a, b) in acc.s.iter_mut().zip(s) {
+                *a += b;
+            }
+            for (a, b) in acc.q.iter_mut().zip(q) {
+                *a += b;
+            }
+        }
+        debug_assert_eq!(acc.s.len(), m);
+        acc
+    }
+
+    /// `(key, triple)` pairs in key-sorted order (wire format, tests).
+    pub fn sorted_pairs(&self) -> Vec<(Vec<KeyValue>, CovarTriple)> {
+        self.sorted_keys().into_iter().map(|(r, key)| (key, self.triple_at(r))).collect()
+    }
+
+    fn sort_rows(&mut self) {
+        let d = self.num_keys();
+        let m = self.schema.len();
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by_key(|&r| self.key_ids[r]);
+        if order.iter().enumerate().all(|(i, &r)| i == r) {
+            return;
+        }
+        let key_ids = order.iter().map(|&r| self.key_ids[r]).collect();
+        let c = order.iter().map(|&r| self.c[r]).collect();
+        let mut s = Vec::with_capacity(d * m);
+        let mut q = Vec::with_capacity(d * m * m);
+        for &r in &order {
+            s.extend_from_slice(&self.s[r * m..(r + 1) * m]);
+            q.extend_from_slice(&self.q[r * m * m..(r + 1) * m * m]);
+        }
+        self.key_ids = key_ids;
+        self.c = c;
+        self.s = s;
+        self.q = q;
+    }
+}
+
+impl PartialEq for GroupedArena {
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.num_keys() != other.num_keys() {
+            return false;
+        }
+        if Arc::ptr_eq(&self.interner, &other.interner) {
+            self.key_ids == other.key_ids
+                && self.c == other.c
+                && self.s == other.s
+                && self.q == other.q
+        } else {
+            self.sorted_pairs() == other.sorted_pairs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: i64) -> Vec<KeyValue> {
+        vec![KeyValue::Int(v)]
+    }
+
+    fn triple(features: &[&str], rows: &[&[f64]]) -> CovarTriple {
+        let mut acc = CovarTriple::zero(features);
+        for r in rows {
+            acc = acc.add(&CovarTriple::of_row(features, r).unwrap()).unwrap();
+        }
+        acc
+    }
+
+    fn arena_of(features: &[&str], groups: &[(i64, &[&[f64]])]) -> GroupedArena {
+        let feats: Vec<String> = features.iter().map(|s| s.to_string()).collect();
+        GroupedArena::from_groups(
+            &feats,
+            groups.iter().map(|(key, rows)| (k(*key), triple(features, rows))),
+            KeyInterner::global(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interner_is_stable_and_shared() {
+        let interner = KeyInterner::new();
+        let a = interner.intern(&k(1));
+        let b = interner.intern(&k(2));
+        assert_ne!(a, b);
+        assert_eq!(interner.intern(&k(1)), a);
+        assert_eq!(interner.resolve(a), k(1));
+        assert_eq!(interner.lookup(&k(2)), Some(b));
+        assert_eq!(interner.lookup(&k(99)), None);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn from_groups_roundtrips_triples() {
+        let a = arena_of(&["x", "y"], &[(1, &[&[1.0, 2.0]]), (2, &[&[3.0, 4.0], &[5.0, 6.0]])]);
+        assert_eq!(a.num_keys(), 2);
+        assert_eq!(a.num_features(), 2);
+        let r = a.find(&k(2)).unwrap();
+        let t = a.triple_at(r);
+        assert_eq!(t.c, 2.0);
+        assert_eq!(t.s, vec![8.0, 10.0]);
+        assert!(a.find(&k(7)).is_none());
+    }
+
+    #[test]
+    fn join_stats_matches_triple_mul() {
+        let left = arena_of(&["x"], &[(1, &[&[1.0], &[2.0]]), (2, &[&[5.0]])]);
+        let right = arena_of(&["z"], &[(1, &[&[10.0]]), (3, &[&[7.0]])]);
+        let (c, s, q, matched) = left.join_stats(&right);
+        assert_eq!(matched, 1);
+        // Only key 1 matches: (rows x ∈ {1,2}) × (z = 10).
+        let expect = triple(&["x", "z"], &[&[1.0, 10.0], &[2.0, 10.0]]);
+        assert_eq!(c, expect.c);
+        assert_eq!(s, expect.s);
+        assert_eq!(q, expect.q);
+    }
+
+    #[test]
+    fn compose_matches_per_key_mul() {
+        let left = arena_of(&["x"], &[(1, &[&[1.0], &[2.0]]), (2, &[&[5.0]])]);
+        let right = arena_of(&["z"], &[(1, &[&[10.0]]), (2, &[&[3.0], &[4.0]])]);
+        let composed = left.compose(&right);
+        assert_eq!(composed.num_keys(), 2);
+        let r1 = composed.find(&k(1)).unwrap();
+        let want = triple(&["x"], &[&[1.0], &[2.0]]).mul(&triple(&["z"], &[&[10.0]])).unwrap();
+        assert!(composed.triple_at(r1).approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn project_and_rename() {
+        let a = arena_of(&["x", "y", "z"], &[(1, &[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])]);
+        let p = a.project(&["z", "x"]).unwrap();
+        assert_eq!(p.schema(), &["z".to_string(), "x".to_string()]);
+        let t = p.triple_at(0);
+        let want = a.triple_at(0).project(&["z", "x"]).unwrap();
+        assert!(t.approx_eq(&want, 1e-12));
+        assert!(a.project(&["nope"]).is_err());
+
+        let r = a.renamed(|n| format!("aug.{n}"));
+        assert_eq!(r.schema()[0], "aug.x");
+        assert_eq!(r.triple_at(0).s, a.triple_at(0).s);
+    }
+
+    #[test]
+    fn merge_add_folds_and_appends() {
+        let mut a = arena_of(&["x"], &[(1, &[&[1.0]])]);
+        let b = arena_of(&["x"], &[(1, &[&[2.0]]), (9, &[&[5.0]])]);
+        a.merge_add(&b).unwrap();
+        assert_eq!(a.num_keys(), 2);
+        let r = a.find(&k(1)).unwrap();
+        assert_eq!(a.triple_at(r).c, 2.0);
+        assert_eq!(a.triple_at(r).s, vec![3.0]);
+        // Schema mismatch is rejected.
+        let c = arena_of(&["w"], &[(1, &[&[1.0]])]);
+        assert!(a.merge_add(&c).is_err());
+    }
+
+    #[test]
+    fn total_collapses_rows() {
+        let a = arena_of(&["x"], &[(1, &[&[1.0]]), (2, &[&[2.0], &[3.0]])]);
+        let t = a.total();
+        assert_eq!(t.c, 3.0);
+        assert_eq!(t.s, vec![6.0]);
+    }
+
+    #[test]
+    fn reintern_preserves_content_across_interners() {
+        let a = arena_of(&["x"], &[(5, &[&[1.0]]), (6, &[&[2.0]])]);
+        let fresh = KeyInterner::new();
+        let b = a.reinterned(&fresh);
+        assert_eq!(a, b); // PartialEq resolves across interners
+        let (c, _, _, matched) = a.join_stats(&b.renamed(|n| format!("o.{n}")));
+        assert_eq!(matched, 2);
+        assert_eq!(c, 2.0); // per-key count products: 1·1 + 1·1
+    }
+
+    #[test]
+    fn for_each_row_mut_visits_key_sorted() {
+        let mut a = arena_of(&["x"], &[(3, &[&[1.0]]), (1, &[&[2.0]]), (2, &[&[4.0]])]);
+        let mut seen = Vec::new();
+        a.for_each_row_mut(|c, _s, _q| {
+            seen.push(*c);
+            *c += 100.0;
+        });
+        assert_eq!(seen.len(), 3);
+        for r in 0..a.num_keys() {
+            assert!(a.triple_at(r).c >= 100.0);
+        }
+    }
+}

@@ -23,9 +23,7 @@ pub fn triple_of(relation: &Relation, columns: &[&str]) -> Result<CovarTriple> {
         .map_err(SemiringError::from)?;
     for (c, name) in cols.iter().zip(columns) {
         if !c.data_type().is_numeric() {
-            return Err(SemiringError::InvalidArgument(format!(
-                "column {name} is not numeric"
-            )));
+            return Err(SemiringError::InvalidArgument(format!("column {name} is not numeric")));
         }
     }
     let m = columns.len();
@@ -54,12 +52,7 @@ pub fn triple_of(relation: &Relation, columns: &[&str]) -> Result<CovarTriple> {
             q[a * m + b] = q[b * m + a];
         }
     }
-    Ok(CovarTriple {
-        features: columns.iter().map(|s| s.to_string()).collect(),
-        c: c_total,
-        s,
-        q,
-    })
+    Ok(CovarTriple { features: columns.iter().map(|s| s.to_string()).collect(), c: c_total, s, q })
 }
 
 /// Compute per-key triples `γ_j(R)` for vertical augmentation (§3.2.2):
@@ -84,7 +77,7 @@ pub fn grouped_triples(
     let mut out: GroupedTriples = FxHashMap::default();
     let mut buf = vec![0.0f64; m];
     for (key, rows) in groups {
-        if key.iter().any(|k| *k == KeyValue::Null) {
+        if key.contains(&KeyValue::Null) {
             continue;
         }
         let mut triple = CovarTriple::zero(feature_columns);

@@ -127,12 +127,8 @@ impl CovarTriple {
     ///
     /// `a×b = (c_a c_b, c_b s_a ∥ c_a s_b, blocks[c_b Q_a, s_a s_bᵀ; s_b s_aᵀ, c_a Q_b])`
     pub fn mul(&self, other: &CovarTriple) -> Result<CovarTriple> {
-        let shared: Vec<String> = self
-            .features
-            .iter()
-            .filter(|f| other.features.contains(f))
-            .cloned()
-            .collect();
+        let shared: Vec<String> =
+            self.features.iter().filter(|f| other.features.contains(f)).cloned().collect();
         if !shared.is_empty() {
             return Err(SemiringError::FeatureOverlap(shared));
         }
@@ -190,8 +186,7 @@ impl CovarTriple {
     /// Keep only the named features (subset; any order): the semi-ring
     /// analogue of projection, used to select model features at train time.
     pub fn project(&self, keep: &[&str]) -> Result<CovarTriple> {
-        let perm: Vec<usize> =
-            keep.iter().map(|f| self.feature_index(f)).collect::<Result<_>>()?;
+        let perm: Vec<usize> = keep.iter().map(|f| self.feature_index(f)).collect::<Result<_>>()?;
         Ok(self.permuted(&perm, keep))
     }
 
@@ -205,12 +200,7 @@ impl CovarTriple {
                 q[ni * m + nj] = self.q[oi * m0 + oj];
             }
         }
-        CovarTriple {
-            features: names.iter().map(|s| s.to_string()).collect(),
-            c: self.c,
-            s,
-            q,
-        }
+        CovarTriple { features: names.iter().map(|s| s.to_string()).collect(), c: self.c, s, q }
     }
 
     /// Rename features via a mapping function (used when join would collide
@@ -240,12 +230,7 @@ impl CovarTriple {
     /// Returns [`LrSystem`] holding `XᵀX` (with the intercept as the leading
     /// dimension when requested), `Xᵀy`, `yᵀy` and `n` — everything a solver
     /// needs, straight from the triple with no data access.
-    pub fn lr_system(
-        &self,
-        features: &[&str],
-        target: &str,
-        intercept: bool,
-    ) -> Result<LrSystem> {
+    pub fn lr_system(&self, features: &[&str], target: &str, intercept: bool) -> Result<LrSystem> {
         let fidx: Vec<usize> =
             features.iter().map(|f| self.feature_index(f)).collect::<Result<_>>()?;
         let ti = self.feature_index(target)?;
@@ -346,14 +331,7 @@ mod tests {
         let prod = left.mul(&right).unwrap();
         let expect = rows(
             &["x", "z"],
-            &[
-                &[1.0, 10.0],
-                &[1.0, 20.0],
-                &[1.0, 30.0],
-                &[2.0, 10.0],
-                &[2.0, 20.0],
-                &[2.0, 30.0],
-            ],
+            &[&[1.0, 10.0], &[1.0, 20.0], &[1.0, 30.0], &[2.0, 10.0], &[2.0, 20.0], &[2.0, 30.0]],
         );
         assert!(prod.approx_eq(&expect, 1e-12));
         assert_eq!(prod.c, 6.0);

@@ -45,12 +45,14 @@
 //! ```
 
 pub mod algebra;
+pub mod arena;
 pub mod compute;
 pub mod covar;
 pub mod error;
 pub mod pushdown;
 
 pub use algebra::{CountSemiring, Semiring, SumSemiring};
+pub use arena::{GroupedArena, KeyId, KeyInterner};
 pub use compute::{grouped_triples, triple_of, GroupedTriples};
 pub use covar::{CovarTriple, LrSystem};
 pub use error::{Result, SemiringError};

@@ -102,8 +102,7 @@ mod tests {
             .unwrap();
 
         let naive = naive_union_join_triple(&r1, &r2, &r3, "A", &["C", "D"]).unwrap();
-        let fact =
-            factorized_union_join_triple(&r1, &r2, &r3, "A", &["C"], &["D"]).unwrap();
+        let fact = factorized_union_join_triple(&r1, &r2, &r3, "A", &["C"], &["D"]).unwrap();
         let fact = fact.align(&naive.feature_names()).unwrap();
         assert!(fact.approx_eq(&naive, 1e-9), "\nfact:  {fact:?}\nnaive: {naive:?}");
         // Join keeps A ∈ {2, 3}; R1∪R2 has rows A=2 (one), A=3 (two).
@@ -145,16 +144,10 @@ mod tests {
 
     #[test]
     fn join_pushdown_empty_intersection_is_zero() {
-        let left = RelationBuilder::new("L")
-            .int_col("k", &[1])
-            .float_col("x", &[1.0])
-            .build()
-            .unwrap();
-        let right = RelationBuilder::new("R")
-            .int_col("k", &[2])
-            .float_col("z", &[5.0])
-            .build()
-            .unwrap();
+        let left =
+            RelationBuilder::new("L").int_col("k", &[1]).float_col("x", &[1.0]).build().unwrap();
+        let right =
+            RelationBuilder::new("R").int_col("k", &[2]).float_col("z", &[5.0]).build().unwrap();
         let gl = grouped_triples(&left, &["k"], &["x"]).unwrap();
         let gr = grouped_triples(&right, &["k"], &["z"]).unwrap();
         let pushed = join_pushdown(&gl, &gr).unwrap();

@@ -114,7 +114,7 @@ proptest! {
     }
 }
 
-/// Arbitrary join tables: pushdown must equal materialization.
+// Arbitrary join tables: pushdown must equal materialization.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]

@@ -35,75 +35,27 @@ pub fn eval_union(
 /// Vertical augmentation: `γ(R ⋈_j A) = Σ_k γ_j(R)[k] × γ_j(A)[k]` — O(d).
 ///
 /// Feature spaces must already be disjoint (provider sketches are qualified
-/// at build time, see [`crate::build::qualify`]). The hot loop accumulates
-/// the semi-ring products directly into flat arrays — one triple allocation
-/// per *evaluation*, not per key (this is the search's innermost loop).
+/// at build time, see [`crate::build::qualify`]). The hot loop is a sorted
+/// merge over two interned-key arrays accumulating straight into flat
+/// output arrays — no hashing, no per-key allocation, one output triple per
+/// *evaluation* (this is the search's innermost loop).
 pub fn eval_join(train: &KeyedSketch, candidate: &KeyedSketch) -> Result<AugmentedStats> {
-    let (Some(t0), Some(c0)) = (train.groups.values().next(), candidate.groups.values().next())
-    else {
+    let (ta, ca) = (train.arena(), candidate.arena());
+    if ta.num_keys() == 0 || ca.num_keys() == 0 {
         return Ok(AugmentedStats { triple: CovarTriple::zero(&[]), matched_keys: 0 });
-    };
-    let shared: Vec<String> =
-        t0.features.iter().filter(|f| c0.features.contains(f)).cloned().collect();
+    }
+    let shared = ta.shared_features(ca);
     if !shared.is_empty() {
         return Err(mileena_semiring::SemiringError::FeatureOverlap(shared).into());
     }
-    let ma = t0.num_features();
-    let mb = c0.num_features();
-    let m = ma + mb;
-    let mut c_acc = 0.0f64;
-    let mut s_acc = vec![0.0f64; m];
-    let mut q_acc = vec![0.0f64; m * m];
-    let mut matched = 0usize;
-
-    // Probe the smaller side; the accumulation below is written in terms of
-    // (train = a, candidate = b) regardless of probe direction.
-    let (probe, build, probe_is_train) = if train.groups.len() <= candidate.groups.len() {
-        (&train.groups, &candidate.groups, true)
-    } else {
-        (&candidate.groups, &train.groups, false)
-    };
-    for (key, pt) in probe {
-        let Some(bt) = build.get(key) else { continue };
-        let (a, b) = if probe_is_train { (pt, bt) } else { (bt, pt) };
-        matched += 1;
-        c_acc += a.c * b.c;
-        for i in 0..ma {
-            s_acc[i] += b.c * a.s[i];
-        }
-        for j in 0..mb {
-            s_acc[ma + j] += a.c * b.s[j];
-        }
-        // Q blocks: [c_b·Q_a, s_a s_bᵀ; s_b s_aᵀ, c_a·Q_b].
-        for i in 0..ma {
-            for j in 0..ma {
-                q_acc[i * m + j] += b.c * a.q[i * ma + j];
-            }
-        }
-        for i in 0..mb {
-            for j in 0..mb {
-                q_acc[(ma + i) * m + (ma + j)] += a.c * b.q[i * mb + j];
-            }
-        }
-        for i in 0..ma {
-            let sa = a.s[i];
-            for j in 0..mb {
-                let v = sa * b.s[j];
-                q_acc[i * m + (ma + j)] += v;
-                q_acc[(ma + j) * m + i] += v;
-            }
-        }
-    }
+    let (c, s, q, matched) = ta.join_stats(ca);
     if matched == 0 {
         return Ok(AugmentedStats { triple: CovarTriple::zero(&[]), matched_keys: 0 });
     }
-    let mut features = Vec::with_capacity(m);
-    features.extend(t0.features.iter().cloned());
-    features.extend(c0.features.iter().cloned());
-    Ok(AugmentedStats {
-        triple: CovarTriple { features, c: c_acc, s: s_acc, q: q_acc },
-        matched_keys: matched,
-    })
+    let mut features = Vec::with_capacity(ta.num_features() + ca.num_features());
+    features.extend(ta.schema().iter().cloned());
+    features.extend(ca.schema().iter().cloned());
+    Ok(AugmentedStats { triple: CovarTriple { features, c, s, q }, matched_keys: matched })
 }
 
 /// Chain a second vertical augmentation onto already-augmented *grouped*
@@ -113,26 +65,17 @@ pub fn eval_join(train: &KeyedSketch, candidate: &KeyedSketch) -> Result<Augment
 /// key kept in `train`, multiply in the candidate's triple for that key,
 /// producing a new keyed sketch over the concatenated features.
 pub fn compose_keyed(train: &KeyedSketch, candidate: &KeyedSketch) -> Result<KeyedSketch> {
-    let mut groups = mileena_relation::FxHashMap::default();
-    for (key, t) in &train.groups {
-        if let Some(c) = candidate.groups.get(key) {
-            groups.insert(key.clone(), t.mul(c)?);
-        }
+    let shared = train.arena().shared_features(candidate.arena());
+    if !shared.is_empty() {
+        return Err(mileena_semiring::SemiringError::FeatureOverlap(shared).into());
     }
-    if groups.is_empty() {
-        // Preserve the error-free contract but signal emptiness via groups.
-        return Ok(KeyedSketch::new(train.key_column.clone(), groups));
-    }
-    Ok(KeyedSketch::new(train.key_column.clone(), groups))
+    let composed = train.arena().compose(candidate.arena());
+    Ok(KeyedSketch::from_arena(train.key_column.clone(), composed))
 }
 
 /// Total triple of a keyed sketch (`γ` over all groups).
 pub fn collapse(keyed: &KeyedSketch) -> Result<CovarTriple> {
-    let mut acc = CovarTriple::zero(&[]);
-    for t in keyed.groups.values() {
-        acc = acc.add(t)?;
-    }
-    Ok(acc)
+    Ok(keyed.arena().total())
 }
 
 #[cfg(test)]
@@ -156,10 +99,9 @@ mod tests {
             .unwrap();
         let ts = build_sketch(&train, &SketchConfig::requester()).unwrap();
         let cs = build_sketch(&cand, &SketchConfig::default()).unwrap();
-        let stats = eval_union(&ts.full, &cs.full, |n| {
-            n.strip_prefix("prov.").unwrap_or(n).to_string()
-        })
-        .unwrap();
+        let stats =
+            eval_union(&ts.full, &cs.full, |n| n.strip_prefix("prov.").unwrap_or(n).to_string())
+                .unwrap();
         let naive = triple_of(&train.union(&cand).unwrap(), &["x", "y"]).unwrap();
         assert!(stats.triple.approx_eq(&naive, 1e-9));
     }
@@ -176,7 +118,8 @@ mod tests {
             .float_col("z", &[10.0, 20.0, 30.0, 99.0])
             .build()
             .unwrap();
-        let tcfg = SketchConfig { feature_columns: Some(vec!["y".into()]), ..SketchConfig::requester() };
+        let tcfg =
+            SketchConfig { feature_columns: Some(vec!["y".into()]), ..SketchConfig::requester() };
         let ccfg = SketchConfig { feature_columns: Some(vec!["z".into()]), ..Default::default() };
         let ts = build_sketch(&train, &tcfg).unwrap();
         let cs = build_sketch(&cand, &ccfg).unwrap();
@@ -185,34 +128,32 @@ mod tests {
         let joined = train.hash_join(&cand, &["k"], &["k"]).unwrap();
         let naive = triple_of(&joined, &["y", "z"]).unwrap();
         // stats triple features are ["y", "prov.z"]; align naive to compare.
-        let naive = naive.rename_features(|n| {
-            if n == "z" { "prov.z".to_string() } else { n.to_string() }
-        });
-        assert!(
-            stats.triple.approx_eq(&naive, 1e-9),
-            "\n{:?}\n{naive:?}",
-            stats.triple
-        );
+        let naive =
+            naive.rename_features(|n| if n == "z" { "prov.z".to_string() } else { n.to_string() });
+        assert!(stats.triple.approx_eq(&naive, 1e-9), "\n{:?}\n{naive:?}", stats.triple);
         assert_eq!(stats.matched_keys, 2);
     }
 
     #[test]
     fn join_eval_empty_intersection() {
-        let a = RelationBuilder::new("a")
-            .int_col("k", &[1])
-            .float_col("x", &[1.0])
-            .build()
-            .unwrap();
-        let b = RelationBuilder::new("b")
-            .int_col("k", &[2])
-            .float_col("z", &[2.0])
-            .build()
-            .unwrap();
+        let a =
+            RelationBuilder::new("a").int_col("k", &[1]).float_col("x", &[1.0]).build().unwrap();
+        let b =
+            RelationBuilder::new("b").int_col("k", &[2]).float_col("z", &[2.0]).build().unwrap();
         let sa = build_sketch(&a, &SketchConfig::requester()).unwrap();
         let sb = build_sketch(&b, &SketchConfig::default()).unwrap();
         let stats = eval_join(sa.keyed_for("k").unwrap(), sb.keyed_for("k").unwrap()).unwrap();
         assert_eq!(stats.matched_keys, 0);
         assert_eq!(stats.triple.c, 0.0);
+    }
+
+    #[test]
+    fn join_eval_rejects_feature_overlap() {
+        let a =
+            RelationBuilder::new("a").int_col("k", &[1]).float_col("x", &[1.0]).build().unwrap();
+        let sa = build_sketch(&a, &SketchConfig::requester()).unwrap();
+        let sb = build_sketch(&a, &SketchConfig::requester()).unwrap();
+        assert!(eval_join(sa.keyed_for("k").unwrap(), sb.keyed_for("k").unwrap()).is_err());
     }
 
     #[test]
@@ -227,11 +168,13 @@ mod tests {
             .float_col("z", &[5.0, 6.0])
             .build()
             .unwrap();
-        let tcfg = SketchConfig { feature_columns: Some(vec!["y".into()]), ..SketchConfig::requester() };
+        let tcfg =
+            SketchConfig { feature_columns: Some(vec!["y".into()]), ..SketchConfig::requester() };
         let ccfg = SketchConfig { feature_columns: Some(vec!["z".into()]), ..Default::default() };
         let ts = build_sketch(&train, &tcfg).unwrap();
         let cs = build_sketch(&cand, &ccfg).unwrap();
-        let composed = compose_keyed(ts.keyed_for("k").unwrap(), cs.keyed_for("k").unwrap()).unwrap();
+        let composed =
+            compose_keyed(ts.keyed_for("k").unwrap(), cs.keyed_for("k").unwrap()).unwrap();
         let collapsed = collapse(&composed).unwrap();
         let direct = eval_join(ts.keyed_for("k").unwrap(), cs.keyed_for("k").unwrap()).unwrap();
         let collapsed = collapsed.align(&direct.triple.feature_names()).unwrap();

@@ -73,13 +73,9 @@ pub struct DatasetSketch {
 impl DatasetSketch {
     /// The keyed sketch for a join key column, if sketched.
     pub fn keyed_for(&self, key_column: &str) -> Result<&KeyedSketch> {
-        self.keyed
-            .iter()
-            .find(|k| k.key_column == key_column)
-            .ok_or_else(|| SketchError::KeyNotSketched {
-                dataset: self.name.clone(),
-                key: key_column.to_string(),
-            })
+        self.keyed.iter().find(|k| k.key_column == key_column).ok_or_else(|| {
+            SketchError::KeyNotSketched { dataset: self.name.clone(), key: key_column.to_string() }
+        })
     }
 
     /// Join-key columns that have sketches.
@@ -105,12 +101,7 @@ pub fn build_sketch(relation: &Relation, config: &SketchConfig) -> Result<Datase
     // Resolve feature columns.
     let raw_features: Vec<String> = match &config.feature_columns {
         Some(cols) => cols.clone(),
-        None => relation
-            .schema()
-            .numeric_names()
-            .into_iter()
-            .map(|s| s.to_string())
-            .collect(),
+        None => relation.schema().numeric_names().into_iter().map(|s| s.to_string()).collect(),
     };
     if raw_features.is_empty() {
         return Err(SketchError::NoNumericColumns(name));
@@ -158,25 +149,18 @@ pub fn build_sketch(relation: &Relation, config: &SketchConfig) -> Result<Datase
         if groups.len() > config.max_keys {
             continue;
         }
-        let groups = if config.qualify_features {
-            groups
-                .into_iter()
-                .map(|(k, t)| (k, t.rename_features(|c| qualify(&name, c))))
-                .collect()
+        let sketch = KeyedSketch::new(key.clone(), groups);
+        let sketch = if config.qualify_features {
+            // Schema-level rename: O(m) on the shared schema, not O(d·m)
+            // per-triple clones.
+            KeyedSketch::from_arena(key.clone(), sketch.arena().renamed(|c| qualify(&name, c)))
         } else {
-            groups
+            sketch
         };
-        keyed.push(KeyedSketch::new(key.clone(), groups));
+        keyed.push(sketch);
     }
 
-    Ok(DatasetSketch {
-        name,
-        raw_features,
-        features,
-        full,
-        keyed,
-        row_count: relation.num_rows(),
-    })
+    Ok(DatasetSketch { name, raw_features, features, full, keyed, row_count: relation.num_rows() })
 }
 
 /// Classify columns the way `build_sketch`'s defaults do — exposed for the

@@ -1,12 +1,21 @@
 //! Per-join-key grouped sketches with a JSON-safe wire format.
+//!
+//! Since the arena refactor a `KeyedSketch` is a thin wrapper over
+//! [`GroupedArena`]: one shared feature schema plus contiguous `c`/`s`/`q`
+//! slabs indexed by interned key ids. The JSON wire format is unchanged —
+//! a header followed by *key-sorted* `(key, triple)` pairs — and is written
+//! **by reference** (borrowed reprs over the slabs; the old path cloned
+//! every key and triple into an owned `PairRepr` first).
 
-use mileena_relation::{FxHashMap, KeyValue};
-use mileena_semiring::{CovarTriple, GroupedTriples};
+use mileena_relation::KeyValue;
+use mileena_semiring::{CovarTriple, GroupedArena, GroupedTriples, KeyInterner};
 use serde::de::{Deserializer, SeqAccess, Visitor};
-use serde::ser::{SerializeSeq, Serializer};
+use serde::ser::{SerializeSeq, SerializeStruct, Serializer};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// The `γ_j(R)` sketch: one covariance triple per distinct join-key value.
+/// The `γ_j(R)` sketch: one covariance triple per distinct join-key value,
+/// stored in arena layout.
 ///
 /// Wire format: a *sorted* sequence of `(key, triple)` pairs — JSON maps
 /// require string keys, and sorting makes uploads byte-deterministic.
@@ -14,45 +23,101 @@ use serde::{Deserialize, Serialize};
 pub struct KeyedSketch {
     /// The join-key column this sketch is grouped by.
     pub key_column: String,
-    /// Per-key triples.
-    pub groups: GroupedTriples,
+    arena: GroupedArena,
 }
 
 impl KeyedSketch {
-    /// Construct from parts.
+    /// Construct from a hash-map of per-key triples (legacy construction
+    /// path; triples must share one feature set). Keys land in the
+    /// process-global interner.
     pub fn new(key_column: impl Into<String>, groups: GroupedTriples) -> Self {
-        KeyedSketch { key_column: key_column.into(), groups }
+        Self::with_interner(key_column, groups, KeyInterner::global())
+    }
+
+    /// Construct from per-key triples against an explicit key space.
+    ///
+    /// Panics if the triples do not share one feature set — in-tree
+    /// construction always satisfies that; untrusted inputs go through
+    /// [`KeyedSketch::try_new`].
+    pub fn with_interner(
+        key_column: impl Into<String>,
+        groups: GroupedTriples,
+        interner: &Arc<KeyInterner>,
+    ) -> Self {
+        Self::try_with_interner(key_column, groups, interner)
+            .expect("KeyedSketch::new: groups must share one feature set")
+    }
+
+    /// Fallible construction from per-key triples (wire boundary: feature
+    /// sets may disagree or slab widths may be malformed in hostile input).
+    pub fn try_new(
+        key_column: impl Into<String>,
+        groups: GroupedTriples,
+    ) -> mileena_semiring::Result<Self> {
+        Self::try_with_interner(key_column, groups, KeyInterner::global())
+    }
+
+    /// Fallible construction against an explicit key space.
+    pub fn try_with_interner(
+        key_column: impl Into<String>,
+        groups: GroupedTriples,
+        interner: &Arc<KeyInterner>,
+    ) -> mileena_semiring::Result<Self> {
+        let features: Vec<String> =
+            groups.values().next().map(|t| t.features.clone()).unwrap_or_default();
+        let arena = GroupedArena::from_groups(&features, groups, interner)?;
+        Ok(KeyedSketch { key_column: key_column.into(), arena })
+    }
+
+    /// Construct directly from an arena.
+    pub fn from_arena(key_column: impl Into<String>, arena: GroupedArena) -> Self {
+        KeyedSketch { key_column: key_column.into(), arena }
+    }
+
+    /// The arena layout (kernel-level access).
+    pub fn arena(&self) -> &GroupedArena {
+        &self.arena
+    }
+
+    /// Mutable arena access.
+    pub fn arena_mut(&mut self) -> &mut GroupedArena {
+        &mut self.arena
     }
 
     /// Number of distinct keys (`d` in the paper's O(d) vertical cost).
     pub fn num_keys(&self) -> usize {
-        self.groups.len()
+        self.arena.num_keys()
     }
 
-    /// Triple for one key.
-    pub fn get(&self, key: &[KeyValue]) -> Option<&CovarTriple> {
-        self.groups.get(key)
+    /// The shared feature schema.
+    pub fn features(&self) -> &[String] {
+        self.arena.schema()
     }
 
-    /// Apply an in-place edit to every triple (used by the privacy layer).
+    /// Materialized triple for one key.
+    pub fn get(&self, key: &[KeyValue]) -> Option<CovarTriple> {
+        self.arena.find(key).map(|r| self.arena.triple_at(r))
+    }
+
+    /// Apply an in-place edit to every triple, visiting keys in sorted
+    /// order (used by the privacy layer; see also the zero-alloc
+    /// [`GroupedArena::for_each_row_mut`]).
     pub fn map_triples(&mut self, mut f: impl FnMut(&mut CovarTriple)) {
-        for t in self.groups.values_mut() {
-            f(t);
-        }
+        let features = self.arena.schema().to_vec();
+        self.arena.for_each_row_mut(|c, s, q| {
+            let mut t =
+                CovarTriple { features: features.clone(), c: *c, s: s.to_vec(), q: q.to_vec() };
+            f(&mut t);
+            *c = t.c;
+            s.copy_from_slice(&t.s);
+            q.copy_from_slice(&t.q);
+        });
     }
 
-    /// Sorted `(key, triple)` view (deterministic iteration for wire/tests).
-    pub fn sorted_pairs(&self) -> Vec<(&Vec<KeyValue>, &CovarTriple)> {
-        let mut pairs: Vec<_> = self.groups.iter().collect();
-        pairs.sort_by(|a, b| a.0.cmp(b.0));
-        pairs
+    /// Sorted `(key, triple)` pairs (deterministic iteration for tests).
+    pub fn sorted_pairs(&self) -> Vec<(Vec<KeyValue>, CovarTriple)> {
+        self.arena.sorted_pairs()
     }
-}
-
-#[derive(Serialize, Deserialize)]
-struct PairRepr {
-    key: Vec<KeyValue>,
-    triple: CovarTriple,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -60,14 +125,55 @@ struct SketchRepr {
     key_column: String,
 }
 
+/// Owned pair used on the deserialization side.
+#[derive(Deserialize)]
+struct PairRepr {
+    key: Vec<KeyValue>,
+    triple: CovarTriple,
+}
+
+/// Borrowed `(key, triple)` view over one arena row — serialization writes
+/// straight from the slabs, cloning nothing.
+struct PairRef<'a> {
+    key: &'a [KeyValue],
+    features: &'a [String],
+    c: f64,
+    s: &'a [f64],
+    q: &'a [f64],
+}
+
+impl Serialize for PairRef<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        struct TripleRef<'a>(&'a PairRef<'a>);
+        impl Serialize for TripleRef<'_> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut st = serializer.serialize_struct("CovarTriple", 4)?;
+                st.serialize_field("features", &self.0.features)?;
+                st.serialize_field("c", &self.0.c)?;
+                st.serialize_field("s", &self.0.s)?;
+                st.serialize_field("q", &self.0.q)?;
+                st.end()
+            }
+        }
+        let mut st = serializer.serialize_struct("PairRepr", 2)?;
+        st.serialize_field("key", &self.key)?;
+        st.serialize_field("triple", &TripleRef(self))?;
+        st.end()
+    }
+}
+
 impl Serialize for KeyedSketch {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         // (key_column, [pairs...]) as a 1 + n sequence keeps the format flat.
-        let pairs = self.sorted_pairs();
-        let mut seq = serializer.serialize_seq(Some(pairs.len() + 1))?;
+        let arena = &self.arena;
+        // One interner pass resolves every key exactly once.
+        let sorted = arena.sorted_keys();
+        let mut seq = serializer.serialize_seq(Some(sorted.len() + 1))?;
         seq.serialize_element(&SketchRepr { key_column: self.key_column.clone() })?;
-        for (k, t) in pairs {
-            seq.serialize_element(&PairRepr { key: k.clone(), triple: t.clone() })?;
+        let schema = arena.schema();
+        for (r, key) in &sorted {
+            let (c, s, q) = arena.row(*r);
+            seq.serialize_element(&PairRef { key, features: schema, c, s, q })?;
         }
         seq.end()
     }
@@ -82,14 +188,17 @@ impl<'de> Deserialize<'de> for KeyedSketch {
                 write!(f, "a sequence [header, pair...]")
             }
             fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
-                let header: SketchRepr = seq
-                    .next_element()?
-                    .ok_or_else(|| serde::de::Error::custom("missing sketch header"))?;
-                let mut groups: GroupedTriples = FxHashMap::default();
+                use serde::de::Error;
+                let header: SketchRepr =
+                    seq.next_element()?.ok_or_else(|| A::Error::custom("missing sketch header"))?;
+                let mut groups: GroupedTriples = Default::default();
                 while let Some(p) = seq.next_element::<PairRepr>()? {
                     groups.insert(p.key, p.triple);
                 }
-                Ok(KeyedSketch { key_column: header.key_column, groups })
+                // Wire input is untrusted: mismatched feature sets or slab
+                // widths must surface as a serde error, not a panic.
+                KeyedSketch::try_new(header.key_column, groups)
+                    .map_err(|e| A::Error::custom(format!("malformed keyed sketch: {e}")))
             }
         }
         deserializer.deserialize_seq(V)
@@ -99,17 +208,13 @@ impl<'de> Deserialize<'de> for KeyedSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mileena_relation::FxHashMap;
 
     fn sample() -> KeyedSketch {
         let mut groups: GroupedTriples = FxHashMap::default();
-        groups.insert(
-            vec![KeyValue::Int(1)],
-            CovarTriple::of_row(&["x"], &[2.0]).unwrap(),
-        );
-        groups.insert(
-            vec![KeyValue::Str("a".into())],
-            CovarTriple::of_row(&["x"], &[3.0]).unwrap(),
-        );
+        groups.insert(vec![KeyValue::Int(1)], CovarTriple::of_row(&["x"], &[2.0]).unwrap());
+        groups
+            .insert(vec![KeyValue::Str("a".into())], CovarTriple::of_row(&["x"], &[3.0]).unwrap());
         KeyedSketch::new("k", groups)
     }
 
@@ -129,6 +234,28 @@ mod tests {
     }
 
     #[test]
+    fn wire_format_shape_is_stable() {
+        // Header object then pair objects with key/triple fields.
+        let json = serde_json::to_string(&sample()).unwrap();
+        assert!(json.starts_with("[{\"key_column\":\"k\"}"), "{json}");
+        assert!(json.contains("\"key\":"), "{json}");
+        assert!(json.contains("\"triple\":{\"features\":[\"x\"]"), "{json}");
+    }
+
+    #[test]
+    fn malformed_wire_input_errors_instead_of_panicking() {
+        // Pairs with disagreeing feature sets: must be a serde error.
+        let json = r#"[{"key_column":"k"},
+            {"key":[{"Int":1}],"triple":{"features":["x"],"c":1.0,"s":[2.0],"q":[4.0]}},
+            {"key":[{"Int":2}],"triple":{"features":["y"],"c":1.0,"s":[3.0],"q":[9.0]}}]"#;
+        assert!(serde_json::from_str::<KeyedSketch>(json).is_err());
+        // Slab width disagreeing with the feature list: also an error.
+        let json = r#"[{"key_column":"k"},
+            {"key":[{"Int":1}],"triple":{"features":["x"],"c":1.0,"s":[2.0,3.0],"q":[4.0]}}]"#;
+        assert!(serde_json::from_str::<KeyedSketch>(json).is_err());
+    }
+
+    #[test]
     fn map_triples_edits_all() {
         let mut s = sample();
         s.map_triples(|t| t.c += 10.0);
@@ -143,5 +270,6 @@ mod tests {
         assert_eq!(s.num_keys(), 2);
         assert!(s.get(&[KeyValue::Int(1)]).is_some());
         assert!(s.get(&[KeyValue::Int(99)]).is_none());
+        assert_eq!(s.features(), &["x".to_string()]);
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::build::DatasetSketch;
 use crate::error::{Result, SketchError};
+use mileena_semiring::KeyInterner;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -12,20 +13,60 @@ use std::sync::Arc;
 /// Iteration order is name-sorted (BTreeMap) so searches are deterministic.
 /// Cloning the store is cheap (shared `Arc`), matching the multi-requester
 /// usage pattern: many concurrent searches over one corpus.
-#[derive(Debug, Clone, Default)]
+///
+/// Every store owns a [`KeyInterner`] — the key space its sketches' arenas
+/// index into. Registration re-interns foreign sketches so that within one
+/// store every join probe is a `u32` id comparison, never a `Vec<KeyValue>`
+/// hash. The default store shares the process-global interner, which keeps
+/// requester-built sketches join-compatible with store candidates without
+/// any re-interning.
+#[derive(Debug, Clone)]
 pub struct SketchStore {
     inner: Arc<RwLock<BTreeMap<String, Arc<DatasetSketch>>>>,
+    interner: Arc<KeyInterner>,
+}
+
+impl Default for SketchStore {
+    fn default() -> Self {
+        SketchStore { inner: Arc::default(), interner: Arc::clone(KeyInterner::global()) }
+    }
 }
 
 impl SketchStore {
-    /// New empty store.
+    /// New empty store on the process-global key space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New empty store with an isolated key space (multi-tenant platforms
+    /// that must not share key-id assignment across corpora).
+    pub fn with_interner(interner: Arc<KeyInterner>) -> Self {
+        SketchStore { inner: Arc::default(), interner }
+    }
+
+    /// The store's key space.
+    pub fn interner(&self) -> &Arc<KeyInterner> {
+        &self.interner
+    }
+
+    /// Bring a sketch onto this store's key space (no-op when it already
+    /// is; an O(d) id remap otherwise).
+    fn adopt(&self, mut sketch: DatasetSketch) -> DatasetSketch {
+        for keyed in &mut sketch.keyed {
+            if !Arc::ptr_eq(keyed.arena().interner(), &self.interner) {
+                *keyed = crate::keyed::KeyedSketch::from_arena(
+                    keyed.key_column.clone(),
+                    keyed.arena().reinterned(&self.interner),
+                );
+            }
+        }
+        sketch
     }
 
     /// Register a sketch; rejects duplicates (privacy budgets are accounted
     /// per upload, so silent replacement would be unsound).
     pub fn register(&self, sketch: DatasetSketch) -> Result<()> {
+        let sketch = self.adopt(sketch);
         let mut map = self.inner.write();
         if map.contains_key(&sketch.name) {
             return Err(SketchError::DuplicateDataset(sketch.name));
@@ -37,6 +78,7 @@ impl SketchStore {
     /// Replace a sketch unconditionally (used by re-uploads after local
     /// re-transformation; budget accounting is the caller's concern).
     pub fn replace(&self, sketch: DatasetSketch) {
+        let sketch = self.adopt(sketch);
         self.inner.write().insert(sketch.name.clone(), Arc::new(sketch));
     }
 
@@ -123,6 +165,21 @@ mod tests {
         let clone = store.clone();
         store.register(sketch("a")).unwrap();
         assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn isolated_interner_adopts_foreign_sketches() {
+        use mileena_semiring::KeyInterner;
+        let store = SketchStore::with_interner(KeyInterner::new());
+        // Sketches built outside the store live on the global interner.
+        store.register(sketch("a")).unwrap();
+        let adopted = store.get("a").unwrap();
+        for keyed in &adopted.keyed {
+            assert!(std::sync::Arc::ptr_eq(keyed.arena().interner(), store.interner()));
+        }
+        // Content is unchanged by adoption.
+        let original = sketch("a");
+        assert_eq!(adopted.keyed[0].sorted_pairs(), original.keyed[0].sorted_pairs());
     }
 
     #[test]

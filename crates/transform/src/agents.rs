@@ -185,10 +185,7 @@ mod tests {
         assert!(names.iter().any(|n| n == "last_review_days"), "duration: {names:?}");
         assert!(names.iter().any(|n| n.starts_with("neighbourhood_")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("room_type_")), "{names:?}");
-        assert!(
-            names.iter().any(|n| n == "reviews_per_month_filled"),
-            "imputation: {names:?}"
-        );
+        assert!(names.iter().any(|n| n == "reviews_per_month_filled"), "imputation: {names:?}");
         // The transformed relation actually contains them.
         for n in &report.new_columns {
             assert!(report.transformed.schema().contains(n), "missing {n}");
@@ -236,10 +233,8 @@ mod tests {
                 ReviewVerdict::Accept
             }
         }
-        let r = RelationBuilder::new("t")
-            .str_col("name", &["2BR flat", "3BR loft"])
-            .build()
-            .unwrap();
+        let r =
+            RelationBuilder::new("t").str_col("name", &["2BR flat", "3BR loft"]).build().unwrap();
         let llm = FlakyLlm;
         let report = TransformPipeline::new(&llm).run(&r, "").unwrap();
         assert!(matches!(report.outcomes[0].1, SuggestionFate::Accepted(_)));
@@ -282,10 +277,7 @@ mod tests {
         struct EagerLlm;
         impl Llm for EagerLlm {
             fn suggest(&self, _: &TransformProfile, _: &str) -> Vec<Suggestion> {
-                vec![Suggestion {
-                    description: "extract".into(),
-                    columns: vec!["name".into()],
-                }]
+                vec![Suggestion { description: "extract".into(), columns: vec!["name".into()] }]
             }
             fn implement(
                 &self,

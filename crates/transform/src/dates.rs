@@ -18,8 +18,7 @@ pub fn parse_iso_date(s: &str) -> Option<i64> {
         return None;
     }
     let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
-    let month_lens =
-        [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let month_lens = [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
     if day == 0 || day > month_lens[(month - 1) as usize] {
         return None;
     }
@@ -60,8 +59,16 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "2020-13-01", "2020-00-10", "2020-01-32", "20-01-01", "2020/01/01",
-                    "abcd-ef-gh", "2020-1-1"] {
+        for bad in [
+            "",
+            "2020-13-01",
+            "2020-00-10",
+            "2020-01-32",
+            "20-01-01",
+            "2020/01/01",
+            "abcd-ef-gh",
+            "2020-1-1",
+        ] {
             assert!(parse_iso_date(bad).is_none(), "{bad}");
         }
     }

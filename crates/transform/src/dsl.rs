@@ -131,10 +131,7 @@ impl Transform {
                     let name = format!("{prefix}_{}", sanitize(cat));
                     let mut vals = Vec::with_capacity(relation.num_rows());
                     for i in 0..relation.num_rows() {
-                        vals.push(match col_str(col, i) {
-                            Some(s) => Some(if s == cat { 1.0 } else { 0.0 }),
-                            None => None,
-                        });
+                        vals.push(col_str(col, i).map(|s| if s == cat { 1.0 } else { 0.0 }));
                     }
                     out = append(&out, &name, Column::from_opt_floats(&vals))?;
                 }
@@ -215,17 +212,14 @@ fn append(relation: &Relation, name: &str, column: Column) -> Result<Relation> {
     if relation.schema().contains(name) {
         return Err(TransformError::OutputCollision(name.to_string()));
     }
-    Ok(relation
-        .clone()
-        .with_column(Field::new(name, column.data_type()), column)?)
+    Ok(relation.clone().with_column(Field::new(name, column.data_type()), column)?)
 }
 
 /// The integer token immediately preceding `token` (e.g. "2BR" → 2).
 fn extract_number_before(s: &str, token: &str) -> Option<f64> {
     let pos = s.find(token)?;
     let head = &s[..pos];
-    let digits: String =
-        head.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
+    let digits: String = head.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
     if digits.is_empty() {
         return None;
     }
@@ -278,11 +272,8 @@ mod tests {
             .str_col("b", &["2019-01-08", "2020-01-01", "2020-03-01"])
             .build()
             .unwrap();
-        let t = Transform::DateDiffDays {
-            start: "a".into(),
-            end: "b".into(),
-            output: "dur".into(),
-        };
+        let t =
+            Transform::DateDiffDays { start: "a".into(), end: "b".into(), output: "dur".into() };
         let out = t.apply(&r).unwrap();
         assert_eq!(out.value(0, "dur").unwrap(), Value::Float(7.0));
         assert_eq!(out.value(1, "dur").unwrap(), Value::Null);
@@ -306,7 +297,10 @@ mod tests {
 
     #[test]
     fn log1p_and_negative_guard() {
-        let r = RelationBuilder::new("t").float_col("x", &[0.0, (1.0f64).exp() - 1.0, -1.0]).build().unwrap();
+        let r = RelationBuilder::new("t")
+            .float_col("x", &[0.0, (1.0f64).exp() - 1.0, -1.0])
+            .build()
+            .unwrap();
         let t = Transform::Log1p { source: "x".into(), output: "lx".into() };
         let out = t.apply(&r).unwrap();
         assert_eq!(out.value(0, "lx").unwrap(), Value::Float(0.0));
@@ -316,10 +310,7 @@ mod tests {
 
     #[test]
     fn impute_with_indicator() {
-        let r = RelationBuilder::new("t")
-            .opt_float_col("x", &[Some(2.0), None])
-            .build()
-            .unwrap();
+        let r = RelationBuilder::new("t").opt_float_col("x", &[Some(2.0), None]).build().unwrap();
         let t = Transform::ImputeWithIndicator {
             source: "x".into(),
             fill: 0.0,
@@ -334,11 +325,8 @@ mod tests {
 
     #[test]
     fn hard_errors() {
-        let r = RelationBuilder::new("t")
-            .float_col("x", &[1.0])
-            .str_col("s", &["a"])
-            .build()
-            .unwrap();
+        let r =
+            RelationBuilder::new("t").float_col("x", &[1.0]).str_col("s", &["a"]).build().unwrap();
         // wrong type
         assert!(matches!(
             Transform::ExtractNumberBefore {
@@ -355,9 +343,7 @@ mod tests {
             Err(TransformError::OutputCollision(_))
         ));
         // missing column
-        assert!(Transform::Log1p { source: "nope".into(), output: "o".into() }
-            .apply(&r)
-            .is_err());
+        assert!(Transform::Log1p { source: "nope".into(), output: "o".into() }.apply(&r).is_err());
         // empty token
         assert!(matches!(
             Transform::ExtractNumberBefore {

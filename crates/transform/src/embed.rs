@@ -54,10 +54,8 @@ pub fn embed_columns(relation: &Relation, columns: &[&str], dim: usize) -> Resul
         }
         for (k, vals) in features.into_iter().enumerate() {
             let cname = format!("{name}_emb{k}");
-            out = out.with_column(
-                Field::new(&cname, DataType::Float),
-                Column::from_opt_floats(&vals),
-            )?;
+            out = out
+                .with_column(Field::new(&cname, DataType::Float), Column::from_opt_floats(&vals))?;
         }
     }
     Ok(out)
@@ -93,10 +91,8 @@ mod tests {
 
     #[test]
     fn nulls_embed_as_null() {
-        let r = RelationBuilder::new("t")
-            .opt_str_col("s", &[Some("x".into()), None])
-            .build()
-            .unwrap();
+        let r =
+            RelationBuilder::new("t").opt_str_col("s", &[Some("x".into()), None]).build().unwrap();
         let e = embed_columns(&r, &["s"], 4).unwrap();
         assert_eq!(e.value(1, "s_emb0").unwrap(), mileena_relation::Value::Null);
         assert_ne!(e.column("s_emb0").unwrap().null_count(), 2);
@@ -118,9 +114,7 @@ mod tests {
             .unwrap();
         let e = embed_columns(&r, &["s"], 64).unwrap();
         let vec_of = |row: usize| -> Vec<f64> {
-            (0..64)
-                .map(|k| e.value(row, &format!("s_emb{k}")).unwrap().as_f64().unwrap())
-                .collect()
+            (0..64).map(|k| e.value(row, &format!("s_emb{k}")).unwrap().as_f64().unwrap()).collect()
         };
         let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
         let (v0, v1, v2) = (vec_of(0), vec_of(1), vec_of(2));

@@ -47,11 +47,8 @@ pub trait Llm {
 
     /// Reviewer role: given the suggestion and statistics of the sample
     /// output (valid fraction and variance per output column), finalize.
-    fn review(
-        &self,
-        suggestion: &Suggestion,
-        output_stats: &[(String, f64, f64)],
-    ) -> ReviewVerdict;
+    fn review(&self, suggestion: &Suggestion, output_stats: &[(String, f64, f64)])
+        -> ReviewVerdict;
 }
 
 /// Deterministic rule-based "model".
@@ -108,10 +105,7 @@ impl MockLlm {
                 }
             }
         }
-        counts
-            .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-            .map(|(t, _)| t)
+        counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0))).map(|(t, _)| t)
     }
 
     fn is_datey(c: &ColumnSummary) -> bool {
@@ -148,8 +142,7 @@ impl Llm for MockLlm {
             let end = datey
                 .iter()
                 .find(|c| {
-                    (c.name.contains("last") || c.name.contains("end"))
-                        && c.name != start.name
+                    (c.name.contains("last") || c.name.contains("end")) && c.name != start.name
                 })
                 .or_else(|| datey.iter().find(|c| c.name != start.name))
                 .unwrap();
@@ -179,10 +172,7 @@ impl Llm for MockLlm {
                 if let (Some(mean), Some(median), Some(min)) = (c.mean, c.median, c.min) {
                     if min >= 0.0 && median > 0.0 && mean > 1.5 * median {
                         out.push(Suggestion {
-                            description: format!(
-                                "log-transform right-skewed column {}",
-                                c.name
-                            ),
+                            description: format!("log-transform right-skewed column {}", c.name),
                             columns: vec![c.name.clone()],
                         });
                     }
@@ -233,11 +223,7 @@ impl Llm for MockLlm {
                 output: format!("{}_days", suggestion.columns.get(1)?),
             })
         } else if d.starts_with("one-hot") {
-            Some(Transform::OneHot {
-                source: col.clone(),
-                prefix: col.clone(),
-                max_categories: 12,
-            })
+            Some(Transform::OneHot { source: col.clone(), prefix: col.clone(), max_categories: 12 })
         } else if d.starts_with("log-transform") {
             Some(Transform::Log1p { source: col.clone(), output: format!("{col}_log") })
         } else if d.starts_with("impute") {
@@ -337,14 +323,8 @@ mod tests {
             llm.review(&sug, &[]),
             ReviewVerdict::Reject("no output columns produced".into())
         );
-        assert!(matches!(
-            llm.review(&sug, &[("o".into(), 1.0, 0.0)]),
-            ReviewVerdict::Reject(_)
-        ));
-        assert!(matches!(
-            llm.review(&sug, &[("o".into(), 0.1, 1.0)]),
-            ReviewVerdict::Reject(_)
-        ));
+        assert!(matches!(llm.review(&sug, &[("o".into(), 1.0, 0.0)]), ReviewVerdict::Reject(_)));
+        assert!(matches!(llm.review(&sug, &[("o".into(), 0.1, 1.0)]), ReviewVerdict::Reject(_)));
         assert_eq!(llm.review(&sug, &[("o".into(), 0.9, 1.0)]), ReviewVerdict::Accept);
     }
 }

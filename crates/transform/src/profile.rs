@@ -57,11 +57,8 @@ impl TransformProfile {
             .map(|(f, col)| {
                 let mut numeric: Vec<f64> = (0..n).filter_map(|i| col.f64_at(i)).collect();
                 numeric.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let median = if numeric.is_empty() {
-                    None
-                } else {
-                    Some(numeric[numeric.len() / 2])
-                };
+                let median =
+                    if numeric.is_empty() { None } else { Some(numeric[numeric.len() / 2]) };
                 let (mut dates, mut digits, mut sampled) = (0usize, 0usize, 0usize);
                 if f.data_type == DataType::Str {
                     for i in 0..n.min(200) {
@@ -84,11 +81,7 @@ impl TransformProfile {
                     max: numeric.last().copied(),
                     median,
                     mean: col.mean(),
-                    null_fraction: if n == 0 {
-                        0.0
-                    } else {
-                        col.null_count() as f64 / n as f64
-                    },
+                    null_fraction: if n == 0 { 0.0 } else { col.null_count() as f64 / n as f64 },
                     distinct: col.distinct_count(),
                     iso_date_fraction: frac(dates),
                     digit_fraction: frac(digits),
@@ -138,10 +131,8 @@ mod tests {
 
     #[test]
     fn sample_capped_at_ten() {
-        let r = RelationBuilder::new("t")
-            .int_col("k", &(0..50).collect::<Vec<_>>())
-            .build()
-            .unwrap();
+        let r =
+            RelationBuilder::new("t").int_col("k", &(0..50).collect::<Vec<_>>()).build().unwrap();
         let p = TransformProfile::of(&r);
         assert_eq!(p.sample.len(), 10);
     }

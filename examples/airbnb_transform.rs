@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Raw numerics vs engineered features, same 70/30 split, same model.
-    let raw_cols = vec!["minimum_nights", "availability_365", "cleaning_fee"];
+    let raw_cols = ["minimum_nights", "availability_365", "cleaning_fee"];
     let mut eng_cols: Vec<String> = raw_cols.iter().map(|s| s.to_string()).collect();
     eng_cols.extend(report.new_columns.iter().cloned());
 

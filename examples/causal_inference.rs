@@ -6,8 +6,7 @@
 //! ```
 
 use mileena::causal::{
-    discover_skeleton, pairwise_direction, run_ate_experiment, AteExperimentConfig,
-    SkeletonConfig,
+    discover_skeleton, pairwise_direction, run_ate_experiment, AteExperimentConfig, SkeletonConfig,
 };
 use mileena::datagen::{generate_causal, CausalConfig};
 use mileena::privacy::PrivacyBudget;

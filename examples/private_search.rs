@@ -72,9 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn fpm_selections(
-    r: &mileena::core::PlatformSearchResult,
-) -> Vec<mileena::search::Augmentation> {
+fn fpm_selections(r: &mileena::core::PlatformSearchResult) -> Vec<mileena::search::Augmentation> {
     r.outcome.steps.iter().map(|s| s.augmentation.clone()).collect()
 }
 

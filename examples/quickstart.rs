@@ -53,9 +53,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step.elapsed
         );
     }
-    println!(
-        "\nplanted signal datasets (ground truth): {:?}",
-        corpus.ground_truth.signal_datasets
-    );
+    println!("\nplanted signal datasets (ground truth): {:?}", corpus.ground_truth.signal_datasets);
     Ok(())
 }

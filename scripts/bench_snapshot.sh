@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the search-latency benchmark suite and snapshot its results as
+# BENCH_search.json so successive PRs can track the perf trajectory.
+#
+# The in-tree criterion shim writes one JSON file per bench binary into
+# $CRITERION_OUT_DIR ([{group, bench, mean_ns, samples, iters_per_sample}]).
+# Tune measuring time with MILEENA_BENCH_MS (default 200 ms per benchmark).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Bench binaries run with the package directory as CWD: hand them an
+# absolute output path so the snapshot lands at the workspace root.
+out_dir="${CRITERION_OUT_DIR:-$PWD/target/criterion-mini}"
+CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench search_latency "$@"
+
+snapshot="$out_dir/search_latency.json"
+if [[ ! -f "$snapshot" ]]; then
+    echo "error: $snapshot not produced" >&2
+    exit 1
+fi
+cp "$snapshot" BENCH_search.json
+echo "wrote BENCH_search.json:"
+cat BENCH_search.json

@@ -1,0 +1,215 @@
+//! In-tree shim of the `criterion` API subset this workspace's benches use.
+//!
+//! Each `Bencher::iter` measurement runs a short warmup, then timed samples,
+//! and records the per-iteration mean. Results print to stdout and are
+//! written as JSON to `target/criterion-mini/<bench>.json` (override the
+//! directory with `CRITERION_OUT_DIR`) so `scripts/bench_snapshot.sh` can
+//! track the perf trajectory across PRs.
+//!
+//! Tuning: `MILEENA_BENCH_MS` (default 200) bounds the measuring time per
+//! benchmark, so full suites stay fast on CI.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value/computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier "function/parameter" for parameterized benches.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("label", param)` → `"label/param"`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    bench: String,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, &mut f);
+        group.finish();
+    }
+
+    /// Write the JSON report. Called by `criterion_main!`.
+    pub fn finalize(&self) {
+        let dir = std::env::var("CRITERION_OUT_DIR")
+            .unwrap_or_else(|_| "target/criterion-mini".to_string());
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let exe = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "bench".to_string());
+        // Cargo suffixes bench executables with a metadata hash: strip it.
+        let stem = match exe.rsplit_once('-') {
+            Some((base, hash))
+                if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+            {
+                base.to_string()
+            }
+            _ => exe,
+        };
+        let mut json = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.group, r.bench, r.mean_ns, r.samples, r.iters_per_sample,
+            ));
+        }
+        json.push_str("\n]\n");
+        let _ = std::fs::write(format!("{dir}/{stem}.json"), json);
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        self.run(name.to_string(), &mut f);
+    }
+
+    /// Run a parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.id, &mut |b| f(b, input));
+    }
+
+    /// Flush the group (printing happens as benches run).
+    pub fn finish(self) {}
+
+    fn run(&mut self, bench: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { samples: self.sample_size, result: None };
+        f(&mut bencher);
+        let Some((mean_ns, samples, iters)) = bencher.result else { return };
+        let label =
+            if self.name.is_empty() { bench.clone() } else { format!("{}/{}", self.name, bench) };
+        println!("bench {label:<50} {:>12.2} µs/iter ({samples} samples)", mean_ns / 1e3);
+        self.criterion.records.push(Record {
+            group: self.name.clone(),
+            bench,
+            mean_ns,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    samples: usize,
+    result: Option<(f64, usize, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine`: mean wall-clock per call over timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget_ms: u64 =
+            std::env::var("MILEENA_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+        let budget = Duration::from_millis(budget_ms);
+
+        // Warmup + cost estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(50));
+
+        // Pick iterations per sample so one sample ≈ budget / samples.
+        let per_sample = budget / (self.samples as u32);
+        let iters: u64 = (per_sample.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        let mut samples_done = 0usize;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            total_iters += iters;
+            samples_done += 1;
+            // Hard cap: never exceed ~2× the budget even if the estimate
+            // was off (first call often hits cold caches).
+            if run_start.elapsed() > budget * 2 {
+                break;
+            }
+        }
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        self.result = Some((mean_ns, samples_done, iters));
+    }
+}
+
+/// Define a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a bench binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes bench targets with `--test`: nothing to do.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}

@@ -1,0 +1,251 @@
+//! Deserialization half of the shim.
+//!
+//! Unlike real serde this is a *direct-decode* model: `Deserializer` exposes
+//! typed `decode_*` methods (the only backend is the JSON value tree), plus a
+//! minimal `Visitor`/`SeqAccess` path for streaming sequence formats.
+
+use std::fmt::Display;
+
+/// Error constructor hook, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can construct itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Sequence access (mirrors `serde::de::SeqAccess`).
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Sub-deserializer for one element.
+    type De: Deserializer<'de, Error = Self::Error>;
+    /// The next element's deserializer, or `None` at the end.
+    fn next_de(&mut self) -> Option<Self::De>;
+    /// Decode the next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_de().map(T::deserialize).transpose()
+    }
+    /// Remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Struct (object) access by field name.
+pub trait StructAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Sub-deserializer for one field.
+    type De: Deserializer<'de, Error = Self::Error>;
+    /// Deserializer for a named field (error if absent).
+    fn field_de(&mut self, name: &'static str) -> Result<Self::De, Self::Error>;
+    /// Decode a named field.
+    fn field<T: Deserialize<'de>>(&mut self, name: &'static str) -> Result<T, Self::Error> {
+        T::deserialize(self.field_de(name)?)
+    }
+}
+
+/// Map access as (key, value) entries.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Decode the next entry, or `None` at the end.
+    fn next_entry<V: Deserialize<'de>>(&mut self) -> Result<Option<(String, V)>, Self::Error>;
+}
+
+/// Access to an externally-tagged enum variant's payload.
+pub trait VariantAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Sub-deserializer for a newtype payload.
+    type De: Deserializer<'de, Error = Self::Error>;
+    /// Struct access for a struct-variant payload.
+    type Struct: StructAccess<'de, Error = Self::Error>;
+    /// Expect a unit variant (no payload).
+    fn unit(self) -> Result<(), Self::Error>;
+    /// Expect a newtype payload.
+    fn newtype_de(self) -> Result<Self::De, Self::Error>;
+    /// Expect a struct payload.
+    fn struct_access(self, fields: &'static [&'static str]) -> Result<Self::Struct, Self::Error>;
+}
+
+/// Streaming visitor (sequence-only subset of `serde::de::Visitor`).
+pub trait Visitor<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Human description of the expected input, for errors.
+    fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result;
+    /// Visit a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        struct Exp<'a, V>(&'a V);
+        impl<'de, V: Visitor<'de>> Display for Exp<'_, V> {
+            fn fmt(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                self.0.expecting(f)
+            }
+        }
+        Err(A::Error::custom(format!("unexpected sequence, wanted {}", Exp(&self))))
+    }
+}
+
+/// The input format driver (single implementation: the JSON shim).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Sequence access type.
+    type Seq: SeqAccess<'de, Error = Self::Error>;
+    /// Struct access type.
+    type Struct: StructAccess<'de, Error = Self::Error>;
+    /// Map access type.
+    type Map: MapAccess<'de, Error = Self::Error>;
+    /// Enum variant access type.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Decode a boolean.
+    fn decode_bool(self) -> Result<bool, Self::Error>;
+    /// Decode a signed integer.
+    fn decode_i64(self) -> Result<i64, Self::Error>;
+    /// Decode an unsigned integer.
+    fn decode_u64(self) -> Result<u64, Self::Error>;
+    /// Decode a float (integers widen).
+    fn decode_f64(self) -> Result<f64, Self::Error>;
+    /// Decode a string.
+    fn decode_string(self) -> Result<String, Self::Error>;
+    /// Whether the current value is `null` (drives `Option`).
+    fn is_null(&self) -> bool;
+    /// Begin sequence access.
+    fn decode_seq(self) -> Result<Self::Seq, Self::Error>;
+    /// Begin struct access.
+    fn decode_struct(self, fields: &'static [&'static str]) -> Result<Self::Struct, Self::Error>;
+    /// Begin map access.
+    fn decode_map(self) -> Result<Self::Map, Self::Error>;
+    /// Decode an externally-tagged enum: `(variant name, payload access)`.
+    fn decode_enum(self) -> Result<(String, Self::Variant), Self::Error>;
+    /// Visitor-driven sequence decoding (streaming wire formats).
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        visitor.visit_seq(self.decode_seq()?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive / container impls.
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.decode_i64()?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom(
+                    format!("integer {v} out of range for {}", stringify!($t)),
+                ))
+            }
+        }
+    )*};
+}
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.decode_u64()?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom(
+                    format!("integer {v} out of range for {}", stringify!($t)),
+                ))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+de_uint!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.decode_f64()
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(d.decode_f64()? as f32)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.decode_bool()
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.decode_string()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        if d.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(d).map(Some)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut seq = d.decode_seq()?;
+        let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+        while let Some(v) = seq.next_element()? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut seq = d.decode_seq()?;
+        let missing = || D::Error::custom("tuple of 2: missing element");
+        let a = seq.next_element()?.ok_or_else(missing)?;
+        let b = seq.next_element()?.ok_or_else(missing)?;
+        Ok((a, b))
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut seq = d.decode_seq()?;
+        let missing = || D::Error::custom("tuple of 3: missing element");
+        let a = seq.next_element()?.ok_or_else(missing)?;
+        let b = seq.next_element()?.ok_or_else(missing)?;
+        let c = seq.next_element()?.ok_or_else(missing)?;
+        Ok((a, b, c))
+    }
+}
+
+impl<'de, V: Deserialize<'de>, H: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, H>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut map = d.decode_map()?;
+        let mut out = Self::default();
+        while let Some((k, v)) = map.next_entry()? {
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut map = d.decode_map()?;
+        let mut out = Self::new();
+        while let Some((k, v)) = map.next_entry()? {
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}

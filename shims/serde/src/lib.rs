@@ -1,0 +1,19 @@
+//! In-tree shim of the `serde` facade: the trait subset this workspace uses,
+//! shaped for a single JSON backend (`serde_json` shim). The build
+//! environment is offline, so the real crates cannot be fetched; this shim
+//! keeps the familiar `#[derive(Serialize, Deserialize)]` surface working.
+//!
+//! Deliberate simplifications vs real serde:
+//! - the `Deserializer` trait is *direct-decode* (no visitor dance) except
+//!   for a small `Visitor`/`SeqAccess` path kept for streaming sequence
+//!   formats (the sketch wire format uses it);
+//! - maps serialize with sorted keys so output is byte-deterministic.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,482 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Supports exactly the shapes this workspace uses: non-generic named-field
+//! structs and enums whose variants are unit, one-field tuple ("newtype"),
+//! or named-field structs. One field attribute is honored:
+//! `#[serde(with = "module")]`, delegating to `module::{serialize,
+//! deserialize}`. Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    /// One-field tuple struct, serialized transparently as its inner value.
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_ser_struct(name, fields),
+        Item::NewtypeStruct { name } => gen_ser_newtype(name),
+        Item::Enum { name, variants } => gen_ser_enum(name, variants),
+    };
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_de_struct(name, fields),
+        Item::NewtypeStruct { name } => gen_de_newtype(name),
+        Item::Enum { name, variants } => gen_de_enum(name, variants),
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip attributes, returning any `#[serde(...)]` with-path found.
+    fn skip_attrs(&mut self) -> Option<String> {
+        let mut with = None;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde_derive: `#` not followed by attribute group");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        with = parse_serde_with(args.stream());
+                    }
+                }
+            }
+        }
+        with
+    }
+
+    /// Skip `pub`, `pub(crate)` etc.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+fn parse_serde_with(args: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    match (toks.first(), toks.get(1), toks.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        _ => panic!("serde_derive: only `#[serde(with = \"module\")]` is supported"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type {name})");
+    }
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => match kind.as_str() {
+            "struct" => Item::Struct { name, fields: parse_fields(g.stream()) },
+            "enum" => Item::Enum { name, variants: parse_variants(g.stream()) },
+            other => panic!("serde_derive: cannot derive for `{other}` items"),
+        },
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Item::NewtypeStruct { name }
+        }
+        other => panic!("serde_derive: expected body for {name}, got {other:?}"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let with = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field {name}, got {other:?}"),
+        }
+        // Collect the type up to a top-level comma (angle-bracket aware).
+        let mut depth = 0i32;
+        let mut ty = String::new();
+        while let Some(tok) = cur.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        cur.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let tok = cur.next().unwrap();
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tok.to_string());
+        }
+        fields.push(Field { name, ty, with });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                let has_comma = {
+                    let mut depth = 0i32;
+                    let mut comma = false;
+                    for t in g.clone() {
+                        if let TokenTree::Punct(p) = &t {
+                            match p.as_char() {
+                                '<' => depth += 1,
+                                '>' => depth -= 1,
+                                ',' if depth == 0 => comma = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                    comma
+                };
+                if has_comma {
+                    panic!("serde_derive: multi-field tuple variants unsupported ({name})");
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Trailing comma between variants.
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cur.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+
+fn ser_field(target: &str, f: &Field, value_expr: &str) -> String {
+    match &f.with {
+        None => format!(
+            "::serde::ser::SerializeStruct::serialize_field(&mut {target}, \"{n}\", {v})?;\n",
+            n = f.name,
+            v = value_expr,
+        ),
+        Some(with) => format!(
+            "{{
+                struct __SerdeWith<'__a>(&'__a {ty});
+                impl ::serde::ser::Serialize for __SerdeWith<'_> {{
+                    fn serialize<__S2: ::serde::ser::Serializer>(
+                        &self, __s2: __S2,
+                    ) -> ::std::result::Result<__S2::Ok, __S2::Error> {{
+                        {with}::serialize(self.0, __s2)
+                    }}
+                }}
+                ::serde::ser::SerializeStruct::serialize_field(
+                    &mut {target}, \"{n}\", &__SerdeWith({v}),
+                )?;
+            }}\n",
+            ty = f.ty,
+            n = f.name,
+            v = value_expr,
+        ),
+    }
+}
+
+fn gen_ser_struct(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&ser_field("__st", f, &format!("&self.{}", f.name)));
+    }
+    format!(
+        "#[automatically_derived]
+        impl ::serde::ser::Serialize for {name} {{
+            fn serialize<__S: ::serde::ser::Serializer>(
+                &self, __s: __S,
+            ) -> ::std::result::Result<__S::Ok, __S::Error> {{
+                #[allow(unused_mut)]
+                let mut __st = ::serde::ser::Serializer::serialize_struct(__s, \"{name}\", {len})?;
+                {body}
+                ::serde::ser::SerializeStruct::end(__st)
+            }}
+        }}",
+        len = fields.len(),
+    )
+}
+
+fn gen_ser_newtype(name: &str) -> String {
+    format!(
+        "#[automatically_derived]
+        impl ::serde::ser::Serialize for {name} {{
+            fn serialize<__S: ::serde::ser::Serializer>(
+                &self, __s: __S,
+            ) -> ::std::result::Result<__S::Ok, __S::Error> {{
+                ::serde::ser::Serialize::serialize(&self.0, __s)
+            }}
+        }}",
+    )
+}
+
+fn gen_de_newtype(name: &str) -> String {
+    format!(
+        "#[automatically_derived]
+        impl<'de> ::serde::de::Deserialize<'de> for {name} {{
+            fn deserialize<__D: ::serde::de::Deserializer<'de>>(
+                __d: __D,
+            ) -> ::std::result::Result<Self, __D::Error> {{
+                ::std::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))
+            }}
+        }}",
+    )
+}
+
+fn gen_ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::ser::Serializer::serialize_unit_variant(__s, \"{name}\", \"{vn}\"),\n",
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{name}::{vn}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__s, \"{name}\", \"{vn}\", __f0),\n",
+            )),
+            VariantKind::Struct(fields) => {
+                let bind: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut body = String::new();
+                for f in fields {
+                    body.push_str(&ser_field("__sv", f, &f.name));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{
+                        #[allow(unused_mut)]
+                        let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(__s, \"{name}\", \"{vn}\", {len})?;
+                        {body}
+                        ::serde::ser::SerializeStruct::end(__sv)
+                    }}\n",
+                    binds = bind.join(", "),
+                    len = fields.len(),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]
+        impl ::serde::ser::Serialize for {name} {{
+            fn serialize<__S: ::serde::ser::Serializer>(
+                &self, __s: __S,
+            ) -> ::std::result::Result<__S::Ok, __S::Error> {{
+                match self {{
+                    {arms}
+                }}
+            }}
+        }}",
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+
+fn de_field(f: &Field) -> String {
+    match &f.with {
+        None => format!(
+            "{n}: ::serde::de::StructAccess::field(&mut __st, \"{n}\")?,\n",
+            n = f.name,
+        ),
+        Some(with) => format!(
+            "{n}: {with}::deserialize(::serde::de::StructAccess::field_de(&mut __st, \"{n}\")?)?,\n",
+            n = f.name,
+        ),
+    }
+}
+
+fn field_name_list(fields: &[Field]) -> String {
+    fields.iter().map(|f| format!("\"{}\"", f.name)).collect::<Vec<_>>().join(", ")
+}
+
+fn gen_de_struct(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&de_field(f));
+    }
+    format!(
+        "#[automatically_derived]
+        impl<'de> ::serde::de::Deserialize<'de> for {name} {{
+            fn deserialize<__D: ::serde::de::Deserializer<'de>>(
+                __d: __D,
+            ) -> ::std::result::Result<Self, __D::Error> {{
+                #[allow(unused_mut)]
+                let mut __st = ::serde::de::Deserializer::decode_struct(__d, &[{names}])?;
+                ::std::result::Result::Ok({name} {{ {body} }})
+            }}
+        }}",
+        names = field_name_list(fields),
+    )
+}
+
+fn gen_de_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "\"{vn}\" => {{
+                    ::serde::de::VariantAccess::unit(__var)?;
+                    ::std::result::Result::Ok({name}::{vn})
+                }}\n",
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(
+                    ::serde::de::Deserialize::deserialize(
+                        ::serde::de::VariantAccess::newtype_de(__var)?,
+                    )?,
+                )),\n",
+            )),
+            VariantKind::Struct(fields) => {
+                let mut body = String::new();
+                for f in fields {
+                    body.push_str(&de_field(f));
+                }
+                arms.push_str(&format!(
+                    "\"{vn}\" => {{
+                        #[allow(unused_mut)]
+                        let mut __st = ::serde::de::VariantAccess::struct_access(__var, &[{names}])?;
+                        ::std::result::Result::Ok({name}::{vn} {{ {body} }})
+                    }}\n",
+                    names = field_name_list(fields),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]
+        impl<'de> ::serde::de::Deserialize<'de> for {name} {{
+            fn deserialize<__D: ::serde::de::Deserializer<'de>>(
+                __d: __D,
+            ) -> ::std::result::Result<Self, __D::Error> {{
+                let (__tag, __var) = ::serde::de::Deserializer::decode_enum(__d)?;
+                match __tag.as_str() {{
+                    {arms}
+                    __other => ::std::result::Result::Err(
+                        <__D::Error as ::serde::de::Error>::custom(
+                            format!(\"unknown variant `{{}}` for {name}\", __other),
+                        ),
+                    ),
+                }}
+            }}
+        }}",
+    )
+}

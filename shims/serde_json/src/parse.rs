@@ -1,0 +1,211 @@
+//! Recursive-descent JSON parser into the [`Value`] tree.
+
+use crate::value::{Value, ValueDe};
+use crate::Error;
+use serde::de::Error as DeError;
+
+/// Parse a JSON document and deserialize `T` from it. `T` must be owned
+/// (`for<'de> Deserialize<'de>`, i.e. serde's `DeserializeOwned`): the tree
+/// lives only for the duration of this call.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let value = parse_document(input)?;
+    // The tree outlives the deserializer only within this call; decoding
+    // clones out whatever it keeps, so the borrow never escapes.
+    T::deserialize(ValueDe(&value))
+}
+
+fn parse_document(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::custom(format!("expected `{}` at byte {}", ch as char, pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::custom("unexpected end of input")),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Value::Null),
+        Some(b't') => parse_lit(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom(format!("bad array at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::custom(format!("bad object at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error::custom(format!("bad literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::custom("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                        // Surrogate pairs: decode the low half if present.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            let rest = bytes.get(*pos + 5..*pos + 11);
+                            let (lo, consumed) = match rest {
+                                Some([b'\\', b'u', h @ ..]) if h.len() == 4 => {
+                                    let h = std::str::from_utf8(h)
+                                        .map_err(|_| Error::custom("bad surrogate"))?;
+                                    let lo = u32::from_str_radix(h, 16)
+                                        .map_err(|_| Error::custom("bad surrogate"))?;
+                                    (lo, 6)
+                                }
+                                _ => return Err(Error::custom("lone high surrogate")),
+                            };
+                            *pos += consumed;
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(c).ok_or_else(|| Error::custom("bad surrogate"))?
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| Error::custom("bad codepoint"))?
+                        };
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::custom("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid; find the next char from here).
+                let s = &bytes[*pos..];
+                let text = unsafe { std::str::from_utf8_unchecked(s) };
+                let ch = text.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::custom("bad number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Int(v));
+        }
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::UInt(v));
+        }
+    }
+    text.parse::<f64>().map(Value::Float).map_err(|_| Error::custom(format!("bad number `{text}`")))
+}

@@ -1,0 +1,213 @@
+//! Streaming JSON serializer: writes straight into a `String` buffer with
+//! no intermediate tree, so serializing borrowed data allocates nothing
+//! beyond the output itself.
+
+use crate::Error;
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+use serde::Serialize;
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::with_capacity(128);
+    value.serialize(JsonSer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Borrowing serializer over a shared output buffer.
+pub struct JsonSer<'a> {
+    out: &'a mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's Display for f64 is shortest round-trip; integral values
+        // print without a fraction and parse back as JSON integers, which
+        // decode_f64 widens again — lossless either way.
+        out.push_str(&v.to_string());
+    } else {
+        // Mirrors real serde_json's only representable choice.
+        out.push_str("null");
+    }
+}
+
+/// Writes `[a,b,...]`.
+pub struct JsonSeqSer<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+/// Writes `{"k":v,...}` (optionally nested one level for struct variants).
+pub struct JsonObjSer<'a> {
+    out: &'a mut String,
+    first: bool,
+    /// Struct variants wrap the object in `{"Variant": ... }`.
+    close_variant: bool,
+}
+
+impl<'a> Serializer for JsonSer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = JsonSeqSer<'a>;
+    type SerializeStruct = JsonObjSer<'a>;
+    type SerializeMap = JsonObjSer<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeqSer<'a>, Error> {
+        self.out.push('[');
+        Ok(JsonSeqSer { out: self.out, first: true })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonObjSer<'a>, Error> {
+        self.out.push('{');
+        Ok(JsonObjSer { out: self.out, first: true, close_variant: false })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonObjSer<'a>, Error> {
+        self.out.push('{');
+        Ok(JsonObjSer { out: self.out, first: true, close_variant: false })
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(JsonSer { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<JsonObjSer<'a>, Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(JsonObjSer { out: self.out, first: true, close_variant: true })
+    }
+}
+
+impl SerializeSeq for JsonSeqSer<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+impl SerializeStruct for JsonObjSer<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, name);
+        self.out.push(':');
+        value.serialize(JsonSer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.out.push('}');
+        if self.close_variant {
+            self.out.push('}');
+        }
+        Ok(())
+    }
+}
+
+impl SerializeMap for JsonObjSer<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_entry<V: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &V,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(JsonSer { out: self.out })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.out.push('}');
+        if self.close_variant {
+            self.out.push('}');
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,211 @@
+//! The parsed JSON tree and its deserializer implementation.
+
+use crate::Error;
+use serde::de::{
+    Deserializer, Error as DeError, MapAccess, SeqAccess, StructAccess, VariantAccess,
+};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (no fraction/exponent in the literal, fits i64).
+    Int(i64),
+    /// Unsigned integer too large for i64.
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Borrowed-node deserializer.
+pub struct ValueDe<'a>(pub(crate) &'a Value);
+
+/// Sequence access over an array node.
+pub struct SeqDe<'a> {
+    items: std::slice::Iter<'a, Value>,
+}
+
+/// Struct access over an object node.
+pub struct StructDe<'a> {
+    entries: &'a [(String, Value)],
+}
+
+/// Map access over an object node.
+pub struct MapDe<'a> {
+    entries: std::slice::Iter<'a, (String, Value)>,
+}
+
+/// Variant payload access.
+pub struct VariantDe<'a>(Option<&'a Value>);
+
+impl<'de> Deserializer<'de> for ValueDe<'de> {
+    type Error = Error;
+    type Seq = SeqDe<'de>;
+    type Struct = StructDe<'de>;
+    type Map = MapDe<'de>;
+    type Variant = VariantDe<'de>;
+
+    fn decode_bool(self) -> Result<bool, Error> {
+        match self.0 {
+            Value::Bool(b) => Ok(*b),
+            v => Err(Error::custom(format!("expected bool, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_i64(self) -> Result<i64, Error> {
+        match self.0 {
+            Value::Int(v) => Ok(*v),
+            Value::UInt(v) => {
+                i64::try_from(*v).map_err(|_| Error::custom(format!("unsigned {v} exceeds i64")))
+            }
+            v => Err(Error::custom(format!("expected integer, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_u64(self) -> Result<u64, Error> {
+        match self.0 {
+            Value::UInt(v) => Ok(*v),
+            Value::Int(v) => u64::try_from(*v)
+                .map_err(|_| Error::custom(format!("negative {v} is not unsigned"))),
+            v => Err(Error::custom(format!("expected integer, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_f64(self) -> Result<f64, Error> {
+        match self.0 {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            Value::UInt(v) => Ok(*v as f64),
+            // Real serde_json can't represent non-finite floats either; the
+            // serializer writes them as null, so accept null back as NaN.
+            Value::Null => Ok(f64::NAN),
+            v => Err(Error::custom(format!("expected number, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_string(self) -> Result<String, Error> {
+        match self.0 {
+            Value::Str(s) => Ok(s.clone()),
+            v => Err(Error::custom(format!("expected string, got {}", v.kind()))),
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        matches!(self.0, Value::Null)
+    }
+
+    fn decode_seq(self) -> Result<SeqDe<'de>, Error> {
+        match self.0 {
+            Value::Array(items) => Ok(SeqDe { items: items.iter() }),
+            v => Err(Error::custom(format!("expected array, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_struct(self, _fields: &'static [&'static str]) -> Result<StructDe<'de>, Error> {
+        match self.0 {
+            Value::Object(entries) => Ok(StructDe { entries }),
+            v => Err(Error::custom(format!("expected object, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_map(self) -> Result<MapDe<'de>, Error> {
+        match self.0 {
+            Value::Object(entries) => Ok(MapDe { entries: entries.iter() }),
+            v => Err(Error::custom(format!("expected object, got {}", v.kind()))),
+        }
+    }
+
+    fn decode_enum(self) -> Result<(String, VariantDe<'de>), Error> {
+        match self.0 {
+            // Unit variant: bare string tag.
+            Value::Str(tag) => Ok((tag.clone(), VariantDe(None))),
+            // Tagged variant: single-entry object.
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.clone(), VariantDe(Some(&entries[0].1))))
+            }
+            v => Err(Error::custom(format!(
+                "expected enum (string or 1-entry object), got {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> SeqAccess<'de> for SeqDe<'de> {
+    type Error = Error;
+    type De = ValueDe<'de>;
+    fn next_de(&mut self) -> Option<ValueDe<'de>> {
+        self.items.next().map(ValueDe)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+}
+
+impl<'de> StructAccess<'de> for StructDe<'de> {
+    type Error = Error;
+    type De = ValueDe<'de>;
+    fn field_de(&mut self, name: &'static str) -> Result<ValueDe<'de>, Error> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| ValueDe(v))
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+    }
+}
+
+impl<'de> MapAccess<'de> for MapDe<'de> {
+    type Error = Error;
+    fn next_entry<V: serde::de::Deserialize<'de>>(&mut self) -> Result<Option<(String, V)>, Error> {
+        match self.entries.next() {
+            None => Ok(None),
+            Some((k, v)) => Ok(Some((k.clone(), V::deserialize(ValueDe(v))?))),
+        }
+    }
+}
+
+impl<'de> VariantAccess<'de> for VariantDe<'de> {
+    type Error = Error;
+    type De = ValueDe<'de>;
+    type Struct = StructDe<'de>;
+
+    fn unit(self) -> Result<(), Error> {
+        match self.0 {
+            None | Some(Value::Null) => Ok(()),
+            Some(v) => Err(Error::custom(format!("unit variant has payload {}", v.kind()))),
+        }
+    }
+
+    fn newtype_de(self) -> Result<ValueDe<'de>, Error> {
+        self.0.map(ValueDe).ok_or_else(|| Error::custom("newtype variant missing payload"))
+    }
+
+    fn struct_access(self, fields: &'static [&'static str]) -> Result<StructDe<'de>, Error> {
+        match self.0 {
+            Some(v) => ValueDe(v).decode_struct(fields),
+            None => Err(Error::custom("struct variant missing payload")),
+        }
+    }
+}

@@ -39,9 +39,7 @@ fn platform_search_improves_model_and_matches_materialized() {
     let corpus = generate_corpus(&corpus_cfg(101));
     let platform = CentralPlatform::new(PlatformConfig::default());
     for p in &corpus.providers {
-        platform
-            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
-            .unwrap();
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
     }
     let req = request(&corpus);
     let result = platform.search(&req, &SearchConfig::default()).unwrap();
@@ -54,8 +52,7 @@ fn platform_search_improves_model_and_matches_materialized() {
 
     // The proxy's claimed score must match retraining on materialized data
     // (exact sketches ⇒ identical sufficient statistics).
-    let selections: Vec<_> =
-        result.outcome.steps.iter().map(|s| s.augmentation.clone()).collect();
+    let selections: Vec<_> = result.outcome.steps.iter().map(|s| s.augmentation.clone()).collect();
     let materialized = materialized_utility(&req, &selections, &corpus.providers, 1e-4).unwrap();
     assert!(
         (materialized - result.outcome.final_score).abs() < 0.02,
@@ -69,9 +66,7 @@ fn search_latency_is_subsecond_on_a_hundred_datasets() {
     let corpus = generate_corpus(&corpus_cfg(102));
     let platform = CentralPlatform::new(PlatformConfig::default());
     for p in &corpus.providers {
-        platform
-            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
-            .unwrap();
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
     }
     let req = request(&corpus);
     let t0 = std::time::Instant::now();
@@ -88,9 +83,7 @@ fn returned_model_predicts_on_augmented_features() {
     let corpus = generate_corpus(&corpus_cfg(103));
     let platform = CentralPlatform::new(PlatformConfig::default());
     for p in &corpus.providers {
-        platform
-            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
-            .unwrap();
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
     }
     let req = request(&corpus);
     let result = platform.search(&req, &SearchConfig::default()).unwrap();
@@ -107,22 +100,14 @@ fn quality_matches_direct_oracle_join() {
     let corpus = generate_corpus(&corpus_cfg(104));
     let platform = CentralPlatform::new(PlatformConfig::default());
     for p in &corpus.providers {
-        platform
-            .register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap())
-            .unwrap();
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
     }
     let req = request(&corpus);
     let result = platform.search(&req, &SearchConfig::default()).unwrap();
 
     let strongest = &corpus.ground_truth.signal_datasets[0];
     let sig = corpus.providers.iter().find(|p| p.name() == strongest).unwrap();
-    let feat = sig
-        .schema()
-        .names()
-        .iter()
-        .find(|n| n.starts_with("feat_"))
-        .unwrap()
-        .to_string();
+    let feat = sig.schema().names().iter().find(|n| n.starts_with("feat_")).unwrap().to_string();
     let jtrain = corpus.train.hash_join(sig, &["zone"], &["zone"]).unwrap();
     let jtest = corpus.test.hash_join(sig, &["zone"], &["zone"]).unwrap();
     let mut m = LinearModel::new(RidgeConfig::default());

@@ -40,7 +40,7 @@ fn figure5_mechanism_ordering() {
         index.register(mileena::discovery::DatasetProfile::of(p, 128));
     }
 
-    let mut run = |mode: PrivacyMode| -> f64 {
+    let run = |mode: PrivacyMode| -> f64 {
         let mut session = ModeSession::prepare(mode, &providers, mode_cfg()).unwrap();
         session.search(&request, &index, &search_cfg()).unwrap().utility
     };

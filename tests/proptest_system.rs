@@ -56,6 +56,59 @@ proptest! {
         }
     }
 
+    /// Arena-layout invariant at tight tolerance: the slab-backed
+    /// `eval_join` (sorted-merge over interned key ids) must equal the
+    /// materialized-join triple within 1e-9 on random corpora, including
+    /// through an arena projection (the candidate-cache path).
+    #[test]
+    fn arena_eval_join_equals_materialized_within_1e9(
+        train_rows in prop::collection::vec((0i64..8, small_f64(), small_f64()), 5..50),
+        cand_rows in prop::collection::vec((0i64..8, small_f64(), small_f64()), 1..30),
+    ) {
+        let train = RelationBuilder::new("train")
+            .int_col("k", &train_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("x", &train_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .float_col("y", &train_rows.iter().map(|r| r.2).collect::<Vec<_>>())
+            .build().unwrap();
+        let cand = RelationBuilder::new("prov")
+            .int_col("k", &cand_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("z", &cand_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .float_col("w", &cand_rows.iter().map(|r| r.2).collect::<Vec<_>>())
+            .build().unwrap();
+
+        let tcfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["x".into(), "y".into()]),
+            ..SketchConfig::requester()
+        };
+        let ccfg = SketchConfig {
+            key_columns: Some(vec!["k".into()]),
+            feature_columns: Some(vec!["z".into(), "w".into()]),
+            ..Default::default()
+        };
+        let ts = build_sketch(&train, &tcfg).unwrap();
+        let cs = build_sketch(&cand, &ccfg).unwrap();
+
+        // Exercise the cached-evaluation path: project the candidate arena
+        // onto a feature subset first, as CandidateCache does.
+        let ck = cs.keyed_for("k").unwrap();
+        let projected = mileena::sketch::KeyedSketch::from_arena(
+            "k",
+            ck.arena().project(&["prov.z"]).unwrap(),
+        );
+        let stats = eval_join(ts.keyed_for("k").unwrap(), &projected).unwrap();
+
+        let joined = train.hash_join(&cand, &["k"], &["k"]).unwrap();
+        if joined.num_rows() == 0 {
+            prop_assert_eq!(stats.triple.c, 0.0);
+        } else {
+            let naive = triple_of(&joined, &["x", "y", "z"]).unwrap()
+                .rename_features(|n| if n == "z" { "prov.z".into() } else { n.to_string() });
+            let got = stats.triple.align(&naive.feature_names()).unwrap();
+            prop_assert!(got.approx_eq(&naive, 1e-9), "\n{:?}\n{:?}", got, naive);
+        }
+    }
+
     /// Union-side invariant with provider-qualified renaming.
     #[test]
     fn sketch_eval_equals_materialized_union(
