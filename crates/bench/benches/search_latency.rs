@@ -5,12 +5,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mileena_bench::{index_of, request_of};
-use mileena_core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena_core::{CentralPlatform, LocalDataStore, PlatformConfig, PlatformService};
 use mileena_datagen::{generate_corpus, CorpusConfig};
 use mileena_search::arda::ArdaSearch;
 use mileena_search::greedy::build_requester_state;
-use mileena_search::{enumerate_candidates, CandidateCache, GreedySearch, SearchConfig};
+use mileena_search::{
+    enumerate_candidates, CandidateCache, GreedySearch, SearchConfig, SketchedRequest,
+};
 use mileena_sketch::{build_sketch, SketchConfig, SketchStore};
+use std::sync::Arc;
 
 fn corpus_cfg(n: usize) -> CorpusConfig {
     CorpusConfig {
@@ -105,5 +108,47 @@ fn bench_cached_vs_uncached(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_cached_vs_uncached);
+/// Service-layer scaling: searches/sec with N requesters hitting the same
+/// platform concurrently (sessions run on worker threads against frozen
+/// store snapshots). `concurrent_search/4` measures one batch of 4 parallel
+/// sessions, so searches/sec = 4e9 / mean_ns; `search_serial/1` is the
+/// single-requester baseline the speedup is measured against.
+fn bench_concurrent_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let corpus = generate_corpus(&corpus_cfg(100));
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    for p in &corpus.providers {
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap()).unwrap();
+    }
+    let service = mileena_core::InProcess::new(Arc::clone(&platform));
+    let keys = vec!["zone".to_string()];
+    let sketched = SketchedRequest::sketch(
+        &corpus.train,
+        &corpus.test,
+        &mileena_search::TaskSpec::new("y", &["base_x"]),
+        Some(&keys),
+    )
+    .unwrap();
+
+    group.bench_with_input(BenchmarkId::new("search_serial", 1), &1, |b, _| {
+        b.iter(|| service.search(sketched.clone(), None).unwrap())
+    });
+    let parallelism = 4usize;
+    group.bench_with_input(
+        BenchmarkId::new("concurrent_search", parallelism),
+        &parallelism,
+        |b, &n| {
+            b.iter(|| {
+                let sessions: Vec<_> =
+                    (0..n).map(|_| service.submit(sketched.clone(), None).unwrap()).collect();
+                let replies: Vec<_> = sessions.into_iter().map(|s| s.wait().unwrap()).collect();
+                replies
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_cached_vs_uncached, bench_concurrent_service);
 criterion_main!(benches);

@@ -18,6 +18,17 @@ pub enum CoreError {
     Transform(String),
     /// Underlying relational failure.
     Relation(String),
+    /// Service-layer failure (dead sessions, protocol misuse).
+    Service(String),
+    /// The platform is at its concurrent-session capacity (the limit).
+    Capacity(usize),
+    /// A typed error that crossed the wire protocol.
+    Wire {
+        /// Machine-readable error class from the wire envelope.
+        code: crate::wire::ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +39,11 @@ impl fmt::Display for CoreError {
             CoreError::Search(m) => write!(f, "search: {m}"),
             CoreError::Transform(m) => write!(f, "transform: {m}"),
             CoreError::Relation(m) => write!(f, "relation: {m}"),
+            CoreError::Service(m) => write!(f, "service: {m}"),
+            CoreError::Capacity(max) => {
+                write!(f, "service: platform at capacity ({max} concurrent sessions)")
+            }
+            CoreError::Wire { code, message } => write!(f, "wire [{code:?}]: {message}"),
         }
     }
 }

@@ -12,11 +12,23 @@
 //!   privatized sketches only. Budget accounting is enforced per dataset
 //!   at upload time; searches are free post-processing.
 //!
+//! The boundary between the two is **sketches-only and versioned**: a
+//! requester's raw relations are reduced to a `SketchedRequest` locally
+//! (via [`SearchRequestBuilder`] / [`LocalDataStore`]), and the platform is
+//! driven through the [`PlatformService`] trait — either [`InProcess`]
+//! (direct calls) or [`JsonWire`] (full serde round-trip through the
+//! versioned `{"v":1,...}` protocol in [`wire`]). Searches are live
+//! [`SearchSession`]s streaming per-round progress, cancellable, and safe
+//! to run concurrently.
+//!
 //! ```
-//! use mileena_core::{CentralPlatform, LocalDataStore, PlatformConfig};
-//! use mileena_privacy::PrivacyBudget;
+//! use mileena_core::{
+//!     CentralPlatform, InProcess, LocalDataStore, PlatformConfig, PlatformService,
+//!     SearchRequestBuilder,
+//! };
 //! use mileena_relation::RelationBuilder;
-//! use mileena_search::{SearchConfig, SearchRequest, TaskSpec};
+//! use mileena_search::TaskSpec;
+//! use std::sync::Arc;
 //!
 //! // Provider side: prepare an upload (non-private here; pass a budget
 //! // for FPM privatization).
@@ -26,28 +38,33 @@
 //!     .build().unwrap();
 //! let upload = LocalDataStore::new(weather).prepare_upload(None, 7).unwrap();
 //!
-//! // Central side: register, then serve a request.
-//! let platform = CentralPlatform::new(PlatformConfig::default());
-//! platform.register(upload).unwrap();
+//! // Central side: a platform behind a service transport.
+//! let service = InProcess::new(Arc::new(CentralPlatform::new(PlatformConfig::default())));
+//! service.register(upload).unwrap();
+//!
+//! // Requester side: raw relations are sketched locally; only the
+//! // sketched form reaches the service.
 //! let train = RelationBuilder::new("train")
 //!     .int_col("zone", &(0..50).collect::<Vec<_>>())
 //!     .float_col("y", &(0..50).map(|z| (z as f64 * 0.7).sin() * 2.0).collect::<Vec<_>>())
 //!     .build().unwrap();
 //! let test = train.clone().with_name("test");
-//! let request = SearchRequest {
-//!     train, test,
-//!     task: TaskSpec::new("y", &[]),
-//!     budget: None,
-//!     key_columns: Some(vec!["zone".into()]),
-//! };
-//! let result = platform.search(&request, &SearchConfig::default()).unwrap();
-//! assert_eq!(result.outcome.selected_joins(), vec!["weather"]);
+//! let sketched = SearchRequestBuilder::new(train, test)
+//!     .task(TaskSpec::new("y", &[]))
+//!     .key_columns(&["zone"])
+//!     .sketch().unwrap();
+//! let reply = service.search(sketched, None).unwrap();
+//! assert_eq!(reply.selected_joins(), vec!["weather"]);
 //! ```
 
 pub mod error;
 pub mod local;
 pub mod platform;
+pub mod service;
+pub mod wire;
 
 pub use error::{CoreError, Result};
-pub use local::{LocalDataStore, ProviderUpload};
+pub use local::{LocalDataStore, ProviderUpload, SearchRequestBuilder, TaskRequest};
 pub use platform::{CentralPlatform, PlatformConfig, PlatformSearchResult};
+pub use service::{InProcess, JsonWire, PlatformService, SearchSession, WireSession};
+pub use wire::{ErrorCode, SearchReply, WIRE_VERSION};

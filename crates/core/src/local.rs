@@ -1,17 +1,19 @@
 //! The provider/requester-side Local Data Store (Figure 1, blue workflow):
 //! transform → clip → sketch → privatize → upload bundle.
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use mileena_discovery::DatasetProfile;
 use mileena_privacy::{clip_relation, FactorizedMechanism, FpmConfig, PrivacyBudget};
 use mileena_relation::Relation;
+use mileena_search::{SketchedRequest, TaskSpec};
 use mileena_sketch::{build_sketch, DatasetSketch, SketchConfig};
 use mileena_transform::{Llm, TransformPipeline};
+use serde::{Deserialize, Serialize};
 
 /// The bundle a provider sends to the central platform. Contains only
 /// privacy-safe artifacts: (possibly privatized) sketches and the
 /// discovery profile — never raw rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProviderUpload {
     /// The dataset's sketches (privatized when a budget was supplied).
     pub sketch: DatasetSketch,
@@ -19,6 +21,149 @@ pub struct ProviderUpload {
     pub profile: DatasetProfile,
     /// Budget consumed at privatization (None = non-private upload).
     pub budget: Option<PrivacyBudget>,
+}
+
+/// A requester's task in its raw, **client-side** form: the relations stay
+/// here, in the local store's trust domain. [`LocalDataStore::sketch_request`]
+/// turns it into the wire-side [`SketchedRequest`]; the raw form has no
+/// serialization and never crosses the boundary.
+#[derive(Debug, Clone)]
+pub struct TaskRequest {
+    /// Training relation (never leaves the local store).
+    pub train: Relation,
+    /// Test relation (never leaves the local store).
+    pub test: Relation,
+    /// The task.
+    pub task: TaskSpec,
+    /// Join-key columns the requester is willing to join on (`None` =
+    /// every keyable column). Narrowing matters under FPM: each sketched
+    /// key consumes a share of the requester's privacy budget.
+    pub key_columns: Option<Vec<String>>,
+    /// The requester's own DP budget for its train/test sketches (`None` =
+    /// the requester opts out of privacy for its own data).
+    pub budget: Option<PrivacyBudget>,
+    /// Feature clip bound used when privatizing.
+    pub clip_bound: f64,
+    /// Noise seed for the (one-time) privatized release. Derive it from
+    /// the dataset identity so repeat requests reuse the same release
+    /// instead of spending budget again.
+    pub seed: u64,
+}
+
+impl TaskRequest {
+    /// Sketch this task locally into its wire form.
+    pub fn sketch(&self) -> Result<SketchedRequest> {
+        LocalDataStore::sketch_request(self)
+    }
+}
+
+/// Typed builder for a search request: collects the raw relations and task
+/// client-side, validates them, and hands out either the raw
+/// [`TaskRequest`] or the already-sketched wire form.
+///
+/// ```
+/// use mileena_core::SearchRequestBuilder;
+/// use mileena_relation::RelationBuilder;
+/// use mileena_search::TaskSpec;
+///
+/// let train = RelationBuilder::new("train")
+///     .int_col("zone", &[1, 2, 3])
+///     .float_col("y", &[0.1, 0.2, 0.3])
+///     .build().unwrap();
+/// let test = train.clone().with_name("test");
+/// let sketched = SearchRequestBuilder::new(train, test)
+///     .task(TaskSpec::new("y", &[]))
+///     .key_columns(&["zone"])
+///     .sketch().unwrap();
+/// assert!(sketched.budget.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SearchRequestBuilder {
+    train: Relation,
+    test: Relation,
+    task: Option<TaskSpec>,
+    key_columns: Option<Vec<String>>,
+    budget: Option<PrivacyBudget>,
+    clip_bound: f64,
+    seed: u64,
+}
+
+impl SearchRequestBuilder {
+    /// Start from the requester's raw relations.
+    pub fn new(train: Relation, test: Relation) -> Self {
+        SearchRequestBuilder {
+            train,
+            test,
+            task: None,
+            key_columns: None,
+            budget: None,
+            clip_bound: FpmConfig::default().bound,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The ML task (required).
+    pub fn task(mut self, task: TaskSpec) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Restrict the join keys offered to the platform.
+    pub fn key_columns(mut self, cols: &[&str]) -> Self {
+        self.key_columns = Some(cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Privatize the requester sketches with this (ε, δ) before upload.
+    pub fn budget(mut self, budget: PrivacyBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Feature clip bound for privatization (default: the FPM default).
+    pub fn clip_bound(mut self, bound: f64) -> Self {
+        self.clip_bound = bound;
+        self
+    }
+
+    /// Noise seed for the privatized release.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and produce the raw client-side request.
+    pub fn build(self) -> Result<TaskRequest> {
+        let task = self
+            .task
+            .ok_or_else(|| CoreError::Search("request builder: task is required".into()))?;
+        if self.train.num_rows() == 0 {
+            return Err(CoreError::Search("request builder: empty training relation".into()));
+        }
+        for col in task.all_columns() {
+            for (rel, side) in [(&self.train, "train"), (&self.test, "test")] {
+                if !rel.schema().contains(col) {
+                    return Err(CoreError::Search(format!(
+                        "request builder: task column `{col}` missing from {side} relation"
+                    )));
+                }
+            }
+        }
+        Ok(TaskRequest {
+            train: self.train,
+            test: self.test,
+            task,
+            key_columns: self.key_columns,
+            budget: self.budget,
+            clip_bound: self.clip_bound,
+            seed: self.seed,
+        })
+    }
+
+    /// Validate, then sketch straight into the wire form.
+    pub fn sketch(self) -> Result<SketchedRequest> {
+        self.build()?.sketch()
+    }
 }
 
 /// A provider's (or requester's) local store around one raw relation.
@@ -66,6 +211,32 @@ impl LocalDataStore {
         let accepted = report.accepted().len();
         self.relation = report.transformed;
         Ok(accepted)
+    }
+
+    /// Sketch a requester task into its wire form. This is the requester
+    /// half of Figure 1's blue workflow: raw relations are reduced to
+    /// semi-ring sketches (privatized when the request carries a budget)
+    /// right here, in the owner's trust domain, and only the sketched form
+    /// is handed to any `PlatformService` transport.
+    pub fn sketch_request(request: &TaskRequest) -> Result<SketchedRequest> {
+        let sketched = match request.budget {
+            None => SketchedRequest::sketch(
+                &request.train,
+                &request.test,
+                &request.task,
+                request.key_columns.as_deref(),
+            )?,
+            Some(budget) => SketchedRequest::sketch_private(
+                &request.train,
+                &request.test,
+                &request.task,
+                request.key_columns.as_deref(),
+                budget,
+                request.clip_bound,
+                request.seed,
+            )?,
+        };
+        Ok(sketched)
     }
 
     /// Produce the upload bundle.
@@ -143,6 +314,39 @@ mod tests {
         let clipped = clip_relation(&rel(), &["k", "x"], 1.0).unwrap();
         let exact = build_sketch(&clipped, &SketchConfig::default()).unwrap();
         assert_ne!(upload.sketch.full, exact.full);
+    }
+
+    #[test]
+    fn provider_upload_wire_roundtrip() {
+        let upload = LocalDataStore::new(rel()).prepare_upload(None, 1).unwrap();
+        let json = serde_json::to_string(&upload).unwrap();
+        let back: ProviderUpload = serde_json::from_str(&json).unwrap();
+        assert_eq!(upload, back);
+    }
+
+    #[test]
+    fn builder_validates_task_and_columns() {
+        let train = rel();
+        let test = rel().with_name("test");
+        // Missing task.
+        assert!(SearchRequestBuilder::new(train.clone(), test.clone()).build().is_err());
+        // Task column absent from the relations.
+        let err = SearchRequestBuilder::new(train.clone(), test.clone())
+            .task(TaskSpec::new("nope", &["x"]))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+        // Valid request sketches; budget recorded on the wire form.
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let sk = SearchRequestBuilder::new(train, test)
+            .task(TaskSpec::new("x", &[]))
+            .key_columns(&["k"])
+            .budget(b)
+            .seed(3)
+            .sketch()
+            .unwrap();
+        assert_eq!(sk.budget, Some(b));
+        assert_eq!(sk.key_columns.as_deref(), Some(&["k".to_string()][..]));
     }
 
     #[test]

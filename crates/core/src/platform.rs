@@ -1,22 +1,54 @@
 //! The central task-based dataset search service (Figure 1, green
-//! workflow): sketch store + discovery index + search, behind one API.
+//! workflow): sketch store + discovery index + search sessions, behind one
+//! sketches-only API.
+//!
+//! The platform never sees raw requester data: searches arrive as
+//! [`SketchedRequest`]s (see `mileena-search::request`), and every session
+//! runs against a frozen store snapshot plus an index read-lock snapshot —
+//! N requesters search in parallel against consistent corpus views while
+//! providers keep registering.
 
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
+use crate::service::SearchSession;
+use crate::wire::SearchReply;
 use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
 use mileena_ml::{LinearModel, RidgeConfig};
-use mileena_privacy::BudgetAccountant;
+use mileena_privacy::{BudgetAccountant, PrivacyBudget};
 use mileena_search::{
-    enumerate_candidates, GreedySearch, SearchConfig, SearchOutcome, SearchRequest,
+    build_sketched_state, enumerate_candidates, GreedySearch, SearchConfig, SearchControl,
+    SearchEvent, SearchOutcome, SearchRequest, SketchedRequest,
 };
 use mileena_sketch::SketchStore;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
-/// Platform-wide configuration.
-#[derive(Debug, Clone, Default)]
+/// Platform-wide configuration, honored by the service layer.
+#[derive(Debug, Clone)]
 pub struct PlatformConfig {
     /// Discovery tuning.
     pub discovery: DiscoveryConfig,
+    /// Search configuration applied when a request doesn't carry its own.
+    pub default_search: SearchConfig,
+    /// Maximum concurrently running search sessions; submissions beyond
+    /// this are rejected with a capacity error.
+    pub max_concurrent_sessions: usize,
+    /// Server-side wall-clock cap per session, enforced as a deadline on
+    /// top of each request's own `time_budget` (`None` = no extra cap).
+    pub max_session_wall: Option<Duration>,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            discovery: DiscoveryConfig::default(),
+            default_search: SearchConfig::default(),
+            max_concurrent_sessions: 64,
+            max_session_wall: None,
+        }
+    }
 }
 
 /// What a search request returns to the requester.
@@ -30,14 +62,26 @@ pub struct PlatformSearchResult {
     pub model: LinearModel,
 }
 
-/// The central platform. Thread-safe: uploads and searches may interleave.
+/// Decrements the active-session counter when a session ends, however it
+/// ends (normal finish, error, panic).
+pub(crate) struct SessionGuard(Arc<AtomicUsize>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The central platform. Thread-safe: uploads and searches interleave, and
+/// any number of search sessions run concurrently.
 #[derive(Debug)]
 pub struct CentralPlatform {
     store: SketchStore,
-    index: Mutex<DiscoveryIndex>,
+    index: RwLock<DiscoveryIndex>,
     accountant: Mutex<BudgetAccountant>,
-    #[allow(dead_code)]
     config: PlatformConfig,
+    active_sessions: Arc<AtomicUsize>,
+    session_counter: AtomicU64,
 }
 
 impl CentralPlatform {
@@ -45,23 +89,40 @@ impl CentralPlatform {
     pub fn new(config: PlatformConfig) -> Self {
         CentralPlatform {
             store: SketchStore::new(),
-            index: Mutex::new(DiscoveryIndex::new(config.discovery.clone())),
+            index: RwLock::new(DiscoveryIndex::new(config.discovery.clone())),
             accountant: Mutex::new(BudgetAccountant::new()),
             config,
+            active_sessions: Arc::new(AtomicUsize::new(0)),
+            session_counter: AtomicU64::new(0),
         }
     }
 
     /// Register a provider upload: sketches into the store, profile into
     /// the discovery index, and — for private uploads — the consumed
     /// budget into the accountant (rejecting double registration).
+    ///
+    /// Ordering matters: a doomed private upload is rejected before any
+    /// mutation (the accountant's duplicate check runs first), then the
+    /// store — the authoritative name check — registers, then the index,
+    /// and only then is the budget recorded. A failed upload therefore
+    /// never leaks spent budget and never leaves a stray store entry or
+    /// index profile behind.
     pub fn register(&self, upload: ProviderUpload) -> Result<()> {
-        if let Some(budget) = upload.budget {
-            let mut acc = self.accountant.lock();
-            acc.register(&upload.sketch.name, budget)?;
-            acc.charge(&upload.sketch.name, budget)?;
+        let name = upload.sketch.name.clone();
+        if upload.budget.is_some() && self.accountant.lock().spent(&name).is_some() {
+            return Err(CoreError::Privacy(format!("dataset {name} already has a budget")));
         }
         self.store.register(upload.sketch)?;
-        self.index.lock().register(upload.profile);
+        self.index.write().register(upload.profile);
+        if let Some(budget) = upload.budget {
+            if let Err(e) = self.accountant.lock().register_and_charge(&name, budget) {
+                // Unreachable after the pre-check above (the accountant
+                // only refuses duplicates), but kept so a future accountant
+                // failure mode still can't leave a half-registered upload.
+                let _ = self.store.remove(&name);
+                return Err(e.into());
+            }
+        }
         Ok(())
     }
 
@@ -75,32 +136,145 @@ impl CentralPlatform {
         &self.store
     }
 
-    /// Serve a search request (Problem 1): discovery → greedy sketch
-    /// search → fitted proxy model. Pure post-processing of the uploaded
-    /// sketches — no budget is consumed here, regardless of how many
-    /// requests arrive (the FPM guarantee).
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Currently running search sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Budget spent by a registered private dataset (`None` = unknown
+    /// dataset or non-private upload).
+    pub fn budget_spent(&self, dataset: &str) -> Option<PrivacyBudget> {
+        self.accountant.lock().spent(dataset)
+    }
+
+    /// Submit a sketched search request: returns a [`SearchSession`] whose
+    /// events stream per-round progress while the search runs on a worker
+    /// thread. `config: None` uses the platform's configured default.
+    pub fn submit(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+    ) -> Result<SearchSession> {
+        self.submit_with_control(request, config, SearchControl::new())
+    }
+
+    /// [`CentralPlatform::submit`] with caller-supplied run control, for
+    /// requesters that want to share a cancellation flag across sessions
+    /// or impose their own deadline.
+    pub fn submit_with_control(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+        mut control: SearchControl,
+    ) -> Result<SearchSession> {
+        let max = self.config.max_concurrent_sessions;
+        self.active_sessions
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < max).then_some(n + 1))
+            .map_err(|_| CoreError::Capacity(max))?;
+        let guard = SessionGuard(Arc::clone(&self.active_sessions));
+
+        let cfg = config.unwrap_or_else(|| self.config.default_search.clone());
+        if let Some(wall) = self.config.max_session_wall {
+            control.set_deadline(Instant::now() + wall);
+        }
+        // Build everything the worker needs up front, so submission errors
+        // surface synchronously and the thread owns a consistent snapshot.
+        let state = build_sketched_state(&request, &cfg)?;
+        let corpus = self.store.frozen();
+        let candidates = {
+            let index = self.index.read();
+            enumerate_candidates(&index, &corpus, &request.profile)
+        };
+        let id = self.session_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let target = request.task.target.clone();
+
+        let (event_tx, event_rx) = mpsc::channel();
+        let (result_tx, result_rx) = mpsc::sync_channel(1);
+        let worker_control = control.clone();
+        std::thread::spawn(move || {
+            let mut observer = move |ev: SearchEvent| {
+                let _ = event_tx.send(ev);
+            };
+            let result = GreedySearch::new(cfg.clone())
+                .run_observed(state, candidates, &corpus, &worker_control, &mut observer)
+                .map_err(CoreError::from)
+                .and_then(|outcome| {
+                    let model = fit_final_model(&outcome, &target, cfg.lambda)?;
+                    Ok(SearchReply::from_outcome(&outcome, &model))
+                });
+            // Close the event stream, then release the session slot,
+            // *before* the reply becomes visible: a caller that `wait()`s
+            // and immediately resubmits must find its slot free (plain
+            // drop order would release it only after the send).
+            drop(observer);
+            drop(guard);
+            let _ = result_tx.send(result);
+        });
+        Ok(SearchSession::new(id, control, event_rx, result_rx))
+    }
+
+    /// Serve a sketched request synchronously on the caller's thread,
+    /// returning the full outcome + model (the in-process fast path; the
+    /// session API wraps this same logic). Pure post-processing of the
+    /// uploaded sketches — no budget is consumed here, regardless of how
+    /// many requests arrive (the FPM guarantee).
+    pub fn search_sketched(
+        &self,
+        request: &SketchedRequest,
+        config: &SearchConfig,
+    ) -> Result<PlatformSearchResult> {
+        let state = build_sketched_state(request, config)?;
+        let corpus = self.store.frozen();
+        let candidates = {
+            let index = self.index.read();
+            enumerate_candidates(&index, &corpus, &request.profile)
+        };
+        let outcome = GreedySearch::new(config.clone()).run(state, candidates, &corpus)?;
+        let model = fit_final_model(&outcome, &request.task.target, config.lambda)?;
+        Ok(PlatformSearchResult { outcome, model })
+    }
+
+    /// Serve a raw-relation search request (Problem 1). **Deprecated
+    /// boundary**: this sketches the relations platform-side, which only a
+    /// co-located deployment should ever do — new code should sketch
+    /// locally (`SearchRequestBuilder` / `LocalDataStore::sketch_request`)
+    /// and go through [`CentralPlatform::submit`] or a `PlatformService`
+    /// transport. Kept as a thin wrapper over the sketched path so the two
+    /// produce bit-identical results.
     pub fn search(
         &self,
         request: &SearchRequest,
         config: &SearchConfig,
     ) -> Result<PlatformSearchResult> {
-        let (state, profile) = mileena_search::greedy::build_requester_state(request, config)?;
-        let candidates = {
-            let index = self.index.lock();
-            enumerate_candidates(&index, &self.store, &profile)
-        };
-        let outcome = GreedySearch::new(config.clone()).run(state, candidates, &self.store)?;
-
-        // Train the final proxy model on the augmented statistics.
-        let mut model = LinearModel::new(RidgeConfig { lambda: config.lambda, intercept: true });
-        let features: Vec<&str> = outcome.state.features().iter().map(|s| s.as_str()).collect();
-        let triple = outcome.state.train_triple();
-        let sys = triple
-            .lr_system(&features, &request.task.target, true)
-            .map_err(|e| CoreError::Search(e.to_string()))?;
-        model.fit_from_system(&sys).map_err(|e| CoreError::Search(e.to_string()))?;
-        Ok(PlatformSearchResult { outcome, model })
+        let sketched = SketchedRequest::sketch(
+            &request.train,
+            &request.test,
+            &request.task,
+            request.key_columns.as_deref(),
+        )?;
+        self.search_sketched(&sketched, config)
     }
+}
+
+/// Train the final proxy model on the augmented statistics of a finished
+/// search.
+pub(crate) fn fit_final_model(
+    outcome: &SearchOutcome,
+    target: &str,
+    lambda: f64,
+) -> Result<LinearModel> {
+    let mut model = LinearModel::new(RidgeConfig { lambda, intercept: true });
+    let features: Vec<&str> = outcome.state.features().iter().map(|s| s.as_str()).collect();
+    let triple = outcome.state.train_triple();
+    let sys =
+        triple.lr_system(&features, target, true).map_err(|e| CoreError::Search(e.to_string()))?;
+    model.fit_from_system(&sys).map_err(|e| CoreError::Search(e.to_string()))?;
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -138,6 +312,12 @@ mod tests {
         }
     }
 
+    fn sketched(c: &mileena_datagen::NycCorpus) -> SketchedRequest {
+        let keys = vec!["zone".to_string()];
+        SketchedRequest::sketch(&c.train, &c.test, &TaskSpec::new("y", &["base_x"]), Some(&keys))
+            .unwrap()
+    }
+
     #[test]
     fn end_to_end_non_private() {
         let c = corpus();
@@ -170,6 +350,30 @@ mod tests {
     }
 
     #[test]
+    fn rejected_upload_spends_no_budget() {
+        // Regression for the register-ordering leak: a non-private dataset
+        // occupies the name; a private upload under the same name must be
+        // rejected *without* charging the provider's budget.
+        let c = corpus();
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        let non_private =
+            LocalDataStore::new(c.providers[0].clone()).prepare_upload(None, 1).unwrap();
+        let name = non_private.sketch.name.clone();
+        platform.register(non_private).unwrap();
+
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let private =
+            LocalDataStore::new(c.providers[0].clone()).prepare_upload(Some(b), 2).unwrap();
+        assert!(platform.register(private).is_err());
+        assert_eq!(
+            platform.budget_spent(&name),
+            None,
+            "failed registration must not leave budget spent"
+        );
+        assert_eq!(platform.num_datasets(), 1);
+    }
+
+    #[test]
     fn searches_are_free_and_repeatable() {
         let c = corpus();
         let platform = CentralPlatform::new(PlatformConfig::default());
@@ -185,5 +389,68 @@ mod tests {
             let rn = platform.search(&request(&c), &SearchConfig::default()).unwrap();
             assert_eq!(rn.outcome.final_score, r1.outcome.final_score);
         }
+    }
+
+    #[test]
+    fn legacy_wrapper_matches_sketched_path() {
+        let c = corpus();
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        for p in &c.providers {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        let legacy = platform.search(&request(&c), &SearchConfig::default()).unwrap();
+        let new = platform.search_sketched(&sketched(&c), &SearchConfig::default()).unwrap();
+        assert_eq!(legacy.outcome.final_score, new.outcome.final_score);
+        assert_eq!(legacy.outcome.selected_joins(), new.outcome.selected_joins());
+        assert_eq!(legacy.outcome.selected_unions(), new.outcome.selected_unions());
+    }
+
+    #[test]
+    fn default_search_config_is_honored() {
+        let c = corpus();
+        let config = PlatformConfig {
+            default_search: SearchConfig { max_augmentations: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let platform = CentralPlatform::new(config);
+        for p in &c.providers {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        let reply = platform.submit(sketched(&c), None).unwrap().wait().unwrap();
+        assert!(reply.steps.len() <= 1, "platform default (1 round) must apply");
+        let full =
+            platform.submit(sketched(&c), Some(SearchConfig::default())).unwrap().wait().unwrap();
+        assert!(full.steps.len() > reply.steps.len(), "explicit config overrides the default");
+    }
+
+    #[test]
+    fn capacity_limit_enforced_and_released() {
+        let c = corpus();
+        let config = PlatformConfig { max_concurrent_sessions: 0, ..Default::default() };
+        let platform = CentralPlatform::new(config);
+        for p in c.providers.iter().take(3) {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        let err = platform.submit(sketched(&c), None).unwrap_err();
+        assert_eq!(err, CoreError::Capacity(0), "{err}");
+
+        // With capacity 1, sequential sessions reuse the released slot.
+        let config = PlatformConfig { max_concurrent_sessions: 1, ..Default::default() };
+        let platform = CentralPlatform::new(config);
+        for p in &c.providers {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        for _ in 0..2 {
+            platform.submit(sketched(&c), None).unwrap().wait().unwrap();
+        }
+        assert_eq!(platform.active_sessions(), 0);
     }
 }

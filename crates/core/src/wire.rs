@@ -1,0 +1,365 @@
+//! The versioned JSON wire protocol of the platform service boundary.
+//!
+//! Every message is an envelope carrying an explicit protocol version
+//! (`{"v":1,...}`); servers reject versions they don't speak with a typed
+//! error response instead of guessing. Two request envelopes exist —
+//! [`WireRegisterRequest`] (provider upload) and [`WireSearchRequest`]
+//! (requester search) — and each has a matching response envelope whose
+//! body is either an `ok` payload or a typed [`WireError`]. Search progress
+//! streams as [`WireEvent`] envelopes, one per [`SearchEvent`].
+//!
+//! Nothing in this module can represent a raw relation: the search request
+//! body is a [`SketchedRequest`] (sufficient statistics only), which is the
+//! compile-time form of the paper's "raw data never leaves the local
+//! store" boundary.
+
+use crate::error::{CoreError, Result};
+use crate::local::ProviderUpload;
+use mileena_ml::LinearModel;
+use mileena_search::{
+    Augmentation, SearchConfig, SearchEvent, SearchOutcome, SketchedRequest, StopReason,
+};
+use serde::{Deserialize, Serialize};
+
+/// The wire protocol version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Machine-readable error classes carried by error envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The envelope's `v` is not a version this server speaks.
+    UnsupportedVersion,
+    /// The payload failed to parse or validate.
+    Malformed,
+    /// A dataset with that name is already registered.
+    DuplicateDataset,
+    /// Privacy budget accounting rejected the operation.
+    BudgetExhausted,
+    /// The request parsed but cannot be served (bad task, no columns...).
+    InvalidRequest,
+    /// The platform is at its concurrent-session capacity.
+    Capacity,
+    /// Anything else; details in the message.
+    Internal,
+}
+
+/// A typed wire-level error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Classify a platform error for the wire. Codes are a coarse, stable
+/// vocabulary; the message keeps the detail. Capacity and the pass-through
+/// are structural; duplicate detection matches the one stringified
+/// `SketchError::DuplicateDataset` message (pinned by a test below so a
+/// rewording cannot silently degrade the code).
+pub fn code_of(err: &CoreError) -> ErrorCode {
+    match err {
+        CoreError::Privacy(_) => ErrorCode::BudgetExhausted,
+        CoreError::Sketch(m) if m.contains("already registered") => ErrorCode::DuplicateDataset,
+        CoreError::Search(_) | CoreError::Sketch(_) | CoreError::Relation(_) => {
+            ErrorCode::InvalidRequest
+        }
+        CoreError::Capacity(_) => ErrorCode::Capacity,
+        CoreError::Wire { code, .. } => *code,
+        _ => ErrorCode::Internal,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+/// Provider upload envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRegisterRequest {
+    /// Protocol version.
+    pub v: u32,
+    /// The upload bundle (sketches + profile + consumed budget).
+    pub upload: ProviderUpload,
+}
+
+/// Requester search envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSearchRequest {
+    /// Protocol version.
+    pub v: u32,
+    /// The sketches-only request.
+    pub request: SketchedRequest,
+    /// Optional search tuning; `None` = the platform's configured default.
+    pub config: Option<SearchConfig>,
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+/// What a successful registration reports back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterReceipt {
+    /// Name of the dataset that was registered.
+    pub dataset: String,
+    /// Corpus size after the registration.
+    pub datasets_total: usize,
+}
+
+/// Registration response envelope: exactly one of `ok` / `err` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRegisterResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Success payload.
+    pub ok: Option<RegisterReceipt>,
+    /// Typed failure.
+    pub err: Option<WireError>,
+}
+
+impl WireRegisterResponse {
+    /// Success envelope.
+    pub fn ok(receipt: RegisterReceipt) -> Self {
+        WireRegisterResponse { v: WIRE_VERSION, ok: Some(receipt), err: None }
+    }
+
+    /// Error envelope.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireRegisterResponse {
+            v: WIRE_VERSION,
+            ok: None,
+            err: Some(WireError { code, message: message.into() }),
+        }
+    }
+
+    /// Collapse into a client-side result.
+    pub fn into_result(self) -> Result<RegisterReceipt> {
+        match (self.ok, self.err) {
+            (Some(receipt), None) => Ok(receipt),
+            (_, Some(e)) => Err(CoreError::Wire { code: e.code, message: e.message }),
+            (None, None) => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "response carries neither ok nor err".into(),
+            }),
+        }
+    }
+}
+
+/// One committed step, wire form (durations in milliseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplyStep {
+    /// The augmentation taken.
+    pub augmentation: Augmentation,
+    /// Proxy test-R² after committing it.
+    pub score_after: f64,
+    /// Wall-clock since search start when committed, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// The fitted proxy model, wire form: enough for the requester to predict
+/// (or to seed AutoML) without the server shipping internal state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReply {
+    /// Whether coefficient 0 is an intercept.
+    pub intercept: bool,
+    /// Fitted coefficients (intercept first when enabled), in `features`
+    /// order. Empty if the model could not be fitted.
+    pub coefficients: Vec<f64>,
+}
+
+/// A completed search, wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchReply {
+    /// Proxy test-R² before any augmentation.
+    pub base_score: f64,
+    /// Proxy test-R² after all augmentations.
+    pub final_score: f64,
+    /// Committed steps, in order.
+    pub steps: Vec<ReplyStep>,
+    /// Candidate evaluations performed.
+    pub evaluations: usize,
+    /// Total wall-clock, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Why the loop ended.
+    pub stop_reason: StopReason,
+    /// Model features of the final augmented task (target excluded).
+    pub features: Vec<String>,
+    /// The proxy model fitted on the final augmented statistics.
+    pub model: ModelReply,
+}
+
+impl SearchReply {
+    /// Build the wire reply from a finished search outcome and its model.
+    pub fn from_outcome(outcome: &SearchOutcome, model: &LinearModel) -> Self {
+        SearchReply {
+            base_score: outcome.base_score,
+            final_score: outcome.final_score,
+            steps: outcome
+                .steps
+                .iter()
+                .map(|s| ReplyStep {
+                    augmentation: s.augmentation.clone(),
+                    score_after: s.score_after,
+                    elapsed_ms: s.elapsed.as_millis() as u64,
+                })
+                .collect(),
+            evaluations: outcome.evaluations,
+            elapsed_ms: outcome.elapsed.as_millis() as u64,
+            stop_reason: outcome.stop_reason,
+            features: outcome.state.features().to_vec(),
+            model: ModelReply {
+                intercept: true,
+                coefficients: model.coefficients().map(|c| c.to_vec()).unwrap_or_default(),
+            },
+        }
+    }
+
+    /// The selected union set `R*_∪` (dataset names).
+    pub fn selected_unions(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| match &s.augmentation {
+                Augmentation::Union { dataset, .. } => Some(dataset.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The selected join set `R*_⋈` (dataset names).
+    pub fn selected_joins(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| match &s.augmentation {
+                Augmentation::Join { dataset, .. } => Some(dataset.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Search response envelope: exactly one of `ok` / `err` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSearchResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Success payload.
+    pub ok: Option<SearchReply>,
+    /// Typed failure.
+    pub err: Option<WireError>,
+}
+
+impl WireSearchResponse {
+    /// Success envelope.
+    pub fn ok(reply: SearchReply) -> Self {
+        WireSearchResponse { v: WIRE_VERSION, ok: Some(reply), err: None }
+    }
+
+    /// Error envelope.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireSearchResponse {
+            v: WIRE_VERSION,
+            ok: None,
+            err: Some(WireError { code, message: message.into() }),
+        }
+    }
+
+    /// Collapse into a client-side result.
+    pub fn into_result(self) -> Result<SearchReply> {
+        match (self.ok, self.err) {
+            (Some(reply), None) => Ok(reply),
+            (_, Some(e)) => Err(CoreError::Wire { code: e.code, message: e.message }),
+            (None, None) => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "response carries neither ok nor err".into(),
+            }),
+        }
+    }
+}
+
+/// Streaming progress envelope: one per [`SearchEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// Protocol version.
+    pub v: u32,
+    /// The session this event belongs to.
+    pub session: u64,
+    /// The event.
+    pub event: SearchEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mileena_relation::RelationBuilder;
+    use mileena_search::TaskSpec;
+
+    fn sketched() -> SketchedRequest {
+        let train = RelationBuilder::new("train")
+            .int_col("zone", &[1, 2, 3, 4, 5])
+            .float_col("base_x", &[0.1, 0.4, 0.9, 1.6, 2.5])
+            .float_col("y", &[1.0, 2.0, 3.0, 4.0, 5.0])
+            .build()
+            .unwrap();
+        let test = train.clone().with_name("test");
+        let keys = vec!["zone".to_string()];
+        SketchedRequest::sketch(&train, &test, &TaskSpec::new("y", &["base_x"]), Some(&keys))
+            .unwrap()
+    }
+
+    #[test]
+    fn search_request_envelope_roundtrip() {
+        let req = WireSearchRequest {
+            v: WIRE_VERSION,
+            request: sketched(),
+            config: Some(SearchConfig::default()),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.starts_with("{\"v\":1,"), "version leads the envelope: {json}");
+        let back: WireSearchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn error_envelope_roundtrip_is_typed() {
+        let resp = WireSearchResponse::err(ErrorCode::UnsupportedVersion, "speak v1");
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireSearchResponse = serde_json::from_str(&json).unwrap();
+        let err = back.into_result().unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Wire { code: ErrorCode::UnsupportedVersion, ref message } if message == "speak v1"
+        ));
+    }
+
+    #[test]
+    fn event_envelope_roundtrip() {
+        let ev = WireEvent {
+            v: WIRE_VERSION,
+            session: 7,
+            event: SearchEvent::Started { candidates: 12 },
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: WireEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn error_code_mapping_is_pinned() {
+        // Structural mappings.
+        assert_eq!(code_of(&CoreError::Capacity(4)), ErrorCode::Capacity);
+        assert_eq!(code_of(&CoreError::Privacy("x".into())), ErrorCode::BudgetExhausted);
+        assert_eq!(code_of(&CoreError::Transform("x".into())), ErrorCode::Internal);
+        // The duplicate mapping rides on SketchError's Display wording:
+        // this pin fails if that wording ever drifts.
+        let dup: CoreError = mileena_sketch::SketchError::DuplicateDataset("d".into()).into();
+        assert_eq!(code_of(&dup), ErrorCode::DuplicateDataset);
+    }
+
+    #[test]
+    fn empty_response_is_malformed() {
+        let resp = WireSearchResponse { v: WIRE_VERSION, ok: None, err: None };
+        assert!(matches!(
+            resp.into_result(),
+            Err(CoreError::Wire { code: ErrorCode::Malformed, .. })
+        ));
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::minhash::MinHashSignature;
 use crate::tfidf::TermVector;
-use mileena_relation::{DataType, Relation};
+use mileena_relation::{Column, DataType, Relation};
 use serde::{Deserialize, Serialize};
 
 /// Discovery sketch of one column.
@@ -33,6 +33,29 @@ pub struct DatasetProfile {
     pub columns: Vec<ColumnProfile>,
 }
 
+/// Profile one column; `redact_strings` withholds the term vector of
+/// string-valued columns (their tokens are raw cell values).
+fn profile_column(
+    name: &str,
+    data_type: DataType,
+    col: &Column,
+    k: usize,
+    redact_strings: bool,
+) -> ColumnProfile {
+    ColumnProfile {
+        name: name.to_string(),
+        data_type,
+        distinct: col.distinct_count(),
+        non_null: col.len() - col.null_count(),
+        minhash: MinHashSignature::from_column(col, k),
+        terms: if redact_strings && matches!(col, Column::Str { .. }) {
+            TermVector::default()
+        } else {
+            TermVector::from_column(col)
+        },
+    }
+}
+
 impl DatasetProfile {
     /// Build the profile of a relation (`k` = MinHash signature length).
     pub fn of(relation: &Relation, k: usize) -> Self {
@@ -41,14 +64,31 @@ impl DatasetProfile {
             .fields()
             .iter()
             .zip(relation.columns())
-            .map(|(f, col)| ColumnProfile {
-                name: f.name.clone(),
-                data_type: f.data_type,
-                distinct: col.distinct_count(),
-                non_null: col.len() - col.null_count(),
-                minhash: MinHashSignature::from_column(col, k),
-                terms: TermVector::from_column(col),
-            })
+            .map(|(f, col)| profile_column(&f.name, f.data_type, col, k, false))
+            .collect();
+        DatasetProfile { name: relation.name().to_string(), rows: relation.num_rows(), columns }
+    }
+
+    /// Requester-side profile: only columns the requester exposes to the
+    /// platform are profiled — the task columns plus every keyable (join
+    /// probe) column — and **string-valued columns carry no term vector**
+    /// (raw string tokens would otherwise cross the boundary; MinHash
+    /// signatures are already hashed, matching the public-key-domain
+    /// assumption). Numeric term vectors are magnitude buckets, never
+    /// exact values, so they stay.
+    ///
+    /// All keyable columns are kept — not just join keys the requester
+    /// offers for sketching — because union discovery matches profiles by
+    /// full schema shape; what crosses for an un-offered keyable column is
+    /// schema metadata plus hashed signatures only.
+    pub fn of_requester(relation: &Relation, task_columns: &[&str], k: usize) -> Self {
+        let columns = relation
+            .schema()
+            .fields()
+            .iter()
+            .zip(relation.columns())
+            .filter(|(f, _)| task_columns.contains(&f.name.as_str()) || f.data_type.is_keyable())
+            .map(|(f, col)| profile_column(&f.name, f.data_type, col, k, true))
             .collect();
         DatasetProfile { name: relation.name().to_string(), rows: relation.num_rows(), columns }
     }
@@ -90,6 +130,29 @@ mod tests {
         // keyable: k (int) and s (str); x (float) excluded.
         let keyables: Vec<&str> = p.keyable_columns().map(|c| c.name.as_str()).collect();
         assert_eq!(keyables, vec!["k", "s"]);
+    }
+
+    #[test]
+    fn requester_profile_redacts_strings_and_hidden_columns() {
+        let r = RelationBuilder::new("train")
+            .int_col("zone", &[1, 2, 3])
+            .float_col("y", &[0.1, 0.2, 0.3])
+            .float_col("hidden_metric", &[9.0, 9.5, 9.9])
+            .str_col("note", &["Top Secret A", "Top Secret B", "Top Secret C"])
+            .build()
+            .unwrap();
+        let p = DatasetProfile::of_requester(&r, &["y"], 32);
+        // zone (keyable), y (task), note (keyable str); hidden_metric is
+        // neither and must not be profiled.
+        assert!(p.column("hidden_metric").is_none());
+        let note = p.column("note").unwrap();
+        assert_eq!(note.terms.num_terms(), 0, "string tokens must not cross the boundary");
+        assert!(p.column("zone").unwrap().terms.num_terms() > 0, "numeric buckets stay");
+        // Numeric profiles are identical to the full-profile form, so
+        // discovery behaves the same for numeric-only requesters.
+        let full = DatasetProfile::of(&r, 32);
+        assert_eq!(p.column("zone"), full.column("zone"));
+        assert_eq!(p.column("y"), full.column("y"));
     }
 
     #[test]

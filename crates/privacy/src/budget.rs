@@ -87,6 +87,20 @@ impl BudgetAccountant {
         })
     }
 
+    /// Register a dataset and immediately charge its entire budget — the
+    /// FPM upload flow, where the one-time release consumes everything at
+    /// registration. Atomic: any failure leaves the accountant unchanged,
+    /// so a rejected upload never leaks spent budget.
+    pub fn register_and_charge(&mut self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        self.register(dataset, budget)?;
+        if let Err(e) = self.charge(dataset, budget) {
+            self.limits.remove(dataset);
+            self.spent.remove(dataset);
+            return Err(e);
+        }
+        Ok(())
+    }
+
     /// Charge a release against a dataset's budget; errors (and charges
     /// nothing) if insufficient.
     pub fn charge(&mut self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
@@ -159,6 +173,17 @@ mod tests {
         acc.register("d", b).unwrap();
         assert!(acc.charge("d", PrivacyBudget::new(1.0, 1e-7).unwrap()).is_err());
         assert_eq!(acc.spent("d").unwrap().epsilon, 0.0);
+    }
+
+    #[test]
+    fn register_and_charge_is_atomic() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        acc.register_and_charge("d", b).unwrap();
+        assert!(acc.remaining("d").unwrap().epsilon.abs() < 1e-12);
+        // Duplicate registration fails without disturbing the first.
+        assert!(acc.register_and_charge("d", b).is_err());
+        assert_eq!(acc.spent("d").unwrap().epsilon, 1.0);
     }
 
     #[test]

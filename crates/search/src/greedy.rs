@@ -7,12 +7,105 @@
 
 use crate::cache::{CachedCandidate, CandidateCache};
 use crate::candidates::Augmentation;
-use crate::error::{Result, SearchError};
+use crate::error::Result;
 use crate::proxy::ProxyState;
-use crate::request::SearchConfig;
+use crate::request::{SearchConfig, SketchedRequest};
 use mileena_sketch::SketchStore;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Why a search loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// No remaining candidate improved the proxy by at least `min_gain`
+    /// (or none could be evaluated at all).
+    Converged,
+    /// The configured `max_augmentations` rounds all committed.
+    MaxAugmentations,
+    /// The wall-clock budget (or a service-imposed deadline) expired.
+    TimeBudget,
+    /// The session was cooperatively cancelled.
+    Cancelled,
+}
+
+/// Cooperative run control for a search: a shared cancellation flag plus an
+/// optional hard deadline, checked between greedy rounds. Clones share the
+/// same flag, so a service can hand one end to the requester and thread the
+/// other into the loop.
+#[derive(Debug, Clone, Default)]
+pub struct SearchControl {
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl SearchControl {
+    /// Fresh control: not cancelled, no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Impose a hard deadline (in addition to the config's `time_budget`).
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Request cancellation; the loop stops at the next round boundary.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Streaming progress events emitted by an observed search run. Durations
+/// are milliseconds so events are wire-safe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SearchEvent {
+    /// The loop is starting over this many evaluable candidates.
+    Started {
+        /// Cached candidates after projection (unevaluable ones dropped).
+        candidates: usize,
+    },
+    /// One greedy round committed its best augmentation.
+    RoundCommitted {
+        /// Round index (0-based).
+        round: usize,
+        /// The augmentation taken.
+        augmentation: Augmentation,
+        /// Proxy test-R² after committing it.
+        score_after: f64,
+        /// Candidate evaluations performed this round.
+        evaluated: usize,
+        /// Candidates still in play for the next round.
+        remaining: usize,
+        /// Wall-clock since search start, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// The loop ended.
+    Finished {
+        /// Why it stopped.
+        stop_reason: StopReason,
+        /// Final proxy test-R².
+        final_score: f64,
+        /// Committed rounds.
+        rounds: usize,
+        /// Total candidate evaluations.
+        evaluations: usize,
+        /// Total wall-clock, in milliseconds.
+        elapsed_ms: u64,
+    },
+}
 
 /// One committed augmentation with its measured effect.
 #[derive(Debug, Clone)]
@@ -40,6 +133,8 @@ pub struct SearchOutcome {
     pub evaluations: usize,
     /// Total wall-clock.
     pub elapsed: std::time::Duration,
+    /// Why the loop ended.
+    pub stop_reason: StopReason,
     /// The final proxy state (for training the returned model / AutoML
     /// handoff).
     pub state: ProxyState,
@@ -88,9 +183,25 @@ impl GreedySearch {
     /// heterogeneous corpus.
     pub fn run(
         &self,
+        state: ProxyState,
+        candidates: Vec<Augmentation>,
+        store: &SketchStore,
+    ) -> Result<SearchOutcome> {
+        self.run_observed(state, candidates, store, &SearchControl::new(), &mut |_| {})
+    }
+
+    /// [`GreedySearch::run`] with cooperative control and streaming
+    /// progress: `control` is checked at every round boundary (cancellation
+    /// and deadline), and `observer` receives one [`SearchEvent`] per round
+    /// plus start/finish markers. The selected augmentations and scores are
+    /// identical to `run` — observation never changes the search.
+    pub fn run_observed(
+        &self,
         mut state: ProxyState,
         candidates: Vec<Augmentation>,
         store: &SketchStore,
+        control: &SearchControl,
+        observer: &mut dyn FnMut(SearchEvent),
     ) -> Result<SearchOutcome> {
         let start = Instant::now();
         let base_score = state.current_score()?;
@@ -100,11 +211,19 @@ impl GreedySearch {
 
         // Project every candidate once; rounds reuse the projections.
         let mut entries = CandidateCache::build(&state, candidates, store).into_entries();
+        observer(SearchEvent::Started { candidates: entries.len() });
 
-        for _round in 0..self.config.max_augmentations {
-            if start.elapsed() >= self.config.time_budget {
+        let mut stop_reason = StopReason::MaxAugmentations;
+        for round in 0..self.config.max_augmentations {
+            if control.is_cancelled() {
+                stop_reason = StopReason::Cancelled;
                 break;
             }
+            if start.elapsed() >= self.config.time_budget || control.deadline_exceeded() {
+                stop_reason = StopReason::TimeBudget;
+                break;
+            }
+            let round_evaluated = entries.len();
             let scored: Vec<(usize, f64)> = if self.config.parallel && entries.len() > 8 {
                 let results: Vec<Option<(usize, f64)>> = entries
                     .par_iter()
@@ -127,8 +246,12 @@ impl GreedySearch {
             let best = scored
                 .into_iter()
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            let Some((best_idx, best_score)) = best else { break };
+            let Some((best_idx, best_score)) = best else {
+                stop_reason = StopReason::Converged;
+                break;
+            };
             if best_score - current < self.config.min_gain {
+                stop_reason = StopReason::Converged;
                 break;
             }
             let entry = entries.swap_remove(best_idx);
@@ -140,6 +263,14 @@ impl GreedySearch {
                 entries.retain_mut(|e| e.refresh(&state));
             }
             current = best_score;
+            observer(SearchEvent::RoundCommitted {
+                round,
+                augmentation: entry.aug.clone(),
+                score_after: best_score,
+                evaluated: round_evaluated,
+                remaining: entries.len(),
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            });
             steps.push(SelectionStep {
                 augmentation: entry.aug,
                 score_after: best_score,
@@ -147,12 +278,20 @@ impl GreedySearch {
             });
         }
 
+        observer(SearchEvent::Finished {
+            stop_reason,
+            final_score: current,
+            rounds: steps.len(),
+            evaluations,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        });
         Ok(SearchOutcome {
             base_score,
             final_score: current,
             steps,
             evaluations,
             elapsed: start.elapsed(),
+            stop_reason,
             state,
         })
     }
@@ -173,8 +312,10 @@ impl GreedySearch {
         let mut steps = Vec::new();
         let mut evaluations = 0usize;
 
+        let mut stop_reason = StopReason::MaxAugmentations;
         for _round in 0..self.config.max_augmentations {
             if start.elapsed() >= self.config.time_budget {
+                stop_reason = StopReason::TimeBudget;
                 break;
             }
             let mut scored = Vec::new();
@@ -187,8 +328,12 @@ impl GreedySearch {
             let best = scored
                 .into_iter()
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            let Some((best_idx, best_score)) = best else { break };
+            let Some((best_idx, best_score)) = best else {
+                stop_reason = StopReason::Converged;
+                break;
+            };
             if best_score - current < self.config.min_gain {
+                stop_reason = StopReason::Converged;
                 break;
             }
             let aug = candidates.swap_remove(best_idx);
@@ -208,6 +353,7 @@ impl GreedySearch {
             steps,
             evaluations,
             elapsed: start.elapsed(),
+            stop_reason,
             state,
         })
     }
@@ -266,25 +412,30 @@ pub fn search_with_discovery(
     GreedySearch::new(config.clone()).run(state, candidates, store)
 }
 
-/// Build the requester-side proxy state and discovery profile for a request.
+/// Build the server-side proxy state from a wire-form request. This is all
+/// the platform ever does with requester data: no raw relation is in scope.
+pub fn build_sketched_state(
+    request: &SketchedRequest,
+    config: &SearchConfig,
+) -> Result<ProxyState> {
+    ProxyState::new(&request.train_sketch, &request.test_sketch, &request.task, config.lambda)
+}
+
+/// Build the requester-side proxy state and discovery profile for a raw
+/// request: sketch locally ([`SketchedRequest::sketch`]), then build the
+/// state from the sketched form — the same path a remote platform takes.
 pub fn build_requester_state(
     request: &crate::request::SearchRequest,
     config: &SearchConfig,
 ) -> Result<(ProxyState, mileena_discovery::DatasetProfile)> {
-    let cols: Vec<String> = request.task.all_columns().iter().map(|s| s.to_string()).collect();
-    let sketch_cfg = mileena_sketch::SketchConfig {
-        feature_columns: Some(cols),
-        key_columns: request.key_columns.clone(),
-        ..mileena_sketch::SketchConfig::requester()
-    };
-    let train_sketch = mileena_sketch::build_sketch(&request.train, &sketch_cfg)?;
-    let test_sketch = mileena_sketch::build_sketch(&request.test, &sketch_cfg)?;
-    let state = ProxyState::new(&train_sketch, &test_sketch, &request.task, config.lambda)?;
-    let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
-    if request.train.num_rows() == 0 {
-        return Err(SearchError::InvalidTask("empty training relation".into()));
-    }
-    Ok((state, profile))
+    let sketched = SketchedRequest::sketch(
+        &request.train,
+        &request.test,
+        &request.task,
+        request.key_columns.as_deref(),
+    )?;
+    let state = build_sketched_state(&sketched, config)?;
+    Ok((state, sketched.profile))
 }
 
 #[cfg(test)]
@@ -456,5 +607,115 @@ mod tests {
         .unwrap();
         assert!(out.steps.is_empty());
         assert_eq!(out.evaluations, 0);
+        assert_eq!(out.stop_reason, StopReason::TimeBudget);
+    }
+
+    #[test]
+    fn stop_reasons_reported() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let full =
+            search_with_discovery(&request, &store, &index, &SearchConfig::default()).unwrap();
+        assert_eq!(full.stop_reason, StopReason::Converged, "default run exhausts its gains");
+        let capped = search_with_discovery(
+            &request,
+            &store,
+            &index,
+            &SearchConfig { max_augmentations: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(capped.stop_reason, StopReason::MaxAugmentations);
+    }
+
+    #[test]
+    fn observed_run_streams_events_and_matches_plain_run() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let searcher = GreedySearch::new(SearchConfig::default());
+        let plain = searcher.run(state.clone(), candidates.clone(), &store).unwrap();
+
+        let mut events = Vec::new();
+        let out = searcher
+            .run_observed(state, candidates, &store, &SearchControl::new(), &mut |ev| {
+                events.push(ev)
+            })
+            .unwrap();
+        assert_eq!(out.final_score, plain.final_score, "observation must not perturb the search");
+        assert!(matches!(events.first(), Some(SearchEvent::Started { .. })));
+        assert!(matches!(events.last(), Some(SearchEvent::Finished { stop_reason, .. } )
+                if *stop_reason == out.stop_reason));
+        let committed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::RoundCommitted { round, augmentation, .. } => {
+                    Some((*round, augmentation.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed.len(), out.steps.len());
+        for (i, (round, aug)) in committed.iter().enumerate() {
+            assert_eq!(*round, i);
+            assert_eq!(*aug, out.steps[i].augmentation);
+        }
+    }
+
+    #[test]
+    fn precancelled_control_stops_before_any_round() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let control = SearchControl::new();
+        control.cancel();
+        let out = GreedySearch::new(SearchConfig::default())
+            .run_observed(state, candidates, &store, &control, &mut |_| {})
+            .unwrap();
+        assert_eq!(out.stop_reason, StopReason::Cancelled);
+        assert!(out.steps.is_empty());
+        assert_eq!(out.evaluations, 0);
+    }
+
+    #[test]
+    fn mid_search_cancel_stops_at_round_boundary() {
+        // Cancel from the observer as soon as round 0 commits: the loop
+        // must stop before round 1 and report Cancelled.
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let full =
+            search_with_discovery(&request, &store, &index, &SearchConfig::default()).unwrap();
+        assert!(full.steps.len() >= 2, "corpus must support multiple rounds for this test");
+
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let control = SearchControl::new();
+        let cancel_handle = control.clone();
+        let out = GreedySearch::new(SearchConfig::default())
+            .run_observed(state, candidates, &store, &control, &mut |ev| {
+                if matches!(ev, SearchEvent::RoundCommitted { .. }) {
+                    cancel_handle.cancel();
+                }
+            })
+            .unwrap();
+        assert_eq!(out.stop_reason, StopReason::Cancelled);
+        assert_eq!(out.steps.len(), 1);
+        assert_eq!(out.steps[0].augmentation, full.steps[0].augmentation);
+    }
+
+    #[test]
+    fn expired_deadline_reports_time_budget() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let mut control = SearchControl::new();
+        control.set_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let out = GreedySearch::new(SearchConfig::default())
+            .run_observed(state, candidates, &store, &control, &mut |_| {})
+            .unwrap();
+        assert_eq!(out.stop_reason, StopReason::TimeBudget);
+        assert!(out.steps.is_empty());
     }
 }

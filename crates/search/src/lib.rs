@@ -33,6 +33,9 @@ pub mod request;
 pub use cache::{CachedCandidate, CandidateCache};
 pub use candidates::{enumerate_candidates, Augmentation};
 pub use error::{Result, SearchError};
-pub use greedy::{GreedySearch, SearchOutcome, SelectionStep};
+pub use greedy::{
+    build_sketched_state, GreedySearch, SearchControl, SearchEvent, SearchOutcome, SelectionStep,
+    StopReason,
+};
 pub use proxy::ProxyState;
-pub use request::{SearchConfig, SearchRequest, TaskSpec};
+pub use request::{SearchConfig, SearchRequest, SketchedRequest, TaskSpec};

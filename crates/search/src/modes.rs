@@ -180,32 +180,23 @@ impl ModeSession {
         search_cfg: &SearchConfig,
         privatize_requester: bool,
     ) -> Result<ModeOutcome> {
-        let cols: Vec<String> = request.task.all_columns().iter().map(|s| s.to_string()).collect();
-        let sketch_cfg = SketchConfig {
-            feature_columns: Some(cols),
-            key_columns: request.key_columns.clone(),
-            ..SketchConfig::requester()
-        };
         let (state, profile) = if privatize_requester {
-            let fpm =
-                FactorizedMechanism::new(FpmConfig { bound: self.cfg.bound, ..Default::default() });
-            let budget = request.budget.unwrap_or(self.cfg.requester_budget);
-            let train_raw = build_sketch(&request.train, &sketch_cfg)?;
-            let test_raw = build_sketch(&request.test, &sketch_cfg)?;
             // One privatization per requester dataset: the seed derives from
             // the dataset identity, so repeat requests reuse the same noisy
             // release instead of spending budget again (the FPM contract).
+            let budget = request.budget.unwrap_or(self.cfg.requester_budget);
             let seed = self.cfg.seed ^ mileena_relation::hash::fx_hash64(&request.train.name());
-            let train_p = fpm.privatize(&train_raw, budget, seed)?;
-            let test_p = fpm.privatize(&test_raw, budget, seed ^ 1)?;
-            let state = crate::proxy::ProxyState::new(
-                &train_p.sketch,
-                &test_p.sketch,
+            let sketched = crate::request::SketchedRequest::sketch_private(
+                &request.train,
+                &request.test,
                 &request.task,
-                search_cfg.lambda,
+                request.key_columns.as_deref(),
+                budget,
+                self.cfg.bound,
+                seed,
             )?;
-            let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
-            (state, profile)
+            let state = crate::greedy::build_sketched_state(&sketched, search_cfg)?;
+            (state, sketched.profile)
         } else {
             build_requester_state(request, search_cfg)?
         };

@@ -1,7 +1,19 @@
 //! Search requests and configuration.
+//!
+//! Two request forms exist, matching the two-tier trust model:
+//!
+//! - [`SearchRequest`] is the **client-side** form: it carries the raw
+//!   train/test [`Relation`]s and never crosses the service boundary.
+//! - [`SketchedRequest`] is the **wire-side** form: the relations have been
+//!   sketched (and, with a budget, privatized) locally, so the platform only
+//!   ever sees semi-ring sketches plus a discovery profile — the paper's
+//!   Figure 1 guarantee that requester raw data never leaves the local store.
 
-use mileena_privacy::PrivacyBudget;
+use crate::error::{Result, SearchError};
+use mileena_discovery::DatasetProfile;
+use mileena_privacy::{FactorizedMechanism, FpmConfig, PrivacyBudget};
 use mileena_relation::Relation;
+use mileena_sketch::{build_sketch, DatasetSketch, SketchConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -32,7 +44,10 @@ impl TaskSpec {
     }
 }
 
-/// A requester's search request `(R_train, R_test, M, ε, δ)`.
+/// A requester's search request `(R_train, R_test, M, ε, δ)` in its raw,
+/// **client-side** form. This type must never cross the service boundary:
+/// sketch it into a [`SketchedRequest`] first (the `mileena-core` builder
+/// and `LocalDataStore` do this for you).
 #[derive(Debug, Clone)]
 pub struct SearchRequest {
     /// Training relation (stays in the requester's local store; only its
@@ -51,8 +66,109 @@ pub struct SearchRequest {
     pub key_columns: Option<Vec<String>>,
 }
 
+/// The wire-side search request: everything the platform needs to serve a
+/// search, with **no raw relation anywhere in the type**. Built locally by
+/// sketching a [`SearchRequest`]'s relations ([`SketchedRequest::sketch`] /
+/// [`SketchedRequest::sketch_private`]); what crosses the boundary is
+/// sufficient statistics (covariance triples, keyed sketches) plus the
+/// discovery profile (MinHash/TF-IDF — key domains are public under the
+/// FPM assumptions documented in `mileena-privacy`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchedRequest {
+    /// Requester train sketch (privatized when `budget` is set).
+    pub train_sketch: DatasetSketch,
+    /// Requester test sketch (privatized when `budget` is set).
+    pub test_sketch: DatasetSketch,
+    /// Discovery profile of the training relation (drives candidate
+    /// enumeration server-side).
+    pub profile: DatasetProfile,
+    /// The task.
+    pub task: TaskSpec,
+    /// Join-key columns the requester is willing to join on.
+    pub key_columns: Option<Vec<String>>,
+    /// The (ε, δ) already consumed client-side privatizing the sketches
+    /// above (`None` = non-private request). Informational for the
+    /// platform: the release happened before upload, so searches are free
+    /// post-processing regardless.
+    pub budget: Option<PrivacyBudget>,
+}
+
+impl SketchedRequest {
+    /// The requester-side sketch configuration for a task: exactly the task
+    /// columns as features, plus the chosen join keys.
+    fn sketch_config(task: &TaskSpec, key_columns: Option<&[String]>) -> SketchConfig {
+        let cols: Vec<String> = task.all_columns().iter().map(|s| s.to_string()).collect();
+        SketchConfig {
+            feature_columns: Some(cols),
+            key_columns: key_columns.map(|k| k.to_vec()),
+            ..SketchConfig::requester()
+        }
+    }
+
+    /// The boundary-safe discovery profile of the requester's training
+    /// relation: task + keyable columns only, string term vectors redacted
+    /// (see [`DatasetProfile::of_requester`]).
+    fn requester_profile(train: &Relation, task: &TaskSpec) -> DatasetProfile {
+        DatasetProfile::of_requester(train, &task.all_columns(), 128)
+    }
+
+    /// Sketch a raw request locally, without privatization. This is the
+    /// only place raw relations are touched; the returned value is safe to
+    /// put on the wire.
+    pub fn sketch(
+        train: &Relation,
+        test: &Relation,
+        task: &TaskSpec,
+        key_columns: Option<&[String]>,
+    ) -> Result<Self> {
+        if train.num_rows() == 0 {
+            return Err(SearchError::InvalidTask("empty training relation".into()));
+        }
+        let cfg = Self::sketch_config(task, key_columns);
+        Ok(SketchedRequest {
+            train_sketch: build_sketch(train, &cfg)?,
+            test_sketch: build_sketch(test, &cfg)?,
+            profile: Self::requester_profile(train, task),
+            task: task.clone(),
+            key_columns: key_columns.map(|k| k.to_vec()),
+            budget: None,
+        })
+    }
+
+    /// Sketch and FPM-privatize a raw request locally: the requester's
+    /// entire `budget` is consumed here, once — repeat requests should
+    /// reuse the same release (derive `seed` from the dataset identity).
+    pub fn sketch_private(
+        train: &Relation,
+        test: &Relation,
+        task: &TaskSpec,
+        key_columns: Option<&[String]>,
+        budget: PrivacyBudget,
+        bound: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if train.num_rows() == 0 {
+            return Err(SearchError::InvalidTask("empty training relation".into()));
+        }
+        let cfg = Self::sketch_config(task, key_columns);
+        let fpm = FactorizedMechanism::new(FpmConfig { bound, ..Default::default() });
+        let train_raw = build_sketch(train, &cfg)?;
+        let test_raw = build_sketch(test, &cfg)?;
+        let train_p = fpm.privatize(&train_raw, budget, seed)?;
+        let test_p = fpm.privatize(&test_raw, budget, seed ^ 1)?;
+        Ok(SketchedRequest {
+            train_sketch: train_p.sketch,
+            test_sketch: test_p.sketch,
+            profile: Self::requester_profile(train, task),
+            task: task.clone(),
+            key_columns: key_columns.map(|k| k.to_vec()),
+            budget: Some(budget),
+        })
+    }
+}
+
 /// Search tuning knobs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchConfig {
     /// Maximum augmentations to select (greedy rounds).
     pub max_augmentations: usize,
@@ -112,6 +228,35 @@ mod tests {
     fn task_columns() {
         let t = TaskSpec::new("y", &["a", "b"]);
         assert_eq!(t.all_columns(), vec!["a", "b", "y"]);
+    }
+
+    #[test]
+    fn sketched_request_roundtrip_and_no_relations() {
+        use mileena_relation::RelationBuilder;
+        let train = RelationBuilder::new("train")
+            .int_col("zone", &[1, 2, 3, 4])
+            .float_col("base_x", &[0.1, 0.2, 0.3, 0.4])
+            .float_col("y", &[1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
+        let test = train.clone().with_name("test");
+        let task = TaskSpec::new("y", &["base_x"]);
+        let keys = vec!["zone".to_string()];
+        let sk = SketchedRequest::sketch(&train, &test, &task, Some(&keys)).unwrap();
+        assert_eq!(sk.train_sketch.features, vec!["base_x", "y"]);
+        assert!(sk.budget.is_none());
+        let json = serde_json::to_string(&sk).unwrap();
+        let back: SketchedRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(sk, back, "wire round-trip must be lossless");
+    }
+
+    #[test]
+    fn empty_train_rejected_at_sketch_time() {
+        use mileena_relation::RelationBuilder;
+        let empty =
+            RelationBuilder::new("train").int_col("zone", &[]).float_col("y", &[]).build().unwrap();
+        let task = TaskSpec::new("y", &[]);
+        assert!(SketchedRequest::sketch(&empty, &empty, &task, None).is_err());
     }
 
     #[test]

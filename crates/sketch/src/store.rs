@@ -49,6 +49,18 @@ impl SketchStore {
         &self.interner
     }
 
+    /// A frozen snapshot of this store: the same sketches (shared `Arc`s)
+    /// on the same key space, but detached from any later `register` /
+    /// `replace` / `remove` — the consistent corpus view one search session
+    /// runs against while other requesters and providers keep mutating the
+    /// live store. O(n) `Arc` clones, no sketch data is copied.
+    pub fn frozen(&self) -> SketchStore {
+        SketchStore {
+            inner: Arc::new(RwLock::new(self.inner.read().clone())),
+            interner: Arc::clone(&self.interner),
+        }
+    }
+
     /// Bring a sketch onto this store's key space (no-op when it already
     /// is; an O(d) id remap otherwise).
     fn adopt(&self, mut sketch: DatasetSketch) -> DatasetSketch {
@@ -165,6 +177,19 @@ mod tests {
         let clone = store.clone();
         store.register(sketch("a")).unwrap();
         assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn frozen_snapshot_is_isolated_from_later_writes() {
+        let store = SketchStore::new();
+        store.register(sketch("a")).unwrap();
+        let snap = store.frozen();
+        store.register(sketch("b")).unwrap();
+        store.remove("a").unwrap();
+        assert_eq!(snap.names(), vec!["a"], "snapshot keeps the registration-time view");
+        assert_eq!(store.names(), vec!["b"]);
+        // Shared key space and shared sketch allocations.
+        assert!(Arc::ptr_eq(snap.interner(), store.interner()));
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! Differentially private dataset search with the Factorized Privacy
-//! Mechanism: providers privatize sketches once; unlimited searches follow
-//! at zero additional privacy cost. Run with:
+//! Mechanism over the wire-transport service boundary: providers privatize
+//! sketches once; the requester privatizes its own sketches locally; every
+//! message crosses as versioned JSON; unlimited searches follow at zero
+//! additional privacy cost. Run with:
 //!
 //! ```sh
 //! cargo run --release --example private_search
 //! ```
 
-use mileena::core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena::core::{
+    CentralPlatform, JsonWire, LocalDataStore, PlatformConfig, PlatformService, SearchReply,
+    SearchRequestBuilder,
+};
 use mileena::datagen::{generate_corpus, CorpusConfig};
 use mileena::privacy::PrivacyBudget;
 use mileena::search::modes::materialized_utility;
 use mileena::search::{SearchConfig, SearchRequest, TaskSpec};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Privacy-friendly regime: heavy join keys (≈100 rows per key), so the
@@ -19,36 +25,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = PrivacyBudget::new(1.0, 1e-6)?;
     println!("per-dataset budget: ε = {}, δ = {}", budget.epsilon, budget.delta);
 
-    let request = SearchRequest {
-        train: corpus.train.clone(),
-        test: corpus.test.clone(),
-        task: TaskSpec::new("y", &["base_x"]),
-        budget: Some(budget),
-        key_columns: Some(vec!["zone".into()]),
-    };
     let search_cfg = SearchConfig { max_join_fanout: 60.0, ..Default::default() };
+    // The requester's sketched request: built once, reused verbatim for
+    // every search. Add `.budget(...)` here to privatize the requester's
+    // own sketches too (local DP for the requester, at a utility cost).
+    let sketch_request = || {
+        SearchRequestBuilder::new(corpus.train.clone(), corpus.test.clone())
+            .task(TaskSpec::new("y", &["base_x"]))
+            .key_columns(&["zone"])
+            .seed(424_242)
+            .sketch()
+    };
 
-    // Non-private reference platform.
-    let reference = CentralPlatform::new(PlatformConfig::default());
+    // Non-private reference platform, served over the JSON wire transport.
+    let reference = JsonWire::new(Arc::new(CentralPlatform::new(PlatformConfig::default())));
     for p in &corpus.providers {
         reference.register(LocalDataStore::new(p.clone()).prepare_upload(None, 1)?)?;
     }
-    let open = reference.search(&request, &search_cfg)?;
+    let open = reference.search(sketch_request()?, Some(search_cfg.clone()))?;
 
-    // FPM platform: every provider privatizes before upload. The upload
+    // FPM platform: every provider privatizes before upload, and the
+    // requester privatizes its own sketches in the builder. Each upload
     // consumes the dataset's entire budget — once.
-    let private = CentralPlatform::new(PlatformConfig::default());
+    let private = JsonWire::new(Arc::new(CentralPlatform::new(PlatformConfig::default())));
     for (i, p) in corpus.providers.iter().enumerate() {
         let upload =
             LocalDataStore::new(p.clone()).prepare_upload(Some(budget), 1000 + i as u64)?;
         private.register(upload)?;
     }
-    let fpm = private.search(&request, &search_cfg)?;
+    let fpm = private.search(sketch_request()?, Some(search_cfg.clone()))?;
 
     // The paper's utility metric: retrain non-privately on whatever each
     // search selected.
-    let sel_open: Vec<_> = fpm_selections(&open);
-    let sel_fpm: Vec<_> = fpm_selections(&fpm);
+    let request = SearchRequest {
+        train: corpus.train.clone(),
+        test: corpus.test.clone(),
+        task: TaskSpec::new("y", &["base_x"]),
+        budget: None,
+        key_columns: Some(vec!["zone".into()]),
+    };
+    let sel_open = selections(&open);
+    let sel_fpm = selections(&fpm);
     let u_open = materialized_utility(&request, &sel_open, &corpus.providers, 1e-4)?;
     let u_fpm = materialized_utility(&request, &sel_fpm, &corpus.providers, 1e-4)?;
 
@@ -60,20 +77,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * u_fpm / u_open.max(1e-9)
     );
 
-    // Prove reuse: 100 more searches against the same privatized store.
+    // Prove reuse: 100 more wire searches against the same privatized
+    // store — the sketched request is reused verbatim, so no budget moves.
+    let reused = sketch_request()?;
     let t0 = std::time::Instant::now();
     for _ in 0..100 {
-        private.search(&request, &search_cfg)?;
+        private.search(reused.clone(), Some(search_cfg.clone()))?;
     }
     println!(
-        "100 further private searches: {:?} total, 0 additional privacy budget.",
+        "100 further private wire searches: {:?} total, 0 additional privacy budget.",
         t0.elapsed()
     );
     Ok(())
 }
 
-fn fpm_selections(r: &mileena::core::PlatformSearchResult) -> Vec<mileena::search::Augmentation> {
-    r.outcome.steps.iter().map(|s| s.augmentation.clone()).collect()
+fn selections(r: &SearchReply) -> Vec<mileena::search::Augmentation> {
+    r.steps.iter().map(|s| s.augmentation.clone()).collect()
 }
 
 fn names(augs: &[mileena::search::Augmentation]) -> Vec<&str> {

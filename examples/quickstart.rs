@@ -1,13 +1,17 @@
-//! Quickstart: providers upload sketches, a requester searches, the model
-//! improves. Run with:
+//! Quickstart: providers upload sketches, a requester searches through the
+//! service boundary, the model improves. Run with:
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use mileena::core::{CentralPlatform, LocalDataStore, PlatformConfig};
+use mileena::core::{
+    CentralPlatform, InProcess, LocalDataStore, PlatformConfig, PlatformService,
+    SearchRequestBuilder,
+};
 use mileena::datagen::{generate_corpus, CorpusConfig};
-use mileena::search::{SearchConfig, SearchRequest, TaskSpec};
+use mileena::search::{SearchEvent, TaskSpec};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A synthetic "NYC open data"-style corpus: 40 provider datasets, a few
@@ -19,40 +23,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     });
 
+    // The platform behind a service transport (swap `InProcess` for
+    // `JsonWire` to round-trip every message through the versioned JSON
+    // protocol — results are bit-identical).
+    let service = InProcess::new(Arc::new(CentralPlatform::new(PlatformConfig::default())));
+
     // ── Offline (blue) flow: every provider sketches + uploads. ────────────
-    let platform = CentralPlatform::new(PlatformConfig::default());
     for provider in &corpus.providers {
         let upload = LocalDataStore::new(provider.clone()).prepare_upload(None, 7)?;
-        platform.register(upload)?;
+        service.register(upload)?;
     }
-    println!("registered {} provider datasets", platform.num_datasets());
+    println!("registered {} provider datasets", service.num_datasets());
 
-    // ── Online (green) flow: the requester sends its task. ────────────────
-    let request = SearchRequest {
-        train: corpus.train.clone(),
-        test: corpus.test.clone(),
-        task: TaskSpec::new("y", &["base_x"]),
-        budget: None,
-        key_columns: Some(vec!["zone".into()]),
-    };
-    let result = platform.search(&request, &SearchConfig::default())?;
+    // ── Online (green) flow: the requester sketches locally and submits. ──
+    // Raw train/test relations never reach the service: the builder reduces
+    // them to semi-ring sketches before anything crosses the boundary.
+    let sketched = SearchRequestBuilder::new(corpus.train.clone(), corpus.test.clone())
+        .task(TaskSpec::new("y", &["base_x"]))
+        .key_columns(&["zone"])
+        .sketch()?;
+
+    // Submit as a session and stream per-round progress.
+    let session = service.submit(sketched, None)?;
+    let result = session.wait_with(|event| match event {
+        SearchEvent::Started { candidates } => {
+            println!("\nsearching over {candidates} candidates:");
+        }
+        SearchEvent::RoundCommitted { round, augmentation, score_after, elapsed_ms, .. } => {
+            println!(
+                "  round {round}: {:<40} → R² {score_after:.3}  (t = {elapsed_ms} ms)",
+                augmentation.describe()
+            );
+        }
+        SearchEvent::Finished { stop_reason, .. } => {
+            println!("  stopped: {stop_reason:?}");
+        }
+    })?;
 
     println!(
-        "\nbase test R² = {:.3} → augmented test R² = {:.3}  ({} candidates evaluated in {:?})",
-        result.outcome.base_score,
-        result.outcome.final_score,
-        result.outcome.evaluations,
-        result.outcome.elapsed,
+        "\nbase test R² = {:.3} → augmented test R² = {:.3}  ({} candidates evaluated in {} ms)",
+        result.base_score, result.final_score, result.evaluations, result.elapsed_ms,
     );
-    println!("\nselected augmentations:");
-    for step in &result.outcome.steps {
-        println!(
-            "  {:<40} → R² {:.3}  (t = {:?})",
-            step.augmentation.describe(),
-            step.score_after,
-            step.elapsed
-        );
-    }
     println!("\nplanted signal datasets (ground truth): {:?}", corpus.ground_truth.signal_datasets);
     Ok(())
 }

@@ -21,3 +21,18 @@ fi
 cp "$snapshot" BENCH_search.json
 echo "wrote BENCH_search.json:"
 cat BENCH_search.json
+
+# Derived service-layer throughput: the `service/concurrent_search/N` entry
+# measures one batch of N parallel sessions, so searches/sec = N*1e9/mean_ns.
+# Printed for the log (the raw entry is what lands in BENCH_search.json).
+awk '
+/"group": "service"/ && /"bench": "concurrent_search\// {
+    n = $0; sub(/.*concurrent_search\//, "", n); sub(/".*/, "", n)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "service throughput: %.1f searches/sec at %d parallel requesters\n", n * 1e9 / m, n
+}
+/"group": "service"/ && /"bench": "search_serial\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "service baseline:   %.1f searches/sec serial\n", 1e9 / m
+}
+' BENCH_search.json

@@ -23,7 +23,13 @@
 //! | [`transform`] | `mileena-transform` | EDA/Coder/Debugger/Reviewer agents |
 //! | [`causal`] | `mileena-causal` | direction tests, skeletons, DP ATE |
 //! | [`datagen`] | `mileena-datagen` | NYC-like corpus, Airbnb-like table, SCM |
-//! | [`core`] | `mileena-core` | LocalDataStore + CentralPlatform |
+//! | [`core`] | `mileena-core` | LocalDataStore + CentralPlatform + `PlatformService` (versioned wire protocol, sessions) |
+//!
+//! The service boundary is sketches-only: requesters sketch locally
+//! (`core::SearchRequestBuilder`) and talk to the platform through a
+//! `core::PlatformService` transport (`InProcess` or `JsonWire`); raw
+//! relations cannot cross (see DESIGN.md, "Service boundary & wire
+//! protocol").
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.

@@ -1,0 +1,233 @@
+//! The service-boundary acceptance suite: requester data is sketched
+//! locally, crosses to the platform only as a versioned JSON
+//! `SketchedRequest`, the server searches from sketches alone, and the
+//! results are bit-identical to the in-process path — under concurrency
+//! and cancellation.
+
+use mileena::core::{
+    CentralPlatform, InProcess, JsonWire, LocalDataStore, PlatformConfig, PlatformService,
+    SearchRequestBuilder,
+};
+use mileena::datagen::{generate_corpus, CorpusConfig, NycCorpus};
+use mileena::search::{
+    SearchConfig, SearchControl, SearchEvent, SketchedRequest, StopReason, TaskSpec,
+};
+use std::sync::Arc;
+
+fn corpus_cfg(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        num_datasets: 20,
+        num_signal: 3,
+        num_union: 2,
+        num_novelty_traps: 2,
+        train_rows: 300,
+        test_rows: 300,
+        provider_rows: 150,
+        key_domain: 60,
+        signal_rows_per_key: 1,
+        noise: 0.1,
+        nonlinear_strength: 0.0,
+        seed,
+    }
+}
+
+fn sketched(c: &NycCorpus) -> SketchedRequest {
+    SearchRequestBuilder::new(c.train.clone(), c.test.clone())
+        .task(TaskSpec::new("y", &["base_x"]))
+        .key_columns(&["zone"])
+        .sketch()
+        .unwrap()
+}
+
+fn serve(c: &NycCorpus, service: &dyn PlatformService) {
+    for p in &c.providers {
+        service.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
+    }
+}
+
+#[test]
+fn wire_end_to_end_bit_identical_to_in_process() {
+    let c = generate_corpus(&corpus_cfg(301));
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let wire = JsonWire::new(Arc::clone(&platform));
+    let in_process = InProcess::new(Arc::clone(&platform));
+
+    // Providers register over the wire (serde round-trip per upload).
+    serve(&c, &wire);
+    assert_eq!(platform.num_datasets(), 20);
+
+    // The requester sketches locally; the raw relations never reach the
+    // service. Both transports must produce bit-identical results.
+    let wire_reply = wire.search(sketched(&c), None).unwrap();
+    let direct_reply = in_process.search(sketched(&c), None).unwrap();
+    assert!(wire_reply.final_score > wire_reply.base_score + 0.3);
+    assert_eq!(wire_reply.base_score, direct_reply.base_score);
+    assert_eq!(wire_reply.final_score, direct_reply.final_score);
+    assert_eq!(wire_reply.selected_joins(), direct_reply.selected_joins());
+    assert_eq!(wire_reply.selected_unions(), direct_reply.selected_unions());
+    assert_eq!(wire_reply.evaluations, direct_reply.evaluations);
+    assert_eq!(wire_reply.features, direct_reply.features);
+    assert_eq!(wire_reply.model, direct_reply.model);
+
+    // ...and to the legacy raw-request wrapper.
+    let legacy = platform
+        .search(
+            &mileena::search::SearchRequest {
+                train: c.train.clone(),
+                test: c.test.clone(),
+                task: TaskSpec::new("y", &["base_x"]),
+                budget: None,
+                key_columns: Some(vec!["zone".into()]),
+            },
+            &SearchConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(legacy.outcome.final_score, wire_reply.final_score);
+}
+
+#[test]
+fn wire_sessions_stream_progress_events() {
+    let c = generate_corpus(&corpus_cfg(302));
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let wire = JsonWire::new(Arc::clone(&platform));
+    serve(&c, &wire);
+
+    let session = wire.submit(sketched(&c), None).unwrap();
+    let mut events = Vec::new();
+    let reply = session.wait_with(|ev| events.push(ev)).unwrap();
+
+    assert!(matches!(events.first(), Some(SearchEvent::Started { candidates }) if *candidates > 0));
+    let committed: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            SearchEvent::RoundCommitted { augmentation, .. } => Some(augmentation.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(committed.len(), reply.steps.len());
+    for (ev_aug, step) in committed.iter().zip(&reply.steps) {
+        assert_eq!(*ev_aug, step.augmentation);
+    }
+    assert!(matches!(
+        events.last(),
+        Some(SearchEvent::Finished { stop_reason, .. }) if *stop_reason == reply.stop_reason
+    ));
+}
+
+#[test]
+fn sketched_request_wire_form_carries_no_raw_rows() {
+    // Plant a sentinel column with distinctive values in the requester's
+    // relations: it is not a task column, so nothing derived from it may
+    // appear in the wire form — and the wire form must not even have a
+    // place to put raw relations.
+    let c = generate_corpus(&corpus_cfg(303));
+    let train = {
+        let marks: Vec<String> =
+            (0..c.train.num_rows()).map(|i| format!("RAW_SENTINEL_{i}")).collect();
+        let refs: Vec<&str> = marks.iter().map(|s| s.as_str()).collect();
+        let mut b = mileena::relation::RelationBuilder::new("train");
+        for field in c.train.schema().fields() {
+            b = b.col(&field.name, c.train.column(&field.name).unwrap().clone());
+        }
+        b.str_col("secret_note", &refs).build().unwrap()
+    };
+    let request = SearchRequestBuilder::new(train, c.test.clone())
+        .task(TaskSpec::new("y", &["base_x"]))
+        .key_columns(&["zone"])
+        .sketch()
+        .unwrap();
+    let json = serde_json::to_string(&request).unwrap();
+
+    // No raw cell value may appear in any form — the discovery tokenizer
+    // lowercases, so check both casings.
+    assert!(!json.contains("RAW_SENTINEL"), "raw cell values leaked into the wire form");
+    assert!(!json.contains("raw_sentinel"), "raw string tokens leaked via the profile");
+    // The sentinel column's values never leave as features either: it is
+    // not a task column, so the sketches exclude it entirely, and its
+    // profile carries only hashed signatures (empty term vector).
+    let note = request.profile.column("secret_note").unwrap();
+    assert_eq!(note.terms.num_terms(), 0);
+    assert!(!request.train_sketch.features.iter().any(|f| f.contains("secret")));
+    // Structural check: the wire form has no field that could hold a
+    // relation — only sketches, profile, task, keys, budget.
+    for key in ["\"train\":", "\"test\":", "\"data\":", "\"validity\":"] {
+        assert!(!json.contains(key), "unexpected raw-data field {key} in wire form");
+    }
+    for key in ["\"train_sketch\":", "\"test_sketch\":", "\"profile\":", "\"task\":"] {
+        assert!(json.contains(key), "wire form missing {key}");
+    }
+}
+
+#[test]
+fn concurrent_sessions_are_bit_identical_to_serial() {
+    let c = generate_corpus(&corpus_cfg(304));
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let in_process = InProcess::new(Arc::clone(&platform));
+    serve(&c, &in_process);
+
+    let serial = in_process.search(sketched(&c), None).unwrap();
+    assert!(!serial.steps.is_empty());
+
+    // 8 requesters in parallel against the same corpus, twice over, with a
+    // provider registering mid-flight: every session sees a consistent
+    // snapshot and reproduces the serial result exactly.
+    for round in 0..2 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let svc = in_process.clone();
+                    let req = sketched(&c);
+                    s.spawn(move || svc.search(req, None).unwrap())
+                })
+                .collect();
+            if round == 0 {
+                // Register a fresh provider while searches run; started
+                // sessions keep their frozen view.
+                let extra = mileena::relation::RelationBuilder::new("late_arrival")
+                    .int_col("zone", &(0..60).collect::<Vec<_>>())
+                    .float_col("noise_f", &(0..60).map(|z| (z as f64).cos()).collect::<Vec<_>>())
+                    .build()
+                    .unwrap();
+                in_process
+                    .register(LocalDataStore::new(extra).prepare_upload(None, 9).unwrap())
+                    .unwrap();
+            }
+            for h in handles {
+                let reply = h.join().unwrap();
+                assert_eq!(reply.base_score, serial.base_score);
+                assert_eq!(reply.final_score, serial.final_score, "concurrent ≠ serial");
+                assert_eq!(reply.selected_joins(), serial.selected_joins());
+                assert_eq!(reply.selected_unions(), serial.selected_unions());
+                assert_eq!(reply.model, serial.model);
+            }
+        });
+    }
+    assert_eq!(platform.active_sessions(), 0);
+}
+
+#[test]
+fn cancelled_session_reports_cancelled() {
+    let c = generate_corpus(&corpus_cfg(305));
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let in_process = InProcess::new(Arc::clone(&platform));
+    serve(&c, &in_process);
+
+    // Pre-cancelled control: the session must stop before any round.
+    let control = SearchControl::new();
+    control.cancel();
+    let session = platform.submit_with_control(sketched(&c), None, control).unwrap();
+    let reply = session.wait().unwrap();
+    assert_eq!(reply.stop_reason, StopReason::Cancelled);
+    assert!(reply.steps.is_empty());
+    assert!(reply.steps.len() < SearchConfig::default().max_augmentations);
+
+    // Cancelling through the session handle (racy by nature, but must
+    // always yield a valid reply with a coherent stop reason).
+    let session = platform.submit(sketched(&c), None).unwrap();
+    session.cancel();
+    let reply = session.wait().unwrap();
+    assert!(matches!(
+        reply.stop_reason,
+        StopReason::Cancelled | StopReason::Converged | StopReason::MaxAugmentations
+    ));
+}
