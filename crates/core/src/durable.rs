@@ -1,0 +1,702 @@
+//! Durable platform state: the semantic encoding layered over
+//! `mileena-storage`'s payload-agnostic WAL + snapshot engine.
+//!
+//! Two payload families exist, both JSON (the workspace's one
+//! deterministic, versioned serialization format):
+//!
+//! - **WAL records** — one [`WalOp`] per platform mutation (sketch
+//!   register/replace/remove, budget charge), journaled *before* the
+//!   in-memory state mutates. Replay after a crash re-applies exactly the
+//!   records past the last snapshot, in sequence order, so an acknowledged
+//!   mutation is never lost and a budget charge is never double-counted.
+//! - **Snapshots** — the complete [`PlatformSnapshot`]: every sketch with
+//!   its discovery profile, plus the full budget ledger (limits *and*
+//!   spent amounts — the ledger, not the sketches, is what the DP
+//!   guarantee makes mandatory to persist).
+//!
+//! Both have by-reference serializers ([`WalOpRef`],
+//! [`PlatformSnapshotRef`]) so journaling and checkpointing never deep-copy
+//! sketch slabs; byte-equivalence with the derived owned forms is pinned by
+//! tests below.
+
+use crate::error::{CoreError, Result};
+use crate::local::ProviderUpload;
+use mileena_discovery::DatasetProfile;
+use mileena_privacy::PrivacyBudget;
+use mileena_sketch::DatasetSketch;
+use serde::ser::{SerializeSeq, SerializeStruct, Serializer};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Where and how the platform persists its state.
+#[derive(Debug, Clone)]
+pub struct StoragePolicy {
+    /// Directory holding the WAL segments and snapshots.
+    pub dir: PathBuf,
+    /// Auto-checkpoint after this many journaled records (0 = checkpoint
+    /// only on explicit `PlatformService::checkpoint` calls).
+    pub checkpoint_every: u64,
+    /// `fsync` every append (power-loss durable) vs flush-to-OS only
+    /// (process-crash durable).
+    pub fsync_appends: bool,
+    /// Snapshots to retain; ≥ 2 lets recovery survive a corrupted newest
+    /// snapshot by falling back one checkpoint.
+    pub retain_snapshots: usize,
+}
+
+impl StoragePolicy {
+    /// Default policy rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        StoragePolicy {
+            dir: dir.into(),
+            checkpoint_every: 256,
+            fsync_appends: false,
+            retain_snapshots: 2,
+        }
+    }
+}
+
+/// One journaled platform mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalOp {
+    /// A provider upload entered the corpus (sketch + profile + optional
+    /// budget registration-and-charge).
+    Register {
+        /// The full upload bundle.
+        upload: ProviderUpload,
+    },
+    /// A provider re-upload replaced an existing dataset; a budget on the
+    /// upload adds to the dataset's cumulative privacy loss.
+    Replace {
+        /// The replacement upload bundle.
+        upload: ProviderUpload,
+    },
+    /// A dataset left the corpus. Its ledger entry survives — spent budget
+    /// is spent forever.
+    Remove {
+        /// Dataset name.
+        dataset: String,
+    },
+    /// Budget headroom was granted to a dataset without being charged
+    /// (the APM-style flow: releases draw it down per query).
+    Grant {
+        /// Dataset name.
+        dataset: String,
+        /// The (ε, δ) granted.
+        budget: PrivacyBudget,
+    },
+    /// A release was charged against a dataset's budget.
+    Charge {
+        /// Dataset name.
+        dataset: String,
+        /// The (ε, δ) cost.
+        cost: PrivacyBudget,
+    },
+}
+
+impl WalOp {
+    /// Decode a journaled record payload.
+    pub fn decode(payload: &[u8]) -> Result<WalOp> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| CoreError::Storage(format!("wal record is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| CoreError::Storage(format!("undecodable wal record: {e}")))
+    }
+}
+
+/// Borrowed form of [`WalOp`] — what the live mutation path journals, so a
+/// provider upload is never cloned just to hit the log. Serializes
+/// byte-identically to the derived owned form (pinned by a test).
+#[derive(Debug, Clone, Copy)]
+pub enum WalOpRef<'a> {
+    /// See [`WalOp::Register`].
+    Register {
+        /// The upload being journaled.
+        upload: &'a ProviderUpload,
+    },
+    /// See [`WalOp::Replace`].
+    Replace {
+        /// The replacement upload being journaled.
+        upload: &'a ProviderUpload,
+    },
+    /// See [`WalOp::Remove`].
+    Remove {
+        /// Dataset name.
+        dataset: &'a str,
+    },
+    /// See [`WalOp::Grant`].
+    Grant {
+        /// Dataset name.
+        dataset: &'a str,
+        /// The (ε, δ) granted.
+        budget: PrivacyBudget,
+    },
+    /// See [`WalOp::Charge`].
+    Charge {
+        /// Dataset name.
+        dataset: &'a str,
+        /// The (ε, δ) cost.
+        cost: PrivacyBudget,
+    },
+}
+
+impl WalOpRef<'_> {
+    /// Encode to the journal payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .map_err(|e| CoreError::Storage(format!("encode wal record: {e}")))
+    }
+}
+
+impl Serialize for WalOpRef<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        match self {
+            WalOpRef::Register { upload } => {
+                let mut sv = serializer.serialize_struct_variant("WalOp", "Register", 1)?;
+                sv.serialize_field("upload", upload)?;
+                sv.end()
+            }
+            WalOpRef::Replace { upload } => {
+                let mut sv = serializer.serialize_struct_variant("WalOp", "Replace", 1)?;
+                sv.serialize_field("upload", upload)?;
+                sv.end()
+            }
+            WalOpRef::Remove { dataset } => {
+                let mut sv = serializer.serialize_struct_variant("WalOp", "Remove", 1)?;
+                sv.serialize_field("dataset", dataset)?;
+                sv.end()
+            }
+            WalOpRef::Grant { dataset, budget } => {
+                let mut sv = serializer.serialize_struct_variant("WalOp", "Grant", 2)?;
+                sv.serialize_field("dataset", dataset)?;
+                sv.serialize_field("budget", budget)?;
+                sv.end()
+            }
+            WalOpRef::Charge { dataset, cost } => {
+                let mut sv = serializer.serialize_struct_variant("WalOp", "Charge", 2)?;
+                sv.serialize_field("dataset", dataset)?;
+                sv.serialize_field("cost", cost)?;
+                sv.end()
+            }
+        }
+    }
+}
+
+/// Snapshot-only compact form of a keyed sketch: the feature schema
+/// written **once** (the wire format repeats it per key — fine for
+/// per-upload payloads, ruinous for a full-corpus snapshot), parallel
+/// row slabs straight from the arena, and the symmetric `q` matrix packed
+/// as its upper triangle (`m(m+1)/2` of `m²` entries). Cuts snapshot
+/// bytes roughly in half and decodes without the per-key hash-map rebuild.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactKeyed {
+    /// The join-key column.
+    pub key_column: String,
+    /// Shared feature schema (once, not per key).
+    pub features: Vec<String>,
+    /// Key values, one per row, in sorted key order.
+    pub keys: Vec<Vec<mileena_relation::KeyValue>>,
+    /// Row counts, length `d`.
+    pub c: Vec<f64>,
+    /// Feature sums, length `d·m`, row-major.
+    pub s: Vec<f64>,
+    /// Packed upper triangles of the symmetric `q`, length `d·m(m+1)/2`.
+    pub qu: Vec<f64>,
+}
+
+impl CompactKeyed {
+    /// Compact a keyed sketch (owned path, used by tests; the checkpoint
+    /// writer serializes by reference instead).
+    pub fn of(keyed: &mileena_sketch::KeyedSketch) -> CompactKeyed {
+        let arena = keyed.arena();
+        let m = arena.num_features();
+        let sorted = arena.sorted_keys();
+        let mut keys = Vec::with_capacity(sorted.len());
+        let mut c = Vec::with_capacity(sorted.len());
+        let mut s = Vec::with_capacity(sorted.len() * m);
+        let mut qu = Vec::with_capacity(sorted.len() * m * (m + 1) / 2);
+        for (r, key) in sorted {
+            let (rc, rs, rq) = arena.row(r);
+            keys.push(key);
+            c.push(rc);
+            s.extend_from_slice(rs);
+            pack_upper(rq, m, &mut qu);
+        }
+        CompactKeyed {
+            key_column: keyed.key_column.clone(),
+            features: arena.schema().to_vec(),
+            keys,
+            c,
+            s,
+            qu,
+        }
+    }
+
+    /// Rehydrate into an arena-backed keyed sketch on the global key space
+    /// (the store re-interns on registration when it uses an isolated one).
+    pub fn into_keyed(self) -> Result<mileena_sketch::KeyedSketch> {
+        let m = self.features.len();
+        let d = self.keys.len();
+        if self.qu.len() != d * m * (m + 1) / 2 {
+            return Err(CoreError::Storage(format!(
+                "compact sketch: packed q of {} does not match {d} keys x {m} features",
+                self.qu.len()
+            )));
+        }
+        let mut q = Vec::with_capacity(d * m * m);
+        for r in 0..d {
+            unpack_upper(&self.qu[r * m * (m + 1) / 2..(r + 1) * m * (m + 1) / 2], m, &mut q);
+        }
+        let arena = mileena_semiring::GroupedArena::from_parts(
+            self.features,
+            self.keys,
+            self.c,
+            self.s,
+            q,
+            mileena_semiring::KeyInterner::global(),
+        )
+        .map_err(|e| CoreError::Storage(format!("compact sketch: {e}")))?;
+        Ok(mileena_sketch::KeyedSketch::from_arena(self.key_column, arena))
+    }
+}
+
+/// Append the upper triangle of one row's `m × m` symmetric matrix.
+fn pack_upper(q: &[f64], m: usize, out: &mut Vec<f64>) {
+    for i in 0..m {
+        for j in i..m {
+            out.push(q[i * m + j]);
+        }
+    }
+}
+
+/// Expand one packed upper triangle back into a full symmetric row.
+fn unpack_upper(qu: &[f64], m: usize, out: &mut Vec<f64>) {
+    let base = out.len();
+    out.resize(base + m * m, 0.0);
+    let mut idx = 0;
+    for i in 0..m {
+        for j in i..m {
+            let v = qu[idx];
+            out[base + i * m + j] = v;
+            out[base + j * m + i] = v;
+            idx += 1;
+        }
+    }
+}
+
+/// Snapshot-only compact form of a full dataset sketch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactSketch {
+    /// Dataset name.
+    pub name: String,
+    /// Original (unqualified) feature names.
+    pub raw_features: Vec<String>,
+    /// Qualified feature names.
+    pub features: Vec<String>,
+    /// The full (non-keyed) triple.
+    pub full: mileena_semiring::CovarTriple,
+    /// Compact keyed sketches.
+    pub keyed: Vec<CompactKeyed>,
+    /// Source row count.
+    pub row_count: usize,
+}
+
+impl CompactSketch {
+    /// Compact a dataset sketch (owned path; see [`CompactKeyed::of`]).
+    pub fn of(sketch: &DatasetSketch) -> CompactSketch {
+        CompactSketch {
+            name: sketch.name.clone(),
+            raw_features: sketch.raw_features.clone(),
+            features: sketch.features.clone(),
+            full: sketch.full.clone(),
+            keyed: sketch.keyed.iter().map(CompactKeyed::of).collect(),
+            row_count: sketch.row_count,
+        }
+    }
+
+    /// Rehydrate the full dataset sketch.
+    pub fn into_sketch(self) -> Result<DatasetSketch> {
+        let keyed: Result<Vec<_>> = self.keyed.into_iter().map(CompactKeyed::into_keyed).collect();
+        Ok(DatasetSketch {
+            name: self.name,
+            raw_features: self.raw_features,
+            features: self.features,
+            full: self.full,
+            keyed: keyed?,
+            row_count: self.row_count,
+        })
+    }
+}
+
+/// One dataset in a snapshot: its sketches (compact form) plus the
+/// discovery profile the index is rebuilt from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetEntry {
+    /// The dataset's compact sketch bundle.
+    pub sketch: CompactSketch,
+    /// Its discovery profile.
+    pub profile: DatasetProfile,
+}
+
+/// One budget-ledger row: cumulative limit and spend for a dataset name —
+/// retained even after the dataset is removed (spent budget is permanent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Dataset name.
+    pub dataset: String,
+    /// Total budget granted across all releases.
+    pub limit: PrivacyBudget,
+    /// Budget consumed so far.
+    pub spent: PrivacyBudget,
+}
+
+/// The platform's complete durable state as of one WAL sequence number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSnapshot {
+    /// Every registered dataset, name-sorted (store iteration order).
+    pub datasets: Vec<DatasetEntry>,
+    /// The full budget ledger, name-sorted.
+    pub ledger: Vec<LedgerEntry>,
+}
+
+impl PlatformSnapshot {
+    /// Decode a snapshot payload.
+    pub fn decode(payload: &[u8]) -> Result<PlatformSnapshot> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| CoreError::Storage(format!("snapshot is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| CoreError::Storage(format!("undecodable snapshot: {e}")))
+    }
+}
+
+/// Borrowed snapshot writer: checkpointing serializes straight from the
+/// live store/index/ledger without cloning any sketch. Byte-identical to
+/// the derived [`PlatformSnapshot`] encoding (pinned by a test).
+pub struct PlatformSnapshotRef<'a> {
+    /// `(sketch, profile)` per dataset, name-sorted.
+    pub datasets: Vec<(&'a DatasetSketch, &'a DatasetProfile)>,
+    /// `(dataset, limit, spent)` ledger rows, name-sorted.
+    pub ledger: &'a [(String, PrivacyBudget, PrivacyBudget)],
+}
+
+impl PlatformSnapshotRef<'_> {
+    /// Encode to the snapshot payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .map_err(|e| CoreError::Storage(format!("encode snapshot: {e}")))
+    }
+}
+
+/// Serializes one keyed sketch in [`CompactKeyed`] layout straight from
+/// the arena slabs, cloning nothing but the key values themselves.
+struct CompactKeyedRef<'a>(&'a mileena_sketch::KeyedSketch);
+
+impl Serialize for CompactKeyedRef<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        use mileena_relation::KeyValue;
+        use mileena_semiring::GroupedArena;
+
+        let arena = self.0.arena();
+        // Sorted by key *value* so snapshot bytes are process-independent
+        // (arena row order follows interner-id assignment order).
+        let sorted = arena.sorted_keys();
+
+        struct Keys<'a>(&'a [(usize, Vec<KeyValue>)]);
+        impl Serialize for Keys<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+                for (_, key) in self.0 {
+                    seq.serialize_element(key)?;
+                }
+                seq.end()
+            }
+        }
+        struct Counts<'a>(&'a GroupedArena, &'a [(usize, Vec<KeyValue>)]);
+        impl Serialize for Counts<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.1.len()))?;
+                for (r, _) in self.1 {
+                    seq.serialize_element(&self.0.row(*r).0)?;
+                }
+                seq.end()
+            }
+        }
+        struct Sums<'a>(&'a GroupedArena, &'a [(usize, Vec<KeyValue>)]);
+        impl Serialize for Sums<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let m = self.0.num_features();
+                let mut seq = serializer.serialize_seq(Some(self.1.len() * m))?;
+                for (r, _) in self.1 {
+                    for v in self.0.row(*r).1 {
+                        seq.serialize_element(v)?;
+                    }
+                }
+                seq.end()
+            }
+        }
+        struct PackedQ<'a>(&'a GroupedArena, &'a [(usize, Vec<KeyValue>)]);
+        impl Serialize for PackedQ<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let m = self.0.num_features();
+                let mut seq = serializer.serialize_seq(Some(self.1.len() * m * (m + 1) / 2))?;
+                for (r, _) in self.1 {
+                    let q = self.0.row(*r).2;
+                    for i in 0..m {
+                        for j in i..m {
+                            seq.serialize_element(&q[i * m + j])?;
+                        }
+                    }
+                }
+                seq.end()
+            }
+        }
+
+        let mut st = serializer.serialize_struct("CompactKeyed", 6)?;
+        st.serialize_field("key_column", &self.0.key_column)?;
+        st.serialize_field("features", &arena.schema())?;
+        st.serialize_field("keys", &Keys(&sorted))?;
+        st.serialize_field("c", &Counts(arena, &sorted))?;
+        st.serialize_field("s", &Sums(arena, &sorted))?;
+        st.serialize_field("qu", &PackedQ(arena, &sorted))?;
+        st.end()
+    }
+}
+
+/// Serializes one dataset sketch in [`CompactSketch`] layout by reference.
+struct CompactSketchRef<'a>(&'a DatasetSketch);
+
+impl Serialize for CompactSketchRef<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        struct KeyedList<'a>(&'a [mileena_sketch::KeyedSketch]);
+        impl Serialize for KeyedList<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+                for keyed in self.0 {
+                    seq.serialize_element(&CompactKeyedRef(keyed))?;
+                }
+                seq.end()
+            }
+        }
+        let mut st = serializer.serialize_struct("CompactSketch", 6)?;
+        st.serialize_field("name", &self.0.name)?;
+        st.serialize_field("raw_features", &self.0.raw_features)?;
+        st.serialize_field("features", &self.0.features)?;
+        st.serialize_field("full", &self.0.full)?;
+        st.serialize_field("keyed", &KeyedList(&self.0.keyed))?;
+        st.serialize_field("row_count", &self.0.row_count)?;
+        st.end()
+    }
+}
+
+impl Serialize for PlatformSnapshotRef<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        struct EntryRef<'a>(&'a DatasetSketch, &'a DatasetProfile);
+        impl Serialize for EntryRef<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut st = serializer.serialize_struct("DatasetEntry", 2)?;
+                st.serialize_field("sketch", &CompactSketchRef(self.0))?;
+                st.serialize_field("profile", self.1)?;
+                st.end()
+            }
+        }
+        struct Datasets<'a>(&'a [(&'a DatasetSketch, &'a DatasetProfile)]);
+        impl Serialize for Datasets<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+                for (sketch, profile) in self.0 {
+                    seq.serialize_element(&EntryRef(sketch, profile))?;
+                }
+                seq.end()
+            }
+        }
+        struct LedgerRef<'a>(&'a (String, PrivacyBudget, PrivacyBudget));
+        impl Serialize for LedgerRef<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut st = serializer.serialize_struct("LedgerEntry", 3)?;
+                st.serialize_field("dataset", &self.0 .0)?;
+                st.serialize_field("limit", &self.0 .1)?;
+                st.serialize_field("spent", &self.0 .2)?;
+                st.end()
+            }
+        }
+        struct Ledger<'a>(&'a [(String, PrivacyBudget, PrivacyBudget)]);
+        impl Serialize for Ledger<'_> {
+            fn serialize<S: Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+                for row in self.0 {
+                    seq.serialize_element(&LedgerRef(row))?;
+                }
+                seq.end()
+            }
+        }
+        let mut st = serializer.serialize_struct("PlatformSnapshot", 2)?;
+        st.serialize_field("datasets", &Datasets(&self.datasets))?;
+        st.serialize_field("ledger", &Ledger(self.ledger))?;
+        st.end()
+    }
+}
+
+/// What recovery found on disk, surfaced through `stats()` so operators can
+/// see whether the last shutdown was clean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Sequence covered by the snapshot recovery started from.
+    pub snapshot_seq: Option<u64>,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// A torn final record was truncated away (crash mid-append).
+    pub torn_tail: bool,
+    /// Snapshot files skipped for failing verification.
+    pub invalid_snapshots: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalDataStore;
+    use mileena_relation::RelationBuilder;
+
+    fn upload() -> ProviderUpload {
+        let r = RelationBuilder::new("d")
+            .int_col("k", &[1, 2, 3])
+            .float_col("x", &[0.5, 1.5, 2.5])
+            .build()
+            .unwrap();
+        LocalDataStore::new(r)
+            .prepare_upload(Some(PrivacyBudget::new(1.0, 1e-6).unwrap()), 3)
+            .unwrap()
+    }
+
+    #[test]
+    fn wal_op_roundtrip() {
+        let ops = vec![
+            WalOp::Register { upload: upload() },
+            WalOp::Remove { dataset: "d".into() },
+            WalOp::Charge { dataset: "d".into(), cost: PrivacyBudget::new(0.5, 0.0).unwrap() },
+        ];
+        for op in ops {
+            let json = serde_json::to_string(&op).unwrap();
+            let back = WalOp::decode(json.as_bytes()).unwrap();
+            assert_eq!(op, back);
+        }
+    }
+
+    #[test]
+    fn borrowed_wal_encoding_matches_owned() {
+        let u = upload();
+        let cases = vec![
+            (WalOpRef::Register { upload: &u }, WalOp::Register { upload: u.clone() }),
+            (WalOpRef::Replace { upload: &u }, WalOp::Replace { upload: u.clone() }),
+            (WalOpRef::Remove { dataset: "d" }, WalOp::Remove { dataset: "d".into() }),
+            (
+                WalOpRef::Grant { dataset: "d", budget: PrivacyBudget::new(2.0, 1e-7).unwrap() },
+                WalOp::Grant {
+                    dataset: "d".into(),
+                    budget: PrivacyBudget::new(2.0, 1e-7).unwrap(),
+                },
+            ),
+            (
+                WalOpRef::Charge { dataset: "d", cost: PrivacyBudget::new(0.25, 1e-9).unwrap() },
+                WalOp::Charge {
+                    dataset: "d".into(),
+                    cost: PrivacyBudget::new(0.25, 1e-9).unwrap(),
+                },
+            ),
+        ];
+        for (by_ref, owned) in cases {
+            assert_eq!(
+                String::from_utf8(by_ref.encode().unwrap()).unwrap(),
+                serde_json::to_string(&owned).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_snapshot_encoding_matches_owned() {
+        let u = upload();
+        let ledger = vec![(
+            "d".to_string(),
+            PrivacyBudget::new(1.0, 1e-6).unwrap(),
+            PrivacyBudget::new(1.0, 1e-6).unwrap(),
+        )];
+        let by_ref =
+            PlatformSnapshotRef { datasets: vec![(&u.sketch, &u.profile)], ledger: &ledger };
+        let owned = PlatformSnapshot {
+            datasets: vec![DatasetEntry {
+                sketch: CompactSketch::of(&u.sketch),
+                profile: u.profile.clone(),
+            }],
+            ledger: vec![LedgerEntry {
+                dataset: "d".into(),
+                limit: ledger[0].1,
+                spent: ledger[0].2,
+            }],
+        };
+        let bytes = by_ref.encode().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes.clone()).unwrap(),
+            serde_json::to_string(&owned).unwrap(),
+        );
+        let decoded = PlatformSnapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded, owned);
+    }
+
+    #[test]
+    fn compact_sketch_roundtrips_bit_identically() {
+        // Compaction (schema once + packed symmetric q) must lose nothing:
+        // rehydration reproduces the exact sketch, including a privatized
+        // one whose q carries correlated noise.
+        let u = upload();
+        let back = CompactSketch::of(&u.sketch).into_sketch().unwrap();
+        assert_eq!(u.sketch, back);
+
+        // Compact form is strictly smaller than the wire form for keyed
+        // sketches (the point of having it).
+        let compact = serde_json::to_string(&CompactSketch::of(&u.sketch)).unwrap();
+        let wire = serde_json::to_string(&u.sketch).unwrap();
+        assert!(compact.len() < wire.len(), "{} !< {}", compact.len(), wire.len());
+    }
+
+    #[test]
+    fn compact_sketch_rejects_sheared_slabs() {
+        let mut compact = CompactSketch::of(&upload().sketch);
+        compact.keyed[0].qu.pop();
+        assert!(compact.into_sketch().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WalOp::decode(b"{ nope").is_err());
+        assert!(WalOp::decode(&[0xFF, 0xFE]).is_err());
+        assert!(PlatformSnapshot::decode(b"[]").is_err());
+    }
+}

@@ -20,6 +20,8 @@ pub enum CoreError {
     Relation(String),
     /// Service-layer failure (dead sessions, protocol misuse).
     Service(String),
+    /// Durable-storage failure (journal, snapshot, or recovery).
+    Storage(String),
     /// The platform is at its concurrent-session capacity (the limit).
     Capacity(usize),
     /// A typed error that crossed the wire protocol.
@@ -40,6 +42,7 @@ impl fmt::Display for CoreError {
             CoreError::Transform(m) => write!(f, "transform: {m}"),
             CoreError::Relation(m) => write!(f, "relation: {m}"),
             CoreError::Service(m) => write!(f, "service: {m}"),
+            CoreError::Storage(m) => write!(f, "storage: {m}"),
             CoreError::Capacity(max) => {
                 write!(f, "service: platform at capacity ({max} concurrent sessions)")
             }
@@ -73,6 +76,11 @@ impl From<mileena_transform::TransformError> for CoreError {
 impl From<mileena_relation::RelationError> for CoreError {
     fn from(e: mileena_relation::RelationError) -> Self {
         CoreError::Relation(e.to_string())
+    }
+}
+impl From<mileena_storage::StorageError> for CoreError {
+    fn from(e: mileena_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
     }
 }
 

@@ -57,14 +57,18 @@
 //! assert_eq!(reply.selected_joins(), vec!["weather"]);
 //! ```
 
+pub mod durable;
 pub mod error;
 pub mod local;
 pub mod platform;
 pub mod service;
 pub mod wire;
 
+pub use durable::{RecoveryReport, StoragePolicy, WalOp};
 pub use error::{CoreError, Result};
 pub use local::{LocalDataStore, ProviderUpload, SearchRequestBuilder, TaskRequest};
 pub use platform::{CentralPlatform, PlatformConfig, PlatformSearchResult};
 pub use service::{InProcess, JsonWire, PlatformService, SearchSession, WireSession};
-pub use wire::{ErrorCode, SearchReply, WIRE_VERSION};
+pub use wire::{
+    CheckpointReceipt, ErrorCode, PlatformStats, SearchReply, StorageReport, WIRE_VERSION,
+};

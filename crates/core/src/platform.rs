@@ -8,10 +8,13 @@
 //! N requesters search in parallel against consistent corpus views while
 //! providers keep registering.
 
+use crate::durable::{
+    PlatformSnapshot, PlatformSnapshotRef, RecoveryReport, StoragePolicy, WalOp, WalOpRef,
+};
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use crate::service::SearchSession;
-use crate::wire::SearchReply;
+use crate::wire::{CheckpointReceipt, PlatformStats, SearchReply, StorageReport};
 use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
 use mileena_ml::{LinearModel, RidgeConfig};
 use mileena_privacy::{BudgetAccountant, PrivacyBudget};
@@ -19,7 +22,8 @@ use mileena_search::{
     build_sketched_state, enumerate_candidates, GreedySearch, SearchConfig, SearchControl,
     SearchEvent, SearchOutcome, SearchRequest, SketchedRequest,
 };
-use mileena_sketch::SketchStore;
+use mileena_sketch::{SketchError, SketchStore};
+use mileena_storage::{StorageEngine, StorageOptions};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -38,6 +42,10 @@ pub struct PlatformConfig {
     /// Server-side wall-clock cap per session, enforced as a deadline on
     /// top of each request's own `time_budget` (`None` = no extra cap).
     pub max_session_wall: Option<Duration>,
+    /// Durable-storage policy. Honored by [`CentralPlatform::open_with`] /
+    /// [`CentralPlatform::open`]; [`CentralPlatform::new`] always builds a
+    /// volatile platform.
+    pub storage: Option<StoragePolicy>,
 }
 
 impl Default for PlatformConfig {
@@ -47,6 +55,7 @@ impl Default for PlatformConfig {
             default_search: SearchConfig::default(),
             max_concurrent_sessions: 64,
             max_session_wall: None,
+            storage: None,
         }
     }
 }
@@ -72,6 +81,16 @@ impl Drop for SessionGuard {
     }
 }
 
+/// Durable-storage state behind the platform's mutation lock: holding it
+/// serializes every state mutation with its journal append, so the WAL's
+/// record order always matches the in-memory apply order.
+#[derive(Debug, Default)]
+struct DurableState {
+    engine: Option<StorageEngine>,
+    recovery: Option<RecoveryReport>,
+    last_checkpoint_error: Option<String>,
+}
+
 /// The central platform. Thread-safe: uploads and searches interleave, and
 /// any number of search sessions run concurrently.
 #[derive(Debug)]
@@ -82,47 +101,360 @@ pub struct CentralPlatform {
     config: PlatformConfig,
     active_sessions: Arc<AtomicUsize>,
     session_counter: AtomicU64,
+    durable: Mutex<DurableState>,
 }
 
 impl CentralPlatform {
-    /// New empty platform.
+    /// New empty **volatile** platform: state lives in memory only and is
+    /// gone on drop. Production deployments with privacy budgets should
+    /// use [`CentralPlatform::open`] — an in-memory ledger silently
+    /// forgets spent budget across restarts, which voids the DP guarantee.
     pub fn new(config: PlatformConfig) -> Self {
+        Self::assemble(
+            SketchStore::new(),
+            DiscoveryIndex::new(config.discovery.clone()),
+            BudgetAccountant::new(),
+            config,
+            DurableState::default(),
+        )
+    }
+
+    /// Open a **durable** platform at `dir` with the default config and
+    /// storage policy, creating the directory on first use and recovering
+    /// existing state otherwise. See [`CentralPlatform::open_with`].
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self> {
+        let config = PlatformConfig { storage: Some(StoragePolicy::at(dir)), ..Default::default() };
+        Self::open_with(config)
+    }
+
+    /// Open a durable platform per `config.storage` (required).
+    ///
+    /// Recovery: loads the newest valid snapshot (falling back past
+    /// corrupted ones), replays the WAL tail — each surviving record
+    /// applied exactly once, in sequence order, so budget accounting is
+    /// never double-spent — truncates any torn final record, and rebuilds
+    /// the discovery index from the recovered profiles. The recovered
+    /// platform answers searches bit-identically to one that never
+    /// restarted.
+    pub fn open_with(config: PlatformConfig) -> Result<Self> {
+        let policy = config.storage.clone().ok_or_else(|| {
+            CoreError::Storage("open_with requires PlatformConfig.storage".into())
+        })?;
+        let opts = StorageOptions {
+            fsync_appends: policy.fsync_appends,
+            retain_snapshots: policy.retain_snapshots,
+        };
+        let (engine, recovered) = StorageEngine::open(&policy.dir, opts)?;
+
+        let store = SketchStore::new();
+        let mut index = DiscoveryIndex::new(config.discovery.clone());
+        let mut accountant = BudgetAccountant::new();
+
+        // 1. Hydrate from the snapshot: sketches re-intern into the store's
+        //    key space via the normal registration path, profiles rebuild
+        //    the index, and the ledger restores verbatim (limits + spent).
+        let snapshot_seq = recovered.snapshot.as_ref().map(|(seq, _)| *seq);
+        if let Some((_, payload)) = &recovered.snapshot {
+            let snapshot = PlatformSnapshot::decode(payload)?;
+            for entry in snapshot.datasets {
+                store
+                    .register(entry.sketch.into_sketch()?)
+                    .map_err(|e| CoreError::Storage(format!("snapshot hydration: {e}")))?;
+                index.register(entry.profile);
+            }
+            for row in snapshot.ledger {
+                accountant.restore(&row.dataset, row.limit, row.spent);
+            }
+        }
+
+        // 2. Replay the WAL tail on top.
+        let replayed_records = recovered.records.len() as u64;
+        for record in &recovered.records {
+            let op = WalOp::decode(&record.payload)
+                .map_err(|e| CoreError::Storage(format!("record {}: {e}", record.seq)))?;
+            Self::replay(&store, &mut index, &mut accountant, op)
+                .map_err(|e| CoreError::Storage(format!("replay record {}: {e}", record.seq)))?;
+        }
+
+        let durable = DurableState {
+            engine: Some(engine),
+            recovery: Some(RecoveryReport {
+                snapshot_seq,
+                replayed_records,
+                torn_tail: recovered.torn_tail,
+                invalid_snapshots: recovered.invalid_snapshots as u64,
+            }),
+            last_checkpoint_error: None,
+        };
+        Ok(Self::assemble(store, index, accountant, config, durable))
+    }
+
+    fn assemble(
+        store: SketchStore,
+        index: DiscoveryIndex,
+        accountant: BudgetAccountant,
+        config: PlatformConfig,
+        durable: DurableState,
+    ) -> Self {
         CentralPlatform {
-            store: SketchStore::new(),
-            index: RwLock::new(DiscoveryIndex::new(config.discovery.clone())),
-            accountant: Mutex::new(BudgetAccountant::new()),
+            store,
+            index: RwLock::new(index),
+            accountant: Mutex::new(accountant),
             config,
             active_sessions: Arc::new(AtomicUsize::new(0)),
             session_counter: AtomicU64::new(0),
+            durable: Mutex::new(durable),
         }
+    }
+
+    /// Apply one journaled mutation during recovery. Replay never journals
+    /// (the record is already on disk) and is defensive about records
+    /// whose effect is somehow already present — a re-registration is
+    /// skipped rather than double-charged.
+    fn replay(
+        store: &SketchStore,
+        index: &mut DiscoveryIndex,
+        accountant: &mut BudgetAccountant,
+        op: WalOp,
+    ) -> Result<()> {
+        match op {
+            WalOp::Register { upload } => {
+                let name = upload.sketch.name.clone();
+                if store.contains(&name) {
+                    return Ok(()); // effect already present: refuse to double-apply
+                }
+                store.register(upload.sketch)?;
+                index.register(upload.profile);
+                if let Some(budget) = upload.budget {
+                    if !accountant.contains(&name) {
+                        accountant.register_and_charge(&name, budget)?;
+                    }
+                }
+            }
+            WalOp::Replace { upload } => {
+                let name = upload.sketch.name.clone();
+                store.replace(upload.sketch);
+                index.replace(upload.profile);
+                if let Some(budget) = upload.budget {
+                    accountant.top_up_and_charge(&name, budget)?;
+                }
+            }
+            WalOp::Remove { dataset } => {
+                let _ = store.remove(&dataset);
+                index.remove(&dataset);
+                // The ledger entry stays: spent budget is spent forever.
+            }
+            WalOp::Grant { dataset, budget } => {
+                accountant.grant(&dataset, budget)?;
+            }
+            WalOp::Charge { dataset, cost } => {
+                accountant.charge(&dataset, cost)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Journal one mutation (no-op on volatile platforms). Called with the
+    /// durable lock held, *before* the in-memory apply: an acknowledged
+    /// mutation is on disk first.
+    fn journal(&self, state: &mut DurableState, op: WalOpRef<'_>) -> Result<()> {
+        if let Some(engine) = state.engine.as_mut() {
+            let payload = op.encode()?;
+            engine.append(&payload)?;
+        }
+        Ok(())
+    }
+
+    /// Run the auto-checkpoint policy after a successful mutation. A
+    /// failing checkpoint never fails the mutation (the WAL already holds
+    /// it); the error is surfaced through `stats()` instead.
+    fn maybe_auto_checkpoint(&self, state: &mut DurableState) {
+        let every = match &self.config.storage {
+            Some(policy) if policy.checkpoint_every > 0 => policy.checkpoint_every,
+            _ => return,
+        };
+        let due = state.engine.as_ref().is_some_and(|e| e.records_since_checkpoint() >= every);
+        if due {
+            state.last_checkpoint_error =
+                self.checkpoint_locked(state).err().map(|e| e.to_string());
+        }
+    }
+
+    /// Serialize the full platform state and checkpoint the engine at the
+    /// current sequence. Called with the durable lock held.
+    fn checkpoint_locked(&self, state: &mut DurableState) -> Result<CheckpointReceipt> {
+        let engine = state.engine.as_mut().ok_or_else(|| {
+            CoreError::Storage("platform has no durable storage configured".into())
+        })?;
+        let index = self.index.read();
+        let sketches = self.store.all();
+        let mut datasets = Vec::with_capacity(sketches.len());
+        for sketch in &sketches {
+            let profile = index.profile(&sketch.name).ok_or_else(|| {
+                CoreError::Storage(format!("dataset {} has no indexed profile", sketch.name))
+            })?;
+            datasets.push((sketch.as_ref(), profile));
+        }
+        let ledger = self.accountant.lock().entries();
+        let payload = PlatformSnapshotRef { datasets, ledger: &ledger }.encode()?;
+        let seq = engine.checkpoint(&payload)?;
+        Ok(CheckpointReceipt { seq, datasets: sketches.len(), snapshot_bytes: payload.len() })
+    }
+
+    /// Checkpoint now: write a full-state snapshot, rotate the log, and
+    /// purge segments/snapshots past the retention horizon. Errors on
+    /// volatile platforms.
+    pub fn checkpoint(&self) -> Result<CheckpointReceipt> {
+        let mut state = self.durable.lock();
+        let receipt = self.checkpoint_locked(&mut state)?;
+        state.last_checkpoint_error = None;
+        Ok(receipt)
+    }
+
+    /// Platform statistics: corpus size, live sessions, and — for durable
+    /// platforms — storage-engine state plus what the last recovery found.
+    pub fn stats(&self) -> Result<PlatformStats> {
+        let state = self.durable.lock();
+        let storage = match &state.engine {
+            None => None,
+            Some(engine) => {
+                let s = engine.stats()?;
+                Some(StorageReport {
+                    dir: engine.dir().display().to_string(),
+                    last_seq: s.last_seq,
+                    snapshot_seq: s.snapshot_seq,
+                    records_since_checkpoint: s.records_since_checkpoint,
+                    wal_bytes: s.wal_bytes,
+                    segments: s.segments,
+                    snapshots: s.snapshots,
+                    recovery: state.recovery.clone(),
+                    last_checkpoint_error: state.last_checkpoint_error.clone(),
+                })
+            }
+        };
+        Ok(PlatformStats {
+            datasets: self.num_datasets(),
+            active_sessions: self.active_sessions(),
+            storage,
+        })
+    }
+
+    /// What the last `open` recovered (`None` on volatile platforms).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durable.lock().recovery.clone()
     }
 
     /// Register a provider upload: sketches into the store, profile into
     /// the discovery index, and — for private uploads — the consumed
     /// budget into the accountant (rejecting double registration).
     ///
-    /// Ordering matters: a doomed private upload is rejected before any
-    /// mutation (the accountant's duplicate check runs first), then the
-    /// store — the authoritative name check — registers, then the index,
-    /// and only then is the budget recorded. A failed upload therefore
+    /// This is one arm of the platform's single journaled mutation path
+    /// (register / replace / remove / charge all follow it): validate
+    /// under the mutation lock, journal the op, then apply — so a doomed
+    /// upload is rejected before any mutation or journal entry, and an
+    /// applied mutation is always on disk first. A failed upload therefore
     /// never leaks spent budget and never leaves a stray store entry or
     /// index profile behind.
     pub fn register(&self, upload: ProviderUpload) -> Result<()> {
+        let mut state = self.durable.lock();
         let name = upload.sketch.name.clone();
+        // Validate: name free, budget unregistered.
+        if self.store.contains(&name) {
+            return Err(SketchError::DuplicateDataset(name).into());
+        }
         if upload.budget.is_some() && self.accountant.lock().spent(&name).is_some() {
             return Err(CoreError::Privacy(format!("dataset {name} already has a budget")));
         }
+        // Journal, then apply.
+        self.journal(&mut state, WalOpRef::Register { upload: &upload })?;
+        let budget = upload.budget;
         self.store.register(upload.sketch)?;
         self.index.write().register(upload.profile);
-        if let Some(budget) = upload.budget {
-            if let Err(e) = self.accountant.lock().register_and_charge(&name, budget) {
-                // Unreachable after the pre-check above (the accountant
-                // only refuses duplicates), but kept so a future accountant
-                // failure mode still can't leave a half-registered upload.
-                let _ = self.store.remove(&name);
-                return Err(e.into());
-            }
+        if let Some(budget) = budget {
+            // Infallible after the pre-checks above: the name was free and
+            // the ledger had no entry, so registration cannot conflict and
+            // charging a fresh limit by its own amount cannot exhaust. A
+            // rollback here would be worse than a panic — the op is
+            // already journaled, so undoing the in-memory apply would make
+            // crash recovery resurrect state the caller was told failed.
+            self.accountant
+                .lock()
+                .register_and_charge(&name, budget)
+                .expect("pre-validated: name free and budget unregistered");
         }
+        self.maybe_auto_checkpoint(&mut state);
+        Ok(())
+    }
+
+    /// Replace a dataset's sketches and profile (provider re-upload after
+    /// local re-transformation), or insert them when the name is new.
+    ///
+    /// Flows through the same journaled mutation path as `register`. A
+    /// budget on the upload *adds* to the dataset's cumulative privacy
+    /// loss under sequential composition — each new privatized release
+    /// spends fresh budget; replacement never refunds the old release.
+    pub fn replace(&self, upload: ProviderUpload) -> Result<()> {
+        let mut state = self.durable.lock();
+        let name = upload.sketch.name.clone();
+        self.journal(&mut state, WalOpRef::Replace { upload: &upload })?;
+        let budget = upload.budget;
+        self.store.replace(upload.sketch);
+        self.index.write().replace(upload.profile);
+        if let Some(budget) = budget {
+            self.accountant
+                .lock()
+                .top_up_and_charge(&name, budget)
+                .expect("top_up_and_charge has no failure mode for fresh grants");
+        }
+        self.maybe_auto_checkpoint(&mut state);
+        Ok(())
+    }
+
+    /// Remove a dataset's sketches and profile from the corpus.
+    ///
+    /// Flows through the same journaled mutation path as `register`. The
+    /// budget ledger entry **survives removal**: the privatized release
+    /// already happened, so its (ε, δ) stays spent — re-registering the
+    /// same name with a fresh budget is still rejected, which is what
+    /// keeps remove/re-upload cycles from laundering budget.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        let mut state = self.durable.lock();
+        if !self.store.contains(name) {
+            return Err(SketchError::DatasetNotFound(name.to_string()).into());
+        }
+        self.journal(&mut state, WalOpRef::Remove { dataset: name })?;
+        self.store.remove(name)?;
+        self.index.write().remove(name);
+        self.maybe_auto_checkpoint(&mut state);
+        Ok(())
+    }
+
+    /// Grant budget headroom to a dataset without charging it — the
+    /// APM-style flow, where per-query releases then draw it down via
+    /// [`CentralPlatform::charge_budget`]. Registers the ledger entry when
+    /// the dataset is unknown, extends the limit otherwise. Journaled like
+    /// every other ledger mutation.
+    pub fn grant_budget(&self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        let mut state = self.durable.lock();
+        self.journal(&mut state, WalOpRef::Grant { dataset, budget })?;
+        self.accountant.lock().grant(dataset, budget)?;
+        self.maybe_auto_checkpoint(&mut state);
+        Ok(())
+    }
+
+    /// Charge an additional release against a dataset's budget (APM-style
+    /// per-query accounting). Journaled before it is applied, so a charge
+    /// that was acknowledged is still reflected in `remaining()` after a
+    /// crash — the property that makes the DP guarantee hold across
+    /// restarts.
+    pub fn charge_budget(&self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
+        let mut state = self.durable.lock();
+        let mut accountant = self.accountant.lock();
+        accountant.check_charge(dataset, cost)?;
+        self.journal(&mut state, WalOpRef::Charge { dataset, cost })?;
+        accountant.charge(dataset, cost).expect("validated by check_charge");
+        drop(accountant);
+        self.maybe_auto_checkpoint(&mut state);
         Ok(())
     }
 
@@ -150,6 +482,11 @@ impl CentralPlatform {
     /// dataset or non-private upload).
     pub fn budget_spent(&self, dataset: &str) -> Option<PrivacyBudget> {
         self.accountant.lock().spent(dataset)
+    }
+
+    /// Budget remaining for a registered private dataset.
+    pub fn budget_remaining(&self, dataset: &str) -> Result<PrivacyBudget> {
+        Ok(self.accountant.lock().remaining(dataset)?)
     }
 
     /// Submit a sketched search request: returns a [`SearchSession`] whose
@@ -425,6 +762,163 @@ mod tests {
         let full =
             platform.submit(sketched(&c), Some(SearchConfig::default())).unwrap().wait().unwrap();
         assert!(full.steps.len() > reply.steps.len(), "explicit config overrides the default");
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mileena-platform-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> PlatformConfig {
+        PlatformConfig { storage: Some(StoragePolicy::at(dir)), ..Default::default() }
+    }
+
+    #[test]
+    fn durable_reopen_is_bit_identical_with_and_without_checkpoint() {
+        let c = corpus();
+        let dir = tmp_dir("reopen");
+        let reference = CentralPlatform::new(PlatformConfig::default());
+        let durable = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        for p in &c.providers {
+            let upload = LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap();
+            reference.register(upload.clone()).unwrap();
+            durable.register(upload).unwrap();
+        }
+        let want = reference.search(&request(&c), &SearchConfig::default()).unwrap();
+
+        // Reopen from pure WAL replay (no checkpoint ever taken).
+        drop(durable);
+        let replayed = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        assert_eq!(replayed.num_datasets(), 15);
+        let report = replayed.recovery_report().unwrap();
+        assert_eq!(report.snapshot_seq, None);
+        assert_eq!(report.replayed_records, 15);
+        let got = replayed.search(&request(&c), &SearchConfig::default()).unwrap();
+        assert_eq!(got.outcome.final_score, want.outcome.final_score);
+        assert_eq!(got.outcome.selected_joins(), want.outcome.selected_joins());
+        assert_eq!(got.outcome.selected_unions(), want.outcome.selected_unions());
+
+        // Checkpoint, reopen from the snapshot: still bit-identical.
+        let receipt = replayed.checkpoint().unwrap();
+        assert_eq!(receipt.datasets, 15);
+        assert_eq!(receipt.seq, 15);
+        drop(replayed);
+        let snapshotted = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        let report = snapshotted.recovery_report().unwrap();
+        assert_eq!(report.snapshot_seq, Some(15));
+        assert_eq!(report.replayed_records, 0);
+        let got = snapshotted.search(&request(&c), &SearchConfig::default()).unwrap();
+        assert_eq!(got.outcome.final_score, want.outcome.final_score);
+        assert_eq!(got.outcome.selected_joins(), want.outcome.selected_joins());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_and_remove_are_journaled_and_recovered() {
+        let c = corpus();
+        let dir = tmp_dir("mutations");
+        let platform = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        for p in &c.providers {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        // Replace provider 0 with a re-transformed copy, remove provider 1.
+        let replacement =
+            LocalDataStore::new(c.providers[0].clone()).prepare_upload(None, 9).unwrap();
+        let removed_name = c.providers[1].name().to_string();
+        platform.replace(replacement).unwrap();
+        platform.remove(&removed_name).unwrap();
+        assert!(platform.remove(&removed_name).is_err(), "double remove is an error");
+        assert_eq!(platform.num_datasets(), 14);
+        let want = platform.search(&request(&c), &SearchConfig::default()).unwrap();
+
+        drop(platform);
+        let reopened = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        assert_eq!(reopened.num_datasets(), 14);
+        assert!(reopened.store().get(&removed_name).is_err());
+        let got = reopened.search(&request(&c), &SearchConfig::default()).unwrap();
+        assert_eq!(got.outcome.final_score, want.outcome.final_score);
+        assert_eq!(got.outcome.selected_joins(), want.outcome.selected_joins());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn removal_never_launders_budget() {
+        // Remove a private dataset, then try to re-register it with a
+        // fresh budget: the durable ledger remembers the spend, across a
+        // restart too.
+        let c = corpus();
+        let dir = tmp_dir("launder");
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let platform = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        let upload =
+            LocalDataStore::new(c.providers[0].clone()).prepare_upload(Some(b), 1).unwrap();
+        let name = upload.sketch.name.clone();
+        platform.register(upload.clone()).unwrap();
+        platform.remove(&name).unwrap();
+        assert!(platform.register(upload.clone()).is_err(), "spent budget is spent forever");
+
+        drop(platform);
+        let reopened = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        assert_eq!(reopened.num_datasets(), 0);
+        assert_eq!(reopened.budget_spent(&name), Some(b), "ledger survives removal and restart");
+        assert!(reopened.register(upload).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grants_and_charges_survive_restart() {
+        let dir = tmp_dir("charges");
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let platform = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        platform.grant_budget("apm_dataset", b).unwrap();
+        platform.charge_budget("apm_dataset", b.fraction(0.4).unwrap()).unwrap();
+        assert!(platform.charge_budget("apm_dataset", b).is_err(), "over-charge rejected");
+        drop(platform);
+
+        let reopened = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        assert_eq!(reopened.budget_spent("apm_dataset").unwrap().epsilon, 0.4);
+        assert!((reopened.budget_remaining("apm_dataset").unwrap().epsilon - 0.6).abs() < 1e-12);
+        // The rejected over-charge was never journaled: remaining still 0.6.
+        reopened.charge_budget("apm_dataset", b.fraction(0.6).unwrap()).unwrap();
+        assert!(reopened.budget_remaining("apm_dataset").unwrap().epsilon.abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_policy_triggers() {
+        let c = corpus();
+        let dir = tmp_dir("autockpt");
+        let mut config = durable_config(&dir);
+        config.storage.as_mut().unwrap().checkpoint_every = 4;
+        let platform = CentralPlatform::open_with(config.clone()).unwrap();
+        for p in c.providers.iter().take(6) {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        let stats = platform.stats().unwrap();
+        let storage = stats.storage.unwrap();
+        assert_eq!(storage.snapshot_seq, Some(4), "auto-checkpoint at the 4th record");
+        assert_eq!(storage.records_since_checkpoint, 2);
+        assert!(storage.last_checkpoint_error.is_none());
+        drop(platform);
+        let reopened = CentralPlatform::open_with(config).unwrap();
+        assert_eq!(reopened.recovery_report().unwrap().replayed_records, 2);
+        assert_eq!(reopened.num_datasets(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn volatile_platform_has_no_storage() {
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        assert!(matches!(platform.checkpoint(), Err(CoreError::Storage(_))));
+        let stats = platform.stats().unwrap();
+        assert!(stats.storage.is_none());
+        assert!(platform.recovery_report().is_none());
     }
 
     #[test]

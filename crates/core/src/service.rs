@@ -20,7 +20,8 @@ use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use crate::platform::CentralPlatform;
 use crate::wire::{
-    code_of, ErrorCode, RegisterReceipt, SearchReply, WireEvent, WireRegisterRequest,
+    code_of, AdminOp, AdminReply, CheckpointReceipt, ErrorCode, PlatformStats, RegisterReceipt,
+    SearchReply, WireAdminRequest, WireAdminResponse, WireEvent, WireRegisterRequest,
     WireRegisterResponse, WireSearchRequest, WireSearchResponse, WIRE_VERSION,
 };
 use mileena_search::{SearchConfig, SearchControl, SearchEvent, SketchedRequest};
@@ -52,6 +53,13 @@ pub trait PlatformService {
 
     /// Number of registered datasets.
     fn num_datasets(&self) -> usize;
+
+    /// Write a full-state snapshot and compact the log (admin). Errors on
+    /// volatile platforms, which have nothing to checkpoint to.
+    fn checkpoint(&self) -> Result<CheckpointReceipt>;
+
+    /// Platform + storage statistics (admin).
+    fn stats(&self) -> Result<PlatformStats>;
 }
 
 /// A live search session: consumes streamed [`SearchEvent`]s, supports
@@ -147,6 +155,14 @@ impl PlatformService for InProcess {
     fn num_datasets(&self) -> usize {
         self.platform.num_datasets()
     }
+
+    fn checkpoint(&self) -> Result<CheckpointReceipt> {
+        self.platform.checkpoint()
+    }
+
+    fn stats(&self) -> Result<PlatformStats> {
+        self.platform.stats()
+    }
 }
 
 /// Serialize a value to wire JSON, mapping failures to a wire error.
@@ -171,6 +187,18 @@ impl JsonWire {
     /// Wrap a shared platform.
     pub fn new(platform: Arc<CentralPlatform>) -> Self {
         JsonWire { platform }
+    }
+
+    /// Ship one admin op through the wire protocol.
+    fn admin(&self, op: AdminOp) -> Result<AdminReply> {
+        let json = to_wire_json(&WireAdminRequest { v: WIRE_VERSION, op })?;
+        let response = self.platform.wire_admin(&json);
+        let decoded: WireAdminResponse =
+            serde_json::from_str(&response).map_err(|e| CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: format!("decode admin response: {e}"),
+            })?;
+        decoded.into_result()
     }
 }
 
@@ -240,6 +268,26 @@ impl PlatformService for JsonWire {
     fn num_datasets(&self) -> usize {
         self.platform.num_datasets()
     }
+
+    fn checkpoint(&self) -> Result<CheckpointReceipt> {
+        match self.admin(AdminOp::Checkpoint)? {
+            AdminReply::Checkpoint(receipt) => Ok(receipt),
+            AdminReply::Stats(_) => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "stats reply to a checkpoint request".into(),
+            }),
+        }
+    }
+
+    fn stats(&self) -> Result<PlatformStats> {
+        match self.admin(AdminOp::Stats)? {
+            AdminReply::Stats(stats) => Ok(stats),
+            AdminReply::Checkpoint(_) => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "checkpoint reply to a stats request".into(),
+            }),
+        }
+    }
 }
 
 /// Server side of a wire-transport session: streams of already-serialized
@@ -275,6 +323,31 @@ impl CentralPlatform {
                         datasets_total: self.num_datasets(),
                     }),
                     Err(e) => WireRegisterResponse::err(code_of(&e), e.to_string()),
+                }
+            }
+        };
+        serde_json::to_string(&response)
+            .unwrap_or_else(|_| format!("{{\"v\":{WIRE_VERSION},\"ok\":null,\"err\":{{\"code\":\"Internal\",\"message\":\"encode failure\"}}}}"))
+    }
+
+    /// Server entry point for admin calls over the wire: parse, check the
+    /// version, execute; always answers with a serialized
+    /// [`WireAdminResponse`] envelope.
+    pub fn wire_admin(&self, request_json: &str) -> String {
+        let response = match serde_json::from_str::<WireAdminRequest>(request_json) {
+            Err(e) => WireAdminResponse::err(ErrorCode::Malformed, e.to_string()),
+            Ok(req) if req.v != WIRE_VERSION => WireAdminResponse::err(
+                ErrorCode::UnsupportedVersion,
+                format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
+            ),
+            Ok(req) => {
+                let result = match req.op {
+                    AdminOp::Checkpoint => self.checkpoint().map(AdminReply::Checkpoint),
+                    AdminOp::Stats => self.stats().map(AdminReply::Stats),
+                };
+                match result {
+                    Ok(reply) => WireAdminResponse::ok(reply),
+                    Err(e) => WireAdminResponse::err(code_of(&e), e.to_string()),
                 }
             }
         };
@@ -419,6 +492,53 @@ mod tests {
         let resp: WireSearchResponse = serde_json::from_str(&err_json).unwrap();
         let err = resp.into_result().unwrap_err();
         assert!(matches!(err, CoreError::Wire { code: ErrorCode::UnsupportedVersion, .. }));
+    }
+
+    #[test]
+    fn admin_calls_work_on_both_transports() {
+        let dir =
+            std::env::temp_dir().join(format!("mileena-service-admin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PlatformConfig {
+            storage: Some(crate::durable::StoragePolicy::at(&dir)),
+            ..Default::default()
+        };
+        let platform = Arc::new(CentralPlatform::open_with(config).unwrap());
+        let provider = RelationBuilder::new("weather")
+            .int_col("zone", &(0..50).collect::<Vec<_>>())
+            .float_col("temp", &(0..50).map(|z| (z as f64 * 0.7).sin()).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        platform.register(LocalDataStore::new(provider).prepare_upload(None, 7).unwrap()).unwrap();
+
+        let in_process = InProcess::new(Arc::clone(&platform));
+        let wire = JsonWire::new(Arc::clone(&platform));
+
+        // Checkpoint over the wire; stats agree across transports.
+        let receipt = wire.checkpoint().unwrap();
+        assert_eq!(receipt.datasets, 1);
+        assert_eq!(receipt.seq, 1);
+        let direct = in_process.stats().unwrap();
+        let via_wire = wire.stats().unwrap();
+        assert_eq!(direct, via_wire, "stats must round-trip bit-identically");
+        assert_eq!(via_wire.storage.as_ref().unwrap().snapshot_seq, Some(1));
+
+        // Version and garbage rejection on the admin entry point.
+        let resp: WireAdminResponse = serde_json::from_str(&platform.wire_admin("{ nope")).unwrap();
+        assert_eq!(resp.err.as_ref().unwrap().code, ErrorCode::Malformed);
+        let bad = serde_json::to_string(&WireAdminRequest { v: 9, op: AdminOp::Stats }).unwrap();
+        let resp: WireAdminResponse = serde_json::from_str(&platform.wire_admin(&bad)).unwrap();
+        assert_eq!(resp.err.as_ref().unwrap().code, ErrorCode::UnsupportedVersion);
+
+        // Volatile platforms answer stats but refuse checkpoint, with the
+        // refusal typed on the wire.
+        let volatile = JsonWire::new(Arc::new(CentralPlatform::new(PlatformConfig::default())));
+        assert!(volatile.stats().unwrap().storage.is_none());
+        assert!(matches!(
+            volatile.checkpoint(),
+            Err(CoreError::Wire { code: ErrorCode::Internal, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! compile-time form of the paper's "raw data never leaves the local
 //! store" boundary.
 
+use crate::durable::RecoveryReport;
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use mileena_ml::LinearModel;
@@ -66,6 +67,7 @@ pub fn code_of(err: &CoreError) -> ErrorCode {
         }
         CoreError::Capacity(_) => ErrorCode::Capacity,
         CoreError::Wire { code, .. } => *code,
+        CoreError::Storage(_) => ErrorCode::Internal,
         _ => ErrorCode::Internal,
     }
 }
@@ -275,6 +277,121 @@ impl WireSearchResponse {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Admin: checkpoint / stats
+
+/// Administrative operations on the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdminOp {
+    /// Write a full-state snapshot and compact the log.
+    Checkpoint,
+    /// Report platform + storage statistics.
+    Stats,
+}
+
+/// What a successful checkpoint reports back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointReceipt {
+    /// WAL sequence the snapshot covers.
+    pub seq: u64,
+    /// Datasets captured in the snapshot.
+    pub datasets: usize,
+    /// Serialized snapshot payload size.
+    pub snapshot_bytes: usize,
+}
+
+/// Storage-engine state, wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageReport {
+    /// Storage directory.
+    pub dir: String,
+    /// Highest journaled sequence number.
+    pub last_seq: u64,
+    /// Sequence covered by the newest snapshot.
+    pub snapshot_seq: Option<u64>,
+    /// Records journaled since the last checkpoint (replay debt).
+    pub records_since_checkpoint: u64,
+    /// Total bytes across live log segments.
+    pub wal_bytes: u64,
+    /// Live log segment count.
+    pub segments: usize,
+    /// Live snapshot count.
+    pub snapshots: usize,
+    /// What the last `open` recovered.
+    pub recovery: Option<RecoveryReport>,
+    /// Error from the most recent auto-checkpoint attempt, if it failed
+    /// (the mutation itself succeeded — the WAL holds it).
+    pub last_checkpoint_error: Option<String>,
+}
+
+/// Platform statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Registered datasets.
+    pub datasets: usize,
+    /// Currently running search sessions.
+    pub active_sessions: usize,
+    /// Storage-engine state (`None` on volatile platforms).
+    pub storage: Option<StorageReport>,
+}
+
+/// Admin request envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireAdminRequest {
+    /// Protocol version.
+    pub v: u32,
+    /// The operation.
+    pub op: AdminOp,
+}
+
+/// Admin reply payload, tagged by operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdminReply {
+    /// Checkpoint receipt.
+    Checkpoint(CheckpointReceipt),
+    /// Statistics report.
+    Stats(PlatformStats),
+}
+
+/// Admin response envelope: exactly one of `ok` / `err` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireAdminResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Success payload.
+    pub ok: Option<AdminReply>,
+    /// Typed failure.
+    pub err: Option<WireError>,
+}
+
+impl WireAdminResponse {
+    /// Success envelope.
+    pub fn ok(reply: AdminReply) -> Self {
+        WireAdminResponse { v: WIRE_VERSION, ok: Some(reply), err: None }
+    }
+
+    /// Error envelope.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireAdminResponse {
+            v: WIRE_VERSION,
+            ok: None,
+            err: Some(WireError { code, message: message.into() }),
+        }
+    }
+
+    /// Collapse into a client-side result.
+    pub fn into_result(self) -> Result<AdminReply> {
+        match (self.ok, self.err) {
+            (Some(reply), None) => Ok(reply),
+            (_, Some(e)) => Err(CoreError::Wire { code: e.code, message: e.message }),
+            (None, None) => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "response carries neither ok nor err".into(),
+            }),
+        }
+    }
+}
+
 /// Streaming progress envelope: one per [`SearchEvent`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireEvent {
@@ -352,6 +469,53 @@ mod tests {
         // this pin fails if that wording ever drifts.
         let dup: CoreError = mileena_sketch::SketchError::DuplicateDataset("d".into()).into();
         assert_eq!(code_of(&dup), ErrorCode::DuplicateDataset);
+    }
+
+    #[test]
+    fn admin_envelopes_roundtrip() {
+        let req = WireAdminRequest { v: WIRE_VERSION, op: AdminOp::Checkpoint };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.starts_with("{\"v\":1,"), "{json}");
+        let back: WireAdminRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+
+        let resp = WireAdminResponse::ok(AdminReply::Stats(PlatformStats {
+            datasets: 3,
+            active_sessions: 1,
+            storage: Some(StorageReport {
+                dir: "/tmp/x".into(),
+                last_seq: 12,
+                snapshot_seq: Some(10),
+                records_since_checkpoint: 2,
+                wal_bytes: 4096,
+                segments: 1,
+                snapshots: 2,
+                recovery: Some(RecoveryReport {
+                    snapshot_seq: Some(10),
+                    replayed_records: 2,
+                    torn_tail: true,
+                    invalid_snapshots: 0,
+                }),
+                last_checkpoint_error: None,
+            }),
+        }));
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireAdminResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+        match back.into_result().unwrap() {
+            AdminReply::Stats(stats) => {
+                assert_eq!(stats.storage.unwrap().recovery.unwrap().replayed_records, 2)
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+
+        let err = WireAdminResponse::err(ErrorCode::Internal, "no storage");
+        let json = serde_json::to_string(&err).unwrap();
+        let back: WireAdminResponse = serde_json::from_str(&json).unwrap();
+        assert!(matches!(
+            back.into_result(),
+            Err(CoreError::Wire { code: ErrorCode::Internal, .. })
+        ));
     }
 
     #[test]

@@ -101,9 +101,33 @@ impl DiscoveryIndex {
         }
     }
 
+    /// Build an index over an existing set of profiles — the platform's
+    /// recovery path, which rebuilds discovery state from the durable
+    /// store instead of re-profiling raw relations.
+    pub fn from_profiles(
+        config: DiscoveryConfig,
+        profiles: impl IntoIterator<Item = DatasetProfile>,
+    ) -> Self {
+        let mut index = DiscoveryIndex::new(config);
+        for profile in profiles {
+            index.register(profile);
+        }
+        index
+    }
+
     /// The active config.
     pub fn config(&self) -> &DiscoveryConfig {
         &self.config
+    }
+
+    /// All indexed profiles, in registration order.
+    pub fn profiles(&self) -> &[DatasetProfile] {
+        &self.datasets
+    }
+
+    /// The profile registered under `name`.
+    pub fn profile(&self, name: &str) -> Option<&DatasetProfile> {
+        self.by_name.get(name).map(|&i| &self.datasets[i])
     }
 
     /// Number of registered datasets.
@@ -146,6 +170,41 @@ impl DiscoveryIndex {
             }
         }
         self.datasets.push(profile);
+    }
+
+    /// Remove a dataset's profile; returns false when the name is unknown.
+    ///
+    /// LSH buckets, document frequencies, and the IDF cache are rebuilt
+    /// from the remaining profiles: removal is a rare administrative
+    /// operation, so an O(corpus) rebuild buys exact bookkeeping (no
+    /// tombstones drifting the IDF corpus or stale bucket entries).
+    pub fn remove(&mut self, name: &str) -> bool {
+        if !self.by_name.contains_key(name) {
+            return false;
+        }
+        let retained: Vec<DatasetProfile> =
+            std::mem::take(&mut self.datasets).into_iter().filter(|p| p.name != name).collect();
+        self.rebuild(retained);
+        true
+    }
+
+    /// Replace (or insert) a dataset's profile in place, keeping
+    /// registration order; derived state is rebuilt exactly as for
+    /// [`DiscoveryIndex::remove`].
+    pub fn replace(&mut self, profile: DatasetProfile) {
+        if !self.by_name.contains_key(&profile.name) {
+            self.register(profile);
+            return;
+        }
+        let mut retained: Vec<DatasetProfile> = std::mem::take(&mut self.datasets);
+        let slot = retained.iter_mut().find(|p| p.name == profile.name).expect("checked above");
+        *slot = profile;
+        self.rebuild(retained);
+    }
+
+    /// Reset to an empty index on the same config, then re-register.
+    fn rebuild(&mut self, profiles: Vec<DatasetProfile>) {
+        *self = DiscoveryIndex::from_profiles(self.config.clone(), profiles);
     }
 
     fn is_key_like(&self, col: &ColumnProfile) -> bool {
@@ -441,6 +500,62 @@ mod tests {
         let cached: Vec<f64> = second.iter().map(|c| c.score).collect();
         let fresh_scores: Vec<f64> = fresh.iter().map(|c| c.score).collect();
         assert_eq!(cached, fresh_scores);
+    }
+
+    #[test]
+    fn remove_and_replace_rebuild_derived_state() {
+        let strong = RelationBuilder::new("strong")
+            .int_col("zone", &(0..50).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let weak = RelationBuilder::new("weak")
+            .int_col("zone", &(15..65).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let mut idx = index_with(&[&strong, &weak]);
+        assert_eq!(idx.find_join_candidates(&profile(&train())).len(), 2);
+
+        // Remove: the candidate disappears; unknown names are a no-op.
+        assert!(idx.remove("strong"));
+        assert!(!idx.remove("strong"));
+        assert_eq!(idx.len(), 1);
+        let cands = idx.find_join_candidates(&profile(&train()));
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].dataset, "weak");
+        assert!(idx.profile("strong").is_none());
+
+        // Replace: weak's keys become disjoint → no candidates at all.
+        let disjoint = RelationBuilder::new("weak")
+            .int_col("zone", &(1000..1050).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        idx.replace(profile(&disjoint));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.find_join_candidates(&profile(&train())).is_empty());
+        // Replace of an unknown name inserts.
+        idx.replace(profile(&strong));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.find_join_candidates(&profile(&train())).len(), 1);
+    }
+
+    #[test]
+    fn from_profiles_matches_incremental_registration() {
+        let strong = RelationBuilder::new("strong")
+            .int_col("zone", &(0..50).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let incremental = index_with(&[&strong]);
+        let rebuilt = DiscoveryIndex::from_profiles(
+            DiscoveryConfig::default(),
+            incremental.profiles().to_vec(),
+        );
+        let a = incremental.find_join_candidates(&profile(&train()));
+        let b = rebuilt.find_join_candidates(&profile(&train()));
+        assert_eq!(a, b, "rebuilt index must discover identically");
     }
 
     #[test]

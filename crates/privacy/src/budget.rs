@@ -61,16 +61,79 @@ impl BudgetAccountant {
         Self::default()
     }
 
-    /// Register a dataset with its total budget. Re-registration is
+    /// Register a dataset with its total budget.
+    ///
+    /// Idempotent for crash recovery: re-registering a dataset that is
+    /// already known **with the identical limit** is a no-op that leaves
+    /// the spent amount untouched — a replayed registration record must
+    /// never reset accounting. Re-registering with a *different* limit is
     /// rejected (budgets are not renewable).
     pub fn register(&mut self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
-        if self.limits.contains_key(dataset) {
+        if let Some(existing) = self.limits.get(dataset) {
+            if *existing == budget {
+                return Ok(());
+            }
             return Err(PrivacyError::InvalidArgument(format!(
                 "dataset {dataset} already has a budget"
             )));
         }
         self.limits.insert(dataset.to_string(), budget);
         self.spent.insert(dataset.to_string(), PrivacyBudget { epsilon: 0.0, delta: 0.0 });
+        Ok(())
+    }
+
+    /// Hydrate one ledger entry from durable storage, overwriting any
+    /// in-memory value. Recovery-only: normal registration goes through
+    /// [`BudgetAccountant::register`] / [`BudgetAccountant::charge`].
+    pub fn restore(&mut self, dataset: &str, limit: PrivacyBudget, spent: PrivacyBudget) {
+        self.limits.insert(dataset.to_string(), limit);
+        self.spent.insert(dataset.to_string(), spent);
+    }
+
+    /// Every ledger entry as `(dataset, limit, spent)`, name-sorted so
+    /// snapshots serialize deterministically.
+    pub fn entries(&self) -> Vec<(String, PrivacyBudget, PrivacyBudget)> {
+        let mut out: Vec<_> = self
+            .limits
+            .iter()
+            .map(|(name, limit)| (name.clone(), *limit, self.spent[name]))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Whether the ledger knows this dataset.
+    pub fn contains(&self, dataset: &str) -> bool {
+        self.limits.contains_key(dataset)
+    }
+
+    /// Grant budget headroom without charging it: register the dataset
+    /// when unknown, extend its limit otherwise. The APM-style flow, where
+    /// releases are charged per query against the granted total.
+    pub fn grant(&mut self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        if !self.limits.contains_key(dataset) {
+            return self.register(dataset, budget);
+        }
+        let limit = self.limits.get_mut(dataset).expect("checked above");
+        limit.epsilon += budget.epsilon;
+        limit.delta += budget.delta;
+        Ok(())
+    }
+
+    /// Grant additional budget to an existing dataset and charge it in the
+    /// same step — the re-upload flow, where each new privatized release
+    /// adds its (ε, δ) to the dataset's cumulative privacy loss under
+    /// sequential composition. Unknown datasets register-and-charge.
+    pub fn top_up_and_charge(&mut self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        if !self.limits.contains_key(dataset) {
+            return self.register_and_charge(dataset, budget);
+        }
+        let limit = self.limits.get_mut(dataset).expect("checked above");
+        limit.epsilon += budget.epsilon;
+        limit.delta += budget.delta;
+        let spent = self.spent.get_mut(dataset).expect("limits and spent stay in step");
+        spent.epsilon += budget.epsilon;
+        spent.delta += budget.delta;
         Ok(())
     }
 
@@ -92,18 +155,23 @@ impl BudgetAccountant {
     /// registration. Atomic: any failure leaves the accountant unchanged,
     /// so a rejected upload never leaks spent budget.
     pub fn register_and_charge(&mut self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        let inserted = !self.limits.contains_key(dataset);
         self.register(dataset, budget)?;
         if let Err(e) = self.charge(dataset, budget) {
-            self.limits.remove(dataset);
-            self.spent.remove(dataset);
+            // Roll back only what this call created: an idempotent
+            // re-registration must not destroy the pre-existing entry.
+            if inserted {
+                self.limits.remove(dataset);
+                self.spent.remove(dataset);
+            }
             return Err(e);
         }
         Ok(())
     }
 
-    /// Charge a release against a dataset's budget; errors (and charges
-    /// nothing) if insufficient.
-    pub fn charge(&mut self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
+    /// Validate a charge without applying it — the write-ahead-log path
+    /// needs to know a charge will succeed *before* journaling it.
+    pub fn check_charge(&self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
         let rem = self.remaining(dataset)?;
         // ε governs exhaustion; δ is checked too but with tolerance for
         // float accumulation across many small charges.
@@ -114,7 +182,14 @@ impl BudgetAccountant {
                 remaining: rem.epsilon,
             });
         }
-        let s = self.spent.get_mut(dataset).expect("registered above");
+        Ok(())
+    }
+
+    /// Charge a release against a dataset's budget; errors (and charges
+    /// nothing) if insufficient.
+    pub fn charge(&mut self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
+        self.check_charge(dataset, cost)?;
+        let s = self.spent.get_mut(dataset).expect("validated by check_charge");
         s.epsilon += cost.epsilon;
         s.delta += cost.delta;
         Ok(())
@@ -187,11 +262,75 @@ mod tests {
     }
 
     #[test]
-    fn unknown_and_duplicate_datasets() {
+    fn unknown_and_conflicting_datasets() {
         let mut acc = BudgetAccountant::new();
         let b = PrivacyBudget::new(1.0, 0.0).unwrap();
         assert!(acc.remaining("x").is_err());
         acc.register("d", b).unwrap();
-        assert!(acc.register("d", b).is_err());
+        // A different limit is a conflict, not a replay.
+        assert!(acc.register("d", PrivacyBudget::new(2.0, 0.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn replayed_registration_is_a_noop() {
+        // Regression: recovery replays registration records; re-registering
+        // an already-known dataset with the same limit must not error and
+        // must not reset the spent amount.
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        acc.register("d", b).unwrap();
+        acc.charge("d", b.fraction(0.75).unwrap()).unwrap();
+        acc.register("d", b).unwrap();
+        assert_eq!(acc.spent("d").unwrap().epsilon, 0.75, "replay must not reset spent");
+        assert_eq!(acc.remaining("d").unwrap().epsilon, 0.25);
+        // A failed duplicate register_and_charge must not destroy the
+        // existing entry either.
+        assert!(acc.charge("d", b).is_err());
+        assert!(acc.contains("d"));
+        assert_eq!(acc.spent("d").unwrap().epsilon, 0.75);
+    }
+
+    #[test]
+    fn restore_and_entries_roundtrip() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(2.0, 1e-6).unwrap();
+        acc.register("beta", b).unwrap();
+        acc.charge("beta", b.fraction(0.5).unwrap()).unwrap();
+        acc.register("alpha", b).unwrap();
+        let entries = acc.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "alpha", "entries are name-sorted");
+
+        let mut rebuilt = BudgetAccountant::new();
+        for (name, limit, spent) in &entries {
+            rebuilt.restore(name, *limit, *spent);
+        }
+        assert_eq!(rebuilt.spent("beta"), acc.spent("beta"));
+        assert_eq!(rebuilt.remaining("alpha").unwrap(), acc.remaining("alpha").unwrap());
+    }
+
+    #[test]
+    fn grant_extends_headroom_without_charging() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        acc.grant("d", b).unwrap();
+        assert_eq!(acc.spent("d").unwrap().epsilon, 0.0);
+        acc.charge("d", b.fraction(0.5).unwrap()).unwrap();
+        acc.grant("d", b).unwrap();
+        assert_eq!(acc.remaining("d").unwrap().epsilon, 1.5);
+        assert_eq!(acc.spent("d").unwrap().epsilon, 0.5, "grant never touches spent");
+    }
+
+    #[test]
+    fn top_up_adds_under_sequential_composition() {
+        let mut acc = BudgetAccountant::new();
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        // Unknown dataset: behaves as register_and_charge.
+        acc.top_up_and_charge("d", b).unwrap();
+        assert_eq!(acc.spent("d").unwrap().epsilon, 1.0);
+        // Known dataset: limit and spent both grow (each release adds).
+        acc.top_up_and_charge("d", b).unwrap();
+        assert_eq!(acc.spent("d").unwrap().epsilon, 2.0);
+        assert!(acc.remaining("d").unwrap().epsilon.abs() < 1e-12);
     }
 }

@@ -158,6 +158,45 @@ impl GroupedArena {
         Ok(arena)
     }
 
+    /// Build directly from parallel row slabs — the snapshot-rehydration
+    /// path, which skips the per-key hash map and alignment work of
+    /// [`GroupedArena::from_groups`]. `keys` may arrive in any order (rows
+    /// are re-sorted by interned id); `c`/`s`/`q` are row-major per key.
+    pub fn from_parts(
+        features: Vec<String>,
+        keys: Vec<Vec<KeyValue>>,
+        c: Vec<f64>,
+        s: Vec<f64>,
+        q: Vec<f64>,
+        interner: &Arc<KeyInterner>,
+    ) -> Result<Self> {
+        let d = keys.len();
+        let m = features.len();
+        if c.len() != d || s.len() != d * m || q.len() != d * m * m {
+            return Err(SemiringError::InvalidArgument(format!(
+                "slab dims (c={}, s={}, q={}) do not match {d} keys x {m} features",
+                c.len(),
+                s.len(),
+                q.len(),
+            )));
+        }
+        let mut arena = GroupedArena {
+            schema: features.into(),
+            key_ids: keys.iter().map(|k| interner.intern(k)).collect(),
+            c,
+            s,
+            q,
+            interner: Arc::clone(interner),
+        };
+        arena.sort_rows();
+        // Rows are unique by construction in `from_groups` (hash map); a
+        // slab source must uphold the same invariant or lookups shear.
+        if arena.key_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SemiringError::InvalidArgument("duplicate keys in row slabs".into()));
+        }
+        Ok(arena)
+    }
+
     /// Number of keys `d`.
     pub fn num_keys(&self) -> usize {
         self.key_ids.len()

@@ -87,11 +87,18 @@ impl SketchStore {
         Ok(())
     }
 
-    /// Replace a sketch unconditionally (used by re-uploads after local
-    /// re-transformation; budget accounting is the caller's concern).
-    pub fn replace(&self, sketch: DatasetSketch) {
+    /// Replace a sketch unconditionally, returning the previous sketch
+    /// under that name (so callers coordinating index/ledger state — the
+    /// platform's journaled mutation path — can roll back). Budget
+    /// accounting is the caller's concern.
+    pub fn replace(&self, sketch: DatasetSketch) -> Option<Arc<DatasetSketch>> {
         let sketch = self.adopt(sketch);
-        self.inner.write().insert(sketch.name.clone(), Arc::new(sketch));
+        self.inner.write().insert(sketch.name.clone(), Arc::new(sketch))
+    }
+
+    /// Whether a dataset is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
     }
 
     /// Remove a dataset's sketch.
@@ -167,8 +174,11 @@ mod tests {
         let store = SketchStore::new();
         store.register(sketch("a")).unwrap();
         assert!(store.register(sketch("a")).is_err());
-        store.replace(sketch("a"));
-        assert_eq!(store.len(), 1);
+        let previous = store.replace(sketch("a"));
+        assert_eq!(previous.unwrap().name, "a");
+        assert!(store.replace(sketch("b")).is_none(), "insert-if-absent returns no previous");
+        assert_eq!(store.len(), 2);
+        assert!(store.contains("a") && !store.contains("zz"));
     }
 
     #[test]

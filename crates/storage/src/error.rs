@@ -1,0 +1,64 @@
+//! Errors for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the WAL / snapshot engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io {
+        /// What the engine was doing.
+        context: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A file's framing or checksum is invalid beyond what crash-recovery
+    /// semantics tolerate (a torn *tail* is not corruption; a bad record in
+    /// the middle of the committed prefix is).
+    Corrupt(String),
+    /// The engine was asked to do something its state forbids (checkpoint
+    /// below the current snapshot, append after poisoning, ...).
+    InvalidState(String),
+}
+
+impl StorageError {
+    /// Wrap an I/O error with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StorageError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => write!(f, "io ({context}): {source}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::InvalidState(m) => write!(f, "invalid storage state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StorageError::io("open wal", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("open wal"));
+        assert!(StorageError::Corrupt("bad crc".into()).to_string().contains("bad crc"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Small filesystem helpers shared by the log and snapshot layers.
+
+use crate::error::{Result, StorageError};
+use std::path::Path;
+
+/// Fsync a directory so that entry-level changes inside it (file
+/// creations, renames, deletions) survive power loss. POSIX gives no
+/// ordering between data fsyncs and directory entries without this: a
+/// fully-synced file can still vanish from its directory on power loss,
+/// which would void the engine's `fsync_appends` durability claim.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
+    let handle = std::fs::File::open(dir)
+        .map_err(|e| StorageError::io(format!("open dir {}", dir.display()), e))?;
+    handle.sync_all().map_err(|e| StorageError::io(format!("fsync dir {}", dir.display()), e))
+}
+
+/// Delete stale snapshot temp files (`*.snap.tmp`) left by a crash between
+/// writing and renaming; they are never referenced by anything.
+pub(crate) fn remove_stale_tmp(dir: &Path) -> Result<()> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| StorageError::io(format!("read_dir {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io("read_dir entry", e))?;
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(".snap.tmp") {
+            let path = entry.path();
+            std::fs::remove_file(&path)
+                .map_err(|e| StorageError::io(format!("remove {}", path.display()), e))?;
+        }
+    }
+    Ok(())
+}

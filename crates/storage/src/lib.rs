@@ -1,0 +1,30 @@
+//! `mileena-storage`: an embedded, offline-friendly WAL + snapshot storage
+//! engine.
+//!
+//! The central platform is the long-lived party of the paper's protocol: it
+//! must enforce each dataset's privacy budget across *every* query ever
+//! issued, which makes its ledger (and, for operability, its sketch corpus)
+//! durable state. This crate provides the durability mechanics —
+//!
+//! - [`log`]: an append-only, checksummed record log with torn-tail
+//!   detection on replay;
+//! - [`snapshot`]: atomic full-state snapshot files with checksum
+//!   verification and fallback;
+//! - [`engine::StorageEngine`]: the two composed — sequence numbers,
+//!   checkpoints, log rotation/compaction, and crash recovery.
+//!
+//! The engine is deliberately payload-agnostic (records and snapshots are
+//! opaque bytes): the semantic encoding lives in `mileena-core`, keeping
+//! this crate dependency-free and reusable.
+
+pub mod crc;
+pub mod engine;
+pub mod error;
+pub(crate) mod fsutil;
+pub mod log;
+pub mod snapshot;
+
+pub use crc::crc32;
+pub use engine::{RecoveredState, StorageEngine, StorageOptions, StorageStats};
+pub use error::{Result, StorageError};
+pub use log::Record;

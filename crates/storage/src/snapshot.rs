@@ -1,0 +1,180 @@
+//! Snapshot segments: full-state serializations that bound how much log
+//! must be replayed on open.
+//!
+//! A snapshot file `snap-<seq>.snap` holds the complete semantic state as
+//! of WAL sequence `seq`:
+//!
+//! ```text
+//! [magic: 8 bytes][seq: u64 LE][len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! Writes go to a `.tmp` sibling, are fsynced, then renamed into place, so
+//! a crash mid-checkpoint can never leave a half-written file under the
+//! final name. Reads verify magic, framing, and checksum; a snapshot that
+//! fails any of these is reported invalid so the engine can fall back to
+//! an older one (plus a longer log replay).
+
+use crate::crc::crc32;
+use crate::error::{Result, StorageError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Snapshot file magic ("MLNSNAP" + format version).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MLNSNAP1";
+
+/// Fixed header length: magic (8) + seq (8) + len (4) + crc (4).
+const HEADER_LEN: usize = 24;
+
+/// Path of the snapshot covering WAL sequences `..= seq`.
+pub fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:020}.snap"))
+}
+
+/// All snapshot files in `dir`, sorted by covered sequence, ascending.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| StorageError::io(format!("read_dir {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io("read_dir entry", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name.strip_prefix("snap-").and_then(|s| s.strip_suffix(".snap")) {
+            if let Ok(seq) = stem.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+/// Snapshot checksum: covers the `seq` header field *and* the payload — a
+/// bit flip in the header would otherwise silently change which WAL
+/// records the snapshot claims to cover, making replay double-apply (or
+/// skip) committed records.
+fn snapshot_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(8 + payload.len());
+    covered.extend_from_slice(&seq.to_le_bytes());
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Atomically write a snapshot of state-as-of `seq`.
+pub fn write_snapshot(dir: &Path, seq: u64, payload: &[u8]) -> Result<PathBuf> {
+    let path = snapshot_path(dir, seq);
+    let tmp = path.with_extension("snap.tmp");
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&snapshot_crc(seq, payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    {
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| StorageError::io(format!("create {}", tmp.display()), e))?;
+        file.write_all(&bytes)
+            .map_err(|e| StorageError::io(format!("write {}", tmp.display()), e))?;
+        file.sync_all().map_err(|e| StorageError::io(format!("sync {}", tmp.display()), e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        StorageError::io(format!("rename {} -> {}", tmp.display(), path.display()), e)
+    })?;
+    // Persist the rename itself: without a directory fsync the fully-synced
+    // snapshot can vanish from the directory on power loss.
+    crate::fsutil::fsync_dir(dir)?;
+    Ok(path)
+}
+
+/// Read and verify one snapshot file. `Ok(None)` means the file exists but
+/// is invalid (bad magic, framing, or checksum) — recoverable by falling
+/// back to an older snapshot.
+pub fn read_snapshot(path: &Path) -> Result<Option<(u64, Vec<u8>)>> {
+    let bytes =
+        std::fs::read(path).map_err(|e| StorageError::io(format!("read {}", path.display()), e))?;
+    if bytes.len() < HEADER_LEN || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Ok(None);
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if bytes.len() != HEADER_LEN + len {
+        return Ok(None);
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if snapshot_crc(seq, payload) != crc {
+        return Ok(None);
+    }
+    Ok(Some((seq, payload.to_vec())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mileena-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let path = write_snapshot(&dir, 42, b"the full state").unwrap();
+        assert_eq!(path, snapshot_path(&dir, 42));
+        let (seq, payload) = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(payload, b"the full state");
+        // No .tmp residue.
+        assert!(list_snapshots(&dir).unwrap().len() == 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_reads_as_invalid() {
+        let dir = tmp_dir("crc");
+        let path = write_snapshot(&dir, 7, b"sensitive state bytes").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_seq_flip_reads_as_invalid() {
+        // The checksum must cover the seq field: a header flip that kept
+        // the payload intact would otherwise shift which WAL records the
+        // snapshot claims to cover.
+        let dir = tmp_dir("seqflip");
+        let path = write_snapshot(&dir, 9, b"state through seq 9").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0x01; // seq 9 -> 8
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_reads_as_invalid() {
+        let dir = tmp_dir("trunc");
+        let path = write_snapshot(&dir, 7, b"0123456789").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn listing_is_sorted_by_seq() {
+        let dir = tmp_dir("list");
+        write_snapshot(&dir, 30, b"c").unwrap();
+        write_snapshot(&dir, 5, b"a").unwrap();
+        let seqs: Vec<u64> = list_snapshots(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![5, 30]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

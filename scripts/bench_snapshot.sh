@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Run the search-latency benchmark suite and snapshot its results as
-# BENCH_search.json so successive PRs can track the perf trajectory.
+# Run the search-latency + cold-start benchmark suites and snapshot their
+# merged results as BENCH_search.json so successive PRs can track the perf
+# trajectory.
 #
 # The in-tree criterion shim writes one JSON file per bench binary into
 # $CRITERION_OUT_DIR ([{group, bench, mean_ns, samples, iters_per_sample}]).
@@ -12,13 +13,22 @@ cd "$(dirname "$0")/.."
 # absolute output path so the snapshot lands at the workspace root.
 out_dir="${CRITERION_OUT_DIR:-$PWD/target/criterion-mini}"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench search_latency "$@"
+CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench cold_start "$@"
 
-snapshot="$out_dir/search_latency.json"
-if [[ ! -f "$snapshot" ]]; then
-    echo "error: $snapshot not produced" >&2
-    exit 1
-fi
-cp "$snapshot" BENCH_search.json
+for name in search_latency cold_start; do
+    if [[ ! -f "$out_dir/$name.json" ]]; then
+        echo "error: $out_dir/$name.json not produced" >&2
+        exit 1
+    fi
+done
+# Merge the two JSON arrays (shim output is one entry per line between
+# the bracket lines).
+{
+    echo "["
+    sed '1d;$d' "$out_dir/search_latency.json" | sed '$s/$/,/'
+    sed '1d;$d' "$out_dir/cold_start.json"
+    echo "]"
+} > BENCH_search.json
 echo "wrote BENCH_search.json:"
 cat BENCH_search.json
 
@@ -34,5 +44,15 @@ awk '
 /"group": "service"/ && /"bench": "search_serial\// {
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "service baseline:   %.1f searches/sec serial\n", 1e9 / m
+}
+/"group": "cold_start"/ && /"bench": "open_snapshot\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m); snap = m
+    printf "cold start (snapshot): %.1f ms\n", snap / 1e6
+}
+/"group": "cold_start"/ && /"bench": "resketch_raw\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "cold start (re-sketch baseline, 200-row toy providers): %.1f ms", m / 1e6
+    if (snap > 0) printf "  (restore/re-sketch ratio %.2f)", snap / m
+    printf "\n"
 }
 ' BENCH_search.json

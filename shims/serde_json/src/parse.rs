@@ -115,6 +115,24 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
     *pos += 1;
     let mut out = String::new();
     loop {
+        // Bulk fast path: copy the maximal escape-free run in one
+        // `push_str` instead of per-char pushes (`"` and `\` are ASCII, so
+        // byte scanning can't split a UTF-8 sequence). This is the hot
+        // loop of snapshot recovery — string content dominates the bytes
+        // of a serialized sketch corpus.
+        let run_start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b'"' || b == b'\\' {
+                break;
+            }
+            *pos += 1;
+        }
+        if *pos > run_start {
+            let run = &bytes[run_start..*pos];
+            // Input arrived as &str, and the run ends before an ASCII
+            // delimiter, so it sits on UTF-8 boundaries.
+            out.push_str(unsafe { std::str::from_utf8_unchecked(run) });
+        }
         match bytes.get(*pos) {
             None => return Err(Error::custom("unterminated string")),
             Some(b'"') => {
@@ -166,15 +184,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid; find the next char from here).
-                let s = &bytes[*pos..];
-                let text = unsafe { std::str::from_utf8_unchecked(s) };
-                let ch = text.chars().next().unwrap();
-                out.push(ch);
-                *pos += ch.len_utf8();
-            }
+            // Unreachable: the bulk scan above stops only at `"`, `\`, or
+            // end of input.
+            Some(_) => unreachable!("bulk scan consumes unescaped bytes"),
         }
     }
 }

@@ -23,7 +23,8 @@
 //! | [`transform`] | `mileena-transform` | EDA/Coder/Debugger/Reviewer agents |
 //! | [`causal`] | `mileena-causal` | direction tests, skeletons, DP ATE |
 //! | [`datagen`] | `mileena-datagen` | NYC-like corpus, Airbnb-like table, SCM |
-//! | [`core`] | `mileena-core` | LocalDataStore + CentralPlatform + `PlatformService` (versioned wire protocol, sessions) |
+//! | [`storage`] | `mileena-storage` | WAL + snapshot engine (crash recovery, checkpoints) |
+//! | [`core`] | `mileena-core` | LocalDataStore + CentralPlatform + `PlatformService` (versioned wire protocol, sessions, durability) |
 //!
 //! The service boundary is sketches-only: requesters sketch locally
 //! (`core::SearchRequestBuilder`) and talk to the platform through a
@@ -44,6 +45,7 @@ pub use mileena_relation as relation;
 pub use mileena_search as search;
 pub use mileena_semiring as semiring;
 pub use mileena_sketch as sketch;
+pub use mileena_storage as storage;
 pub use mileena_transform as transform;
 
 /// Crate version (workspace-wide).
