@@ -61,51 +61,72 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-/// The projection-cache comparison (acceptance gate for the arena PR):
-/// one greedy *round* — every candidate evaluated once against the current
-/// state — with pre-projected cache entries vs the re-project-per-eval
-/// reference path, on a 500-candidate corpus.
-fn bench_cached_vs_uncached(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval_round_500");
-    group.sample_size(10);
-    let corpus = generate_corpus(&corpus_cfg(500));
-    let request = request_of(&corpus);
-    let index = index_of(&corpus);
-    let store = SketchStore::new();
-    for p in &corpus.providers {
-        store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+/// Per-round evaluation cost across corpus scales (the acceptance gate for
+/// the packed-slab + bound-pruning PR): for each corpus size, one greedy
+/// *round* over pre-projected cache entries — exhaustively (`cached`, the
+/// packed-kernel per-candidate cost), via the re-project-per-eval reference
+/// (`uncached`), and with the production bound-pruned plan (`pruned_round`,
+/// which stops as soon as no remaining bound can win — the sublinear
+/// claim). Full searches track the user-visible end-to-end difference.
+fn bench_eval_rounds(c: &mut Criterion) {
+    for n_datasets in [500usize, 2000, 5000] {
+        let group_name = format!("eval_round_{n_datasets}");
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(10);
+        let corpus = generate_corpus(&corpus_cfg(n_datasets));
+        let request = request_of(&corpus);
+        let index = index_of(&corpus);
+        let store = SketchStore::new();
+        for p in &corpus.providers {
+            store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+        }
+        let cfg = SearchConfig::default();
+        let (state, profile) = build_requester_state(&request, &cfg).unwrap();
+        let candidates = enumerate_candidates(&index, &store, &profile);
+        let n = candidates.len();
+
+        let entries =
+            CandidateCache::build(&state, candidates.clone(), &store, true).into_entries();
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| entries.iter().filter_map(|e| e.evaluate(&state).ok()).count())
+        });
+        group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
+            b.iter(|| {
+                candidates
+                    .iter()
+                    .filter_map(|aug| {
+                        let sketch = store.get(aug.dataset()).ok()?;
+                        state.evaluate_reference(aug, &sketch).ok()
+                    })
+                    .count()
+            })
+        });
+
+        // One round under the real (bound-pruned) plan, against the base
+        // incumbent — what a production round actually costs.
+        let searcher = GreedySearch::new(cfg.clone());
+        let base_score = state.current_score().unwrap();
+        group.bench_with_input(BenchmarkId::new("pruned_round", n), &n, |b, _| {
+            b.iter(|| searcher.score_round(&state, &entries, base_score))
+        });
+
+        // Full greedy searches (all rounds): the default pruned plan, the
+        // exhaustive cached plan, and — at the baseline scale only — the
+        // uncached reference (it is quadratically slow at 5k).
+        group.bench_with_input(BenchmarkId::new("full_search_cached", n), &n, |b, _| {
+            b.iter(|| searcher.run(state.clone(), candidates.clone(), &store).unwrap())
+        });
+        let exhaustive = GreedySearch::new(SearchConfig { pruning: false, ..cfg.clone() });
+        group.bench_with_input(BenchmarkId::new("full_search_exhaustive", n), &n, |b, _| {
+            b.iter(|| exhaustive.run(state.clone(), candidates.clone(), &store).unwrap())
+        });
+        if n_datasets == 500 {
+            group.bench_with_input(BenchmarkId::new("full_search_uncached", n), &n, |b, _| {
+                b.iter(|| searcher.run_uncached(state.clone(), candidates.clone(), &store).unwrap())
+            });
+        }
+        group.finish();
     }
-    let cfg = SearchConfig::default();
-    let (state, profile) = build_requester_state(&request, &cfg).unwrap();
-    let candidates = enumerate_candidates(&index, &store, &profile);
-    let n = candidates.len();
-
-    let entries = CandidateCache::build(&state, candidates.clone(), &store).into_entries();
-    group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
-        b.iter(|| entries.iter().filter_map(|e| e.evaluate(&state).ok()).count())
-    });
-    group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
-        b.iter(|| {
-            candidates
-                .iter()
-                .filter_map(|aug| {
-                    let sketch = store.get(aug.dataset()).ok()?;
-                    state.evaluate_reference(aug, &sketch).ok()
-                })
-                .count()
-        })
-    });
-
-    // Full greedy searches (all rounds), cached vs reference — the
-    // user-visible difference.
-    let searcher = GreedySearch::new(cfg.clone());
-    group.bench_with_input(BenchmarkId::new("full_search_cached", n), &n, |b, _| {
-        b.iter(|| searcher.run(state.clone(), candidates.clone(), &store).unwrap())
-    });
-    group.bench_with_input(BenchmarkId::new("full_search_uncached", n), &n, |b, _| {
-        b.iter(|| searcher.run_uncached(state.clone(), candidates.clone(), &store).unwrap())
-    });
-    group.finish();
 }
 
 /// Service-layer scaling: searches/sec with N requesters hitting the same
@@ -150,5 +171,5 @@ fn bench_concurrent_service(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_cached_vs_uncached, bench_concurrent_service);
+criterion_group!(benches, bench_end_to_end, bench_eval_rounds, bench_concurrent_service);
 criterion_main!(benches);

@@ -187,8 +187,11 @@ impl Serialize for WalOpRef<'_> {
 /// written **once** (the wire format repeats it per key — fine for
 /// per-upload payloads, ruinous for a full-corpus snapshot), parallel
 /// row slabs straight from the arena, and the symmetric `q` matrix packed
-/// as its upper triangle (`m(m+1)/2` of `m²` entries). Cuts snapshot
-/// bytes roughly in half and decodes without the per-key hash-map rebuild.
+/// as its upper triangle (`m(m+1)/2` of `m²` entries). Since the arena
+/// itself stores the packed triangle, this layout is now a **by-reference
+/// identity** over the slabs: compaction copies rows verbatim (key-sorted)
+/// and rehydration hands `qu` straight to `GroupedArena::from_parts` with
+/// no repacking pass in either direction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompactKeyed {
     /// The join-key column.
@@ -201,7 +204,8 @@ pub struct CompactKeyed {
     pub c: Vec<f64>,
     /// Feature sums, length `d·m`, row-major.
     pub s: Vec<f64>,
-    /// Packed upper triangles of the symmetric `q`, length `d·m(m+1)/2`.
+    /// Packed upper triangles of the symmetric `q`, length `d·m(m+1)/2` —
+    /// the arena's own storage layout.
     pub qu: Vec<f64>,
 }
 
@@ -215,13 +219,13 @@ impl CompactKeyed {
         let mut keys = Vec::with_capacity(sorted.len());
         let mut c = Vec::with_capacity(sorted.len());
         let mut s = Vec::with_capacity(sorted.len() * m);
-        let mut qu = Vec::with_capacity(sorted.len() * m * (m + 1) / 2);
+        let mut qu = Vec::with_capacity(sorted.len() * mileena_semiring::packed_len(m));
         for (r, key) in sorted {
             let (rc, rs, rq) = arena.row(r);
             keys.push(key);
             c.push(rc);
             s.extend_from_slice(rs);
-            pack_upper(rq, m, &mut qu);
+            qu.extend_from_slice(rq);
         }
         CompactKeyed {
             key_column: keyed.key_column.clone(),
@@ -235,53 +239,19 @@ impl CompactKeyed {
 
     /// Rehydrate into an arena-backed keyed sketch on the global key space
     /// (the store re-interns on registration when it uses an isolated one).
+    /// Slab lengths are validated by `GroupedArena::from_parts` — sheared
+    /// slabs surface as a typed storage error, never a panic.
     pub fn into_keyed(self) -> Result<mileena_sketch::KeyedSketch> {
-        let m = self.features.len();
-        let d = self.keys.len();
-        if self.qu.len() != d * m * (m + 1) / 2 {
-            return Err(CoreError::Storage(format!(
-                "compact sketch: packed q of {} does not match {d} keys x {m} features",
-                self.qu.len()
-            )));
-        }
-        let mut q = Vec::with_capacity(d * m * m);
-        for r in 0..d {
-            unpack_upper(&self.qu[r * m * (m + 1) / 2..(r + 1) * m * (m + 1) / 2], m, &mut q);
-        }
         let arena = mileena_semiring::GroupedArena::from_parts(
             self.features,
             self.keys,
             self.c,
             self.s,
-            q,
+            self.qu,
             mileena_semiring::KeyInterner::global(),
         )
         .map_err(|e| CoreError::Storage(format!("compact sketch: {e}")))?;
         Ok(mileena_sketch::KeyedSketch::from_arena(self.key_column, arena))
-    }
-}
-
-/// Append the upper triangle of one row's `m × m` symmetric matrix.
-fn pack_upper(q: &[f64], m: usize, out: &mut Vec<f64>) {
-    for i in 0..m {
-        for j in i..m {
-            out.push(q[i * m + j]);
-        }
-    }
-}
-
-/// Expand one packed upper triangle back into a full symmetric row.
-fn unpack_upper(qu: &[f64], m: usize, out: &mut Vec<f64>) {
-    let base = out.len();
-    out.resize(base + m * m, 0.0);
-    let mut idx = 0;
-    for i in 0..m {
-        for j in i..m {
-            let v = qu[idx];
-            out[base + i * m + j] = v;
-            out[base + j * m + i] = v;
-            idx += 1;
-        }
     }
 }
 
@@ -452,13 +422,13 @@ impl Serialize for CompactKeyedRef<'_> {
                 serializer: S,
             ) -> std::result::Result<S::Ok, S::Error> {
                 let m = self.0.num_features();
-                let mut seq = serializer.serialize_seq(Some(self.1.len() * m * (m + 1) / 2))?;
+                let p = mileena_semiring::packed_len(m);
+                let mut seq = serializer.serialize_seq(Some(self.1.len() * p))?;
                 for (r, _) in self.1 {
-                    let q = self.0.row(*r).2;
-                    for i in 0..m {
-                        for j in i..m {
-                            seq.serialize_element(&q[i * m + j])?;
-                        }
+                    // The arena row *is* the packed triangle: serialize it
+                    // verbatim.
+                    for v in self.0.row(*r).2 {
+                        seq.serialize_element(v)?;
                     }
                 }
                 seq.end()

@@ -91,6 +91,23 @@ struct DurableState {
     last_checkpoint_error: Option<String>,
 }
 
+/// Cumulative evaluation-plan counters across every search the platform
+/// served, surfaced through `stats()` so operators can watch the
+/// bound-pruning win at fleet level (skips / (skips + evaluations) is the
+/// fraction of candidate scorings the pruner saved).
+#[derive(Debug, Default)]
+struct SearchTotals {
+    evaluations: AtomicU64,
+    bound_skips: AtomicU64,
+}
+
+impl SearchTotals {
+    fn record(&self, evaluations: usize, bound_skips: usize) {
+        self.evaluations.fetch_add(evaluations as u64, Ordering::Relaxed);
+        self.bound_skips.fetch_add(bound_skips as u64, Ordering::Relaxed);
+    }
+}
+
 /// The central platform. Thread-safe: uploads and searches interleave, and
 /// any number of search sessions run concurrently.
 #[derive(Debug)]
@@ -101,6 +118,7 @@ pub struct CentralPlatform {
     config: PlatformConfig,
     active_sessions: Arc<AtomicUsize>,
     session_counter: AtomicU64,
+    search_totals: Arc<SearchTotals>,
     durable: Mutex<DurableState>,
 }
 
@@ -203,6 +221,7 @@ impl CentralPlatform {
             config,
             active_sessions: Arc::new(AtomicUsize::new(0)),
             session_counter: AtomicU64::new(0),
+            search_totals: Arc::new(SearchTotals::default()),
             durable: Mutex::new(durable),
         }
     }
@@ -335,6 +354,8 @@ impl CentralPlatform {
         Ok(PlatformStats {
             datasets: self.num_datasets(),
             active_sessions: self.active_sessions(),
+            search_evaluations: self.search_totals.evaluations.load(Ordering::Relaxed),
+            search_bound_skips: self.search_totals.bound_skips.load(Ordering::Relaxed),
             storage,
         })
     }
@@ -533,6 +554,7 @@ impl CentralPlatform {
         let (event_tx, event_rx) = mpsc::channel();
         let (result_tx, result_rx) = mpsc::sync_channel(1);
         let worker_control = control.clone();
+        let totals = Arc::clone(&self.search_totals);
         std::thread::spawn(move || {
             let mut observer = move |ev: SearchEvent| {
                 let _ = event_tx.send(ev);
@@ -541,6 +563,7 @@ impl CentralPlatform {
                 .run_observed(state, candidates, &corpus, &worker_control, &mut observer)
                 .map_err(CoreError::from)
                 .and_then(|outcome| {
+                    totals.record(outcome.evaluations, outcome.bound_skips);
                     let model = fit_final_model(&outcome, &target, cfg.lambda)?;
                     Ok(SearchReply::from_outcome(&outcome, &model))
                 });
@@ -572,6 +595,7 @@ impl CentralPlatform {
             enumerate_candidates(&index, &corpus, &request.profile)
         };
         let outcome = GreedySearch::new(config.clone()).run(state, candidates, &corpus)?;
+        self.search_totals.record(outcome.evaluations, outcome.bound_skips);
         let model = fit_final_model(&outcome, &request.task.target, config.lambda)?;
         Ok(PlatformSearchResult { outcome, model })
     }

@@ -542,6 +542,32 @@ mod tests {
     }
 
     #[test]
+    fn stats_surface_evaluation_and_skip_totals() {
+        let platform = platform_with_provider();
+        let service = InProcess::new(Arc::clone(&platform));
+        let before = service.stats().unwrap();
+        assert_eq!(before.search_evaluations, 0);
+        assert_eq!(before.search_bound_skips, 0);
+
+        let pruned = service.search(sketched(), None).unwrap();
+        let after_pruned = service.stats().unwrap();
+        assert_eq!(after_pruned.search_evaluations, pruned.evaluations as u64);
+        assert_eq!(after_pruned.search_bound_skips, pruned.bound_skips as u64);
+
+        // Exhaustive mode adds evaluations but never skips.
+        let exhaustive = service
+            .search(sketched(), Some(SearchConfig { pruning: false, ..Default::default() }))
+            .unwrap();
+        assert_eq!(exhaustive.bound_skips, 0);
+        let after_both = service.stats().unwrap();
+        assert_eq!(
+            after_both.search_evaluations,
+            (pruned.evaluations + exhaustive.evaluations) as u64
+        );
+        assert_eq!(after_both.search_bound_skips, after_pruned.search_bound_skips);
+    }
+
+    #[test]
     fn wire_session_streams_versioned_events() {
         let platform = platform_with_provider();
         let json = serde_json::to_string(&WireSearchRequest {

@@ -12,6 +12,14 @@
 //! body is a [`SketchedRequest`] (sufficient statistics only), which is the
 //! compile-time form of the paper's "raw data never leaves the local
 //! store" boundary.
+//!
+//! Schema-evolution policy: both endpoints of this protocol ship from one
+//! tree, so a release may add required fields to v1 payload bodies (e.g.
+//! `SearchReply::bound_skips`) without bumping `WIRE_VERSION` — mixed-build
+//! deployments are not supported, and the in-tree serde shim has no
+//! default-on-missing mechanism to paper over them. The version field
+//! guards *protocol* breaks (envelope shape, semantics), not same-tree
+//! body growth; revisit if clients ever ship separately.
 
 use crate::durable::RecoveryReport;
 use crate::error::{CoreError, Result};
@@ -177,8 +185,11 @@ pub struct SearchReply {
     pub final_score: f64,
     /// Committed steps, in order.
     pub steps: Vec<ReplyStep>,
-    /// Candidate evaluations performed.
+    /// Candidate evaluations performed (fully scored).
     pub evaluations: usize,
+    /// Candidates pruned by their admissible score bound without being
+    /// scored (0 when the search ran in exhaustive mode).
+    pub bound_skips: usize,
     /// Total wall-clock, in milliseconds.
     pub elapsed_ms: u64,
     /// Why the loop ended.
@@ -205,6 +216,7 @@ impl SearchReply {
                 })
                 .collect(),
             evaluations: outcome.evaluations,
+            bound_skips: outcome.bound_skips,
             elapsed_ms: outcome.elapsed.as_millis() as u64,
             stop_reason: outcome.stop_reason,
             features: outcome.state.features().to_vec(),
@@ -331,6 +343,10 @@ pub struct PlatformStats {
     pub datasets: usize,
     /// Currently running search sessions.
     pub active_sessions: usize,
+    /// Candidates fully scored across all completed searches.
+    pub search_evaluations: u64,
+    /// Candidates pruned by bound across all completed searches.
+    pub search_bound_skips: u64,
     /// Storage-engine state (`None` on volatile platforms).
     pub storage: Option<StorageReport>,
 }
@@ -482,6 +498,8 @@ mod tests {
         let resp = WireAdminResponse::ok(AdminReply::Stats(PlatformStats {
             datasets: 3,
             active_sessions: 1,
+            search_evaluations: 120,
+            search_bound_skips: 48,
             storage: Some(StorageReport {
                 dir: "/tmp/x".into(),
                 last_seq: 12,

@@ -38,6 +38,27 @@ pub fn solve_ridge(a: &[f64], b: &[f64], n: usize, lambda: f64) -> Result<Vec<f6
     unreachable!("loop always returns")
 }
 
+/// [`solve_ridge`] without the jitter fallback: one Cholesky attempt at
+/// exactly `λ`, erroring on a non-positive pivot or a non-finite solution.
+/// Callers that use the solve as a *mathematical bound* (the search layer's
+/// pruning ceiling) need this strictness — a silently jittered solve of a
+/// degenerate system is an approximation with no admissibility guarantee,
+/// so degeneracy must surface as an error instead.
+pub fn solve_ridge_strict(a: &[f64], b: &[f64], n: usize, lambda: f64) -> Result<Vec<f64>> {
+    if a.len() != n * n || b.len() != n {
+        return Err(MlError::DimensionMismatch { expected: n * n, found: a.len() });
+    }
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(MlError::InvalidConfig(format!("lambda must be ≥ 0, got {lambda}")));
+    }
+    let x = cholesky_solve(a, b, n, lambda)?;
+    if x.iter().all(|v| v.is_finite()) {
+        Ok(x)
+    } else {
+        Err(MlError::NonFinite("solution contains NaN/inf".into()))
+    }
+}
+
 /// One Cholesky factorization + triangular solves of `(A + dI) x = b`.
 fn cholesky_solve(a: &[f64], b: &[f64], n: usize, d: f64) -> Result<Vec<f64>> {
     // Factor L Lᵀ = A + dI, L lower-triangular (row-major, in place copy).

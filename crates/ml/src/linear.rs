@@ -8,7 +8,7 @@
 //!   used by retrain-based baselines so that latency comparisons are fair.
 
 use crate::error::{MlError, Result};
-use crate::linalg::{dot, quad_form, solve_ridge};
+use crate::linalg::{dot, quad_form, solve_ridge, solve_ridge_strict};
 use crate::model::Regressor;
 use mileena_relation::relation::XyMatrix;
 use mileena_semiring::LrSystem;
@@ -62,6 +62,20 @@ impl LinearModel {
             return Err(MlError::EmptyTrainingSet);
         }
         let theta = solve_ridge(&sys.xtx, &sys.xty, sys.k, self.config.lambda)?;
+        self.num_features = sys.k - usize::from(self.config.intercept);
+        self.theta = Some(theta);
+        Ok(())
+    }
+
+    /// [`LinearModel::fit_from_system`] without the solver's jitter
+    /// fallback: a degenerate (non-positive-definite) system is an error,
+    /// never a silently regularized approximation. Bound computations that
+    /// must stay mathematically admissible use this.
+    pub fn fit_from_system_strict(&mut self, sys: &LrSystem) -> Result<()> {
+        if sys.n < 1.0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let theta = solve_ridge_strict(&sys.xtx, &sys.xty, sys.k, self.config.lambda)?;
         self.num_features = sys.k - usize::from(self.config.intercept);
         self.theta = Some(theta);
         Ok(())

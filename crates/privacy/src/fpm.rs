@@ -101,6 +101,31 @@ pub(crate) fn noise_slabs(
     }
 }
 
+/// [`noise_slabs`] for a packed-triangular `Q` row (the arena layout):
+/// one draw per packed entry, which is exactly one per unordered pair in
+/// the same `i ≤ j` row-major order the full-matrix walk draws in — so a
+/// seeded release is bit-identical across the two layouts, and symmetry
+/// holds by construction (the triangle *is* the storage).
+pub(crate) fn noise_slabs_packed(
+    c: &mut f64,
+    s: &mut [f64],
+    qp: &mut [f64],
+    sigma: f64,
+    rng: &mut NoiseRng,
+    clamp: bool,
+) {
+    *c += rng.gaussian(sigma);
+    if clamp && *c < 0.0 {
+        *c = 0.0;
+    }
+    for v in s.iter_mut() {
+        *v += rng.gaussian(sigma);
+    }
+    for v in qp.iter_mut() {
+        *v += rng.gaussian(sigma);
+    }
+}
+
 /// [`noise_slabs`] over a materialized triple (full-sketch path).
 pub(crate) fn noise_triple(t: &mut CovarTriple, sigma: f64, rng: &mut NoiseRng, clamp: bool) {
     let CovarTriple { c, s, q, .. } = t;
@@ -177,12 +202,13 @@ impl FactorizedMechanism {
             Some(kb) => {
                 for keyed in &mut out.keyed {
                     // Parallel composition across groups: each group gets the
-                    // full per-sketch budget. The arena walk noises slabs in
-                    // place — key-sorted visiting order, zero allocation.
+                    // full per-sketch budget. The arena walk noises packed
+                    // slabs in place — key-sorted visiting order, one draw
+                    // per unordered Q entry, zero allocation.
                     let sigma = gaussian_sigma(delta2, kb)?;
                     let clamp = self.config.clamp_counts;
-                    keyed.arena_mut().for_each_row_mut(|c, s, q| {
-                        noise_slabs(c, s, q, sigma, &mut rng, clamp);
+                    keyed.arena_mut().for_each_row_mut(|c, s, qp| {
+                        noise_slabs_packed(c, s, qp, sigma, &mut rng, clamp);
                     });
                     sigma_keyed.push((keyed.key_column.clone(), sigma));
                 }

@@ -41,6 +41,15 @@ enum CachedKind {
 pub struct CachedCandidate {
     /// The augmentation this entry evaluates.
     pub aug: Augmentation,
+    /// Admissible upper bound on this candidate's score under the state
+    /// epoch the cache (or the last [`CachedCandidate::refresh`]) saw:
+    /// `score ≤ bound` whenever the candidate evaluates at all, and `-∞`
+    /// when it cannot evaluate. Joins are bounded by the least-squares
+    /// ceiling on their test-side join statistics; unions share the
+    /// current feature set's ceiling (see `ProxyState::{join,union}_score_bound`).
+    /// Valid until a commit changes the feature space — the greedy loop
+    /// refreshes entries exactly then.
+    pub bound: f64,
     kind: CachedKind,
 }
 
@@ -81,23 +90,38 @@ impl CachedCandidate {
     }
 
     /// Re-align a stale union projection after a committed join changed the
-    /// feature space; returns `false` when the candidate can no longer
-    /// evaluate (then it should be dropped). The greedy loop calls this once
-    /// per join commit so evaluations never re-project.
-    pub fn refresh(&mut self, state: &ProxyState) -> bool {
+    /// feature space, and recompute the score bound against the new state
+    /// epoch; returns `false` when the candidate can no longer evaluate
+    /// (then it should be dropped). The greedy loop calls this once per
+    /// join commit so evaluations never re-project.
+    ///
+    /// `shared_union_bound` is the new epoch's union ceiling, computed
+    /// **once** by the caller (it is identical for every union entry);
+    /// `None` means the search runs exhaustively and bounds are never
+    /// read, so none are recomputed.
+    pub fn refresh(&mut self, state: &ProxyState, shared_union_bound: Option<f64>) -> bool {
         match &mut self.kind {
-            CachedKind::Join(_) => true,
+            CachedKind::Join(projection) => {
+                if shared_union_bound.is_some() {
+                    let query_key = match &self.aug {
+                        Augmentation::Join { query_key, .. } => query_key.as_str(),
+                        Augmentation::Union { .. } => unreachable!("join entry carries a join aug"),
+                    };
+                    self.bound = state.join_score_bound(query_key, projection);
+                }
+                true
+            }
             CachedKind::Union(projection, sketch) => {
-                if state.union_projection_valid(projection) {
-                    return true;
-                }
-                match state.project_union_candidate(sketch) {
-                    Ok(fresh) => {
-                        *projection = fresh;
-                        true
+                if !state.union_projection_valid(projection) {
+                    match state.project_union_candidate(sketch) {
+                        Ok(fresh) => *projection = fresh,
+                        Err(_) => return false,
                     }
-                    Err(_) => false,
                 }
+                if let Some(bound) = shared_union_bound {
+                    self.bound = bound;
+                }
+                true
             }
         }
     }
@@ -122,19 +146,26 @@ pub struct CandidateCache {
 
 impl CandidateCache {
     /// Project every candidate once, in parallel, against the initial
-    /// state's feature space.
+    /// state's feature space. With `compute_bounds` (the pruned plan),
+    /// each entry also gets its admissible score bound — the union ceiling
+    /// is shared, one solve for all unions; the exhaustive plan skips the
+    /// bound work entirely (it never reads them).
     pub fn build(
         state: &ProxyState,
         candidates: Vec<Augmentation>,
         store: &SketchStore,
+        compute_bounds: bool,
     ) -> CandidateCache {
         let target_interner = state.key_interner();
+        let union_bound = (compute_bounds
+            && candidates.iter().any(|a| matches!(a, Augmentation::Union { .. })))
+        .then(|| state.union_score_bound());
         let projected: Vec<Option<CachedCandidate>> = candidates
             .par_iter()
             .map(|aug| {
                 let sketch = store.get(aug.dataset()).ok()?;
-                let kind = match aug {
-                    Augmentation::Join { candidate_key, .. } => {
+                let (kind, bound) = match aug {
+                    Augmentation::Join { query_key, candidate_key, .. } => {
                         let mut projection = project_join_candidate(&sketch, candidate_key).ok()?;
                         // Align onto the state's key space here, once — the
                         // eval hot loop must never re-intern (isolated-store
@@ -147,13 +178,19 @@ impl CandidateCache {
                                 );
                             }
                         }
-                        CachedKind::Join(projection)
+                        let bound = if compute_bounds {
+                            state.join_score_bound(query_key, &projection)
+                        } else {
+                            f64::INFINITY
+                        };
+                        (CachedKind::Join(projection), bound)
                     }
-                    Augmentation::Union { .. } => {
-                        CachedKind::Union(state.project_union_candidate(&sketch).ok()?, sketch)
-                    }
+                    Augmentation::Union { .. } => (
+                        CachedKind::Union(state.project_union_candidate(&sketch).ok()?, sketch),
+                        union_bound.unwrap_or(f64::INFINITY),
+                    ),
                 };
-                Some(CachedCandidate { aug: aug.clone(), kind })
+                Some(CachedCandidate { aug: aug.clone(), bound, kind })
             })
             .collect();
         let total = projected.len();
@@ -226,7 +263,7 @@ mod tests {
     #[test]
     fn build_projects_and_drops() {
         let (state, store, augs) = fixture();
-        let cache = CandidateCache::build(&state, augs, &store);
+        let cache = CandidateCache::build(&state, augs, &store, true);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.dropped, 1);
         assert!(!cache.is_empty());
@@ -236,7 +273,7 @@ mod tests {
     fn cached_evaluate_matches_uncached() {
         let (state, store, augs) = fixture();
         let uncached = state.evaluate(&augs[0], &store.get("prov").unwrap()).unwrap();
-        let cache = CandidateCache::build(&state, augs, &store);
+        let cache = CandidateCache::build(&state, augs, &store, true);
         let entry = &cache.into_entries()[0];
         let cached = entry.evaluate(&state).unwrap();
         assert_eq!(uncached.test_r2, cached.test_r2);
@@ -246,7 +283,7 @@ mod tests {
     #[test]
     fn cached_apply_commits() {
         let (mut state, store, augs) = fixture();
-        let cache = CandidateCache::build(&state, augs, &store);
+        let cache = CandidateCache::build(&state, augs, &store, true);
         let entries = cache.into_entries();
         entries[0].apply(&mut state).unwrap();
         assert_eq!(state.active_join_key(), Some("zone"));

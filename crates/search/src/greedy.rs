@@ -85,8 +85,11 @@ pub enum SearchEvent {
         augmentation: Augmentation,
         /// Proxy test-R² after committing it.
         score_after: f64,
-        /// Candidate evaluations performed this round.
+        /// Candidates fully scored this round.
         evaluated: usize,
+        /// Candidates skipped this round because their admissible bound
+        /// could not beat the incumbent (0 in exhaustive mode).
+        bound_skipped: usize,
         /// Candidates still in play for the next round.
         remaining: usize,
         /// Wall-clock since search start, in milliseconds.
@@ -100,8 +103,10 @@ pub enum SearchEvent {
         final_score: f64,
         /// Committed rounds.
         rounds: usize,
-        /// Total candidate evaluations.
+        /// Total candidate evaluations (fully scored).
         evaluations: usize,
+        /// Total candidates pruned by bound across all rounds.
+        bound_skips: usize,
         /// Total wall-clock, in milliseconds.
         elapsed_ms: u64,
     },
@@ -127,10 +132,12 @@ pub struct SearchOutcome {
     pub final_score: f64,
     /// Committed steps, in order.
     pub steps: Vec<SelectionStep>,
-    /// Number of candidate evaluations performed (across all rounds;
-    /// candidates that can never evaluate are dropped at cache build and
-    /// not counted).
+    /// Number of candidates fully scored (across all rounds; candidates
+    /// that can never evaluate are dropped at cache build and not counted).
     pub evaluations: usize,
+    /// Number of candidates pruned by their admissible score bound without
+    /// being scored (across all rounds; always 0 with `pruning: false`).
+    pub bound_skips: usize,
     /// Total wall-clock.
     pub elapsed: std::time::Duration,
     /// Why the loop ended.
@@ -162,6 +169,16 @@ impl SearchOutcome {
             })
             .collect()
     }
+}
+
+/// Round winner under the exhaustive plan's tie semantics: maximum score,
+/// ties resolved toward the highest original index (`max_by` over
+/// index-ordered candidates). The pruned plan scores a subset that provably
+/// contains every potential winner or tie, so applying the same rule to its
+/// index-sorted subset selects the identical entry.
+fn pick_best(mut scored: Vec<(usize, f64)>) -> Option<(usize, f64)> {
+    scored.sort_by_key(|&(i, _)| i);
+    scored.into_iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
 /// The greedy searcher.
@@ -208,9 +225,12 @@ impl GreedySearch {
         let mut current = base_score;
         let mut steps = Vec::new();
         let mut evaluations = 0usize;
+        let mut bound_skips = 0usize;
 
-        // Project every candidate once; rounds reuse the projections.
-        let mut entries = CandidateCache::build(&state, candidates, store).into_entries();
+        // Project every candidate once; rounds reuse the projections (and,
+        // with pruning, the admissible score bounds computed alongside).
+        let mut entries =
+            CandidateCache::build(&state, candidates, store, self.config.pruning).into_entries();
         observer(SearchEvent::Started { candidates: entries.len() });
 
         let mut stop_reason = StopReason::MaxAugmentations;
@@ -223,29 +243,11 @@ impl GreedySearch {
                 stop_reason = StopReason::TimeBudget;
                 break;
             }
-            let round_evaluated = entries.len();
-            let scored: Vec<(usize, f64)> = if self.config.parallel && entries.len() > 8 {
-                let results: Vec<Option<(usize, f64)>> = entries
-                    .par_iter()
-                    .enumerate()
-                    .map(|(i, entry)| self.evaluate_entry(&state, entry).map(|score| (i, score)))
-                    .collect();
-                evaluations += entries.len();
-                results.into_iter().flatten().collect()
-            } else {
-                let mut out = Vec::new();
-                for (i, entry) in entries.iter().enumerate() {
-                    evaluations += 1;
-                    if let Some(score) = self.evaluate_entry(&state, entry) {
-                        out.push((i, score));
-                    }
-                }
-                out
-            };
+            let (best, round_evaluated, round_skipped) =
+                self.score_round(&state, &entries, current);
+            evaluations += round_evaluated;
+            bound_skips += round_skipped;
 
-            let best = scored
-                .into_iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             let Some((best_idx, best_score)) = best else {
                 stop_reason = StopReason::Converged;
                 break;
@@ -258,9 +260,12 @@ impl GreedySearch {
             entry.apply(&mut state)?;
             if matches!(entry.aug, Augmentation::Join { .. }) {
                 // A join grew the feature space: re-project stale union
-                // entries once now (dropping the ones that can't follow),
-                // so per-evaluation work stays projection-free.
-                entries.retain_mut(|e| e.refresh(&state));
+                // entries once now (dropping the ones that can't follow)
+                // and recompute every bound against the new epoch, so
+                // per-evaluation work stays projection-free. The union
+                // ceiling is identical across union entries — solve once.
+                let union_bound = self.config.pruning.then(|| state.union_score_bound());
+                entries.retain_mut(|e| e.refresh(&state, union_bound));
             }
             current = best_score;
             observer(SearchEvent::RoundCommitted {
@@ -268,6 +273,7 @@ impl GreedySearch {
                 augmentation: entry.aug.clone(),
                 score_after: best_score,
                 evaluated: round_evaluated,
+                bound_skipped: round_skipped,
                 remaining: entries.len(),
                 elapsed_ms: start.elapsed().as_millis() as u64,
             });
@@ -283,6 +289,7 @@ impl GreedySearch {
             final_score: current,
             rounds: steps.len(),
             evaluations,
+            bound_skips,
             elapsed_ms: start.elapsed().as_millis() as u64,
         });
         Ok(SearchOutcome {
@@ -290,10 +297,112 @@ impl GreedySearch {
             final_score: current,
             steps,
             evaluations,
+            bound_skips,
             elapsed: start.elapsed(),
             stop_reason,
             state,
         })
+    }
+
+    /// Score one greedy round over cached entries with the configured plan
+    /// (pruned or exhaustive), returning the round winner under the
+    /// exhaustive tie semantics plus `(evaluated, bound_skipped)` counts.
+    /// `current` is the incumbent score pruning must beat (the state's
+    /// current proxy score). Public so benches can track per-round cost in
+    /// isolation; the search loop itself goes through here.
+    pub fn score_round(
+        &self,
+        state: &ProxyState,
+        entries: &[CachedCandidate],
+        current: f64,
+    ) -> (Option<(usize, f64)>, usize, usize) {
+        let (scored, evaluated, skipped) = if self.config.pruning {
+            self.evaluate_round_pruned(state, entries, current)
+        } else {
+            (self.evaluate_round_exhaustive(state, entries), entries.len(), 0)
+        };
+        (pick_best(scored), evaluated, skipped)
+    }
+
+    /// Exhaustive round plan: score every remaining candidate (optionally
+    /// in parallel). The reference the pruned plan must match bit for bit.
+    fn evaluate_round_exhaustive(
+        &self,
+        state: &ProxyState,
+        entries: &[CachedCandidate],
+    ) -> Vec<(usize, f64)> {
+        if self.config.parallel && entries.len() > 8 {
+            let results: Vec<Option<(usize, f64)>> = entries
+                .par_iter()
+                .enumerate()
+                .map(|(i, entry)| self.evaluate_entry(state, entry).map(|score| (i, score)))
+                .collect();
+            results.into_iter().flatten().collect()
+        } else {
+            let mut out = Vec::new();
+            for (i, entry) in entries.iter().enumerate() {
+                if let Some(score) = self.evaluate_entry(state, entry) {
+                    out.push((i, score));
+                }
+            }
+            out
+        }
+    }
+
+    /// Bound-pruned round plan: walk candidates in descending bound order
+    /// and stop once no remaining bound can beat the incumbent *or* clear
+    /// `min_gain` over the current score. Because bounds are admissible
+    /// (`score ≤ bound` whenever a candidate evaluates), every candidate
+    /// that could be the round's winner — or tie it — is still scored, so
+    /// the committed selection and score are identical to the exhaustive
+    /// plan:
+    ///
+    /// - a candidate skipped for `bound < best_so_far` has
+    ///   `score ≤ bound < best_so_far ≤ final best`, so it can neither win
+    ///   nor tie;
+    /// - a candidate skipped for `bound − current < min_gain` has
+    ///   `score − current ≤ bound − current < min_gain` (subtracting the
+    ///   same `current` is monotone in floating point), so it could only be
+    ///   a round maximum that converges the loop — which the exhaustive
+    ///   plan does too.
+    ///
+    /// Returns `(scored, evaluated, skipped)`.
+    fn evaluate_round_pruned(
+        &self,
+        state: &ProxyState,
+        entries: &[CachedCandidate],
+        current: f64,
+    ) -> (Vec<(usize, f64)>, usize, usize) {
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            entries[b]
+                .bound
+                .partial_cmp(&entries[a].bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut scored = Vec::new();
+        let mut best_so_far = f64::NEG_INFINITY;
+        let mut evaluated = 0usize;
+        let mut skipped = 0usize;
+        for (pos, &i) in order.iter().enumerate() {
+            let bound = entries[i].bound;
+            // Bounds are sorted descending and both thresholds only grow,
+            // so the first unbeatable bound ends the round for everyone
+            // behind it too.
+            if bound < best_so_far || bound - current < self.config.min_gain {
+                skipped = order.len() - pos;
+                break;
+            }
+            evaluated += 1;
+            if let Some(score) = self.evaluate_entry(state, &entries[i]) {
+                if score > best_so_far {
+                    best_so_far = score;
+                }
+                scored.push((i, score));
+            }
+        }
+        (scored, evaluated, skipped)
     }
 
     /// Reference implementation without the projection cache: re-fetches
@@ -352,6 +461,7 @@ impl GreedySearch {
             final_score: current,
             steps,
             evaluations,
+            bound_skips: 0,
             elapsed: start.elapsed(),
             stop_reason,
             state,
@@ -556,6 +666,174 @@ mod tests {
         );
         assert_eq!(cached.final_score, reference.final_score, "bit-for-bit score parity");
         assert_eq!(cached.base_score, reference.base_score);
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_reference() {
+        // Bound pruning is a pure evaluation-plan optimization: across
+        // corpus seeds, the committed selections, every per-step score, the
+        // base and final scores must be bit-identical to the exhaustive
+        // plan — bounds are admissible, so no potential winner is skipped.
+        // (No budget is charged by any search, so ledger parity is
+        // trivially preserved; privatized-corpus parity is covered by the
+        // privacy integration suite running on the same loop.)
+        let mut total_skips = 0usize;
+        for seed in [13u64, 29, 57] {
+            let cfg = CorpusConfig { seed, ..small_corpus() };
+            let (request, store, index) = setup(&cfg);
+            let (state, profile) =
+                build_requester_state(&request, &SearchConfig::default()).unwrap();
+            let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+
+            let pruned = GreedySearch::new(SearchConfig { pruning: true, ..Default::default() })
+                .run(state.clone(), candidates.clone(), &store)
+                .unwrap();
+            let exhaustive =
+                GreedySearch::new(SearchConfig { pruning: false, ..Default::default() })
+                    .run(state, candidates, &store)
+                    .unwrap();
+
+            assert_eq!(
+                pruned.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+                exhaustive.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+                "selections must be bit-identical (seed {seed})"
+            );
+            for (p, e) in pruned.steps.iter().zip(&exhaustive.steps) {
+                assert_eq!(p.score_after, e.score_after, "per-step score parity (seed {seed})");
+            }
+            assert_eq!(pruned.base_score, exhaustive.base_score);
+            assert_eq!(pruned.final_score, exhaustive.final_score, "seed {seed}");
+            assert_eq!(pruned.stop_reason, exhaustive.stop_reason);
+            assert_eq!(exhaustive.bound_skips, 0, "exhaustive mode must report zero skips");
+            assert!(
+                pruned.evaluations + pruned.bound_skips <= exhaustive.evaluations,
+                "pruned plan never touches more candidates than exhaustive (seed {seed})"
+            );
+            total_skips += pruned.bound_skips;
+        }
+        assert!(total_skips > 0, "pruning should actually skip work on these corpora");
+    }
+
+    #[test]
+    fn pruned_parity_survives_collinear_candidates() {
+        // Degenerate corpus: providers whose features are exact copies of
+        // each other and of the requester's base feature, so staged test
+        // systems go singular and the λ = 0 ceiling solve is as
+        // ill-conditioned as it gets. The λ-matched term of the ceiling
+        // must keep the bound admissible: selections and scores stay
+        // bit-identical to the exhaustive plan.
+        use mileena_relation::RelationBuilder;
+        use mileena_sketch::build_sketch;
+
+        let zones: Vec<i64> = (0..60).collect();
+        let latent: Vec<f64> =
+            zones.iter().map(|&z| ((z * 37 % 100) as f64) / 50.0 - 1.0).collect();
+        let base: Vec<f64> = zones.iter().map(|&z| ((z * 13 % 7) as f64) / 7.0).collect();
+        let y: Vec<f64> = latent.iter().zip(&base).map(|(l, b)| 0.7 * l + 0.2 * b).collect();
+        let train = RelationBuilder::new("train")
+            .int_col("zone", &zones)
+            .float_col("base_x", &base)
+            .float_col("y", &y)
+            .build()
+            .unwrap();
+        let store = SketchStore::new();
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        // sig carries signal; copy/copy2 are exact duplicates of sig;
+        // echo duplicates the requester's own base feature.
+        for (name, col) in
+            [("sig", &latent), ("copy", &latent), ("copy2", &latent), ("echo", &base)]
+        {
+            let p = RelationBuilder::new(name)
+                .int_col("zone", &zones)
+                .float_col("f", col)
+                .build()
+                .unwrap();
+            store.register(build_sketch(&p, &SketchConfig::default()).unwrap()).unwrap();
+            index.register(mileena_discovery::DatasetProfile::of(&p, 128));
+        }
+        let request = SearchRequest {
+            train: train.clone(),
+            test: train.clone(), // train == test: the tightest bound regime
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: None,
+        };
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        assert!(candidates.len() >= 4, "all degenerate providers must be candidates");
+
+        let pruned = GreedySearch::new(SearchConfig::default())
+            .run(state.clone(), candidates.clone(), &store)
+            .unwrap();
+        let exhaustive = GreedySearch::new(SearchConfig { pruning: false, ..Default::default() })
+            .run(state, candidates, &store)
+            .unwrap();
+        assert_eq!(
+            pruned.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+            exhaustive.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+        );
+        assert_eq!(pruned.final_score, exhaustive.final_score);
+        assert_eq!(pruned.stop_reason, exhaustive.stop_reason);
+    }
+
+    #[test]
+    fn exhaustive_mode_reports_zero_skips_in_events() {
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let mut events = Vec::new();
+        let out = GreedySearch::new(SearchConfig { pruning: false, ..Default::default() })
+            .run_observed(state, candidates, &store, &SearchControl::new(), &mut |ev| {
+                events.push(ev)
+            })
+            .unwrap();
+        assert_eq!(out.bound_skips, 0);
+        for ev in &events {
+            match ev {
+                SearchEvent::RoundCommitted { bound_skipped, .. } => assert_eq!(*bound_skipped, 0),
+                SearchEvent::Finished { bound_skips, .. } => assert_eq!(*bound_skips, 0),
+                SearchEvent::Started { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_rounds_report_skips_in_events() {
+        // The observability split: evaluated + bound_skipped covers every
+        // in-play candidate each committed round, and the outcome totals
+        // agree with the event stream.
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
+        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let mut events = Vec::new();
+        let out = GreedySearch::new(SearchConfig::default())
+            .run_observed(state, candidates, &store, &SearchControl::new(), &mut |ev| {
+                events.push(ev)
+            })
+            .unwrap();
+        let mut in_play = match events.first() {
+            Some(SearchEvent::Started { candidates }) => *candidates,
+            other => panic!("missing Started event: {other:?}"),
+        };
+        for ev in &events {
+            if let SearchEvent::RoundCommitted { evaluated, bound_skipped, remaining, .. } = ev {
+                assert_eq!(
+                    evaluated + bound_skipped,
+                    in_play,
+                    "every in-play candidate is either scored or skipped"
+                );
+                in_play = *remaining;
+            }
+        }
+        if let Some(SearchEvent::Finished { evaluations, bound_skips, .. }) = events.last() {
+            assert_eq!(*evaluations, out.evaluations);
+            assert_eq!(*bound_skips, out.bound_skips);
+        } else {
+            panic!("missing Finished event");
+        }
+        assert!(out.bound_skips > 0, "default (pruned) mode should skip on this corpus");
     }
 
     #[test]

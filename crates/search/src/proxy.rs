@@ -23,8 +23,18 @@ use crate::error::{Result, SearchError};
 use crate::request::TaskSpec;
 use mileena_ml::{LinearModel, RidgeConfig};
 use mileena_relation::FxHashMap;
-use mileena_semiring::CovarTriple;
+use mileena_semiring::{packed_idx, CovarTriple, LrSystem};
 use mileena_sketch::{eval_join, eval_union, DatasetSketch, KeyedSketch};
+use std::cell::RefCell;
+
+/// Absolute slack added to computed score bounds. The bound solve (an
+/// unregularized least-squares fit on test statistics) is exact-arithmetic
+/// admissible; this margin absorbs solver rounding so a candidate whose
+/// true score sits within float noise of its ceiling is still evaluated
+/// rather than wrongly pruned. Pruning stays bit-identical to exhaustive
+/// evaluation as long as `score ≤ bound` holds, which the slack guarantees
+/// in practice (pinned by `pruned_matches_exhaustive_reference`).
+const BOUND_SLACK: f64 = 1e-7;
 
 /// Outcome of evaluating one candidate (before committing it).
 #[derive(Debug, Clone)]
@@ -78,6 +88,50 @@ pub struct UnionProjection {
     pub projected: CovarTriple,
     /// Per-tracked-key candidate sketches, projected the same way.
     pub union_keyed: Vec<(String, KeyedSketch)>,
+}
+
+/// Reusable join-evaluation accumulators: train and test `(s, packed q)`.
+#[derive(Default)]
+struct JoinEvalScratch {
+    s_train: Vec<f64>,
+    q_train: Vec<f64>,
+    s_test: Vec<f64>,
+    q_test: Vec<f64>,
+}
+
+thread_local! {
+    /// Join-evaluation accumulators reused across a worker's whole round:
+    /// zero per-evaluation allocation for the sums.
+    static EVAL_SCRATCH: RefCell<JoinEvalScratch> = RefCell::new(JoinEvalScratch::default());
+}
+
+/// Build the ridge normal-equation system straight from packed join
+/// scratch over the staged feature space of width `m`, with the model
+/// features being every staged feature except the target at `t` (in staged
+/// order) plus a leading intercept. Field-for-field identical to
+/// `CovarTriple::lr_system` on the materialized staged triple — the packed
+/// entry `(i ≤ j)` *is* the symmetric `q[i, j]` — so scoring through this
+/// path is bit-identical to the staged path.
+fn lr_system_from_packed(c: f64, s: &[f64], qp: &[f64], m: usize, t: usize) -> LrSystem {
+    debug_assert!(t < m && s.len() == m);
+    let k = m; // (m − 1) model features + intercept
+    let mut xtx = vec![0.0; k * k];
+    let mut xty = vec![0.0; k];
+    xtx[0] = c;
+    xty[0] = s[t];
+    let q_at = |i: usize, j: usize| {
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        qp[packed_idx(lo, hi, m)]
+    };
+    for (a, i) in (0..m).filter(|&i| i != t).enumerate() {
+        xtx[a + 1] = s[i];
+        xtx[(a + 1) * k] = s[i];
+        xty[a + 1] = q_at(i, t);
+        for (b, j) in (0..m).filter(|&j| j != t).enumerate() {
+            xtx[(a + 1) * k + (b + 1)] = q_at(i, j);
+        }
+    }
+    LrSystem { xtx, xty, yty: q_at(t, t), y_sum: s[t], n: c, k }
 }
 
 /// Project a join candidate's keyed sketch onto the features it adds
@@ -224,6 +278,70 @@ impl ProxyState {
         self.score_triples(&self.train_triple, &self.test_triple, &self.features)
     }
 
+    /// Admissible ceiling on any candidate's score over the given test
+    /// statistics and model features: the R² of the least-squares fit on
+    /// the *test* system itself (λ = 0, intercept). Every candidate is
+    /// scored as `R²_test(model trained on train)`, and no model — however
+    /// trained — can beat the best linear fit on the test statistics, so
+    /// `score ≤ ceiling` in exact arithmetic. [`BOUND_SLACK`] covers solver
+    /// rounding; an unsolvable system yields `+∞` (never pruned).
+    ///
+    /// Two hardening layers keep the bound admissible in floating point:
+    /// the solve is **strict** — a degenerate system never falls back to
+    /// the solver's jitter approximation (whose R² carries no maximality
+    /// guarantee) but yields `+∞` instead — and the ceiling also folds in
+    /// the R² of the λ = `self.lambda` fit on the same system, which
+    /// reproduces a candidate's own solve verbatim in the regime where the
+    /// bound is tightest (train statistics ≈ test statistics), making that
+    /// case independent of conditioning.
+    fn r2_ceiling(&self, test: &CovarTriple, features: &[String]) -> f64 {
+        let frefs: Vec<&str> = features.iter().map(|s| s.as_str()).collect();
+        let Ok(sys) = test.lr_system(&frefs, &self.target, true) else {
+            return f64::INFINITY;
+        };
+        let fit_r2 = |lambda: f64| -> f64 {
+            let mut model = LinearModel::new(RidgeConfig { lambda, intercept: true });
+            if model.fit_from_system_strict(&sys).is_err() {
+                return f64::INFINITY;
+            }
+            match model.r2_from_system(&sys) {
+                Ok(r2) if r2.is_finite() => r2,
+                _ => f64::INFINITY,
+            }
+        };
+        fit_r2(0.0).max(fit_r2(self.lambda)) + BOUND_SLACK
+    }
+
+    /// Score bound shared by every union candidate under this state: unions
+    /// add no features and never touch the test triple, so their scores are
+    /// capped by the current feature set's ceiling on the current test
+    /// statistics. Valid until a join commit changes the feature space.
+    pub fn union_score_bound(&self) -> f64 {
+        self.r2_ceiling(&self.test_triple, &self.features)
+    }
+
+    /// Score bound for a join candidate from its cached projection: the
+    /// ceiling over the augmented feature set on the *test-side* join
+    /// statistics (one O(d) join + one small solve, done once per feature-
+    /// space epoch — not per round). `-∞` marks candidates that cannot
+    /// evaluate under this state at all (conflicting key, untracked key,
+    /// empty test overlap); the exhaustive path scores those as `None`, so
+    /// skipping them is parity-safe.
+    pub fn join_score_bound(&self, query_key: &str, projection: &JoinProjection) -> f64 {
+        let Ok((_, test_k)) = self.join_keyed_pair(query_key) else {
+            return f64::NEG_INFINITY;
+        };
+        let Ok(stats) = eval_join(test_k, &projection.proj) else {
+            return f64::NEG_INFINITY;
+        };
+        if stats.matched_keys == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut features = self.features.clone();
+        features.extend(projection.added.iter().cloned());
+        self.r2_ceiling(&stats.triple, &features)
+    }
+
     /// Rename and project a union candidate onto the requester's current
     /// feature space — the cacheable half of union staging (valid while the
     /// train feature space is unchanged, i.e. until a join commits).
@@ -276,16 +394,12 @@ impl ProxyState {
         })
     }
 
-    /// Stage a join candidate from its (possibly cached) projection.
-    /// `for_commit` controls whether the composed per-key sketches are
-    /// built (only a committed join needs them).
-    fn stage_join_with(
-        &self,
-        cand_name: &str,
-        query_key: &str,
-        projection: &JoinProjection,
-        for_commit: bool,
-    ) -> Result<Staged> {
+    /// The join preconditions shared by staging, cached evaluation, and the
+    /// score bound: enforce the single-key composition policy and resolve
+    /// the grouped train/test sketches for `query_key`. One home for these
+    /// checks keeps the fast path, the reference path, and the pruning
+    /// bound in lockstep.
+    fn join_keyed_pair(&self, query_key: &str) -> Result<(&KeyedSketch, &KeyedSketch)> {
         if let Some(active) = &self.active_join_key {
             if active != query_key {
                 return Err(SearchError::Sketch(format!(
@@ -300,7 +414,20 @@ impl ProxyState {
         let test_k = self.test_keyed.get(query_key).ok_or_else(|| {
             SearchError::Sketch(format!("no grouped test sketch for key {query_key}"))
         })?;
+        Ok((train_k, test_k))
+    }
 
+    /// Stage a join candidate from its (possibly cached) projection.
+    /// `for_commit` controls whether the composed per-key sketches are
+    /// built (only a committed join needs them).
+    fn stage_join_with(
+        &self,
+        cand_name: &str,
+        query_key: &str,
+        projection: &JoinProjection,
+        for_commit: bool,
+    ) -> Result<Staged> {
+        let (train_k, test_k) = self.join_keyed_pair(query_key)?;
         let train_stats = eval_join(train_k, &projection.proj)?;
         let test_stats = eval_join(test_k, &projection.proj)?;
         if train_stats.matched_keys == 0 || test_stats.matched_keys == 0 {
@@ -408,15 +535,56 @@ impl ProxyState {
     }
 
     /// Score a join candidate from a cached projection — the hot-loop path:
-    /// no store fetch, no projection, no composition, no per-key clones.
+    /// no store fetch, no projection, no composition, no per-key clones,
+    /// and no staged-triple materialization at all. Both join accumulations
+    /// land in thread-local packed scratch and the two ridge systems are
+    /// built straight from it: the staged feature space is
+    /// `[train_schema ++ added]`, the model features are exactly that space
+    /// minus the target (in order — the invariant `train_schema =
+    /// [task features, target, added...]` holds because `ProxyState::new`
+    /// projects onto `task.all_columns()` and every join commit appends its
+    /// added features), so no feature-name vector is ever constructed.
+    /// Values are read from the same slabs the staged path would copy, so
+    /// scores are bit-identical (pinned by
+    /// `cached_join_evaluation_matches_one_shot` and the cached-vs-uncached
+    /// parity tests).
     pub fn evaluate_join_cached(
         &self,
         cand_name: &str,
         query_key: &str,
         projection: &JoinProjection,
     ) -> Result<CandidateScore> {
-        let staged = self.stage_join_with(cand_name, query_key, projection, false)?;
-        self.score_staged(&staged)
+        let (train_k, test_k) = self.join_keyed_pair(query_key)?;
+        let (ta, ca) = (train_k.arena(), projection.proj.arena());
+        let shared = ta.shared_features(ca);
+        if !shared.is_empty() {
+            return Err(mileena_semiring::SemiringError::FeatureOverlap(shared).into());
+        }
+
+        let m_train = ta.num_features();
+        let m = m_train + ca.num_features();
+        let t_idx = ta.schema().iter().position(|f| *f == self.target).ok_or_else(|| {
+            SearchError::InvalidTask(format!("target {} not tracked", self.target))
+        })?;
+
+        EVAL_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (c_train, matched_train) =
+                ta.join_stats_into(ca, &mut scratch.s_train, &mut scratch.q_train);
+            let (c_test, matched_test) =
+                test_k.arena().join_stats_into(ca, &mut scratch.s_test, &mut scratch.q_test);
+            if matched_train == 0 || matched_test == 0 {
+                return Err(SearchError::Sketch(format!("join with {cand_name} matches no keys")));
+            }
+            let train_sys =
+                lr_system_from_packed(c_train, &scratch.s_train, &scratch.q_train, m, t_idx);
+            let test_sys =
+                lr_system_from_packed(c_test, &scratch.s_test, &scratch.q_test, m, t_idx);
+            let mut model = LinearModel::new(RidgeConfig { lambda: self.lambda, intercept: true });
+            model.fit_from_system(&train_sys)?;
+            let r2 = model.r2_from_system(&test_sys)?;
+            Ok(CandidateScore { test_r2: r2, matched_keys: matched_train, train_rows: c_train })
+        })
     }
 
     /// Score a union candidate from a cached projection. The projection must

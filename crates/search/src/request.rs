@@ -188,8 +188,19 @@ pub struct SearchConfig {
     /// many-to-many join that fans rows out re-weights the training set
     /// with no semantic justification.
     pub max_join_fanout: f64,
-    /// Evaluate candidates on worker threads (rayon work-stealing).
+    /// Evaluate candidates on worker threads (rayon work-stealing). Only
+    /// effective with `pruning: false`: the pruned plan is inherently
+    /// sequential (each evaluation tightens the incumbent threshold) and
+    /// measures orders of magnitude below even a parallel exhaustive
+    /// sweep, so it ignores this flag.
     pub parallel: bool,
+    /// Bound-pruned lazy rounds: evaluate candidates in descending order of
+    /// their admissible score bound and stop a round once no remaining
+    /// bound can beat the incumbent (or clear `min_gain`). Selections and
+    /// scores are bit-identical to exhaustive evaluation — bounds are
+    /// admissible — so this is purely an evaluation-plan choice; `false`
+    /// forces the exhaustive reference plan.
+    pub pruning: bool,
 }
 
 impl Default for SearchConfig {
@@ -202,6 +213,7 @@ impl Default for SearchConfig {
             min_join_survival: 0.5,
             max_join_fanout: 1.5,
             parallel: false,
+            pruning: true,
         }
     }
 }

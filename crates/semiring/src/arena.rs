@@ -5,9 +5,18 @@
 //! the search hot loop: a `Vec<String>` feature list clone per triple, three
 //! small heap allocations per triple, and a `Vec<KeyValue>` hash per probe.
 //! [`GroupedArena`] stores one shared feature schema plus three contiguous
-//! slabs — `c` (d), `s` (d·m), `q` (d·m²) — indexed by an interned
+//! slabs — `c` (d), `s` (d·m), `qp` (d·m(m+1)/2) — indexed by an interned
 //! [`KeyId`], so composing two sketches is a linear merge over two sorted
 //! `u32` arrays with all arithmetic on flat `f64` rows.
+//!
+//! The per-key product-sum matrix `Q` is symmetric, so the arena stores
+//! only its **packed upper triangle** ([`packed_len`] entries per row,
+//! row-major `i ≤ j` order). Every kernel — [`GroupedArena::join_stats`],
+//! [`GroupedArena::compose`], [`GroupedArena::merge_add`],
+//! [`GroupedArena::project_indices`] — operates on packed rows directly,
+//! touching roughly half the memory and flops of the full-`m²` layout; the
+//! full symmetric matrix is materialized only at the [`CovarTriple`]
+//! boundary ([`GroupedArena::triple_at`], join outputs).
 //!
 //! Keys live in a [`KeyInterner`] (one per sketch store; a process-global
 //! default makes independently built sketches join-compatible). Interner ids
@@ -19,7 +28,46 @@ use crate::covar::CovarTriple;
 use crate::error::{Result, SemiringError};
 use mileena_relation::{FxHashMap, KeyValue};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
+
+/// Entries in the packed upper triangle of a symmetric `m × m` matrix.
+#[inline]
+pub const fn packed_len(m: usize) -> usize {
+    m * (m + 1) / 2
+}
+
+/// Index of entry `(i, j)` with `i ≤ j < m` in a packed upper triangle
+/// (row-major: row `i` holds `(i, i..m)` contiguously).
+#[inline]
+pub const fn packed_idx(i: usize, j: usize, m: usize) -> usize {
+    i * m - i * (i + 1) / 2 + j
+}
+
+/// Append the packed upper triangle of one full symmetric `m × m` row.
+pub fn pack_upper_row(full: &[f64], m: usize, out: &mut Vec<f64>) {
+    debug_assert_eq!(full.len(), m * m);
+    out.reserve(packed_len(m));
+    for i in 0..m {
+        out.extend_from_slice(&full[i * m + i..(i + 1) * m]);
+    }
+}
+
+/// Append the full symmetric `m × m` expansion of one packed row.
+pub fn unpack_upper_row(packed: &[f64], m: usize, out: &mut Vec<f64>) {
+    debug_assert_eq!(packed.len(), packed_len(m));
+    let base = out.len();
+    out.resize(base + m * m, 0.0);
+    let mut idx = 0;
+    for i in 0..m {
+        for j in i..m {
+            let v = packed[idx];
+            out[base + i * m + j] = v;
+            out[base + j * m + i] = v;
+            idx += 1;
+        }
+    }
+}
 
 /// Interned join-key value: a dense `u32` handle into a [`KeyInterner`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -93,7 +141,8 @@ impl KeyInterner {
 }
 
 /// Per-key covariance triples in arena layout: row `r` holds the triple of
-/// `key_ids[r]` as `c[r]`, `s[r·m .. r·m+m]`, `q[r·m² .. r·m²+m²]`.
+/// `key_ids[r]` as `c[r]`, `s[r·m .. r·m+m]`, and the packed upper triangle
+/// `qp[r·p .. r·p+p]` with `p = m(m+1)/2` ([`packed_len`]).
 ///
 /// Rows are sorted by [`KeyId`] so sketch composition is a sorted merge.
 #[derive(Debug, Clone)]
@@ -106,10 +155,18 @@ pub struct GroupedArena {
     c: Vec<f64>,
     /// Feature sums, length `d·m`.
     s: Vec<f64>,
-    /// Pairwise product sums, length `d·m²`, row-major symmetric per row.
-    q: Vec<f64>,
+    /// Packed upper triangles of the symmetric per-key product sums,
+    /// length `d·m(m+1)/2`, row-major `i ≤ j` per row.
+    qp: Vec<f64>,
     /// The key space the ids live in.
     interner: Arc<KeyInterner>,
+}
+
+thread_local! {
+    /// Join accumulators reused across every `join_stats` call on a thread:
+    /// a rayon worker evaluating a whole greedy round allocates them once.
+    static JOIN_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 impl GroupedArena {
@@ -120,7 +177,7 @@ impl GroupedArena {
             key_ids: Vec::new(),
             c: Vec::new(),
             s: Vec::new(),
-            q: Vec::new(),
+            qp: Vec::new(),
             interner,
         }
     }
@@ -142,6 +199,7 @@ impl GroupedArena {
             let triple = if triple.features == features { triple } else { triple.align(&frefs)? };
             // Hard-validate slab widths: a malformed triple (e.g. from a
             // hostile wire payload) would otherwise shear every later row.
+            // The symmetric q canonicalizes to its upper triangle here.
             if triple.s.len() != m || triple.q.len() != m * m {
                 return Err(SemiringError::InvalidArgument(format!(
                     "triple dims {}x{} do not match {m} features",
@@ -152,7 +210,7 @@ impl GroupedArena {
             arena.key_ids.push(interner.intern(&key));
             arena.c.push(triple.c);
             arena.s.extend_from_slice(&triple.s);
-            arena.q.extend_from_slice(&triple.q);
+            pack_upper_row(&triple.q, m, &mut arena.qp);
         }
         arena.sort_rows();
         Ok(arena)
@@ -161,23 +219,28 @@ impl GroupedArena {
     /// Build directly from parallel row slabs — the snapshot-rehydration
     /// path, which skips the per-key hash map and alignment work of
     /// [`GroupedArena::from_groups`]. `keys` may arrive in any order (rows
-    /// are re-sorted by interned id); `c`/`s`/`q` are row-major per key.
+    /// are re-sorted by interned id); `c`/`s` are row-major per key and
+    /// `qp` carries the **packed** upper triangles ([`packed_len`] entries
+    /// per key) — the same layout snapshots persist, so rehydration is a
+    /// by-reference identity over the slab.
     pub fn from_parts(
         features: Vec<String>,
         keys: Vec<Vec<KeyValue>>,
         c: Vec<f64>,
         s: Vec<f64>,
-        q: Vec<f64>,
+        qp: Vec<f64>,
         interner: &Arc<KeyInterner>,
     ) -> Result<Self> {
         let d = keys.len();
         let m = features.len();
-        if c.len() != d || s.len() != d * m || q.len() != d * m * m {
+        if c.len() != d || s.len() != d * m || qp.len() != d * packed_len(m) {
             return Err(SemiringError::InvalidArgument(format!(
-                "slab dims (c={}, s={}, q={}) do not match {d} keys x {m} features",
+                "slab dims (c={}, s={}, qp={}) do not match {d} keys x {m} features \
+                 (packed q is {} per key)",
                 c.len(),
                 s.len(),
-                q.len(),
+                qp.len(),
+                packed_len(m),
             )));
         }
         let mut arena = GroupedArena {
@@ -185,7 +248,7 @@ impl GroupedArena {
             key_ids: keys.iter().map(|k| interner.intern(k)).collect(),
             c,
             s,
-            q,
+            qp,
             interner: Arc::clone(interner),
         };
         arena.sort_rows();
@@ -227,17 +290,23 @@ impl GroupedArena {
         &self.key_ids
     }
 
-    /// Row view: `(c, s, q)` slices for row `r`.
+    /// Row view: `(c, s, qp)` slices for row `r`. The third slice is the
+    /// **packed** upper triangle of the row's symmetric `Q`
+    /// ([`packed_len`]`(m)` entries, row-major `i ≤ j`).
     #[inline]
     pub fn row(&self, r: usize) -> (f64, &[f64], &[f64]) {
         let m = self.schema.len();
-        (self.c[r], &self.s[r * m..(r + 1) * m], &self.q[r * m * m..(r + 1) * m * m])
+        let p = packed_len(m);
+        (self.c[r], &self.s[r * m..(r + 1) * m], &self.qp[r * p..(r + 1) * p])
     }
 
-    /// Materialize row `r` as a standalone triple.
+    /// Materialize row `r` as a standalone triple (full symmetric `q`).
     pub fn triple_at(&self, r: usize) -> CovarTriple {
-        let (c, s, q) = self.row(r);
-        CovarTriple { features: self.schema.to_vec(), c, s: s.to_vec(), q: q.to_vec() }
+        let m = self.schema.len();
+        let (c, s, qp) = self.row(r);
+        let mut q = Vec::new();
+        unpack_upper_row(qp, m, &mut q);
+        CovarTriple { features: self.schema.to_vec(), c, s: s.to_vec(), q }
     }
 
     /// Resolve row `r`'s key.
@@ -267,13 +336,17 @@ impl GroupedArena {
 
     /// In-place edit of every row, visited in key-sorted order so that
     /// stateful editors (noise injection) are reproducible regardless of
-    /// interner id assignment. Zero allocation per row.
+    /// interner id assignment. Zero allocation per row. The `q` slice is
+    /// the packed upper triangle — exactly one entry per *unordered*
+    /// feature pair, in `i ≤ j` row-major order (the order the privacy
+    /// layer's seeded noise walk draws in).
     pub fn for_each_row_mut(&mut self, mut f: impl FnMut(&mut f64, &mut [f64], &mut [f64])) {
         let m = self.schema.len();
+        let p = packed_len(m);
         for r in self.sorted_row_order() {
             let c = &mut self.c[r];
             let s = &mut self.s[r * m..(r + 1) * m];
-            let q = &mut self.q[r * m * m..(r + 1) * m * m];
+            let q = &mut self.qp[r * p..(r + 1) * p];
             f(c, s, q);
         }
     }
@@ -297,19 +370,25 @@ impl GroupedArena {
 
     /// Projection onto pre-resolved source indices with an explicit new
     /// schema (callers that rename-then-project resolve indices themselves).
+    /// Packed-to-packed: entry `(ni, nj)` of the projected triangle reads
+    /// source entry `(min(oi,oj), max(oi,oj))` — the canonical upper-triangle
+    /// home of the symmetric value.
     pub fn project_indices(&self, schema: Arc<[String]>, idx: &[usize]) -> GroupedArena {
         let m0 = self.schema.len();
+        let p0 = packed_len(m0);
         let m = idx.len();
+        let p = packed_len(m);
         let d = self.num_keys();
         let mut s = vec![0.0; d * m];
-        let mut q = vec![0.0; d * m * m];
+        let mut qp = vec![0.0; d * p];
         for r in 0..d {
-            let (src_s, src_q) = (&self.s[r * m0..], &self.q[r * m0 * m0..]);
-            let (dst_s, dst_q) = (&mut s[r * m..], &mut q[r * m * m..]);
+            let (src_s, src_q) = (&self.s[r * m0..], &self.qp[r * p0..(r + 1) * p0]);
+            let (dst_s, dst_q) = (&mut s[r * m..], &mut qp[r * p..(r + 1) * p]);
             for (ni, &oi) in idx.iter().enumerate() {
                 dst_s[ni] = src_s[oi];
-                for (nj, &oj) in idx.iter().enumerate() {
-                    dst_q[ni * m + nj] = src_q[oi * m0 + oj];
+                for (nj, &oj) in idx.iter().enumerate().skip(ni) {
+                    let (lo, hi) = if oi <= oj { (oi, oj) } else { (oj, oi) };
+                    dst_q[packed_idx(ni, nj, m)] = src_q[packed_idx(lo, hi, m0)];
                 }
             }
         }
@@ -318,7 +397,7 @@ impl GroupedArena {
             key_ids: self.key_ids.clone(),
             c: self.c.clone(),
             s,
-            q,
+            qp,
             interner: Arc::clone(&self.interner),
         }
     }
@@ -356,10 +435,16 @@ impl GroupedArena {
     }
 
     /// The join kernel: `Σ_k a[k] × b[k]` over matching keys, accumulated
-    /// into flat output arrays. Returns `(c, s, q, matched)` over the
-    /// concatenated feature space — a sorted merge over two id arrays with
-    /// no hashing and no per-key allocation.
-    pub fn join_stats(&self, other: &GroupedArena) -> (f64, Vec<f64>, Vec<f64>, usize) {
+    /// into caller-provided flat buffers (`s_acc` of `ma+mb`, `q_acc` the
+    /// packed triangle of `ma+mb`) — a sorted merge over two id arrays with
+    /// no hashing and **no allocation at all** once the buffers are warm.
+    /// Returns `(c, matched)`.
+    pub fn join_stats_into(
+        &self,
+        other: &GroupedArena,
+        s_acc: &mut Vec<f64>,
+        q_acc: &mut Vec<f64>,
+    ) -> (f64, usize) {
         let other_re;
         let other = if Arc::ptr_eq(&self.interner, &other.interner) {
             other
@@ -370,9 +455,11 @@ impl GroupedArena {
         let ma = self.num_features();
         let mb = other.num_features();
         let m = ma + mb;
+        s_acc.clear();
+        s_acc.resize(m, 0.0);
+        q_acc.clear();
+        q_acc.resize(packed_len(m), 0.0);
         let mut c_acc = 0.0f64;
-        let mut s_acc = vec![0.0f64; m];
-        let mut q_acc = vec![0.0f64; m * m];
         let mut matched = 0usize;
 
         let (mut i, mut j) = (0usize, 0usize);
@@ -391,35 +478,58 @@ impl GroupedArena {
                     for y in 0..mb {
                         s_acc[ma + y] += ca * sb[y];
                     }
-                    // Q blocks: [c_b·Q_a, s_a s_bᵀ; s_b s_aᵀ, c_a·Q_b].
-                    for x in 0..ma {
-                        let dst = &mut q_acc[x * m..x * m + ma];
-                        let src = &qa[x * ma..x * ma + ma];
-                        for (d, v) in dst.iter_mut().zip(src) {
-                            *d += cb * v;
+                    // Packed Q blocks: [c_b·Q_a, s_a s_bᵀ; ·, c_a·Q_b].
+                    // The output triangle interleaves, per row `x < ma`,
+                    // `ma−x` a-block entries then `mb` cross entries, and
+                    // finishes with the whole packed b-block — all three
+                    // sources are consumed strictly in order, so the kernel
+                    // is three zipped forward walks with no index math and
+                    // no per-row slicing.
+                    let mut dq = q_acc.iter_mut();
+                    let mut aq = qa.iter();
+                    for (x, &sax) in sa.iter().enumerate() {
+                        for _ in x..ma {
+                            if let (Some(d), Some(v)) = (dq.next(), aq.next()) {
+                                *d += cb * v;
+                            }
+                        }
+                        for v in sb {
+                            if let Some(d) = dq.next() {
+                                *d += sax * v;
+                            }
                         }
                     }
-                    for y in 0..mb {
-                        let dst = &mut q_acc[(ma + y) * m + ma..(ma + y) * m + m];
-                        let src = &qb[y * mb..y * mb + mb];
-                        for (d, v) in dst.iter_mut().zip(src) {
+                    for v in qb {
+                        if let Some(d) = dq.next() {
                             *d += ca * v;
                         }
                     }
-                    for x in 0..ma {
-                        let sax = sa[x];
-                        for y in 0..mb {
-                            let v = sax * sb[y];
-                            q_acc[x * m + (ma + y)] += v;
-                            q_acc[(ma + y) * m + x] += v;
-                        }
-                    }
+                    // The three walks must consume exactly the whole output
+                    // triangle and the whole packed a-row: a length drift
+                    // would otherwise silently truncate the accumulation.
+                    debug_assert!(dq.next().is_none() && aq.next().is_none());
                     i += 1;
                     j += 1;
                 }
             }
         }
-        (c_acc, s_acc, q_acc, matched)
+        (c_acc, matched)
+    }
+
+    /// [`GroupedArena::join_stats_into`] with owned, full-matrix output:
+    /// returns `(c, s, q, matched)` over the concatenated feature space,
+    /// with `q` unpacked to the full symmetric `m²`. Accumulation runs on
+    /// thread-local scratch, so a rayon worker scoring a whole round
+    /// allocates only the outputs.
+    pub fn join_stats(&self, other: &GroupedArena) -> (f64, Vec<f64>, Vec<f64>, usize) {
+        let m = self.num_features() + other.num_features();
+        JOIN_SCRATCH.with(|cell| {
+            let (s_acc, q_acc) = &mut *cell.borrow_mut();
+            let (c, matched) = self.join_stats_into(other, s_acc, q_acc);
+            let mut q_full = Vec::new();
+            unpack_upper_row(q_acc, m, &mut q_full);
+            (c, s_acc.clone(), q_full, matched)
+        })
     }
 
     /// Per-key semi-ring product over the key intersection, producing the
@@ -434,8 +544,6 @@ impl GroupedArena {
             &other_re
         };
         let ma = self.num_features();
-        let mb = other.num_features();
-        let m = ma + mb;
         let schema: Arc<[String]> =
             self.schema.iter().chain(other.schema.iter()).cloned().collect();
         let mut out = GroupedArena::new(schema, Arc::clone(&self.interner));
@@ -452,27 +560,26 @@ impl GroupedArena {
                     out.c.push(ca * cb);
                     out.s.extend(sa.iter().map(|v| cb * v));
                     out.s.extend(sb.iter().map(|v| ca * v));
-                    let base = out.q.len();
-                    out.q.resize(base + m * m, 0.0);
-                    let qo = &mut out.q[base..];
-                    for x in 0..ma {
-                        for y in 0..ma {
-                            qo[x * m + y] = cb * qa[x * ma + y];
+                    // Packed product triangle, emitted strictly in order:
+                    // per row x < ma the a-block tail then the cross block,
+                    // then the whole scaled b-block (see `join_stats_into`).
+                    let base = out.qp.len();
+                    let mut aq = qa.iter();
+                    for (x, &sax) in sa.iter().enumerate() {
+                        for _ in x..ma {
+                            if let Some(v) = aq.next() {
+                                out.qp.push(cb * v);
+                            }
+                        }
+                        for v in sb {
+                            out.qp.push(sax * v);
                         }
                     }
-                    for x in 0..mb {
-                        for y in 0..mb {
-                            qo[(ma + x) * m + (ma + y)] = ca * qb[x * mb + y];
-                        }
+                    for v in qb {
+                        out.qp.push(ca * v);
                     }
-                    for x in 0..ma {
-                        let sax = sa[x];
-                        for y in 0..mb {
-                            let v = sax * sb[y];
-                            qo[x * m + (ma + y)] = v;
-                            qo[(ma + y) * m + x] = v;
-                        }
-                    }
+                    debug_assert!(aq.next().is_none());
+                    debug_assert_eq!(out.qp.len() - base, packed_len(ma + sb.len()));
                     i += 1;
                     j += 1;
                 }
@@ -498,6 +605,7 @@ impl GroupedArena {
             &other_re
         };
         let m = self.num_features();
+        let p = packed_len(m);
         let mut appended = false;
         for j in 0..other.num_keys() {
             let id = other.key_ids[j];
@@ -508,7 +616,7 @@ impl GroupedArena {
                     for (a, b) in self.s[r * m..(r + 1) * m].iter_mut().zip(sb) {
                         *a += b;
                     }
-                    for (a, b) in self.q[r * m * m..(r + 1) * m * m].iter_mut().zip(qb) {
+                    for (a, b) in self.qp[r * p..(r + 1) * p].iter_mut().zip(qb) {
                         *a += b;
                     }
                 }
@@ -516,7 +624,7 @@ impl GroupedArena {
                     self.key_ids.push(id);
                     self.c.push(cb);
                     self.s.extend_from_slice(sb);
-                    self.q.extend_from_slice(qb);
+                    self.qp.extend_from_slice(qb);
                     appended = true;
                 }
             }
@@ -533,13 +641,21 @@ impl GroupedArena {
         let mut acc =
             CovarTriple::zero(&self.schema.iter().map(|s| s.as_str()).collect::<Vec<_>>());
         for r in 0..self.num_keys() {
-            let (c, s, q) = self.row(r);
+            let (c, s, qp) = self.row(r);
             acc.c += c;
             for (a, b) in acc.s.iter_mut().zip(s) {
                 *a += b;
             }
-            for (a, b) in acc.q.iter_mut().zip(q) {
-                *a += b;
+            let mut idx = 0;
+            for i in 0..m {
+                for j in i..m {
+                    let v = qp[idx];
+                    acc.q[i * m + j] += v;
+                    if i != j {
+                        acc.q[j * m + i] += v;
+                    }
+                    idx += 1;
+                }
             }
         }
         debug_assert_eq!(acc.s.len(), m);
@@ -554,6 +670,7 @@ impl GroupedArena {
     fn sort_rows(&mut self) {
         let d = self.num_keys();
         let m = self.schema.len();
+        let p = packed_len(m);
         let mut order: Vec<usize> = (0..d).collect();
         order.sort_by_key(|&r| self.key_ids[r]);
         if order.iter().enumerate().all(|(i, &r)| i == r) {
@@ -562,15 +679,15 @@ impl GroupedArena {
         let key_ids = order.iter().map(|&r| self.key_ids[r]).collect();
         let c = order.iter().map(|&r| self.c[r]).collect();
         let mut s = Vec::with_capacity(d * m);
-        let mut q = Vec::with_capacity(d * m * m);
+        let mut qp = Vec::with_capacity(d * p);
         for &r in &order {
             s.extend_from_slice(&self.s[r * m..(r + 1) * m]);
-            q.extend_from_slice(&self.q[r * m * m..(r + 1) * m * m]);
+            qp.extend_from_slice(&self.qp[r * p..(r + 1) * p]);
         }
         self.key_ids = key_ids;
         self.c = c;
         self.s = s;
-        self.q = q;
+        self.qp = qp;
     }
 }
 
@@ -583,7 +700,7 @@ impl PartialEq for GroupedArena {
             self.key_ids == other.key_ids
                 && self.c == other.c
                 && self.s == other.s
-                && self.q == other.q
+                && self.qp == other.qp
         } else {
             self.sorted_pairs() == other.sorted_pairs()
         }
@@ -711,6 +828,119 @@ mod tests {
         let (c, _, _, matched) = a.join_stats(&b.renamed(|n| format!("o.{n}")));
         assert_eq!(matched, 2);
         assert_eq!(c, 2.0); // per-key count products: 1·1 + 1·1
+    }
+
+    #[test]
+    fn packed_indexing_roundtrips() {
+        for m in 0..6 {
+            assert_eq!(packed_len(m), (0..m).map(|i| m - i).sum::<usize>());
+            let mut flat = 0;
+            for i in 0..m {
+                for j in i..m {
+                    assert_eq!(packed_idx(i, j, m), flat);
+                    flat += 1;
+                }
+            }
+            let full: Vec<f64> = {
+                let mut q = vec![0.0; m * m];
+                for i in 0..m {
+                    for j in 0..m {
+                        q[i * m + j] = ((i * m + j) + (j * m + i)) as f64; // symmetric
+                    }
+                }
+                q
+            };
+            let mut packed = Vec::new();
+            pack_upper_row(&full, m, &mut packed);
+            assert_eq!(packed.len(), packed_len(m));
+            let mut back = Vec::new();
+            unpack_upper_row(&packed, m, &mut back);
+            assert_eq!(back, full);
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_packed_slab_lengths() {
+        // The snapshot-rehydration boundary must reject sheared slabs with
+        // a typed error (never panic): qp is packed, m(m+1)/2 per key.
+        let a = arena_of(&["x", "y"], &[(1, &[&[1.0, 2.0]]), (2, &[&[3.0, 4.0]])]);
+        let (mut keys, mut c, mut s, mut qp) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for r in 0..a.num_keys() {
+            let (rc, rs, rq) = a.row(r);
+            keys.push(a.key_at(r));
+            c.push(rc);
+            s.extend_from_slice(rs);
+            qp.extend_from_slice(rq);
+        }
+        let features = a.schema().to_vec();
+        let ok = GroupedArena::from_parts(
+            features.clone(),
+            keys.clone(),
+            c.clone(),
+            s.clone(),
+            qp.clone(),
+            KeyInterner::global(),
+        )
+        .unwrap();
+        assert_eq!(ok, a);
+
+        // Each slab mismatch is a typed InvalidArgument, not a panic.
+        let mut short_q = qp.clone();
+        short_q.pop();
+        for (keys2, c2, s2, q2) in [
+            (keys.clone(), c.clone(), s.clone(), short_q),
+            (keys.clone(), c[..1].to_vec(), s.clone(), qp.clone()),
+            (keys.clone(), c.clone(), s[..1].to_vec(), qp.clone()),
+        ] {
+            let err = GroupedArena::from_parts(
+                features.clone(),
+                keys2,
+                c2,
+                s2,
+                q2,
+                KeyInterner::global(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, SemiringError::InvalidArgument(_)), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn from_groups_rejects_malformed_triple_dims() {
+        // The legacy GroupedTriples wire boundary: slab widths that do not
+        // match the feature count surface as typed errors.
+        let bad_s =
+            CovarTriple { features: vec!["x".into()], c: 1.0, s: vec![1.0, 2.0], q: vec![1.0] };
+        let err = GroupedArena::from_groups(
+            &["x".to_string()],
+            vec![(k(1), bad_s)],
+            KeyInterner::global(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SemiringError::InvalidArgument(_)), "{err:?}");
+        let bad_q =
+            CovarTriple { features: vec!["x".into()], c: 1.0, s: vec![1.0], q: vec![1.0, 2.0] };
+        let err = GroupedArena::from_groups(
+            &["x".to_string()],
+            vec![(k(1), bad_q)],
+            KeyInterner::global(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SemiringError::InvalidArgument(_)), "{err:?}");
+    }
+
+    #[test]
+    fn join_stats_into_matches_join_stats() {
+        let left = arena_of(&["x", "y"], &[(1, &[&[1.0, 3.0], &[2.0, 5.0]]), (2, &[&[5.0, 1.0]])]);
+        let right = arena_of(&["z"], &[(1, &[&[10.0]]), (2, &[&[7.0], &[9.0]])]);
+        let (c, s, q, matched) = left.join_stats(&right);
+        let (mut s2, mut q2) = (Vec::new(), Vec::new());
+        let (c2, matched2) = left.join_stats_into(&right, &mut s2, &mut q2);
+        assert_eq!((c, matched), (c2, matched2));
+        assert_eq!(s, s2);
+        let mut q2_full = Vec::new();
+        unpack_upper_row(&q2, s.len(), &mut q2_full);
+        assert_eq!(q, q2_full);
     }
 
     #[test]

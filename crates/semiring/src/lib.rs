@@ -52,7 +52,9 @@ pub mod error;
 pub mod pushdown;
 
 pub use algebra::{CountSemiring, Semiring, SumSemiring};
-pub use arena::{GroupedArena, KeyId, KeyInterner};
+pub use arena::{
+    pack_upper_row, packed_idx, packed_len, unpack_upper_row, GroupedArena, KeyId, KeyInterner,
+};
 pub use compute::{grouped_triples, triple_of, GroupedTriples};
 pub use covar::{CovarTriple, LrSystem};
 pub use error::{Result, SemiringError};

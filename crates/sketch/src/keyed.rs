@@ -101,16 +101,23 @@ impl KeyedSketch {
 
     /// Apply an in-place edit to every triple, visiting keys in sorted
     /// order (used by the privacy layer; see also the zero-alloc
-    /// [`GroupedArena::for_each_row_mut`]).
+    /// [`GroupedArena::for_each_row_mut`]). The arena keeps only the upper
+    /// triangle of the symmetric `q`, so edits that break symmetry are
+    /// canonicalized back to it.
     pub fn map_triples(&mut self, mut f: impl FnMut(&mut CovarTriple)) {
         let features = self.arena.schema().to_vec();
-        self.arena.for_each_row_mut(|c, s, q| {
-            let mut t =
-                CovarTriple { features: features.clone(), c: *c, s: s.to_vec(), q: q.to_vec() };
+        let m = features.len();
+        let mut packed = Vec::new();
+        self.arena.for_each_row_mut(|c, s, qp| {
+            let mut q = Vec::new();
+            mileena_semiring::unpack_upper_row(qp, m, &mut q);
+            let mut t = CovarTriple { features: features.clone(), c: *c, s: s.to_vec(), q };
             f(&mut t);
             *c = t.c;
             s.copy_from_slice(&t.s);
-            q.copy_from_slice(&t.q);
+            packed.clear();
+            mileena_semiring::pack_upper_row(&t.q, m, &mut packed);
+            qp.copy_from_slice(&packed);
         });
     }
 
@@ -171,9 +178,15 @@ impl Serialize for KeyedSketch {
         let mut seq = serializer.serialize_seq(Some(sorted.len() + 1))?;
         seq.serialize_element(&SketchRepr { key_column: self.key_column.clone() })?;
         let schema = arena.schema();
+        let m = schema.len();
+        // The wire format carries the full symmetric q; the arena keeps the
+        // packed triangle. One reused buffer expands each row in turn.
+        let mut q_full = Vec::with_capacity(m * m);
         for (r, key) in &sorted {
-            let (c, s, q) = arena.row(*r);
-            seq.serialize_element(&PairRef { key, features: schema, c, s, q })?;
+            let (c, s, qp) = arena.row(*r);
+            q_full.clear();
+            mileena_semiring::unpack_upper_row(qp, m, &mut q_full);
+            seq.serialize_element(&PairRef { key, features: schema, c, s, q: &q_full })?;
         }
         seq.end()
     }

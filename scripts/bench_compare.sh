@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Informational perf gate: take a fresh benchmark snapshot and diff it
+# against the committed BENCH_search.json, flagging any (group, bench)
+# entry whose mean regressed by more than the threshold.
+#
+#   ./scripts/bench_compare.sh            # report, always exit 0
+#   ./scripts/bench_compare.sh --strict   # exit 1 when a regression is found
+#
+# Tuning:
+#   BENCH_REGRESSION_PCT  flag threshold, percent (default 15)
+#   BENCH_BASELINE        committed snapshot to compare against
+#                         (default BENCH_search.json)
+#   BENCH_FRESH           reuse an existing fresh snapshot instead of
+#                         re-running the benches (useful in CI pipelines
+#                         that already called bench_snapshot.sh)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+strict=0
+for arg in "$@"; do
+    case "$arg" in
+        --strict) strict=1 ;;
+        *) echo "usage: $0 [--strict]" >&2; exit 2 ;;
+    esac
+done
+
+threshold="${BENCH_REGRESSION_PCT:-15}"
+baseline="${BENCH_BASELINE:-BENCH_search.json}"
+if [[ ! -f "$baseline" ]]; then
+    echo "error: baseline $baseline not found" >&2
+    exit 2
+fi
+
+fresh="${BENCH_FRESH:-}"
+if [[ -z "$fresh" ]]; then
+    fresh="target/bench-compare/BENCH_fresh.json"
+    mkdir -p "$(dirname "$fresh")"
+    BENCH_OUT="$fresh" ./scripts/bench_snapshot.sh >/dev/null
+fi
+if [[ ! -f "$fresh" ]]; then
+    echo "error: fresh snapshot $fresh not found" >&2
+    exit 2
+fi
+
+# Flatten one snapshot into "group/bench mean_ns" lines.
+flatten() {
+    awk '
+    /"group":/ {
+        g = $0; sub(/.*"group": "/, "", g); sub(/".*/, "", g)
+        b = $0; sub(/.*"bench": "/, "", b); sub(/".*/, "", b)
+        m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+        print g "/" b, m
+    }' "$1"
+}
+
+echo "comparing $fresh against $baseline (threshold ${threshold}%)"
+regressions=$(
+    join <(flatten "$baseline" | sort) <(flatten "$fresh" | sort) |
+    awk -v thr="$threshold" '
+    {
+        base = $2; now = $3
+        delta = (now - base) / base * 100.0
+        status = "ok"
+        if (delta > thr) { status = "REGRESSED"; bad++ }
+        else if (delta < -thr) { status = "improved" }
+        printf "%-55s %12.0f -> %12.0f ns  %+7.1f%%  %s\n", $1, base, now, delta, status
+    }
+    END { exit bad > 0 ? 1 : 0 }
+'
+) && rc=0 || rc=$?
+echo "$regressions"
+
+new_entries=$(comm -13 <(flatten "$baseline" | cut -d' ' -f1 | sort) \
+                       <(flatten "$fresh" | cut -d' ' -f1 | sort))
+if [[ -n "$new_entries" ]]; then
+    echo "new entries (no baseline): "
+    echo "$new_entries" | sed 's/^/  /'
+fi
+
+if [[ $rc -ne 0 ]]; then
+    echo "perf: at least one group regressed >${threshold}% (informational)"
+    [[ $strict -eq 1 ]] && exit 1
+fi
+exit 0

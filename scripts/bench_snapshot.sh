@@ -5,15 +5,27 @@
 #
 # The in-tree criterion shim writes one JSON file per bench binary into
 # $CRITERION_OUT_DIR ([{group, bench, mean_ns, samples, iters_per_sample}]).
-# Tune measuring time with MILEENA_BENCH_MS (default 200 ms per benchmark).
+# Tuning:
+#   MILEENA_BENCH_MS      measuring budget per benchmark (default 200 ms)
+#   MILEENA_COLDSTART_MS  budget for the cold_start suite (default 1500 ms —
+#                         restarts cost ~hundreds of ms each, so the default
+#                         budget yields only 2 samples, far too noisy to
+#                         trend; 1500 ms lands ≥5)
+#   BENCH_OUT             output path (default BENCH_search.json at the
+#                         workspace root; bench_compare.sh points it at a
+#                         scratch file)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Bench binaries run with the package directory as CWD: hand them an
 # absolute output path so the snapshot lands at the workspace root.
 out_dir="${CRITERION_OUT_DIR:-$PWD/target/criterion-mini}"
+bench_out="${BENCH_OUT:-BENCH_search.json}"
+mkdir -p "$(dirname "$bench_out")"
+coldstart_ms="${MILEENA_COLDSTART_MS:-1500}"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench search_latency "$@"
-CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench cold_start "$@"
+CRITERION_OUT_DIR="$out_dir" MILEENA_BENCH_MS="$coldstart_ms" \
+    cargo bench -p mileena-bench --bench cold_start "$@"
 
 for name in search_latency cold_start; do
     if [[ ! -f "$out_dir/$name.json" ]]; then
@@ -28,13 +40,13 @@ done
     sed '1d;$d' "$out_dir/search_latency.json" | sed '$s/$/,/'
     sed '1d;$d' "$out_dir/cold_start.json"
     echo "]"
-} > BENCH_search.json
-echo "wrote BENCH_search.json:"
-cat BENCH_search.json
+} > "$bench_out"
+echo "wrote $bench_out:"
+cat "$bench_out"
 
 # Derived service-layer throughput: the `service/concurrent_search/N` entry
 # measures one batch of N parallel sessions, so searches/sec = N*1e9/mean_ns.
-# Printed for the log (the raw entry is what lands in BENCH_search.json).
+# Printed for the log (the raw entry is what lands in the snapshot).
 awk '
 /"group": "service"/ && /"bench": "concurrent_search\// {
     n = $0; sub(/.*concurrent_search\//, "", n); sub(/".*/, "", n)
@@ -55,4 +67,9 @@ awk '
     if (snap > 0) printf "  (restore/re-sketch ratio %.2f)", snap / m
     printf "\n"
 }
-' BENCH_search.json
+/"bench": "pruned_round\// {
+    g = $0; sub(/.*"group": "/, "", g); sub(/".*/, "", g)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "%s pruned round: %.2f ms\n", g, m / 1e6
+}
+' "$bench_out"

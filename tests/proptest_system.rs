@@ -109,6 +109,89 @@ proptest! {
         }
     }
 
+    /// Packed-triangle arena ops pinned against a full-m² reference: every
+    /// kernel that now runs on packed upper triangles (join_stats, compose,
+    /// merge_add, project, total) must match the same computation done with
+    /// full-matrix `CovarTriple` semi-ring ops on the same grouped data,
+    /// within 1e-9 (mirroring PR 1's arena-vs-materialized pin).
+    #[test]
+    fn packed_arena_ops_match_full_matrix_reference(
+        train_rows in prop::collection::vec((0i64..8, small_f64(), small_f64()), 5..50),
+        cand_rows in prop::collection::vec((0i64..8, small_f64(), small_f64()), 1..30),
+    ) {
+        use mileena::semiring::{grouped_triples, CovarTriple, GroupedArena, KeyInterner};
+
+        let train = RelationBuilder::new("train")
+            .int_col("k", &train_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("x", &train_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .float_col("y", &train_rows.iter().map(|r| r.2).collect::<Vec<_>>())
+            .build().unwrap();
+        let cand = RelationBuilder::new("cand")
+            .int_col("k", &cand_rows.iter().map(|r| r.0).collect::<Vec<_>>())
+            .float_col("z", &cand_rows.iter().map(|r| r.1).collect::<Vec<_>>())
+            .float_col("w", &cand_rows.iter().map(|r| r.2).collect::<Vec<_>>())
+            .build().unwrap();
+
+        // Full-matrix reference: per-key CovarTriples straight from the
+        // relations (q is the complete m² symmetric matrix).
+        let ref_left = grouped_triples(&train, &["k"], &["x", "y"]).unwrap();
+        let ref_right = grouped_triples(&cand, &["k"], &["z", "w"]).unwrap();
+
+        // Packed arenas over the same data.
+        let interner = KeyInterner::new();
+        let left = GroupedArena::from_groups(
+            &["x".to_string(), "y".to_string()], ref_left.clone(), &interner).unwrap();
+        let right = GroupedArena::from_groups(
+            &["z".to_string(), "w".to_string()], ref_right.clone(), &interner).unwrap();
+
+        // join_stats vs Σ_k mul over the key intersection.
+        let (c, s, q, matched) = left.join_stats(&right);
+        let mut ref_total = CovarTriple::zero(&[]);
+        let mut ref_matched = 0usize;
+        for (key, lt) in &ref_left {
+            if let Some(rt) = ref_right.get(key) {
+                ref_total = ref_total.add(&lt.mul(rt).unwrap()).unwrap();
+                ref_matched += 1;
+            }
+        }
+        prop_assert_eq!(matched, ref_matched);
+        if ref_matched > 0 {
+            let got = CovarTriple {
+                features: vec!["x".into(), "y".into(), "z".into(), "w".into()], c, s, q,
+            };
+            let got = got.align(&ref_total.feature_names()).unwrap();
+            prop_assert!(got.approx_eq(&ref_total, 1e-9), "\n{:?}\n{:?}", got, ref_total);
+        }
+
+        // compose vs per-key mul.
+        let composed = left.compose(&right);
+        for (key, triple) in composed.sorted_pairs() {
+            let want = ref_left[&key].mul(&ref_right[&key]).unwrap();
+            prop_assert!(triple.approx_eq(&want, 1e-9));
+        }
+
+        // project vs CovarTriple::project.
+        let projected = left.project(&["y"]).unwrap();
+        for (key, triple) in projected.sorted_pairs() {
+            let want = ref_left[&key].project(&["y"]).unwrap();
+            prop_assert!(triple.approx_eq(&want, 1e-9));
+        }
+
+        // merge_add (self-union doubles every triple) and total.
+        let mut doubled = left.clone();
+        doubled.merge_add(&left).unwrap();
+        for (key, triple) in doubled.sorted_pairs() {
+            let want = ref_left[&key].add(&ref_left[&key]).unwrap();
+            prop_assert!(triple.approx_eq(&want, 1e-9));
+        }
+        let mut ref_sum = CovarTriple::zero(&[]);
+        for t in ref_left.values() {
+            ref_sum = ref_sum.add(t).unwrap();
+        }
+        let total = left.total().align(&ref_sum.feature_names()).unwrap();
+        prop_assert!(total.approx_eq(&ref_sum, 1e-9));
+    }
+
     /// Union-side invariant with provider-qualified renaming.
     #[test]
     fn sketch_eval_equals_materialized_union(
