@@ -1,0 +1,74 @@
+//! Discovery-tier latency at corpus scale (5k / 20k datasets): indexed
+//! join + union candidate queries vs the retained linear-scan references,
+//! plus full candidate enumeration against the sketch store.
+//!
+//! The synthetic corpus models an open-data registry rather than the
+//! planted-task corpora of the search benches: key columns are spread
+//! across many disjoint key domains (only ~40 datasets overlap any one
+//! query key) and schemas cycle through 67 variants (so one
+//! schema-fingerprint bucket holds ~n/67 datasets). At 20k datasets the
+//! join tier runs on LSH (the corpus is past `brute_force_limit`); at 5k
+//! it runs the exact sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mileena_discovery::{DatasetProfile, DiscoveryConfig, DiscoveryIndex};
+use mileena_relation::{Relation, RelationBuilder};
+use mileena_search::{enumerate_candidates, CandidateLimits};
+use mileena_sketch::{build_sketch, SketchConfig, SketchStore};
+
+/// One registry dataset: a key column in its domain's value range and one
+/// float feature whose name cycles through 67 schema variants.
+fn provider(i: usize, domains: usize) -> Relation {
+    let base = ((i % domains) as i64) * 1_000;
+    let off = (i / domains) as i64 % 20;
+    let keys: Vec<i64> = (0..40i64).map(|j| base + (j + off) % 60).collect();
+    let vals: Vec<f64> = (0..40i64).map(|j| ((j * 13 + i as i64) % 101) as f64 / 101.0).collect();
+    RelationBuilder::new(format!("reg{i}"))
+        .int_col("key", &keys)
+        .float_col(&format!("f{}", i % 67), &vals)
+        .build()
+        .unwrap()
+}
+
+/// The query dataset: keys in domain 0, schema variant 0.
+fn query() -> Relation {
+    let keys: Vec<i64> = (0..40).collect();
+    let vals: Vec<f64> = (0..40i64).map(|j| ((j * 17) % 101) as f64 / 101.0).collect();
+    RelationBuilder::new("reg-query").int_col("key", &keys).float_col("f0", &vals).build().unwrap()
+}
+
+fn bench_discovery_scale(c: &mut Criterion) {
+    for n in [5_000usize, 20_000] {
+        let group_name = format!("discovery_{}k", n / 1000);
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(10);
+        let domains = (n / 40).max(1);
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        let store = SketchStore::new();
+        for i in 0..n {
+            let r = provider(i, domains);
+            index.register(DatasetProfile::of(&r, 128));
+            store.register(build_sketch(&r, &SketchConfig::default()).unwrap()).unwrap();
+        }
+        let q = DatasetProfile::of(&query(), 128);
+        let limits = CandidateLimits::default();
+
+        group.bench_function("join_candidates", |b| b.iter(|| index.find_join_candidates(&q)));
+        group.bench_function("union_candidates", |b| b.iter(|| index.find_union_candidates(&q)));
+        group.bench_function("join_candidates_linear", |b| {
+            b.iter(|| index.find_join_candidates_linear(&q))
+        });
+        group.bench_function("union_candidates_linear", |b| {
+            b.iter(|| index.find_union_candidates_linear(&q))
+        });
+        // Discovery + store validation + candidate materialization: the
+        // full pre-search pipeline a platform request pays.
+        group.bench_function("enumerate", |b| {
+            b.iter(|| enumerate_candidates(&index, &store, &q, &limits))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_discovery_scale);
+criterion_main!(benches);

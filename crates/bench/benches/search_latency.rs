@@ -10,7 +10,8 @@ use mileena_datagen::{generate_corpus, CorpusConfig};
 use mileena_search::arda::ArdaSearch;
 use mileena_search::greedy::build_requester_state;
 use mileena_search::{
-    enumerate_candidates, CandidateCache, GreedySearch, SearchConfig, SketchedRequest,
+    enumerate_candidates, CandidateCache, CandidateLimits, GreedySearch, SearchConfig,
+    SketchedRequest,
 };
 use mileena_sketch::{build_sketch, SketchConfig, SketchStore};
 use std::sync::Arc;
@@ -51,7 +52,9 @@ fn bench_end_to_end(c: &mut Criterion) {
         // ARDA on the same candidates, one greedy round only (full runs are
         // measured by the fig4 binary; this isolates per-round cost).
         let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
-        let cands = enumerate_candidates(&index, platform.store(), &profile);
+        let cands =
+            enumerate_candidates(&index, platform.store(), &profile, &CandidateLimits::default())
+                .resolve(platform.store().dataset_interner());
         let arda_cfg = SearchConfig { max_augmentations: 1, ..Default::default() };
         group.bench_with_input(BenchmarkId::new("arda_one_round", n), &n, |b, _| {
             let arda = ArdaSearch::new(arda_cfg.clone(), &corpus.providers, false);
@@ -82,7 +85,7 @@ fn bench_eval_rounds(c: &mut Criterion) {
         }
         let cfg = SearchConfig::default();
         let (state, profile) = build_requester_state(&request, &cfg).unwrap();
-        let candidates = enumerate_candidates(&index, &store, &profile);
+        let candidates = enumerate_candidates(&index, &store, &profile, &cfg.limits).candidates;
         let n = candidates.len();
 
         let entries =
@@ -90,9 +93,13 @@ fn bench_eval_rounds(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
             b.iter(|| entries.iter().filter_map(|e| e.evaluate(&state).ok()).count())
         });
+        // The reference path addresses the store by name, like the
+        // pre-cache code it preserves.
+        let named: Vec<mileena_search::Augmentation> =
+            candidates.iter().map(|c| c.resolve(store.dataset_interner())).collect();
         group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
             b.iter(|| {
-                candidates
+                named
                     .iter()
                     .filter_map(|aug| {
                         let sketch = store.get(aug.dataset()).ok()?;

@@ -70,10 +70,14 @@ fn main() {
     );
 
     // ── ARDA (retrain per candidate; does not enforce the budget) ─────────
-    let all_cands = enumerate_candidates(&index, platform.store(), {
-        let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
-        Box::leak(Box::new(profile))
-    });
+    let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
+    let all_cands = enumerate_candidates(
+        &index,
+        platform.store(),
+        &profile,
+        &mileena_search::CandidateLimits::default(),
+    )
+    .resolve(platform.store().dataset_interner());
     let arda = ArdaSearch::new(search_cfg.clone(), &corpus.providers, false);
     let t2 = Instant::now();
     let arda_out = arda.run(&request, all_cands.clone()).unwrap();

@@ -39,7 +39,7 @@ fn main() {
             let (state, _) =
                 mileena_search::greedy::build_requester_state(&request, &search_cfg).unwrap();
             let profile = DatasetProfile::of(&request.train, 128);
-            let candidates = enumerate_candidates(&index, &store, &profile);
+            let candidates = enumerate_candidates(&index, &store, &profile, &search_cfg.limits);
             let outcome =
                 GreedySearch::new(search_cfg.clone()).run(state, candidates, &store).unwrap();
             let selections: Vec<_> = outcome.steps.iter().map(|s| s.augmentation.clone()).collect();

@@ -70,5 +70,6 @@ pub use local::{LocalDataStore, ProviderUpload, SearchRequestBuilder, TaskReques
 pub use platform::{CentralPlatform, PlatformConfig, PlatformSearchResult};
 pub use service::{InProcess, JsonWire, PlatformService, SearchSession, WireSession};
 pub use wire::{
-    CheckpointReceipt, ErrorCode, PlatformStats, SearchReply, StorageReport, WIRE_VERSION,
+    CheckpointReceipt, DiscoveryReport, ErrorCode, PlatformStats, SearchReply, StorageReport,
+    WIRE_VERSION,
 };

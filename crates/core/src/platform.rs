@@ -14,7 +14,7 @@ use crate::durable::{
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use crate::service::SearchSession;
-use crate::wire::{CheckpointReceipt, PlatformStats, SearchReply, StorageReport};
+use crate::wire::{CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, StorageReport};
 use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
 use mileena_ml::{LinearModel, RidgeConfig};
 use mileena_privacy::{BudgetAccountant, PrivacyBudget};
@@ -99,12 +99,14 @@ struct DurableState {
 struct SearchTotals {
     evaluations: AtomicU64,
     bound_skips: AtomicU64,
+    candidates_truncated: AtomicU64,
 }
 
 impl SearchTotals {
-    fn record(&self, evaluations: usize, bound_skips: usize) {
-        self.evaluations.fetch_add(evaluations as u64, Ordering::Relaxed);
-        self.bound_skips.fetch_add(bound_skips as u64, Ordering::Relaxed);
+    fn record(&self, outcome: &SearchOutcome) {
+        self.evaluations.fetch_add(outcome.evaluations as u64, Ordering::Relaxed);
+        self.bound_skips.fetch_add(outcome.bound_skips as u64, Ordering::Relaxed);
+        self.candidates_truncated.fetch_add(outcome.candidates_truncated as u64, Ordering::Relaxed);
     }
 }
 
@@ -351,11 +353,26 @@ impl CentralPlatform {
                 })
             }
         };
+        let discovery = {
+            let d = self.index.read().stats();
+            DiscoveryReport {
+                datasets: d.datasets,
+                key_columns: d.key_columns,
+                lsh_buckets: d.lsh_buckets,
+                schema_buckets: d.schema_buckets,
+                posting_terms: d.posting_terms,
+            }
+        };
         Ok(PlatformStats {
             datasets: self.num_datasets(),
             active_sessions: self.active_sessions(),
             search_evaluations: self.search_totals.evaluations.load(Ordering::Relaxed),
             search_bound_skips: self.search_totals.bound_skips.load(Ordering::Relaxed),
+            search_candidates_truncated: self
+                .search_totals
+                .candidates_truncated
+                .load(Ordering::Relaxed),
+            discovery,
             storage,
         })
     }
@@ -546,7 +563,7 @@ impl CentralPlatform {
         let corpus = self.store.frozen();
         let candidates = {
             let index = self.index.read();
-            enumerate_candidates(&index, &corpus, &request.profile)
+            enumerate_candidates(&index, &corpus, &request.profile, &cfg.limits)
         };
         let id = self.session_counter.fetch_add(1, Ordering::SeqCst) + 1;
         let target = request.task.target.clone();
@@ -563,7 +580,7 @@ impl CentralPlatform {
                 .run_observed(state, candidates, &corpus, &worker_control, &mut observer)
                 .map_err(CoreError::from)
                 .and_then(|outcome| {
-                    totals.record(outcome.evaluations, outcome.bound_skips);
+                    totals.record(&outcome);
                     let model = fit_final_model(&outcome, &target, cfg.lambda)?;
                     Ok(SearchReply::from_outcome(&outcome, &model))
                 });
@@ -592,10 +609,10 @@ impl CentralPlatform {
         let corpus = self.store.frozen();
         let candidates = {
             let index = self.index.read();
-            enumerate_candidates(&index, &corpus, &request.profile)
+            enumerate_candidates(&index, &corpus, &request.profile, &config.limits)
         };
         let outcome = GreedySearch::new(config.clone()).run(state, candidates, &corpus)?;
-        self.search_totals.record(outcome.evaluations, outcome.bound_skips);
+        self.search_totals.record(&outcome);
         let model = fit_final_model(&outcome, &request.task.target, config.lambda)?;
         Ok(PlatformSearchResult { outcome, model })
     }
@@ -934,6 +951,34 @@ mod tests {
         assert_eq!(reopened.recovery_report().unwrap().replayed_records, 2);
         assert_eq!(reopened.num_datasets(), 6);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_surface_discovery_counters_and_truncation() {
+        let c = corpus();
+        let platform = CentralPlatform::new(PlatformConfig::default());
+        for p in &c.providers {
+            platform
+                .register(LocalDataStore::new(p.clone()).prepare_upload(None, 3).unwrap())
+                .unwrap();
+        }
+        let stats = platform.stats().unwrap();
+        assert_eq!(stats.discovery.datasets, 15);
+        assert!(stats.discovery.key_columns >= 15, "every provider carries a key column");
+        assert!(stats.discovery.schema_buckets >= 1);
+        assert!(stats.discovery.posting_terms > 0);
+        assert_eq!(stats.discovery.lsh_buckets, 0, "small corpus never builds the LSH table");
+        assert_eq!(stats.search_candidates_truncated, 0);
+
+        // A capped search accumulates its truncation into the fleet totals.
+        let cfg = SearchConfig {
+            limits: mileena_search::CandidateLimits { max_join: 1, max_union: 0 },
+            ..Default::default()
+        };
+        let result = platform.search(&request(&c), &cfg).unwrap();
+        assert!(result.outcome.candidates_truncated > 0);
+        let stats = platform.stats().unwrap();
+        assert_eq!(stats.search_candidates_truncated, result.outcome.candidates_truncated as u64);
     }
 
     #[test]

@@ -190,6 +190,9 @@ pub struct SearchReply {
     /// Candidates pruned by their admissible score bound without being
     /// scored (0 when the search ran in exhaustive mode).
     pub bound_skips: usize,
+    /// Store-backed candidates dropped by the request's `CandidateLimits`
+    /// at enumeration (0 unless the corpus outgrew the configured caps).
+    pub candidates_truncated: usize,
     /// Total wall-clock, in milliseconds.
     pub elapsed_ms: u64,
     /// Why the loop ended.
@@ -217,6 +220,7 @@ impl SearchReply {
                 .collect(),
             evaluations: outcome.evaluations,
             bound_skips: outcome.bound_skips,
+            candidates_truncated: outcome.candidates_truncated,
             elapsed_ms: outcome.elapsed.as_millis() as u64,
             stop_reason: outcome.stop_reason,
             features: outcome.state.features().to_vec(),
@@ -336,6 +340,23 @@ pub struct StorageReport {
     pub last_checkpoint_error: Option<String>,
 }
 
+/// Discovery-tier index shape, wire form (see
+/// `mileena_discovery::DiscoveryTierStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveryReport {
+    /// Live indexed datasets.
+    pub datasets: usize,
+    /// Indexed key-like columns (join tier).
+    pub key_columns: usize,
+    /// Live LSH band buckets (0 until the corpus crosses the brute-force
+    /// limit — small corpora never build the table).
+    pub lsh_buckets: usize,
+    /// Schema-fingerprint buckets (union tier).
+    pub schema_buckets: usize,
+    /// Distinct TF-IDF posting terms.
+    pub posting_terms: usize,
+}
+
 /// Platform statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformStats {
@@ -347,6 +368,12 @@ pub struct PlatformStats {
     pub search_evaluations: u64,
     /// Candidates pruned by bound across all completed searches.
     pub search_bound_skips: u64,
+    /// Candidates dropped by per-search `CandidateLimits` across all
+    /// completed searches (non-zero means limits are actually biting —
+    /// an operator signal to raise them or shard the corpus).
+    pub search_candidates_truncated: u64,
+    /// Discovery-index shape (buckets, postings, key columns).
+    pub discovery: DiscoveryReport,
     /// Storage-engine state (`None` on volatile platforms).
     pub storage: Option<StorageReport>,
 }
@@ -468,7 +495,7 @@ mod tests {
         let ev = WireEvent {
             v: WIRE_VERSION,
             session: 7,
-            event: SearchEvent::Started { candidates: 12 },
+            event: SearchEvent::Started { candidates: 12, truncated: 0 },
         };
         let json = serde_json::to_string(&ev).unwrap();
         let back: WireEvent = serde_json::from_str(&json).unwrap();
@@ -500,6 +527,14 @@ mod tests {
             active_sessions: 1,
             search_evaluations: 120,
             search_bound_skips: 48,
+            search_candidates_truncated: 7,
+            discovery: DiscoveryReport {
+                datasets: 3,
+                key_columns: 5,
+                lsh_buckets: 0,
+                schema_buckets: 2,
+                posting_terms: 40,
+            },
             storage: Some(StorageReport {
                 dir: "/tmp/x".into(),
                 last_seq: 12,

@@ -2,10 +2,44 @@
 //!
 //! Join candidates come from MinHash-LSH over keyable columns; union
 //! candidates from schema compatibility plus TF-IDF cosine over columns.
+//!
+//! Both tiers are *indexed*, not scanned:
+//!
+//! - **Union** candidates are served from a **schema-fingerprint bucket
+//!   index**: datasets are grouped by the hash of their sorted
+//!   `(column name, type)` multiset, so a query is one bucket lookup plus
+//!   cosine scoring over the (tiny) bucket — never a pass over the corpus.
+//!   TF-IDF weights come from incrementally-maintained
+//!   [`TermPostings`](crate::tfidf::TermPostings) with a memoized IDF
+//!   table, and each query column's weighted norm is computed once and
+//!   shared across every bucket member.
+//! - **Join** candidates use the LSH band table at scale and an exact
+//!   column sweep below [`DiscoveryConfig::brute_force_limit`]. The LSH
+//!   table is built **lazily**, only when the corpus first crosses that
+//!   limit — small corpora never hash a band — and the query path reuses
+//!   one `seen` arena across query columns instead of allocating a
+//!   candidate set per column.
+//!
+//! All index state is maintained incrementally through
+//! [`DiscoveryIndex::register`] / [`DiscoveryIndex::remove`] /
+//! [`DiscoveryIndex::replace`], and [`DiscoveryIndex::from_profiles`]
+//! (the recovery path) rebuilds it exactly: the indexed query methods are
+//! pinned bit-identical to the retained linear-scan references
+//! ([`DiscoveryIndex::find_join_candidates_linear`],
+//! [`DiscoveryIndex::find_union_candidates_linear`]) by the
+//! `index_parity` property suite.
+//!
+//! Datasets are identified by interned [`DatasetId`]s (process-local,
+//! never serialized); candidates carry ids plus `Arc<str>` column names,
+//! so downstream layers never clone a `String` per candidate.
 
+use crate::minhash::mix;
 use crate::profile::{ColumnProfile, DatasetProfile};
-use mileena_relation::{FxHashMap, FxHashSet};
+use crate::tfidf::TermPostings;
+use mileena_relation::hash::fx_hash64;
+use mileena_relation::{DataType, DatasetId, DatasetInterner, FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, RwLock};
 
 /// Tuning knobs for discovery.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,7 +57,8 @@ pub struct DiscoveryConfig {
     /// Below this many indexed key columns, candidate pairing scans all
     /// columns exactly instead of using LSH buckets. LSH trades recall for
     /// scale; small corpora get the exact answer (hybrid, as deployed
-    /// discovery systems do).
+    /// discovery systems do). The LSH band table is only materialized once
+    /// the corpus crosses this limit.
     pub brute_force_limit: usize,
 }
 
@@ -41,69 +76,156 @@ impl Default for DiscoveryConfig {
 }
 
 /// A discovered join opportunity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JoinCandidate {
-    /// Provider dataset name.
-    pub dataset: String,
+    /// Provider dataset (resolve via [`DiscoveryIndex::name_of`]).
+    pub dataset: DatasetId,
     /// Column in the *query* (requester) dataset to join on.
-    pub query_column: String,
+    pub query_column: Arc<str>,
     /// Column in the provider dataset to join on.
-    pub candidate_column: String,
+    pub candidate_column: Arc<str>,
     /// Estimated Jaccard similarity of the two key sets.
     pub jaccard: f64,
 }
 
 /// A discovered union opportunity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnionCandidate {
-    /// Provider dataset name.
-    pub dataset: String,
+    /// Provider dataset (resolve via [`DiscoveryIndex::name_of`]).
+    pub dataset: DatasetId,
     /// Mean TF-IDF cosine over matched columns.
     pub score: f64,
 }
 
+/// Index-size counters surfaced through the platform's `stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiscoveryTierStats {
+    /// Live indexed datasets.
+    pub datasets: usize,
+    /// Indexed key-like columns (the join tier's document count).
+    pub key_columns: usize,
+    /// Live LSH band buckets (0 until the corpus crosses
+    /// `brute_force_limit` — small corpora never build the table).
+    pub lsh_buckets: usize,
+    /// Schema-fingerprint buckets (the union tier's index).
+    pub schema_buckets: usize,
+    /// Distinct TF-IDF posting terms.
+    pub posting_terms: usize,
+}
+
 /// Key for the LSH bucket table: (band index, band hash).
 type LshKey = (u32, u64);
-/// Bucket entry: (dataset index, column index).
+/// Bucket entry: (dataset slot, column index).
 type ColRef = (u32, u32);
 
+/// Per-dataset best join pair during a query (indices only — names are
+/// materialized once, after ranking).
+#[derive(Debug, Clone, Copy)]
+struct BestPair {
+    jaccard: f64,
+    query_col: u32,
+    cand_col: u32,
+}
+
+/// One indexed dataset, pinned to a slot for the lifetime of its
+/// registration (replace reuses the slot; remove frees it).
+#[derive(Debug)]
+struct IndexedDataset {
+    id: DatasetId,
+    fingerprint: u64,
+    profile: DatasetProfile,
+}
+
+/// Stable tag per column type for schema fingerprints.
+fn type_tag(t: DataType) -> u64 {
+    match t {
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+    }
+}
+
+/// Hash of a profile's sorted `(column name, type)` multiset: two profiles
+/// are union-compatible (same column names, same types, same arity) iff
+/// their fingerprints match — modulo hash collisions, which the query path
+/// re-verifies per bucket member.
+pub fn schema_fingerprint(profile: &DatasetProfile) -> u64 {
+    let mut cols: Vec<(&str, u64)> =
+        profile.columns.iter().map(|c| (c.name.as_str(), type_tag(c.data_type))).collect();
+    cols.sort_unstable();
+    let mut acc = mix(0x5c4e_3af1_9b1d_7e2bu64 ^ cols.len() as u64);
+    for (name, tag) in cols {
+        acc = mix(acc ^ fx_hash64(&name));
+        acc = mix(acc ^ tag);
+    }
+    acc
+}
+
 /// The Aurum-style discovery index.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DiscoveryIndex {
     config: DiscoveryConfig,
-    datasets: Vec<DatasetProfile>,
-    by_name: FxHashMap<String, usize>,
-    /// LSH buckets over keyable columns.
+    /// Dataset identity space (shared, by default process-global, with the
+    /// sketch store so discovered ids resolve there directly).
+    ids: Arc<DatasetInterner>,
+    /// Slot-stable dataset storage; `None` = freed by a removal.
+    slots: Vec<Option<IndexedDataset>>,
+    by_name: FxHashMap<String, u32>,
+    by_id: FxHashMap<DatasetId, u32>,
+    free_slots: Vec<u32>,
+    live: usize,
+    /// LSH buckets over keyable columns (lazily built at scale).
     lsh: FxHashMap<LshKey, Vec<ColRef>>,
-    /// All key-like columns (for the small-corpus exact path).
-    key_columns: Vec<ColRef>,
-    /// Document frequency per term (documents = columns), for IDF.
-    doc_freq: FxHashMap<String, f64>,
-    /// Total indexed columns (documents).
-    num_docs: f64,
-    /// Memoized IDF table; rebuilt lazily after registrations invalidate it
-    /// (previously recomputed from scratch on every union-candidate query).
-    idf_cache: std::sync::Mutex<Option<std::sync::Arc<FxHashMap<String, f64>>>>,
+    lsh_built: bool,
+    /// Indexed key-like columns (drives the exact-vs-LSH path choice).
+    num_key_columns: usize,
+    /// Union tier: schema fingerprint → ascending live slots.
+    schema_buckets: FxHashMap<u64, Vec<u32>>,
+    /// Term postings (documents = columns) backing TF-IDF.
+    postings: TermPostings,
+    /// Memoized IDF table; readers share it lock-free-ish (one `RwLock`
+    /// read), writers rebuild only after an invalidating mutation.
+    idf_cache: RwLock<Option<Arc<FxHashMap<String, f64>>>>,
+}
+
+impl Default for DiscoveryIndex {
+    fn default() -> Self {
+        DiscoveryIndex::new(DiscoveryConfig::default())
+    }
 }
 
 impl DiscoveryIndex {
-    /// New index with the given config.
+    /// New index with the given config, on the process-global dataset
+    /// identity space.
     pub fn new(config: DiscoveryConfig) -> Self {
+        Self::with_interner(config, Arc::clone(DatasetInterner::global()))
+    }
+
+    /// New index on an isolated identity space (must be shared with the
+    /// sketch store that serves its candidates).
+    pub fn with_interner(config: DiscoveryConfig, ids: Arc<DatasetInterner>) -> Self {
         DiscoveryIndex {
             config,
-            datasets: Vec::new(),
+            ids,
+            slots: Vec::new(),
             by_name: FxHashMap::default(),
+            by_id: FxHashMap::default(),
+            free_slots: Vec::new(),
+            live: 0,
             lsh: FxHashMap::default(),
-            key_columns: Vec::new(),
-            doc_freq: FxHashMap::default(),
-            num_docs: 0.0,
-            idf_cache: std::sync::Mutex::new(None),
+            lsh_built: false,
+            num_key_columns: 0,
+            schema_buckets: FxHashMap::default(),
+            postings: TermPostings::default(),
+            idf_cache: RwLock::new(None),
         }
     }
 
     /// Build an index over an existing set of profiles — the platform's
     /// recovery path, which rebuilds discovery state from the durable
-    /// store instead of re-profiling raw relations.
+    /// store instead of re-profiling raw relations. Registration is the
+    /// same incremental path, so a rebuilt index answers queries
+    /// identically to the incrementally-maintained one it replaces.
     pub fn from_profiles(
         config: DiscoveryConfig,
         profiles: impl IntoIterator<Item = DatasetProfile>,
@@ -120,91 +242,197 @@ impl DiscoveryIndex {
         &self.config
     }
 
-    /// All indexed profiles, in registration order.
-    pub fn profiles(&self) -> &[DatasetProfile] {
-        &self.datasets
+    /// The dataset identity space this index interns into.
+    pub fn dataset_interner(&self) -> &Arc<DatasetInterner> {
+        &self.ids
+    }
+
+    /// All live indexed profiles, in slot order.
+    pub fn profiles(&self) -> impl Iterator<Item = &DatasetProfile> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|ds| &ds.profile))
     }
 
     /// The profile registered under `name`.
     pub fn profile(&self, name: &str) -> Option<&DatasetProfile> {
-        self.by_name.get(name).map(|&i| &self.datasets[i])
+        self.by_name.get(name).map(|&slot| &self.slots[slot as usize].as_ref().unwrap().profile)
+    }
+
+    /// The id of a live registered dataset.
+    pub fn id_of(&self, name: &str) -> Option<DatasetId> {
+        self.by_name.get(name).map(|&slot| self.slots[slot as usize].as_ref().unwrap().id)
+    }
+
+    /// The name of a live registered dataset.
+    pub fn name_of(&self, id: DatasetId) -> Option<&str> {
+        self.by_id
+            .get(&id)
+            .map(|&slot| self.slots[slot as usize].as_ref().unwrap().profile.name.as_str())
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.live
     }
 
     /// True iff no datasets are registered.
     pub fn is_empty(&self) -> bool {
-        self.datasets.is_empty()
+        self.live == 0
     }
 
-    /// Register a dataset profile. Re-registering a name replaces nothing —
-    /// duplicate names are ignored (first registration wins) to keep LSH
-    /// bookkeeping simple; use distinct dataset names.
-    pub fn register(&mut self, profile: DatasetProfile) {
-        if self.by_name.contains_key(&profile.name) {
-            return;
+    /// Index-size counters.
+    pub fn stats(&self) -> DiscoveryTierStats {
+        DiscoveryTierStats {
+            datasets: self.live,
+            key_columns: self.num_key_columns,
+            lsh_buckets: self.lsh.len(),
+            schema_buckets: self.schema_buckets.len(),
+            posting_terms: self.postings.num_terms(),
         }
-        // New documents change document frequencies: drop the memoized IDF.
-        *self.idf_cache.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
-        let di = self.datasets.len() as u32;
-        self.by_name.insert(profile.name.clone(), self.datasets.len());
-        for (ci, col) in profile.columns.iter().enumerate() {
-            // IDF corpus over all columns.
-            self.num_docs += 1.0;
-            let mut seen: FxHashSet<&str> = FxHashSet::default();
-            for term in col.terms.counts.keys() {
-                if seen.insert(term) {
-                    *self.doc_freq.entry(term.clone()).or_insert(0.0) += 1.0;
-                }
-            }
-            // LSH only for plausible key columns.
-            if self.is_key_like(col) {
-                self.key_columns.push((di, ci as u32));
-                for (b, h) in col.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate()
-                {
-                    self.lsh.entry((b as u32, h)).or_default().push((di, ci as u32));
-                }
-            }
+    }
+
+    /// Register a dataset profile, returning its interned id.
+    /// Re-registering a name is ignored (first registration wins) to keep
+    /// budget accounting upstream honest; use replace for re-uploads.
+    pub fn register(&mut self, profile: DatasetProfile) -> DatasetId {
+        if let Some(&slot) = self.by_name.get(&profile.name) {
+            return self.slots[slot as usize].as_ref().unwrap().id;
         }
-        self.datasets.push(profile);
+        let id = self.ids.intern(&profile.name);
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let fingerprint = schema_fingerprint(&profile);
+        self.index_derived(slot, &profile, fingerprint);
+        self.by_name.insert(profile.name.clone(), slot);
+        self.by_id.insert(id, slot);
+        self.slots[slot as usize] = Some(IndexedDataset { id, fingerprint, profile });
+        self.live += 1;
+        id
     }
 
     /// Remove a dataset's profile; returns false when the name is unknown.
-    ///
-    /// LSH buckets, document frequencies, and the IDF cache are rebuilt
-    /// from the remaining profiles: removal is a rare administrative
-    /// operation, so an O(corpus) rebuild buys exact bookkeeping (no
-    /// tombstones drifting the IDF corpus or stale bucket entries).
+    /// All derived state (postings, schema buckets, LSH refs) is adjusted
+    /// incrementally — no corpus rescan — and ends identical to a fresh
+    /// rebuild over the survivors (pinned by the parity property tests).
     pub fn remove(&mut self, name: &str) -> bool {
-        if !self.by_name.contains_key(name) {
+        let Some(slot) = self.by_name.remove(name) else {
             return false;
-        }
-        let retained: Vec<DatasetProfile> =
-            std::mem::take(&mut self.datasets).into_iter().filter(|p| p.name != name).collect();
-        self.rebuild(retained);
+        };
+        let ds = self.slots[slot as usize].take().expect("by_name points at a live slot");
+        self.by_id.remove(&ds.id);
+        self.unindex_derived(slot, &ds.profile, ds.fingerprint);
+        self.free_slots.push(slot);
+        self.live -= 1;
         true
     }
 
-    /// Replace (or insert) a dataset's profile in place, keeping
-    /// registration order; derived state is rebuilt exactly as for
-    /// [`DiscoveryIndex::remove`].
+    /// Replace (or insert) a dataset's profile in place: the dataset keeps
+    /// its slot and id, and only its own derived entries are swapped.
     pub fn replace(&mut self, profile: DatasetProfile) {
-        if !self.by_name.contains_key(&profile.name) {
+        let Some(&slot) = self.by_name.get(&profile.name) else {
             self.register(profile);
             return;
-        }
-        let mut retained: Vec<DatasetProfile> = std::mem::take(&mut self.datasets);
-        let slot = retained.iter_mut().find(|p| p.name == profile.name).expect("checked above");
-        *slot = profile;
-        self.rebuild(retained);
+        };
+        let old = self.slots[slot as usize].take().expect("by_name points at a live slot");
+        self.unindex_derived(slot, &old.profile, old.fingerprint);
+        let fingerprint = schema_fingerprint(&profile);
+        self.index_derived(slot, &profile, fingerprint);
+        self.slots[slot as usize] = Some(IndexedDataset { id: old.id, fingerprint, profile });
     }
 
-    /// Reset to an empty index on the same config, then re-register.
-    fn rebuild(&mut self, profiles: Vec<DatasetProfile>) {
-        *self = DiscoveryIndex::from_profiles(self.config.clone(), profiles);
+    /// Add one profile's derived entries (postings, key columns, LSH refs,
+    /// schema bucket). Called before the profile lands in its slot.
+    fn index_derived(&mut self, slot: u32, profile: &DatasetProfile, fingerprint: u64) {
+        self.invalidate_idf();
+        for (ci, col) in profile.columns.iter().enumerate() {
+            self.postings.add_document(&col.terms);
+            if self.is_key_like(col) {
+                self.num_key_columns += 1;
+                if self.lsh_built {
+                    self.lsh_insert(slot, ci as u32, col);
+                }
+            }
+        }
+        // Lazy LSH: small corpora never hash a band. The build backfills
+        // every live slot plus the profile being registered.
+        if !self.lsh_built && self.num_key_columns > self.config.brute_force_limit {
+            self.build_lsh(slot, profile);
+        }
+        let bucket = self.schema_buckets.entry(fingerprint).or_default();
+        let pos = bucket.partition_point(|&s| s < slot);
+        bucket.insert(pos, slot);
+    }
+
+    /// Remove one profile's derived entries. Called after the profile left
+    /// its slot.
+    fn unindex_derived(&mut self, slot: u32, profile: &DatasetProfile, fingerprint: u64) {
+        self.invalidate_idf();
+        for (ci, col) in profile.columns.iter().enumerate() {
+            self.postings.remove_document(&col.terms);
+            if self.is_key_like(col) {
+                self.num_key_columns -= 1;
+                if self.lsh_built {
+                    self.lsh_remove(slot, ci as u32, col);
+                }
+            }
+        }
+        if let Some(bucket) = self.schema_buckets.get_mut(&fingerprint) {
+            bucket.retain(|&s| s != slot);
+            let empty = bucket.is_empty();
+            if empty {
+                self.schema_buckets.remove(&fingerprint);
+            }
+        }
+    }
+
+    fn lsh_insert(&mut self, slot: u32, ci: u32, col: &ColumnProfile) {
+        for (b, h) in col.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate() {
+            self.lsh.entry((b as u32, h)).or_default().push((slot, ci));
+        }
+    }
+
+    fn lsh_remove(&mut self, slot: u32, ci: u32, col: &ColumnProfile) {
+        for (b, h) in col.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate() {
+            let key = (b as u32, h);
+            let mut now_empty = false;
+            if let Some(bucket) = self.lsh.get_mut(&key) {
+                bucket.retain(|&r| r != (slot, ci));
+                now_empty = bucket.is_empty();
+            }
+            if now_empty {
+                self.lsh.remove(&key);
+            }
+        }
+    }
+
+    /// First crossing of `brute_force_limit`: materialize the band table
+    /// from every live profile plus the one mid-registration.
+    fn build_lsh(&mut self, pending_slot: u32, pending: &DatasetProfile) {
+        self.lsh_built = true;
+        let mut refs: Vec<(u32, u32)> = Vec::new();
+        for (slot, ds) in self.slots.iter().enumerate() {
+            let Some(ds) = ds.as_ref() else { continue };
+            for (ci, col) in ds.profile.columns.iter().enumerate() {
+                if self.is_key_like(col) {
+                    refs.push((slot as u32, ci as u32));
+                }
+            }
+        }
+        for (slot, ci) in refs {
+            let col = &self.slots[slot as usize].as_ref().unwrap().profile.columns[ci as usize];
+            for (b, h) in col.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate() {
+                self.lsh.entry((b as u32, h)).or_default().push((slot, ci));
+            }
+        }
+        for (ci, col) in pending.columns.iter().enumerate() {
+            if self.is_key_like(col) {
+                self.lsh_insert(pending_slot, ci as u32, col);
+            }
+        }
     }
 
     fn is_key_like(&self, col: &ColumnProfile) -> bool {
@@ -213,96 +441,218 @@ impl DiscoveryIndex {
             && !col.minhash.is_empty()
     }
 
-    /// Current IDF table (`ln(1 + N/df)`), memoized until the next
-    /// registration (it was previously rebuilt on every union query).
-    fn idf(&self) -> std::sync::Arc<FxHashMap<String, f64>> {
-        let mut cache = self.idf_cache.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(idf) = cache.as_ref() {
-            return std::sync::Arc::clone(idf);
+    fn invalidate_idf(&mut self) {
+        *self.idf_cache.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Current IDF table, memoized until the next mutation. The warm path
+    /// takes only a read lock (the old `Mutex` serialized every concurrent
+    /// union query on a warm cache); the write lock is taken — and the
+    /// table rebuilt from the postings — only after an invalidation.
+    fn idf(&self) -> Arc<FxHashMap<String, f64>> {
+        if let Some(idf) = self.idf_cache.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            return Arc::clone(idf);
         }
-        let idf: std::sync::Arc<FxHashMap<String, f64>> = std::sync::Arc::new(
-            self.doc_freq
-                .iter()
-                .map(|(t, &df)| (t.clone(), (1.0 + self.num_docs / df.max(1.0)).ln()))
-                .collect(),
-        );
-        *cache = Some(std::sync::Arc::clone(&idf));
+        let mut cache = self.idf_cache.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(idf) = cache.as_ref() {
+            return Arc::clone(idf); // raced with another rebuilder
+        }
+        let idf = Arc::new(self.postings.idf_table());
+        *cache = Some(Arc::clone(&idf));
         idf
     }
 
+    /// Live `(slot, dataset)` pairs in ascending slot order — the canonical
+    /// deterministic iteration both the exact join path and the linear
+    /// references use.
+    fn live(&self) -> impl Iterator<Item = (u32, &IndexedDataset)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|ds| (i as u32, ds)))
+    }
+
     /// `Discover(R, ⋈)`: join candidates for a query dataset, best column
-    /// pair per provider dataset, sorted by descending Jaccard.
+    /// pair per provider dataset, sorted by descending Jaccard (name
+    /// ascending on ties). Exact column sweep below `brute_force_limit`,
+    /// LSH banding above it.
     pub fn find_join_candidates(&self, query: &DatasetProfile) -> Vec<JoinCandidate> {
-        let mut best: FxHashMap<u32, JoinCandidate> = FxHashMap::default();
-        for qcol in query.keyable_columns() {
-            if !self.is_key_like(qcol) {
+        let use_lsh = self.num_key_columns > self.config.brute_force_limit;
+        debug_assert!(!use_lsh || self.lsh_built, "crossing the limit builds the table");
+        self.join_candidates_impl(query, use_lsh)
+    }
+
+    /// Retained linear-scan reference for the join tier: always the exact
+    /// sweep over every indexed key column, regardless of corpus size. The
+    /// indexed path must match it bit for bit whenever it, too, runs exact
+    /// (pinned by the `index_parity` property suite); the LSH path trades
+    /// recall for scale by design.
+    pub fn find_join_candidates_linear(&self, query: &DatasetProfile) -> Vec<JoinCandidate> {
+        self.join_candidates_impl(query, false)
+    }
+
+    fn join_candidates_impl(&self, query: &DatasetProfile, use_lsh: bool) -> Vec<JoinCandidate> {
+        let mut best: FxHashMap<u32, BestPair> = FxHashMap::default();
+        // One candidate arena shared across all query columns (cleared, not
+        // reallocated, per column).
+        let mut seen: FxHashSet<ColRef> = FxHashSet::default();
+        let mut refs: Vec<ColRef> = Vec::new();
+        for (qi, qcol) in query.columns.iter().enumerate() {
+            if qcol.non_null == 0 || !self.is_key_like(qcol) {
                 continue;
             }
-            // Candidate pairs: exact scan for small corpora, LSH at scale.
-            let mut seen: FxHashSet<ColRef> = FxHashSet::default();
-            if self.key_columns.len() <= self.config.brute_force_limit {
-                seen.extend(self.key_columns.iter().copied());
-            } else {
+            if use_lsh {
+                seen.clear();
+                refs.clear();
                 for (b, h) in
                     qcol.minhash.band_hashes(self.config.lsh_bands).into_iter().enumerate()
                 {
                     if let Some(bucket) = self.lsh.get(&(b as u32, h)) {
                         for &cref in bucket {
-                            seen.insert(cref);
+                            if seen.insert(cref) {
+                                refs.push(cref);
+                            }
+                        }
+                    }
+                }
+                // Ascending (slot, column) order: deterministic, and equal
+                // to the exact sweep's order on the same candidate set.
+                refs.sort_unstable();
+                for &(slot, ci) in &refs {
+                    self.consider_pair(query, qi as u32, qcol, slot, ci, &mut best);
+                }
+            } else {
+                for (slot, ds) in self.live() {
+                    for (ci, ccol) in ds.profile.columns.iter().enumerate() {
+                        if self.is_key_like(ccol) {
+                            self.consider_pair(query, qi as u32, qcol, slot, ci as u32, &mut best);
                         }
                     }
                 }
             }
-            for (di, ci) in seen {
-                let ds = &self.datasets[di as usize];
-                if ds.name == query.name {
-                    continue; // don't join a dataset with itself
-                }
-                let cand_col = &ds.columns[ci as usize];
-                if cand_col.data_type != qcol.data_type {
-                    continue; // int keys join int keys, str join str
-                }
-                let j = qcol.minhash.jaccard(&cand_col.minhash);
-                if j < self.config.join_threshold {
-                    continue;
-                }
-                let entry = JoinCandidate {
-                    dataset: ds.name.clone(),
-                    query_column: qcol.name.clone(),
-                    candidate_column: cand_col.name.clone(),
-                    jaccard: j,
-                };
-                match best.get(&di) {
-                    Some(existing) if existing.jaccard >= j => {}
-                    _ => {
-                        best.insert(di, entry);
-                    }
-                }
-            }
         }
-        let mut out: Vec<JoinCandidate> = best.into_values().collect();
-        out.sort_by(|a, b| {
-            b.jaccard
-                .partial_cmp(&a.jaccard)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.dataset.cmp(&b.dataset))
-        });
-        out
+        self.rank_join_candidates(query, best)
     }
 
-    /// `Discover(R, ∪)`: union candidates — datasets whose schema matches the
-    /// query's (same column names and types) with mean column cosine ≥ τ.
+    /// Score one (query column, candidate column) pair and fold it into the
+    /// per-dataset best map. Ties keep the earliest pair in iteration order
+    /// (query columns in schema order, candidates in ascending (slot, col)),
+    /// which makes the result independent of hash-set iteration order.
+    fn consider_pair(
+        &self,
+        query: &DatasetProfile,
+        qi: u32,
+        qcol: &ColumnProfile,
+        slot: u32,
+        ci: u32,
+        best: &mut FxHashMap<u32, BestPair>,
+    ) {
+        let ds = self.slots[slot as usize].as_ref().expect("candidate refs are live");
+        if ds.profile.name == query.name {
+            return; // don't join a dataset with itself
+        }
+        let ccol = &ds.profile.columns[ci as usize];
+        if ccol.data_type != qcol.data_type {
+            return; // int keys join int keys, str join str
+        }
+        let j = qcol.minhash.jaccard(&ccol.minhash);
+        if j < self.config.join_threshold {
+            return;
+        }
+        match best.get(&slot) {
+            Some(existing) if existing.jaccard >= j => {}
+            _ => {
+                best.insert(slot, BestPair { jaccard: j, query_col: qi, cand_col: ci });
+            }
+        }
+    }
+
+    fn rank_join_candidates(
+        &self,
+        query: &DatasetProfile,
+        best: FxHashMap<u32, BestPair>,
+    ) -> Vec<JoinCandidate> {
+        let mut ranked: Vec<(u32, BestPair)> = best.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.jaccard.partial_cmp(&a.1.jaccard).unwrap_or(std::cmp::Ordering::Equal).then_with(
+                || {
+                    let name =
+                        |slot: u32| &self.slots[slot as usize].as_ref().unwrap().profile.name;
+                    name(a.0).cmp(name(b.0))
+                },
+            )
+        });
+        // Query-column names are shared across candidates on the same key.
+        let mut qnames: Vec<Option<Arc<str>>> = vec![None; query.columns.len()];
+        ranked
+            .into_iter()
+            .map(|(slot, bp)| {
+                let ds = self.slots[slot as usize].as_ref().unwrap();
+                let qname = qnames[bp.query_col as usize]
+                    .get_or_insert_with(|| {
+                        Arc::from(query.columns[bp.query_col as usize].name.as_str())
+                    })
+                    .clone();
+                JoinCandidate {
+                    dataset: ds.id,
+                    query_column: qname,
+                    candidate_column: Arc::from(
+                        ds.profile.columns[bp.cand_col as usize].name.as_str(),
+                    ),
+                    jaccard: bp.jaccard,
+                }
+            })
+            .collect()
+    }
+
+    /// `Discover(R, ∪)`: union candidates — datasets whose schema matches
+    /// the query's (same column names and types) with mean column cosine
+    /// ≥ τ. Served from the schema-fingerprint bucket: one hash lookup,
+    /// then cosine scoring over the bucket members only.
     pub fn find_union_candidates(&self, query: &DatasetProfile) -> Vec<UnionCandidate> {
+        let Some(bucket) = self.schema_buckets.get(&schema_fingerprint(query)) else {
+            return Vec::new();
+        };
         let idf = self.idf();
-        let default_idf = (1.0 + self.num_docs).ln();
+        let default_idf = self.postings.default_idf();
+        // Each query column's TF-IDF norm, once — not once per candidate.
+        let qnorms: Vec<f64> =
+            query.columns.iter().map(|c| c.terms.weighted_norm(&idf, default_idf)).collect();
         let mut out = Vec::new();
-        'ds: for ds in &self.datasets {
-            if ds.name == query.name || ds.columns.len() != query.columns.len() {
+        'ds: for &slot in bucket {
+            let ds = self.slots[slot as usize].as_ref().expect("buckets hold live slots");
+            // Re-verify compatibility (fingerprint collisions must not leak
+            // through); same checks as the linear reference.
+            if ds.profile.name == query.name || ds.profile.columns.len() != query.columns.len() {
+                continue;
+            }
+            let mut cos_sum = 0.0;
+            for (qcol, &qnorm) in query.columns.iter().zip(&qnorms) {
+                let Some(ccol) = ds.profile.column(&qcol.name) else { continue 'ds };
+                if ccol.data_type != qcol.data_type {
+                    continue 'ds;
+                }
+                cos_sum += qcol.terms.cosine_prenormed(&ccol.terms, &idf, default_idf, qnorm);
+            }
+            let score = cos_sum / query.columns.len() as f64;
+            if score >= self.config.union_threshold {
+                out.push(UnionCandidate { dataset: ds.id, score });
+            }
+        }
+        self.rank_union_candidates(out)
+    }
+
+    /// Retained linear-scan reference for the union tier: the original
+    /// full pass over every dataset. The bucket index must match it bit
+    /// for bit (pinned by the `index_parity` property suite).
+    pub fn find_union_candidates_linear(&self, query: &DatasetProfile) -> Vec<UnionCandidate> {
+        let idf = self.idf();
+        let default_idf = self.postings.default_idf();
+        let mut out = Vec::new();
+        'ds: for (_, ds) in self.live() {
+            if ds.profile.name == query.name || ds.profile.columns.len() != query.columns.len() {
                 continue;
             }
             let mut cos_sum = 0.0;
             for qcol in &query.columns {
-                let Some(ccol) = ds.column(&qcol.name) else { continue 'ds };
+                let Some(ccol) = ds.profile.column(&qcol.name) else { continue 'ds };
                 if ccol.data_type != qcol.data_type {
                     continue 'ds;
                 }
@@ -310,14 +660,18 @@ impl DiscoveryIndex {
             }
             let score = cos_sum / query.columns.len() as f64;
             if score >= self.config.union_threshold {
-                out.push(UnionCandidate { dataset: ds.name.clone(), score });
+                out.push(UnionCandidate { dataset: ds.id, score });
             }
         }
+        self.rank_union_candidates(out)
+    }
+
+    fn rank_union_candidates(&self, mut out: Vec<UnionCandidate>) -> Vec<UnionCandidate> {
         out.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.dataset.cmp(&b.dataset))
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then_with(|| {
+                let name = |id: DatasetId| self.name_of(id).unwrap_or_default();
+                name(a.dataset).cmp(name(b.dataset))
+            })
         });
         out
     }
@@ -340,6 +694,10 @@ mod tests {
         idx
     }
 
+    fn name(idx: &DiscoveryIndex, id: DatasetId) -> &str {
+        idx.name_of(id).expect("candidate id resolves")
+    }
+
     fn train() -> Relation {
         RelationBuilder::new("train")
             .int_col("zone", &(0..50).collect::<Vec<_>>())
@@ -358,9 +716,9 @@ mod tests {
         let idx = index_with(&[&prov]);
         let cands = idx.find_join_candidates(&profile(&train()));
         assert_eq!(cands.len(), 1);
-        assert_eq!(cands[0].dataset, "weather");
-        assert_eq!(cands[0].query_column, "zone");
-        assert_eq!(cands[0].candidate_column, "zone_id");
+        assert_eq!(name(&idx, cands[0].dataset), "weather");
+        assert_eq!(&*cands[0].query_column, "zone");
+        assert_eq!(&*cands[0].candidate_column, "zone_id");
         assert!(cands[0].jaccard > 0.9);
     }
 
@@ -395,7 +753,7 @@ mod tests {
         let idx = index_with(&[&prov]);
         let cands = idx.find_join_candidates(&profile(&train()));
         assert_eq!(cands.len(), 1);
-        assert_eq!(cands[0].candidate_column, "good");
+        assert_eq!(&*cands[0].candidate_column, "good");
     }
 
     #[test]
@@ -423,7 +781,7 @@ mod tests {
         let idx = index_with(&[&same, &unrelated, &wrong_schema]);
         let cands = idx.find_union_candidates(&profile(&t));
         assert_eq!(cands.len(), 1, "{cands:?}");
-        assert_eq!(cands[0].dataset, "more_rows");
+        assert_eq!(name(&idx, cands[0].dataset), "more_rows");
         assert!(cands[0].score > 0.5);
     }
 
@@ -469,6 +827,65 @@ mod tests {
             .unwrap();
         let cands = idx.find_join_candidates(&profile(&q));
         assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn small_corpora_never_touch_the_lsh_table() {
+        // Regression for `brute_force_limit` honoring: below the limit no
+        // band is ever hashed into the table — not at registration, not by
+        // queries (the exact path serves them) — and the table only
+        // materializes when the corpus crosses the limit.
+        let cfg = DiscoveryConfig { brute_force_limit: 3, ..Default::default() };
+        let mut idx = DiscoveryIndex::new(cfg);
+        let mk = |name: &str, off: i64| {
+            RelationBuilder::new(name)
+                .int_col("zone", &(off..off + 50).collect::<Vec<_>>())
+                .float_col("v", &[0.0; 50])
+                .build()
+                .unwrap()
+        };
+        for i in 0..3 {
+            idx.register(profile(&mk(&format!("d{i}"), i * 10)));
+        }
+        assert!(!idx.find_join_candidates(&profile(&train())).is_empty());
+        assert_eq!(idx.stats().lsh_buckets, 0, "below the limit the table stays empty");
+        assert_eq!(idx.stats().key_columns, 3);
+
+        // The 4th key column crosses the limit: the table backfills all
+        // registered columns at once.
+        idx.register(profile(&mk("d3", 5)));
+        assert!(idx.stats().lsh_buckets > 0, "crossing the limit builds the table");
+        let q = profile(&train());
+        let exact_like: Vec<String> = idx
+            .find_join_candidates(&q)
+            .iter()
+            .map(|c| idx.name_of(c.dataset).unwrap().to_string())
+            .collect();
+        assert!(exact_like.contains(&"d0".to_string()), "{exact_like:?}");
+    }
+
+    #[test]
+    fn indexed_union_matches_linear_reference() {
+        let t = RelationBuilder::new("q")
+            .str_col("boro", &["brooklyn", "queens", "bronx"])
+            .float_col("y", &[1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let mk = |name: &str, words: [&str; 3]| {
+            RelationBuilder::new(name)
+                .str_col("boro", &words)
+                .float_col("y", &[4.0, 5.0, 6.0])
+                .build()
+                .unwrap()
+        };
+        let a = mk("a", ["brooklyn", "manhattan", "queens"]);
+        let b = mk("b", ["brooklyn", "queens", "bronx"]);
+        let c = mk("c", ["tokyo", "osaka", "kyoto"]);
+        let idx = index_with(&[&a, &b, &c]);
+        let indexed = idx.find_union_candidates(&profile(&t));
+        let linear = idx.find_union_candidates_linear(&profile(&t));
+        assert_eq!(indexed, linear, "bucket index must be bit-identical to the scan");
+        assert_eq!(indexed.len(), 2);
     }
 
     #[test]
@@ -523,7 +940,7 @@ mod tests {
         assert_eq!(idx.len(), 1);
         let cands = idx.find_join_candidates(&profile(&train()));
         assert_eq!(cands.len(), 1);
-        assert_eq!(cands[0].dataset, "weak");
+        assert_eq!(name(&idx, cands[0].dataset), "weak");
         assert!(idx.profile("strong").is_none());
 
         // Replace: weak's keys become disjoint → no candidates at all.
@@ -542,6 +959,24 @@ mod tests {
     }
 
     #[test]
+    fn ids_stable_across_remove_replace_churn() {
+        let strong = RelationBuilder::new("strong")
+            .int_col("zone", &(0..50).collect::<Vec<_>>())
+            .float_col("v", &[0.0; 50])
+            .build()
+            .unwrap();
+        let mut idx = index_with(&[&strong]);
+        let id = idx.id_of("strong").unwrap();
+        idx.remove("strong");
+        assert_eq!(idx.id_of("strong"), None);
+        idx.register(profile(&strong));
+        assert_eq!(idx.id_of("strong"), Some(id), "re-registering a name keeps its id");
+        idx.replace(profile(&strong));
+        assert_eq!(idx.id_of("strong"), Some(id));
+        assert_eq!(idx.name_of(id), Some("strong"));
+    }
+
+    #[test]
     fn from_profiles_matches_incremental_registration() {
         let strong = RelationBuilder::new("strong")
             .int_col("zone", &(0..50).collect::<Vec<_>>())
@@ -551,7 +986,7 @@ mod tests {
         let incremental = index_with(&[&strong]);
         let rebuilt = DiscoveryIndex::from_profiles(
             DiscoveryConfig::default(),
-            incremental.profiles().to_vec(),
+            incremental.profiles().cloned().collect::<Vec<_>>(),
         );
         let a = incremental.find_join_candidates(&profile(&train()));
         let b = rebuilt.find_join_candidates(&profile(&train()));
@@ -562,9 +997,10 @@ mod tests {
     fn duplicate_registration_ignored() {
         let t = train();
         let mut idx = DiscoveryIndex::new(DiscoveryConfig::default());
-        idx.register(profile(&t));
-        idx.register(profile(&t));
+        let id1 = idx.register(profile(&t));
+        let id2 = idx.register(profile(&t));
         assert_eq!(idx.len(), 1);
+        assert_eq!(id1, id2);
     }
 
     #[test]
@@ -584,7 +1020,18 @@ mod tests {
         let idx = index_with(&[&weak, &strong]);
         let cands = idx.find_join_candidates(&profile(&train()));
         assert_eq!(cands.len(), 2);
-        assert_eq!(cands[0].dataset, "strong");
+        assert_eq!(name(&idx, cands[0].dataset), "strong");
         assert!(cands[0].jaccard > cands[1].jaccard);
+    }
+
+    #[test]
+    fn stats_track_index_shape() {
+        let idx = index_with(&[&train()]);
+        let stats = idx.stats();
+        assert_eq!(stats.datasets, 1);
+        assert_eq!(stats.key_columns, 1, "zone is the only key-like column");
+        assert_eq!(stats.schema_buckets, 1);
+        assert!(stats.posting_terms > 0);
+        assert_eq!(stats.lsh_buckets, 0);
     }
 }

@@ -22,7 +22,14 @@ pub mod minhash;
 pub mod profile;
 pub mod tfidf;
 
-pub use index::{DiscoveryConfig, DiscoveryIndex, JoinCandidate, UnionCandidate};
+pub use index::{
+    schema_fingerprint, DiscoveryConfig, DiscoveryIndex, DiscoveryTierStats, JoinCandidate,
+    UnionCandidate,
+};
 pub use minhash::MinHashSignature;
 pub use profile::{ColumnProfile, DatasetProfile};
-pub use tfidf::TermVector;
+pub use tfidf::{TermPostings, TermVector};
+
+// Re-exported so discovery consumers name dataset identities without a
+// direct `mileena-relation` dependency.
+pub use mileena_relation::{DatasetId, DatasetInterner};

@@ -15,9 +15,10 @@ pub struct MinHashSignature {
     mins: Vec<u64>,
 }
 
-/// 64-bit finalizer (splitmix64) used to derive independent hash functions.
+/// 64-bit finalizer (splitmix64) used to derive independent hash functions
+/// (also reused by the index's schema fingerprints).
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -90,39 +90,128 @@ impl TermVector {
         idf: &FxHashMap<String, f64>,
         default_idf: f64,
     ) -> f64 {
+        self.cosine_prenormed(other, idf, default_idf, self.weighted_norm(idf, default_idf))
+    }
+
+    /// The L2 norm of this vector's TF-IDF weighting under `idf` — the
+    /// query-side half of [`TermVector::cosine`], split out so a discovery
+    /// query computes each of its columns' norms **once** and reuses them
+    /// across every bucket candidate (identical bits: same expression, same
+    /// map iteration).
+    pub fn weighted_norm(&self, idf: &FxHashMap<String, f64>, default_idf: f64) -> f64 {
+        self.counts
+            .iter()
+            .map(|(t, &c)| {
+                let w = self.weight(t, c, idf, default_idf);
+                w * w
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// [`TermVector::cosine`] with `self`'s norm supplied by the caller
+    /// (hoisted per query column). Bit-identical to `cosine`.
+    pub fn cosine_prenormed(
+        &self,
+        other: &TermVector,
+        idf: &FxHashMap<String, f64>,
+        default_idf: f64,
+        self_norm: f64,
+    ) -> f64 {
         if self.total == 0.0 || other.total == 0.0 {
             return 0.0;
         }
-        let weight = |tv: &TermVector, term: &str, count: f64| {
-            let tf = count / tv.total;
-            tf * idf.get(term).copied().unwrap_or(default_idf)
-        };
         let mut dot = 0.0;
         for (term, &ca) in &self.counts {
             if let Some(&cb) = other.counts.get(term) {
-                dot += weight(self, term, ca) * weight(other, term, cb);
+                dot += self.weight(term, ca, idf, default_idf)
+                    * other.weight(term, cb, idf, default_idf);
             }
         }
         if dot == 0.0 {
             return 0.0;
         }
-        let norm = |tv: &TermVector| {
-            tv.counts
-                .iter()
-                .map(|(t, &c)| {
-                    let w = weight(tv, t, c);
-                    w * w
-                })
-                .sum::<f64>()
-                .sqrt()
-        };
-        let na = norm(self);
-        let nb = norm(other);
-        if na == 0.0 || nb == 0.0 {
+        let nb = other.weighted_norm(idf, default_idf);
+        if self_norm == 0.0 || nb == 0.0 {
             0.0
         } else {
-            (dot / (na * nb)).clamp(0.0, 1.0)
+            (dot / (self_norm * nb)).clamp(0.0, 1.0)
         }
+    }
+
+    #[inline]
+    fn weight(
+        &self,
+        term: &str,
+        count: f64,
+        idf: &FxHashMap<String, f64>,
+        default_idf: f64,
+    ) -> f64 {
+        (count / self.total) * idf.get(term).copied().unwrap_or(default_idf)
+    }
+}
+
+/// Incrementally-maintained term postings over the indexed corpus: one
+/// document per indexed *column*, each posting a `term → document
+/// frequency` row. This is what backs TF-IDF scoring — the IDF table is
+/// derived from it (and memoized by the index until the postings change),
+/// and register/remove/replace adjust the counts in place instead of
+/// rescanning the corpus.
+///
+/// Counts are integer-valued f64s (exact under ±1 updates far below 2^53),
+/// so an incrementally-maintained table is bit-identical to one rebuilt
+/// from scratch over the same documents.
+#[derive(Debug, Clone, Default)]
+pub struct TermPostings {
+    df: FxHashMap<String, f64>,
+    num_docs: f64,
+}
+
+impl TermPostings {
+    /// Add one document (column) to the postings.
+    pub fn add_document(&mut self, terms: &TermVector) {
+        self.num_docs += 1.0;
+        for term in terms.counts.keys() {
+            *self.df.entry(term.clone()).or_insert(0.0) += 1.0;
+        }
+    }
+
+    /// Remove one document; its terms' frequencies drop by one and rows
+    /// that hit zero are deleted (so a churned postings table is identical
+    /// to a freshly-built one).
+    pub fn remove_document(&mut self, terms: &TermVector) {
+        self.num_docs -= 1.0;
+        for term in terms.counts.keys() {
+            if let Some(df) = self.df.get_mut(term) {
+                *df -= 1.0;
+                if *df <= 0.0 {
+                    self.df.remove(term);
+                }
+            }
+        }
+    }
+
+    /// Total documents (columns) indexed.
+    pub fn num_docs(&self) -> f64 {
+        self.num_docs
+    }
+
+    /// Distinct posting terms.
+    pub fn num_terms(&self) -> usize {
+        self.df.len()
+    }
+
+    /// The IDF weight a term absent from every posting gets.
+    pub fn default_idf(&self) -> f64 {
+        (1.0 + self.num_docs).ln()
+    }
+
+    /// Materialize the IDF table `ln(1 + N/df)` for the current postings.
+    pub fn idf_table(&self) -> FxHashMap<String, f64> {
+        self.df
+            .iter()
+            .map(|(t, &df)| (t.clone(), (1.0 + self.num_docs / df.max(1.0)).ln()))
+            .collect()
     }
 }
 
@@ -202,6 +291,35 @@ mod tests {
         assert_eq!(toks(-250.0), vec!["num:-1e2", "num:-2:1e2"]);
         assert_eq!(toks(250.0), vec!["num:1e2", "num:2:1e2"]);
         assert_eq!(toks(f64::NAN), vec!["num:nan"]);
+    }
+
+    #[test]
+    fn postings_churn_matches_fresh_build() {
+        let a = TermVector::from_column(&Column::from_strs(&["red blue", "red"]));
+        let b = TermVector::from_column(&Column::from_strs(&["red green"]));
+        let c = TermVector::from_column(&Column::from_strs(&["blue violet"]));
+        let mut churned = TermPostings::default();
+        churned.add_document(&a);
+        churned.add_document(&b);
+        churned.add_document(&c);
+        churned.remove_document(&b);
+        let mut fresh = TermPostings::default();
+        fresh.add_document(&a);
+        fresh.add_document(&c);
+        assert_eq!(churned.num_docs(), fresh.num_docs());
+        assert_eq!(churned.num_terms(), fresh.num_terms());
+        assert_eq!(churned.idf_table(), fresh.idf_table());
+        assert_eq!(churned.default_idf(), fresh.default_idf());
+        assert!(!churned.idf_table().contains_key("green"), "zero rows must be deleted");
+    }
+
+    #[test]
+    fn prenormed_cosine_matches_plain() {
+        let a = TermVector::from_column(&Column::from_strs(&["red blue", "red"]));
+        let b = TermVector::from_column(&Column::from_strs(&["red green"]));
+        let idf = uniform_idf();
+        let na = a.weighted_norm(&idf, 1.0);
+        assert_eq!(a.cosine(&b, &idf, 1.0), a.cosine_prenormed(&b, &idf, 1.0, na));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property suite pinning the indexed discovery tier to the retained
+//! linear-scan reference, bit for bit:
+//!
+//! - schema-fingerprint-bucketed union discovery == the full linear scan;
+//! - the exact join sweep == the linear join reference;
+//! - an index maintained incrementally through register/remove/replace
+//!   churn answers identically to one rebuilt exactly from its surviving
+//!   profiles via `from_profiles` (the crash-recovery path) — for both the
+//!   exact and the LSH join plans.
+//!
+//! Equality is full structural equality on the ranked candidate lists,
+//! f64 scores included: any drift in postings maintenance, bucket
+//! bookkeeping, or scoring order shows up as a bit difference here.
+
+use mileena_discovery::{DatasetProfile, DiscoveryConfig, DiscoveryIndex};
+use mileena_relation::{Relation, RelationBuilder};
+use proptest::prelude::*;
+
+const WORDS: &[&str] = &["red", "blue", "green", "violet", "amber", "teal", "umber", "coral"];
+
+/// (schema template, value offset, rows).
+type Spec = (usize, i64, usize);
+
+fn build_relation(name: &str, spec: Spec) -> Relation {
+    let (template, off, rows) = spec;
+    let keys: Vec<i64> = (0..rows as i64).map(|i| (i * 3 + off) % 30).collect();
+    let vals: Vec<f64> = (0..rows as i64).map(|i| ((i * 7 + off) % 13) as f64 / 13.0).collect();
+    match template % 4 {
+        // Two templates share the (k:int, v:float) schema so union buckets
+        // actually collect multiple datasets.
+        0 | 1 => RelationBuilder::new(name).int_col("k", &keys).float_col("v", &vals),
+        2 => {
+            let words: Vec<&str> = (0..rows as i64)
+                .map(|i| WORDS[((i + off) % WORDS.len() as i64) as usize])
+                .collect();
+            RelationBuilder::new(name).str_col("s", &words).float_col("v", &vals)
+        }
+        _ => {
+            let k2: Vec<i64> = keys.iter().map(|k| (k + 11) % 30).collect();
+            RelationBuilder::new(name).int_col("k", &keys).int_col("k2", &k2).float_col("v", &vals)
+        }
+    }
+    .build()
+    .unwrap()
+}
+
+fn profile(r: &Relation) -> DatasetProfile {
+    DatasetProfile::of(r, 64)
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (0usize..4, 0i64..20, 3usize..20)
+}
+
+/// Apply a churn script (0 = remove, 1 = replace, 2 = register-new) to an
+/// index seeded from `initial`, mirroring a platform's mutation history.
+fn churned_index(
+    cfg: DiscoveryConfig,
+    prefix: &str,
+    initial: &[Spec],
+    churn: &[(usize, usize, Spec)],
+) -> DiscoveryIndex {
+    let mut idx = DiscoveryIndex::new(cfg);
+    let mut names: Vec<String> = Vec::new();
+    for (i, s) in initial.iter().enumerate() {
+        let name = format!("{prefix}-p{i}");
+        idx.register(profile(&build_relation(&name, *s)));
+        names.push(name);
+    }
+    let mut extra = 0usize;
+    for (op, target, s) in churn {
+        match op % 3 {
+            0 if !names.is_empty() => {
+                idx.remove(&names[target % names.len()]);
+            }
+            1 if !names.is_empty() => {
+                // Replace re-derives in place (inserts if the name was
+                // removed earlier in the script — both paths must hold).
+                let name = names[target % names.len()].clone();
+                idx.replace(profile(&build_relation(&name, *s)));
+            }
+            _ => {
+                let name = format!("{prefix}-x{extra}");
+                extra += 1;
+                idx.register(profile(&build_relation(&name, *s)));
+                names.push(name);
+            }
+        }
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Default config (exact join plan): indexed vs linear on the churned
+    /// index, and churned vs `from_profiles` rebuild.
+    #[test]
+    fn indexed_discovery_matches_linear_reference_under_churn(
+        initial in prop::collection::vec(spec(), 2..8),
+        churn in prop::collection::vec((0usize..3, 0usize..8, spec()), 0..6),
+        query in spec(),
+    ) {
+        let cfg = DiscoveryConfig::default();
+        let idx = churned_index(cfg.clone(), "parity", &initial, &churn);
+        let q = profile(&build_relation("parity-query", query));
+
+        // Bucketed union discovery == the linear scan, on the same index.
+        prop_assert_eq!(
+            idx.find_union_candidates(&q),
+            idx.find_union_candidates_linear(&q),
+            "schema-fingerprint buckets must not change union results"
+        );
+        // Exact join sweep == the linear join reference.
+        prop_assert_eq!(
+            idx.find_join_candidates(&q),
+            idx.find_join_candidates_linear(&q),
+            "exact join plan must equal the linear reference"
+        );
+
+        // Incremental churn == exact rebuild from the surviving profiles
+        // (the recovery path).
+        let rebuilt = DiscoveryIndex::from_profiles(
+            cfg,
+            idx.profiles().cloned().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(idx.find_union_candidates(&q), rebuilt.find_union_candidates(&q));
+        prop_assert_eq!(idx.find_join_candidates(&q), rebuilt.find_join_candidates(&q));
+        prop_assert_eq!(idx.stats(), rebuilt.stats(), "index shape must rebuild exactly");
+    }
+
+    /// LSH join plan (`brute_force_limit: 0`): a band table maintained
+    /// incrementally through churn answers identically to one rebuilt from
+    /// scratch over the survivors.
+    #[test]
+    fn lsh_table_churn_matches_fresh_rebuild(
+        initial in prop::collection::vec(spec(), 2..8),
+        churn in prop::collection::vec((0usize..3, 0usize..8, spec()), 0..6),
+        query in spec(),
+    ) {
+        let cfg = DiscoveryConfig { brute_force_limit: 0, ..Default::default() };
+        let idx = churned_index(cfg.clone(), "lshp", &initial, &churn);
+        let q = profile(&build_relation("lshp-query", query));
+
+        let rebuilt = DiscoveryIndex::from_profiles(
+            cfg,
+            idx.profiles().cloned().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(
+            idx.find_join_candidates(&q),
+            rebuilt.find_join_candidates(&q),
+            "churned LSH table must answer like a fresh one"
+        );
+        prop_assert_eq!(idx.stats(), rebuilt.stats());
+    }
+}

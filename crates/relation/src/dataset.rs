@@ -1,0 +1,159 @@
+//! Process-local dataset identity: interned `DatasetId`s.
+//!
+//! Every layer of the platform used to pass dataset *names* (`String`)
+//! around — discovery results, candidate augmentations, the projection
+//! cache, greedy events — cloning them at each hop. A [`DatasetId`] is a
+//! dense `u32` handle interned once per name; the hot path moves `Copy`
+//! ids, and names are resolved back only at the service boundary (events,
+//! wire replies).
+//!
+//! Ids are **process-local and never serialized**: the WAL, snapshots, and
+//! the wire protocol all carry names, and recovery re-interns. The interner
+//! is append-only — a removed dataset keeps its id forever, so an id can
+//! never silently come to mean a different dataset mid-process.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Interned dataset identity: a dense `u32` handle into a
+/// [`DatasetInterner`]. Deliberately **not** serde-serializable — ids are
+/// process-local; anything durable or wire-visible carries the name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(u32);
+
+impl DatasetId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DatasetId({})", self.0)
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dataset#{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_name: FxHashMap<Arc<str>, DatasetId>,
+    names: Vec<Arc<str>>,
+}
+
+/// Append-only, thread-safe `name ↔ DatasetId` interner.
+///
+/// The process-global instance ([`DatasetInterner::global`]) is the default
+/// identity space: a discovery index and a sketch store built independently
+/// still agree on every id because both intern by name into the same table.
+/// Multi-tenant deployments that must not share id assignment can hold an
+/// isolated interner instead, as long as index and store share it.
+#[derive(Debug, Default)]
+pub struct DatasetInterner {
+    inner: RwLock<Inner>,
+}
+
+impl DatasetInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> Arc<DatasetInterner> {
+        Arc::new(DatasetInterner::default())
+    }
+
+    /// The process-global interner: the default dataset-identity space.
+    pub fn global() -> &'static Arc<DatasetInterner> {
+        static GLOBAL: OnceLock<Arc<DatasetInterner>> = OnceLock::new();
+        GLOBAL.get_or_init(DatasetInterner::new)
+    }
+
+    /// Intern a dataset name, returning its stable id.
+    pub fn intern(&self, name: &str) -> DatasetId {
+        if let Some(&id) = self.read().by_name.get(name) {
+            return id;
+        }
+        let mut inner = self.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return id; // raced with another writer
+        }
+        let id =
+            DatasetId(u32::try_from(inner.names.len()).expect("interner overflow (2^32 datasets)"));
+        let name: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&name));
+        inner.by_name.insert(name, id);
+        id
+    }
+
+    /// Look a name up without interning it.
+    pub fn get(&self, name: &str) -> Option<DatasetId> {
+        self.read().by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its name (a cheap `Arc` clone).
+    pub fn name(&self, id: DatasetId) -> Option<Arc<str>> {
+        self.read().names.get(id.index()).cloned()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.read().names.len()
+    }
+
+    /// True iff nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_idempotent() {
+        let interner = DatasetInterner::new();
+        let a = interner.intern("alpha");
+        let b = interner.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("alpha"), a, "re-interning returns the same id");
+        assert_eq!(interner.get("alpha"), Some(a));
+        assert_eq!(interner.get("gamma"), None);
+        assert_eq!(interner.name(a).as_deref(), Some("alpha"));
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn global_interner_shared_across_handles() {
+        let a = DatasetInterner::global().intern("shared-name-xyz");
+        let b = DatasetInterner::global().intern("shared-name-xyz");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let interner = DatasetInterner::new();
+        let ids: Vec<DatasetId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let interner = Arc::clone(&interner);
+                    s.spawn(move || interner.intern("contended"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(interner.len(), 1);
+    }
+}

@@ -37,6 +37,7 @@ pub mod bitmap;
 pub mod builder;
 pub mod column;
 pub mod csv;
+pub mod dataset;
 pub mod error;
 pub mod hash;
 pub mod ops;
@@ -47,6 +48,7 @@ pub mod value;
 pub use bitmap::Bitmap;
 pub use builder::RelationBuilder;
 pub use column::Column;
+pub use dataset::{DatasetId, DatasetInterner};
 pub use error::{RelationError, Result};
 pub use hash::{FxHashMap, FxHashSet};
 pub use relation::Relation;

@@ -16,7 +16,7 @@
 //!   fails that re-projection and is dropped, exactly like the uncached
 //!   path).
 
-use crate::candidates::Augmentation;
+use crate::candidates::Candidate;
 use crate::error::Result;
 use crate::proxy::{
     project_join_candidate, CandidateScore, JoinProjection, ProxyState, UnionProjection,
@@ -39,8 +39,9 @@ enum CachedKind {
 /// descended from the state the cache was built for.
 #[derive(Debug, Clone)]
 pub struct CachedCandidate {
-    /// The augmentation this entry evaluates.
-    pub aug: Augmentation,
+    /// The candidate this entry evaluates (id-based: cloning or reading it
+    /// never touches a dataset name).
+    pub aug: Candidate,
     /// Admissible upper bound on this candidate's score under the state
     /// epoch the cache (or the last [`CachedCandidate::refresh`]) saw:
     /// `score ≤ bound` whenever the candidate evaluates at all, and `-∞`
@@ -72,11 +73,13 @@ impl CachedCandidate {
         }
     }
 
-    /// Commit this candidate into the state.
-    pub fn apply(&self, state: &mut ProxyState) -> Result<()> {
+    /// Commit this candidate into the state. `cand_name` is the resolved
+    /// dataset name (commits are once-per-round, after the caller has
+    /// materialized the boundary form), so errors stay operator-readable.
+    pub fn apply(&self, state: &mut ProxyState, cand_name: &str) -> Result<()> {
         match &self.kind {
             CachedKind::Join(projection) => {
-                state.apply_join_cached(self.aug.dataset(), self.query_key(), projection)
+                state.apply_join_cached(cand_name, self.query_key(), projection)
             }
             CachedKind::Union(projection, sketch) => {
                 if state.union_projection_valid(projection) {
@@ -104,8 +107,8 @@ impl CachedCandidate {
             CachedKind::Join(projection) => {
                 if shared_union_bound.is_some() {
                     let query_key = match &self.aug {
-                        Augmentation::Join { query_key, .. } => query_key.as_str(),
-                        Augmentation::Union { .. } => unreachable!("join entry carries a join aug"),
+                        Candidate::Join { query_key, .. } => query_key.as_ref(),
+                        Candidate::Union { .. } => unreachable!("join entry carries a join aug"),
                     };
                     self.bound = state.join_score_bound(query_key, projection);
                 }
@@ -128,8 +131,8 @@ impl CachedCandidate {
 
     fn query_key(&self) -> &str {
         match &self.aug {
-            Augmentation::Join { query_key, .. } => query_key,
-            Augmentation::Union { .. } => unreachable!("unions have no query key"),
+            Candidate::Join { query_key, .. } => query_key,
+            Candidate::Union { .. } => unreachable!("unions have no query key"),
         }
     }
 }
@@ -152,20 +155,20 @@ impl CandidateCache {
     /// bound work entirely (it never reads them).
     pub fn build(
         state: &ProxyState,
-        candidates: Vec<Augmentation>,
+        candidates: Vec<Candidate>,
         store: &SketchStore,
         compute_bounds: bool,
     ) -> CandidateCache {
         let target_interner = state.key_interner();
         let union_bound = (compute_bounds
-            && candidates.iter().any(|a| matches!(a, Augmentation::Union { .. })))
+            && candidates.iter().any(|a| matches!(a, Candidate::Union { .. })))
         .then(|| state.union_score_bound());
         let projected: Vec<Option<CachedCandidate>> = candidates
             .par_iter()
             .map(|aug| {
-                let sketch = store.get(aug.dataset()).ok()?;
+                let sketch = store.get_by_id(aug.dataset()).ok()?;
                 let (kind, bound) = match aug {
-                    Augmentation::Join { query_key, candidate_key, .. } => {
+                    Candidate::Join { query_key, candidate_key, .. } => {
                         let mut projection = project_join_candidate(&sketch, candidate_key).ok()?;
                         // Align onto the state's key space here, once — the
                         // eval hot loop must never re-intern (isolated-store
@@ -185,7 +188,7 @@ impl CandidateCache {
                         };
                         (CachedKind::Join(projection), bound)
                     }
-                    Augmentation::Union { .. } => (
+                    Candidate::Union { .. } => (
                         CachedKind::Union(state.project_union_candidate(&sketch).ok()?, sketch),
                         union_bound.unwrap_or(f64::INFINITY),
                     ),
@@ -217,11 +220,12 @@ impl CandidateCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidates::Augmentation;
     use crate::request::TaskSpec;
-    use mileena_relation::RelationBuilder;
+    use mileena_relation::{DatasetInterner, RelationBuilder};
     use mileena_sketch::{build_sketch, SketchConfig};
 
-    fn fixture() -> (ProxyState, SketchStore, Vec<Augmentation>) {
+    fn fixture() -> (ProxyState, SketchStore, Vec<Candidate>) {
         let zones: Vec<i64> = (0..50).collect();
         let train = RelationBuilder::new("train")
             .int_col("zone", &zones)
@@ -243,15 +247,17 @@ mod tests {
         let state = ProxyState::new(&ts, &ts, &TaskSpec::new("y", &["base_x"]), 1e-6).unwrap();
         let store = SketchStore::new();
         store.register(build_sketch(&prov, &SketchConfig::default()).unwrap()).unwrap();
+        let ids = DatasetInterner::global();
         let augs = vec![
-            Augmentation::Join {
-                dataset: "prov".into(),
+            Candidate::Join {
+                dataset: ids.intern("prov"),
                 query_key: "zone".into(),
                 candidate_key: "zone".into(),
                 similarity: 1.0,
             },
-            Augmentation::Join {
-                dataset: "ghost".into(), // not in store → dropped at build
+            Candidate::Join {
+                // never registered in the store → dropped at build
+                dataset: ids.intern("cache-test-ghost"),
                 query_key: "zone".into(),
                 candidate_key: "zone".into(),
                 similarity: 1.0,
@@ -272,7 +278,8 @@ mod tests {
     #[test]
     fn cached_evaluate_matches_uncached() {
         let (state, store, augs) = fixture();
-        let uncached = state.evaluate(&augs[0], &store.get("prov").unwrap()).unwrap();
+        let wire: Augmentation = augs[0].resolve(store.dataset_interner());
+        let uncached = state.evaluate(&wire, &store.get("prov").unwrap()).unwrap();
         let cache = CandidateCache::build(&state, augs, &store, true);
         let entry = &cache.into_entries()[0];
         let cached = entry.evaluate(&state).unwrap();
@@ -285,7 +292,7 @@ mod tests {
         let (mut state, store, augs) = fixture();
         let cache = CandidateCache::build(&state, augs, &store, true);
         let entries = cache.into_entries();
-        entries[0].apply(&mut state).unwrap();
+        entries[0].apply(&mut state, "prov").unwrap();
         assert_eq!(state.active_join_key(), Some("zone"));
         assert!(state.features().iter().any(|f| f == "prov.f"));
     }

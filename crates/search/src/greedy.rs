@@ -6,7 +6,7 @@
 //! slabs, optionally in parallel via rayon work-stealing.
 
 use crate::cache::{CachedCandidate, CandidateCache};
-use crate::candidates::Augmentation;
+use crate::candidates::{Augmentation, Candidate, CandidateSet};
 use crate::error::Result;
 use crate::proxy::ProxyState;
 use crate::request::{SearchConfig, SketchedRequest};
@@ -76,6 +76,9 @@ pub enum SearchEvent {
     Started {
         /// Cached candidates after projection (unevaluable ones dropped).
         candidates: usize,
+        /// Store-backed candidates dropped by the request's
+        /// `CandidateLimits` before the loop ever saw them.
+        truncated: usize,
     },
     /// One greedy round committed its best augmentation.
     RoundCommitted {
@@ -138,6 +141,9 @@ pub struct SearchOutcome {
     /// Number of candidates pruned by their admissible score bound without
     /// being scored (across all rounds; always 0 with `pruning: false`).
     pub bound_skips: usize,
+    /// Store-backed candidates dropped by the request's `CandidateLimits`
+    /// at enumeration (0 unless the corpus outgrew the configured caps).
+    pub candidates_truncated: usize,
     /// Total wall-clock.
     pub elapsed: std::time::Duration,
     /// Why the loop ended.
@@ -193,7 +199,9 @@ impl GreedySearch {
         GreedySearch { config }
     }
 
-    /// Run the loop from an initial proxy state over the given candidates.
+    /// Run the loop from an initial proxy state over the given candidates
+    /// (a [`CandidateSet`] from `enumerate_candidates`, or a plain
+    /// `Vec<Candidate>` for callers that assemble their own).
     ///
     /// Candidates that error (no key overlap, stale key, missing columns,
     /// excessive fan-out) are dropped silently — they are expected in a
@@ -201,7 +209,7 @@ impl GreedySearch {
     pub fn run(
         &self,
         state: ProxyState,
-        candidates: Vec<Augmentation>,
+        candidates: impl Into<CandidateSet>,
         store: &SketchStore,
     ) -> Result<SearchOutcome> {
         self.run_observed(state, candidates, store, &SearchControl::new(), &mut |_| {})
@@ -215,11 +223,13 @@ impl GreedySearch {
     pub fn run_observed(
         &self,
         mut state: ProxyState,
-        candidates: Vec<Augmentation>,
+        candidates: impl Into<CandidateSet>,
         store: &SketchStore,
         control: &SearchControl,
         observer: &mut dyn FnMut(SearchEvent),
     ) -> Result<SearchOutcome> {
+        let set: CandidateSet = candidates.into();
+        let candidates_truncated = set.truncated();
         let start = Instant::now();
         let base_score = state.current_score()?;
         let mut current = base_score;
@@ -227,11 +237,17 @@ impl GreedySearch {
         let mut evaluations = 0usize;
         let mut bound_skips = 0usize;
 
+        // Names resolve only at the event boundary (once per commit); the
+        // loop itself moves interned ids.
+        let names = store.dataset_interner();
         // Project every candidate once; rounds reuse the projections (and,
         // with pruning, the admissible score bounds computed alongside).
-        let mut entries =
-            CandidateCache::build(&state, candidates, store, self.config.pruning).into_entries();
-        observer(SearchEvent::Started { candidates: entries.len() });
+        let mut entries = CandidateCache::build(&state, set.candidates, store, self.config.pruning)
+            .into_entries();
+        observer(SearchEvent::Started {
+            candidates: entries.len(),
+            truncated: candidates_truncated,
+        });
 
         let mut stop_reason = StopReason::MaxAugmentations;
         for round in 0..self.config.max_augmentations {
@@ -257,8 +273,11 @@ impl GreedySearch {
                 break;
             }
             let entry = entries.swap_remove(best_idx);
-            entry.apply(&mut state)?;
-            if matches!(entry.aug, Augmentation::Join { .. }) {
+            // Resolve the boundary form first: the commit and its events
+            // share one name materialization per round.
+            let augmentation = entry.aug.resolve(names);
+            entry.apply(&mut state, augmentation.dataset())?;
+            if matches!(entry.aug, Candidate::Join { .. }) {
                 // A join grew the feature space: re-project stale union
                 // entries once now (dropping the ones that can't follow)
                 // and recompute every bound against the new epoch, so
@@ -270,7 +289,7 @@ impl GreedySearch {
             current = best_score;
             observer(SearchEvent::RoundCommitted {
                 round,
-                augmentation: entry.aug.clone(),
+                augmentation: augmentation.clone(),
                 score_after: best_score,
                 evaluated: round_evaluated,
                 bound_skipped: round_skipped,
@@ -278,7 +297,7 @@ impl GreedySearch {
                 elapsed_ms: start.elapsed().as_millis() as u64,
             });
             steps.push(SelectionStep {
-                augmentation: entry.aug,
+                augmentation,
                 score_after: best_score,
                 elapsed: start.elapsed(),
             });
@@ -298,6 +317,7 @@ impl GreedySearch {
             steps,
             evaluations,
             bound_skips,
+            candidates_truncated,
             elapsed: start.elapsed(),
             stop_reason,
             state,
@@ -406,15 +426,19 @@ impl GreedySearch {
     }
 
     /// Reference implementation without the projection cache: re-fetches
-    /// and re-projects every candidate on every evaluation. Kept for parity
+    /// and re-projects every candidate on every evaluation, addressing the
+    /// store by name exactly like the pre-cache code. Kept for parity
     /// tests and the cached-vs-uncached latency benchmark; `run` must select
     /// identical augmentations with identical scores.
     pub fn run_uncached(
         &self,
         mut state: ProxyState,
-        mut candidates: Vec<Augmentation>,
+        candidates: impl Into<CandidateSet>,
         store: &SketchStore,
     ) -> Result<SearchOutcome> {
+        let set: CandidateSet = candidates.into();
+        let candidates_truncated = set.truncated();
+        let mut candidates: Vec<Augmentation> = set.resolve(store.dataset_interner());
         let start = Instant::now();
         let base_score = state.current_score()?;
         let mut current = base_score;
@@ -462,6 +486,7 @@ impl GreedySearch {
             steps,
             evaluations,
             bound_skips: 0,
+            candidates_truncated,
             elapsed: start.elapsed(),
             stop_reason,
             state,
@@ -472,7 +497,7 @@ impl GreedySearch {
     /// join-survival guard.
     fn evaluate_entry(&self, state: &ProxyState, entry: &CachedCandidate) -> Option<f64> {
         let score = entry.evaluate(state).ok()?;
-        self.admit(state, &entry.aug, score)
+        self.admit(state, matches!(entry.aug, Candidate::Join { .. }), score)
     }
 
     /// Uncached scoring (reference path): store fetch + re-projection +
@@ -485,7 +510,7 @@ impl GreedySearch {
     ) -> Option<f64> {
         let sketch = store.get(aug.dataset()).ok()?;
         let score = state.evaluate_reference(aug, &sketch).ok()?;
-        self.admit(state, aug, score)
+        self.admit(state, matches!(aug, Augmentation::Join { .. }), score)
     }
 
     /// Join-survival guard: don't let a low-overlap or exploding join eat
@@ -493,10 +518,10 @@ impl GreedySearch {
     fn admit(
         &self,
         state: &ProxyState,
-        aug: &Augmentation,
+        is_join: bool,
         score: crate::proxy::CandidateScore,
     ) -> Option<f64> {
-        if let Augmentation::Join { .. } = aug {
+        if is_join {
             let rows = state.train_rows();
             if score.train_rows < self.config.min_join_survival * rows
                 || score.train_rows > self.config.max_join_fanout * rows
@@ -518,7 +543,8 @@ pub fn search_with_discovery(
     config: &SearchConfig,
 ) -> Result<SearchOutcome> {
     let (state, profile) = build_requester_state(request, config)?;
-    let candidates = crate::candidates::enumerate_candidates(index, store, &profile);
+    let candidates =
+        crate::candidates::enumerate_candidates(index, store, &profile, &config.limits);
     GreedySearch::new(config.clone()).run(state, candidates, store)
 }
 
@@ -656,7 +682,12 @@ mod tests {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let searcher = GreedySearch::new(SearchConfig::default());
         let cached = searcher.run(state.clone(), candidates.clone(), &store).unwrap();
         let reference = searcher.run_uncached(state, candidates, &store).unwrap();
@@ -683,7 +714,12 @@ mod tests {
             let (request, store, index) = setup(&cfg);
             let (state, profile) =
                 build_requester_state(&request, &SearchConfig::default()).unwrap();
-            let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+            let candidates = crate::candidates::enumerate_candidates(
+                &index,
+                &store,
+                &profile,
+                &crate::candidates::CandidateLimits::default(),
+            );
 
             let pruned = GreedySearch::new(SearchConfig { pruning: true, ..Default::default() })
                 .run(state.clone(), candidates.clone(), &store)
@@ -759,7 +795,12 @@ mod tests {
             key_columns: None,
         };
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         assert!(candidates.len() >= 4, "all degenerate providers must be candidates");
 
         let pruned = GreedySearch::new(SearchConfig::default())
@@ -781,7 +822,12 @@ mod tests {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let mut events = Vec::new();
         let out = GreedySearch::new(SearchConfig { pruning: false, ..Default::default() })
             .run_observed(state, candidates, &store, &SearchControl::new(), &mut |ev| {
@@ -806,7 +852,12 @@ mod tests {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let mut events = Vec::new();
         let out = GreedySearch::new(SearchConfig::default())
             .run_observed(state, candidates, &store, &SearchControl::new(), &mut |ev| {
@@ -814,7 +865,7 @@ mod tests {
             })
             .unwrap();
         let mut in_play = match events.first() {
-            Some(SearchEvent::Started { candidates }) => *candidates,
+            Some(SearchEvent::Started { candidates, .. }) => *candidates,
             other => panic!("missing Started event: {other:?}"),
         };
         for ev in &events {
@@ -834,6 +885,46 @@ mod tests {
             panic!("missing Finished event");
         }
         assert!(out.bound_skips > 0, "default (pruned) mode should skip on this corpus");
+    }
+
+    #[test]
+    fn candidate_limits_truncate_and_report() {
+        // Tight limits keep only the top-ranked candidates; the dropped
+        // count flows into the outcome and the Started event, and the loop
+        // still runs over what survived.
+        let cfg = small_corpus();
+        let (request, store, index) = setup(&cfg);
+        let search_cfg = SearchConfig {
+            limits: crate::candidates::CandidateLimits { max_join: 2, max_union: 0 },
+            ..Default::default()
+        };
+        let (state, profile) = build_requester_state(&request, &search_cfg).unwrap();
+        let full = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
+        assert!(full.len() > 2, "corpus must discover more than the cap");
+        assert_eq!(full.truncated(), 0, "default limits are generous");
+
+        let capped =
+            crate::candidates::enumerate_candidates(&index, &store, &profile, &search_cfg.limits);
+        assert_eq!(capped.len(), 2);
+        assert_eq!(capped.truncated(), full.len() - 2);
+        // The kept candidates are the top-ranked prefix of the full set.
+        assert_eq!(capped.candidates[..], full.candidates[..2]);
+
+        let truncated = capped.truncated();
+        let mut events = Vec::new();
+        let out = GreedySearch::new(search_cfg)
+            .run_observed(state, capped, &store, &SearchControl::new(), &mut |ev| events.push(ev))
+            .unwrap();
+        assert_eq!(out.candidates_truncated, truncated);
+        assert!(matches!(
+            events.first(),
+            Some(SearchEvent::Started { truncated: t, .. }) if *t == truncated
+        ));
     }
 
     #[test]
@@ -910,7 +1001,12 @@ mod tests {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let searcher = GreedySearch::new(SearchConfig::default());
         let plain = searcher.run(state.clone(), candidates.clone(), &store).unwrap();
 
@@ -945,7 +1041,12 @@ mod tests {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let control = SearchControl::new();
         control.cancel();
         let out = GreedySearch::new(SearchConfig::default())
@@ -967,7 +1068,12 @@ mod tests {
         assert!(full.steps.len() >= 2, "corpus must support multiple rounds for this test");
 
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let control = SearchControl::new();
         let cancel_handle = control.clone();
         let out = GreedySearch::new(SearchConfig::default())
@@ -987,7 +1093,12 @@ mod tests {
         let cfg = small_corpus();
         let (request, store, index) = setup(&cfg);
         let (state, profile) = build_requester_state(&request, &SearchConfig::default()).unwrap();
-        let candidates = crate::candidates::enumerate_candidates(&index, &store, &profile);
+        let candidates = crate::candidates::enumerate_candidates(
+            &index,
+            &store,
+            &profile,
+            &crate::candidates::CandidateLimits::default(),
+        );
         let mut control = SearchControl::new();
         control.set_deadline(Instant::now() - std::time::Duration::from_millis(1));
         let out = GreedySearch::new(SearchConfig::default())

@@ -31,7 +31,9 @@ pub mod proxy;
 pub mod request;
 
 pub use cache::{CachedCandidate, CandidateCache};
-pub use candidates::{enumerate_candidates, Augmentation};
+pub use candidates::{
+    enumerate_candidates, Augmentation, Candidate, CandidateLimits, CandidateSet,
+};
 pub use error::{Result, SearchError};
 pub use greedy::{
     build_sketched_state, GreedySearch, SearchControl, SearchEvent, SearchOutcome, SelectionStep,

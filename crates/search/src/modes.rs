@@ -200,7 +200,7 @@ impl ModeSession {
         } else {
             build_requester_state(request, search_cfg)?
         };
-        let candidates = enumerate_candidates(index, &self.store, &profile);
+        let candidates = enumerate_candidates(index, &self.store, &profile, &search_cfg.limits);
         let out = GreedySearch::new(search_cfg.clone()).run(state, candidates, &self.store)?;
         let selections: Vec<Augmentation> =
             out.steps.iter().map(|s| s.augmentation.clone()).collect();
@@ -237,7 +237,7 @@ impl ModeSession {
             key_columns: request.key_columns.clone(),
         };
         let (state, profile) = build_requester_state(&noisy_request, search_cfg)?;
-        let candidates = enumerate_candidates(index, &self.store, &profile);
+        let candidates = enumerate_candidates(index, &self.store, &profile, &search_cfg.limits);
         let out = GreedySearch::new(search_cfg.clone()).run(state, candidates, &self.store)?;
         let selections: Vec<Augmentation> =
             out.steps.iter().map(|s| s.augmentation.clone()).collect();
@@ -262,22 +262,23 @@ impl ModeSession {
         let apm = self.apm.as_mut().expect("APM session has a mechanism");
         let profile = mileena_discovery::DatasetProfile::of(&request.train, 128);
         // Discovery over provider profiles is assumed already indexed; the
-        // store is empty in APM mode, so enumerate from the index directly.
+        // store is empty in APM mode, so enumerate from the index directly
+        // (resolving ids back to names — APM materializes raw relations).
+        let resolve = |id: mileena_relation::DatasetId| -> String {
+            index.name_of(id).expect("discovered id is registered").to_string()
+        };
         let mut candidates: Vec<Augmentation> = index
             .find_join_candidates(&profile)
             .into_iter()
             .map(|jc| Augmentation::Join {
-                dataset: jc.dataset,
-                query_key: jc.query_column,
-                candidate_key: jc.candidate_column,
+                dataset: resolve(jc.dataset),
+                query_key: jc.query_column.as_ref().to_string(),
+                candidate_key: jc.candidate_column.as_ref().to_string(),
                 similarity: jc.jaccard,
             })
-            .chain(
-                index
-                    .find_union_candidates(&profile)
-                    .into_iter()
-                    .map(|uc| Augmentation::Union { dataset: uc.dataset, similarity: uc.score }),
-            )
+            .chain(index.find_union_candidates(&profile).into_iter().map(|uc| {
+                Augmentation::Union { dataset: resolve(uc.dataset), similarity: uc.score }
+            }))
             .collect();
 
         let by_name = |name: &str| -> Result<&Relation> {

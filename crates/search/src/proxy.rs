@@ -22,7 +22,7 @@
 use crate::error::{Result, SearchError};
 use crate::request::TaskSpec;
 use mileena_ml::{LinearModel, RidgeConfig};
-use mileena_relation::FxHashMap;
+use mileena_relation::{DatasetId, FxHashMap};
 use mileena_semiring::{packed_idx, CovarTriple, LrSystem};
 use mileena_sketch::{eval_join, eval_union, DatasetSketch, KeyedSketch};
 use std::cell::RefCell;
@@ -81,8 +81,15 @@ pub struct JoinProjection {
 /// feature space, plus its keyed sketches for every tracked join key.
 #[derive(Debug, Clone)]
 pub struct UnionProjection {
-    /// The train feature space this projection targets (cache validity tag:
-    /// joins grow the feature space, invalidating union projections).
+    /// The feature-space epoch this projection targets — the cache validity
+    /// tag. Joins bump the state's epoch (they grow the feature space), so
+    /// validity is one integer compare per evaluation instead of a
+    /// `Vec<String>` equality walk.
+    pub epoch: u64,
+    /// Debug-build cross-check: the feature list the epoch tag stands for,
+    /// kept only to assert the tag never diverges from the comparison it
+    /// replaced. Release builds carry (and clone) no feature-name list.
+    #[cfg(debug_assertions)]
     pub want: Vec<String>,
     /// The candidate's full triple on that feature space.
     pub projected: CovarTriple,
@@ -164,6 +171,10 @@ pub struct ProxyState {
     active_join_key: Option<String>,
     /// Current model features (target excluded).
     features: Vec<String>,
+    /// Feature-space version: bumped on every commit that grows the
+    /// feature space (i.e. every join). Union projections are tagged with
+    /// the epoch they targeted, making staleness a single integer compare.
+    feature_epoch: u64,
     /// Target column.
     target: String,
     /// Ridge λ for the proxy.
@@ -214,6 +225,7 @@ impl ProxyState {
             test_keyed,
             active_join_key: None,
             features: task.features.clone(),
+            feature_epoch: 0,
             target: task.target.clone(),
             lambda,
         })
@@ -353,7 +365,7 @@ impl ProxyState {
             qualified.strip_prefix(&prefix).unwrap_or(qualified).to_string()
         };
         let renamed = cand.full.rename_features(|n| rename(n));
-        let want: Vec<String> = self.train_triple.features.clone();
+        let want = &self.train_triple.features;
         let want_refs: Vec<&str> = want.iter().map(|s| s.as_str()).collect();
         let projected = renamed.project(&want_refs).map_err(|_| {
             SearchError::Sketch(format!(
@@ -376,7 +388,13 @@ impl ProxyState {
                 }
             }
         }
-        Ok(UnionProjection { want, projected, union_keyed })
+        Ok(UnionProjection {
+            epoch: self.feature_epoch,
+            #[cfg(debug_assertions)]
+            want: want.clone(),
+            projected,
+            union_keyed,
+        })
     }
 
     /// Stage a union candidate from its (possibly cached) projection.
@@ -481,6 +499,11 @@ impl ProxyState {
     fn commit(&mut self, staged: Staged) -> Result<()> {
         self.train_triple = staged.train_triple;
         self.test_triple = staged.test_triple;
+        if !staged.new_features.is_empty() {
+            // The feature space moved (a join): invalidate every cached
+            // union projection tagged with the old epoch.
+            self.feature_epoch += 1;
+        }
         self.features.extend(staged.new_features);
         match (staged.composed, staged.union_keyed) {
             (Some((key, ctrain, ctest)), _) => {
@@ -550,7 +573,7 @@ impl ProxyState {
     /// parity tests).
     pub fn evaluate_join_cached(
         &self,
-        cand_name: &str,
+        dataset: DatasetId,
         query_key: &str,
         projection: &JoinProjection,
     ) -> Result<CandidateScore> {
@@ -574,7 +597,7 @@ impl ProxyState {
             let (c_test, matched_test) =
                 test_k.arena().join_stats_into(ca, &mut scratch.s_test, &mut scratch.q_test);
             if matched_train == 0 || matched_test == 0 {
-                return Err(SearchError::Sketch(format!("join with {cand_name} matches no keys")));
+                return Err(SearchError::Sketch(format!("join with {dataset} matches no keys")));
             }
             let train_sys =
                 lr_system_from_packed(c_train, &scratch.s_train, &scratch.q_train, m, t_idx);
@@ -587,19 +610,27 @@ impl ProxyState {
         })
     }
 
-    /// Score a union candidate from a cached projection. The projection must
-    /// target the current feature space (`proj.want`); the cache re-projects
+    /// Score a union candidate from a cached projection. The projection
+    /// must target the current feature-space epoch; the cache re-projects
     /// when a join has grown it.
     pub fn evaluate_union_cached(&self, proj: &UnionProjection) -> Result<CandidateScore> {
+        #[cfg(debug_assertions)]
         debug_assert_eq!(proj.want, self.train_triple.features);
         let staged = self.stage_union_with(proj, false)?;
         self.score_staged(&staged)
     }
 
     /// Whether a cached union projection still targets this state's feature
-    /// space (joins invalidate it; unions don't).
+    /// space (joins invalidate it; unions don't). One integer compare — the
+    /// per-evaluation staleness check on the union hot path.
     pub fn union_projection_valid(&self, proj: &UnionProjection) -> bool {
-        proj.want == self.train_triple.features
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            proj.epoch == self.feature_epoch,
+            proj.want == self.train_triple.features,
+            "epoch tag must agree with the feature-space comparison it replaces"
+        );
+        proj.epoch == self.feature_epoch
     }
 
     /// Commit a candidate: update triples, grouped sketches, features, and
@@ -613,7 +644,10 @@ impl ProxyState {
         self.commit(staged)
     }
 
-    /// Commit a join candidate from a cached projection.
+    /// Commit a join candidate from a cached projection. `cand_name` is the
+    /// resolved dataset name — commits happen once per round, after the
+    /// caller has already materialized the boundary form, so errors here
+    /// name the dataset like the reference path does.
     pub fn apply_join_cached(
         &mut self,
         cand_name: &str,
@@ -717,7 +751,8 @@ mod tests {
         };
         let one_shot = state.evaluate(&aug, &prov_sketch).unwrap();
         let projection = project_join_candidate(&prov_sketch, "zone").unwrap();
-        let cached = state.evaluate_join_cached("prov", "zone", &projection).unwrap();
+        let prov_id = mileena_relation::DatasetInterner::global().intern("prov");
+        let cached = state.evaluate_join_cached(prov_id, "zone", &projection).unwrap();
         assert_eq!(one_shot.test_r2, cached.test_r2, "cached path must be bit-identical");
         assert_eq!(one_shot.matched_keys, cached.matched_keys);
         assert_eq!(one_shot.train_rows, cached.train_rows);

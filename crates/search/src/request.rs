@@ -9,6 +9,7 @@
 //!   ever sees semi-ring sketches plus a discovery profile — the paper's
 //!   Figure 1 guarantee that requester raw data never leaves the local store.
 
+use crate::candidates::CandidateLimits;
 use crate::error::{Result, SearchError};
 use mileena_discovery::DatasetProfile;
 use mileena_privacy::{FactorizedMechanism, FpmConfig, PrivacyBudget};
@@ -201,6 +202,10 @@ pub struct SearchConfig {
     /// admissible — so this is purely an evaluation-plan choice; `false`
     /// forces the exhaustive reference plan.
     pub pruning: bool,
+    /// Caps on enumerated candidates per class (top-ranked kept, the rest
+    /// counted as truncated and reported through `SearchOutcome`/events).
+    /// Defaults are generous; they bound degenerate corpora, not recall.
+    pub limits: CandidateLimits,
 }
 
 impl Default for SearchConfig {
@@ -214,6 +219,7 @@ impl Default for SearchConfig {
             max_join_fanout: 1.5,
             parallel: false,
             pruning: true,
+            limits: CandidateLimits::default(),
         }
     }
 }

@@ -3,32 +3,48 @@
 
 use crate::build::DatasetSketch;
 use crate::error::{Result, SketchError};
+use mileena_relation::{DatasetId, DatasetInterner, FxHashMap};
 use mileena_semiring::KeyInterner;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Thread-safe sketch registry keyed by dataset name.
+#[derive(Debug, Default, Clone)]
+struct StoreInner {
+    by_name: BTreeMap<String, Arc<DatasetSketch>>,
+    by_id: FxHashMap<DatasetId, Arc<DatasetSketch>>,
+}
+
+/// Thread-safe sketch registry keyed by dataset name *and* interned
+/// [`DatasetId`] (the hot-path handle — candidate enumeration and the
+/// projection cache fetch by id, never by name).
 ///
-/// Iteration order is name-sorted (BTreeMap) so searches are deterministic.
-/// Cloning the store is cheap (shared `Arc`), matching the multi-requester
-/// usage pattern: many concurrent searches over one corpus.
+/// Name iteration order is name-sorted (BTreeMap) so searches are
+/// deterministic. Cloning the store is cheap (shared `Arc`), matching the
+/// multi-requester usage pattern: many concurrent searches over one corpus.
 ///
 /// Every store owns a [`KeyInterner`] — the key space its sketches' arenas
 /// index into. Registration re-interns foreign sketches so that within one
 /// store every join probe is a `u32` id comparison, never a `Vec<KeyValue>`
 /// hash. The default store shares the process-global interner, which keeps
 /// requester-built sketches join-compatible with store candidates without
-/// any re-interning.
+/// any re-interning. Dataset ids come from the (by default process-global)
+/// [`DatasetInterner`], so a discovery index built independently hands out
+/// ids this store resolves directly.
 #[derive(Debug, Clone)]
 pub struct SketchStore {
-    inner: Arc<RwLock<BTreeMap<String, Arc<DatasetSketch>>>>,
+    inner: Arc<RwLock<StoreInner>>,
     interner: Arc<KeyInterner>,
+    dataset_ids: Arc<DatasetInterner>,
 }
 
 impl Default for SketchStore {
     fn default() -> Self {
-        SketchStore { inner: Arc::default(), interner: Arc::clone(KeyInterner::global()) }
+        SketchStore {
+            inner: Arc::default(),
+            interner: Arc::clone(KeyInterner::global()),
+            dataset_ids: Arc::clone(DatasetInterner::global()),
+        }
     }
 }
 
@@ -39,14 +55,44 @@ impl SketchStore {
     }
 
     /// New empty store with an isolated key space (multi-tenant platforms
-    /// that must not share key-id assignment across corpora).
+    /// that must not share key-id assignment across corpora). Dataset
+    /// identity stays on the process-global interner; see
+    /// [`SketchStore::with_interners`] to isolate that too.
     pub fn with_interner(interner: Arc<KeyInterner>) -> Self {
-        SketchStore { inner: Arc::default(), interner }
+        SketchStore { interner, ..Self::default() }
+    }
+
+    /// New empty store with isolated key **and** dataset-identity spaces.
+    /// The dataset interner must be shared with the discovery index that
+    /// serves this store's candidates (`DiscoveryIndex::with_interner`):
+    /// `DatasetId`s are untagged `u32` handles, so an id minted by a
+    /// foreign interner would silently resolve to a different dataset
+    /// here.
+    pub fn with_interners(keys: Arc<KeyInterner>, datasets: Arc<DatasetInterner>) -> Self {
+        SketchStore { inner: Arc::default(), interner: keys, dataset_ids: datasets }
     }
 
     /// The store's key space.
     pub fn interner(&self) -> &Arc<KeyInterner> {
         &self.interner
+    }
+
+    /// The store's dataset-identity space.
+    pub fn dataset_interner(&self) -> &Arc<DatasetInterner> {
+        &self.dataset_ids
+    }
+
+    /// The interned id of a registered dataset (`None` = not registered).
+    pub fn dataset_id(&self, name: &str) -> Option<DatasetId> {
+        let id = self.dataset_ids.get(name)?;
+        self.inner.read().by_id.contains_key(&id).then_some(id)
+    }
+
+    /// Resolve an id to its name. Resolution goes through the interner, so
+    /// it works even for datasets since removed from this store (ids are
+    /// never recycled).
+    pub fn dataset_name(&self, id: DatasetId) -> Option<Arc<str>> {
+        self.dataset_ids.name(id)
     }
 
     /// A frozen snapshot of this store: the same sketches (shared `Arc`s)
@@ -58,6 +104,7 @@ impl SketchStore {
         SketchStore {
             inner: Arc::new(RwLock::new(self.inner.read().clone())),
             interner: Arc::clone(&self.interner),
+            dataset_ids: Arc::clone(&self.dataset_ids),
         }
     }
 
@@ -79,11 +126,14 @@ impl SketchStore {
     /// per upload, so silent replacement would be unsound).
     pub fn register(&self, sketch: DatasetSketch) -> Result<()> {
         let sketch = self.adopt(sketch);
-        let mut map = self.inner.write();
-        if map.contains_key(&sketch.name) {
+        let id = self.dataset_ids.intern(&sketch.name);
+        let mut inner = self.inner.write();
+        if inner.by_name.contains_key(&sketch.name) {
             return Err(SketchError::DuplicateDataset(sketch.name));
         }
-        map.insert(sketch.name.clone(), Arc::new(sketch));
+        let sketch = Arc::new(sketch);
+        inner.by_name.insert(sketch.name.clone(), Arc::clone(&sketch));
+        inner.by_id.insert(id, sketch);
         Ok(())
     }
 
@@ -93,50 +143,76 @@ impl SketchStore {
     /// accounting is the caller's concern.
     pub fn replace(&self, sketch: DatasetSketch) -> Option<Arc<DatasetSketch>> {
         let sketch = self.adopt(sketch);
-        self.inner.write().insert(sketch.name.clone(), Arc::new(sketch))
+        let id = self.dataset_ids.intern(&sketch.name);
+        let mut inner = self.inner.write();
+        let sketch = Arc::new(sketch);
+        inner.by_id.insert(id, Arc::clone(&sketch));
+        inner.by_name.insert(sketch.name.clone(), sketch)
     }
 
     /// Whether a dataset is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner.read().by_name.contains_key(name)
+    }
+
+    /// Whether a dataset is registered, by id.
+    pub fn contains_id(&self, id: DatasetId) -> bool {
+        self.inner.read().by_id.contains_key(&id)
     }
 
     /// Remove a dataset's sketch.
     pub fn remove(&self, name: &str) -> Result<()> {
-        self.inner
-            .write()
+        let mut inner = self.inner.write();
+        let removed = inner
+            .by_name
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))
+            .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))?;
+        if let Some(id) = self.dataset_ids.get(name) {
+            inner.by_id.remove(&id);
+        }
+        drop(removed);
+        Ok(())
     }
 
-    /// Fetch a dataset's sketch.
+    /// Fetch a dataset's sketch by name.
     pub fn get(&self, name: &str) -> Result<Arc<DatasetSketch>> {
         self.inner
             .read()
+            .by_name
             .get(name)
             .cloned()
             .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))
     }
 
+    /// Fetch a dataset's sketch by interned id — the hot-path lookup (one
+    /// hash probe on a `u32`-keyed map, no string hashing).
+    pub fn get_by_id(&self, id: DatasetId) -> Result<Arc<DatasetSketch>> {
+        self.inner
+            .read()
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| SketchError::DatasetNotFound(id.to_string()))
+    }
+
     /// All registered dataset names, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.inner.read().keys().cloned().collect()
+        self.inner.read().by_name.keys().cloned().collect()
     }
 
     /// Snapshot of all sketches, name-sorted.
     pub fn all(&self) -> Vec<Arc<DatasetSketch>> {
-        self.inner.read().values().cloned().collect()
+        self.inner.read().by_name.values().cloned().collect()
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().by_name.len()
     }
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().by_name.is_empty()
     }
 }
 
@@ -170,6 +246,23 @@ mod tests {
     }
 
     #[test]
+    fn id_access_tracks_name_access() {
+        let store = SketchStore::new();
+        store.register(sketch("ida")).unwrap();
+        let id = store.dataset_id("ida").unwrap();
+        assert!(store.contains_id(id));
+        assert_eq!(store.get_by_id(id).unwrap().name, "ida");
+        assert_eq!(store.dataset_name(id).as_deref(), Some("ida"));
+        store.remove("ida").unwrap();
+        assert!(!store.contains_id(id));
+        assert!(store.get_by_id(id).is_err());
+        assert_eq!(store.dataset_id("ida"), None, "removed datasets stop resolving");
+        // Re-registration reuses the interned id (ids are never recycled).
+        store.register(sketch("ida")).unwrap();
+        assert_eq!(store.dataset_id("ida"), Some(id));
+    }
+
+    #[test]
     fn duplicate_rejected_replace_allowed() {
         let store = SketchStore::new();
         store.register(sketch("a")).unwrap();
@@ -179,6 +272,9 @@ mod tests {
         assert!(store.replace(sketch("b")).is_none(), "insert-if-absent returns no previous");
         assert_eq!(store.len(), 2);
         assert!(store.contains("a") && !store.contains("zz"));
+        // Replace keeps the id pointing at the new sketch.
+        let id = store.dataset_id("a").unwrap();
+        assert!(Arc::ptr_eq(&store.get("a").unwrap(), &store.get_by_id(id).unwrap()));
     }
 
     #[test]
@@ -194,12 +290,15 @@ mod tests {
         let store = SketchStore::new();
         store.register(sketch("a")).unwrap();
         let snap = store.frozen();
+        let id_a = store.dataset_id("a").unwrap();
         store.register(sketch("b")).unwrap();
         store.remove("a").unwrap();
         assert_eq!(snap.names(), vec!["a"], "snapshot keeps the registration-time view");
         assert_eq!(store.names(), vec!["b"]);
+        assert!(snap.contains_id(id_a), "id access is snapshotted too");
         // Shared key space and shared sketch allocations.
         assert!(Arc::ptr_eq(snap.interner(), store.interner()));
+        assert!(Arc::ptr_eq(snap.dataset_interner(), store.dataset_interner()));
     }
 
     #[test]

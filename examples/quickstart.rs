@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Submit as a session and stream per-round progress.
     let session = service.submit(sketched, None)?;
     let result = session.wait_with(|event| match event {
-        SearchEvent::Started { candidates } => {
+        SearchEvent::Started { candidates, .. } => {
             println!("\nsearching over {candidates} candidates:");
         }
         SearchEvent::RoundCommitted { round, augmentation, score_after, elapsed_ms, .. } => {

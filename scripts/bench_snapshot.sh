@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Run the search-latency + cold-start benchmark suites and snapshot their
-# merged results as BENCH_search.json so successive PRs can track the perf
-# trajectory.
+# Run the search-latency + cold-start + discovery-scale benchmark suites
+# and snapshot their merged results as BENCH_search.json so successive PRs
+# can track the perf trajectory.
 #
 # The in-tree criterion shim writes one JSON file per bench binary into
 # $CRITERION_OUT_DIR ([{group, bench, mean_ns, samples, iters_per_sample}]).
@@ -26,19 +26,21 @@ coldstart_ms="${MILEENA_COLDSTART_MS:-1500}"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench search_latency "$@"
 CRITERION_OUT_DIR="$out_dir" MILEENA_BENCH_MS="$coldstart_ms" \
     cargo bench -p mileena-bench --bench cold_start "$@"
+CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench discovery_scale "$@"
 
-for name in search_latency cold_start; do
+for name in search_latency cold_start discovery_scale; do
     if [[ ! -f "$out_dir/$name.json" ]]; then
         echo "error: $out_dir/$name.json not produced" >&2
         exit 1
     fi
 done
-# Merge the two JSON arrays (shim output is one entry per line between
-# the bracket lines).
+# Merge the JSON arrays (shim output is one entry per line between the
+# bracket lines).
 {
     echo "["
     sed '1d;$d' "$out_dir/search_latency.json" | sed '$s/$/,/'
-    sed '1d;$d' "$out_dir/cold_start.json"
+    sed '1d;$d' "$out_dir/cold_start.json" | sed '$s/$/,/'
+    sed '1d;$d' "$out_dir/discovery_scale.json"
     echo "]"
 } > "$bench_out"
 echo "wrote $bench_out:"
@@ -71,5 +73,20 @@ awk '
     g = $0; sub(/.*"group": "/, "", g); sub(/".*/, "", g)
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "%s pruned round: %.2f ms\n", g, m / 1e6
+}
+/"group": "discovery_20k"/ {
+    b = $0; sub(/.*"bench": "/, "", b); sub(/".*/, "", b)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    if (b == "join_candidates") { dj = m }
+    if (b == "union_candidates") { du = m }
+    if (b == "join_candidates_linear") { lj = m }
+    if (b == "union_candidates_linear") { lu = m }
+}
+END {
+    if (dj > 0 && du > 0) {
+        printf "discovery @20k (join+union query): %.3f ms indexed", (dj + du) / 1e6
+        if (lj > 0 && lu > 0) printf "  vs %.1f ms linear (%.0fx)", (lj + lu) / 1e6, (lj + lu) / (dj + du)
+        printf "\n"
+    }
 }
 ' "$bench_out"

@@ -96,7 +96,9 @@ fn wire_sessions_stream_progress_events() {
     let mut events = Vec::new();
     let reply = session.wait_with(|ev| events.push(ev)).unwrap();
 
-    assert!(matches!(events.first(), Some(SearchEvent::Started { candidates }) if *candidates > 0));
+    assert!(
+        matches!(events.first(), Some(SearchEvent::Started { candidates, .. }) if *candidates > 0)
+    );
     let committed: Vec<_> = events
         .iter()
         .filter_map(|e| match e {
