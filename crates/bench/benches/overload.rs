@@ -1,0 +1,160 @@
+//! Overload benches: what the admission-controlled scheduler costs when a
+//! burst exceeds the worker pool.
+//!
+//! Two entries land in BENCH_search.json:
+//!
+//! - `overload/typed_shed/1` — the shed fast path: with the pool stalled
+//!   and the queue full, a submit must fail *immediately* with the typed
+//!   `Overloaded` error (queue depth + retry hint). This is the latency an
+//!   overloaded client pays to learn it should back off.
+//! - `overload/burst_retry/8` — a 4× pool-size burst (8 sessions against
+//!   2 workers, queue depth 2) drained with shed-and-retry: every shed
+//!   must be a typed `Overloaded` (anything else panics the bench), and
+//!   the mean is the wall-clock to land the whole burst.
+//!
+//! A manual pass before the criterion entries prints per-session p50/p99
+//! latency and the shed rate for the burst shape, for the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mileena_core::{CentralPlatform, CoreError, LocalDataStore, PlatformConfig, SchedulerConfig};
+use mileena_datagen::{generate_corpus, CorpusConfig};
+use mileena_search::{SketchedRequest, TaskSpec};
+use mileena_storage::{FaultKind, FaultPlan, FaultSite};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+const BURST: usize = 4 * WORKERS;
+
+fn corpus_cfg() -> CorpusConfig {
+    CorpusConfig {
+        num_datasets: 24,
+        num_signal: 2,
+        num_union: 1,
+        num_novelty_traps: 2,
+        train_rows: 200,
+        test_rows: 200,
+        provider_rows: 120,
+        key_domain: 50,
+        signal_rows_per_key: 1,
+        noise: 0.15,
+        nonlinear_strength: 0.0,
+        seed: 31,
+    }
+}
+
+fn platform_with(sched: SchedulerConfig, corpus: &mileena_datagen::NycCorpus) -> CentralPlatform {
+    let platform = CentralPlatform::new(PlatformConfig { scheduler: sched, ..Default::default() });
+    for p in &corpus.providers {
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap()).unwrap();
+    }
+    platform
+}
+
+fn sketched(corpus: &mileena_datagen::NycCorpus) -> SketchedRequest {
+    let keys = vec!["zone".to_string()];
+    SketchedRequest::sketch(
+        &corpus.train,
+        &corpus.test,
+        &TaskSpec::new("y", &["base_x"]),
+        Some(&keys),
+    )
+    .unwrap()
+}
+
+/// Submit one burst, retrying typed sheds until every session is admitted,
+/// then wait for all replies. Returns (per-session wall latencies, sheds).
+fn drain_burst(platform: &CentralPlatform, request: &SketchedRequest) -> (Vec<Duration>, u64) {
+    let start = Instant::now();
+    let mut sheds = 0u64;
+    let mut sessions = Vec::with_capacity(BURST);
+    for _ in 0..BURST {
+        loop {
+            match platform.submit(request.clone(), None) {
+                Ok(session) => {
+                    sessions.push(session);
+                    break;
+                }
+                Err(CoreError::Overloaded { retry_after_ms, .. }) => {
+                    sheds += 1;
+                    // Honor the hint, trimmed so the bench stays dense.
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 2)));
+                }
+                Err(other) => panic!("burst submit must shed typed Overloaded, got: {other}"),
+            }
+        }
+    }
+    let latencies =
+        sessions.into_iter().map(|s| s.wait().map(|_| start.elapsed()).unwrap()).collect();
+    (latencies, sheds)
+}
+
+fn bench_overload(c: &mut Criterion) {
+    let corpus = generate_corpus(&corpus_cfg());
+    let request = sketched(&corpus);
+
+    // ---- typed shed fast path: stalled worker, full queue -------------
+    let plan = Arc::new(FaultPlan::new(5).with(
+        FaultSite::Worker,
+        FaultKind::Latency(Duration::from_secs(3)),
+        1000,
+    ));
+    plan.arm();
+    let stalled = platform_with(
+        SchedulerConfig { workers: Some(1), queue_depth: 1, faults: Some(Arc::clone(&plan)) },
+        &corpus,
+    );
+    // One session stalls in the worker for 3 s, one fills the queue: every
+    // submit during the measuring window must shed.
+    let _running = stalled.submit(request.clone(), None).unwrap();
+    while stalled.queued_sessions() > 0 {
+        std::thread::yield_now(); // let the worker pick it up
+    }
+    let _queued = stalled.submit(request.clone(), None).unwrap();
+    let mut group = c.benchmark_group("overload");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("typed_shed", 1), &1, |b, _| {
+        b.iter(|| match stalled.submit(request.clone(), None) {
+            Err(CoreError::Overloaded { queue_depth, retry_after_ms }) => {
+                queue_depth as u64 + retry_after_ms
+            }
+            Ok(_) => panic!("stalled pool admitted a session mid-measurement"),
+            Err(other) => panic!("shed must be typed Overloaded, got: {other}"),
+        })
+    });
+    plan.disarm();
+    drop(stalled); // joins the pool: ≤3 s for the stalled session to drain
+
+    // ---- 4× pool-size burst, shed-and-retry ---------------------------
+    let bursty = platform_with(
+        SchedulerConfig { workers: Some(WORKERS), queue_depth: WORKERS, faults: None },
+        &corpus,
+    );
+
+    // Manual distribution pass for the bench log (the shim records means).
+    let mut lat = Vec::new();
+    let mut sheds = 0u64;
+    for _ in 0..10 {
+        let (mut l, s) = drain_burst(&bursty, &request);
+        lat.append(&mut l);
+        sheds += s;
+    }
+    lat.sort();
+    let p = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize].as_secs_f64() * 1e3;
+    println!(
+        "overload burst {BURST} vs pool {WORKERS}: p50 {:.1} ms, p99 {:.1} ms per session, \
+         {sheds} typed sheds over {} admissions ({:.0}% shed rate)",
+        p(0.50),
+        p(0.99),
+        lat.len(),
+        100.0 * sheds as f64 / (sheds + lat.len() as u64) as f64,
+    );
+
+    group.bench_with_input(BenchmarkId::new("burst_retry", BURST), &BURST, |b, _| {
+        b.iter(|| drain_burst(&bursty, &request).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overload);
+criterion_main!(benches);

@@ -42,6 +42,9 @@ pub struct StoragePolicy {
     /// Snapshots to retain; ≥ 2 lets recovery survive a corrupted newest
     /// snapshot by falling back one checkpoint.
     pub retain_snapshots: usize,
+    /// Chaos hook: deterministic fault plan rolled at the storage-engine
+    /// sites (WAL append/fsync, snapshot write). `None` in production.
+    pub faults: Option<std::sync::Arc<mileena_storage::FaultPlan>>,
 }
 
 impl StoragePolicy {
@@ -52,6 +55,7 @@ impl StoragePolicy {
             checkpoint_every: 256,
             fsync_appends: false,
             retain_snapshots: 2,
+            faults: None,
         }
     }
 }

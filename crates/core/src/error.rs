@@ -24,6 +24,18 @@ pub enum CoreError {
     Storage(String),
     /// The platform is at its concurrent-session capacity (the limit).
     Capacity(usize),
+    /// The admission queue is full: the session was shed at submit time.
+    /// Clients should back off and retry (see `mileena_core::retry`).
+    Overloaded {
+        /// Queue depth at the moment of the shed (the configured bound).
+        queue_depth: usize,
+        /// Server's estimate of when a retry is likely to be admitted,
+        /// in milliseconds from now.
+        retry_after_ms: u64,
+    },
+    /// The platform is shutting down; the session was still queued and
+    /// will never run. Not retryable against this instance.
+    Shutdown,
     /// A typed error that crossed the wire protocol.
     Wire {
         /// Machine-readable error class from the wire envelope.
@@ -45,6 +57,13 @@ impl fmt::Display for CoreError {
             CoreError::Storage(m) => write!(f, "storage: {m}"),
             CoreError::Capacity(max) => {
                 write!(f, "service: platform at capacity ({max} concurrent sessions)")
+            }
+            CoreError::Overloaded { queue_depth, retry_after_ms } => write!(
+                f,
+                "service: admission queue full ({queue_depth} deep); retry in ~{retry_after_ms}ms"
+            ),
+            CoreError::Shutdown => {
+                write!(f, "service: platform is shutting down; queued session dropped")
             }
             CoreError::Wire { code, message } => write!(f, "wire [{code:?}]: {message}"),
         }

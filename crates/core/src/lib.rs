@@ -61,6 +61,8 @@ pub mod durable;
 pub mod error;
 pub mod local;
 pub mod platform;
+pub mod retry;
+pub mod sched;
 pub mod service;
 pub mod wire;
 
@@ -68,8 +70,10 @@ pub use durable::{RecoveryReport, StoragePolicy, WalOp};
 pub use error::{CoreError, Result};
 pub use local::{LocalDataStore, ProviderUpload, SearchRequestBuilder, TaskRequest};
 pub use platform::{CentralPlatform, PlatformConfig, PlatformSearchResult};
+pub use retry::{search_with_retry, RetryPolicy};
+pub use sched::SchedulerConfig;
 pub use service::{InProcess, JsonWire, PlatformService, SearchSession, WireSession};
 pub use wire::{
-    CheckpointReceipt, DiscoveryReport, ErrorCode, PlatformStats, SearchReply, StorageReport,
-    WIRE_VERSION,
+    CheckpointReceipt, DiscoveryReport, ErrorCode, PlatformStats, SchedulerReport, SearchReply,
+    StopCounts, StorageReport, WIRE_VERSION,
 };

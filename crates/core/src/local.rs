@@ -48,6 +48,9 @@ pub struct TaskRequest {
     /// the dataset identity so repeat requests reuse the same release
     /// instead of spending budget again.
     pub seed: u64,
+    /// Requester key for the platform's fair admission queue (`None` =
+    /// shared anonymous bucket).
+    pub requester: Option<String>,
 }
 
 impl TaskRequest {
@@ -86,6 +89,7 @@ pub struct SearchRequestBuilder {
     budget: Option<PrivacyBudget>,
     clip_bound: f64,
     seed: u64,
+    requester: Option<String>,
 }
 
 impl SearchRequestBuilder {
@@ -99,6 +103,7 @@ impl SearchRequestBuilder {
             budget: None,
             clip_bound: FpmConfig::default().bound,
             seed: 0x5EED,
+            requester: None,
         }
     }
 
@@ -132,6 +137,12 @@ impl SearchRequestBuilder {
         self
     }
 
+    /// Requester key for the platform's fair admission queue.
+    pub fn requester(mut self, requester: impl Into<String>) -> Self {
+        self.requester = Some(requester.into());
+        self
+    }
+
     /// Validate and produce the raw client-side request.
     pub fn build(self) -> Result<TaskRequest> {
         let task = self
@@ -157,6 +168,7 @@ impl SearchRequestBuilder {
             budget: self.budget,
             clip_bound: self.clip_bound,
             seed: self.seed,
+            requester: self.requester,
         })
     }
 
@@ -236,7 +248,10 @@ impl LocalDataStore {
                 request.seed,
             )?,
         };
-        Ok(sketched)
+        Ok(match &request.requester {
+            Some(key) => sketched.with_requester(key.clone()),
+            None => sketched,
+        })
     }
 
     /// Produce the upload bundle.

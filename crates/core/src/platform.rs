@@ -13,6 +13,7 @@ use crate::durable::{
 };
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
+use crate::sched::{ExecMode, SchedulerConfig, SessionJob, SessionScheduler};
 use crate::service::SearchSession;
 use crate::wire::{CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, StorageReport};
 use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
@@ -36,12 +37,20 @@ pub struct PlatformConfig {
     pub discovery: DiscoveryConfig,
     /// Search configuration applied when a request doesn't carry its own.
     pub default_search: SearchConfig,
-    /// Maximum concurrently running search sessions; submissions beyond
-    /// this are rejected with a capacity error.
+    /// Upper bound on concurrently *executing* search sessions: the
+    /// scheduler's worker pool never exceeds it. `0` disables submission
+    /// entirely (rejected with a capacity error). Bursts beyond the pool
+    /// wait in the admission queue instead of being rejected — see
+    /// [`SchedulerConfig`].
     pub max_concurrent_sessions: usize,
     /// Server-side wall-clock cap per session, enforced as a deadline on
     /// top of each request's own `time_budget` (`None` = no extra cap).
+    /// Sessions that provably cannot meet the deadline are shed by
+    /// admission control with `StopReason::Shed`.
     pub max_session_wall: Option<Duration>,
+    /// Session-scheduler tuning: worker-pool size, admission-queue depth,
+    /// chaos fault plan.
+    pub scheduler: SchedulerConfig,
     /// Durable-storage policy. Honored by [`CentralPlatform::open_with`] /
     /// [`CentralPlatform::open`]; [`CentralPlatform::new`] always builds a
     /// volatile platform.
@@ -55,6 +64,7 @@ impl Default for PlatformConfig {
             default_search: SearchConfig::default(),
             max_concurrent_sessions: 64,
             max_session_wall: None,
+            scheduler: SchedulerConfig::default(),
             storage: None,
         }
     }
@@ -72,8 +82,8 @@ pub struct PlatformSearchResult {
 }
 
 /// Decrements the active-session counter when a session ends, however it
-/// ends (normal finish, error, panic).
-pub(crate) struct SessionGuard(Arc<AtomicUsize>);
+/// ends (normal finish, error, panic, shed, shutdown).
+pub(crate) struct SessionGuard(pub(crate) Arc<AtomicUsize>);
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
@@ -121,6 +131,7 @@ pub struct CentralPlatform {
     active_sessions: Arc<AtomicUsize>,
     session_counter: AtomicU64,
     search_totals: Arc<SearchTotals>,
+    sched: SessionScheduler,
     durable: Mutex<DurableState>,
 }
 
@@ -163,6 +174,7 @@ impl CentralPlatform {
         let opts = StorageOptions {
             fsync_appends: policy.fsync_appends,
             retain_snapshots: policy.retain_snapshots,
+            faults: policy.faults.clone(),
         };
         let (engine, recovered) = StorageEngine::open(&policy.dir, opts)?;
 
@@ -216,6 +228,11 @@ impl CentralPlatform {
         config: PlatformConfig,
         durable: DurableState,
     ) -> Self {
+        let sched = SessionScheduler::new(
+            config.scheduler.effective_workers(config.max_concurrent_sessions),
+            config.scheduler.queue_depth,
+            config.scheduler.faults.clone(),
+        );
         CentralPlatform {
             store,
             index: RwLock::new(index),
@@ -224,6 +241,7 @@ impl CentralPlatform {
             active_sessions: Arc::new(AtomicUsize::new(0)),
             session_counter: AtomicU64::new(0),
             search_totals: Arc::new(SearchTotals::default()),
+            sched,
             durable: Mutex::new(durable),
         }
     }
@@ -373,6 +391,7 @@ impl CentralPlatform {
                 .candidates_truncated
                 .load(Ordering::Relaxed),
             discovery,
+            scheduler: self.sched.report(),
             storage,
         })
     }
@@ -511,9 +530,14 @@ impl CentralPlatform {
         &self.config
     }
 
-    /// Currently running search sessions.
+    /// Sessions admitted and not yet finished (queued + executing).
     pub fn active_sessions(&self) -> usize {
         self.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Sessions currently waiting in the admission queue.
+    pub fn queued_sessions(&self) -> usize {
+        self.sched.queued()
     }
 
     /// Budget spent by a registered private dataset (`None` = unknown
@@ -541,16 +565,22 @@ impl CentralPlatform {
     /// [`CentralPlatform::submit`] with caller-supplied run control, for
     /// requesters that want to share a cancellation flag across sessions
     /// or impose their own deadline.
+    ///
+    /// Admission control (see [`crate::sched`]): the session joins a
+    /// bounded queue drained round-robin across requester keys by a fixed
+    /// worker pool. A full queue sheds the submission with
+    /// [`CoreError::Overloaded`]; a deadline the scheduler cannot meet
+    /// yields an immediate zero-round reply with `StopReason::Shed`.
     pub fn submit_with_control(
         &self,
         request: SketchedRequest,
         config: Option<SearchConfig>,
         mut control: SearchControl,
     ) -> Result<SearchSession> {
-        let max = self.config.max_concurrent_sessions;
-        self.active_sessions
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < max).then_some(n + 1))
-            .map_err(|_| CoreError::Capacity(max))?;
+        if self.config.max_concurrent_sessions == 0 {
+            return Err(CoreError::Capacity(0));
+        }
+        self.active_sessions.fetch_add(1, Ordering::SeqCst);
         let guard = SessionGuard(Arc::clone(&self.active_sessions));
 
         let cfg = config.unwrap_or_else(|| self.config.default_search.clone());
@@ -558,7 +588,7 @@ impl CentralPlatform {
             control.set_deadline(Instant::now() + wall);
         }
         // Build everything the worker needs up front, so submission errors
-        // surface synchronously and the thread owns a consistent snapshot.
+        // surface synchronously and the job owns a consistent snapshot.
         let state = build_sketched_state(&request, &cfg)?;
         let corpus = self.store.frozen();
         let candidates = {
@@ -567,31 +597,62 @@ impl CentralPlatform {
         };
         let id = self.session_counter.fetch_add(1, Ordering::SeqCst) + 1;
         let target = request.task.target.clone();
+        let requester: Arc<str> = Arc::from(request.requester.as_deref().unwrap_or(""));
 
         let (event_tx, event_rx) = mpsc::channel();
         let (result_tx, result_rx) = mpsc::sync_channel(1);
         let worker_control = control.clone();
         let totals = Arc::clone(&self.search_totals);
-        std::thread::spawn(move || {
+        let exec = Box::new(move |mode: ExecMode| {
             let mut observer = move |ev: SearchEvent| {
                 let _ = event_tx.send(ev);
             };
-            let result = GreedySearch::new(cfg.clone())
-                .run_observed(state, candidates, &corpus, &worker_control, &mut observer)
-                .map_err(CoreError::from)
-                .and_then(|outcome| {
-                    totals.record(&outcome);
+            match mode {
+                ExecMode::Run => GreedySearch::new(cfg.clone())
+                    .run_observed(state, candidates, &corpus, &worker_control, &mut observer)
+                    .map_err(CoreError::from)
+                    .and_then(|outcome| {
+                        totals.record(&outcome);
+                        let model = fit_final_model(&outcome, &target, cfg.lambda)?;
+                        Ok(SearchReply::from_outcome(&outcome, &model))
+                    }),
+                ExecMode::Immediate(reason) => {
+                    // The session never runs a round (cancelled or shed
+                    // while queued): synthesize the zero-step reply the
+                    // search loop would have produced had it stopped at
+                    // its first boundary, events included.
+                    let base_score = state.current_score().map_err(CoreError::from)?;
+                    observer(SearchEvent::Finished {
+                        stop_reason: reason,
+                        final_score: base_score,
+                        rounds: 0,
+                        evaluations: 0,
+                        bound_skips: 0,
+                        elapsed_ms: 0,
+                    });
+                    let outcome = SearchOutcome {
+                        base_score,
+                        final_score: base_score,
+                        steps: Vec::new(),
+                        evaluations: 0,
+                        bound_skips: 0,
+                        candidates_truncated: 0,
+                        elapsed: Duration::ZERO,
+                        stop_reason: reason,
+                        state,
+                    };
                     let model = fit_final_model(&outcome, &target, cfg.lambda)?;
                     Ok(SearchReply::from_outcome(&outcome, &model))
-                });
-            // Close the event stream, then release the session slot,
-            // *before* the reply becomes visible: a caller that `wait()`s
-            // and immediately resubmits must find its slot free (plain
-            // drop order would release it only after the send).
-            drop(observer);
-            drop(guard);
-            let _ = result_tx.send(result);
+                }
+            }
         });
+        self.sched.admit(SessionJob {
+            requester,
+            control: control.clone(),
+            guard,
+            result_tx,
+            exec,
+        })?;
         Ok(SearchSession::new(id, control, event_rx, result_rx))
     }
 

@@ -1,0 +1,249 @@
+//! Client-side retry for overload sheds.
+//!
+//! When the platform's admission queue is full, `submit`/`search` fail
+//! with [`CoreError::Overloaded`], carrying the server's `retry_after_ms`
+//! estimate. [`search_with_retry`] wraps any [`PlatformService`] call in
+//! jittered exponential backoff that honors that hint: each sleep is the
+//! larger of the server's estimate and the client's exponential schedule,
+//! plus a deterministic seed-derived jitter so a herd of identical
+//! clients doesn't re-arrive in lockstep. Every other error — including
+//! [`CoreError::Shutdown`], which is not retryable against the same
+//! instance — passes straight through, and the final `Overloaded` is
+//! surfaced once attempts are exhausted.
+
+use crate::error::{CoreError, Result};
+use crate::service::PlatformService;
+use crate::wire::SearchReply;
+use mileena_search::{SearchConfig, SketchedRequest};
+use std::time::Duration;
+
+/// Backoff schedule for [`search_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means no retry).
+    pub max_attempts: u32,
+    /// First backoff step; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep (jitter excluded).
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x6d69_6c65_656e_6121,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based: the sleep after
+    /// the first failure is `delay(0, ..)`), honoring the server's hint:
+    /// `max(hint, base·2^attempt capped at cap)` plus up to 25% jitter.
+    pub fn delay(&self, attempt: u32, server_hint: Duration) -> Duration {
+        let exp_ms = (self.base.as_millis() as u64)
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap.as_millis() as u64);
+        let floor_ms = exp_ms.max(server_hint.as_millis() as u64);
+        let jitter_ms = match floor_ms / 4 {
+            0 => 0,
+            span => splitmix64(self.seed ^ u64::from(attempt)) % (span + 1),
+        };
+        Duration::from_millis(floor_ms + jitter_ms)
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the chaos `FaultPlan` uses, kept
+/// private here to avoid a dependency for one function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Run `service.search(..)`, retrying [`CoreError::Overloaded`] sheds
+/// with backoff per `policy`. Works over any transport: on the wire path
+/// the typed overload error (queue depth + retry hint) round-trips
+/// through the JSON envelope, so the hint survives end to end.
+pub fn search_with_retry(
+    service: &dyn PlatformService,
+    request: &SketchedRequest,
+    config: Option<&SearchConfig>,
+    policy: &RetryPolicy,
+) -> Result<SearchReply> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match service.search(request.clone(), config.cloned()) {
+            Ok(reply) => return Ok(reply),
+            Err(CoreError::Overloaded { queue_depth, retry_after_ms }) => {
+                let err = CoreError::Overloaded { queue_depth, retry_after_ms };
+                if attempt + 1 < attempts {
+                    std::thread::sleep(
+                        policy.delay(attempt, Duration::from_millis(retry_after_ms)),
+                    );
+                }
+                last_err = Some(err);
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Err(last_err.expect("loop ran at least once"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SearchSession;
+    use crate::wire::ModelReply;
+    use mileena_search::StopReason;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::mpsc;
+
+    fn canned_reply() -> SearchReply {
+        SearchReply {
+            base_score: 0.5,
+            final_score: 0.5,
+            steps: Vec::new(),
+            evaluations: 0,
+            bound_skips: 0,
+            candidates_truncated: 0,
+            elapsed_ms: 0,
+            stop_reason: StopReason::Converged,
+            features: vec!["x".into()],
+            model: ModelReply { intercept: true, coefficients: vec![0.0, 1.0] },
+        }
+    }
+
+    /// A service that sheds the first `shed_first` submissions with
+    /// `Overloaded`, then answers with a canned reply.
+    struct Flaky {
+        shed_first: u32,
+        calls: AtomicU32,
+    }
+
+    impl PlatformService for Flaky {
+        fn register(&self, _upload: crate::local::ProviderUpload) -> Result<()> {
+            Ok(())
+        }
+        fn submit(
+            &self,
+            _request: SketchedRequest,
+            _config: Option<SearchConfig>,
+        ) -> Result<SearchSession> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.shed_first {
+                return Err(CoreError::Overloaded { queue_depth: 4, retry_after_ms: 1 });
+            }
+            let (_event_tx, event_rx) = mpsc::channel();
+            let (result_tx, result_rx) = mpsc::sync_channel(1);
+            result_tx.send(Ok(canned_reply())).unwrap();
+            Ok(SearchSession::new(1, mileena_search::SearchControl::new(), event_rx, result_rx))
+        }
+        fn num_datasets(&self) -> usize {
+            0
+        }
+        fn checkpoint(&self) -> Result<crate::wire::CheckpointReceipt> {
+            Err(CoreError::Storage("volatile".into()))
+        }
+        fn stats(&self) -> Result<crate::wire::PlatformStats> {
+            Err(CoreError::Service("unused".into()))
+        }
+    }
+
+    fn request() -> SketchedRequest {
+        let train = mileena_relation::RelationBuilder::new("train")
+            .int_col("zone", &[1, 2, 3, 4])
+            .float_col("y", &[1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
+        let test = train.clone().with_name("test");
+        let keys = vec!["zone".to_string()];
+        SketchedRequest::sketch(
+            &train,
+            &test,
+            &mileena_search::TaskSpec::new("y", &[]),
+            Some(&keys),
+        )
+        .unwrap()
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn delay_honors_server_hint_and_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 42,
+        };
+        // Server hint above the exponential floor wins.
+        let hinted = policy.delay(0, Duration::from_millis(700));
+        assert!(hinted >= Duration::from_millis(700));
+        assert!(hinted <= Duration::from_millis(700 + 700 / 4));
+        // Deep attempts cap at `cap` (+ jitter).
+        let deep = policy.delay(10, Duration::ZERO);
+        assert!(deep >= Duration::from_secs(2));
+        assert!(deep <= Duration::from_millis(2500));
+        // Deterministic for the same (seed, attempt).
+        assert_eq!(policy.delay(2, Duration::ZERO), policy.delay(2, Duration::ZERO));
+    }
+
+    #[test]
+    fn retries_overload_until_success() {
+        let service = Flaky { shed_first: 2, calls: AtomicU32::new(0) };
+        let reply = search_with_retry(&service, &request(), None, &fast_policy()).unwrap();
+        assert_eq!(reply.stop_reason, StopReason::Converged);
+        assert_eq!(service.calls.load(Ordering::SeqCst), 3, "two sheds then success");
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_final_overload() {
+        let service = Flaky { shed_first: u32::MAX, calls: AtomicU32::new(0) };
+        let err = search_with_retry(&service, &request(), None, &fast_policy()).unwrap_err();
+        assert!(matches!(err, CoreError::Overloaded { queue_depth: 4, retry_after_ms: 1 }));
+        assert_eq!(service.calls.load(Ordering::SeqCst), 3, "capped at max_attempts");
+    }
+
+    #[test]
+    fn non_overload_errors_pass_through_immediately() {
+        struct Down;
+        impl PlatformService for Down {
+            fn register(&self, _u: crate::local::ProviderUpload) -> Result<()> {
+                Ok(())
+            }
+            fn submit(
+                &self,
+                _r: SketchedRequest,
+                _c: Option<SearchConfig>,
+            ) -> Result<SearchSession> {
+                Err(CoreError::Shutdown)
+            }
+            fn num_datasets(&self) -> usize {
+                0
+            }
+            fn checkpoint(&self) -> Result<crate::wire::CheckpointReceipt> {
+                Err(CoreError::Storage("volatile".into()))
+            }
+            fn stats(&self) -> Result<crate::wire::PlatformStats> {
+                Err(CoreError::Service("unused".into()))
+            }
+        }
+        let err = search_with_retry(&Down, &request(), None, &fast_policy()).unwrap_err();
+        assert_eq!(err, CoreError::Shutdown, "Shutdown is not retryable");
+    }
+}

@@ -20,9 +20,9 @@ use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use crate::platform::CentralPlatform;
 use crate::wire::{
-    code_of, AdminOp, AdminReply, CheckpointReceipt, ErrorCode, PlatformStats, RegisterReceipt,
-    SearchReply, WireAdminRequest, WireAdminResponse, WireEvent, WireRegisterRequest,
-    WireRegisterResponse, WireSearchRequest, WireSearchResponse, WIRE_VERSION,
+    AdminOp, AdminReply, CheckpointReceipt, ErrorCode, PlatformStats, RegisterReceipt, SearchReply,
+    WireAdminRequest, WireAdminResponse, WireEvent, WireRegisterRequest, WireRegisterResponse,
+    WireSearchRequest, WireSearchResponse, WIRE_VERSION,
 };
 use mileena_search::{SearchConfig, SearchControl, SearchEvent, SketchedRequest};
 use std::sync::mpsc;
@@ -322,7 +322,7 @@ impl CentralPlatform {
                         dataset,
                         datasets_total: self.num_datasets(),
                     }),
-                    Err(e) => WireRegisterResponse::err(code_of(&e), e.to_string()),
+                    Err(e) => WireRegisterResponse::err_core(&e),
                 }
             }
         };
@@ -347,7 +347,7 @@ impl CentralPlatform {
                 };
                 match result {
                     Ok(reply) => WireAdminResponse::ok(reply),
-                    Err(e) => WireAdminResponse::err(code_of(&e), e.to_string()),
+                    Err(e) => WireAdminResponse::err_core(&e),
                 }
             }
         };
@@ -376,7 +376,12 @@ impl CentralPlatform {
         };
         let session = match self.submit(req.request, req.config) {
             Ok(s) => s,
-            Err(e) => return Err(reject(code_of(&e), e.to_string())),
+            // Structured rejection: Overloaded keeps its queue depth and
+            // retry hint on the wire so clients can back off properly.
+            Err(e) => {
+                return Err(serde_json::to_string(&WireSearchResponse::err_core(&e))
+                    .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string()))
+            }
         };
 
         // Server-side encoder: serialize each event and the final reply.
@@ -394,7 +399,7 @@ impl CentralPlatform {
             });
             let response = match reply {
                 Ok(r) => WireSearchResponse::ok(r),
-                Err(e) => WireSearchResponse::err(code_of(&e), e.to_string()),
+                Err(e) => WireSearchResponse::err_core(&e),
             };
             let json = serde_json::to_string(&response)
                 .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string());

@@ -48,6 +48,11 @@ pub enum ErrorCode {
     InvalidRequest,
     /// The platform is at its concurrent-session capacity.
     Capacity,
+    /// The admission queue is full; back off and retry (the error carries
+    /// `retry_after_ms`).
+    Overloaded,
+    /// The platform is shutting down; the queued session will never run.
+    Shutdown,
     /// Anything else; details in the message.
     Internal,
 }
@@ -59,6 +64,44 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// For [`ErrorCode::Overloaded`]: the server's estimate of when a retry
+    /// is likely to be admitted, in milliseconds. `None` for other codes.
+    pub retry_after_ms: Option<u64>,
+    /// For [`ErrorCode::Overloaded`]: the admission-queue bound that was
+    /// hit. `None` for other codes.
+    pub queue_depth: Option<usize>,
+}
+
+impl WireError {
+    /// A plain coded error (no backpressure payload).
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError { code, message: message.into(), retry_after_ms: None, queue_depth: None }
+    }
+
+    /// Encode a platform error, preserving the structured backpressure
+    /// payload of [`CoreError::Overloaded`] so the client-side retry helper
+    /// can honor the server's hint.
+    pub fn from_core(err: &CoreError) -> Self {
+        let mut wire = WireError::new(code_of(err), err.to_string());
+        if let CoreError::Overloaded { queue_depth, retry_after_ms } = err {
+            wire.retry_after_ms = Some(*retry_after_ms);
+            wire.queue_depth = Some(*queue_depth);
+        }
+        wire
+    }
+
+    /// Decode back into the richest [`CoreError`] the payload supports:
+    /// structured variants where the fields survived the trip, the generic
+    /// `Wire` pass-through otherwise.
+    fn into_core(self) -> CoreError {
+        match (self.code, self.retry_after_ms, self.queue_depth) {
+            (ErrorCode::Overloaded, Some(retry_after_ms), Some(queue_depth)) => {
+                CoreError::Overloaded { queue_depth, retry_after_ms }
+            }
+            (ErrorCode::Shutdown, ..) => CoreError::Shutdown,
+            _ => CoreError::Wire { code: self.code, message: self.message },
+        }
+    }
 }
 
 /// Classify a platform error for the wire. Codes are a coarse, stable
@@ -74,6 +117,8 @@ pub fn code_of(err: &CoreError) -> ErrorCode {
             ErrorCode::InvalidRequest
         }
         CoreError::Capacity(_) => ErrorCode::Capacity,
+        CoreError::Overloaded { .. } => ErrorCode::Overloaded,
+        CoreError::Shutdown => ErrorCode::Shutdown,
         CoreError::Wire { code, .. } => *code,
         CoreError::Storage(_) => ErrorCode::Internal,
         _ => ErrorCode::Internal,
@@ -134,18 +179,19 @@ impl WireRegisterResponse {
 
     /// Error envelope.
     pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
-        WireRegisterResponse {
-            v: WIRE_VERSION,
-            ok: None,
-            err: Some(WireError { code, message: message.into() }),
-        }
+        WireRegisterResponse { v: WIRE_VERSION, ok: None, err: Some(WireError::new(code, message)) }
+    }
+
+    /// Error envelope from a platform error (preserves structured fields).
+    pub fn err_core(e: &CoreError) -> Self {
+        WireRegisterResponse { v: WIRE_VERSION, ok: None, err: Some(WireError::from_core(e)) }
     }
 
     /// Collapse into a client-side result.
     pub fn into_result(self) -> Result<RegisterReceipt> {
         match (self.ok, self.err) {
             (Some(receipt), None) => Ok(receipt),
-            (_, Some(e)) => Err(CoreError::Wire { code: e.code, message: e.message }),
+            (_, Some(e)) => Err(e.into_core()),
             (None, None) => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
                 message: "response carries neither ok nor err".into(),
@@ -273,18 +319,19 @@ impl WireSearchResponse {
 
     /// Error envelope.
     pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
-        WireSearchResponse {
-            v: WIRE_VERSION,
-            ok: None,
-            err: Some(WireError { code, message: message.into() }),
-        }
+        WireSearchResponse { v: WIRE_VERSION, ok: None, err: Some(WireError::new(code, message)) }
+    }
+
+    /// Error envelope from a platform error (preserves structured fields).
+    pub fn err_core(e: &CoreError) -> Self {
+        WireSearchResponse { v: WIRE_VERSION, ok: None, err: Some(WireError::from_core(e)) }
     }
 
     /// Collapse into a client-side result.
     pub fn into_result(self) -> Result<SearchReply> {
         match (self.ok, self.err) {
             (Some(reply), None) => Ok(reply),
-            (_, Some(e)) => Err(CoreError::Wire { code: e.code, message: e.message }),
+            (_, Some(e)) => Err(e.into_core()),
             (None, None) => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
                 message: "response carries neither ok nor err".into(),
@@ -357,12 +404,69 @@ pub struct DiscoveryReport {
     pub posting_terms: usize,
 }
 
+/// Per-stop-reason session completion counts (see
+/// `mileena_search::StopReason`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StopCounts {
+    /// Sessions that converged (no candidate cleared `min_gain`).
+    pub converged: u64,
+    /// Sessions that committed every allowed round.
+    pub max_augmentations: u64,
+    /// Sessions stopped by their time budget or deadline mid-run.
+    pub time_budget: u64,
+    /// Sessions cooperatively cancelled (queued or running).
+    pub cancelled: u64,
+    /// Sessions shed by admission control before any round ran.
+    pub shed: u64,
+}
+
+impl StopCounts {
+    /// Record one finished session.
+    pub fn record(&mut self, reason: StopReason) {
+        match reason {
+            StopReason::Converged => self.converged += 1,
+            StopReason::MaxAugmentations => self.max_augmentations += 1,
+            StopReason::TimeBudget => self.time_budget += 1,
+            StopReason::Cancelled => self.cancelled += 1,
+            StopReason::Shed => self.shed += 1,
+        }
+    }
+}
+
+/// Session-scheduler state and lifetime counters, wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerReport {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Sessions currently waiting in the admission queue.
+    pub queued: usize,
+    /// Configured admission-queue bound.
+    pub queue_depth_limit: usize,
+    /// Deepest the queue has ever been (high-water mark).
+    pub queue_high_water: usize,
+    /// Sessions admitted (queued or served immediately) over the
+    /// platform's lifetime.
+    pub admitted: u64,
+    /// Sessions that produced a reply (any stop reason).
+    pub completed: u64,
+    /// Submissions rejected with `Overloaded` (queue full).
+    pub shed_overload: u64,
+    /// Sessions shed by deadline-aware admission (replied `Shed`).
+    pub shed_deadline: u64,
+    /// Queued sessions dropped with `Shutdown` at platform drop.
+    pub shed_shutdown: u64,
+    /// Worker panics converted to typed `Internal` replies.
+    pub panicked: u64,
+    /// Completions by stop reason.
+    pub stops: StopCounts,
+}
+
 /// Platform statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformStats {
     /// Registered datasets.
     pub datasets: usize,
-    /// Currently running search sessions.
+    /// Sessions admitted and not yet finished (queued + running).
     pub active_sessions: usize,
     /// Candidates fully scored across all completed searches.
     pub search_evaluations: u64,
@@ -374,6 +478,8 @@ pub struct PlatformStats {
     pub search_candidates_truncated: u64,
     /// Discovery-index shape (buckets, postings, key columns).
     pub discovery: DiscoveryReport,
+    /// Session-scheduler queue state and shed/panic counters.
+    pub scheduler: SchedulerReport,
     /// Storage-engine state (`None` on volatile platforms).
     pub storage: Option<StorageReport>,
 }
@@ -388,6 +494,10 @@ pub struct WireAdminRequest {
 }
 
 /// Admin reply payload, tagged by operation.
+// Variant sizes are lopsided (`Stats` carries the full report), but the
+// value is a transient envelope, never stored in bulk; boxing would need
+// `Box` support in the in-tree serde shim for no memory win that matters.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AdminReply {
     /// Checkpoint receipt.
@@ -415,18 +525,19 @@ impl WireAdminResponse {
 
     /// Error envelope.
     pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
-        WireAdminResponse {
-            v: WIRE_VERSION,
-            ok: None,
-            err: Some(WireError { code, message: message.into() }),
-        }
+        WireAdminResponse { v: WIRE_VERSION, ok: None, err: Some(WireError::new(code, message)) }
+    }
+
+    /// Error envelope from a platform error (preserves structured fields).
+    pub fn err_core(e: &CoreError) -> Self {
+        WireAdminResponse { v: WIRE_VERSION, ok: None, err: Some(WireError::from_core(e)) }
     }
 
     /// Collapse into a client-side result.
     pub fn into_result(self) -> Result<AdminReply> {
         match (self.ok, self.err) {
             (Some(reply), None) => Ok(reply),
-            (_, Some(e)) => Err(CoreError::Wire { code: e.code, message: e.message }),
+            (_, Some(e)) => Err(e.into_core()),
             (None, None) => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
                 message: "response carries neither ok nor err".into(),
@@ -535,6 +646,25 @@ mod tests {
                 schema_buckets: 2,
                 posting_terms: 40,
             },
+            scheduler: SchedulerReport {
+                workers: 4,
+                queued: 2,
+                queue_depth_limit: 256,
+                queue_high_water: 17,
+                admitted: 120,
+                completed: 117,
+                shed_overload: 9,
+                shed_deadline: 3,
+                shed_shutdown: 0,
+                panicked: 1,
+                stops: StopCounts {
+                    converged: 80,
+                    max_augmentations: 30,
+                    time_budget: 2,
+                    cancelled: 2,
+                    shed: 3,
+                },
+            },
             storage: Some(StorageReport {
                 dir: "/tmp/x".into(),
                 last_seq: 12,
@@ -557,7 +687,9 @@ mod tests {
         assert_eq!(resp, back);
         match back.into_result().unwrap() {
             AdminReply::Stats(stats) => {
-                assert_eq!(stats.storage.unwrap().recovery.unwrap().replayed_records, 2)
+                assert_eq!(stats.storage.unwrap().recovery.unwrap().replayed_records, 2);
+                assert_eq!(stats.scheduler.queue_high_water, 17);
+                assert_eq!(stats.scheduler.stops.shed, 3);
             }
             other => panic!("wrong reply: {other:?}"),
         }
@@ -568,6 +700,31 @@ mod tests {
         assert!(matches!(
             back.into_result(),
             Err(CoreError::Wire { code: ErrorCode::Internal, .. })
+        ));
+    }
+
+    #[test]
+    fn overloaded_and_shutdown_errors_roundtrip_structured() {
+        // Overloaded: the backpressure payload must survive the wire so the
+        // client-side retry helper can honor the server's hint.
+        let core = CoreError::Overloaded { queue_depth: 64, retry_after_ms: 250 };
+        assert_eq!(code_of(&core), ErrorCode::Overloaded);
+        let resp = WireSearchResponse::err_core(&core);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireSearchResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.into_result().unwrap_err(), core);
+
+        // Shutdown reconstructs structurally too.
+        let resp = WireSearchResponse::err_core(&CoreError::Shutdown);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireSearchResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.into_result().unwrap_err(), CoreError::Shutdown);
+
+        // A plain-coded error keeps the generic Wire pass-through.
+        let resp = WireSearchResponse::err(ErrorCode::Internal, "boom");
+        assert!(matches!(
+            resp.into_result().unwrap_err(),
+            CoreError::Wire { code: ErrorCode::Internal, .. }
         ));
     }
 

@@ -29,6 +29,11 @@ pub enum StopReason {
     TimeBudget,
     /// The session was cooperatively cancelled.
     Cancelled,
+    /// The service shed the session before any round ran: its deadline had
+    /// already expired (or provably would before a worker could reach it).
+    /// Never produced by the search loop itself — only by the scheduler's
+    /// admission control.
+    Shed,
 }
 
 /// Cooperative run control for a search: a shared cancellation flag plus an
@@ -65,6 +70,12 @@ impl SearchControl {
     /// Whether the deadline (if any) has passed.
     pub fn deadline_exceeded(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The hard deadline, if one was imposed (admission control uses it to
+    /// shed sessions that cannot be served in time).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 }
 

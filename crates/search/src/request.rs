@@ -92,6 +92,12 @@ pub struct SketchedRequest {
     /// platform: the release happened before upload, so searches are free
     /// post-processing regardless.
     pub budget: Option<PrivacyBudget>,
+    /// Requester identity for the platform's fair admission queue: sessions
+    /// are dequeued round-robin over requester keys, so one hot client
+    /// cannot starve the rest. `None` lands in a shared anonymous bucket.
+    /// A self-declared label, not an authenticated principal — a deployment
+    /// with real authentication should overwrite it at the trust boundary.
+    pub requester: Option<String>,
 }
 
 impl SketchedRequest {
@@ -133,6 +139,7 @@ impl SketchedRequest {
             task: task.clone(),
             key_columns: key_columns.map(|k| k.to_vec()),
             budget: None,
+            requester: None,
         })
     }
 
@@ -164,7 +171,15 @@ impl SketchedRequest {
             task: task.clone(),
             key_columns: key_columns.map(|k| k.to_vec()),
             budget: Some(budget),
+            requester: None,
         })
+    }
+
+    /// Tag the request with a requester key for fair queueing (builder
+    /// style, so existing sketch-then-send call sites stay one expression).
+    pub fn with_requester(mut self, requester: impl Into<String>) -> Self {
+        self.requester = Some(requester.into());
+        self
     }
 }
 

@@ -20,9 +20,11 @@
 //! strings whose encoding the semantic layer owns.
 
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::log::{list_segments, read_segment, Record, SegmentWriter, SEGMENT_MAGIC};
 use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Engine tuning.
 #[derive(Debug, Clone)]
@@ -34,11 +36,17 @@ pub struct StorageOptions {
     /// the previous snapshot when the newest one is corrupted, because log
     /// segments are only purged up to the *oldest retained* snapshot.
     pub retain_snapshots: usize,
+    /// Chaos-testing fault schedule rolled before appends, fsyncs, and
+    /// snapshot writes (`None` in production). Injected errors fail the
+    /// operation *before* any byte is written, so a faulted append never
+    /// consumes a sequence number and a faulted checkpoint leaves the
+    /// previous snapshot chain intact.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for StorageOptions {
     fn default() -> Self {
-        StorageOptions { fsync_appends: false, retain_snapshots: 2 }
+        StorageOptions { fsync_appends: false, retain_snapshots: 2, faults: None }
     }
 }
 
@@ -195,8 +203,30 @@ impl StorageEngine {
         Ok((engine, RecoveredState { snapshot, records, torn_tail, invalid_snapshots }))
     }
 
+    /// Roll the chaos schedule at `site` (no-op without a plan): latency
+    /// faults sleep then proceed; error/panic faults fail the operation
+    /// with a clean injected I/O error before anything touches disk.
+    fn roll_fault(&self, site: FaultSite, what: &str) -> Result<()> {
+        let Some(plan) = &self.opts.faults else { return Ok(()) };
+        match plan.decide(site) {
+            None => Ok(()),
+            Some(FaultKind::Latency(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultKind::Error) | Some(FaultKind::Panic) => Err(StorageError::io(
+                format!("{what} (chaos seed {})", plan.seed()),
+                std::io::Error::other("injected fault"),
+            )),
+        }
+    }
+
     /// Journal one payload; returns its assigned sequence number.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        self.roll_fault(FaultSite::WalAppend, "injected WAL append fault")?;
+        if self.opts.fsync_appends {
+            self.roll_fault(FaultSite::WalFsync, "injected WAL fsync fault")?;
+        }
         let seq = self.last_seq + 1;
         self.writer.append(seq, payload, self.opts.fsync_appends)?;
         self.last_seq = seq;
@@ -208,6 +238,7 @@ impl StorageEngine {
     /// rotate to a fresh log segment, and purge snapshots/segments beyond
     /// the retention horizon. Returns the covered sequence.
     pub fn checkpoint(&mut self, payload: &[u8]) -> Result<u64> {
+        self.roll_fault(FaultSite::SnapshotWrite, "injected snapshot write fault")?;
         let seq = self.last_seq;
         let written = write_snapshot(&self.dir, seq, payload)?;
         self.trusted_snapshots.insert(written);
@@ -535,6 +566,40 @@ mod tests {
             StorageEngine::open(&dir, StorageOptions::default()),
             Err(StorageError::Corrupt(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_fail_cleanly_and_disarm_recovers() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        let dir = tmp_dir("faults");
+        let plan =
+            Arc::new(FaultPlan::new(11).with(FaultSite::WalAppend, FaultKind::Error, 1000).with(
+                FaultSite::SnapshotWrite,
+                FaultKind::Error,
+                1000,
+            ));
+        let opts = StorageOptions { faults: Some(Arc::clone(&plan)), ..Default::default() };
+        let (mut engine, _) = StorageEngine::open(&dir, opts).unwrap();
+        engine.append(b"before").unwrap(); // disarmed: passes through
+        plan.arm();
+        // Every append/checkpoint fails with a typed I/O error; no sequence
+        // number is consumed and no snapshot appears.
+        assert!(matches!(engine.append(b"doomed"), Err(StorageError::Io { .. })));
+        assert!(matches!(engine.checkpoint(b"doomed"), Err(StorageError::Io { .. })));
+        assert_eq!(engine.last_seq(), 1);
+        assert_eq!(engine.stats().unwrap().snapshots, 0);
+        assert_eq!(plan.injected(FaultSite::WalAppend), 1);
+        assert_eq!(plan.injected(FaultSite::SnapshotWrite), 1);
+        // Disarm: the engine works again, and recovery sees exactly the
+        // successful appends.
+        plan.disarm();
+        assert_eq!(engine.append(b"after").unwrap(), 2);
+        engine.checkpoint(b"state").unwrap();
+        drop(engine);
+        let (_, recovered) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().1, b"state");
+        assert!(recovered.records.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,258 @@
+//! Deterministic, seed-driven fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a set of per-site rules ("inject an I/O error on
+//! 50‰ of WAL appends", "panic 20‰ of search workers") rolled from a
+//! splitmix64 stream keyed by `(seed, site, per-site call counter)` — the
+//! same seed always injects the same faults at the same call positions, so
+//! a chaos failure reproduces from its seed alone.
+//!
+//! The plan is shared (`Arc<FaultPlan>`) across whatever layers it
+//! instruments — the storage engine rolls [`FaultSite::WalAppend`] /
+//! [`FaultSite::WalFsync`] / [`FaultSite::SnapshotWrite`] before touching
+//! disk, and the core session scheduler rolls [`FaultSite::Worker`] before
+//! dispatching a search. Arm/disarm is dynamic: a disarmed plan still
+//! advances its call counters (so the schedule stays a pure function of the
+//! call sequence) but never injects, which lets a test fault a write phase
+//! and then recover with the same plan disarmed.
+//!
+//! Production builds pay one `Option` check per site when no plan is
+//! configured; nothing here is compiled out.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Instrumented code sites a rule can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// `StorageEngine::append`, before the record is framed: an injected
+    /// error fails the append cleanly (no sequence number is consumed).
+    WalAppend,
+    /// The fsync of an append (rolled only when `fsync_appends` is on).
+    WalFsync,
+    /// `StorageEngine::checkpoint`, before the snapshot file is written.
+    SnapshotWrite,
+    /// A session-scheduler worker, before it runs a dequeued search.
+    Worker,
+}
+
+/// How many distinct [`FaultSite`]s exist (sizes the counter arrays).
+pub const FAULT_SITES: usize = 4;
+
+impl FaultSite {
+    fn idx(self) -> usize {
+        match self {
+            FaultSite::WalAppend => 0,
+            FaultSite::WalFsync => 1,
+            FaultSite::SnapshotWrite => 2,
+            FaultSite::Worker => 3,
+        }
+    }
+}
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with an injected error. At storage sites this is
+    /// an I/O error surfaced through the normal `Result` path; the worker
+    /// site maps it to a panic-free typed search failure.
+    Error,
+    /// Delay the operation by this much, then proceed normally.
+    Latency(Duration),
+    /// Panic mid-operation (worker site only; storage sites treat it as
+    /// [`FaultKind::Error`] — the engine must never poison its callers).
+    Panic,
+}
+
+#[derive(Debug)]
+struct Rule {
+    site: FaultSite,
+    kind: FaultKind,
+    permille: u64,
+}
+
+/// A deterministic fault schedule. Build with [`FaultPlan::new`] +
+/// [`FaultPlan::with`], share via `Arc`, then [`FaultPlan::arm`] it for the
+/// phase under test. See the module docs for the determinism contract.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    armed: AtomicBool,
+    rules: Vec<Rule>,
+    calls: [AtomicU64; FAULT_SITES],
+    injected: [AtomicU64; FAULT_SITES],
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing) rolled from `seed`. Starts disarmed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            armed: AtomicBool::new(false),
+            rules: Vec::new(),
+            calls: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Add a rule: inject `kind` on `permille`‰ of `site` calls. Rules for
+    /// the same site stack as disjoint probability bands, first added =
+    /// lowest band; their permilles must sum to ≤ 1000 per site.
+    pub fn with(mut self, site: FaultSite, kind: FaultKind, permille: u64) -> Self {
+        let total: u64 =
+            self.rules.iter().filter(|r| r.site == site).map(|r| r.permille).sum::<u64>()
+                + permille;
+        assert!(total <= 1000, "fault rules for {site:?} exceed 1000 permille");
+        self.rules.push(Rule { site, kind, permille });
+        self
+    }
+
+    /// Start injecting.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop injecting (counters keep advancing; see module docs).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the plan is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    /// Roll the schedule at `site`: advance the site's call counter and
+    /// return the fault to inject, if any. Deterministic per
+    /// `(seed, site, call index)`; returns `None` whenever disarmed.
+    pub fn decide(&self, site: FaultSite) -> Option<FaultKind> {
+        let i = site.idx();
+        let n = self.calls[i].fetch_add(1, Ordering::SeqCst);
+        if !self.is_armed() {
+            return None;
+        }
+        let roll = self.roll(site, n) % 1000;
+        let mut band = 0u64;
+        for rule in self.rules.iter().filter(|r| r.site == site) {
+            band += rule.permille;
+            if roll < band {
+                self.injected[i].fetch_add(1, Ordering::SeqCst);
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Total calls rolled at `site` (armed or not).
+    pub fn calls(&self, site: FaultSite) -> u64 {
+        self.calls[site.idx()].load(Ordering::SeqCst)
+    }
+
+    /// Faults actually injected at `site`.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.idx()].load(Ordering::SeqCst)
+    }
+
+    /// Faults injected across every site.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+    }
+
+    /// The plan's seed (for reproducing a failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn roll(&self, site: FaultSite, n: u64) -> u64 {
+        let key = self
+            .seed
+            .wrapping_add((site.idx() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(n.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        splitmix64(key)
+    }
+}
+
+/// The splitmix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with(FaultSite::WalAppend, FaultKind::Error, 300)
+            .with(FaultSite::WalAppend, FaultKind::Latency(Duration::from_millis(1)), 200)
+            .with(FaultSite::Worker, FaultKind::Panic, 500)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = plan(7);
+        let b = plan(7);
+        a.arm();
+        b.arm();
+        let da: Vec<_> = (0..200).map(|_| a.decide(FaultSite::WalAppend)).collect();
+        let db: Vec<_> = (0..200).map(|_| b.decide(FaultSite::WalAppend)).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.injected(FaultSite::WalAppend), b.injected(FaultSite::WalAppend));
+        // ~50% combined rate over 200 calls: both bands actually fire.
+        assert!(da.contains(&Some(FaultKind::Error)));
+        assert!(da.iter().any(|d| matches!(d, Some(FaultKind::Latency(_)))));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = plan(1);
+        let b = plan(2);
+        a.arm();
+        b.arm();
+        let da: Vec<_> = (0..100).map(|_| a.decide(FaultSite::Worker)).collect();
+        let db: Vec<_> = (0..100).map(|_| b.decide(FaultSite::Worker)).collect();
+        assert_ne!(da, db, "seeds 1 and 2 should produce distinct 100-call schedules");
+    }
+
+    #[test]
+    fn disarmed_never_injects_but_counts_calls() {
+        let p = plan(9);
+        for _ in 0..50 {
+            assert_eq!(p.decide(FaultSite::Worker), None);
+        }
+        assert_eq!(p.calls(FaultSite::Worker), 50);
+        assert_eq!(p.injected_total(), 0);
+        // Re-arming resumes the same deterministic stream at call 50.
+        p.arm();
+        let q = plan(9);
+        q.arm();
+        for _ in 0..50 {
+            q.decide(FaultSite::Worker);
+        }
+        assert_eq!(p.decide(FaultSite::Worker), q.decide(FaultSite::Worker));
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        let p = plan(3);
+        p.arm();
+        for _ in 0..100 {
+            p.decide(FaultSite::WalAppend);
+        }
+        assert_eq!(p.calls(FaultSite::WalAppend), 100);
+        assert_eq!(p.calls(FaultSite::Worker), 0);
+        assert_eq!(p.injected(FaultSite::Worker), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1000 permille")]
+    fn overfull_site_band_rejected() {
+        let _ = FaultPlan::new(0).with(FaultSite::WalFsync, FaultKind::Error, 800).with(
+            FaultSite::WalFsync,
+            FaultKind::Latency(Duration::ZERO),
+            300,
+        );
+    }
+}

@@ -20,6 +20,7 @@
 pub mod crc;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub(crate) mod fsutil;
 pub mod log;
 pub mod snapshot;
@@ -27,4 +28,5 @@ pub mod snapshot;
 pub use crc::crc32;
 pub use engine::{RecoveredState, StorageEngine, StorageOptions, StorageStats};
 pub use error::{Result, StorageError};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use log::Record;

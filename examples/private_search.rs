@@ -9,8 +9,8 @@
 //! ```
 
 use mileena::core::{
-    CentralPlatform, JsonWire, LocalDataStore, PlatformConfig, PlatformService, SearchReply,
-    SearchRequestBuilder,
+    search_with_retry, CentralPlatform, JsonWire, LocalDataStore, PlatformConfig, PlatformService,
+    RetryPolicy, SchedulerConfig, SearchReply, SearchRequestBuilder,
 };
 use mileena::datagen::{generate_corpus, CorpusConfig};
 use mileena::privacy::PrivacyBudget;
@@ -86,6 +86,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "100 further private wire searches: {:?} total, 0 additional privacy budget.",
+        t0.elapsed()
+    );
+
+    // Overload behavior: the same privatized store behind a deliberately
+    // tiny pool (1 worker, 1 queue slot). A burst of concurrent clients
+    // overflows admission; the server sheds with a typed `Overloaded`
+    // error carrying a retry hint, and `search_with_retry` absorbs the
+    // sheds with jittered backoff until every client is answered.
+    let tiny = JsonWire::new(Arc::new(CentralPlatform::new(PlatformConfig {
+        scheduler: SchedulerConfig { workers: Some(1), queue_depth: 1, faults: None },
+        ..Default::default()
+    })));
+    for (i, p) in corpus.providers.iter().enumerate() {
+        tiny.register(
+            LocalDataStore::new(p.clone()).prepare_upload(Some(budget), 2000 + i as u64)?,
+        )?;
+    }
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base: std::time::Duration::from_millis(25),
+        cap: std::time::Duration::from_millis(500),
+        ..Default::default()
+    };
+    let burst = 6;
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..burst {
+            s.spawn(|| {
+                let req = sketch_request().expect("sketch");
+                search_with_retry(&tiny, &req, Some(&search_cfg), &policy)
+                    .expect("backoff absorbs overload sheds");
+            });
+        }
+    });
+    let sched = tiny.stats()?.scheduler;
+    println!(
+        "burst of {burst} clients vs 1 worker: {} admitted, {} shed with typed retry \
+         hints, every client answered in {:?}.",
+        sched.admitted,
+        sched.shed_overload,
         t0.elapsed()
     );
     Ok(())

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Run the search-latency + cold-start + discovery-scale benchmark suites
-# and snapshot their merged results as BENCH_search.json so successive PRs
-# can track the perf trajectory.
+# Run the search-latency + cold-start + discovery-scale + overload
+# benchmark suites and snapshot their merged results as BENCH_search.json
+# so successive PRs can track the perf trajectory.
 #
 # The in-tree criterion shim writes one JSON file per bench binary into
 # $CRITERION_OUT_DIR ([{group, bench, mean_ns, samples, iters_per_sample}]).
@@ -27,8 +27,9 @@ CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench search_latency
 CRITERION_OUT_DIR="$out_dir" MILEENA_BENCH_MS="$coldstart_ms" \
     cargo bench -p mileena-bench --bench cold_start "$@"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench discovery_scale "$@"
+CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench overload "$@"
 
-for name in search_latency cold_start discovery_scale; do
+for name in search_latency cold_start discovery_scale overload; do
     if [[ ! -f "$out_dir/$name.json" ]]; then
         echo "error: $out_dir/$name.json not produced" >&2
         exit 1
@@ -40,7 +41,8 @@ done
     echo "["
     sed '1d;$d' "$out_dir/search_latency.json" | sed '$s/$/,/'
     sed '1d;$d' "$out_dir/cold_start.json" | sed '$s/$/,/'
-    sed '1d;$d' "$out_dir/discovery_scale.json"
+    sed '1d;$d' "$out_dir/discovery_scale.json" | sed '$s/$/,/'
+    sed '1d;$d' "$out_dir/overload.json"
     echo "]"
 } > "$bench_out"
 echo "wrote $bench_out:"
@@ -73,6 +75,15 @@ awk '
     g = $0; sub(/.*"group": "/, "", g); sub(/".*/, "", g)
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "%s pruned round: %.2f ms\n", g, m / 1e6
+}
+/"group": "overload"/ && /"bench": "typed_shed\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "overload shed fast path: %.1f µs to a typed Overloaded reply\n", m / 1e3
+}
+/"group": "overload"/ && /"bench": "burst_retry\// {
+    n = $0; sub(/.*burst_retry\//, "", n); sub(/".*/, "", n)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "overload burst drain: %.1f ms for %d sessions with shed-and-retry\n", m / 1e6, n
 }
 /"group": "discovery_20k"/ {
     b = $0; sub(/.*"bench": "/, "", b); sub(/".*/, "", b)

@@ -1,0 +1,330 @@
+//! Seed-driven chaos suite: deterministic fault injection against the
+//! storage engine and the session scheduler.
+//!
+//! Every test runs the same bounded seed set (extend with
+//! `MILEENA_CHAOS_SEEDS=1,2,3,...` — each seed is a pure function of the
+//! fault schedule, so a failing seed reproduces exactly). The invariants
+//! proven here are the platform's robustness contract:
+//!
+//! 1. **Termination** — every submitted session ends with a reply or a
+//!    typed error, under worker panics, injected errors, latency, queue
+//!    sheds, and shutdown. No hung clients.
+//! 2. **No leaked slots** — active-session and queue counters return to
+//!    zero after the storm.
+//! 3. **Fail-clean storage** — injected WAL/snapshot faults reject the
+//!    mutation without corrupting state; retried mutations land once.
+//! 4. **Bit-identical survival** — sessions that ran to completion under
+//!    chaos, and platforms reopened after storage faults, produce
+//!    results identical to a platform that never saw a fault.
+
+use mileena::core::{
+    CentralPlatform, CoreError, InProcess, JsonWire, LocalDataStore, PlatformConfig,
+    PlatformService, SchedulerConfig, SearchReply, SearchRequestBuilder, StoragePolicy,
+};
+use mileena::datagen::{generate_corpus, CorpusConfig, NycCorpus};
+use mileena::search::{SearchControl, SketchedRequest, StopReason, TaskSpec};
+use mileena::storage::{FaultKind, FaultPlan, FaultSite};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("MILEENA_CHAOS_SEEDS") {
+        Ok(raw) => raw.split(',').filter_map(|s| s.trim().parse().ok()).collect::<Vec<u64>>(),
+        Err(_) => vec![11, 29, 47],
+    }
+}
+
+fn corpus() -> NycCorpus {
+    generate_corpus(&CorpusConfig {
+        num_datasets: 12,
+        num_signal: 2,
+        num_union: 1,
+        num_novelty_traps: 2,
+        train_rows: 200,
+        test_rows: 200,
+        provider_rows: 120,
+        key_domain: 50,
+        signal_rows_per_key: 1,
+        noise: 0.1,
+        nonlinear_strength: 0.0,
+        seed: 4242,
+    })
+}
+
+fn sketched(c: &NycCorpus, requester: &str) -> SketchedRequest {
+    SearchRequestBuilder::new(c.train.clone(), c.test.clone())
+        .task(TaskSpec::new("y", &["base_x"]))
+        .key_columns(&["zone"])
+        .requester(requester)
+        .sketch()
+        .unwrap()
+}
+
+fn serve(c: &NycCorpus, service: &dyn PlatformService) {
+    for p in &c.providers {
+        service.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
+    }
+}
+
+/// The fault-free reference reply every surviving full run must match.
+fn reference_reply(c: &NycCorpus) -> SearchReply {
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let service = InProcess::new(Arc::clone(&platform));
+    serve(c, &service);
+    service.search(sketched(c, "reference"), None).unwrap()
+}
+
+fn tmp_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mileena-chaos-{tag}-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn storage_faults_fail_cleanly_and_recovery_is_bit_identical() {
+    let c = corpus();
+    let want = reference_reply(&c);
+    let mut injected_total = 0;
+
+    for seed in chaos_seeds() {
+        let dir = tmp_dir("storage", seed);
+        let plan =
+            Arc::new(FaultPlan::new(seed).with(FaultSite::WalAppend, FaultKind::Error, 250).with(
+                FaultSite::SnapshotWrite,
+                FaultKind::Error,
+                250,
+            ));
+        plan.arm();
+        let mut policy = StoragePolicy::at(&dir);
+        policy.checkpoint_every = 4;
+        policy.faults = Some(Arc::clone(&plan));
+        let config = PlatformConfig { storage: Some(policy), ..Default::default() };
+        let platform = Arc::new(CentralPlatform::open_with(config).unwrap());
+        let service = JsonWire::new(Arc::clone(&platform));
+
+        // Register under fire: an injected WAL fault must reject the
+        // upload cleanly (no partial state), and the retried upload must
+        // land exactly once. The schedule is deterministic per seed, so
+        // the retry loop is bounded.
+        for p in &c.providers {
+            let upload = LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap();
+            let mut attempts = 0;
+            loop {
+                match service.register(upload.clone()) {
+                    Ok(()) => break,
+                    Err(CoreError::Wire { message, .. }) | Err(CoreError::Storage(message)) => {
+                        attempts += 1;
+                        assert!(attempts < 100, "seed {seed}: register never recovered: {message}");
+                        assert!(message.contains("chaos seed"), "unexpected failure: {message}");
+                    }
+                    Err(other) => panic!("seed {seed}: non-storage failure: {other}"),
+                }
+            }
+        }
+        assert_eq!(platform.num_datasets(), c.providers.len(), "seed {seed}");
+        injected_total += plan.injected_total();
+
+        // Searches under an armed storage plan are unaffected (search is
+        // pure post-processing) and bit-identical to the reference.
+        let got = service.search(sketched(&c, "under-fire"), None).unwrap();
+        assert_eq!(got.final_score, want.final_score, "seed {seed}");
+        assert_eq!(got.selected_joins(), want.selected_joins(), "seed {seed}");
+
+        // Reopen without faults: recovery must reproduce the reference
+        // bit for bit, auto-checkpoint interruptions included.
+        drop(service);
+        drop(platform);
+        let config =
+            PlatformConfig { storage: Some(StoragePolicy::at(&dir)), ..Default::default() };
+        let reopened = CentralPlatform::open_with(config).unwrap();
+        assert_eq!(reopened.num_datasets(), c.providers.len(), "seed {seed}");
+        let got =
+            InProcess::new(Arc::new(reopened)).search(sketched(&c, "recovered"), None).unwrap();
+        assert_eq!(got.final_score, want.final_score, "seed {seed}: recovery diverged");
+        assert_eq!(got.selected_joins(), want.selected_joins(), "seed {seed}");
+        assert_eq!(got.model, want.model, "seed {seed}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    assert!(injected_total > 0, "chaos seeds must actually inject storage faults");
+}
+
+#[test]
+fn scheduler_chaos_every_session_terminates_and_counters_drain() {
+    let c = corpus();
+    let want = reference_reply(&c);
+    const SESSIONS: usize = 18;
+    const WATCHDOG: Duration = Duration::from_secs(30);
+
+    for seed in chaos_seeds() {
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with(FaultSite::Worker, FaultKind::Panic, 150)
+                .with(FaultSite::Worker, FaultKind::Error, 150)
+                .with(FaultSite::Worker, FaultKind::Latency(Duration::from_millis(10)), 300),
+        );
+        plan.arm();
+        let config = PlatformConfig {
+            scheduler: SchedulerConfig {
+                workers: Some(2),
+                queue_depth: 4,
+                faults: Some(Arc::clone(&plan)),
+            },
+            ..Default::default()
+        };
+        let platform = Arc::new(CentralPlatform::new(config));
+        let service = InProcess::new(Arc::clone(&platform));
+        serve(&c, &service);
+
+        // A storm of submissions across 3 requesters with mixed intents:
+        // plain runs, pre-cancelled sessions, and tight deadlines.
+        let requesters = ["alpha", "beta", "gamma"];
+        let (result_tx, result_rx) = mpsc::channel();
+        let mut accepted = 0u64;
+        let mut shed_overload = 0u64;
+        std::thread::scope(|scope| {
+            for i in 0..SESSIONS {
+                let request = sketched(&c, requesters[i % requesters.len()]);
+                let control = SearchControl::new();
+                if i % 6 == 5 {
+                    control.cancel();
+                }
+                let mut control = control;
+                if i % 5 == 4 {
+                    control.set_deadline(Instant::now() + Duration::from_millis(15));
+                }
+                match platform.submit_with_control(request, None, control) {
+                    Ok(session) => {
+                        accepted += 1;
+                        let tx = result_tx.clone();
+                        scope.spawn(move || {
+                            let _ = tx.send((i, session.wait()));
+                        });
+                    }
+                    Err(CoreError::Overloaded { queue_depth, retry_after_ms }) => {
+                        assert_eq!(queue_depth, 4, "seed {seed}");
+                        assert!(retry_after_ms > 0, "seed {seed}");
+                        shed_overload += 1;
+                    }
+                    Err(other) => panic!("seed {seed}: submission {i} failed untyped: {other}"),
+                }
+            }
+            drop(result_tx);
+
+            // Watchdog: every accepted session must terminate. A hang
+            // here is the exact failure mode this suite exists to catch.
+            let mut completed_ok = 0u64;
+            let mut panicked = 0u64;
+            let mut injected_errors = 0u64;
+            for _ in 0..accepted {
+                let (i, result) = result_rx
+                    .recv_timeout(WATCHDOG)
+                    .unwrap_or_else(|_| panic!("seed {seed}: a session hung past the watchdog"));
+                match result {
+                    Ok(reply) => {
+                        completed_ok += 1;
+                        match reply.stop_reason {
+                            // Full runs under chaos must be bit-identical
+                            // to the fault-free reference.
+                            StopReason::Converged | StopReason::MaxAugmentations => {
+                                assert_eq!(
+                                    reply.final_score, want.final_score,
+                                    "seed {seed}: session {i} diverged under chaos"
+                                );
+                                assert_eq!(reply.selected_joins(), want.selected_joins());
+                                assert_eq!(reply.model, want.model);
+                            }
+                            // Shed/cancelled sessions never ran a round.
+                            StopReason::Shed | StopReason::Cancelled => {
+                                assert!(reply.steps.is_empty(), "seed {seed}: session {i}");
+                                assert_eq!(reply.evaluations, 0, "seed {seed}: session {i}");
+                            }
+                            StopReason::TimeBudget => {}
+                        }
+                    }
+                    Err(CoreError::Service(msg)) if msg.contains("panicked") => panicked += 1,
+                    Err(CoreError::Service(msg)) if msg.contains("chaos") => injected_errors += 1,
+                    Err(other) => panic!("seed {seed}: session {i} failed untyped: {other}"),
+                }
+            }
+
+            // Counters drain and reconcile exactly.
+            assert_eq!(platform.active_sessions(), 0, "seed {seed}: leaked session slots");
+            let stats = platform.stats().unwrap();
+            assert_eq!(stats.scheduler.queued, 0, "seed {seed}: leaked queue entries");
+            assert_eq!(stats.scheduler.admitted, accepted, "seed {seed}");
+            assert_eq!(stats.scheduler.completed, completed_ok, "seed {seed}");
+            assert_eq!(stats.scheduler.panicked, panicked, "seed {seed}");
+            assert_eq!(stats.scheduler.shed_overload, shed_overload, "seed {seed}");
+            assert_eq!(
+                stats.scheduler.admitted,
+                completed_ok + panicked + injected_errors,
+                "seed {seed}: every admitted session must be accounted for"
+            );
+            let stops = stats.scheduler.stops;
+            assert_eq!(
+                stops.converged
+                    + stops.max_augmentations
+                    + stops.time_budget
+                    + stops.cancelled
+                    + stops.shed,
+                completed_ok,
+                "seed {seed}: per-reason stop counts must sum to completions"
+            );
+        });
+    }
+}
+
+#[test]
+fn shutdown_under_load_answers_every_session() {
+    let c = corpus();
+    // A single stalled worker guarantees a queue backlog at drop time.
+    let plan = Arc::new(FaultPlan::new(3).with(
+        FaultSite::Worker,
+        FaultKind::Latency(Duration::from_millis(400)),
+        1000,
+    ));
+    plan.arm();
+    let config = PlatformConfig {
+        scheduler: SchedulerConfig {
+            workers: Some(1),
+            queue_depth: 8,
+            faults: Some(Arc::clone(&plan)),
+        },
+        ..Default::default()
+    };
+    let platform = CentralPlatform::new(config);
+    for p in &c.providers {
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
+    }
+
+    let sessions: Vec<_> =
+        (0..4).map(|i| platform.submit(sketched(&c, &format!("r{i}")), None).unwrap()).collect();
+
+    // Drop the platform while one session stalls in the worker and three
+    // wait in the queue. Graceful drain: the in-flight session finishes
+    // (cancelled at its first round boundary), queued sessions get a
+    // typed Shutdown error, and the pool joins — drop() returning at all
+    // proves no worker was left wedged.
+    drop(platform);
+
+    let mut replies = 0;
+    let mut shutdowns = 0;
+    for session in sessions {
+        match session.wait() {
+            Ok(reply) => {
+                replies += 1;
+                assert!(
+                    matches!(reply.stop_reason, StopReason::Cancelled | StopReason::Shed),
+                    "in-flight session must stop at a round boundary: {:?}",
+                    reply.stop_reason
+                );
+            }
+            Err(CoreError::Shutdown) => shutdowns += 1,
+            Err(other) => panic!("shutdown must be typed, got {other}"),
+        }
+    }
+    assert_eq!(replies + shutdowns, 4, "every session answered");
+    assert!(shutdowns >= 3, "queued sessions must be drained with Shutdown errors");
+}

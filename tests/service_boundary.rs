@@ -5,14 +5,16 @@
 //! and cancellation.
 
 use mileena::core::{
-    CentralPlatform, InProcess, JsonWire, LocalDataStore, PlatformConfig, PlatformService,
-    SearchRequestBuilder,
+    CentralPlatform, CoreError, InProcess, JsonWire, LocalDataStore, PlatformConfig,
+    PlatformService, SchedulerConfig, SearchRequestBuilder,
 };
 use mileena::datagen::{generate_corpus, CorpusConfig, NycCorpus};
 use mileena::search::{
     SearchConfig, SearchControl, SearchEvent, SketchedRequest, StopReason, TaskSpec,
 };
+use mileena::storage::{FaultKind, FaultPlan, FaultSite};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn corpus_cfg(seed: u64) -> CorpusConfig {
     CorpusConfig {
@@ -232,4 +234,268 @@ fn cancelled_session_reports_cancelled() {
         reply.stop_reason,
         StopReason::Cancelled | StopReason::Converged | StopReason::MaxAugmentations
     ));
+}
+
+/// Scheduler config that stalls the single worker for `stall` on every
+/// dispatched session — a deterministic way to hold sessions in the
+/// admission queue.
+fn stalled_scheduler(stall: Duration, queue_depth: usize) -> (SchedulerConfig, Arc<FaultPlan>) {
+    let plan =
+        Arc::new(FaultPlan::new(77).with(FaultSite::Worker, FaultKind::Latency(stall), 1000));
+    plan.arm();
+    let cfg = SchedulerConfig { workers: Some(1), queue_depth, faults: Some(Arc::clone(&plan)) };
+    (cfg, plan)
+}
+
+#[test]
+fn panicking_search_worker_replies_with_typed_error_on_both_transports() {
+    // Regression: the session worker used to run outside catch_unwind, so
+    // a panicking search dropped result_tx without sending — a client in
+    // wait() got a bare "worker vanished" channel error and the session
+    // slot behavior was untested. Now the scheduler isolates the panic
+    // and replies with a typed Internal error on every transport.
+    let c = generate_corpus(&corpus_cfg(306));
+    let plan = Arc::new(FaultPlan::new(9).with(FaultSite::Worker, FaultKind::Panic, 1000));
+    plan.arm();
+    let config = PlatformConfig {
+        scheduler: SchedulerConfig {
+            workers: Some(1),
+            queue_depth: 8,
+            faults: Some(Arc::clone(&plan)),
+        },
+        ..Default::default()
+    };
+    let platform = Arc::new(CentralPlatform::new(config));
+    let in_process = InProcess::new(Arc::clone(&platform));
+    let wire = JsonWire::new(Arc::clone(&platform));
+    serve(&c, &in_process);
+
+    // In-process: the typed error names the panic.
+    let err = in_process.search(sketched(&c), None).unwrap_err();
+    match &err {
+        CoreError::Service(msg) => assert!(msg.contains("panicked"), "{msg}"),
+        other => panic!("want typed Service error, got {other:?}"),
+    }
+    // Wire: same failure arrives as a typed Internal envelope, never a
+    // hung or vanished session.
+    let err = wire.search(sketched(&c), None).unwrap_err();
+    match &err {
+        CoreError::Wire { code, message } => {
+            assert_eq!(*code, mileena::core::ErrorCode::Internal);
+            assert!(message.contains("panicked"), "{message}");
+        }
+        other => panic!("want typed wire error, got {other:?}"),
+    }
+
+    // The worker pool survived both panics: disarm and search normally.
+    plan.disarm();
+    let reply = in_process.search(sketched(&c), None).unwrap();
+    assert!(reply.final_score > reply.base_score);
+    assert_eq!(platform.active_sessions(), 0, "panicked sessions must free their slots");
+    let stats = platform.stats().unwrap();
+    assert_eq!(stats.scheduler.panicked, 2);
+    assert_eq!(stats.scheduler.admitted, 3);
+    assert_eq!(stats.scheduler.queued, 0);
+}
+
+#[test]
+fn cancellation_and_deadline_expiry_while_queued_never_run_a_round() {
+    let c = generate_corpus(&corpus_cfg(307));
+    let (sched_cfg, _plan) = stalled_scheduler(Duration::from_millis(250), 8);
+    let config = PlatformConfig { scheduler: sched_cfg, ..Default::default() };
+    let platform = Arc::new(CentralPlatform::new(config));
+    let in_process = InProcess::new(Arc::clone(&platform));
+    serve(&c, &in_process);
+
+    // Session 1 occupies the single worker (stalled 250ms, then runs).
+    let s1 = platform.submit(sketched(&c), None).unwrap();
+
+    // Session 2 queues behind it; cancel while queued. The dequeue
+    // preflight must answer without running a round: no Started event,
+    // no steps, stop reason Cancelled.
+    let s2 = platform.submit(sketched(&c), None).unwrap();
+    s2.cancel();
+
+    // Session 3 also queues behind the stall, with a deadline that
+    // expires while it waits: the preflight must shed it at dequeue.
+    let mut control = SearchControl::new();
+    control.set_deadline(Instant::now() + Duration::from_millis(50));
+    let s3 = platform.submit_with_control(sketched(&c), None, control).unwrap();
+
+    let mut s2_events = Vec::new();
+    let r2 = s2.wait_with(|ev| s2_events.push(ev)).unwrap();
+    assert_eq!(r2.stop_reason, StopReason::Cancelled);
+    assert!(r2.steps.is_empty());
+    assert_eq!(r2.evaluations, 0, "a queued-cancelled session must not evaluate candidates");
+    assert!(
+        matches!(s2_events.as_slice(), [SearchEvent::Finished { stop_reason, rounds: 0, .. }]
+            if *stop_reason == StopReason::Cancelled),
+        "want a lone zero-round Finished event, got {s2_events:?}"
+    );
+
+    let r3 = s3.wait().unwrap();
+    assert_eq!(r3.stop_reason, StopReason::Shed);
+    assert!(r3.steps.is_empty());
+    assert_eq!(r3.evaluations, 0);
+
+    // Session 1 ran normally behind the stall.
+    let r1 = s1.wait().unwrap();
+    assert!(r1.final_score > r1.base_score);
+    assert_eq!(platform.active_sessions(), 0);
+    let stats = platform.stats().unwrap();
+    assert_eq!(stats.scheduler.queued, 0, "queue slots must be freed");
+    assert!(stats.scheduler.shed_deadline >= 1);
+    assert_eq!(stats.scheduler.stops.cancelled, 1);
+    assert_eq!(stats.scheduler.stops.shed, 1);
+}
+
+#[test]
+fn queued_shed_and_cancel_are_consistent_over_the_wire() {
+    // Same scenarios as above, but through the JSON wire transport: the
+    // deadline comes from the server's max_session_wall, and the replies
+    // (zero rounds, typed stop reasons) must round-trip the protocol.
+    let c = generate_corpus(&corpus_cfg(308));
+    let (sched_cfg, _plan) = stalled_scheduler(Duration::from_millis(300), 8);
+    let config = PlatformConfig {
+        scheduler: sched_cfg,
+        max_session_wall: Some(Duration::from_millis(100)),
+        ..Default::default()
+    };
+    let platform = Arc::new(CentralPlatform::new(config));
+    let wire = JsonWire::new(Arc::clone(&platform));
+    serve(&c, &wire);
+
+    // s1 is dispatched immediately (deadline still fresh) and stalls; its
+    // own wall deadline then expires mid-stall, so it stops at the first
+    // round boundary.
+    let s1 = wire.submit(sketched(&c), None).unwrap();
+    // s2 waits behind the stall until past its wall deadline: shed at
+    // dequeue, zero rounds.
+    let s2 = wire.submit(sketched(&c), None).unwrap();
+    // s3 is cancelled while queued.
+    let s3 = wire.submit(sketched(&c), None).unwrap();
+    s3.cancel();
+
+    let r3 = s3.wait().unwrap();
+    assert_eq!(r3.stop_reason, StopReason::Cancelled);
+    assert!(r3.steps.is_empty());
+    let r2 = s2.wait().unwrap();
+    assert_eq!(r2.stop_reason, StopReason::Shed);
+    assert!(r2.steps.is_empty());
+    let r1 = s1.wait().unwrap();
+    assert!(matches!(r1.stop_reason, StopReason::TimeBudget | StopReason::Shed), "{r1:?}");
+
+    assert_eq!(platform.active_sessions(), 0);
+    let stats = wire.stats().unwrap();
+    assert_eq!(stats.scheduler.queued, 0);
+    assert!(stats.scheduler.stops.shed >= 1);
+    assert_eq!(stats.scheduler.stops.cancelled, 1);
+}
+
+#[test]
+fn overload_shed_is_typed_over_the_wire_and_retry_recovers() {
+    let c = generate_corpus(&corpus_cfg(309));
+    let (sched_cfg, plan) = stalled_scheduler(Duration::from_millis(200), 1);
+    let config = PlatformConfig { scheduler: sched_cfg, ..Default::default() };
+    let platform = Arc::new(CentralPlatform::new(config));
+    let wire = JsonWire::new(Arc::clone(&platform));
+    serve(&c, &wire);
+
+    // Fill the worker and the 1-deep queue, then overflow: the shed must
+    // arrive as a structured Overloaded error through the JSON envelope,
+    // hint and depth intact.
+    let s1 = wire.submit(sketched(&c), None).unwrap();
+    // Wait for the worker to pick s1 up so the 1-deep queue is empty.
+    while platform.queued_sessions() > 0 {
+        std::thread::yield_now();
+    }
+    let s2 = wire.submit(sketched(&c), None).unwrap();
+    let err = wire.submit(sketched(&c), None).unwrap_err();
+    match err {
+        CoreError::Overloaded { queue_depth, retry_after_ms } => {
+            assert_eq!(queue_depth, 1);
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("want structured Overloaded over the wire, got {other:?}"),
+    }
+
+    // The client-side retry helper rides out the burst once the stall is
+    // lifted mid-backoff.
+    plan.disarm();
+    let policy = mileena::core::RetryPolicy {
+        max_attempts: 20,
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(200),
+        seed: 11,
+    };
+    let reply = mileena::core::search_with_retry(&wire, &sketched(&c), None, &policy).unwrap();
+    assert!(reply.final_score > reply.base_score);
+
+    assert!(s1.wait().is_ok());
+    assert!(s2.wait().is_ok());
+    assert_eq!(platform.active_sessions(), 0);
+    let stats = wire.stats().unwrap();
+    assert!(stats.scheduler.shed_overload >= 1);
+    assert!(stats.scheduler.queue_high_water >= 1);
+}
+
+#[test]
+fn requester_fairness_round_robin_under_backlog() {
+    // One hog floods the queue before two small requesters submit one
+    // session each; with a stalled single worker, round-robin dequeue
+    // must serve the small requesters before the hog's backlog drains.
+    let c = generate_corpus(&corpus_cfg(310));
+    let (sched_cfg, plan) = stalled_scheduler(Duration::from_millis(150), 16);
+    let config = PlatformConfig { scheduler: sched_cfg, ..Default::default() };
+    let platform = Arc::new(CentralPlatform::new(config));
+    let in_process = InProcess::new(Arc::clone(&platform));
+    serve(&c, &in_process);
+
+    let tagged = |who: &str| {
+        SearchRequestBuilder::new(c.train.clone(), c.test.clone())
+            .task(TaskSpec::new("y", &["base_x"]))
+            .key_columns(&["zone"])
+            .requester(who)
+            .sketch()
+            .unwrap()
+    };
+
+    // While the first hog session stalls in the worker, the rest queue up.
+    let hog: Vec<_> = (0..4).map(|_| platform.submit(tagged("hog"), None).unwrap()).collect();
+    let alice = platform.submit(tagged("alice"), None).unwrap();
+    let bob = platform.submit(tagged("bob"), None).unwrap();
+
+    // Completion order == dispatch order (single worker): wait on each
+    // session in a thread and record when its reply lands.
+    let t0 = Instant::now();
+    let mut done: Vec<(String, Duration)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (name, session) in hog
+            .into_iter()
+            .map(|h| ("hog".to_string(), h))
+            .chain([("alice".to_string(), alice), ("bob".to_string(), bob)])
+        {
+            handles.push(s.spawn(move || {
+                session.wait().unwrap();
+                (name, t0.elapsed())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    plan.disarm();
+    done.sort_by_key(|(_, at)| *at);
+    let order: Vec<&str> = done.iter().map(|(name, _)| name.as_str()).collect();
+    // Round-robin: the hog's turn yields at most one session per cycle,
+    // so alice and bob drain within the first cycle after the in-flight
+    // hog session — strict FIFO would instead finish the entire hog
+    // backlog first. Pinned shape: the first finisher is a hog session,
+    // alice and bob both land in the next three, and the final two
+    // finishers are the hog backlog.
+    assert_eq!(order[0], "hog", "order: {order:?}");
+    assert!(
+        order[1..4].contains(&"alice") && order[1..4].contains(&"bob"),
+        "fair dequeue must interleave small requesters ahead of the hog backlog: {order:?}"
+    );
+    assert_eq!(&order[4..], ["hog", "hog"], "order: {order:?}");
+    assert_eq!(platform.active_sessions(), 0);
 }
