@@ -1,0 +1,142 @@
+//! Traffic bench: a load generator firing concurrent search sessions at
+//! the real TCP server — the full stack (frame codec, socket round trips,
+//! admission scheduler, scatter-gather platform), not an in-memory `Arc`.
+//!
+//! Two entries land in BENCH_search.json:
+//!
+//! - `traffic/tcp_search_serial/1` — one search request/reply round trip
+//!   through a pooled TCP connection (protocol + scheduling overhead on
+//!   top of the in-process `service/search_serial` number).
+//! - `traffic/concurrent_tcp/8` — one batch of 8 searches from 8
+//!   concurrent client connections; searches/sec = 8e9 / mean_ns.
+//!
+//! A manual pass before the criterion entries drives the 8-connection load
+//! shape for several rounds and prints per-request p50/p99 latency and
+//! aggregate throughput for the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mileena_core::{
+    CentralPlatform, LocalDataStore, PlatformConfig, PlatformService, TcpServer, TcpServerConfig,
+    TcpWire,
+};
+use mileena_datagen::{generate_corpus, CorpusConfig};
+use mileena_search::{SketchedRequest, TaskSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent client connections in the load shape (the satellite contract
+/// says at least 8).
+const CLIENTS: usize = 8;
+/// Requests per client in the manual latency pass.
+const ROUNDS: usize = 4;
+
+fn corpus_cfg() -> CorpusConfig {
+    CorpusConfig {
+        num_datasets: 24,
+        num_signal: 2,
+        num_union: 1,
+        num_novelty_traps: 2,
+        train_rows: 200,
+        test_rows: 200,
+        provider_rows: 120,
+        key_domain: 50,
+        signal_rows_per_key: 1,
+        noise: 0.15,
+        nonlinear_strength: 0.0,
+        seed: 31,
+    }
+}
+
+fn sketched(corpus: &mileena_datagen::NycCorpus) -> SketchedRequest {
+    let keys = vec!["zone".to_string()];
+    SketchedRequest::sketch(
+        &corpus.train,
+        &corpus.test,
+        &TaskSpec::new("y", &["base_x"]),
+        Some(&keys),
+    )
+    .unwrap()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let corpus = generate_corpus(&corpus_cfg());
+    let request = sketched(&corpus);
+
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    for p in &corpus.providers {
+        platform.register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap()).unwrap();
+    }
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&platform) as Arc<dyn PlatformService + Send + Sync>,
+        TcpServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let clients: Vec<TcpWire> =
+        (0..CLIENTS).map(|_| TcpWire::connect(addr).expect("connect")).collect();
+
+    // ---- manual pass: the load shape, with per-request latencies -------
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter()
+            .map(|client| {
+                let request = request.clone();
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(ROUNDS);
+                    for _ in 0..ROUNDS {
+                        let t0 = Instant::now();
+                        let reply = client.search(request.clone(), None).expect("search over tcp");
+                        assert!(reply.final_score.is_finite());
+                        mine.push(t0.elapsed());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+    latencies.sort();
+    let total = latencies.len();
+    println!(
+        "tcp traffic: {CLIENTS} connections x {ROUNDS} searches: p50 {:.2} ms, p99 {:.2} ms, {:.1} searches/sec",
+        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+        total as f64 / wall.as_secs_f64(),
+    );
+
+    // ---- criterion entries --------------------------------------------
+    let mut group = c.benchmark_group("traffic");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("tcp_search_serial", 1), &1, |b, _| {
+        b.iter(|| clients[0].search(request.clone(), None).unwrap().final_score)
+    });
+    group.bench_with_input(BenchmarkId::new("concurrent_tcp", CLIENTS), &CLIENTS, |b, _| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = clients
+                    .iter()
+                    .map(|client| {
+                        let request = request.clone();
+                        scope.spawn(move || client.search(request, None).unwrap().final_score)
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<f64>()
+            })
+        })
+    });
+    group.finish();
+
+    drop(clients);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

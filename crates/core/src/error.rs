@@ -36,6 +36,13 @@ pub enum CoreError {
     /// The platform is shutting down; the session was still queued and
     /// will never run. Not retryable against this instance.
     Shutdown,
+    /// A shard worker is unavailable. Mutations owned by the shard and
+    /// scatter-gather searches are rejected rather than served partially —
+    /// a partial scatter would silently change selections.
+    ShardUnavailable {
+        /// Index of the unavailable shard.
+        shard: usize,
+    },
     /// A typed error that crossed the wire protocol.
     Wire {
         /// Machine-readable error class from the wire envelope.
@@ -64,6 +71,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Shutdown => {
                 write!(f, "service: platform is shutting down; queued session dropped")
+            }
+            CoreError::ShardUnavailable { shard } => {
+                write!(f, "service: shard {shard} is unavailable")
             }
             CoreError::Wire { code, message } => write!(f, "wire [{code:?}]: {message}"),
         }

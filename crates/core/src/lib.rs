@@ -60,20 +60,27 @@
 pub mod durable;
 pub mod error;
 pub mod local;
+pub mod net;
 pub mod platform;
 pub mod retry;
 pub mod sched;
 pub mod service;
+pub mod shard;
 pub mod wire;
 
 pub use durable::{RecoveryReport, StoragePolicy, WalOp};
 pub use error::{CoreError, Result};
 pub use local::{LocalDataStore, ProviderUpload, SearchRequestBuilder, TaskRequest};
+pub use net::{ClientFrame, ServerFrame, TcpServer, TcpServerConfig, TcpWire};
 pub use platform::{CentralPlatform, PlatformConfig, PlatformSearchResult};
 pub use retry::{search_with_retry, RetryPolicy};
 pub use sched::SchedulerConfig;
-pub use service::{InProcess, JsonWire, PlatformService, SearchSession, WireSession};
+pub use service::{
+    wire_admin, wire_register, wire_submit, InProcess, JsonWire, PlatformService, SearchSession,
+    WireSession,
+};
+pub use shard::ShardedPlatform;
 pub use wire::{
     CheckpointReceipt, DiscoveryReport, ErrorCode, PlatformStats, SchedulerReport, SearchReply,
-    StopCounts, StorageReport, WIRE_VERSION,
+    ShardReport, StopCounts, StorageReport, WIRE_VERSION,
 };

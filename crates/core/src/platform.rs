@@ -51,6 +51,11 @@ pub struct PlatformConfig {
     /// Session-scheduler tuning: worker-pool size, admission-queue depth,
     /// chaos fault plan.
     pub scheduler: SchedulerConfig,
+    /// Shard-worker count for [`crate::ShardedPlatform`] deployments: the
+    /// corpus is partitioned across this many shard workers and searches
+    /// scatter-gather across them. `CentralPlatform` ignores it (it *is*
+    /// the single-shard reference).
+    pub shards: usize,
     /// Durable-storage policy. Honored by [`CentralPlatform::open_with`] /
     /// [`CentralPlatform::open`]; [`CentralPlatform::new`] always builds a
     /// volatile platform.
@@ -65,6 +70,7 @@ impl Default for PlatformConfig {
             max_concurrent_sessions: 64,
             max_session_wall: None,
             scheduler: SchedulerConfig::default(),
+            shards: 1,
             storage: None,
         }
     }
@@ -168,6 +174,20 @@ impl CentralPlatform {
     /// platform answers searches bit-identically to one that never
     /// restarted.
     pub fn open_with(config: PlatformConfig) -> Result<Self> {
+        let store = SketchStore::new();
+        let index = DiscoveryIndex::new(config.discovery.clone());
+        Self::open_with_parts(config, store, index)
+    }
+
+    /// [`CentralPlatform::open_with`] over caller-built store/index shells,
+    /// so a sharded deployment can hand every shard worker stores and
+    /// indexes that share one dataset/key interner and TF-IDF term space
+    /// (recovery hydrates into them through the normal registration path).
+    pub(crate) fn open_with_parts(
+        config: PlatformConfig,
+        store: SketchStore,
+        mut index: DiscoveryIndex,
+    ) -> Result<Self> {
         let policy = config.storage.clone().ok_or_else(|| {
             CoreError::Storage("open_with requires PlatformConfig.storage".into())
         })?;
@@ -177,9 +197,6 @@ impl CentralPlatform {
             faults: policy.faults.clone(),
         };
         let (engine, recovered) = StorageEngine::open(&policy.dir, opts)?;
-
-        let store = SketchStore::new();
-        let mut index = DiscoveryIndex::new(config.discovery.clone());
         let mut accountant = BudgetAccountant::new();
 
         // 1. Hydrate from the snapshot: sketches re-intern into the store's
@@ -219,6 +236,16 @@ impl CentralPlatform {
             last_checkpoint_error: None,
         };
         Ok(Self::assemble(store, index, accountant, config, durable))
+    }
+
+    /// [`CentralPlatform::new`] over caller-built store/index shells (the
+    /// volatile counterpart of [`CentralPlatform::open_with_parts`]).
+    pub(crate) fn new_with_parts(
+        config: PlatformConfig,
+        store: SketchStore,
+        index: DiscoveryIndex,
+    ) -> Self {
+        Self::assemble(store, index, BudgetAccountant::new(), config, DurableState::default())
     }
 
     fn assemble(
@@ -393,6 +420,7 @@ impl CentralPlatform {
             discovery,
             scheduler: self.sched.report(),
             storage,
+            shards: None,
         })
     }
 
@@ -523,6 +551,21 @@ impl CentralPlatform {
     /// The sketch store (read access for benches/inspection).
     pub fn store(&self) -> &SketchStore {
         &self.store
+    }
+
+    /// The discovery index (the sharded coordinator enumerates per-shard
+    /// candidates against it under its own read lock).
+    pub(crate) fn index(&self) -> &RwLock<DiscoveryIndex> {
+        &self.index
+    }
+
+    /// Dataset names with a budget-ledger entry, including entries whose
+    /// dataset has since been removed (spent budget is spent forever). The
+    /// sharded coordinator rebuilds shard membership from these at open so
+    /// a remove/re-register cycle still routes to the shard holding the
+    /// spend.
+    pub(crate) fn ledger_datasets(&self) -> Vec<String> {
+        self.accountant.lock().entries().into_iter().map(|(name, _, _)| name).collect()
     }
 
     /// The platform configuration.

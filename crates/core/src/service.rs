@@ -304,108 +304,183 @@ pub struct WireSession {
     pub result: mpsc::Receiver<String>,
 }
 
-impl CentralPlatform {
-    /// Server entry point for registration over the wire: parse, check the
-    /// version, execute; always answers with a serialized
-    /// [`WireRegisterResponse`] envelope.
-    pub fn wire_register(&self, request_json: &str) -> String {
-        let response = match serde_json::from_str::<WireRegisterRequest>(request_json) {
-            Err(e) => WireRegisterResponse::err(ErrorCode::Malformed, e.to_string()),
-            Ok(req) if req.v != WIRE_VERSION => WireRegisterResponse::err(
-                ErrorCode::UnsupportedVersion,
-                format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
-            ),
-            Ok(req) => {
-                let dataset = req.upload.sketch.name.clone();
-                match self.register(req.upload) {
-                    Ok(()) => WireRegisterResponse::ok(RegisterReceipt {
-                        dataset,
-                        datasets_total: self.num_datasets(),
-                    }),
-                    Err(e) => WireRegisterResponse::err_core(&e),
-                }
+/// Server entry point for registration over the wire: parse, check the
+/// version, execute against any [`PlatformService`]; always answers with a
+/// serialized [`WireRegisterResponse`] envelope.
+pub fn wire_register(service: &(impl PlatformService + ?Sized), request_json: &str) -> String {
+    let response = match serde_json::from_str::<WireRegisterRequest>(request_json) {
+        Err(e) => WireRegisterResponse::err(ErrorCode::Malformed, e.to_string()),
+        Ok(req) if req.v != WIRE_VERSION => WireRegisterResponse::err(
+            ErrorCode::UnsupportedVersion,
+            format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
+        ),
+        Ok(req) => {
+            let dataset = req.upload.sketch.name.clone();
+            match service.register(req.upload) {
+                Ok(()) => WireRegisterResponse::ok(RegisterReceipt {
+                    dataset,
+                    datasets_total: service.num_datasets(),
+                }),
+                Err(e) => WireRegisterResponse::err_core(&e),
             }
-        };
-        serde_json::to_string(&response)
-            .unwrap_or_else(|_| format!("{{\"v\":{WIRE_VERSION},\"ok\":null,\"err\":{{\"code\":\"Internal\",\"message\":\"encode failure\"}}}}"))
-    }
+        }
+    };
+    serde_json::to_string(&response)
+        .unwrap_or_else(|_| format!("{{\"v\":{WIRE_VERSION},\"ok\":null,\"err\":{{\"code\":\"Internal\",\"message\":\"encode failure\"}}}}"))
+}
 
-    /// Server entry point for admin calls over the wire: parse, check the
-    /// version, execute; always answers with a serialized
-    /// [`WireAdminResponse`] envelope.
-    pub fn wire_admin(&self, request_json: &str) -> String {
-        let response = match serde_json::from_str::<WireAdminRequest>(request_json) {
-            Err(e) => WireAdminResponse::err(ErrorCode::Malformed, e.to_string()),
-            Ok(req) if req.v != WIRE_VERSION => WireAdminResponse::err(
-                ErrorCode::UnsupportedVersion,
-                format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
-            ),
-            Ok(req) => {
-                let result = match req.op {
-                    AdminOp::Checkpoint => self.checkpoint().map(AdminReply::Checkpoint),
-                    AdminOp::Stats => self.stats().map(AdminReply::Stats),
-                };
-                match result {
-                    Ok(reply) => WireAdminResponse::ok(reply),
-                    Err(e) => WireAdminResponse::err_core(&e),
-                }
-            }
-        };
-        serde_json::to_string(&response)
-            .unwrap_or_else(|_| format!("{{\"v\":{WIRE_VERSION},\"ok\":null,\"err\":{{\"code\":\"Internal\",\"message\":\"encode failure\"}}}}"))
-    }
-
-    /// Server entry point for search over the wire: parse, check the
-    /// version, submit. On acceptance, returns a [`WireSession`] whose
-    /// events/result are serialized envelopes; on rejection, returns the
-    /// serialized error response.
-    pub fn wire_submit(&self, request_json: &str) -> std::result::Result<WireSession, String> {
-        let reject = |code: ErrorCode, message: String| {
-            serde_json::to_string(&WireSearchResponse::err(code, message))
-                .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string())
-        };
-        let req = match serde_json::from_str::<WireSearchRequest>(request_json) {
-            Err(e) => return Err(reject(ErrorCode::Malformed, e.to_string())),
-            Ok(req) if req.v != WIRE_VERSION => {
-                return Err(reject(
-                    ErrorCode::UnsupportedVersion,
-                    format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
-                ))
-            }
-            Ok(req) => req,
-        };
-        let session = match self.submit(req.request, req.config) {
-            Ok(s) => s,
-            // Structured rejection: Overloaded keeps its queue depth and
-            // retry hint on the wire so clients can back off properly.
-            Err(e) => {
-                return Err(serde_json::to_string(&WireSearchResponse::err_core(&e))
-                    .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string()))
-            }
-        };
-
-        // Server-side encoder: serialize each event and the final reply.
-        let (event_tx, event_rx) = mpsc::channel();
-        let (result_tx, result_rx) = mpsc::sync_channel(1);
-        let id = session.id();
-        let control = session.control().clone();
-        std::thread::spawn(move || {
-            let session_id = id;
-            let reply = session.wait_with(|ev| {
-                let envelope = WireEvent { v: WIRE_VERSION, session: session_id, event: ev };
-                if let Ok(json) = serde_json::to_string(&envelope) {
-                    let _ = event_tx.send(json);
-                }
-            });
-            let response = match reply {
-                Ok(r) => WireSearchResponse::ok(r),
-                Err(e) => WireSearchResponse::err_core(&e),
+/// Server entry point for admin calls over the wire: parse, check the
+/// version, execute against any [`PlatformService`]; always answers with a
+/// serialized [`WireAdminResponse`] envelope.
+pub fn wire_admin(service: &(impl PlatformService + ?Sized), request_json: &str) -> String {
+    let response = match serde_json::from_str::<WireAdminRequest>(request_json) {
+        Err(e) => WireAdminResponse::err(ErrorCode::Malformed, e.to_string()),
+        Ok(req) if req.v != WIRE_VERSION => WireAdminResponse::err(
+            ErrorCode::UnsupportedVersion,
+            format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
+        ),
+        Ok(req) => {
+            let result = match req.op {
+                AdminOp::Checkpoint => service.checkpoint().map(AdminReply::Checkpoint),
+                AdminOp::Stats => service.stats().map(AdminReply::Stats),
             };
-            let json = serde_json::to_string(&response)
-                .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string());
-            let _ = result_tx.send(json);
+            match result {
+                Ok(reply) => WireAdminResponse::ok(reply),
+                Err(e) => WireAdminResponse::err_core(&e),
+            }
+        }
+    };
+    serde_json::to_string(&response)
+        .unwrap_or_else(|_| format!("{{\"v\":{WIRE_VERSION},\"ok\":null,\"err\":{{\"code\":\"Internal\",\"message\":\"encode failure\"}}}}"))
+}
+
+/// Server entry point for search over the wire: parse, check the version,
+/// submit to any [`PlatformService`]. On acceptance, returns a
+/// [`WireSession`] whose events/result are serialized envelopes; on
+/// rejection, returns the serialized error response.
+pub fn wire_submit(
+    service: &(impl PlatformService + ?Sized),
+    request_json: &str,
+) -> std::result::Result<WireSession, String> {
+    let reject = |code: ErrorCode, message: String| {
+        serde_json::to_string(&WireSearchResponse::err(code, message))
+            .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string())
+    };
+    let req = match serde_json::from_str::<WireSearchRequest>(request_json) {
+        Err(e) => return Err(reject(ErrorCode::Malformed, e.to_string())),
+        Ok(req) if req.v != WIRE_VERSION => {
+            return Err(reject(
+                ErrorCode::UnsupportedVersion,
+                format!("server speaks v{WIRE_VERSION}, request is v{}", req.v),
+            ))
+        }
+        Ok(req) => req,
+    };
+    let session = match service.submit(req.request, req.config) {
+        Ok(s) => s,
+        // Structured rejection: Overloaded keeps its queue depth and
+        // retry hint on the wire so clients can back off properly.
+        Err(e) => {
+            return Err(serde_json::to_string(&WireSearchResponse::err_core(&e))
+                .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string()))
+        }
+    };
+
+    // Server-side encoder: serialize each event and the final reply.
+    let (event_tx, event_rx) = mpsc::channel();
+    let (result_tx, result_rx) = mpsc::sync_channel(1);
+    let id = session.id();
+    let control = session.control().clone();
+    std::thread::spawn(move || {
+        let session_id = id;
+        let reply = session.wait_with(|ev| {
+            let envelope = WireEvent { v: WIRE_VERSION, session: session_id, event: ev };
+            if let Ok(json) = serde_json::to_string(&envelope) {
+                let _ = event_tx.send(json);
+            }
         });
-        Ok(WireSession { id, control, events: event_rx, result: result_rx })
+        let response = match reply {
+            Ok(r) => WireSearchResponse::ok(r),
+            Err(e) => WireSearchResponse::err_core(&e),
+        };
+        let json = serde_json::to_string(&response)
+            .unwrap_or_else(|_| "{\"v\":1,\"ok\":null,\"err\":null}".to_string());
+        let _ = result_tx.send(json);
+    });
+    Ok(WireSession { id, control, events: event_rx, result: result_rx })
+}
+
+/// The platform itself is a [`PlatformService`]: the trait's reference
+/// implementation, letting transports and the TCP server hold `&dyn
+/// PlatformService` over a [`CentralPlatform`] or [`ShardedPlatform`]
+/// interchangeably.
+impl PlatformService for CentralPlatform {
+    fn register(&self, upload: ProviderUpload) -> Result<()> {
+        CentralPlatform::register(self, upload)
+    }
+
+    fn submit(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+    ) -> Result<SearchSession> {
+        CentralPlatform::submit(self, request, config)
+    }
+
+    fn num_datasets(&self) -> usize {
+        CentralPlatform::num_datasets(self)
+    }
+
+    fn checkpoint(&self) -> Result<CheckpointReceipt> {
+        CentralPlatform::checkpoint(self)
+    }
+
+    fn stats(&self) -> Result<PlatformStats> {
+        CentralPlatform::stats(self)
+    }
+}
+
+impl PlatformService for crate::shard::ShardedPlatform {
+    fn register(&self, upload: ProviderUpload) -> Result<()> {
+        crate::shard::ShardedPlatform::register(self, upload)
+    }
+
+    fn submit(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+    ) -> Result<SearchSession> {
+        crate::shard::ShardedPlatform::submit(self, request, config)
+    }
+
+    fn num_datasets(&self) -> usize {
+        crate::shard::ShardedPlatform::num_datasets(self)
+    }
+
+    fn checkpoint(&self) -> Result<CheckpointReceipt> {
+        crate::shard::ShardedPlatform::checkpoint(self)
+    }
+
+    fn stats(&self) -> Result<PlatformStats> {
+        crate::shard::ShardedPlatform::stats(self)
+    }
+}
+
+impl CentralPlatform {
+    /// Registration over the wire ([`wire_register`] against this
+    /// platform).
+    pub fn wire_register(&self, request_json: &str) -> String {
+        wire_register(self, request_json)
+    }
+
+    /// Admin calls over the wire ([`wire_admin`] against this platform).
+    pub fn wire_admin(&self, request_json: &str) -> String {
+        wire_admin(self, request_json)
+    }
+
+    /// Search over the wire ([`wire_submit`] against this platform).
+    pub fn wire_submit(&self, request_json: &str) -> std::result::Result<WireSession, String> {
+        wire_submit(self, request_json)
     }
 }
 

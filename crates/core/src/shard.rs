@@ -1,0 +1,603 @@
+//! The sharded scatter-gather platform: the corpus partitioned across S
+//! shard workers behind the same service surface as [`CentralPlatform`].
+//!
+//! Each shard worker **is** a full `CentralPlatform` — same journaled
+//! mutation path (validate → journal → apply), same WAL/snapshot engine
+//! (rooted at `dir/shard-i` for durable deployments), same budget ledger.
+//! The coordinator routes every mutation to the shard that owns the
+//! dataset and runs searches as scatter-gather greedy rounds over
+//! per-shard candidate slices (see `mileena_search::scatter`).
+//!
+//! **Placement.** A dataset's owning shard is decided once, at first
+//! sight, by hashing its interned `DatasetId`; the decision is then
+//! remembered in a membership map. On reopen the map is rebuilt from what
+//! each shard's store recovered *and* from each shard's budget ledger —
+//! ledger entries survive dataset removal, so a remove/re-register cycle
+//! still routes to the shard holding the spend and cannot launder budget
+//! through the partitioning.
+//!
+//! **Parity.** All shard stores share one dataset/key interner and all
+//! shard indexes share one corpus-global TF-IDF [`TermSpace`], so
+//! discovery scores, candidate ranks, and evaluation results are
+//! bit-identical to a single `CentralPlatform` over the union corpus.
+//! Selections and scores are pinned identical by the `sharded_parity`
+//! suite; only execution counters (evaluations/bound skips) may differ,
+//! because the distributed pruning walk is a different — equally
+//! admissible — walk.
+//!
+//! **Unavailability.** A shard marked unavailable fails its mutations
+//! with the typed [`CoreError::ShardUnavailable`]; searches fail fast when
+//! *any* shard is down, because a partial scatter would silently change
+//! selections — worse than an honest error.
+
+use crate::error::{CoreError, Result};
+use crate::local::ProviderUpload;
+use crate::platform::{fit_final_model, CentralPlatform, PlatformConfig, SessionGuard};
+use crate::sched::{ExecMode, SchedulerConfig, SessionJob, SessionScheduler};
+use crate::service::SearchSession;
+use crate::wire::{CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, ShardReport};
+use mileena_discovery::{DiscoveryIndex, TermSpace};
+use mileena_privacy::PrivacyBudget;
+use mileena_relation::{DatasetInterner, FxHashMap};
+use mileena_search::{
+    build_shard_slices, build_sketched_state, enumerate_candidates, Candidate, CandidateLimits,
+    CandidateSet, ScatterSearch, ScatterStats, SearchConfig, SearchControl, SearchEvent,
+    SearchOutcome, ShardPartition, SketchedRequest,
+};
+use mileena_sketch::SketchStore;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Cumulative scatter-gather counters across every search this platform
+/// served (the sharded analogue of the central `SearchTotals`, plus the
+/// scatter-specific counts surfaced through [`ShardReport`]).
+#[derive(Debug, Default)]
+struct ScatterTotals {
+    evaluations: AtomicU64,
+    bound_skips: AtomicU64,
+    candidates_truncated: AtomicU64,
+    scatter_rounds: AtomicU64,
+    gather_rounds: AtomicU64,
+    cross_shard_skips: AtomicU64,
+}
+
+impl ScatterTotals {
+    fn record(&self, outcome: &SearchOutcome, stats: ScatterStats) {
+        self.evaluations.fetch_add(outcome.evaluations as u64, Ordering::Relaxed);
+        self.bound_skips.fetch_add(outcome.bound_skips as u64, Ordering::Relaxed);
+        self.candidates_truncated.fetch_add(outcome.candidates_truncated as u64, Ordering::Relaxed);
+        self.scatter_rounds.fetch_add(stats.rounds, Ordering::Relaxed);
+        self.gather_rounds.fetch_add(stats.shard_rounds, Ordering::Relaxed);
+        self.cross_shard_skips.fetch_add(stats.cross_shard_skips, Ordering::Relaxed);
+    }
+}
+
+/// The sharded platform: S shard workers behind one coordinator.
+#[derive(Debug)]
+pub struct ShardedPlatform {
+    shards: Vec<Arc<CentralPlatform>>,
+    available: Vec<AtomicBool>,
+    /// Dataset name → owning shard. Grows on first placement, survives
+    /// removal (the shard's ledger may still hold the spend), rebuilt from
+    /// shard stores + ledgers at open.
+    membership: Mutex<FxHashMap<String, usize>>,
+    config: PlatformConfig,
+    active_sessions: Arc<AtomicUsize>,
+    session_counter: AtomicU64,
+    totals: Arc<ScatterTotals>,
+    sched: SessionScheduler,
+}
+
+/// The per-shard worker configuration: shard workers never run sessions
+/// themselves (the coordinator's scheduler owns admission), so their pools
+/// stay minimal; discovery/search tuning is inherited.
+fn shard_worker_config(
+    config: &PlatformConfig,
+    storage: Option<crate::durable::StoragePolicy>,
+) -> PlatformConfig {
+    PlatformConfig {
+        discovery: config.discovery.clone(),
+        default_search: config.default_search.clone(),
+        max_concurrent_sessions: 1,
+        max_session_wall: None,
+        scheduler: SchedulerConfig { workers: Some(1), queue_depth: 1, ..Default::default() },
+        shards: 1,
+        storage,
+    }
+}
+
+impl ShardedPlatform {
+    /// New volatile sharded platform with `config.shards` shard workers
+    /// (clamped to ≥ 1). All shards share one dataset/key interner and one
+    /// TF-IDF term space — the invariants the parity guarantee rests on.
+    pub fn new(config: PlatformConfig) -> Self {
+        let s = config.shards.max(1);
+        let terms = TermSpace::new();
+        let shards = (0..s)
+            .map(|_| {
+                let store = SketchStore::new();
+                let index = DiscoveryIndex::with_term_space(
+                    config.discovery.clone(),
+                    Arc::clone(store.dataset_interner()),
+                    terms.clone(),
+                );
+                Arc::new(CentralPlatform::new_with_parts(
+                    shard_worker_config(&config, None),
+                    store,
+                    index,
+                ))
+            })
+            .collect();
+        Self::assemble(shards, config)
+    }
+
+    /// Open a durable sharded platform: shard `i` journals and snapshots
+    /// under `<storage.dir>/shard-i`, each recovering independently through
+    /// the standard `CentralPlatform` recovery path. The shard count is
+    /// pinned by the directory layout — reopening with a different
+    /// `config.shards` is an error (partitions on disk cannot be
+    /// re-hashed).
+    pub fn open_with(config: PlatformConfig) -> Result<Self> {
+        let policy = config.storage.clone().ok_or_else(|| {
+            CoreError::Storage("open_with requires PlatformConfig.storage".into())
+        })?;
+        let s = config.shards.max(1);
+        let existing = count_shard_dirs(&policy.dir);
+        if existing != 0 && existing != s {
+            return Err(CoreError::Storage(format!(
+                "shard count mismatch: {} holds {existing} shard directories, config wants {s}",
+                policy.dir.display()
+            )));
+        }
+        let terms = TermSpace::new();
+        let mut shards = Vec::with_capacity(s);
+        for i in 0..s {
+            let store = SketchStore::new();
+            let index = DiscoveryIndex::with_term_space(
+                config.discovery.clone(),
+                Arc::clone(store.dataset_interner()),
+                terms.clone(),
+            );
+            let mut shard_policy = policy.clone();
+            shard_policy.dir = policy.dir.join(format!("shard-{i}"));
+            let worker = CentralPlatform::open_with_parts(
+                shard_worker_config(&config, Some(shard_policy)),
+                store,
+                index,
+            )?;
+            shards.push(Arc::new(worker));
+        }
+        let platform = Self::assemble(shards, config);
+        platform.rebuild_membership();
+        Ok(platform)
+    }
+
+    fn assemble(shards: Vec<Arc<CentralPlatform>>, config: PlatformConfig) -> Self {
+        let available = shards.iter().map(|_| AtomicBool::new(true)).collect();
+        let sched = SessionScheduler::new(
+            config.scheduler.effective_workers(config.max_concurrent_sessions),
+            config.scheduler.queue_depth,
+            config.scheduler.faults.clone(),
+        );
+        ShardedPlatform {
+            shards,
+            available,
+            membership: Mutex::new(FxHashMap::default()),
+            config,
+            active_sessions: Arc::new(AtomicUsize::new(0)),
+            session_counter: AtomicU64::new(0),
+            totals: Arc::new(ScatterTotals::default()),
+            sched,
+        }
+    }
+
+    /// Re-derive the membership map after recovery: whatever a shard's
+    /// store recovered lives there, and whatever its ledger remembers —
+    /// including removed datasets — stays routed there so the
+    /// anti-laundering rejection comes from the shard holding the spend.
+    fn rebuild_membership(&self) {
+        let mut membership = self.membership.lock();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for sketch in shard.store().all() {
+                membership.insert(sketch.name.clone(), i);
+            }
+            for name in shard.ledger_datasets() {
+                membership.insert(name, i);
+            }
+        }
+    }
+
+    /// The shard owning `name`: the membership map when the name is known,
+    /// otherwise a first-seen placement by hashing the interned dataset id
+    /// (recorded by the mutation that follows, never by the lookup itself).
+    fn place(&self, name: &str) -> usize {
+        if let Some(&shard) = self.membership.lock().get(name) {
+            return shard;
+        }
+        let id = self.shards[0].store().dataset_interner().intern(name);
+        let mixed = (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.shards.len()
+    }
+
+    fn ensure_available(&self, shard: usize) -> Result<()> {
+        if self.available[shard].load(Ordering::SeqCst) {
+            Ok(())
+        } else {
+            Err(CoreError::ShardUnavailable { shard })
+        }
+    }
+
+    /// Mark a shard worker available/unavailable (operator control; the
+    /// chaos and failure tests drive it). Mutations owned by an unavailable
+    /// shard and all searches fail with [`CoreError::ShardUnavailable`].
+    pub fn set_shard_available(&self, shard: usize, up: bool) {
+        self.available[shard].store(up, Ordering::SeqCst);
+    }
+
+    /// Register a provider upload on the owning shard (the shard's own
+    /// journaled validate → journal → apply path).
+    pub fn register(&self, upload: ProviderUpload) -> Result<()> {
+        let name = upload.sketch.name.clone();
+        let shard = self.place(&name);
+        self.ensure_available(shard)?;
+        self.shards[shard].register(upload)?;
+        self.membership.lock().insert(name, shard);
+        Ok(())
+    }
+
+    /// Replace (or insert) a dataset on its owning shard.
+    pub fn replace(&self, upload: ProviderUpload) -> Result<()> {
+        let name = upload.sketch.name.clone();
+        let shard = self.place(&name);
+        self.ensure_available(shard)?;
+        self.shards[shard].replace(upload)?;
+        self.membership.lock().insert(name, shard);
+        Ok(())
+    }
+
+    /// Remove a dataset from its owning shard. The membership entry stays:
+    /// the shard's ledger may still hold the dataset's spend, and
+    /// re-registration must route back to it.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        let shard = self.place(name);
+        self.ensure_available(shard)?;
+        self.shards[shard].remove(name)
+    }
+
+    /// Grant budget headroom on the owning shard's ledger.
+    pub fn grant_budget(&self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
+        let shard = self.place(dataset);
+        self.ensure_available(shard)?;
+        self.shards[shard].grant_budget(dataset, budget)?;
+        self.membership.lock().insert(dataset.to_string(), shard);
+        Ok(())
+    }
+
+    /// Charge a release against the owning shard's ledger.
+    pub fn charge_budget(&self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
+        let shard = self.place(dataset);
+        self.ensure_available(shard)?;
+        self.shards[shard].charge_budget(dataset, cost)
+    }
+
+    /// Budget spent by a dataset, answered by its owning shard.
+    pub fn budget_spent(&self, dataset: &str) -> Option<PrivacyBudget> {
+        self.shards[self.place(dataset)].budget_spent(dataset)
+    }
+
+    /// Budget remaining for a dataset, answered by its owning shard.
+    pub fn budget_remaining(&self, dataset: &str) -> Result<PrivacyBudget> {
+        self.shards[self.place(dataset)].budget_remaining(dataset)
+    }
+
+    /// Total registered datasets across all shards.
+    pub fn num_datasets(&self) -> usize {
+        self.shards.iter().map(|s| s.num_datasets()).sum()
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard currently owning a dataset (`None` = never placed).
+    pub fn shard_of(&self, name: &str) -> Option<usize> {
+        self.membership.lock().get(name).copied()
+    }
+
+    /// The shard workers (read access for tests/inspection).
+    pub fn shard_platforms(&self) -> &[Arc<CentralPlatform>] {
+        &self.shards
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Sessions admitted and not yet finished (queued + executing).
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Sessions currently waiting in the admission queue.
+    pub fn queued_sessions(&self) -> usize {
+        self.sched.queued()
+    }
+
+    /// Checkpoint every shard, returning the aggregate receipt (max
+    /// sequence, summed datasets and snapshot bytes). Errors on volatile
+    /// platforms, like the single-shard checkpoint.
+    pub fn checkpoint(&self) -> Result<CheckpointReceipt> {
+        let mut receipt = CheckpointReceipt { seq: 0, datasets: 0, snapshot_bytes: 0 };
+        for shard in &self.shards {
+            let r = shard.checkpoint()?;
+            receipt.seq = receipt.seq.max(r.seq);
+            receipt.datasets += r.datasets;
+            receipt.snapshot_bytes += r.snapshot_bytes;
+        }
+        Ok(receipt)
+    }
+
+    /// Platform statistics, aggregated across shards, with the
+    /// scatter-gather counters in `stats.shards`.
+    pub fn stats(&self) -> Result<PlatformStats> {
+        let mut discovery = DiscoveryReport {
+            datasets: 0,
+            key_columns: 0,
+            lsh_buckets: 0,
+            schema_buckets: 0,
+            posting_terms: 0,
+        };
+        let mut datasets_per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let s = shard.stats()?;
+            discovery.datasets += s.discovery.datasets;
+            discovery.key_columns += s.discovery.key_columns;
+            discovery.lsh_buckets += s.discovery.lsh_buckets;
+            discovery.schema_buckets += s.discovery.schema_buckets;
+            // Postings live in the shared corpus-global term space: every
+            // shard reports the same census, so take it, don't sum it.
+            discovery.posting_terms = discovery.posting_terms.max(s.discovery.posting_terms);
+            datasets_per_shard.push(s.datasets);
+        }
+        let unavailable = self
+            .available
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.load(Ordering::SeqCst))
+            .map(|(i, _)| i)
+            .collect();
+        Ok(PlatformStats {
+            datasets: datasets_per_shard.iter().sum(),
+            active_sessions: self.active_sessions(),
+            search_evaluations: self.totals.evaluations.load(Ordering::Relaxed),
+            search_bound_skips: self.totals.bound_skips.load(Ordering::Relaxed),
+            search_candidates_truncated: self.totals.candidates_truncated.load(Ordering::Relaxed),
+            discovery,
+            scheduler: self.sched.report(),
+            storage: None,
+            shards: Some(ShardReport {
+                shards: self.shards.len(),
+                datasets_per_shard,
+                scatter_rounds: self.totals.scatter_rounds.load(Ordering::Relaxed),
+                gather_rounds: self.totals.gather_rounds.load(Ordering::Relaxed),
+                cross_shard_bound_skips: self.totals.cross_shard_skips.load(Ordering::Relaxed),
+                unavailable,
+            }),
+        })
+    }
+
+    /// Submit a sketched search: scatter-gather rounds across the shards,
+    /// admission-controlled by the coordinator's scheduler exactly like
+    /// [`CentralPlatform::submit`].
+    pub fn submit(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+    ) -> Result<SearchSession> {
+        self.submit_with_control(request, config, SearchControl::new())
+    }
+
+    /// [`ShardedPlatform::submit`] with caller-supplied run control. The
+    /// admission semantics (queueing, overload shedding, deadline shedding)
+    /// are the coordinator scheduler's — identical to the single-shard
+    /// platform's.
+    pub fn submit_with_control(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+        mut control: SearchControl,
+    ) -> Result<SearchSession> {
+        // A search needs every shard: a partial scatter would silently
+        // change selections, so any down shard fails the submit outright.
+        for (i, up) in self.available.iter().enumerate() {
+            if !up.load(Ordering::SeqCst) {
+                return Err(CoreError::ShardUnavailable { shard: i });
+            }
+        }
+        if self.config.max_concurrent_sessions == 0 {
+            return Err(CoreError::Capacity(0));
+        }
+        self.active_sessions.fetch_add(1, Ordering::SeqCst);
+        let guard = SessionGuard(Arc::clone(&self.active_sessions));
+
+        let cfg = config.unwrap_or_else(|| self.config.default_search.clone());
+        if let Some(wall) = self.config.max_session_wall {
+            control.set_deadline(Instant::now() + wall);
+        }
+        let state = build_sketched_state(&request, &cfg)?;
+        // Scatter enumeration: one frozen corpus snapshot per shard, each
+        // enumerated under its index read lock, merged into the exact
+        // global candidate order a single shard would produce.
+        let mut stores = Vec::with_capacity(self.shards.len());
+        let mut sets = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let corpus = shard.store().frozen();
+            let set = {
+                let index = shard.index().read();
+                enumerate_candidates(&index, &corpus, &request.profile, &cfg.limits)
+            };
+            stores.push(corpus);
+            sets.push(set);
+        }
+        let names = Arc::clone(self.shards[0].store().dataset_interner());
+        let (assignments, truncated) = merge_shard_candidates(sets, &cfg.limits, &names);
+
+        let id = self.session_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let target = request.task.target.clone();
+        let requester: Arc<str> = Arc::from(request.requester.as_deref().unwrap_or(""));
+
+        let (event_tx, event_rx) = mpsc::channel();
+        let (result_tx, result_rx) = mpsc::sync_channel(1);
+        let worker_control = control.clone();
+        let totals = Arc::clone(&self.totals);
+        let exec = Box::new(move |mode: ExecMode| {
+            let mut observer = move |ev: SearchEvent| {
+                let _ = event_tx.send(ev);
+            };
+            match mode {
+                ExecMode::Run => {
+                    let parts: Vec<ShardPartition<'_>> = assignments
+                        .into_iter()
+                        .zip(&stores)
+                        .enumerate()
+                        .map(|(shard, ((candidates, positions), store))| ShardPartition {
+                            shard,
+                            candidates,
+                            positions,
+                            store,
+                        })
+                        .collect();
+                    let (slices, _) = build_shard_slices(&state, parts, cfg.pruning);
+                    ScatterSearch::new(cfg.clone())
+                        .run_observed(
+                            state,
+                            slices,
+                            truncated,
+                            &names,
+                            &worker_control,
+                            &mut observer,
+                        )
+                        .map_err(CoreError::from)
+                        .and_then(|(outcome, stats)| {
+                            totals.record(&outcome, stats);
+                            let model = fit_final_model(&outcome, &target, cfg.lambda)?;
+                            Ok(SearchReply::from_outcome(&outcome, &model))
+                        })
+                }
+                ExecMode::Immediate(reason) => {
+                    // Same synthesized zero-round reply as the central
+                    // platform's shed/cancel path.
+                    let base_score = state.current_score().map_err(CoreError::from)?;
+                    observer(SearchEvent::Finished {
+                        stop_reason: reason,
+                        final_score: base_score,
+                        rounds: 0,
+                        evaluations: 0,
+                        bound_skips: 0,
+                        elapsed_ms: 0,
+                    });
+                    let outcome = SearchOutcome {
+                        base_score,
+                        final_score: base_score,
+                        steps: Vec::new(),
+                        evaluations: 0,
+                        bound_skips: 0,
+                        candidates_truncated: 0,
+                        elapsed: Duration::ZERO,
+                        stop_reason: reason,
+                        state,
+                    };
+                    let model = fit_final_model(&outcome, &target, cfg.lambda)?;
+                    Ok(SearchReply::from_outcome(&outcome, &model))
+                }
+            }
+        });
+        self.sched.admit(SessionJob {
+            requester,
+            control: control.clone(),
+            guard,
+            result_tx,
+            exec,
+        })?;
+        Ok(SearchSession::new(id, control, event_rx, result_rx))
+    }
+}
+
+/// Number of `shard-<i>` subdirectories under `dir` (0 when the directory
+/// does not exist yet).
+fn count_shard_dirs(dir: &std::path::Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.path().is_dir()
+                && e.file_name()
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("shard-"))
+                    .is_some_and(|i| i.parse::<usize>().is_ok())
+        })
+        .count()
+}
+
+fn similarity(c: &Candidate) -> f64 {
+    match c {
+        Candidate::Join { similarity, .. } | Candidate::Union { similarity, .. } => *similarity,
+    }
+}
+
+/// Per-shard slice of the merged candidate list: the shard's candidates in
+/// global-order restriction, paired with their global positions.
+type ShardCandidates = Vec<(Vec<Candidate>, Vec<usize>)>;
+
+/// Merge per-shard candidate sets into the exact global enumeration order
+/// the single-shard reference produces: joins ranked (descending Jaccard,
+/// ascending name), then unions ranked (descending cosine, ascending name)
+/// — the same total orders the discovery tier sorts with, over globally
+/// unique names — with the per-class limits re-applied across the merged
+/// set. Returns, per shard, its candidates (in global-order restriction)
+/// with their global positions, plus the total truncation count
+/// (per-shard enumeration truncation + merge-time drops).
+fn merge_shard_candidates(
+    sets: Vec<CandidateSet>,
+    limits: &CandidateLimits,
+    names: &DatasetInterner,
+) -> (ShardCandidates, usize) {
+    let num_shards = sets.len();
+    let mut truncated: usize = sets.iter().map(|s| s.truncated()).sum();
+    let mut joins: Vec<(usize, Candidate)> = Vec::new();
+    let mut unions: Vec<(usize, Candidate)> = Vec::new();
+    for (shard, set) in sets.into_iter().enumerate() {
+        for cand in set.candidates {
+            match cand {
+                Candidate::Join { .. } => joins.push((shard, cand)),
+                Candidate::Union { .. } => unions.push((shard, cand)),
+            }
+        }
+    }
+    let name_of = |c: &Candidate| names.name(c.dataset()).unwrap_or_else(|| Arc::from(""));
+    let rank = |a: &(usize, Candidate), b: &(usize, Candidate)| {
+        similarity(&b.1)
+            .partial_cmp(&similarity(&a.1))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| name_of(&a.1).cmp(&name_of(&b.1)))
+    };
+    joins.sort_by(rank);
+    unions.sort_by(rank);
+    let keep_joins = joins.len().min(limits.max_join);
+    let keep_unions = unions.len().min(limits.max_union);
+    truncated += (joins.len() - keep_joins) + (unions.len() - keep_unions);
+
+    let mut out: Vec<(Vec<Candidate>, Vec<usize>)> =
+        (0..num_shards).map(|_| Default::default()).collect();
+    for (pos, (shard, cand)) in
+        joins.into_iter().take(keep_joins).chain(unions.into_iter().take(keep_unions)).enumerate()
+    {
+        out[shard].0.push(cand);
+        out[shard].1.push(pos);
+    }
+    (out, truncated)
+}

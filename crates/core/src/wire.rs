@@ -53,6 +53,8 @@ pub enum ErrorCode {
     Overloaded,
     /// The platform is shutting down; the queued session will never run.
     Shutdown,
+    /// A shard worker is unavailable; the error carries the shard index.
+    ShardUnavailable,
     /// Anything else; details in the message.
     Internal,
 }
@@ -70,12 +72,21 @@ pub struct WireError {
     /// For [`ErrorCode::Overloaded`]: the admission-queue bound that was
     /// hit. `None` for other codes.
     pub queue_depth: Option<usize>,
+    /// For [`ErrorCode::ShardUnavailable`]: which shard is down. `None`
+    /// for other codes.
+    pub shard: Option<usize>,
 }
 
 impl WireError {
     /// A plain coded error (no backpressure payload).
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        WireError { code, message: message.into(), retry_after_ms: None, queue_depth: None }
+        WireError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+            queue_depth: None,
+            shard: None,
+        }
     }
 
     /// Encode a platform error, preserving the structured backpressure
@@ -87,18 +98,24 @@ impl WireError {
             wire.retry_after_ms = Some(*retry_after_ms);
             wire.queue_depth = Some(*queue_depth);
         }
+        if let CoreError::ShardUnavailable { shard } = err {
+            wire.shard = Some(*shard);
+        }
         wire
     }
 
     /// Decode back into the richest [`CoreError`] the payload supports:
     /// structured variants where the fields survived the trip, the generic
     /// `Wire` pass-through otherwise.
-    fn into_core(self) -> CoreError {
+    pub(crate) fn into_core(self) -> CoreError {
         match (self.code, self.retry_after_ms, self.queue_depth) {
             (ErrorCode::Overloaded, Some(retry_after_ms), Some(queue_depth)) => {
                 CoreError::Overloaded { queue_depth, retry_after_ms }
             }
             (ErrorCode::Shutdown, ..) => CoreError::Shutdown,
+            (ErrorCode::ShardUnavailable, ..) if self.shard.is_some() => {
+                CoreError::ShardUnavailable { shard: self.shard.unwrap() }
+            }
             _ => CoreError::Wire { code: self.code, message: self.message },
         }
     }
@@ -119,6 +136,7 @@ pub fn code_of(err: &CoreError) -> ErrorCode {
         CoreError::Capacity(_) => ErrorCode::Capacity,
         CoreError::Overloaded { .. } => ErrorCode::Overloaded,
         CoreError::Shutdown => ErrorCode::Shutdown,
+        CoreError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
         CoreError::Wire { code, .. } => *code,
         CoreError::Storage(_) => ErrorCode::Internal,
         _ => ErrorCode::Internal,
@@ -461,6 +479,27 @@ pub struct SchedulerReport {
     pub stops: StopCounts,
 }
 
+/// Sharded scatter-gather state, wire form (`None` on single-shard
+/// `CentralPlatform` deployments).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Number of shard workers.
+    pub shards: usize,
+    /// Registered datasets per shard, indexed by shard.
+    pub datasets_per_shard: Vec<usize>,
+    /// Greedy rounds driven by the scatter-gather coordinator across all
+    /// completed searches (each scatters to the shards and gathers one
+    /// global incumbent).
+    pub scatter_rounds: u64,
+    /// Per-shard round evaluations actually scattered (gather count).
+    pub gather_rounds: u64,
+    /// Shard-rounds skipped whole because the shard's admissible score
+    /// ceiling could not beat the global incumbent.
+    pub cross_shard_bound_skips: u64,
+    /// Shards currently marked unavailable (empty when healthy).
+    pub unavailable: Vec<usize>,
+}
+
 /// Platform statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformStats {
@@ -482,6 +521,8 @@ pub struct PlatformStats {
     pub scheduler: SchedulerReport,
     /// Storage-engine state (`None` on volatile platforms).
     pub storage: Option<StorageReport>,
+    /// Scatter-gather shard state (`None` on single-shard platforms).
+    pub shards: Option<ShardReport>,
 }
 
 /// Admin request envelope.
@@ -681,6 +722,14 @@ mod tests {
                 }),
                 last_checkpoint_error: None,
             }),
+            shards: Some(ShardReport {
+                shards: 4,
+                datasets_per_shard: vec![1, 0, 2, 0],
+                scatter_rounds: 9,
+                gather_rounds: 31,
+                cross_shard_bound_skips: 5,
+                unavailable: vec![2],
+            }),
         }));
         let json = serde_json::to_string(&resp).unwrap();
         let back: WireAdminResponse = serde_json::from_str(&json).unwrap();
@@ -690,6 +739,10 @@ mod tests {
                 assert_eq!(stats.storage.unwrap().recovery.unwrap().replayed_records, 2);
                 assert_eq!(stats.scheduler.queue_high_water, 17);
                 assert_eq!(stats.scheduler.stops.shed, 3);
+                let shards = stats.shards.unwrap();
+                assert_eq!(shards.datasets_per_shard, vec![1, 0, 2, 0]);
+                assert_eq!(shards.cross_shard_bound_skips, 5);
+                assert_eq!(shards.unavailable, vec![2]);
             }
             other => panic!("wrong reply: {other:?}"),
         }
@@ -725,6 +778,25 @@ mod tests {
         assert!(matches!(
             resp.into_result().unwrap_err(),
             CoreError::Wire { code: ErrorCode::Internal, .. }
+        ));
+    }
+
+    #[test]
+    fn shard_unavailable_roundtrips_with_shard_id() {
+        let core = CoreError::ShardUnavailable { shard: 3 };
+        assert_eq!(code_of(&core), ErrorCode::ShardUnavailable);
+        let resp = WireSearchResponse::err_core(&core);
+        assert_eq!(resp.err.as_ref().unwrap().shard, Some(3));
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireSearchResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.into_result().unwrap_err(), core);
+
+        // Without the shard id the code degrades to the generic pass-through
+        // instead of inventing a shard.
+        let resp = WireSearchResponse::err(ErrorCode::ShardUnavailable, "shard down");
+        assert!(matches!(
+            resp.into_result().unwrap_err(),
+            CoreError::Wire { code: ErrorCode::ShardUnavailable, .. }
         ));
     }
 

@@ -35,11 +35,11 @@
 
 use crate::minhash::mix;
 use crate::profile::{ColumnProfile, DatasetProfile};
-use crate::tfidf::TermPostings;
+use crate::tfidf::TermSpace;
 use mileena_relation::hash::fx_hash64;
 use mileena_relation::{DataType, DatasetId, DatasetInterner, FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Tuning knobs for discovery.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -181,11 +181,11 @@ pub struct DiscoveryIndex {
     num_key_columns: usize,
     /// Union tier: schema fingerprint → ascending live slots.
     schema_buckets: FxHashMap<u64, Vec<u32>>,
-    /// Term postings (documents = columns) backing TF-IDF.
-    postings: TermPostings,
-    /// Memoized IDF table; readers share it lock-free-ish (one `RwLock`
-    /// read), writers rebuild only after an invalidating mutation.
-    idf_cache: RwLock<Option<Arc<FxHashMap<String, f64>>>>,
+    /// Term statistics (documents = columns) backing TF-IDF, with the
+    /// memoized IDF table. Private per index by default; a sharded
+    /// deployment passes one shared [`TermSpace`] to every shard's index
+    /// so union scores see corpus-global document frequencies.
+    terms: TermSpace,
 }
 
 impl Default for DiscoveryIndex {
@@ -204,6 +204,18 @@ impl DiscoveryIndex {
     /// New index on an isolated identity space (must be shared with the
     /// sketch store that serves its candidates).
     pub fn with_interner(config: DiscoveryConfig, ids: Arc<DatasetInterner>) -> Self {
+        Self::with_term_space(config, ids, TermSpace::new())
+    }
+
+    /// New index on an isolated identity space *and* an externally-owned
+    /// term space. Several indexes sharing one `TermSpace` score TF-IDF
+    /// against the union of everything they all indexed — the sharded
+    /// platform's corpus-global IDF census.
+    pub fn with_term_space(
+        config: DiscoveryConfig,
+        ids: Arc<DatasetInterner>,
+        terms: TermSpace,
+    ) -> Self {
         DiscoveryIndex {
             config,
             ids,
@@ -216,8 +228,7 @@ impl DiscoveryIndex {
             lsh_built: false,
             num_key_columns: 0,
             schema_buckets: FxHashMap::default(),
-            postings: TermPostings::default(),
-            idf_cache: RwLock::new(None),
+            terms,
         }
     }
 
@@ -286,7 +297,7 @@ impl DiscoveryIndex {
             key_columns: self.num_key_columns,
             lsh_buckets: self.lsh.len(),
             schema_buckets: self.schema_buckets.len(),
-            posting_terms: self.postings.num_terms(),
+            posting_terms: self.terms.num_terms(),
         }
     }
 
@@ -347,9 +358,8 @@ impl DiscoveryIndex {
     /// Add one profile's derived entries (postings, key columns, LSH refs,
     /// schema bucket). Called before the profile lands in its slot.
     fn index_derived(&mut self, slot: u32, profile: &DatasetProfile, fingerprint: u64) {
-        self.invalidate_idf();
         for (ci, col) in profile.columns.iter().enumerate() {
-            self.postings.add_document(&col.terms);
+            self.terms.add_document(&col.terms);
             if self.is_key_like(col) {
                 self.num_key_columns += 1;
                 if self.lsh_built {
@@ -370,9 +380,8 @@ impl DiscoveryIndex {
     /// Remove one profile's derived entries. Called after the profile left
     /// its slot.
     fn unindex_derived(&mut self, slot: u32, profile: &DatasetProfile, fingerprint: u64) {
-        self.invalidate_idf();
         for (ci, col) in profile.columns.iter().enumerate() {
-            self.postings.remove_document(&col.terms);
+            self.terms.remove_document(&col.terms);
             if self.is_key_like(col) {
                 self.num_key_columns -= 1;
                 if self.lsh_built {
@@ -441,25 +450,17 @@ impl DiscoveryIndex {
             && !col.minhash.is_empty()
     }
 
-    fn invalidate_idf(&mut self) {
-        *self.idf_cache.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
+    /// The term space this index censuses into (shared handle).
+    pub fn term_space(&self) -> &TermSpace {
+        &self.terms
     }
 
-    /// Current IDF table, memoized until the next mutation. The warm path
-    /// takes only a read lock (the old `Mutex` serialized every concurrent
-    /// union query on a warm cache); the write lock is taken — and the
-    /// table rebuilt from the postings — only after an invalidation.
+    /// Current IDF table, memoized by the term space until the next
+    /// mutation (of *any* index sharing the space). The warm path takes
+    /// only a read lock; the table is rebuilt from the postings only after
+    /// an invalidation.
     fn idf(&self) -> Arc<FxHashMap<String, f64>> {
-        if let Some(idf) = self.idf_cache.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
-            return Arc::clone(idf);
-        }
-        let mut cache = self.idf_cache.write().unwrap_or_else(|e| e.into_inner());
-        if let Some(idf) = cache.as_ref() {
-            return Arc::clone(idf); // raced with another rebuilder
-        }
-        let idf = Arc::new(self.postings.idf_table());
-        *cache = Some(Arc::clone(&idf));
-        idf
+        self.terms.idf()
     }
 
     /// Live `(slot, dataset)` pairs in ascending slot order — the canonical
@@ -611,7 +612,7 @@ impl DiscoveryIndex {
             return Vec::new();
         };
         let idf = self.idf();
-        let default_idf = self.postings.default_idf();
+        let default_idf = self.terms.default_idf();
         // Each query column's TF-IDF norm, once — not once per candidate.
         let qnorms: Vec<f64> =
             query.columns.iter().map(|c| c.terms.weighted_norm(&idf, default_idf)).collect();
@@ -644,7 +645,7 @@ impl DiscoveryIndex {
     /// for bit (pinned by the `index_parity` property suite).
     pub fn find_union_candidates_linear(&self, query: &DatasetProfile) -> Vec<UnionCandidate> {
         let idf = self.idf();
-        let default_idf = self.postings.default_idf();
+        let default_idf = self.terms.default_idf();
         let mut out = Vec::new();
         'ds: for (_, ds) in self.live() {
             if ds.profile.name == query.name || ds.profile.columns.len() != query.columns.len() {

@@ -28,7 +28,7 @@ pub use index::{
 };
 pub use minhash::MinHashSignature;
 pub use profile::{ColumnProfile, DatasetProfile};
-pub use tfidf::{TermPostings, TermVector};
+pub use tfidf::{TermPostings, TermSpace, TermVector};
 
 // Re-exported so discovery consumers name dataset identities without a
 // direct `mileena-relation` dependency.

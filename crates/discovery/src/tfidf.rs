@@ -7,6 +7,7 @@
 
 use mileena_relation::{Column, FxHashMap};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, RwLock};
 
 /// A sparse term-frequency vector for one column.
 ///
@@ -212,6 +213,95 @@ impl TermPostings {
             .iter()
             .map(|(t, &df)| (t.clone(), (1.0 + self.num_docs / df.max(1.0)).ln()))
             .collect()
+    }
+}
+
+/// A shareable term-statistics space: [`TermPostings`] plus the memoized
+/// IDF table derived from them, behind interior mutability so several
+/// [`DiscoveryIndex`](crate::DiscoveryIndex)es can score against **one**
+/// corpus-wide document-frequency census.
+///
+/// This is what makes sharded discovery bit-identical to a central index:
+/// union cosine scores depend on corpus-global IDF, so shard-local indexes
+/// must share the term space of the whole corpus, not their own partition.
+/// df counts are ±1 integer-valued f64 updates (order-independent far below
+/// 2^53), so the shared census equals a central one over the same columns
+/// regardless of which shard added which document when.
+///
+/// Cloning a `TermSpace` clones the handle, not the census — clones see
+/// each other's updates.
+#[derive(Debug, Clone, Default)]
+pub struct TermSpace {
+    inner: Arc<TermSpaceInner>,
+}
+
+#[derive(Debug, Default)]
+struct TermSpaceInner {
+    postings: RwLock<TermPostings>,
+    /// Memoized IDF table; readers share it via one `RwLock` read, writers
+    /// rebuild only after an invalidating postings mutation.
+    idf: RwLock<Option<Arc<FxHashMap<String, f64>>>>,
+}
+
+impl TermSpace {
+    /// A fresh, empty term space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff `other` is the same underlying census (handle identity).
+    pub fn same_space(&self, other: &TermSpace) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Add one document (column) and invalidate the memoized IDF.
+    pub fn add_document(&self, terms: &TermVector) {
+        let mut postings = self.inner.postings.write().unwrap_or_else(|e| e.into_inner());
+        postings.add_document(terms);
+        drop(postings);
+        self.invalidate();
+    }
+
+    /// Remove one document and invalidate the memoized IDF.
+    pub fn remove_document(&self, terms: &TermVector) {
+        let mut postings = self.inner.postings.write().unwrap_or_else(|e| e.into_inner());
+        postings.remove_document(terms);
+        drop(postings);
+        self.invalidate();
+    }
+
+    /// Current IDF table, memoized until the next mutation.
+    pub fn idf(&self) -> Arc<FxHashMap<String, f64>> {
+        if let Some(idf) = self.inner.idf.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            return Arc::clone(idf);
+        }
+        let mut cache = self.inner.idf.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(idf) = cache.as_ref() {
+            return Arc::clone(idf); // raced with another rebuilder
+        }
+        let idf =
+            Arc::new(self.inner.postings.read().unwrap_or_else(|e| e.into_inner()).idf_table());
+        *cache = Some(Arc::clone(&idf));
+        idf
+    }
+
+    /// The IDF weight a term absent from every posting gets.
+    pub fn default_idf(&self) -> f64 {
+        self.inner.postings.read().unwrap_or_else(|e| e.into_inner()).default_idf()
+    }
+
+    /// Distinct posting terms.
+    pub fn num_terms(&self) -> usize {
+        self.inner.postings.read().unwrap_or_else(|e| e.into_inner()).num_terms()
+    }
+
+    /// Total documents (columns) indexed.
+    pub fn num_docs(&self) -> f64 {
+        self.inner.postings.read().unwrap_or_else(|e| e.into_inner()).num_docs()
+    }
+
+    fn invalidate(&self) {
+        *self.inner.idf.write().unwrap_or_else(|e| e.into_inner()) = None;
     }
 }
 

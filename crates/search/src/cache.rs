@@ -141,6 +141,10 @@ impl CachedCandidate {
 #[derive(Debug, Clone, Default)]
 pub struct CandidateCache {
     entries: Vec<CachedCandidate>,
+    /// For each surviving entry, the index it had in the input candidate
+    /// vector (strictly increasing). The sharded scatter loop uses this to
+    /// map per-shard entries back onto the global enumeration order.
+    kept: Vec<usize>,
     /// Candidates whose projection failed outright (missing keyed sketch,
     /// no features to add, missing task columns) — they could never score
     /// under any state, so they are dropped before round 1.
@@ -197,13 +201,26 @@ impl CandidateCache {
             })
             .collect();
         let total = projected.len();
-        let entries: Vec<CachedCandidate> = projected.into_iter().flatten().collect();
-        CandidateCache { dropped: total - entries.len(), entries }
+        let mut entries = Vec::with_capacity(total);
+        let mut kept = Vec::with_capacity(total);
+        for (input_idx, entry) in projected.into_iter().enumerate() {
+            if let Some(entry) = entry {
+                entries.push(entry);
+                kept.push(input_idx);
+            }
+        }
+        CandidateCache { dropped: total - entries.len(), kept, entries }
     }
 
     /// The cached candidates (ownership passes to the greedy loop).
     pub fn into_entries(self) -> Vec<CachedCandidate> {
         self.entries
+    }
+
+    /// The cached candidates together with the input index each one
+    /// survived from (strictly increasing, parallel to the entries).
+    pub fn into_indexed_entries(self) -> (Vec<CachedCandidate>, Vec<usize>) {
+        (self.entries, self.kept)
     }
 
     /// Number of cached candidates.

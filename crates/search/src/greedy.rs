@@ -283,7 +283,12 @@ impl GreedySearch {
                 stop_reason = StopReason::Converged;
                 break;
             }
-            let entry = entries.swap_remove(best_idx);
+            // Order-preserving removal: the surviving entries keep their
+            // enumeration order, so tie-breaks stay reproducible for any
+            // runner (the sharded scatter loop mirrors this order per
+            // shard) and `pick_best`'s highest-index rule means
+            // highest-enumeration-rank among the remaining candidates.
+            let entry = entries.remove(best_idx);
             // Resolve the boundary form first: the commit and its events
             // share one name materialization per round.
             let augmentation = entry.aug.resolve(names);
@@ -480,7 +485,7 @@ impl GreedySearch {
                 stop_reason = StopReason::Converged;
                 break;
             }
-            let aug = candidates.swap_remove(best_idx);
+            let aug = candidates.remove(best_idx);
             let sketch = store.get(aug.dataset())?;
             state.apply(&aug, &sketch)?;
             current = best_score;

@@ -29,6 +29,7 @@ pub mod modes;
 pub mod novelty;
 pub mod proxy;
 pub mod request;
+pub mod scatter;
 
 pub use cache::{CachedCandidate, CandidateCache};
 pub use candidates::{
@@ -41,3 +42,4 @@ pub use greedy::{
 };
 pub use proxy::ProxyState;
 pub use request::{SearchConfig, SearchRequest, SketchedRequest, TaskSpec};
+pub use scatter::{build_shard_slices, ScatterSearch, ScatterStats, ShardPartition, ShardSlice};

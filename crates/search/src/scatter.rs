@@ -1,0 +1,498 @@
+//! Scatter-gather greedy rounds over sharded candidate slices.
+//!
+//! The sharded platform partitions the corpus across S shard workers; a
+//! search then holds one [`ShardSlice`] per shard — that shard's projected
+//! candidates in global enumeration order, each tagged with its *global
+//! rank* (the index it would have in the single-shard entry vector). Every
+//! round scatters [`GreedySearch::score_round`] to the shards and gathers
+//! the per-shard winners into one global incumbent.
+//!
+//! **Why selections stay bit-identical to the single-shard reference:**
+//!
+//! - Per-shard entry order is the global enumeration order restricted to
+//!   the shard, and the single-shard loop removes committed entries
+//!   order-preservingly, so shard-local index order always agrees with
+//!   global rank order. `score_round`'s tie rule (max score, ties to the
+//!   highest index) therefore yields, per shard, the highest-ranked member
+//!   of that shard's tied set — and the gather rule (max score, ties to
+//!   the largest global rank) recovers exactly the single-shard winner.
+//! - Candidate scores are pure functions of the proxy state and the
+//!   candidate's projection, independent of which shard holds them.
+//! - Cross-shard pruning only ever skips a shard whose score ceiling is
+//!   *strictly* below the running incumbent (scores never exceed their
+//!   admissible bound, so nothing skipped could have won **or tied**), or
+//!   whose ceiling cannot clear `min_gain` (then its candidates could only
+//!   be round maxima that converge the loop — which the gathered winner
+//!   then does too, at the same committed state).
+
+use crate::cache::{CachedCandidate, CandidateCache};
+use crate::candidates::Candidate;
+use crate::error::Result;
+use crate::greedy::{
+    GreedySearch, SearchControl, SearchEvent, SearchOutcome, SelectionStep, StopReason,
+};
+use crate::proxy::ProxyState;
+use crate::request::SearchConfig;
+use mileena_relation::DatasetInterner;
+use mileena_sketch::SketchStore;
+use std::time::Instant;
+
+/// One shard's share of a search's candidates, pre-projection.
+pub struct ShardPartition<'a> {
+    /// Shard index (for diagnostics; slices keep it).
+    pub shard: usize,
+    /// The shard's candidates, in global enumeration order restricted to
+    /// this shard.
+    pub candidates: Vec<Candidate>,
+    /// For each candidate, its position in the *global* enumeration.
+    pub positions: Vec<usize>,
+    /// The shard's sketch store (a frozen corpus snapshot).
+    pub store: &'a SketchStore,
+}
+
+/// One shard's projected candidates, ready for scatter rounds.
+#[derive(Debug)]
+pub struct ShardSlice {
+    /// Shard index.
+    pub shard: usize,
+    /// Projected candidates, in global enumeration order restricted to
+    /// this shard.
+    pub entries: Vec<CachedCandidate>,
+    /// Parallel to `entries`: each entry's index in the single-shard
+    /// reference entry vector (strictly increasing; maintained across
+    /// commits and refresh drops).
+    pub ranks: Vec<usize>,
+}
+
+impl ShardSlice {
+    /// The shard's current score ceiling: the max admissible bound over
+    /// its remaining entries (`-∞` when empty).
+    fn ceiling(&self) -> f64 {
+        self.entries.iter().map(|e| e.bound).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Scatter-gather execution counters (surfaced through platform stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScatterStats {
+    /// Greedy rounds driven by the coordinator (committed or converged).
+    pub rounds: u64,
+    /// Shard-rounds actually scattered (a shard evaluated its slice).
+    pub shard_rounds: u64,
+    /// Shard-rounds skipped because the shard's score ceiling could not
+    /// beat the running incumbent or clear `min_gain`.
+    pub cross_shard_skips: u64,
+}
+
+/// Project each shard partition once and tag every surviving entry with
+/// its global rank (its index in the single-shard reference entry vector).
+/// Returns the slices (in ascending shard order, as given) plus the total
+/// count of candidates dropped at projection.
+///
+/// Drop decisions are per-candidate (state + sketch), so the surviving set
+/// — and therefore the rank assignment — is identical to what one
+/// [`CandidateCache::build`] over the concatenated global list keeps.
+pub fn build_shard_slices(
+    state: &ProxyState,
+    parts: Vec<ShardPartition<'_>>,
+    compute_bounds: bool,
+) -> (Vec<ShardSlice>, usize) {
+    let mut dropped = 0usize;
+    let mut raw: Vec<(usize, Vec<CachedCandidate>, Vec<usize>)> = Vec::with_capacity(parts.len());
+    for part in parts {
+        let cache = CandidateCache::build(state, part.candidates, part.store, compute_bounds);
+        dropped += cache.dropped;
+        let (entries, kept) = cache.into_indexed_entries();
+        let positions: Vec<usize> = kept.into_iter().map(|k| part.positions[k]).collect();
+        raw.push((part.shard, entries, positions));
+    }
+    // Global rank = index within the sorted surviving global positions.
+    let mut survivors: Vec<usize> =
+        raw.iter().flat_map(|(_, _, positions)| positions.iter().copied()).collect();
+    survivors.sort_unstable();
+    let slices = raw
+        .into_iter()
+        .map(|(shard, entries, positions)| {
+            let ranks = positions
+                .into_iter()
+                .map(|p| survivors.binary_search(&p).expect("own position is a survivor"))
+                .collect();
+            ShardSlice { shard, entries, ranks }
+        })
+        .collect();
+    (slices, dropped)
+}
+
+/// The scatter-gather searcher: drives the same greedy loop as
+/// [`GreedySearch::run_observed`], with each round's candidate evaluation
+/// scattered across shard slices.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterSearch {
+    config: SearchConfig,
+}
+
+impl ScatterSearch {
+    /// New searcher.
+    pub fn new(config: SearchConfig) -> Self {
+        ScatterSearch { config }
+    }
+
+    /// Run the loop over shard slices. `candidates_truncated` is the
+    /// enumeration-time truncation count (reported, like the single-shard
+    /// path, through the `Started` event and the outcome); `names`
+    /// resolves committed ids at the event boundary.
+    pub fn run_observed(
+        &self,
+        mut state: ProxyState,
+        mut slices: Vec<ShardSlice>,
+        candidates_truncated: usize,
+        names: &DatasetInterner,
+        control: &SearchControl,
+        observer: &mut dyn FnMut(SearchEvent),
+    ) -> Result<(SearchOutcome, ScatterStats)> {
+        let start = Instant::now();
+        let base_score = state.current_score()?;
+        let mut current = base_score;
+        let mut steps = Vec::new();
+        let mut evaluations = 0usize;
+        let mut bound_skips = 0usize;
+        let mut stats = ScatterStats::default();
+        // Per-shard scoring reuses the single-shard round plan verbatim.
+        let round_plan = GreedySearch::new(self.config.clone());
+
+        observer(SearchEvent::Started {
+            candidates: slices.iter().map(|s| s.entries.len()).sum(),
+            truncated: candidates_truncated,
+        });
+
+        let mut stop_reason = StopReason::MaxAugmentations;
+        for round in 0..self.config.max_augmentations {
+            if control.is_cancelled() {
+                stop_reason = StopReason::Cancelled;
+                break;
+            }
+            if start.elapsed() >= self.config.time_budget || control.deadline_exceeded() {
+                stop_reason = StopReason::TimeBudget;
+                break;
+            }
+            stats.rounds += 1;
+
+            // Scatter: visit shards in descending-ceiling order (shard id
+            // ascending on ties) so the pruning gate sees the strongest
+            // incumbent as early as possible; a shard whose ceiling cannot
+            // beat it returns nothing for this round.
+            let mut order: Vec<usize> = (0..slices.len()).collect();
+            if self.config.pruning {
+                order.sort_by(|&a, &b| {
+                    slices[b]
+                        .ceiling()
+                        .partial_cmp(&slices[a].ceiling())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+            // Gathered winner: (score, global rank, slice index, local index).
+            let mut winner: Option<(f64, usize, usize, usize)> = None;
+            let mut round_evaluated = 0usize;
+            let mut round_skipped = 0usize;
+            for si in order {
+                let slice = &slices[si];
+                if slice.entries.is_empty() {
+                    continue;
+                }
+                if self.config.pruning {
+                    let ceiling = slice.ceiling();
+                    let beaten = winner.is_some_and(|(score, ..)| ceiling < score);
+                    if beaten || ceiling - current < self.config.min_gain {
+                        stats.cross_shard_skips += 1;
+                        round_skipped += slice.entries.len();
+                        continue;
+                    }
+                }
+                stats.shard_rounds += 1;
+                let (best, evaluated, skipped) =
+                    round_plan.score_round(&state, &slice.entries, current);
+                round_evaluated += evaluated;
+                round_skipped += skipped;
+                if let Some((local_idx, score)) = best {
+                    let rank = slice.ranks[local_idx];
+                    let better = match winner {
+                        None => true,
+                        Some((w_score, w_rank, ..)) => {
+                            score > w_score || (score == w_score && rank > w_rank)
+                        }
+                    };
+                    if better {
+                        winner = Some((score, rank, si, local_idx));
+                    }
+                }
+            }
+            evaluations += round_evaluated;
+            bound_skips += round_skipped;
+
+            let Some((best_score, best_rank, si, local_idx)) = winner else {
+                stop_reason = StopReason::Converged;
+                break;
+            };
+            if best_score - current < self.config.min_gain {
+                stop_reason = StopReason::Converged;
+                break;
+            }
+
+            // Commit on the coordinator; the winning entry leaves its
+            // slice order-preservingly and every higher rank shifts down,
+            // mirroring the single-shard `entries.remove(best_idx)`.
+            let entry = slices[si].entries.remove(local_idx);
+            slices[si].ranks.remove(local_idx);
+            for slice in &mut slices {
+                for rank in &mut slice.ranks {
+                    if *rank > best_rank {
+                        *rank -= 1;
+                    }
+                }
+            }
+            let augmentation = entry.aug.resolve(names);
+            entry.apply(&mut state, augmentation.dataset())?;
+            if matches!(entry.aug, Candidate::Join { .. }) {
+                // Lockstep refresh: the same entries the single-shard loop
+                // would drop (re-projection failure after the feature
+                // space grew) leave their slices, and surviving ranks
+                // compact exactly like the reference retain.
+                let union_bound = self.config.pruning.then(|| state.union_score_bound());
+                let mut dropped_ranks: Vec<usize> = Vec::new();
+                for slice in &mut slices {
+                    let mut keep_entries = Vec::with_capacity(slice.entries.len());
+                    let mut keep_ranks = Vec::with_capacity(slice.ranks.len());
+                    for (mut e, rank) in
+                        slice.entries.drain(..).zip(slice.ranks.drain(..)).collect::<Vec<_>>()
+                    {
+                        if e.refresh(&state, union_bound) {
+                            keep_entries.push(e);
+                            keep_ranks.push(rank);
+                        } else {
+                            dropped_ranks.push(rank);
+                        }
+                    }
+                    slice.entries = keep_entries;
+                    slice.ranks = keep_ranks;
+                }
+                if !dropped_ranks.is_empty() {
+                    dropped_ranks.sort_unstable();
+                    for slice in &mut slices {
+                        for rank in &mut slice.ranks {
+                            *rank -= dropped_ranks.partition_point(|&d| d < *rank);
+                        }
+                    }
+                }
+            }
+            current = best_score;
+            observer(SearchEvent::RoundCommitted {
+                round,
+                augmentation: augmentation.clone(),
+                score_after: best_score,
+                evaluated: round_evaluated,
+                bound_skipped: round_skipped,
+                remaining: slices.iter().map(|s| s.entries.len()).sum(),
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            });
+            steps.push(SelectionStep {
+                augmentation,
+                score_after: best_score,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        observer(SearchEvent::Finished {
+            stop_reason,
+            final_score: current,
+            rounds: steps.len(),
+            evaluations,
+            bound_skips,
+            elapsed_ms: start.elapsed().as_millis() as u64,
+        });
+        Ok((
+            SearchOutcome {
+                base_score,
+                final_score: current,
+                steps,
+                evaluations,
+                bound_skips,
+                candidates_truncated,
+                elapsed: start.elapsed(),
+                stop_reason,
+                state,
+            },
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{enumerate_candidates, CandidateLimits};
+    use crate::greedy::build_requester_state;
+    use crate::request::{SearchRequest, TaskSpec};
+    use mileena_datagen::{generate_corpus, CorpusConfig};
+    use mileena_discovery::{DatasetProfile, DiscoveryConfig, DiscoveryIndex};
+    use mileena_sketch::{build_sketch, SketchConfig};
+
+    /// Single-process harness: one store/index, candidates partitioned
+    /// round-robin-by-id into `s` fake shards (every shard sees the same
+    /// store). Pins the scatter loop's parity independent of the platform
+    /// layer's real partitioning.
+    fn scatter_matches_reference(s: usize, seed: u64) {
+        let cfg = CorpusConfig {
+            num_datasets: 30,
+            num_signal: 3,
+            num_union: 2,
+            num_novelty_traps: 3,
+            train_rows: 300,
+            test_rows: 300,
+            provider_rows: 200,
+            key_domain: 80,
+            signal_rows_per_key: 1,
+            noise: 0.08,
+            nonlinear_strength: 0.0,
+            seed,
+        };
+        let corpus = generate_corpus(&cfg);
+        let store = SketchStore::new();
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        for p in &corpus.providers {
+            store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+            index.register(DatasetProfile::of(p, 128));
+        }
+        let request = SearchRequest {
+            train: corpus.train.clone(),
+            test: corpus.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: None,
+        };
+        let search_cfg = SearchConfig::default();
+        let (state, profile) = build_requester_state(&request, &search_cfg).unwrap();
+        let set = enumerate_candidates(&index, &store, &profile, &CandidateLimits::default());
+        let truncated = set.truncated();
+
+        let reference =
+            GreedySearch::new(search_cfg.clone()).run(state.clone(), set.clone(), &store).unwrap();
+
+        let mut parts: Vec<ShardPartition<'_>> = (0..s)
+            .map(|shard| ShardPartition {
+                shard,
+                candidates: Vec::new(),
+                positions: Vec::new(),
+                store: &store,
+            })
+            .collect();
+        for (pos, cand) in set.candidates.iter().enumerate() {
+            let shard = cand.dataset().index() % s;
+            parts[shard].candidates.push(cand.clone());
+            parts[shard].positions.push(pos);
+        }
+        let (slices, _) = build_shard_slices(&state, parts, search_cfg.pruning);
+        let (sharded, stats) = ScatterSearch::new(search_cfg)
+            .run_observed(
+                state,
+                slices,
+                truncated,
+                store.dataset_interner(),
+                &SearchControl::new(),
+                &mut |_| {},
+            )
+            .unwrap();
+
+        assert_eq!(
+            sharded.steps.iter().map(|st| st.augmentation.describe()).collect::<Vec<_>>(),
+            reference.steps.iter().map(|st| st.augmentation.describe()).collect::<Vec<_>>(),
+            "selections must be bit-identical (s={s}, seed={seed})"
+        );
+        for (a, b) in sharded.steps.iter().zip(&reference.steps) {
+            assert_eq!(a.score_after, b.score_after, "per-step score parity");
+        }
+        assert_eq!(sharded.base_score, reference.base_score);
+        assert_eq!(sharded.final_score, reference.final_score);
+        assert_eq!(sharded.stop_reason, reference.stop_reason);
+        assert_eq!(stats.rounds as usize, sharded.steps.len() + 1, "rounds = commits + stop");
+    }
+
+    #[test]
+    fn scatter_gather_matches_single_shard_reference() {
+        for s in [1, 2, 4, 7] {
+            for seed in [13u64, 29] {
+                scatter_matches_reference(s, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_scatter_matches_reference_too() {
+        // pruning off: the cross-shard gate must never fire and parity must
+        // still hold (bounds are +∞, gate disabled).
+        let cfg = CorpusConfig {
+            num_datasets: 24,
+            num_signal: 2,
+            num_union: 2,
+            num_novelty_traps: 2,
+            train_rows: 200,
+            test_rows: 200,
+            provider_rows: 150,
+            key_domain: 60,
+            signal_rows_per_key: 1,
+            noise: 0.1,
+            nonlinear_strength: 0.0,
+            seed: 57,
+        };
+        let corpus = generate_corpus(&cfg);
+        let store = SketchStore::new();
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        for p in &corpus.providers {
+            store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+            index.register(DatasetProfile::of(p, 128));
+        }
+        let request = SearchRequest {
+            train: corpus.train.clone(),
+            test: corpus.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: None,
+        };
+        let search_cfg = SearchConfig { pruning: false, ..Default::default() };
+        let (state, profile) = build_requester_state(&request, &search_cfg).unwrap();
+        let set = enumerate_candidates(&index, &store, &profile, &CandidateLimits::default());
+        let reference =
+            GreedySearch::new(search_cfg.clone()).run(state.clone(), set.clone(), &store).unwrap();
+        let mut parts: Vec<ShardPartition<'_>> = (0..3)
+            .map(|shard| ShardPartition {
+                shard,
+                candidates: Vec::new(),
+                positions: Vec::new(),
+                store: &store,
+            })
+            .collect();
+        for (pos, cand) in set.candidates.iter().enumerate() {
+            let shard = cand.dataset().index() % 3;
+            parts[shard].candidates.push(cand.clone());
+            parts[shard].positions.push(pos);
+        }
+        let (slices, _) = build_shard_slices(&state, parts, false);
+        let (sharded, stats) = ScatterSearch::new(search_cfg)
+            .run_observed(
+                state,
+                slices,
+                0,
+                store.dataset_interner(),
+                &SearchControl::new(),
+                &mut |_| {},
+            )
+            .unwrap();
+        assert_eq!(sharded.final_score, reference.final_score);
+        assert_eq!(sharded.bound_skips, 0, "exhaustive mode never skips");
+        assert_eq!(stats.cross_shard_skips, 0, "exhaustive mode never gates a shard");
+        assert_eq!(
+            sharded.steps.iter().map(|st| st.augmentation.describe()).collect::<Vec<_>>(),
+            reference.steps.iter().map(|st| st.augmentation.describe()).collect::<Vec<_>>(),
+        );
+    }
+}

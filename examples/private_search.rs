@@ -10,7 +10,8 @@
 
 use mileena::core::{
     search_with_retry, CentralPlatform, JsonWire, LocalDataStore, PlatformConfig, PlatformService,
-    RetryPolicy, SchedulerConfig, SearchReply, SearchRequestBuilder,
+    RetryPolicy, SchedulerConfig, SearchReply, SearchRequestBuilder, ShardedPlatform, TcpServer,
+    TcpServerConfig, TcpWire,
 };
 use mileena::datagen::{generate_corpus, CorpusConfig};
 use mileena::privacy::PrivacyBudget;
@@ -88,6 +89,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "100 further private wire searches: {:?} total, 0 additional privacy budget.",
         t0.elapsed()
     );
+
+    // The same privatized corpus behind a *real* TCP server — here a
+    // sharded deployment (3 shard workers) to show the scatter-gather
+    // path. Re-preparing an upload with the same seed reproduces the same
+    // noisy sketches, so the TCP reply must be bit-identical to the
+    // in-memory wire reply above.
+    let sharded =
+        Arc::new(ShardedPlatform::new(PlatformConfig { shards: 3, ..Default::default() }));
+    for (i, p) in corpus.providers.iter().enumerate() {
+        let upload =
+            LocalDataStore::new(p.clone()).prepare_upload(Some(budget), 1000 + i as u64)?;
+        sharded.register(upload)?;
+    }
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&sharded) as Arc<dyn PlatformService + Send + Sync + 'static>,
+        TcpServerConfig::default(),
+    )?;
+    let tcp_client = TcpWire::connect(server.local_addr())?;
+    let over_tcp = tcp_client.search(sketch_request()?, Some(search_cfg.clone()))?;
+    assert_eq!(over_tcp.final_score, fpm.final_score);
+    assert_eq!(over_tcp.model, fpm.model);
+    let shard_report = tcp_client.stats()?.shards.expect("sharded platforms report shard stats");
+    println!(
+        "same search over TCP against {} shards at {}: identical reply \
+         (datasets per shard {:?}, {} scatter rounds, {} cross-shard bound skips).",
+        shard_report.shards,
+        server.local_addr(),
+        shard_report.datasets_per_shard,
+        shard_report.scatter_rounds,
+        shard_report.cross_shard_bound_skips,
+    );
+    server.shutdown();
 
     // Overload behavior: the same privatized store behind a deliberately
     // tiny pool (1 worker, 1 queue slot). A burst of concurrent clients

@@ -28,8 +28,9 @@ CRITERION_OUT_DIR="$out_dir" MILEENA_BENCH_MS="$coldstart_ms" \
     cargo bench -p mileena-bench --bench cold_start "$@"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench discovery_scale "$@"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench overload "$@"
+CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench traffic "$@"
 
-for name in search_latency cold_start discovery_scale overload; do
+for name in search_latency cold_start discovery_scale overload traffic; do
     if [[ ! -f "$out_dir/$name.json" ]]; then
         echo "error: $out_dir/$name.json not produced" >&2
         exit 1
@@ -42,7 +43,8 @@ done
     sed '1d;$d' "$out_dir/search_latency.json" | sed '$s/$/,/'
     sed '1d;$d' "$out_dir/cold_start.json" | sed '$s/$/,/'
     sed '1d;$d' "$out_dir/discovery_scale.json" | sed '$s/$/,/'
-    sed '1d;$d' "$out_dir/overload.json"
+    sed '1d;$d' "$out_dir/overload.json" | sed '$s/$/,/'
+    sed '1d;$d' "$out_dir/traffic.json"
     echo "]"
 } > "$bench_out"
 echo "wrote $bench_out:"
@@ -84,6 +86,15 @@ awk '
     n = $0; sub(/.*burst_retry\//, "", n); sub(/".*/, "", n)
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "overload burst drain: %.1f ms for %d sessions with shed-and-retry\n", m / 1e6, n
+}
+/"group": "traffic"/ && /"bench": "tcp_search_serial\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "tcp serial:         %.1f searches/sec over one pooled connection\n", 1e9 / m
+}
+/"group": "traffic"/ && /"bench": "concurrent_tcp\// {
+    n = $0; sub(/.*concurrent_tcp\//, "", n); sub(/".*/, "", n)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "tcp throughput:     %.1f searches/sec at %d concurrent connections\n", n * 1e9 / m, n
 }
 /"group": "discovery_20k"/ {
     b = $0; sub(/.*"bench": "/, "", b); sub(/".*/, "", b)

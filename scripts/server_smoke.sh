@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI smoke test for the mileena-server binary: boot it on loopback, drive
+# a registration + search through the TCP client, and assert a clean
+# graceful shutdown (exit code 0).
+#
+# Two passes:
+#   1. A bare boot/shutdown cycle of the release binary — the "listening
+#      on <addr>" banner must appear, "shutdown" on stdin must drain and
+#      print "shutdown complete", and the process must exit 0.
+#   2. The end-to-end pass through the real binary: register + search over
+#      TCP, a hard kill, bit-identical recovery from the WAL, then a
+#      graceful shutdown — reusing the integration test that already
+#      spawns the binary via CARGO_BIN_EXE, in release mode.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin mileena-server
+
+coproc SRV { ./target/release/mileena-server --addr 127.0.0.1:0; }
+read -r banner <&"${SRV[0]}"
+case "$banner" in
+    "listening on "*) echo "boot ok: $banner" ;;
+    *)
+        echo "error: unexpected server banner: $banner" >&2
+        exit 1
+        ;;
+esac
+echo shutdown >&"${SRV[1]}"
+read -r bye <&"${SRV[0]}"
+if [[ "$bye" != "shutdown complete" ]]; then
+    echo "error: missing shutdown banner, got: $bye" >&2
+    exit 1
+fi
+wait "$SRV_PID" # non-zero exit fails the script via `set -e`
+echo "graceful shutdown ok (exit 0)"
+
+cargo test --release -q --test tcp_server \
+    server_binary_survives_kill_and_recovers_bit_identically
+
+echo "server smoke passed"

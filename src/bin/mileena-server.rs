@@ -1,0 +1,152 @@
+//! `mileena-server` — the platform behind a real TCP socket.
+//!
+//! Boots a [`CentralPlatform`] (or, with `--shards` above 1, a
+//! [`ShardedPlatform`]), optionally durable under `--dir`, and serves the
+//! length-prefixed
+//! JSON frame protocol of `mileena_core::net` until stdin closes or a
+//! `shutdown` line arrives. Shutdown is graceful: the listener stops
+//! accepting, in-flight sessions drain and flush their results, storage is
+//! checkpointed, and the process exits 0.
+//!
+//! ```text
+//! mileena-server [--addr 127.0.0.1:0] [--dir PATH] [--shards N]
+//!                [--queue-depth N] [--max-sessions N]
+//! ```
+//!
+//! The bound address is printed to stdout as `listening on <addr>` (with
+//! the OS-assigned port when `--addr` ends in `:0`), so harnesses can
+//! parse it.
+
+use mileena_core::{
+    CentralPlatform, PlatformConfig, PlatformService, ShardedPlatform, StoragePolicy, TcpServer,
+    TcpServerConfig,
+};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    dir: Option<std::path::PathBuf>,
+    shards: usize,
+    queue_depth: Option<usize>,
+    max_sessions: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        dir: None,
+        shards: 1,
+        queue_depth: None,
+        max_sessions: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--dir" => args.dir = Some(value("--dir")?.into()),
+            "--shards" => {
+                args.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = Some(
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?,
+                )
+            }
+            "--max-sessions" => {
+                args.max_sessions = Some(
+                    value("--max-sessions")?.parse().map_err(|e| format!("--max-sessions: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err("usage: mileena-server [--addr A] [--dir P] [--shards N] \
+                            [--queue-depth N] [--max-sessions N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The platform, durable if `--dir` was given, sharded if `--shards` > 1.
+fn build_service(args: &Args) -> Result<Arc<dyn PlatformService + Send + Sync>, String> {
+    let mut config = PlatformConfig { shards: args.shards, ..Default::default() };
+    if let Some(depth) = args.queue_depth {
+        config.scheduler.queue_depth = depth;
+    }
+    if let Some(max) = args.max_sessions {
+        config.max_concurrent_sessions = max;
+    }
+    if let Some(dir) = &args.dir {
+        config.storage = Some(StoragePolicy::at(dir));
+    }
+    if args.shards > 1 {
+        let platform = if config.storage.is_some() {
+            ShardedPlatform::open_with(config).map_err(|e| e.to_string())?
+        } else {
+            ShardedPlatform::new(config)
+        };
+        Ok(Arc::new(platform))
+    } else {
+        let platform = if config.storage.is_some() {
+            CentralPlatform::open_with(config).map_err(|e| e.to_string())?
+        } else {
+            CentralPlatform::new(config)
+        };
+        Ok(Arc::new(platform))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match build_service(&args) {
+        Ok(service) => service,
+        Err(msg) => {
+            eprintln!("mileena-server: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server =
+        match TcpServer::bind(args.addr.as_str(), Arc::clone(&service), TcpServerConfig::default())
+        {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("mileena-server: bind {}: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    // Serve until the operator says stop: a "shutdown" line or stdin EOF
+    // (so a dying supervisor takes the server down with it).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(cmd) if cmd.trim() == "shutdown" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    server.shutdown();
+    // In-flight work has drained; persist what the WAL holds so a reopen
+    // starts from a snapshot instead of a long replay.
+    if args.dir.is_some() {
+        if let Err(e) = service.checkpoint() {
+            eprintln!("mileena-server: final checkpoint failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,317 @@
+//! Sharded scatter-gather vs. the single-shard reference.
+//!
+//! The contract under test: a [`ShardedPlatform`] with any worker count
+//! produces **bit-identical selections, scores, and models** to one
+//! [`CentralPlatform`] over the union corpus — the partitioning is an
+//! execution detail, never a semantics change. Execution counters
+//! (evaluations, bound skips) may differ: the distributed pruning walk is
+//! a different, equally admissible walk.
+//!
+//! Also pinned here: ownership routing for every mutation, the
+//! budget-ledger-survives-removal rule across shards, recovery rebuilding
+//! the membership map from per-shard stores + ledgers, shard-count
+//! immutability on reopen, and typed [`CoreError::ShardUnavailable`]
+//! fail-fast behavior.
+
+use mileena::core::{
+    CentralPlatform, CoreError, LocalDataStore, PlatformConfig, PlatformService, SchedulerConfig,
+    SearchReply, SearchRequestBuilder, ShardedPlatform, StoragePolicy,
+};
+use mileena::datagen::{generate_corpus, CorpusConfig, NycCorpus};
+use mileena::privacy::PrivacyBudget;
+use mileena::search::{SearchConfig, SketchedRequest, TaskSpec};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn corpus(seed: u64) -> NycCorpus {
+    generate_corpus(&CorpusConfig {
+        num_datasets: 14,
+        num_signal: 2,
+        num_union: 1,
+        num_novelty_traps: 2,
+        train_rows: 200,
+        test_rows: 200,
+        provider_rows: 120,
+        key_domain: 50,
+        signal_rows_per_key: 1,
+        noise: 0.1,
+        nonlinear_strength: 0.0,
+        seed,
+    })
+}
+
+fn sketched(c: &NycCorpus) -> SketchedRequest {
+    SearchRequestBuilder::new(c.train.clone(), c.test.clone())
+        .task(TaskSpec::new("y", &["base_x"]))
+        .key_columns(&["zone"])
+        .sketch()
+        .unwrap()
+}
+
+fn serve(c: &NycCorpus, service: &dyn PlatformService) {
+    for p in &c.providers {
+        service.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
+    }
+}
+
+fn assert_replies_identical(reference: &SearchReply, sharded: &SearchReply, tag: &str) {
+    assert_eq!(reference.base_score, sharded.base_score, "{tag}: base score");
+    assert_eq!(reference.final_score, sharded.final_score, "{tag}: final score");
+    assert_eq!(reference.selected_joins(), sharded.selected_joins(), "{tag}: joins");
+    assert_eq!(reference.selected_unions(), sharded.selected_unions(), "{tag}: unions");
+    assert_eq!(reference.features, sharded.features, "{tag}: features");
+    assert_eq!(reference.model, sharded.model, "{tag}: model");
+    assert_eq!(reference.stop_reason, sharded.stop_reason, "{tag}: stop reason");
+    let ref_scores: Vec<f64> = reference.steps.iter().map(|s| s.score_after).collect();
+    let sh_scores: Vec<f64> = sharded.steps.iter().map(|s| s.score_after).collect();
+    assert_eq!(ref_scores, sh_scores, "{tag}: per-step scores");
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mileena-shardtest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sharded_search_is_bit_identical_to_central() {
+    for seed in [4242u64, 1331] {
+        let c = corpus(seed);
+        let central = CentralPlatform::new(PlatformConfig::default());
+        serve(&c, &central);
+        let reference = PlatformService::search(&central, sketched(&c), None).unwrap();
+        let exhaustive_cfg = SearchConfig { pruning: false, ..Default::default() };
+        let reference_exhaustive =
+            PlatformService::search(&central, sketched(&c), Some(exhaustive_cfg.clone())).unwrap();
+        // Exhaustive and pruned agree with each other on the reference —
+        // the precondition that makes the cross-shard gate meaningful.
+        assert_replies_identical(&reference, &reference_exhaustive, "central pruned-vs-exhaustive");
+
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedPlatform::new(PlatformConfig { shards, ..Default::default() });
+            serve(&c, &sharded);
+            assert_eq!(sharded.num_datasets(), c.providers.len());
+            assert_eq!(sharded.num_shards(), shards);
+
+            let reply = sharded.search(sketched(&c), None).unwrap();
+            assert_replies_identical(&reference, &reply, &format!("seed {seed}, S={shards}"));
+
+            let reply_exhaustive =
+                sharded.search(sketched(&c), Some(exhaustive_cfg.clone())).unwrap();
+            assert_replies_identical(
+                &reference,
+                &reply_exhaustive,
+                &format!("seed {seed}, S={shards}, exhaustive"),
+            );
+
+            let stats = sharded.stats().unwrap();
+            let report = stats.shards.expect("sharded platform must report shard stats");
+            assert_eq!(report.shards, shards);
+            assert_eq!(report.datasets_per_shard.len(), shards);
+            assert_eq!(report.datasets_per_shard.iter().sum::<usize>(), c.providers.len());
+            assert_eq!(stats.datasets, c.providers.len());
+            assert!(report.scatter_rounds > 0, "searches must count scatter rounds");
+            assert!(report.gather_rounds >= report.scatter_rounds);
+            assert!(report.unavailable.is_empty());
+            // Every dataset is owned by exactly one shard and the owner
+            // actually holds it.
+            for p in &c.providers {
+                let owner = sharded.shard_of(p.name()).expect("registered dataset has an owner");
+                assert!(sharded.shard_platforms()[owner].store().get(p.name()).is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn mutations_route_to_owners_and_budgets_survive_removal() {
+    let c = corpus(77);
+    let sharded = ShardedPlatform::new(PlatformConfig { shards: 4, ..Default::default() });
+    serve(&c, &sharded);
+
+    let victim = c.providers[0].name().to_string();
+    let owner = sharded.shard_of(&victim).unwrap();
+    let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+    sharded.grant_budget(&victim, budget).unwrap();
+    sharded.charge_budget(&victim, budget.fraction(0.6).unwrap()).unwrap();
+    let spent_before = sharded.budget_spent(&victim).unwrap();
+
+    // Remove, then re-register: the dataset must come back to the shard
+    // whose ledger still remembers its spend — removal is not a budget
+    // reset, even across the partitioning.
+    sharded.remove(&victim).unwrap();
+    assert_eq!(sharded.num_datasets(), c.providers.len() - 1);
+    assert_eq!(sharded.shard_of(&victim), Some(owner), "membership survives removal");
+    sharded
+        .register(LocalDataStore::new(c.providers[0].clone()).prepare_upload(None, 5).unwrap())
+        .unwrap();
+    assert_eq!(sharded.shard_of(&victim), Some(owner));
+    assert_eq!(sharded.budget_spent(&victim).unwrap(), spent_before);
+    assert!(
+        sharded.charge_budget(&victim, budget).is_err(),
+        "overcharge must still hit the preserved ledger"
+    );
+
+    // Replace routes to the owner too and the corpus stays searchable.
+    sharded
+        .replace(LocalDataStore::new(c.providers[1].clone()).prepare_upload(None, 5).unwrap())
+        .unwrap();
+    assert_eq!(sharded.num_datasets(), c.providers.len());
+
+    let central = CentralPlatform::new(PlatformConfig::default());
+    serve(&c, &central);
+    assert_replies_identical(
+        &PlatformService::search(&central, sketched(&c), None).unwrap(),
+        &sharded.search(sketched(&c), None).unwrap(),
+        "post-churn",
+    );
+}
+
+#[test]
+fn unavailable_shard_is_a_typed_fail_fast_error() {
+    let c = corpus(99);
+    let sharded = ShardedPlatform::new(PlatformConfig { shards: 3, ..Default::default() });
+    serve(&c, &sharded);
+    let name = c.providers[0].name().to_string();
+    let owner = sharded.shard_of(&name).unwrap();
+
+    sharded.set_shard_available(owner, false);
+    // Owner mutations: typed rejection naming the shard.
+    match sharded.remove(&name) {
+        Err(CoreError::ShardUnavailable { shard }) => assert_eq!(shard, owner),
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    // Searches need every shard: fail fast rather than scatter partially.
+    match sharded.submit(sketched(&c), None) {
+        Err(CoreError::ShardUnavailable { shard }) => assert_eq!(shard, owner),
+        other => panic!("expected ShardUnavailable from submit, got {other:?}"),
+    }
+    // Mutations owned by healthy shards still work.
+    let other_name = c
+        .providers
+        .iter()
+        .map(|p| p.name().to_string())
+        .find(|n| sharded.shard_of(n) != Some(owner))
+        .expect("some dataset lives on another shard");
+    sharded.grant_budget(&other_name, PrivacyBudget::new(0.5, 1e-7).unwrap()).unwrap();
+    // The report names the down shard.
+    let report = sharded.stats().unwrap().shards.unwrap();
+    assert_eq!(report.unavailable, vec![owner]);
+
+    sharded.set_shard_available(owner, true);
+    assert!(sharded.search(sketched(&c), None).is_ok());
+    assert!(sharded.stats().unwrap().shards.unwrap().unavailable.is_empty());
+}
+
+#[test]
+fn recovery_rebuilds_membership_and_parity() {
+    let c = corpus(1234);
+    let dir = tmp_dir("recovery");
+    let config = || PlatformConfig {
+        shards: 3,
+        storage: Some(StoragePolicy::at(&dir)),
+        scheduler: SchedulerConfig { workers: Some(2), ..Default::default() },
+        ..Default::default()
+    };
+
+    let reference = {
+        let central = CentralPlatform::new(PlatformConfig::default());
+        serve(&c, &central);
+        PlatformService::search(&central, sketched(&c), None).unwrap()
+    };
+
+    let (memberships, spent, removed) = {
+        let sharded = ShardedPlatform::open_with(config()).unwrap();
+        serve(&c, &sharded);
+        let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let budgeted = c.providers[2].name().to_string();
+        sharded.grant_budget(&budgeted, budget).unwrap();
+        sharded.charge_budget(&budgeted, budget.fraction(0.4).unwrap()).unwrap();
+        // Remove one dataset entirely; its ledger row must still pin its
+        // shard after recovery.
+        let removed = c.providers[3].name().to_string();
+        sharded.grant_budget(&removed, budget).unwrap();
+        sharded.remove(&removed).unwrap();
+        assert_replies_identical(
+            &reference_minus(&c, &removed),
+            &sharded.search(sketched(&c), None).unwrap(),
+            "durable pre-crash",
+        );
+        let memberships: Vec<(String, usize)> = c
+            .providers
+            .iter()
+            .map(|p| p.name().to_string())
+            .map(|n| {
+                let s = sharded.shard_of(&n).unwrap();
+                (n, s)
+            })
+            .collect();
+        (memberships, sharded.budget_spent(&budgeted).unwrap(), removed)
+        // Dropped without checkpoint: recovery replays per-shard WALs.
+    };
+
+    let reopened = ShardedPlatform::open_with(config()).unwrap();
+    assert_eq!(reopened.num_datasets(), c.providers.len() - 1);
+    for (name, shard) in &memberships {
+        assert_eq!(
+            reopened.shard_of(name),
+            Some(*shard),
+            "membership for {name} must survive recovery"
+        );
+    }
+    assert_eq!(reopened.budget_spent(c.providers[2].name()).unwrap(), spent);
+    assert_replies_identical(
+        &reference_minus(&c, &removed),
+        &reopened.search(sketched(&c), None).unwrap(),
+        "post-recovery",
+    );
+    // Re-register the removed dataset: back to its ledger's shard, and the
+    // full-corpus search matches the central reference again.
+    reopened
+        .register(LocalDataStore::new(c.providers[3].clone()).prepare_upload(None, 5).unwrap())
+        .unwrap();
+    assert_eq!(
+        reopened.shard_of(&removed).as_ref(),
+        memberships.iter().find(|(n, _)| n == &removed).map(|(_, s)| s)
+    );
+    assert_replies_identical(
+        &reference,
+        &reopened.search(sketched(&c), None).unwrap(),
+        "post-recovery re-register",
+    );
+    reopened.checkpoint().unwrap();
+    drop(reopened);
+
+    // The on-disk partitioning is immutable: a different shard count must
+    // be refused, not silently re-hashed.
+    let bad =
+        PlatformConfig { shards: 5, storage: Some(StoragePolicy::at(&dir)), ..Default::default() };
+    match ShardedPlatform::open_with(bad) {
+        Err(CoreError::Storage(msg)) => assert!(msg.contains("shard count"), "got: {msg}"),
+        other => panic!("expected shard-count mismatch, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Central reference over the corpus minus one provider.
+fn reference_minus(c: &NycCorpus, skip: &str) -> SearchReply {
+    let central = CentralPlatform::new(PlatformConfig::default());
+    for p in c.providers.iter().filter(|p| p.name() != skip) {
+        central.register(LocalDataStore::new(p.clone()).prepare_upload(None, 5).unwrap()).unwrap();
+    }
+    PlatformService::search(&central, sketched(c), None).unwrap()
+}
+
+#[test]
+fn sharded_platform_is_a_platform_service() {
+    let c = corpus(55);
+    let service: Arc<dyn PlatformService + Send + Sync> =
+        Arc::new(ShardedPlatform::new(PlatformConfig { shards: 2, ..Default::default() }));
+    serve(&c, &*service);
+    assert_eq!(service.num_datasets(), c.providers.len());
+    let reply = service.search(sketched(&c), None).unwrap();
+    assert!(!reply.selected_joins().is_empty() || !reply.selected_unions().is_empty());
+    // Volatile platforms refuse checkpoints, shard-wide.
+    assert!(service.checkpoint().is_err());
+}
