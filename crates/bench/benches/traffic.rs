@@ -16,8 +16,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mileena_core::{
-    CentralPlatform, LocalDataStore, PlatformConfig, PlatformService, TcpServer, TcpServerConfig,
-    TcpWire,
+    CentralPlatform, LocalDataStore, PlatformConfig, PlatformService, ShardedPlatform, TcpServer,
+    TcpServerConfig, TcpWire,
 };
 use mileena_datagen::{generate_corpus, CorpusConfig};
 use mileena_search::{SketchedRequest, TaskSpec};
@@ -111,6 +111,57 @@ fn bench_traffic(c: &mut Criterion) {
         percentile(&latencies, 0.99).as_secs_f64() * 1e3,
         total as f64 / wall.as_secs_f64(),
     );
+
+    // Server-side telemetry for the same load, scraped over the wire: the
+    // admission queue-wait distribution the clients actually experienced.
+    let report = clients[0].metrics().expect("metrics over tcp");
+    let qw = report.histogram("search_queue_wait_ns").expect("queue-wait histogram").summary;
+    println!(
+        "tcp traffic: queue-wait p50 {:.3} ms, p99 {:.3} ms over {} scheduled sessions",
+        qw.p50_ns as f64 / 1e6,
+        qw.p99_ns as f64 / 1e6,
+        qw.count,
+    );
+
+    // The same load shape against a sharded deployment (3 shard workers),
+    // to put real numbers behind the per-shard gather histogram.
+    let shardp = Arc::new(ShardedPlatform::new(PlatformConfig { shards: 3, ..Default::default() }));
+    for p in &corpus.providers {
+        shardp.register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap()).unwrap();
+    }
+    let shard_server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&shardp) as Arc<dyn PlatformService + Send + Sync>,
+        TcpServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let shard_clients: Vec<TcpWire> = (0..CLIENTS)
+        .map(|_| TcpWire::connect(shard_server.local_addr()).expect("connect"))
+        .collect();
+    std::thread::scope(|scope| {
+        for client in &shard_clients {
+            let request = request.clone();
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    client.search(request.clone(), None).expect("sharded search over tcp");
+                }
+            });
+        }
+    });
+    let report = shard_clients[0].metrics().expect("metrics over tcp");
+    let gather = report.histogram("shard_gather_ns").expect("gather histogram").summary;
+    let qw = report.histogram("search_queue_wait_ns").expect("queue-wait histogram").summary;
+    println!(
+        "sharded tcp traffic (3 shards): per-shard gather p50 {:.1} µs, p99 {:.1} µs over {} \
+         shard visits; queue-wait p50 {:.3} ms, p99 {:.3} ms",
+        gather.p50_ns as f64 / 1e3,
+        gather.p99_ns as f64 / 1e3,
+        gather.count,
+        qw.p50_ns as f64 / 1e6,
+        qw.p99_ns as f64 / 1e6,
+    );
+    drop(shard_clients);
+    shard_server.shutdown();
 
     // ---- criterion entries --------------------------------------------
     let mut group = c.benchmark_group("traffic");

@@ -81,6 +81,7 @@ pub use service::{
 };
 pub use shard::ShardedPlatform;
 pub use wire::{
-    CheckpointReceipt, DiscoveryReport, ErrorCode, PlatformStats, SchedulerReport, SearchReply,
-    ShardReport, StopCounts, StorageReport, WIRE_VERSION,
+    AdminOp, AdminReply, CheckpointReceipt, DiscoveryReport, ErrorCode, PlatformStats,
+    SchedulerReport, SearchReply, ShardReport, SpanBreakdown, StopCounts, StorageReport,
+    WIRE_VERSION,
 };

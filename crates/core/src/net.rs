@@ -37,6 +37,7 @@ use crate::wire::{
     WireAdminResponse, WireError, WireEvent, WireRegisterRequest, WireRegisterResponse,
     WireSearchRequest, WireSearchResponse, WIRE_VERSION,
 };
+use mileena_obs::{Metrics, MetricsReport, SlowSearchLog};
 use mileena_search::{SearchConfig, SearchControl, SketchedRequest};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -45,7 +46,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client→server frames. The JSON payloads inside `Register`/`Admin`/
 /// `Submit` are the versioned wire envelopes of [`crate::wire`], unchanged
@@ -124,11 +125,19 @@ pub struct TcpServerConfig {
     /// Poll interval for the accept loop and connection read loops (they
     /// watch the shutdown flag between reads).
     pub poll_interval: Duration,
+    /// Slow-search log: every search whose reply's `spans.total_ns`
+    /// crossed the log's threshold gets one JSONL record (session id,
+    /// wire `request_id`, full span breakdown). `None` disables the check.
+    pub slow_log: Option<Arc<SlowSearchLog>>,
 }
 
 impl Default for TcpServerConfig {
     fn default() -> Self {
-        TcpServerConfig { max_frame: 32 << 20, poll_interval: Duration::from_millis(20) }
+        TcpServerConfig {
+            max_frame: 32 << 20,
+            poll_interval: Duration::from_millis(20),
+            slow_log: None,
+        }
     }
 }
 
@@ -290,6 +299,14 @@ fn serve_connection(
     config: TcpServerConfig,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
+    // The connection span and net counters record into the platform's own
+    // registry when the deployment exposes one; client-only services don't.
+    let metrics = service.metrics_handle();
+    let conn_start = Instant::now();
+    if let Some(m) = &metrics {
+        m.net_connections.inc();
+        m.connections_open.add(1);
+    }
     let writer = Arc::new(Mutex::new(write_half));
     let mut reader = stream;
     let _ = reader.set_read_timeout(Some(config.poll_interval));
@@ -339,7 +356,18 @@ fn serve_connection(
                     }
                 }
                 Parsed::Frame(frame) => {
-                    if !handle_frame(frame, &service, &writer, &sessions, &mut forwarders) {
+                    if let Some(m) = &metrics {
+                        m.net_frames_in.inc();
+                    }
+                    if !handle_frame(
+                        frame,
+                        &service,
+                        &writer,
+                        &sessions,
+                        &mut forwarders,
+                        &metrics,
+                        &config.slow_log,
+                    ) {
                         disconnected = true;
                         break 'conn;
                     }
@@ -360,6 +388,61 @@ fn serve_connection(
     for forwarder in forwarders {
         let _ = forwarder.join();
     }
+    if let Some(m) = &metrics {
+        m.connections_open.add(-1);
+        m.connection_serve.record_duration(conn_start.elapsed());
+    }
+}
+
+/// Count one server→client frame, when a registry is attached.
+fn frame_out(metrics: &Option<Arc<Metrics>>) {
+    if let Some(m) = metrics {
+        m.net_frames_out.inc();
+    }
+}
+
+/// Append a slow-search JSONL record when a final search response crossed
+/// the log's threshold. The record carries the session id, the wire
+/// `request_id` (JSON `null` when the caller sent none), and the full
+/// per-stage span breakdown, so one grep correlates client, server log,
+/// and metrics.
+fn maybe_log_slow(
+    slow_log: &Option<Arc<SlowSearchLog>>,
+    metrics: &Option<Arc<Metrics>>,
+    session: u64,
+    response_json: &str,
+) {
+    let Some(log) = slow_log else { return };
+    let Ok(response) = serde_json::from_str::<WireSearchResponse>(response_json) else { return };
+    let Some(reply) = response.ok else { return };
+    if reply.spans.total_ns < log.threshold_ns() {
+        return;
+    }
+    if let Some(m) = metrics {
+        m.slow_searches.inc();
+    }
+    let s = &reply.spans;
+    let request_id = reply.request_id.map_or_else(|| "null".to_string(), |id| id.to_string());
+    log.log_line(&format!(
+        concat!(
+            "{{\"session\":{},\"request_id\":{},\"stop_reason\":\"{:?}\",",
+            "\"evaluations\":{},\"rounds\":{},\"total_ns\":{},\"prepare_ns\":{},",
+            "\"enumerate_ns\":{},\"queue_wait_ns\":{},\"run_ns\":{},\"eval_ns\":{},",
+            "\"fit_ns\":{}}}"
+        ),
+        session,
+        request_id,
+        reply.stop_reason,
+        reply.evaluations,
+        reply.steps.len(),
+        s.total_ns,
+        s.prepare_ns,
+        s.enumerate_ns,
+        s.queue_wait_ns,
+        s.run_ns,
+        s.eval_ns,
+        s.fit_ns,
+    ));
 }
 
 /// Dispatch one decoded client frame. Returns `false` when the write half
@@ -370,60 +453,93 @@ fn handle_frame(
     writer: &Arc<Mutex<TcpStream>>,
     sessions: &Arc<Mutex<HashMap<u64, SearchControl>>>,
     forwarders: &mut Vec<JoinHandle<()>>,
+    metrics: &Option<Arc<Metrics>>,
+    slow_log: &Option<Arc<SlowSearchLog>>,
 ) -> bool {
     match frame {
         ClientFrame::Register { json } => {
+            if let Some(m) = metrics {
+                m.requests_register.inc();
+            }
             let reply = wire_register(&**service, &json);
+            frame_out(metrics);
             write_frame_locked(writer, &ServerFrame::Reply { json: reply }).is_ok()
         }
         ClientFrame::Admin { json } => {
+            if let Some(m) = metrics {
+                m.requests_admin.inc();
+            }
             let reply = wire_admin(&**service, &json);
+            frame_out(metrics);
             write_frame_locked(writer, &ServerFrame::Reply { json: reply }).is_ok()
         }
         ClientFrame::Cancel { session } => {
+            if let Some(m) = metrics {
+                m.requests_cancel.inc();
+            }
             if let Some(control) = sessions.lock().unwrap_or_else(|e| e.into_inner()).get(&session)
             {
                 control.cancel();
             }
             true
         }
-        ClientFrame::Submit { json } => match wire_submit(&**service, &json) {
-            Err(error_json) => {
-                write_frame_locked(writer, &ServerFrame::Result { session: 0, json: error_json })
+        ClientFrame::Submit { json } => {
+            if let Some(m) = metrics {
+                m.requests_submit.inc();
+            }
+            match wire_submit(&**service, &json) {
+                Err(error_json) => {
+                    frame_out(metrics);
+                    write_frame_locked(
+                        writer,
+                        &ServerFrame::Result { session: 0, json: error_json },
+                    )
                     .is_ok()
-            }
-            Ok(wire_session) => {
-                let id = wire_session.id;
-                sessions
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(id, wire_session.control.clone());
-                if write_frame_locked(writer, &ServerFrame::Accepted { session: id }).is_err() {
-                    wire_session.control.cancel();
-                    return false;
                 }
-                let writer = Arc::clone(writer);
-                let sessions = Arc::clone(sessions);
-                forwarders.push(std::thread::spawn(move || {
-                    for json in wire_session.events.iter() {
-                        if write_frame_locked(&writer, &ServerFrame::Event { session: id, json })
+                Ok(wire_session) => {
+                    let id = wire_session.id;
+                    sessions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(id, wire_session.control.clone());
+                    frame_out(metrics);
+                    if write_frame_locked(writer, &ServerFrame::Accepted { session: id }).is_err() {
+                        wire_session.control.cancel();
+                        return false;
+                    }
+                    let writer = Arc::clone(writer);
+                    let sessions = Arc::clone(sessions);
+                    let metrics = metrics.clone();
+                    let slow_log = slow_log.clone();
+                    forwarders.push(std::thread::spawn(move || {
+                        for json in wire_session.events.iter() {
+                            frame_out(&metrics);
+                            if write_frame_locked(
+                                &writer,
+                                &ServerFrame::Event { session: id, json },
+                            )
                             .is_err()
-                        {
-                            // Dead socket: stop forwarding, but still wait
-                            // for the result below so the worker's
-                            // sync_send never blocks forever.
-                            break;
+                            {
+                                // Dead socket: stop forwarding, but still wait
+                                // for the result below so the worker's
+                                // sync_send never blocks forever.
+                                break;
+                            }
                         }
-                    }
-                    if let Ok(json) = wire_session.result.recv() {
-                        let _ =
-                            write_frame_locked(&writer, &ServerFrame::Result { session: id, json });
-                    }
-                    sessions.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
-                }));
-                true
+                        if let Ok(json) = wire_session.result.recv() {
+                            maybe_log_slow(&slow_log, &metrics, id, &json);
+                            frame_out(&metrics);
+                            let _ = write_frame_locked(
+                                &writer,
+                                &ServerFrame::Result { session: id, json },
+                            );
+                        }
+                        sessions.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
+                    }));
+                    true
+                }
             }
-        },
+        }
     }
 }
 
@@ -532,11 +648,22 @@ impl PlatformService for TcpWire {
         request: SketchedRequest,
         config: Option<SearchConfig>,
     ) -> Result<SearchSession> {
-        let json = serde_json::to_string(&WireSearchRequest { v: WIRE_VERSION, request, config })
-            .map_err(|e| CoreError::Wire {
-            code: ErrorCode::Malformed,
-            message: e.to_string(),
-        })?;
+        self.submit_tagged(request, config, None)
+    }
+
+    fn submit_tagged(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+        request_id: Option<u64>,
+    ) -> Result<SearchSession> {
+        let json = serde_json::to_string(&WireSearchRequest {
+            v: WIRE_VERSION,
+            request,
+            config,
+            request_id,
+        })
+        .map_err(|e| CoreError::Wire { code: ErrorCode::Malformed, message: e.to_string() })?;
         // Dedicated connection: the event/result stream owns the socket.
         let mut stream = TcpStream::connect(self.addr)
             .map_err(|e| CoreError::Service(format!("connect: {e}")))?;
@@ -638,9 +765,9 @@ impl PlatformService for TcpWire {
     fn checkpoint(&self) -> Result<CheckpointReceipt> {
         match self.admin(AdminOp::Checkpoint)? {
             AdminReply::Checkpoint(receipt) => Ok(receipt),
-            AdminReply::Stats(_) => Err(CoreError::Wire {
+            _ => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
-                message: "stats reply to a checkpoint request".into(),
+                message: "mismatched reply to a checkpoint request".into(),
             }),
         }
     }
@@ -648,9 +775,19 @@ impl PlatformService for TcpWire {
     fn stats(&self) -> Result<PlatformStats> {
         match self.admin(AdminOp::Stats)? {
             AdminReply::Stats(stats) => Ok(stats),
-            AdminReply::Checkpoint(_) => Err(CoreError::Wire {
+            _ => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
-                message: "checkpoint reply to a stats request".into(),
+                message: "mismatched reply to a stats request".into(),
+            }),
+        }
+    }
+
+    fn metrics(&self) -> Result<MetricsReport> {
+        match self.admin(AdminOp::Metrics)? {
+            AdminReply::Metrics(report) => Ok(report),
+            _ => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "mismatched reply to a metrics request".into(),
             }),
         }
     }

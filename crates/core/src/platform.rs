@@ -15,9 +15,12 @@ use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use crate::sched::{ExecMode, SchedulerConfig, SessionJob, SessionScheduler};
 use crate::service::SearchSession;
-use crate::wire::{CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, StorageReport};
+use crate::wire::{
+    CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, SpanBreakdown, StorageReport,
+};
 use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
 use mileena_ml::{LinearModel, RidgeConfig};
+use mileena_obs::{Metrics, MetricsReport};
 use mileena_privacy::{BudgetAccountant, PrivacyBudget};
 use mileena_search::{
     build_sketched_state, enumerate_candidates, GreedySearch, SearchConfig, SearchControl,
@@ -137,6 +140,7 @@ pub struct CentralPlatform {
     active_sessions: Arc<AtomicUsize>,
     session_counter: AtomicU64,
     search_totals: Arc<SearchTotals>,
+    metrics: Arc<Metrics>,
     sched: SessionScheduler,
     durable: Mutex<DurableState>,
 }
@@ -268,6 +272,7 @@ impl CentralPlatform {
             active_sessions: Arc::new(AtomicUsize::new(0)),
             session_counter: AtomicU64::new(0),
             search_totals: Arc::new(SearchTotals::default()),
+            metrics: Arc::new(Metrics::new()),
             sched,
             durable: Mutex::new(durable),
         }
@@ -327,6 +332,7 @@ impl CentralPlatform {
         if let Some(engine) = state.engine.as_mut() {
             let payload = op.encode()?;
             engine.append(&payload)?;
+            self.metrics.wal_appends.inc();
         }
         Ok(())
     }
@@ -364,6 +370,7 @@ impl CentralPlatform {
         let ledger = self.accountant.lock().entries();
         let payload = PlatformSnapshotRef { datasets, ledger: &ledger }.encode()?;
         let seq = engine.checkpoint(&payload)?;
+        self.metrics.snapshots_written.inc();
         Ok(CheckpointReceipt { seq, datasets: sketches.len(), snapshot_bytes: payload.len() })
     }
 
@@ -395,6 +402,8 @@ impl CentralPlatform {
                     snapshots: s.snapshots,
                     recovery: state.recovery.clone(),
                     last_checkpoint_error: state.last_checkpoint_error.clone(),
+                    append_time: s.append_time,
+                    checkpoint_time: s.checkpoint_time,
                 })
             }
         };
@@ -427,6 +436,30 @@ impl CentralPlatform {
     /// What the last `open` recovered (`None` on volatile platforms).
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
         self.durable.lock().recovery.clone()
+    }
+
+    /// The platform's live metrics registry (the TCP server records
+    /// connection/frame telemetry into it via
+    /// `PlatformService::metrics_handle`).
+    pub fn metrics_registry(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Snapshot the full metrics state: the registry, plus the private
+    /// histograms subsystems keep for their own reports — scheduler
+    /// queue-wait/run-time and storage I/O — joined by name.
+    pub fn metrics(&self) -> MetricsReport {
+        let mut report = self.metrics.report();
+        let (queue_wait, run_time) = self.sched.histograms();
+        report.push_histogram("search_queue_wait_ns", queue_wait.report());
+        report.push_histogram("scheduler_run_ns", run_time.report());
+        let state = self.durable.lock();
+        if let Some(engine) = &state.engine {
+            let (append, checkpoint) = engine.io_histograms();
+            report.push_histogram("wal_append_ns", append.report());
+            report.push_histogram("snapshot_write_ns", checkpoint.report());
+        }
+        report
     }
 
     /// Register a provider upload: sketches into the store, profile into
@@ -623,6 +656,8 @@ impl CentralPlatform {
         if self.config.max_concurrent_sessions == 0 {
             return Err(CoreError::Capacity(0));
         }
+        let submit_start = Instant::now();
+        self.metrics.searches_started.inc();
         self.active_sessions.fetch_add(1, Ordering::SeqCst);
         let guard = SessionGuard(Arc::clone(&self.active_sessions));
 
@@ -633,11 +668,16 @@ impl CentralPlatform {
         // Build everything the worker needs up front, so submission errors
         // surface synchronously and the job owns a consistent snapshot.
         let state = build_sketched_state(&request, &cfg)?;
+        let prepare = submit_start.elapsed();
+        self.metrics.search_prepare.record_duration(prepare);
+        let enumerate_start = Instant::now();
         let corpus = self.store.frozen();
         let candidates = {
             let index = self.index.read();
             enumerate_candidates(&index, &corpus, &request.profile, &cfg.limits)
         };
+        let enumerate = enumerate_start.elapsed();
+        self.metrics.search_enumerate.record_duration(enumerate);
         let id = self.session_counter.fetch_add(1, Ordering::SeqCst) + 1;
         let target = request.task.target.clone();
         let requester: Arc<str> = Arc::from(request.requester.as_deref().unwrap_or(""));
@@ -646,18 +686,33 @@ impl CentralPlatform {
         let (result_tx, result_rx) = mpsc::sync_channel(1);
         let worker_control = control.clone();
         let totals = Arc::clone(&self.search_totals);
+        let metrics = Arc::clone(&self.metrics);
+        let spans_base = SpanBreakdown {
+            prepare_ns: duration_ns(prepare),
+            enumerate_ns: duration_ns(enumerate),
+            ..SpanBreakdown::default()
+        };
         let exec = Box::new(move |mode: ExecMode| {
             let mut observer = move |ev: SearchEvent| {
                 let _ = event_tx.send(ev);
             };
             match mode {
-                ExecMode::Run => GreedySearch::new(cfg.clone())
+                ExecMode::Run { queue_wait } => GreedySearch::new(cfg.clone())
                     .run_observed(state, candidates, &corpus, &worker_control, &mut observer)
                     .map_err(CoreError::from)
                     .and_then(|outcome| {
                         totals.record(&outcome);
+                        let fit_start = Instant::now();
                         let model = fit_final_model(&outcome, &target, cfg.lambda)?;
-                        Ok(SearchReply::from_outcome(&outcome, &model))
+                        let fit = fit_start.elapsed();
+                        let mut reply = SearchReply::from_outcome(&outcome, &model);
+                        reply.spans.prepare_ns = spans_base.prepare_ns;
+                        reply.spans.enumerate_ns = spans_base.enumerate_ns;
+                        reply.spans.queue_wait_ns = duration_ns(queue_wait);
+                        reply.spans.fit_ns = duration_ns(fit);
+                        reply.spans.total_ns = duration_ns(submit_start.elapsed());
+                        record_search_metrics(&metrics, &outcome, &reply);
+                        Ok(reply)
                     }),
                 ExecMode::Immediate(reason) => {
                     // The session never runs a round (cancelled or shed
@@ -680,12 +735,18 @@ impl CentralPlatform {
                         evaluations: 0,
                         bound_skips: 0,
                         candidates_truncated: 0,
+                        round_eval_ns: Vec::new(),
                         elapsed: Duration::ZERO,
                         stop_reason: reason,
                         state,
                     };
                     let model = fit_final_model(&outcome, &target, cfg.lambda)?;
-                    Ok(SearchReply::from_outcome(&outcome, &model))
+                    let mut reply = SearchReply::from_outcome(&outcome, &model);
+                    reply.spans.prepare_ns = spans_base.prepare_ns;
+                    reply.spans.enumerate_ns = spans_base.enumerate_ns;
+                    reply.spans.total_ns = duration_ns(submit_start.elapsed());
+                    record_search_metrics(&metrics, &outcome, &reply);
+                    Ok(reply)
                 }
             }
         });
@@ -694,6 +755,7 @@ impl CentralPlatform {
             control: control.clone(),
             guard,
             result_tx,
+            enqueued: Instant::now(),
             exec,
         })?;
         Ok(SearchSession::new(id, control, event_rx, result_rx))
@@ -709,15 +771,27 @@ impl CentralPlatform {
         request: &SketchedRequest,
         config: &SearchConfig,
     ) -> Result<PlatformSearchResult> {
-        let state = build_sketched_state(request, config)?;
+        let search_start = Instant::now();
+        self.metrics.searches_started.inc();
+        let state = {
+            let _prepare = self.metrics.search_prepare.span();
+            build_sketched_state(request, config)?
+        };
         let corpus = self.store.frozen();
         let candidates = {
+            let _enumerate = self.metrics.search_enumerate.span();
             let index = self.index.read();
             enumerate_candidates(&index, &corpus, &request.profile, &config.limits)
         };
         let outcome = GreedySearch::new(config.clone()).run(state, candidates, &corpus)?;
         self.search_totals.record(&outcome);
-        let model = fit_final_model(&outcome, &request.task.target, config.lambda)?;
+        let model = {
+            let _fit = self.metrics.search_fit.span();
+            fit_final_model(&outcome, &request.task.target, config.lambda)?
+        };
+        self.metrics.search_run.record_duration(outcome.elapsed);
+        record_outcome_metrics(&self.metrics, &outcome);
+        self.metrics.search_total.record_duration(search_start.elapsed());
         Ok(PlatformSearchResult { outcome, model })
     }
 
@@ -741,6 +815,37 @@ impl CentralPlatform {
         )?;
         self.search_sketched(&sketched, config)
     }
+}
+
+/// Nanoseconds of a duration, saturating at `u64::MAX` (584 years).
+pub(crate) fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Outcome-derived counters and per-round histograms shared by every
+/// search path (session exec, synchronous fast path, scatter).
+pub(crate) fn record_outcome_metrics(metrics: &Metrics, outcome: &SearchOutcome) {
+    for &ns in &outcome.round_eval_ns {
+        metrics.search_eval_round.record(ns);
+    }
+    metrics.search_evaluations.add(outcome.evaluations as u64);
+    metrics.search_bound_skips.add(outcome.bound_skips as u64);
+    metrics.search_candidates_truncated.add(outcome.candidates_truncated as u64);
+    metrics.searches_completed.inc();
+}
+
+/// Full recording for a finished session search: the run histogram from
+/// the outcome, the shared counters, and the fit/total stages the reply's
+/// [`SpanBreakdown`] carries.
+pub(crate) fn record_search_metrics(
+    metrics: &Metrics,
+    outcome: &SearchOutcome,
+    reply: &SearchReply,
+) {
+    metrics.search_run.record_duration(outcome.elapsed);
+    record_outcome_metrics(metrics, outcome);
+    metrics.search_fit.record(reply.spans.fit_ns);
+    metrics.search_total.record(reply.spans.total_ns);
 }
 
 /// Train the final proxy model on the augmented statistics of a finished

@@ -118,6 +118,8 @@ mod tests {
             stop_reason: StopReason::Converged,
             features: vec!["x".into()],
             model: ModelReply { intercept: true, coefficients: vec![0.0, 1.0] },
+            request_id: None,
+            spans: crate::wire::SpanBreakdown::default(),
         }
     }
 
@@ -153,6 +155,9 @@ mod tests {
             Err(CoreError::Storage("volatile".into()))
         }
         fn stats(&self) -> Result<crate::wire::PlatformStats> {
+            Err(CoreError::Service("unused".into()))
+        }
+        fn metrics(&self) -> Result<mileena_obs::MetricsReport> {
             Err(CoreError::Service("unused".into()))
         }
     }
@@ -240,6 +245,9 @@ mod tests {
                 Err(CoreError::Storage("volatile".into()))
             }
             fn stats(&self) -> Result<crate::wire::PlatformStats> {
+                Err(CoreError::Service("unused".into()))
+            }
+            fn metrics(&self) -> Result<mileena_obs::MetricsReport> {
                 Err(CoreError::Service("unused".into()))
             }
         }

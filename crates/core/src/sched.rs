@@ -38,6 +38,7 @@
 use crate::error::{CoreError, Result};
 use crate::platform::SessionGuard;
 use crate::wire::{SchedulerReport, SearchReply, StopCounts};
+use mileena_obs::Histogram;
 use mileena_search::{SearchControl, StopReason};
 use mileena_storage::{FaultKind, FaultPlan, FaultSite};
 use std::any::Any;
@@ -93,8 +94,12 @@ impl SchedulerConfig {
 
 /// How a worker (or inline shed) executes a session.
 pub(crate) enum ExecMode {
-    /// Run the full greedy search.
-    Run,
+    /// Run the full greedy search. Carries the measured admission-queue
+    /// wait so the session can report it in its span breakdown.
+    Run {
+        /// Enqueue → worker dequeue.
+        queue_wait: Duration,
+    },
     /// Skip the search: answer with a zero-round reply carrying this
     /// stop reason (queued-cancel, queued-deadline-expiry, admission
     /// shed).
@@ -111,6 +116,8 @@ pub(crate) struct SessionJob {
     pub(crate) guard: SessionGuard,
     /// Where the final reply goes.
     pub(crate) result_tx: mpsc::SyncSender<Result<SearchReply>>,
+    /// When the platform built this job (queue-wait measurement anchor).
+    pub(crate) enqueued: Instant,
     /// The session body, built by the platform at submit time over a
     /// frozen corpus snapshot.
     pub(crate) exec: Box<dyn FnOnce(ExecMode) -> Result<SearchReply> + Send>,
@@ -184,6 +191,10 @@ struct Inner {
     avg_run_ns: AtomicU64,
     counters: Counters,
     stops: Mutex<StopCounts>,
+    /// Admission-queue wait of every job a worker dequeued.
+    queue_wait: Histogram,
+    /// Worker execution time of jobs that actually ran.
+    run_time: Histogram,
 }
 
 impl Inner {
@@ -264,6 +275,8 @@ impl SessionScheduler {
             avg_run_ns: AtomicU64::new(0),
             counters: Counters::default(),
             stops: Mutex::new(StopCounts::default()),
+            queue_wait: Histogram::new(),
+            run_time: Histogram::new(),
         });
         let handles = (0..workers)
             .map(|slot| {
@@ -337,7 +350,15 @@ impl SessionScheduler {
             shed_shutdown: inner.counters.shed_shutdown.load(Ordering::Relaxed),
             panicked: inner.counters.panicked.load(Ordering::Relaxed),
             stops: *inner.stops.lock().unwrap_or_else(|e| e.into_inner()),
+            queue_wait: inner.queue_wait.summary(),
+            run_time: inner.run_time.summary(),
         }
+    }
+
+    /// The live queue-wait and run-time histograms (for the platform's
+    /// metrics dump, which wants full bucket reports, not summaries).
+    pub(crate) fn histograms(&self) -> (&Histogram, &Histogram) {
+        (&self.inner.queue_wait, &self.inner.run_time)
     }
 }
 
@@ -392,6 +413,9 @@ fn worker_loop(inner: Arc<Inner>, slot: usize) {
         let Some(job) = job else { return };
         inner.running.fetch_add(1, Ordering::SeqCst);
 
+        let queue_wait = job.enqueued.elapsed();
+        inner.queue_wait.record_duration(queue_wait);
+
         // Dequeue preflight: sessions cancelled or expired while queued
         // never run a round.
         let mode = if job.control.is_cancelled() {
@@ -400,17 +424,19 @@ fn worker_loop(inner: Arc<Inner>, slot: usize) {
             inner.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
             ExecMode::Immediate(StopReason::Shed)
         } else {
-            ExecMode::Run
+            ExecMode::Run { queue_wait }
         };
-        let executed = matches!(mode, ExecMode::Run);
+        let executed = matches!(mode, ExecMode::Run { .. });
         let inject = match (&mode, &inner.faults) {
-            (ExecMode::Run, Some(plan)) => plan.decide(FaultSite::Worker),
+            (ExecMode::Run { .. }, Some(plan)) => plan.decide(FaultSite::Worker),
             _ => None,
         };
         let start = Instant::now();
         finish_job(&inner, job, mode, inject);
         if executed {
-            inner.note_run(start.elapsed());
+            let elapsed = start.elapsed();
+            inner.note_run(elapsed);
+            inner.run_time.record_duration(elapsed);
         }
 
         inner.running.fetch_sub(1, Ordering::SeqCst);
@@ -479,6 +505,7 @@ mod tests {
             control: SearchControl::new(),
             guard: SessionGuard(Arc::clone(active)),
             result_tx,
+            enqueued: Instant::now(),
             exec,
         };
         (job, result_rx)

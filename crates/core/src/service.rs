@@ -24,6 +24,7 @@ use crate::wire::{
     WireAdminRequest, WireAdminResponse, WireEvent, WireRegisterRequest, WireRegisterResponse,
     WireSearchRequest, WireSearchResponse, WIRE_VERSION,
 };
+use mileena_obs::{Metrics, MetricsReport};
 use mileena_search::{SearchConfig, SearchControl, SearchEvent, SketchedRequest};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -41,6 +42,21 @@ pub trait PlatformService {
         request: SketchedRequest,
         config: Option<SearchConfig>,
     ) -> Result<SearchSession>;
+
+    /// [`PlatformService::submit`] with a caller-chosen correlation id.
+    /// Wire transports carry the id in the request envelope and the server
+    /// echoes it into the reply's `request_id` (and its slow-search log);
+    /// the default ignores it — in-process callers correlate by session
+    /// handle, so there is nothing to thread through.
+    fn submit_tagged(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+        request_id: Option<u64>,
+    ) -> Result<SearchSession> {
+        let _ = request_id;
+        self.submit(request, config)
+    }
 
     /// Submit and block until the final reply.
     fn search(
@@ -60,6 +76,18 @@ pub trait PlatformService {
 
     /// Platform + storage statistics (admin).
     fn stats(&self) -> Result<PlatformStats>;
+
+    /// Telemetry snapshot: every counter, gauge, and latency histogram the
+    /// deployment has recorded (admin).
+    fn metrics(&self) -> Result<MetricsReport>;
+
+    /// The live registry this service's platform records into, when the
+    /// deployment exposes one — the TCP server uses it to record
+    /// connection/frame telemetry alongside the platform's own series.
+    /// `None` for client-side transports, which only see snapshots.
+    fn metrics_handle(&self) -> Option<Arc<Metrics>> {
+        None
+    }
 }
 
 /// A live search session: consumes streamed [`SearchEvent`]s, supports
@@ -163,6 +191,14 @@ impl PlatformService for InProcess {
     fn stats(&self) -> Result<PlatformStats> {
         self.platform.stats()
     }
+
+    fn metrics(&self) -> Result<MetricsReport> {
+        Ok(self.platform.metrics())
+    }
+
+    fn metrics_handle(&self) -> Option<Arc<Metrics>> {
+        Some(Arc::clone(self.platform.metrics_registry()))
+    }
 }
 
 /// Serialize a value to wire JSON, mapping failures to a wire error.
@@ -219,7 +255,17 @@ impl PlatformService for JsonWire {
         request: SketchedRequest,
         config: Option<SearchConfig>,
     ) -> Result<SearchSession> {
-        let json = to_wire_json(&WireSearchRequest { v: WIRE_VERSION, request, config })?;
+        self.submit_tagged(request, config, None)
+    }
+
+    fn submit_tagged(
+        &self,
+        request: SketchedRequest,
+        config: Option<SearchConfig>,
+        request_id: Option<u64>,
+    ) -> Result<SearchSession> {
+        let json =
+            to_wire_json(&WireSearchRequest { v: WIRE_VERSION, request, config, request_id })?;
         let wire_session = match self.platform.wire_submit(&json) {
             Ok(s) => s,
             Err(error_json) => {
@@ -272,9 +318,9 @@ impl PlatformService for JsonWire {
     fn checkpoint(&self) -> Result<CheckpointReceipt> {
         match self.admin(AdminOp::Checkpoint)? {
             AdminReply::Checkpoint(receipt) => Ok(receipt),
-            AdminReply::Stats(_) => Err(CoreError::Wire {
+            _ => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
-                message: "stats reply to a checkpoint request".into(),
+                message: "mismatched reply to a checkpoint request".into(),
             }),
         }
     }
@@ -282,9 +328,19 @@ impl PlatformService for JsonWire {
     fn stats(&self) -> Result<PlatformStats> {
         match self.admin(AdminOp::Stats)? {
             AdminReply::Stats(stats) => Ok(stats),
-            AdminReply::Checkpoint(_) => Err(CoreError::Wire {
+            _ => Err(CoreError::Wire {
                 code: ErrorCode::Malformed,
-                message: "checkpoint reply to a stats request".into(),
+                message: "mismatched reply to a stats request".into(),
+            }),
+        }
+    }
+
+    fn metrics(&self) -> Result<MetricsReport> {
+        match self.admin(AdminOp::Metrics)? {
+            AdminReply::Metrics(report) => Ok(report),
+            _ => Err(CoreError::Wire {
+                code: ErrorCode::Malformed,
+                message: "mismatched reply to a metrics request".into(),
             }),
         }
     }
@@ -343,6 +399,7 @@ pub fn wire_admin(service: &(impl PlatformService + ?Sized), request_json: &str)
             let result = match req.op {
                 AdminOp::Checkpoint => service.checkpoint().map(AdminReply::Checkpoint),
                 AdminOp::Stats => service.stats().map(AdminReply::Stats),
+                AdminOp::Metrics => service.metrics().map(AdminReply::Metrics),
             };
             match result {
                 Ok(reply) => WireAdminResponse::ok(reply),
@@ -376,7 +433,8 @@ pub fn wire_submit(
         }
         Ok(req) => req,
     };
-    let session = match service.submit(req.request, req.config) {
+    let request_id = req.request_id;
+    let session = match service.submit_tagged(req.request, req.config, request_id) {
         Ok(s) => s,
         // Structured rejection: Overloaded keeps its queue depth and
         // retry hint on the wire so clients can back off properly.
@@ -400,7 +458,12 @@ pub fn wire_submit(
             }
         });
         let response = match reply {
-            Ok(r) => WireSearchResponse::ok(r),
+            // Echo the caller's correlation id into the reply here, at the
+            // wire boundary — the platform itself never sees request ids.
+            Ok(mut r) => {
+                r.request_id = request_id;
+                WireSearchResponse::ok(r)
+            }
             Err(e) => WireSearchResponse::err_core(&e),
         };
         let json = serde_json::to_string(&response)
@@ -438,6 +501,14 @@ impl PlatformService for CentralPlatform {
     fn stats(&self) -> Result<PlatformStats> {
         CentralPlatform::stats(self)
     }
+
+    fn metrics(&self) -> Result<MetricsReport> {
+        Ok(CentralPlatform::metrics(self))
+    }
+
+    fn metrics_handle(&self) -> Option<Arc<Metrics>> {
+        Some(Arc::clone(self.metrics_registry()))
+    }
 }
 
 impl PlatformService for crate::shard::ShardedPlatform {
@@ -463,6 +534,14 @@ impl PlatformService for crate::shard::ShardedPlatform {
 
     fn stats(&self) -> Result<PlatformStats> {
         crate::shard::ShardedPlatform::stats(self)
+    }
+
+    fn metrics(&self) -> Result<MetricsReport> {
+        Ok(crate::shard::ShardedPlatform::metrics(self))
+    }
+
+    fn metrics_handle(&self) -> Option<Arc<Metrics>> {
+        Some(Arc::clone(self.metrics_registry()))
     }
 }
 
@@ -565,9 +644,13 @@ mod tests {
     #[test]
     fn wire_submit_rejects_unsupported_version() {
         let platform = platform_with_provider();
-        let json =
-            serde_json::to_string(&WireSearchRequest { v: 2, request: sketched(), config: None })
-                .unwrap();
+        let json = serde_json::to_string(&WireSearchRequest {
+            v: 2,
+            request: sketched(),
+            config: None,
+            request_id: None,
+        })
+        .unwrap();
         let err_json = platform.wire_submit(&json).unwrap_err();
         let resp: WireSearchResponse = serde_json::from_str(&err_json).unwrap();
         let err = resp.into_result().unwrap_err();
@@ -654,6 +737,7 @@ mod tests {
             v: WIRE_VERSION,
             request: sketched(),
             config: None,
+            request_id: Some(7001),
         })
         .unwrap();
         let session = platform.wire_submit(&json).unwrap();
@@ -666,6 +750,8 @@ mod tests {
         }
         let final_json = session.result.recv().unwrap();
         let response: WireSearchResponse = serde_json::from_str(&final_json).unwrap();
-        assert!(response.into_result().is_ok());
+        let reply = response.into_result().unwrap();
+        assert_eq!(reply.request_id, Some(7001), "wire layer must echo the correlation id");
+        assert!(reply.spans.total_ns >= reply.spans.run_ns, "total span covers the run stage");
     }
 }

@@ -32,11 +32,17 @@
 
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
-use crate::platform::{fit_final_model, CentralPlatform, PlatformConfig, SessionGuard};
+use crate::platform::{
+    duration_ns, fit_final_model, record_search_metrics, CentralPlatform, PlatformConfig,
+    SessionGuard,
+};
 use crate::sched::{ExecMode, SchedulerConfig, SessionJob, SessionScheduler};
 use crate::service::SearchSession;
-use crate::wire::{CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, ShardReport};
+use crate::wire::{
+    CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, ShardReport, SpanBreakdown,
+};
 use mileena_discovery::{DiscoveryIndex, TermSpace};
+use mileena_obs::{Metrics, MetricsReport};
 use mileena_privacy::PrivacyBudget;
 use mileena_relation::{DatasetInterner, FxHashMap};
 use mileena_search::{
@@ -88,6 +94,11 @@ pub struct ShardedPlatform {
     session_counter: AtomicU64,
     totals: Arc<ScatterTotals>,
     sched: SessionScheduler,
+    /// Coordinator-level telemetry registry: the search-stage histograms
+    /// and counters for scatter-gather searches. Shard workers keep their
+    /// own registries (WAL/snapshot I/O); [`ShardedPlatform::metrics`]
+    /// merges everything into one report.
+    metrics: Arc<Metrics>,
 }
 
 /// The per-shard worker configuration: shard workers never run sessions
@@ -190,7 +201,28 @@ impl ShardedPlatform {
             session_counter: AtomicU64::new(0),
             totals: Arc::new(ScatterTotals::default()),
             sched,
+            metrics: Arc::new(Metrics::new()),
         }
+    }
+
+    /// The coordinator's live telemetry registry (counters record here).
+    pub fn metrics_registry(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// One merged metrics snapshot for the whole deployment: the
+    /// coordinator's registry (search stages, per-shard gather times),
+    /// its scheduler's queue-wait/run-time histograms, and every shard
+    /// worker's report (WAL/snapshot I/O) merged in by name.
+    pub fn metrics(&self) -> MetricsReport {
+        let mut report = self.metrics.report();
+        let (queue_wait, run_time) = self.sched.histograms();
+        report.push_histogram("search_queue_wait_ns", queue_wait.report());
+        report.push_histogram("scheduler_run_ns", run_time.report());
+        for shard in &self.shards {
+            report.merge(&shard.metrics());
+        }
+        report
     }
 
     /// Re-derive the membership map after recovery: whatever a shard's
@@ -385,6 +417,7 @@ impl ShardedPlatform {
                 scatter_rounds: self.totals.scatter_rounds.load(Ordering::Relaxed),
                 gather_rounds: self.totals.gather_rounds.load(Ordering::Relaxed),
                 cross_shard_bound_skips: self.totals.cross_shard_skips.load(Ordering::Relaxed),
+                gather: self.metrics.shard_gather.summary(),
                 unavailable,
             }),
         })
@@ -421,6 +454,8 @@ impl ShardedPlatform {
         if self.config.max_concurrent_sessions == 0 {
             return Err(CoreError::Capacity(0));
         }
+        let submit_start = Instant::now();
+        self.metrics.searches_started.inc();
         self.active_sessions.fetch_add(1, Ordering::SeqCst);
         let guard = SessionGuard(Arc::clone(&self.active_sessions));
 
@@ -429,9 +464,12 @@ impl ShardedPlatform {
             control.set_deadline(Instant::now() + wall);
         }
         let state = build_sketched_state(&request, &cfg)?;
+        let prepare = submit_start.elapsed();
+        self.metrics.search_prepare.record_duration(prepare);
         // Scatter enumeration: one frozen corpus snapshot per shard, each
         // enumerated under its index read lock, merged into the exact
         // global candidate order a single shard would produce.
+        let enumerate_start = Instant::now();
         let mut stores = Vec::with_capacity(self.shards.len());
         let mut sets = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
@@ -445,6 +483,8 @@ impl ShardedPlatform {
         }
         let names = Arc::clone(self.shards[0].store().dataset_interner());
         let (assignments, truncated) = merge_shard_candidates(sets, &cfg.limits, &names);
+        let enumerate = enumerate_start.elapsed();
+        self.metrics.search_enumerate.record_duration(enumerate);
 
         let id = self.session_counter.fetch_add(1, Ordering::SeqCst) + 1;
         let target = request.task.target.clone();
@@ -454,12 +494,18 @@ impl ShardedPlatform {
         let (result_tx, result_rx) = mpsc::sync_channel(1);
         let worker_control = control.clone();
         let totals = Arc::clone(&self.totals);
+        let metrics = Arc::clone(&self.metrics);
+        let spans_base = SpanBreakdown {
+            prepare_ns: duration_ns(prepare),
+            enumerate_ns: duration_ns(enumerate),
+            ..SpanBreakdown::default()
+        };
         let exec = Box::new(move |mode: ExecMode| {
             let mut observer = move |ev: SearchEvent| {
                 let _ = event_tx.send(ev);
             };
             match mode {
-                ExecMode::Run => {
+                ExecMode::Run { queue_wait } => {
                     let parts: Vec<ShardPartition<'_>> = assignments
                         .into_iter()
                         .zip(&stores)
@@ -483,9 +529,21 @@ impl ShardedPlatform {
                         )
                         .map_err(CoreError::from)
                         .and_then(|(outcome, stats)| {
+                            for &ns in &stats.gather_ns {
+                                metrics.shard_gather.record(ns);
+                            }
                             totals.record(&outcome, stats);
+                            let fit_start = Instant::now();
                             let model = fit_final_model(&outcome, &target, cfg.lambda)?;
-                            Ok(SearchReply::from_outcome(&outcome, &model))
+                            let fit = fit_start.elapsed();
+                            let mut reply = SearchReply::from_outcome(&outcome, &model);
+                            reply.spans.prepare_ns = spans_base.prepare_ns;
+                            reply.spans.enumerate_ns = spans_base.enumerate_ns;
+                            reply.spans.queue_wait_ns = duration_ns(queue_wait);
+                            reply.spans.fit_ns = duration_ns(fit);
+                            reply.spans.total_ns = duration_ns(submit_start.elapsed());
+                            record_search_metrics(&metrics, &outcome, &reply);
+                            Ok(reply)
                         })
                 }
                 ExecMode::Immediate(reason) => {
@@ -507,12 +565,18 @@ impl ShardedPlatform {
                         evaluations: 0,
                         bound_skips: 0,
                         candidates_truncated: 0,
+                        round_eval_ns: Vec::new(),
                         elapsed: Duration::ZERO,
                         stop_reason: reason,
                         state,
                     };
                     let model = fit_final_model(&outcome, &target, cfg.lambda)?;
-                    Ok(SearchReply::from_outcome(&outcome, &model))
+                    let mut reply = SearchReply::from_outcome(&outcome, &model);
+                    reply.spans.prepare_ns = spans_base.prepare_ns;
+                    reply.spans.enumerate_ns = spans_base.enumerate_ns;
+                    reply.spans.total_ns = duration_ns(submit_start.elapsed());
+                    record_search_metrics(&metrics, &outcome, &reply);
+                    Ok(reply)
                 }
             }
         });
@@ -521,6 +585,7 @@ impl ShardedPlatform {
             control: control.clone(),
             guard,
             result_tx,
+            enqueued: Instant::now(),
             exec,
         })?;
         Ok(SearchSession::new(id, control, event_rx, result_rx))

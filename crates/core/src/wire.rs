@@ -25,6 +25,7 @@ use crate::durable::RecoveryReport;
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use mileena_ml::LinearModel;
+use mileena_obs::{HistogramSummary, MetricsReport};
 use mileena_search::{
     Augmentation, SearchConfig, SearchEvent, SearchOutcome, SketchedRequest, StopReason,
 };
@@ -164,6 +165,10 @@ pub struct WireSearchRequest {
     pub request: SketchedRequest,
     /// Optional search tuning; `None` = the platform's configured default.
     pub config: Option<SearchConfig>,
+    /// Caller-chosen correlation id, echoed verbatim in the final
+    /// [`SearchReply`] and in the server's slow-search log, so a client can
+    /// line up its own records with the server's. `None` = uncorrelated.
+    pub request_id: Option<u64>,
 }
 
 // ---------------------------------------------------------------------------
@@ -240,6 +245,41 @@ pub struct ModelReply {
     pub coefficients: Vec<f64>,
 }
 
+/// Per-stage wall-clock breakdown of one search, wire form (all fields
+/// nanoseconds). The stages partition the platform's handling of a submit:
+/// `prepare` (validation + sketched-state build), `enumerate` (candidate
+/// enumeration under the discovery index read lock), `queue_wait`
+/// (admission queue), `run` (the greedy/scatter loop), and `fit` (final
+/// model fit) sum to within measurement error of `total`. `eval` is the
+/// portion of `run` spent scoring rounds — informational, not part of the
+/// partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanBreakdown {
+    /// Submit receipt → reply built.
+    pub total_ns: u64,
+    /// Request validation + sketched-state build.
+    pub prepare_ns: u64,
+    /// Candidate enumeration under the discovery index read lock.
+    pub enumerate_ns: u64,
+    /// Admission-queue wait (enqueue → worker dequeue).
+    pub queue_wait_ns: u64,
+    /// The search loop itself (greedy or scatter-gather).
+    pub run_ns: u64,
+    /// Time inside `run` spent scoring evaluation rounds.
+    pub eval_ns: u64,
+    /// Final model fit after the loop.
+    pub fit_ns: u64,
+}
+
+impl SpanBreakdown {
+    /// Sum of the partitioning stages (everything except `eval_ns`, which
+    /// is a subset of `run_ns`). Should track `total_ns` closely; a large
+    /// gap means an unaccounted stage.
+    pub fn staged_ns(&self) -> u64 {
+        self.prepare_ns + self.enumerate_ns + self.queue_wait_ns + self.run_ns + self.fit_ns
+    }
+}
+
 /// A completed search, wire form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchReply {
@@ -265,6 +305,12 @@ pub struct SearchReply {
     pub features: Vec<String>,
     /// The proxy model fitted on the final augmented statistics.
     pub model: ModelReply,
+    /// The request's correlation id, echoed verbatim ([`WireSearchRequest::
+    /// request_id`]); `None` when the caller sent none or the reply never
+    /// crossed the wire.
+    pub request_id: Option<u64>,
+    /// Per-stage wall-clock breakdown of this search.
+    pub spans: SpanBreakdown,
 }
 
 impl SearchReply {
@@ -291,6 +337,12 @@ impl SearchReply {
             model: ModelReply {
                 intercept: true,
                 coefficients: model.coefficients().map(|c| c.to_vec()).unwrap_or_default(),
+            },
+            request_id: None,
+            spans: SpanBreakdown {
+                run_ns: u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX),
+                eval_ns: outcome.round_eval_ns.iter().copied().sum(),
+                ..SpanBreakdown::default()
             },
         }
     }
@@ -368,6 +420,8 @@ pub enum AdminOp {
     Checkpoint,
     /// Report platform + storage statistics.
     Stats,
+    /// Dump the full metrics registry (counters, gauges, histograms).
+    Metrics,
 }
 
 /// What a successful checkpoint reports back.
@@ -403,6 +457,10 @@ pub struct StorageReport {
     /// Error from the most recent auto-checkpoint attempt, if it failed
     /// (the mutation itself succeeded — the WAL holds it).
     pub last_checkpoint_error: Option<String>,
+    /// Latency of WAL appends (journal write + fsync when configured).
+    pub append_time: HistogramSummary,
+    /// Latency of checkpoints (snapshot write + rotation + purge).
+    pub checkpoint_time: HistogramSummary,
 }
 
 /// Discovery-tier index shape, wire form (see
@@ -477,6 +535,12 @@ pub struct SchedulerReport {
     pub panicked: u64,
     /// Completions by stop reason.
     pub stops: StopCounts,
+    /// Admission-queue wait (enqueue → worker dequeue) across every job
+    /// that reached a worker.
+    pub queue_wait: HistogramSummary,
+    /// Worker execution time of jobs that actually ran (immediate
+    /// shed/cancel replies are excluded).
+    pub run_time: HistogramSummary,
 }
 
 /// Sharded scatter-gather state, wire form (`None` on single-shard
@@ -498,6 +562,9 @@ pub struct ShardReport {
     pub cross_shard_bound_skips: u64,
     /// Shards currently marked unavailable (empty when healthy).
     pub unavailable: Vec<usize>,
+    /// Per-shard gather time: one sample per shard-round actually scored
+    /// (the latency distribution behind `gather_rounds`).
+    pub gather: HistogramSummary,
 }
 
 /// Platform statistics.
@@ -545,6 +612,8 @@ pub enum AdminReply {
     Checkpoint(CheckpointReceipt),
     /// Statistics report.
     Stats(PlatformStats),
+    /// Metrics registry dump.
+    Metrics(MetricsReport),
 }
 
 /// Admin response envelope: exactly one of `ok` / `err` is set.
@@ -623,6 +692,7 @@ mod tests {
             v: WIRE_VERSION,
             request: sketched(),
             config: Some(SearchConfig::default()),
+            request_id: Some(42),
         };
         let json = serde_json::to_string(&req).unwrap();
         assert!(json.starts_with("{\"v\":1,"), "version leads the envelope: {json}");
@@ -705,6 +775,15 @@ mod tests {
                     cancelled: 2,
                     shed: 3,
                 },
+                queue_wait: HistogramSummary {
+                    count: 117,
+                    sum_ns: 9_000_000,
+                    p50_ns: 60_000,
+                    p95_ns: 200_000,
+                    p99_ns: 400_000,
+                    max_ns: 512_345,
+                },
+                run_time: HistogramSummary::default(),
             },
             storage: Some(StorageReport {
                 dir: "/tmp/x".into(),
@@ -721,6 +800,15 @@ mod tests {
                     invalid_snapshots: 0,
                 }),
                 last_checkpoint_error: None,
+                append_time: HistogramSummary {
+                    count: 12,
+                    sum_ns: 1_200_000,
+                    p50_ns: 90_000,
+                    p95_ns: 150_000,
+                    p99_ns: 150_000,
+                    max_ns: 151_000,
+                },
+                checkpoint_time: HistogramSummary::default(),
             }),
             shards: Some(ShardReport {
                 shards: 4,
@@ -729,6 +817,14 @@ mod tests {
                 gather_rounds: 31,
                 cross_shard_bound_skips: 5,
                 unavailable: vec![2],
+                gather: HistogramSummary {
+                    count: 31,
+                    sum_ns: 31_000_000,
+                    p50_ns: 1_000_000,
+                    p95_ns: 2_000_000,
+                    p99_ns: 2_000_000,
+                    max_ns: 2_100_000,
+                },
             }),
         }));
         let json = serde_json::to_string(&resp).unwrap();
@@ -743,7 +839,20 @@ mod tests {
                 assert_eq!(shards.datasets_per_shard, vec![1, 0, 2, 0]);
                 assert_eq!(shards.cross_shard_bound_skips, 5);
                 assert_eq!(shards.unavailable, vec![2]);
+                assert_eq!(shards.gather.count, 31);
+                assert_eq!(stats.scheduler.queue_wait.p99_ns, 400_000);
             }
+            other => panic!("wrong reply: {other:?}"),
+        }
+
+        // The metrics dump rides the same envelope.
+        let mut metrics = MetricsReport::default();
+        metrics.counters.push(("searches_completed".into(), 12));
+        let resp = WireAdminResponse::ok(AdminReply::Metrics(metrics));
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireAdminResponse = serde_json::from_str(&json).unwrap();
+        match back.into_result().unwrap() {
+            AdminReply::Metrics(m) => assert_eq!(m.counter("searches_completed"), Some(12)),
             other => panic!("wrong reply: {other:?}"),
         }
 

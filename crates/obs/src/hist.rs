@@ -1,0 +1,498 @@
+//! Log-bucketed atomic histogram with quantile export.
+//!
+//! Bucketing is log-linear: values 0..=15 land in exact unit buckets, and
+//! every power-of-two octave above that is split into 4 linear
+//! sub-buckets, so the relative quantile error is bounded by one
+//! sub-bucket width (≤ 25% of the value, ≤ 12.5% at the midpoint) at any
+//! magnitude up to `u64::MAX`. 256 buckets cover the full range — a
+//! histogram is 2 KiB of `AtomicU64`s, cheap enough to embed one per
+//! stage per platform.
+//!
+//! Recording is a single `Relaxed` `fetch_add` per sample (plus count /
+//! sum / max upkeep); readers take a point-in-time [`HistogramSnapshot`]
+//! and compute quantiles from it, so a racing reader sees a slightly
+//! stale histogram, never a torn one.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of buckets: 16 exact unit buckets + 60 octaves × 4 sub-buckets.
+pub const HISTOGRAM_BUCKETS: usize = 256;
+
+/// Bucket index for a value (see module docs for the scheme).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (exp - 2)) & 3) as usize;
+        16 + (exp - 4) * 4 + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value quantiles report).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else {
+        let exp = 4 + (idx - 16) / 4;
+        let sub = ((idx - 16) % 4) as u64;
+        let width = 1u64 << (exp - 2);
+        // `lower + (width - 1)`: summing `(sub + 1) * width` first would
+        // overflow u64 for the very last bucket.
+        (1u64 << exp) + sub * width + (width - 1)
+    }
+}
+
+/// A concurrent log-bucketed histogram (values are opaque `u64`s; the
+/// platform records nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A new empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. A no-op when telemetry is disabled
+    /// ([`crate::set_enabled`]).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturate the sum instead of wrapping: ~584 years of nanoseconds
+        // before it matters, but a wrapped sum would be silently wrong.
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(v);
+            match self.sum.compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds (clamped to `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Start an RAII span that records its elapsed nanoseconds into this
+    /// histogram when dropped — including during a panic unwind, so
+    /// `catch_unwind` isolation never loses the sample.
+    pub fn span(&self) -> SpanGuard<'_> {
+        SpanGuard { hist: self, start: Instant::now() }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the bucket state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold another histogram's current contents into this one
+    /// (bucket-exact; used to aggregate per-shard histograms).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let other_sum = other.sum.load(Ordering::Relaxed);
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(other_sum);
+            match self.sum.compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Compact quantile summary of the current contents.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+
+    /// Serializable report (summary + sparse buckets) of the current
+    /// contents.
+    pub fn report(&self) -> HistogramReport {
+        self.snapshot().report()
+    }
+}
+
+/// RAII timing guard: records elapsed nanoseconds into its histogram on
+/// drop. Obtained from [`Histogram::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// Elapsed time since the span started (without ending it).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket holding the rank-⌈q·count⌉ sample (so the true value is
+    /// never underestimated by more than one sub-bucket width). 0 for an
+    /// empty histogram; `q >= 1` reports the recorded maximum exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The top bucket's nominal bound can exceed anything that
+                // was actually recorded; the tracked max is tighter.
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Compact summary (count, sum, p50/p95/p99, max).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum_ns: self.sum,
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max,
+        }
+    }
+
+    /// Serializable report: the summary plus sparse `(upper_bound, count)`
+    /// buckets, enough to merge histograms exactly across processes.
+    pub fn report(&self) -> HistogramReport {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_upper(idx), n))
+            .collect();
+        HistogramReport { summary: self.summary(), buckets }
+    }
+}
+
+/// Compact quantile summary, wire form. All fields are nanoseconds except
+/// `count`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum_ns: u64,
+    /// Median (upper bound of the median's bucket).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Exact maximum sample.
+    pub max_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_ns / self.count
+        }
+    }
+}
+
+/// Serializable histogram: summary plus sparse `(upper_bound, count)`
+/// buckets. Reports merge exactly (bucket-wise addition with quantiles
+/// recomputed), so a coordinator can aggregate shard reports without
+/// access to the live histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Quantile summary of the buckets below.
+    pub summary: HistogramSummary,
+    /// Non-empty buckets as `(inclusive upper bound, sample count)`,
+    /// ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramReport {
+    /// Merge another report into this one: buckets add, count/sum add
+    /// (saturating), max takes the larger, and the quantiles are
+    /// recomputed from the merged buckets.
+    pub fn merge(&mut self, other: &HistogramReport) {
+        for &(upper, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&upper, |&(u, _)| u) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (upper, n)),
+            }
+        }
+        self.summary.count += other.summary.count;
+        self.summary.sum_ns = self.summary.sum_ns.saturating_add(other.summary.sum_ns);
+        self.summary.max_ns = self.summary.max_ns.max(other.summary.max_ns);
+        self.summary.p50_ns = self.bucket_quantile(0.50);
+        self.summary.p95_ns = self.bucket_quantile(0.95);
+        self.summary.p99_ns = self.bucket_quantile(0.99);
+    }
+
+    /// Quantile over the sparse buckets (same contract as
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn bucket_quantile(&self, q: f64) -> u64 {
+        let count: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
+        if count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.summary.max_ns;
+        }
+        let rank = ((q.max(0.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper.min(self.summary.max_ns);
+            }
+        }
+        self.summary.max_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let _sync = crate::test_sync::recording();
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 16);
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 15);
+        // Rank 8 of 16 at q=0.5 is the value 7 (exact unit buckets).
+        assert_eq!(snap.quantile(0.5), 7);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        let _sync = crate::test_sync::recording();
+        let mut prev = None;
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let upper = bucket_upper(idx);
+            if let Some(p) = prev {
+                assert!(upper > p, "bucket {idx} bound {upper} <= {p}");
+            }
+            prev = Some(upper);
+        }
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Every value maps into a bucket whose range contains it.
+        for v in [0, 1, 15, 16, 17, 100, 1_000_003, u64::MAX / 3, u64::MAX] {
+            let idx = bucket_of(v);
+            assert!(v <= bucket_upper(idx), "{v} above its bucket bound");
+            if idx > 0 {
+                assert!(v > bucket_upper(idx - 1), "{v} below its bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let _sync = crate::test_sync::recording();
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1µs .. 10ms in ns
+        }
+        let snap = h.snapshot();
+        for (q, truth) in [(0.5, 5_000_000u64), (0.95, 9_500_000), (0.99, 9_900_000)] {
+            let est = snap.quantile(q);
+            assert!(est >= truth, "q{q}: {est} underestimates {truth}");
+            assert!(est as f64 <= truth as f64 * 1.26, "q{q}: {est} too far above {truth}");
+        }
+        assert_eq!(snap.quantile(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn saturation_clamps_instead_of_wrapping() {
+        let _sync = crate::test_sync::recording();
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_ns, u64::MAX, "sum saturates");
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(s.p99_ns, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_reconciles_exactly() {
+        let _sync = crate::test_sync::recording();
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per = 5_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * per + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), threads * per);
+        assert_eq!(h.count(), threads * per);
+        let expected_sum: u64 = (0..threads * per).sum();
+        assert_eq!(snap.sum, expected_sum);
+        assert_eq!(snap.max, threads * per - 1);
+    }
+
+    #[test]
+    fn merge_from_is_bucket_exact() {
+        let _sync = crate::test_sync::recording();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100 {
+            a.record(v * 17);
+            b.record(v * 31);
+        }
+        let reference = Histogram::new();
+        for v in 0..100 {
+            reference.record(v * 17);
+            reference.record(v * 31);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot().buckets, reference.snapshot().buckets);
+        assert_eq!(a.summary(), reference.summary());
+    }
+
+    #[test]
+    fn report_merge_matches_live_merge() {
+        let _sync = crate::test_sync::recording();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * v);
+            b.record(v * 3 + 7);
+        }
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        a.merge_from(&b);
+        assert_eq!(merged, a.report());
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let _sync = crate::test_sync::recording();
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        assert!(h.report().buckets.is_empty());
+    }
+
+    #[test]
+    fn span_guard_records_on_panic_unwind() {
+        let _sync = crate::test_sync::recording();
+        let outer = Histogram::new();
+        let inner = Histogram::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = outer.span();
+            let _inner = inner.span();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // Both nested spans recorded their sample during unwind.
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let _sync = crate::test_sync::recording();
+        let h = Histogram::new();
+        for v in [3u64, 900, 40_000, 40_001, 7_000_000] {
+            h.record(v);
+        }
+        let report = h.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: HistogramReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,100 @@
+//! Structured JSONL slow-search log.
+//!
+//! One line per search whose total time crossed the configured threshold,
+//! written to an arbitrary `Write` sink (the server binary points it at
+//! stderr). The fast path is one branch per search: only offending
+//! searches touch the writer mutex.
+
+use crate::registry::Counter;
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Sink for searches slower than a configured threshold.
+///
+/// Callers compare their measured total against [`threshold_ns`]
+/// (`SlowSearchLog::threshold_ns`) and hand a pre-serialized JSON object
+/// (one line, no trailing newline) to [`log_line`](SlowSearchLog::log_line)
+/// only when it crossed. Serialization therefore happens off the fast
+/// path, and the log itself stays format-agnostic.
+pub struct SlowSearchLog {
+    threshold_ns: u64,
+    writer: Mutex<Box<dyn Write + Send>>,
+    logged: Counter,
+}
+
+impl SlowSearchLog {
+    /// A log with the given threshold writing to `sink`.
+    pub fn new(threshold_ns: u64, sink: Box<dyn Write + Send>) -> Self {
+        SlowSearchLog { threshold_ns, writer: Mutex::new(sink), logged: Counter::new() }
+    }
+
+    /// The slowness threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Number of lines written so far.
+    pub fn logged(&self) -> u64 {
+        self.logged.get()
+    }
+
+    /// Append one JSONL record (a newline is added). Write errors are
+    /// swallowed: losing a diagnostic line must never fail a search.
+    pub fn log_line(&self, json: &str) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if writeln!(w, "{json}").is_ok() {
+            self.logged.inc();
+        }
+    }
+
+    /// Flush the underlying sink (graceful shutdown calls this).
+    pub fn flush(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+    }
+}
+
+impl fmt::Debug for SlowSearchLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlowSearchLog")
+            .field("threshold_ns", &self.threshold_ns)
+            .field("logged", &self.logged.get())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` sink the test can read back.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_appended_with_newlines_and_counted() {
+        let _sync = crate::test_sync::recording();
+        let sink = Shared::default();
+        let log = SlowSearchLog::new(5_000_000, Box::new(sink.clone()));
+        assert_eq!(log.threshold_ns(), 5_000_000);
+        log.log_line(r#"{"search":1}"#);
+        log.log_line(r#"{"search":2}"#);
+        log.flush();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"search\":1}\n{\"search\":2}\n");
+        assert_eq!(log.logged(), 2);
+        assert!(format!("{log:?}").contains("threshold_ns"));
+    }
+}

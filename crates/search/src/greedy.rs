@@ -155,6 +155,11 @@ pub struct SearchOutcome {
     /// Store-backed candidates dropped by the request's `CandidateLimits`
     /// at enumeration (0 unless the corpus outgrew the configured caps).
     pub candidates_truncated: usize,
+    /// Wall-clock nanoseconds spent scoring each evaluation round, in round
+    /// order — including rounds that converged or found no winner, so the
+    /// vector can be longer than `steps`. Telemetry feeds these into the
+    /// platform's `search_eval_round` histogram.
+    pub round_eval_ns: Vec<u64>,
     /// Total wall-clock.
     pub elapsed: std::time::Duration,
     /// Why the loop ended.
@@ -247,6 +252,7 @@ impl GreedySearch {
         let mut steps = Vec::new();
         let mut evaluations = 0usize;
         let mut bound_skips = 0usize;
+        let mut round_eval_ns = Vec::new();
 
         // Names resolve only at the event boundary (once per commit); the
         // loop itself moves interned ids.
@@ -270,8 +276,10 @@ impl GreedySearch {
                 stop_reason = StopReason::TimeBudget;
                 break;
             }
+            let round_start = Instant::now();
             let (best, round_evaluated, round_skipped) =
                 self.score_round(&state, &entries, current);
+            round_eval_ns.push(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             evaluations += round_evaluated;
             bound_skips += round_skipped;
 
@@ -334,6 +342,7 @@ impl GreedySearch {
             evaluations,
             bound_skips,
             candidates_truncated,
+            round_eval_ns,
             elapsed: start.elapsed(),
             stop_reason,
             state,
@@ -461,12 +470,14 @@ impl GreedySearch {
         let mut steps = Vec::new();
         let mut evaluations = 0usize;
 
+        let mut round_eval_ns = Vec::new();
         let mut stop_reason = StopReason::MaxAugmentations;
         for _round in 0..self.config.max_augmentations {
             if start.elapsed() >= self.config.time_budget {
                 stop_reason = StopReason::TimeBudget;
                 break;
             }
+            let round_start = Instant::now();
             let mut scored = Vec::new();
             for (i, aug) in candidates.iter().enumerate() {
                 evaluations += 1;
@@ -474,6 +485,7 @@ impl GreedySearch {
                     scored.push((i, score));
                 }
             }
+            round_eval_ns.push(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             let best = scored
                 .into_iter()
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -503,6 +515,7 @@ impl GreedySearch {
             evaluations,
             bound_skips: 0,
             candidates_truncated,
+            round_eval_ns,
             elapsed: start.elapsed(),
             stop_reason,
             state,

@@ -73,7 +73,7 @@ impl ShardSlice {
 }
 
 /// Scatter-gather execution counters (surfaced through platform stats).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScatterStats {
     /// Greedy rounds driven by the coordinator (committed or converged).
     pub rounds: u64,
@@ -82,6 +82,21 @@ pub struct ScatterStats {
     /// Shard-rounds skipped because the shard's score ceiling could not
     /// beat the running incumbent or clear `min_gain`.
     pub cross_shard_skips: u64,
+    /// Wall-clock nanoseconds of every scattered shard-round (one entry
+    /// per `shard_rounds` increment, in scatter order): the per-shard
+    /// gather time the platform feeds into its `shard_gather` histogram.
+    pub gather_ns: Vec<u64>,
+}
+
+impl ScatterStats {
+    /// Quantile summary of the per-shard gather times.
+    pub fn gather_summary(&self) -> mileena_obs::HistogramSummary {
+        let hist = mileena_obs::Histogram::new();
+        for &ns in &self.gather_ns {
+            hist.record(ns);
+        }
+        hist.summary()
+    }
 }
 
 /// Project each shard partition once and tag every surviving entry with
@@ -156,6 +171,7 @@ impl ScatterSearch {
         let mut steps = Vec::new();
         let mut evaluations = 0usize;
         let mut bound_skips = 0usize;
+        let mut round_eval_ns = Vec::new();
         let mut stats = ScatterStats::default();
         // Per-shard scoring reuses the single-shard round plan verbatim.
         let round_plan = GreedySearch::new(self.config.clone());
@@ -176,6 +192,7 @@ impl ScatterSearch {
                 break;
             }
             stats.rounds += 1;
+            let round_start = Instant::now();
 
             // Scatter: visit shards in descending-ceiling order (shard id
             // ascending on ties) so the pruning gate sees the strongest
@@ -210,8 +227,12 @@ impl ScatterSearch {
                     }
                 }
                 stats.shard_rounds += 1;
+                let shard_start = Instant::now();
                 let (best, evaluated, skipped) =
                     round_plan.score_round(&state, &slice.entries, current);
+                stats
+                    .gather_ns
+                    .push(u64::try_from(shard_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 round_evaluated += evaluated;
                 round_skipped += skipped;
                 if let Some((local_idx, score)) = best {
@@ -227,6 +248,7 @@ impl ScatterSearch {
                     }
                 }
             }
+            round_eval_ns.push(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             evaluations += round_evaluated;
             bound_skips += round_skipped;
 
@@ -318,6 +340,7 @@ impl ScatterSearch {
                 evaluations,
                 bound_skips,
                 candidates_truncated,
+                round_eval_ns,
                 elapsed: start.elapsed(),
                 stop_reason,
                 state,

@@ -79,6 +79,12 @@ pub struct StorageStats {
     pub segments: usize,
     /// Live snapshot count.
     pub snapshots: usize,
+    /// Latency summary of successful WAL appends (the frame write, plus
+    /// fsync when configured).
+    pub append_time: mileena_obs::HistogramSummary,
+    /// Latency summary of successful checkpoints (snapshot write, segment
+    /// rotation, and purge).
+    pub checkpoint_time: mileena_obs::HistogramSummary,
 }
 
 /// The WAL + snapshot engine over one directory.
@@ -94,6 +100,10 @@ pub struct StorageEngine {
     /// doesn't re-read multi-MB payloads on every checkpoint just to
     /// re-validate files it already trusts.
     trusted_snapshots: std::collections::HashSet<PathBuf>,
+    /// Latency of successful appends (injected-fault failures excluded).
+    append_time: mileena_obs::Histogram,
+    /// Latency of successful checkpoints.
+    checkpoint_time: mileena_obs::Histogram,
 }
 
 impl StorageEngine {
@@ -199,6 +209,8 @@ impl StorageEngine {
             snapshot_seq: snapshot.as_ref().map(|(seq, _)| *seq),
             records_since_checkpoint: records.len() as u64,
             trusted_snapshots: snapshot_path.into_iter().collect(),
+            append_time: mileena_obs::Histogram::new(),
+            checkpoint_time: mileena_obs::Histogram::new(),
         };
         Ok((engine, RecoveredState { snapshot, records, torn_tail, invalid_snapshots }))
     }
@@ -228,7 +240,9 @@ impl StorageEngine {
             self.roll_fault(FaultSite::WalFsync, "injected WAL fsync fault")?;
         }
         let seq = self.last_seq + 1;
+        let started = std::time::Instant::now();
         self.writer.append(seq, payload, self.opts.fsync_appends)?;
+        self.append_time.record_duration(started.elapsed());
         self.last_seq = seq;
         self.records_since_checkpoint += 1;
         Ok(seq)
@@ -240,6 +254,7 @@ impl StorageEngine {
     pub fn checkpoint(&mut self, payload: &[u8]) -> Result<u64> {
         self.roll_fault(FaultSite::SnapshotWrite, "injected snapshot write fault")?;
         let seq = self.last_seq;
+        let started = std::time::Instant::now();
         let written = write_snapshot(&self.dir, seq, payload)?;
         self.trusted_snapshots.insert(written);
         self.snapshot_seq = Some(seq);
@@ -248,6 +263,7 @@ impl StorageEngine {
             self.writer = SegmentWriter::create(&self.dir, seq + 1)?;
         }
         self.purge()?;
+        self.checkpoint_time.record_duration(started.elapsed());
         Ok(seq)
     }
 
@@ -321,6 +337,12 @@ impl StorageEngine {
         &self.dir
     }
 
+    /// The append/checkpoint latency histograms, for callers that fold
+    /// storage I/O timing into a platform-wide metrics report.
+    pub fn io_histograms(&self) -> (&mileena_obs::Histogram, &mileena_obs::Histogram) {
+        (&self.append_time, &self.checkpoint_time)
+    }
+
     /// Point-in-time statistics (walks the directory).
     pub fn stats(&self) -> Result<StorageStats> {
         let segments = list_segments(&self.dir)?;
@@ -337,6 +359,8 @@ impl StorageEngine {
             wal_bytes,
             segments: segments.len(),
             snapshots: list_snapshots(&self.dir)?.len(),
+            append_time: self.append_time.summary(),
+            checkpoint_time: self.checkpoint_time.summary(),
         })
     }
 }

@@ -108,18 +108,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TcpServerConfig::default(),
     )?;
     let tcp_client = TcpWire::connect(server.local_addr())?;
-    let over_tcp = tcp_client.search(sketch_request()?, Some(search_cfg.clone()))?;
+    // Tag the wire request with a caller-chosen correlation id: the server
+    // echoes it into the reply (and into its slow-search log, if enabled),
+    // so client and server logs line up without guessing.
+    let request_id = 0xC1D2_u64;
+    let over_tcp = tcp_client
+        .submit_tagged(sketch_request()?, Some(search_cfg.clone()), Some(request_id))?
+        .wait()?;
+    assert_eq!(over_tcp.request_id, Some(request_id), "server echoes the correlation id");
     assert_eq!(over_tcp.final_score, fpm.final_score);
     assert_eq!(over_tcp.model, fpm.model);
     let shard_report = tcp_client.stats()?.shards.expect("sharded platforms report shard stats");
     println!(
-        "same search over TCP against {} shards at {}: identical reply \
-         (datasets per shard {:?}, {} scatter rounds, {} cross-shard bound skips).",
+        "same search over TCP against {} shards at {} (request_id {request_id}): identical \
+         reply (datasets per shard {:?}, {} scatter rounds, {} cross-shard bound skips, \
+         per-stage spans {}/{}/{}/{} µs prepare/enumerate/run/fit of {} µs total).",
         shard_report.shards,
         server.local_addr(),
         shard_report.datasets_per_shard,
         shard_report.scatter_rounds,
         shard_report.cross_shard_bound_skips,
+        over_tcp.spans.prepare_ns / 1_000,
+        over_tcp.spans.enumerate_ns / 1_000,
+        over_tcp.spans.run_ns / 1_000,
+        over_tcp.spans.fit_ns / 1_000,
+        over_tcp.spans.total_ns / 1_000,
     );
     server.shutdown();
 

@@ -29,8 +29,9 @@ CRITERION_OUT_DIR="$out_dir" MILEENA_BENCH_MS="$coldstart_ms" \
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench discovery_scale "$@"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench overload "$@"
 CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench traffic "$@"
+CRITERION_OUT_DIR="$out_dir" cargo bench -p mileena-bench --bench telemetry_overhead "$@"
 
-for name in search_latency cold_start discovery_scale overload traffic; do
+for name in search_latency cold_start discovery_scale overload traffic telemetry_overhead; do
     if [[ ! -f "$out_dir/$name.json" ]]; then
         echo "error: $out_dir/$name.json not produced" >&2
         exit 1
@@ -44,7 +45,8 @@ done
     sed '1d;$d' "$out_dir/cold_start.json" | sed '$s/$/,/'
     sed '1d;$d' "$out_dir/discovery_scale.json" | sed '$s/$/,/'
     sed '1d;$d' "$out_dir/overload.json" | sed '$s/$/,/'
-    sed '1d;$d' "$out_dir/traffic.json"
+    sed '1d;$d' "$out_dir/traffic.json" | sed '$s/$/,/'
+    sed '1d;$d' "$out_dir/telemetry_overhead.json"
     echo "]"
 } > "$bench_out"
 echo "wrote $bench_out:"
@@ -96,6 +98,12 @@ awk '
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "tcp throughput:     %.1f searches/sec at %d concurrent connections\n", n * 1e9 / m, n
 }
+/"group": "telemetry"/ && /"bench": "search_instrumented\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m); tele_on = m
+}
+/"group": "telemetry"/ && /"bench": "search_disabled\// {
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m); tele_off = m
+}
 /"group": "discovery_20k"/ {
     b = $0; sub(/.*"bench": "/, "", b); sub(/".*/, "", b)
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
@@ -105,6 +113,10 @@ awk '
     if (b == "union_candidates_linear") { lu = m }
 }
 END {
+    if (tele_on > 0 && tele_off > 0) {
+        printf "telemetry overhead: %+.2f%% (instrumented %.2f ms vs disabled %.2f ms; budget <3%%)\n",
+            (tele_on / tele_off - 1.0) * 100.0, tele_on / 1e6, tele_off / 1e6
+    }
     if (dj > 0 && du > 0) {
         printf "discovery @20k (join+union query): %.3f ms indexed", (dj + du) / 1e6
         if (lj > 0 && lu > 0) printf "  vs %.1f ms linear (%.0fx)", (lj + lu) / 1e6, (lj + lu) / (dj + du)

@@ -3,14 +3,20 @@
 # a registration + search through the TCP client, and assert a clean
 # graceful shutdown (exit code 0).
 #
-# Two passes:
+# Three passes:
 #   1. A bare boot/shutdown cycle of the release binary — the "listening
-#      on <addr>" banner must appear, "shutdown" on stdin must drain and
-#      print "shutdown complete", and the process must exit 0.
+#      on <addr>" banner must appear, the "metrics" stdin command must
+#      answer with a Prometheus-style dump carrying the core series and a
+#      "# EOF" terminator, "shutdown" on stdin must drain and print
+#      "shutdown complete", and the process must exit 0.
 #   2. The end-to-end pass through the real binary: register + search over
 #      TCP, a hard kill, bit-identical recovery from the WAL, then a
 #      graceful shutdown — reusing the integration test that already
 #      spawns the binary via CARGO_BIN_EXE, in release mode.
+#   3. The telemetry pass: boot with --slow-search-ms 1, drive a search
+#      tagged with wire request_id 0xBEEF (48879), scrape the metrics dump
+#      for non-zero search/series counts, and assert the slow-search JSONL
+#      log correlates the same request_id.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +31,28 @@ case "$banner" in
         exit 1
         ;;
 esac
+
+# On-demand metrics dump: the registry renders even before any traffic,
+# so the core series must be present (zero-valued) and EOF-terminated.
+echo metrics >&"${SRV[1]}"
+dump=""
+while read -r line <&"${SRV[0]}"; do
+    [[ "$line" == "# EOF" ]] && break
+    dump+="$line"$'\n'
+done
+for series in \
+    "mileena_searches_completed" \
+    "mileena_net_connections" \
+    "# TYPE mileena_search_total_seconds summary" \
+    "mileena_search_queue_wait_seconds_count"; do
+    if ! grep -qF "$series" <<<"$dump"; then
+        echo "error: metrics dump missing series: $series" >&2
+        printf '%s' "$dump" >&2
+        exit 1
+    fi
+done
+echo "metrics dump ok ($(grep -c '^mileena_' <<<"$dump") sample lines)"
+
 echo shutdown >&"${SRV[1]}"
 read -r bye <&"${SRV[0]}"
 if [[ "$bye" != "shutdown complete" ]]; then
@@ -36,5 +64,12 @@ echo "graceful shutdown ok (exit 0)"
 
 cargo test --release -q --test tcp_server \
     server_binary_survives_kill_and_recovers_bit_identically
+
+# Telemetry end to end: non-zero metrics after traffic, slow-search log
+# correlated by the wire request_id (0xBEEF = 48879; the test prints the
+# matched JSONL record via --nocapture so it lands in the CI log).
+cargo test --release -q --test telemetry \
+    server_binary_serves_metrics_dump_and_slow_search_log -- --nocapture
+echo "telemetry smoke ok (request_id 48879 correlated in slow-search log)"
 
 echo "server smoke passed"

@@ -6,24 +6,39 @@
 //! JSON frame protocol of `mileena_core::net` until stdin closes or a
 //! `shutdown` line arrives. Shutdown is graceful: the listener stops
 //! accepting, in-flight sessions drain and flush their results, storage is
-//! checkpointed, and the process exits 0.
+//! checkpointed, the slow-search log is flushed, and the process exits 0.
 //!
 //! ```text
 //! mileena-server [--addr 127.0.0.1:0] [--dir PATH] [--shards N]
 //!                [--queue-depth N] [--max-sessions N]
+//!                [--slow-search-ms MS] [--metrics-interval SECS]
 //! ```
 //!
 //! The bound address is printed to stdout as `listening on <addr>` (with
 //! the OS-assigned port when `--addr` ends in `:0`), so harnesses can
 //! parse it.
+//!
+//! **Telemetry surface.**
+//!
+//! - `--slow-search-ms MS` (default 500; 0 disables): searches whose total
+//!   wall clock crossed the threshold emit one JSONL record to stderr with
+//!   the session id, the wire `request_id`, and the full per-stage span
+//!   breakdown.
+//! - `--metrics-interval SECS` (default 0 = off): dump the Prometheus-style
+//!   metrics text to stderr every SECS seconds.
+//! - The stdin line `metrics` dumps the same text to stdout on demand,
+//!   terminated by an `# EOF` line so harnesses know where it ends.
 
 use mileena_core::{
     CentralPlatform, PlatformConfig, PlatformService, ShardedPlatform, StoragePolicy, TcpServer,
     TcpServerConfig,
 };
+use mileena_obs::{render_prometheus, SlowSearchLog};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -31,6 +46,10 @@ struct Args {
     shards: usize,
     queue_depth: Option<usize>,
     max_sessions: Option<usize>,
+    /// Slow-search threshold, milliseconds; 0 disables the log.
+    slow_search_ms: u64,
+    /// Periodic metrics-dump interval, seconds; 0 disables the dump.
+    metrics_interval: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         queue_depth: None,
         max_sessions: None,
+        slow_search_ms: 500,
+        metrics_interval: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,9 +81,20 @@ fn parse_args() -> Result<Args, String> {
                     value("--max-sessions")?.parse().map_err(|e| format!("--max-sessions: {e}"))?,
                 )
             }
+            "--slow-search-ms" => {
+                args.slow_search_ms = value("--slow-search-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-search-ms: {e}"))?
+            }
+            "--metrics-interval" => {
+                args.metrics_interval = value("--metrics-interval")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: mileena-server [--addr A] [--dir P] [--shards N] \
-                            [--queue-depth N] [--max-sessions N]"
+                            [--queue-depth N] [--max-sessions N] [--slow-search-ms MS] \
+                            [--metrics-interval SECS]"
                     .to_string())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -115,30 +147,71 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server =
-        match TcpServer::bind(args.addr.as_str(), Arc::clone(&service), TcpServerConfig::default())
-        {
-            Ok(server) => server,
-            Err(e) => {
-                eprintln!("mileena-server: bind {}: {e}", args.addr);
-                return ExitCode::FAILURE;
-            }
-        };
+    let slow_log = (args.slow_search_ms > 0).then(|| {
+        Arc::new(SlowSearchLog::new(
+            args.slow_search_ms.saturating_mul(1_000_000),
+            Box::new(std::io::stderr()),
+        ))
+    });
+    let server_config = TcpServerConfig { slow_log: slow_log.clone(), ..Default::default() };
+    let server = match TcpServer::bind(args.addr.as_str(), Arc::clone(&service), server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("mileena-server: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
     println!("listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
 
+    // Periodic Prometheus-style dump to stderr, when asked for.
+    let stop_dumper = Arc::new(AtomicBool::new(false));
+    let dumper = (args.metrics_interval > 0).then(|| {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop_dumper);
+        let interval = Duration::from_secs(args.metrics_interval);
+        std::thread::spawn(move || {
+            // Tick in short slices so shutdown never waits a full interval.
+            let slice = Duration::from_millis(50);
+            let mut elapsed = Duration::ZERO;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(slice);
+                elapsed += slice;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    if let Ok(report) = service.metrics() {
+                        eprint!("{}", render_prometheus(&report));
+                    }
+                }
+            }
+        })
+    });
+
     // Serve until the operator says stop: a "shutdown" line or stdin EOF
-    // (so a dying supervisor takes the server down with it).
+    // (so a dying supervisor takes the server down with it). A "metrics"
+    // line dumps the current metrics to stdout, on demand.
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         match line {
             Ok(cmd) if cmd.trim() == "shutdown" => break,
+            Ok(cmd) if cmd.trim() == "metrics" => {
+                match service.metrics() {
+                    Ok(report) => print!("{}", render_prometheus(&report)),
+                    Err(e) => eprintln!("mileena-server: metrics: {e}"),
+                }
+                println!("# EOF");
+                let _ = std::io::stdout().flush();
+            }
             Ok(_) => continue,
             Err(_) => break,
         }
     }
 
     server.shutdown();
+    stop_dumper.store(true, Ordering::SeqCst);
+    if let Some(handle) = dumper {
+        let _ = handle.join();
+    }
     // In-flight work has drained; persist what the WAL holds so a reopen
     // starts from a snapshot instead of a long replay.
     if args.dir.is_some() {
@@ -146,6 +219,10 @@ fn main() -> ExitCode {
             eprintln!("mileena-server: final checkpoint failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(log) = &slow_log {
+        log.flush();
+        eprintln!("slow-search log: {} record(s)", log.logged());
     }
     println!("shutdown complete");
     ExitCode::SUCCESS

@@ -253,6 +253,7 @@ fn client_disconnect_cancels_the_session() {
             v: WIRE_VERSION,
             request: sketched(&c, "quitter"),
             config: None,
+            request_id: None,
         })
         .unwrap(),
     };
