@@ -9,18 +9,24 @@
 //!   top of the in-process `service/search_serial` number).
 //! - `traffic/concurrent_tcp/8` — one batch of 8 searches from 8
 //!   concurrent client connections; searches/sec = 8e9 / mean_ns.
+//! - `traffic/degraded_search/8` — the same batch against a 3-shard
+//!   deployment with one-in-three shard calls latency-bombed, hedged
+//!   per-shard gather deadlines on: the price of riding out a slow shard.
 //!
 //! A manual pass before the criterion entries drives the 8-connection load
 //! shape for several rounds and prints per-request p50/p99 latency and
-//! aggregate throughput for the bench log.
+//! aggregate throughput for the bench log. The degraded stint prints
+//! p50/p99 both without and with hedged deadlines, so the tail-cutting
+//! effect of `shard_deadline_ms` is visible in the bench log.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mileena_core::{
-    CentralPlatform, LocalDataStore, PlatformConfig, PlatformService, ShardedPlatform, TcpServer,
-    TcpServerConfig, TcpWire,
+    CentralPlatform, LocalDataStore, PlatformConfig, PlatformService, SchedulerConfig,
+    ShardedPlatform, TcpServer, TcpServerConfig, TcpWire,
 };
 use mileena_datagen::{generate_corpus, CorpusConfig};
-use mileena_search::{SketchedRequest, TaskSpec};
+use mileena_search::{SearchConfig, SketchedRequest, TaskSpec};
+use mileena_storage::{FaultKind, FaultPlan, FaultSite};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -163,6 +169,67 @@ fn bench_traffic(c: &mut Criterion) {
     drop(shard_clients);
     shard_server.shutdown();
 
+    // ---- degraded-search stint ----------------------------------------
+    // A 3-shard deployment where roughly one shard call in three eats a
+    // 3 ms latency bomb. Two passes over the same load shape: the
+    // fail-fast default (every search waits out the slow shard) vs hedged
+    // per-shard gather deadlines with degraded_ok (the search cuts the
+    // straggler loose and answers from the survivors, labeled).
+    let bomb = Duration::from_millis(3);
+    let plan =
+        Arc::new(FaultPlan::new(31).with(FaultSite::ShardCall, FaultKind::Latency(bomb), 330));
+    plan.arm();
+    let slowp = Arc::new(ShardedPlatform::new(PlatformConfig {
+        shards: 3,
+        scheduler: SchedulerConfig { faults: Some(Arc::clone(&plan)), ..Default::default() },
+        ..Default::default()
+    }));
+    for p in &corpus.providers {
+        slowp.register(LocalDataStore::new(p.clone()).prepare_upload(None, 7).unwrap()).unwrap();
+    }
+    let slow_server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&slowp) as Arc<dyn PlatformService + Send + Sync>,
+        TcpServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let slow_clients: Vec<TcpWire> = (0..CLIENTS)
+        .map(|_| TcpWire::connect(slow_server.local_addr()).expect("connect"))
+        .collect();
+    let hedged_cfg = SearchConfig { degraded_ok: true, shard_deadline_ms: 1, ..Default::default() };
+    for (label, cfg) in [("deadlines off", None), ("hedged deadlines", Some(hedged_cfg.clone()))] {
+        let mut lats: Vec<Duration> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slow_clients
+                .iter()
+                .map(|client| {
+                    let request = request.clone();
+                    let cfg = cfg.clone();
+                    scope.spawn(move || {
+                        let mut mine = Vec::with_capacity(ROUNDS);
+                        for _ in 0..ROUNDS {
+                            let t0 = Instant::now();
+                            let reply = client
+                                .search(request.clone(), cfg.clone())
+                                .expect("search over slow shard");
+                            assert!(reply.final_score.is_finite());
+                            mine.push(t0.elapsed());
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        lats.sort();
+        println!(
+            "degraded search ({label}): p50 {:.2} ms, p99 {:.2} ms over {} searches \
+             (3 shards, 3 ms latency bombs at 330\u{2030})",
+            percentile(&lats, 0.50).as_secs_f64() * 1e3,
+            percentile(&lats, 0.99).as_secs_f64() * 1e3,
+            lats.len(),
+        );
+    }
+
     // ---- criterion entries --------------------------------------------
     let mut group = c.benchmark_group("traffic");
     group.sample_size(10);
@@ -183,8 +250,25 @@ fn bench_traffic(c: &mut Criterion) {
             })
         })
     });
+    group.bench_with_input(BenchmarkId::new("degraded_search", CLIENTS), &CLIENTS, |b, _| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = slow_clients
+                    .iter()
+                    .map(|client| {
+                        let request = request.clone();
+                        let cfg = hedged_cfg.clone();
+                        scope.spawn(move || client.search(request, Some(cfg)).unwrap().final_score)
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<f64>()
+            })
+        })
+    });
     group.finish();
 
+    drop(slow_clients);
+    slow_server.shutdown();
     drop(clients);
     server.shutdown();
 }

@@ -572,11 +572,16 @@ impl TcpWire {
         })
     }
 
-    fn checkout(&self) -> Result<TcpStream> {
+    /// A connection for one round trip, and whether it came out of the
+    /// pool (a pooled stream may have died with a server restart — its
+    /// first use after that fails, and [`TcpWire::call`] retries fresh).
+    fn checkout(&self) -> Result<(TcpStream, bool)> {
         if let Some(stream) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
-            return Ok(stream);
+            return Ok((stream, true));
         }
-        TcpStream::connect(self.addr).map_err(|e| CoreError::Service(format!("connect: {e}")))
+        let stream = TcpStream::connect(self.addr)
+            .map_err(|e| CoreError::Service(format!("connect: {e}")))?;
+        Ok((stream, false))
     }
 
     fn checkin(&self, stream: TcpStream) {
@@ -588,8 +593,23 @@ impl TcpWire {
 
     /// One pooled request/response round trip: send a frame, read the
     /// `Reply` (surfacing a framing `Error` as the typed wire error).
+    /// A transport failure on a *pooled* stream — the server restarted
+    /// while the connection sat idle — drops the dead stream and retries
+    /// exactly once on a fresh dial; fresh-connection failures surface
+    /// immediately.
     fn call(&self, frame: &ClientFrame) -> Result<String> {
-        let mut stream = self.checkout()?;
+        let (stream, pooled) = self.checkout()?;
+        match self.round_trip(stream, frame) {
+            Err(CoreError::Service(_)) if pooled => {
+                let stream = TcpStream::connect(self.addr)
+                    .map_err(|e| CoreError::Service(format!("connect: {e}")))?;
+                self.round_trip(stream, frame)
+            }
+            other => other,
+        }
+    }
+
+    fn round_trip(&self, mut stream: TcpStream, frame: &ClientFrame) -> Result<String> {
         write_frame(&mut stream, frame)
             .map_err(|e| CoreError::Service(format!("tcp write: {e}")))?;
         match read_frame::<ServerFrame>(&mut stream, self.max_frame)? {

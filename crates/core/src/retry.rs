@@ -10,6 +10,12 @@
 //! [`CoreError::Shutdown`], which is not retryable against the same
 //! instance — passes straight through, and the final `Overloaded` is
 //! surfaced once attempts are exhausted.
+//!
+//! [`CoreError::ShardUnavailable`] is retryable *by opt-in only*
+//! (`retry_shard_unavailable`): the sharded platform auto-recovers a
+//! quarantined shard on the next touch, so a retry often lands after the
+//! recovery — but the default stays pass-through, because a client that
+//! did not ask for shard-fault handling should see the typed error.
 
 use crate::error::{CoreError, Result};
 use crate::service::PlatformService;
@@ -28,6 +34,11 @@ pub struct RetryPolicy {
     pub cap: Duration,
     /// Seed for the deterministic jitter stream.
     pub seed: u64,
+    /// Also retry [`CoreError::ShardUnavailable`] rejections (off by
+    /// default). Useful against a sharded platform whose supervisor
+    /// auto-recovers quarantined shards: the next attempt triggers — or
+    /// lands after — the recovery.
+    pub retry_shard_unavailable: bool,
 }
 
 impl Default for RetryPolicy {
@@ -37,6 +48,7 @@ impl Default for RetryPolicy {
             base: Duration::from_millis(50),
             cap: Duration::from_secs(2),
             seed: 0x6d69_6c65_656e_6121,
+            retry_shard_unavailable: false,
         }
     }
 }
@@ -91,6 +103,12 @@ pub fn search_with_retry(
                 }
                 last_err = Some(err);
             }
+            Err(CoreError::ShardUnavailable { shard }) if policy.retry_shard_unavailable => {
+                if attempt + 1 < attempts {
+                    std::thread::sleep(policy.delay(attempt, Duration::ZERO));
+                }
+                last_err = Some(CoreError::ShardUnavailable { shard });
+            }
             Err(other) => return Err(other),
         }
     }
@@ -120,6 +138,8 @@ mod tests {
             model: ModelReply { intercept: true, coefficients: vec![0.0, 1.0] },
             request_id: None,
             spans: crate::wire::SpanBreakdown::default(),
+            degraded: false,
+            shards_missing: Vec::new(),
         }
     }
 
@@ -185,6 +205,7 @@ mod tests {
             base: Duration::from_millis(1),
             cap: Duration::from_millis(4),
             seed: 7,
+            retry_shard_unavailable: false,
         }
     }
 
@@ -195,6 +216,7 @@ mod tests {
             base: Duration::from_millis(50),
             cap: Duration::from_secs(2),
             seed: 42,
+            retry_shard_unavailable: false,
         };
         // Server hint above the exponential floor wins.
         let hinted = policy.delay(0, Duration::from_millis(700));
@@ -224,34 +246,95 @@ mod tests {
         assert_eq!(service.calls.load(Ordering::SeqCst), 3, "capped at max_attempts");
     }
 
+    /// A service that always answers `Shutdown` (never retryable).
+    struct Down;
+    impl PlatformService for Down {
+        fn register(&self, _u: crate::local::ProviderUpload) -> Result<()> {
+            Ok(())
+        }
+        fn submit(&self, _r: SketchedRequest, _c: Option<SearchConfig>) -> Result<SearchSession> {
+            Err(CoreError::Shutdown)
+        }
+        fn num_datasets(&self) -> usize {
+            0
+        }
+        fn checkpoint(&self) -> Result<crate::wire::CheckpointReceipt> {
+            Err(CoreError::Storage("volatile".into()))
+        }
+        fn stats(&self) -> Result<crate::wire::PlatformStats> {
+            Err(CoreError::Service("unused".into()))
+        }
+        fn metrics(&self) -> Result<mileena_obs::MetricsReport> {
+            Err(CoreError::Service("unused".into()))
+        }
+    }
+
     #[test]
     fn non_overload_errors_pass_through_immediately() {
-        struct Down;
-        impl PlatformService for Down {
-            fn register(&self, _u: crate::local::ProviderUpload) -> Result<()> {
-                Ok(())
-            }
-            fn submit(
-                &self,
-                _r: SketchedRequest,
-                _c: Option<SearchConfig>,
-            ) -> Result<SearchSession> {
-                Err(CoreError::Shutdown)
-            }
-            fn num_datasets(&self) -> usize {
-                0
-            }
-            fn checkpoint(&self) -> Result<crate::wire::CheckpointReceipt> {
-                Err(CoreError::Storage("volatile".into()))
-            }
-            fn stats(&self) -> Result<crate::wire::PlatformStats> {
-                Err(CoreError::Service("unused".into()))
-            }
-            fn metrics(&self) -> Result<mileena_obs::MetricsReport> {
-                Err(CoreError::Service("unused".into()))
-            }
-        }
         let err = search_with_retry(&Down, &request(), None, &fast_policy()).unwrap_err();
         assert_eq!(err, CoreError::Shutdown, "Shutdown is not retryable");
+    }
+
+    /// A service whose shard 1 is down for the first `down_first` calls,
+    /// then healthy (the supervisor recovered it).
+    struct FlakyShard {
+        down_first: u32,
+        calls: AtomicU32,
+    }
+
+    impl PlatformService for FlakyShard {
+        fn register(&self, _upload: crate::local::ProviderUpload) -> Result<()> {
+            Ok(())
+        }
+        fn submit(
+            &self,
+            _request: SketchedRequest,
+            _config: Option<SearchConfig>,
+        ) -> Result<SearchSession> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.down_first {
+                return Err(CoreError::ShardUnavailable { shard: 1 });
+            }
+            let (_event_tx, event_rx) = mpsc::channel();
+            let (result_tx, result_rx) = mpsc::sync_channel(1);
+            result_tx.send(Ok(canned_reply())).unwrap();
+            Ok(SearchSession::new(1, mileena_search::SearchControl::new(), event_rx, result_rx))
+        }
+        fn num_datasets(&self) -> usize {
+            0
+        }
+        fn checkpoint(&self) -> Result<crate::wire::CheckpointReceipt> {
+            Err(CoreError::Storage("volatile".into()))
+        }
+        fn stats(&self) -> Result<crate::wire::PlatformStats> {
+            Err(CoreError::Service("unused".into()))
+        }
+        fn metrics(&self) -> Result<mileena_obs::MetricsReport> {
+            Err(CoreError::Service("unused".into()))
+        }
+    }
+
+    #[test]
+    fn shard_unavailable_passes_through_by_default() {
+        let service = FlakyShard { down_first: 1, calls: AtomicU32::new(0) };
+        let err = search_with_retry(&service, &request(), None, &fast_policy()).unwrap_err();
+        assert_eq!(err, CoreError::ShardUnavailable { shard: 1 });
+        assert_eq!(service.calls.load(Ordering::SeqCst), 1, "no retry without opt-in");
+    }
+
+    #[test]
+    fn shard_unavailable_retries_when_opted_in() {
+        let service = FlakyShard { down_first: 2, calls: AtomicU32::new(0) };
+        let policy = RetryPolicy { retry_shard_unavailable: true, ..fast_policy() };
+        let reply = search_with_retry(&service, &request(), None, &policy).unwrap();
+        assert_eq!(reply.stop_reason, StopReason::Converged);
+        assert_eq!(service.calls.load(Ordering::SeqCst), 3, "two rejections then success");
+    }
+
+    #[test]
+    fn shutdown_still_passes_through_with_shard_retry_on() {
+        let policy = RetryPolicy { retry_shard_unavailable: true, ..fast_policy() };
+        let err = search_with_retry(&Down, &request(), None, &policy).unwrap_err();
+        assert_eq!(err, CoreError::Shutdown, "opt-in covers ShardUnavailable only");
     }
 }

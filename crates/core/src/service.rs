@@ -731,6 +731,66 @@ mod tests {
     }
 
     #[test]
+    fn degraded_search_labels_cross_the_wire_envelope() {
+        let sharded = Arc::new(crate::shard::ShardedPlatform::new(PlatformConfig {
+            shards: 3,
+            ..Default::default()
+        }));
+        for i in 0..6 {
+            let provider = RelationBuilder::new(format!("w{i}"))
+                .int_col("zone", &(0..50).collect::<Vec<_>>())
+                .float_col(
+                    "temp",
+                    &(0..50).map(|z| ((z + i) as f64 * 0.7).sin()).collect::<Vec<_>>(),
+                )
+                .build()
+                .unwrap();
+            sharded
+                .register(LocalDataStore::new(provider).prepare_upload(None, 7).unwrap())
+                .unwrap();
+        }
+        sharded.set_shard_available(1, false);
+
+        // Fail-fast default: the typed shard error crosses the envelope.
+        let strict = serde_json::to_string(&WireSearchRequest {
+            v: WIRE_VERSION,
+            request: sketched(),
+            config: None,
+            request_id: None,
+        })
+        .unwrap();
+        let err_json = wire_submit(sharded.as_ref(), &strict).unwrap_err();
+        let resp: WireSearchResponse = serde_json::from_str(&err_json).unwrap();
+        assert_eq!(resp.into_result().unwrap_err(), CoreError::ShardUnavailable { shard: 1 });
+
+        // Degraded opt-in: the partial reply crosses labeled.
+        let degraded = serde_json::to_string(&WireSearchRequest {
+            v: WIRE_VERSION,
+            request: sketched(),
+            config: Some(SearchConfig { degraded_ok: true, ..Default::default() }),
+            request_id: None,
+        })
+        .unwrap();
+        let session = wire_submit(sharded.as_ref(), &degraded).unwrap();
+        let reply = serde_json::from_str::<WireSearchResponse>(&session.result.recv().unwrap())
+            .unwrap()
+            .into_result()
+            .unwrap();
+        assert!(reply.degraded, "partial scatter must label the reply");
+        assert_eq!(reply.shards_missing, vec![1]);
+
+        // Back to full strength: unlabeled again.
+        sharded.set_shard_available(1, true);
+        let session = wire_submit(sharded.as_ref(), &degraded).unwrap();
+        let reply = serde_json::from_str::<WireSearchResponse>(&session.result.recv().unwrap())
+            .unwrap()
+            .into_result()
+            .unwrap();
+        assert!(!reply.degraded);
+        assert!(reply.shards_missing.is_empty());
+    }
+
+    #[test]
     fn wire_session_streams_versioned_events() {
         let platform = platform_with_provider();
         let json = serde_json::to_string(&WireSearchRequest {

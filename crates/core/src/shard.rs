@@ -28,7 +28,21 @@
 //! **Unavailability.** A shard marked unavailable fails its mutations
 //! with the typed [`CoreError::ShardUnavailable`]; searches fail fast when
 //! *any* shard is down, because a partial scatter would silently change
-//! selections — worse than an honest error.
+//! selections — worse than an honest error. A caller that prefers a
+//! partial answer over no answer opts in with `SearchConfig::degraded_ok`:
+//! the search then runs over the live shard subset and the reply says so
+//! explicitly (`degraded`, `shards_missing`).
+//!
+//! **Supervision.** Each shard worker sits behind a circuit breaker
+//! (Healthy → Suspect → Quarantined → Recovering, see [`ShardHealth`]):
+//! consecutive failed shard calls — injected faults, crashes, or gather
+//! deadline strikes — open the breaker and quarantine the shard. A
+//! quarantined durable shard is auto-recovered on the next touch by
+//! re-opening it from its own WAL directory (`dir/shard-i`), the exact
+//! recovery path a restart would take, so the rebuilt worker is
+//! bit-identical; a volatile shard half-opens with a cheap probe of the
+//! still-resident worker. Operator downs (`set_shard_available`) are
+//! *not* auto-recovered — only the operator flips them back.
 
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
@@ -39,7 +53,8 @@ use crate::platform::{
 use crate::sched::{ExecMode, SchedulerConfig, SessionJob, SessionScheduler};
 use crate::service::SearchSession;
 use crate::wire::{
-    CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, ShardReport, SpanBreakdown,
+    CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, ShardHealth, ShardHealthState,
+    ShardReport, SpanBreakdown,
 };
 use mileena_discovery::{DiscoveryIndex, TermSpace};
 use mileena_obs::{Metrics, MetricsReport};
@@ -47,10 +62,12 @@ use mileena_privacy::PrivacyBudget;
 use mileena_relation::{DatasetInterner, FxHashMap};
 use mileena_search::{
     build_shard_slices, build_sketched_state, enumerate_candidates, Candidate, CandidateLimits,
-    CandidateSet, ScatterSearch, ScatterStats, SearchConfig, SearchControl, SearchEvent,
-    SearchOutcome, ShardPartition, SketchedRequest,
+    CandidateSet, ScatterSearch, ScatterStats, SearchConfig, SearchControl, SearchError,
+    SearchEvent, SearchOutcome, ShardCallFault, ShardCallInterceptor, ShardPartition,
+    SketchedRequest,
 };
 use mileena_sketch::SketchStore;
+use mileena_storage::{FaultKind, FaultSite};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -80,10 +97,153 @@ impl ScatterTotals {
     }
 }
 
+/// Consecutive failed shard calls (injected faults or gather deadline
+/// strikes) that open a shard's circuit breaker. A crash opens it
+/// immediately regardless of the count.
+const BREAKER_THRESHOLD: u64 = 3;
+
+/// One shard's breaker bookkeeping (guarded by the supervisor's per-shard
+/// mutex; snapshotted into [`ShardHealth`] for reports).
+#[derive(Debug, Default)]
+struct BreakerCore {
+    state: ShardHealthState,
+    consecutive_failures: u64,
+    breaker_opened: u64,
+    timeout_strikes: u64,
+    recoveries: u64,
+}
+
+/// The per-shard health supervisors: the breaker state machine
+/// Healthy → Suspect → Quarantined → Recovering → Healthy. Failures and
+/// timeout strikes are recorded from scatter workers (via the shard-call
+/// interceptor and gather stats); recovery transitions are driven by the
+/// coordinator on its own threads ([`ShardedPlatform::recover_shard`]).
+#[derive(Debug)]
+struct ShardSupervisors {
+    shards: Vec<Mutex<BreakerCore>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ShardSupervisors {
+    fn new(n: usize, metrics: Arc<Metrics>) -> Self {
+        ShardSupervisors {
+            shards: (0..n).map(|_| Mutex::new(BreakerCore::default())).collect(),
+            metrics,
+        }
+    }
+
+    fn state(&self, shard: usize) -> ShardHealthState {
+        self.shards[shard].lock().state
+    }
+
+    /// Snapshot every shard's breaker into the wire form for `stats()`.
+    fn health(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, core)| {
+                let b = core.lock();
+                ShardHealth {
+                    shard,
+                    state: b.state,
+                    consecutive_failures: b.consecutive_failures,
+                    breaker_opened: b.breaker_opened,
+                    timeout_strikes: b.timeout_strikes,
+                    recoveries: b.recoveries,
+                }
+            })
+            .collect()
+    }
+
+    /// A shard call completed cleanly: close the failure run. Only a
+    /// successful *recovery* closes an open breaker.
+    fn record_success(&self, shard: usize) {
+        let mut b = self.shards[shard].lock();
+        if matches!(b.state, ShardHealthState::Healthy | ShardHealthState::Suspect) {
+            b.consecutive_failures = 0;
+            b.state = ShardHealthState::Healthy;
+        }
+    }
+
+    /// A shard call failed: extend the failure run; at
+    /// [`BREAKER_THRESHOLD`] the breaker opens and the shard quarantines.
+    fn record_failure(&self, shard: usize) {
+        let mut b = self.shards[shard].lock();
+        if matches!(b.state, ShardHealthState::Quarantined | ShardHealthState::Recovering) {
+            return;
+        }
+        self.metrics.shard_call_failures.inc();
+        b.consecutive_failures += 1;
+        if b.consecutive_failures >= BREAKER_THRESHOLD {
+            self.open(&mut b);
+        } else {
+            b.state = ShardHealthState::Suspect;
+        }
+    }
+
+    /// A shard blew its per-round gather deadline: a timeout strike, which
+    /// feeds the breaker exactly like a failed call.
+    fn record_timeout(&self, shard: usize) {
+        {
+            let mut b = self.shards[shard].lock();
+            b.timeout_strikes += 1;
+        }
+        self.metrics.shard_timeout_strikes.inc();
+        self.record_failure(shard);
+    }
+
+    /// A shard crashed mid-call: straight to Quarantined, no grace.
+    fn quarantine(&self, shard: usize) {
+        let mut b = self.shards[shard].lock();
+        if !matches!(b.state, ShardHealthState::Quarantined | ShardHealthState::Recovering) {
+            b.consecutive_failures += 1;
+            self.metrics.shard_call_failures.inc();
+            self.open(&mut b);
+        }
+    }
+
+    fn open(&self, b: &mut BreakerCore) {
+        b.state = ShardHealthState::Quarantined;
+        b.breaker_opened += 1;
+        self.metrics.shard_breaker_opened.inc();
+        self.metrics.shards_quarantined.add(1);
+    }
+
+    /// Claim the recovery of a quarantined shard (half-open). Returns
+    /// false when the shard is not quarantined or another thread already
+    /// holds the recovery.
+    fn begin_recovery(&self, shard: usize) -> bool {
+        let mut b = self.shards[shard].lock();
+        if b.state == ShardHealthState::Quarantined {
+            b.state = ShardHealthState::Recovering;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Settle a claimed recovery: success closes the breaker, failure
+    /// re-quarantines for the next probe.
+    fn finish_recovery(&self, shard: usize, ok: bool) {
+        let mut b = self.shards[shard].lock();
+        if ok {
+            b.state = ShardHealthState::Healthy;
+            b.consecutive_failures = 0;
+            b.recoveries += 1;
+            self.metrics.shard_recoveries.inc();
+            self.metrics.shards_quarantined.add(-1);
+        } else {
+            b.state = ShardHealthState::Quarantined;
+        }
+    }
+}
+
 /// The sharded platform: S shard workers behind one coordinator.
 #[derive(Debug)]
 pub struct ShardedPlatform {
-    shards: Vec<Arc<CentralPlatform>>,
+    /// Shard workers behind per-slot locks: supervised recovery swaps a
+    /// rebuilt worker in while the coordinator keeps serving.
+    shards: Vec<Mutex<Arc<CentralPlatform>>>,
     available: Vec<AtomicBool>,
     /// Dataset name → owning shard. Grows on first placement, survives
     /// removal (the shard's ledger may still hold the spend), rebuilt from
@@ -99,6 +259,13 @@ pub struct ShardedPlatform {
     /// own registries (WAL/snapshot I/O); [`ShardedPlatform::metrics`]
     /// merges everything into one report.
     metrics: Arc<Metrics>,
+    /// Per-shard circuit breakers (shared with scatter workers, which
+    /// record call failures through the shard-call interceptor).
+    supervisors: Arc<ShardSupervisors>,
+    /// The corpus-global TF-IDF term space every shard index shares —
+    /// kept on the coordinator so a recovered shard's rebuilt index joins
+    /// the same space (the parity guarantee for recovery).
+    terms: TermSpace,
 }
 
 /// The per-shard worker configuration: shard workers never run sessions
@@ -141,7 +308,7 @@ impl ShardedPlatform {
                 ))
             })
             .collect();
-        Self::assemble(shards, config)
+        Self::assemble(shards, config, terms)
     }
 
     /// Open a durable sharded platform: shard `i` journals and snapshots
@@ -180,20 +347,26 @@ impl ShardedPlatform {
             )?;
             shards.push(Arc::new(worker));
         }
-        let platform = Self::assemble(shards, config);
+        let platform = Self::assemble(shards, config, terms);
         platform.rebuild_membership();
         Ok(platform)
     }
 
-    fn assemble(shards: Vec<Arc<CentralPlatform>>, config: PlatformConfig) -> Self {
+    fn assemble(
+        shards: Vec<Arc<CentralPlatform>>,
+        config: PlatformConfig,
+        terms: TermSpace,
+    ) -> Self {
         let available = shards.iter().map(|_| AtomicBool::new(true)).collect();
         let sched = SessionScheduler::new(
             config.scheduler.effective_workers(config.max_concurrent_sessions),
             config.scheduler.queue_depth,
             config.scheduler.faults.clone(),
         );
+        let metrics = Arc::new(Metrics::new());
+        let supervisors = Arc::new(ShardSupervisors::new(shards.len(), Arc::clone(&metrics)));
         ShardedPlatform {
-            shards,
+            shards: shards.into_iter().map(Mutex::new).collect(),
             available,
             membership: Mutex::new(FxHashMap::default()),
             config,
@@ -201,8 +374,15 @@ impl ShardedPlatform {
             session_counter: AtomicU64::new(0),
             totals: Arc::new(ScatterTotals::default()),
             sched,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
+            supervisors,
+            terms,
         }
+    }
+
+    /// The current worker behind shard slot `i` (recovery may swap it).
+    fn shard(&self, i: usize) -> Arc<CentralPlatform> {
+        Arc::clone(&self.shards[i].lock())
     }
 
     /// The coordinator's live telemetry registry (counters record here).
@@ -219,8 +399,8 @@ impl ShardedPlatform {
         let (queue_wait, run_time) = self.sched.histograms();
         report.push_histogram("search_queue_wait_ns", queue_wait.report());
         report.push_histogram("scheduler_run_ns", run_time.report());
-        for shard in &self.shards {
-            report.merge(&shard.metrics());
+        for i in 0..self.shards.len() {
+            report.merge(&self.shard(i).metrics());
         }
         report
     }
@@ -231,7 +411,8 @@ impl ShardedPlatform {
     /// anti-laundering rejection comes from the shard holding the spend.
     fn rebuild_membership(&self) {
         let mut membership = self.membership.lock();
-        for (i, shard) in self.shards.iter().enumerate() {
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
             for sketch in shard.store().all() {
                 membership.insert(sketch.name.clone(), i);
             }
@@ -248,24 +429,89 @@ impl ShardedPlatform {
         if let Some(&shard) = self.membership.lock().get(name) {
             return shard;
         }
-        let id = self.shards[0].store().dataset_interner().intern(name);
+        let id = self.shard(0).store().dataset_interner().intern(name);
         let mixed = (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((mixed >> 32) as usize) % self.shards.len()
     }
 
+    /// Operator-down shards fail outright; breaker-quarantined shards get
+    /// one supervised recovery attempt before the typed rejection.
     fn ensure_available(&self, shard: usize) -> Result<()> {
-        if self.available[shard].load(Ordering::SeqCst) {
-            Ok(())
-        } else {
-            Err(CoreError::ShardUnavailable { shard })
+        if !self.available[shard].load(Ordering::SeqCst) {
+            return Err(CoreError::ShardUnavailable { shard });
+        }
+        if self.supervisors.state(shard) == ShardHealthState::Quarantined {
+            self.recover_shard(shard).map_err(|_| CoreError::ShardUnavailable { shard })?;
+        }
+        match self.supervisors.state(shard) {
+            ShardHealthState::Quarantined | ShardHealthState::Recovering => {
+                Err(CoreError::ShardUnavailable { shard })
+            }
+            _ => Ok(()),
         }
     }
 
     /// Mark a shard worker available/unavailable (operator control; the
     /// chaos and failure tests drive it). Mutations owned by an unavailable
     /// shard and all searches fail with [`CoreError::ShardUnavailable`].
+    /// Unlike a breaker quarantine, an operator down is never auto-recovered.
     pub fn set_shard_available(&self, shard: usize, up: bool) {
         self.available[shard].store(up, Ordering::SeqCst);
+    }
+
+    /// Per-shard breaker health (state, failure runs, strike and recovery
+    /// counters) — the same snapshot `stats()` ships in [`ShardReport`].
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.supervisors.health()
+    }
+
+    /// Attempt supervised recovery of a breaker-quarantined shard; no-op
+    /// when the shard is healthy or another thread holds the recovery.
+    ///
+    /// Durable deployments rebuild the worker from its own WAL directory
+    /// (`dir/shard-i`) through the standard `CentralPlatform` recovery
+    /// path — snapshot hydrate, journal replay, index rebuild — and swap
+    /// it into the slot, so the recovered shard is bit-identical to the
+    /// one that crashed. Volatile deployments half-open the breaker with a
+    /// cheap probe of the still-resident worker (the breaker opened on
+    /// call faults; the in-memory state never went away).
+    pub fn recover_shard(&self, shard: usize) -> Result<()> {
+        if !self.supervisors.begin_recovery(shard) {
+            return Ok(());
+        }
+        let result = self.reopen_shard(shard);
+        self.supervisors.finish_recovery(shard, result.is_ok());
+        result
+    }
+
+    fn reopen_shard(&self, shard: usize) -> Result<()> {
+        let Some(policy) = self.config.storage.clone() else {
+            return self.shard(shard).stats().map(|_| ());
+        };
+        let store = SketchStore::new();
+        let index = DiscoveryIndex::with_term_space(
+            self.config.discovery.clone(),
+            Arc::clone(store.dataset_interner()),
+            self.terms.clone(),
+        );
+        let mut shard_policy = policy.clone();
+        shard_policy.dir = policy.dir.join(format!("shard-{shard}"));
+        let worker = Arc::new(CentralPlatform::open_with_parts(
+            shard_worker_config(&self.config, Some(shard_policy)),
+            store,
+            index,
+        )?);
+        *self.shards[shard].lock() = Arc::clone(&worker);
+        // Re-merge the recovered shard's membership: its store and ledger
+        // say what it owns, same as the open-time rebuild.
+        let mut membership = self.membership.lock();
+        for sketch in worker.store().all() {
+            membership.insert(sketch.name.clone(), shard);
+        }
+        for name in worker.ledger_datasets() {
+            membership.insert(name, shard);
+        }
+        Ok(())
     }
 
     /// Register a provider upload on the owning shard (the shard's own
@@ -274,7 +520,7 @@ impl ShardedPlatform {
         let name = upload.sketch.name.clone();
         let shard = self.place(&name);
         self.ensure_available(shard)?;
-        self.shards[shard].register(upload)?;
+        self.shard(shard).register(upload)?;
         self.membership.lock().insert(name, shard);
         Ok(())
     }
@@ -284,7 +530,7 @@ impl ShardedPlatform {
         let name = upload.sketch.name.clone();
         let shard = self.place(&name);
         self.ensure_available(shard)?;
-        self.shards[shard].replace(upload)?;
+        self.shard(shard).replace(upload)?;
         self.membership.lock().insert(name, shard);
         Ok(())
     }
@@ -295,14 +541,14 @@ impl ShardedPlatform {
     pub fn remove(&self, name: &str) -> Result<()> {
         let shard = self.place(name);
         self.ensure_available(shard)?;
-        self.shards[shard].remove(name)
+        self.shard(shard).remove(name)
     }
 
     /// Grant budget headroom on the owning shard's ledger.
     pub fn grant_budget(&self, dataset: &str, budget: PrivacyBudget) -> Result<()> {
         let shard = self.place(dataset);
         self.ensure_available(shard)?;
-        self.shards[shard].grant_budget(dataset, budget)?;
+        self.shard(shard).grant_budget(dataset, budget)?;
         self.membership.lock().insert(dataset.to_string(), shard);
         Ok(())
     }
@@ -311,22 +557,22 @@ impl ShardedPlatform {
     pub fn charge_budget(&self, dataset: &str, cost: PrivacyBudget) -> Result<()> {
         let shard = self.place(dataset);
         self.ensure_available(shard)?;
-        self.shards[shard].charge_budget(dataset, cost)
+        self.shard(shard).charge_budget(dataset, cost)
     }
 
     /// Budget spent by a dataset, answered by its owning shard.
     pub fn budget_spent(&self, dataset: &str) -> Option<PrivacyBudget> {
-        self.shards[self.place(dataset)].budget_spent(dataset)
+        self.shard(self.place(dataset)).budget_spent(dataset)
     }
 
     /// Budget remaining for a dataset, answered by its owning shard.
     pub fn budget_remaining(&self, dataset: &str) -> Result<PrivacyBudget> {
-        self.shards[self.place(dataset)].budget_remaining(dataset)
+        self.shard(self.place(dataset)).budget_remaining(dataset)
     }
 
     /// Total registered datasets across all shards.
     pub fn num_datasets(&self) -> usize {
-        self.shards.iter().map(|s| s.num_datasets()).sum()
+        (0..self.shards.len()).map(|i| self.shard(i).num_datasets()).sum()
     }
 
     /// Number of shard workers.
@@ -340,8 +586,8 @@ impl ShardedPlatform {
     }
 
     /// The shard workers (read access for tests/inspection).
-    pub fn shard_platforms(&self) -> &[Arc<CentralPlatform>] {
-        &self.shards
+    pub fn shard_platforms(&self) -> Vec<Arc<CentralPlatform>> {
+        (0..self.shards.len()).map(|i| self.shard(i)).collect()
     }
 
     /// The platform configuration.
@@ -364,8 +610,8 @@ impl ShardedPlatform {
     /// platforms, like the single-shard checkpoint.
     pub fn checkpoint(&self) -> Result<CheckpointReceipt> {
         let mut receipt = CheckpointReceipt { seq: 0, datasets: 0, snapshot_bytes: 0 };
-        for shard in &self.shards {
-            let r = shard.checkpoint()?;
+        for i in 0..self.shards.len() {
+            let r = self.shard(i).checkpoint()?;
             receipt.seq = receipt.seq.max(r.seq);
             receipt.datasets += r.datasets;
             receipt.snapshot_bytes += r.snapshot_bytes;
@@ -384,8 +630,8 @@ impl ShardedPlatform {
             posting_terms: 0,
         };
         let mut datasets_per_shard = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            let s = shard.stats()?;
+        for i in 0..self.shards.len() {
+            let s = self.shard(i).stats()?;
             discovery.datasets += s.discovery.datasets;
             discovery.key_columns += s.discovery.key_columns;
             discovery.lsh_buckets += s.discovery.lsh_buckets;
@@ -419,8 +665,34 @@ impl ShardedPlatform {
                 cross_shard_bound_skips: self.totals.cross_shard_skips.load(Ordering::Relaxed),
                 gather: self.metrics.shard_gather.summary(),
                 unavailable,
+                health: self.supervisors.health(),
             }),
         })
+    }
+
+    /// The scatter shard-call interceptor: rolls the chaos plan's
+    /// [`FaultSite::ShardCall`] site once per shard call and records the
+    /// outcome against the shard's breaker — an `Error` is a failed call,
+    /// a `Panic` is a crash (straight to quarantine), a clean roll closes
+    /// the shard's failure run. `None` when no fault plan is armed.
+    fn shard_call_interceptor(&self) -> Option<ShardCallInterceptor> {
+        let plan = self.config.scheduler.faults.clone()?;
+        let supervisors = Arc::clone(&self.supervisors);
+        Some(Arc::new(move |shard: usize| match plan.decide(FaultSite::ShardCall) {
+            None => {
+                supervisors.record_success(shard);
+                None
+            }
+            Some(FaultKind::Latency(d)) => Some(ShardCallFault::Latency(d)),
+            Some(FaultKind::Error) => {
+                supervisors.record_failure(shard);
+                Some(ShardCallFault::Fail)
+            }
+            Some(FaultKind::Panic) => {
+                supervisors.quarantine(shard);
+                Some(ShardCallFault::Fail)
+            }
+        }))
     }
 
     /// Submit a sketched search: scatter-gather rounds across the shards,
@@ -444,12 +716,34 @@ impl ShardedPlatform {
         config: Option<SearchConfig>,
         mut control: SearchControl,
     ) -> Result<SearchSession> {
-        // A search needs every shard: a partial scatter would silently
-        // change selections, so any down shard fails the submit outright.
-        for (i, up) in self.available.iter().enumerate() {
-            if !up.load(Ordering::SeqCst) {
-                return Err(CoreError::ShardUnavailable { shard: i });
+        let cfg = config.unwrap_or_else(|| self.config.default_search.clone());
+        // A search wants every shard: a partial scatter silently changes
+        // selections, so by default any down shard fails the submit
+        // outright (after one supervised recovery attempt for
+        // breaker-quarantined shards). With `degraded_ok` the search
+        // instead proceeds over the live subset and the reply is labeled.
+        let mut missing: Vec<u32> = Vec::new();
+        for i in 0..self.shards.len() {
+            let live = self.available[i].load(Ordering::SeqCst) && {
+                if self.supervisors.state(i) == ShardHealthState::Quarantined {
+                    let _ = self.recover_shard(i);
+                }
+                !matches!(
+                    self.supervisors.state(i),
+                    ShardHealthState::Quarantined | ShardHealthState::Recovering
+                )
+            };
+            if !live {
+                if cfg.degraded_ok {
+                    missing.push(i as u32);
+                } else {
+                    return Err(CoreError::ShardUnavailable { shard: i });
+                }
             }
+        }
+        if missing.len() == self.shards.len() {
+            // Nothing left to search over; degraded cannot mean "empty".
+            return Err(CoreError::ShardUnavailable { shard: missing[0] as usize });
         }
         if self.config.max_concurrent_sessions == 0 {
             return Err(CoreError::Capacity(0));
@@ -459,7 +753,6 @@ impl ShardedPlatform {
         self.active_sessions.fetch_add(1, Ordering::SeqCst);
         let guard = SessionGuard(Arc::clone(&self.active_sessions));
 
-        let cfg = config.unwrap_or_else(|| self.config.default_search.clone());
         if let Some(wall) = self.config.max_session_wall {
             control.set_deadline(Instant::now() + wall);
         }
@@ -472,16 +765,21 @@ impl ShardedPlatform {
         let enumerate_start = Instant::now();
         let mut stores = Vec::with_capacity(self.shards.len());
         let mut sets = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
             let corpus = shard.store().frozen();
-            let set = {
+            // A missing shard contributes no candidates but keeps its slot
+            // (slice alignment): its empty slice is simply never visited.
+            let set = if missing.contains(&(i as u32)) {
+                CandidateSet::default()
+            } else {
                 let index = shard.index().read();
                 enumerate_candidates(&index, &corpus, &request.profile, &cfg.limits)
             };
             stores.push(corpus);
             sets.push(set);
         }
-        let names = Arc::clone(self.shards[0].store().dataset_interner());
+        let names = Arc::clone(self.shard(0).store().dataset_interner());
         let (assignments, truncated) = merge_shard_candidates(sets, &cfg.limits, &names);
         let enumerate = enumerate_start.elapsed();
         self.metrics.search_enumerate.record_duration(enumerate);
@@ -495,6 +793,9 @@ impl ShardedPlatform {
         let worker_control = control.clone();
         let totals = Arc::clone(&self.totals);
         let metrics = Arc::clone(&self.metrics);
+        let supervisors = Arc::clone(&self.supervisors);
+        let shard_count = self.shards.len();
+        let interceptor = self.shard_call_interceptor();
         let spans_base = SpanBreakdown {
             prepare_ns: duration_ns(prepare),
             enumerate_ns: duration_ns(enumerate),
@@ -518,7 +819,11 @@ impl ShardedPlatform {
                         })
                         .collect();
                     let (slices, _) = build_shard_slices(&state, parts, cfg.pruning);
-                    ScatterSearch::new(cfg.clone())
+                    let mut search = ScatterSearch::new(cfg.clone());
+                    if let Some(hook) = interceptor {
+                        search = search.with_interceptor(hook);
+                    }
+                    search
                         .run_observed(
                             state,
                             slices,
@@ -527,16 +832,51 @@ impl ShardedPlatform {
                             &worker_control,
                             &mut observer,
                         )
-                        .map_err(CoreError::from)
+                        .map_err(|e| match e {
+                            // A shard failure without degraded_ok is the
+                            // same typed rejection a down shard gets at
+                            // submit time.
+                            SearchError::ShardFailed { shard } => {
+                                CoreError::ShardUnavailable { shard }
+                            }
+                            other => CoreError::from(other),
+                        })
                         .and_then(|(outcome, stats)| {
                             for &ns in &stats.gather_ns {
                                 metrics.shard_gather.record(ns);
                             }
+                            // Feed the breakers: deadline strikes count
+                            // against a shard, clean participation closes
+                            // its failure run.
+                            for &s in &stats.timeouts {
+                                supervisors.record_timeout(s);
+                            }
+                            for i in 0..shard_count {
+                                if missing.contains(&(i as u32))
+                                    || stats.dead_shards.contains(&i)
+                                    || stats.timeouts.contains(&i)
+                                {
+                                    continue;
+                                }
+                                supervisors.record_success(i);
+                            }
+                            let mut shards_missing = missing.clone();
+                            for &s in &stats.dead_shards {
+                                if !shards_missing.contains(&(s as u32)) {
+                                    shards_missing.push(s as u32);
+                                }
+                            }
+                            shards_missing.sort_unstable();
                             totals.record(&outcome, stats);
                             let fit_start = Instant::now();
                             let model = fit_final_model(&outcome, &target, cfg.lambda)?;
                             let fit = fit_start.elapsed();
                             let mut reply = SearchReply::from_outcome(&outcome, &model);
+                            reply.degraded = !shards_missing.is_empty();
+                            reply.shards_missing = shards_missing;
+                            if reply.degraded {
+                                metrics.searches_degraded.inc();
+                            }
                             reply.spans.prepare_ns = spans_base.prepare_ns;
                             reply.spans.enumerate_ns = spans_base.enumerate_ns;
                             reply.spans.queue_wait_ns = duration_ns(queue_wait);
@@ -572,6 +912,10 @@ impl ShardedPlatform {
                     };
                     let model = fit_final_model(&outcome, &target, cfg.lambda)?;
                     let mut reply = SearchReply::from_outcome(&outcome, &model);
+                    // Even a shed/cancelled zero-round reply is honest
+                    // about the shards it never could have consulted.
+                    reply.degraded = !missing.is_empty();
+                    reply.shards_missing = missing.clone();
                     reply.spans.prepare_ns = spans_base.prepare_ns;
                     reply.spans.enumerate_ns = spans_base.enumerate_ns;
                     reply.spans.total_ns = duration_ns(submit_start.elapsed());

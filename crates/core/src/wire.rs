@@ -16,10 +16,14 @@
 //! Schema-evolution policy: both endpoints of this protocol ship from one
 //! tree, so a release may add required fields to v1 payload bodies (e.g.
 //! `SearchReply::bound_skips`) without bumping `WIRE_VERSION` — mixed-build
-//! deployments are not supported, and the in-tree serde shim has no
-//! default-on-missing mechanism to paper over them. The version field
-//! guards *protocol* breaks (envelope shape, semantics), not same-tree
-//! body growth; revisit if clients ever ship separately.
+//! deployments are not supported. Purely *additive* fields whose zero value
+//! means "the old behavior" should additionally be marked
+//! `#[serde(default)]` (the in-tree serde shim substitutes
+//! `Default::default()` when the field is absent), so a reply recorded or
+//! produced by a pre-field build still parses — `SearchReply::degraded` /
+//! `shards_missing` and `ShardReport::health` follow this rule. The version
+//! field guards *protocol* breaks (envelope shape, semantics), not
+//! same-tree body growth; revisit if clients ever ship separately.
 
 use crate::durable::RecoveryReport;
 use crate::error::{CoreError, Result};
@@ -311,6 +315,19 @@ pub struct SearchReply {
     pub request_id: Option<u64>,
     /// Per-stage wall-clock breakdown of this search.
     pub spans: SpanBreakdown,
+    /// `true` when this search ran over a partial shard set (the requester
+    /// opted in via `SearchConfig::degraded_ok` and shards were down). A
+    /// degraded reply is *complete over the shards that answered* but may
+    /// miss selections living on the shards in `shards_missing` — clients
+    /// must never mistake it for a full-corpus answer, which is why the
+    /// flag rides in the reply body rather than a transport hint.
+    /// `#[serde(default)]`: absent in pre-degraded replies, meaning `false`.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Shard indices that did not contribute to a degraded search, in
+    /// ascending order. Empty whenever `degraded` is `false`.
+    #[serde(default)]
+    pub shards_missing: Vec<u32>,
 }
 
 impl SearchReply {
@@ -344,6 +361,8 @@ impl SearchReply {
                 eval_ns: outcome.round_eval_ns.iter().copied().sum(),
                 ..SpanBreakdown::default()
             },
+            degraded: false,
+            shards_missing: Vec::new(),
         }
     }
 
@@ -543,6 +562,45 @@ pub struct SchedulerReport {
     pub run_time: HistogramSummary,
 }
 
+/// Supervision state of one shard, wire form. The state machine is
+/// Healthy → Suspect (breaker accumulating strikes) → Quarantined (breaker
+/// open, shard excluded from scatter) → Recovering (half-open probe /
+/// WAL re-open in flight) → Healthy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardHealthState {
+    /// Serving normally; breaker closed.
+    #[default]
+    Healthy,
+    /// Recent failures below the breaker threshold; still serving.
+    Suspect,
+    /// Breaker open: excluded from scatter until recovery succeeds.
+    Quarantined,
+    /// Half-open: a recovery (WAL re-open + membership re-merge) or probe
+    /// is in flight.
+    Recovering,
+}
+
+/// Per-shard supervision report: breaker state plus lifetime transition
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Current supervision state.
+    pub state: ShardHealthState,
+    /// Consecutive failures currently accumulated against the breaker
+    /// (resets to 0 on any success).
+    pub consecutive_failures: u64,
+    /// Times the breaker opened (shard entered quarantine) over the
+    /// platform's lifetime.
+    pub breaker_opened: u64,
+    /// Gather-deadline timeout strikes recorded against this shard.
+    pub timeout_strikes: u64,
+    /// Successful recoveries (quarantine → healthy) over the platform's
+    /// lifetime.
+    pub recoveries: u64,
+}
+
 /// Sharded scatter-gather state, wire form (`None` on single-shard
 /// `CentralPlatform` deployments).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -565,6 +623,10 @@ pub struct ShardReport {
     /// Per-shard gather time: one sample per shard-round actually scored
     /// (the latency distribution behind `gather_rounds`).
     pub gather: HistogramSummary,
+    /// Per-shard supervision state (one entry per shard, indexed by
+    /// `shard`). `#[serde(default)]`: absent in pre-supervision reports.
+    #[serde(default)]
+    pub health: Vec<ShardHealth>,
 }
 
 /// Platform statistics.
@@ -825,6 +887,30 @@ mod tests {
                     p99_ns: 2_000_000,
                     max_ns: 2_100_000,
                 },
+                health: vec![
+                    ShardHealth { shard: 0, ..ShardHealth::default() },
+                    ShardHealth {
+                        shard: 1,
+                        state: ShardHealthState::Suspect,
+                        consecutive_failures: 2,
+                        timeout_strikes: 1,
+                        ..ShardHealth::default()
+                    },
+                    ShardHealth {
+                        shard: 2,
+                        state: ShardHealthState::Quarantined,
+                        consecutive_failures: 3,
+                        breaker_opened: 1,
+                        timeout_strikes: 0,
+                        recoveries: 0,
+                    },
+                    ShardHealth {
+                        shard: 3,
+                        recoveries: 1,
+                        breaker_opened: 1,
+                        ..ShardHealth::default()
+                    },
+                ],
             }),
         }));
         let json = serde_json::to_string(&resp).unwrap();
@@ -840,6 +926,10 @@ mod tests {
                 assert_eq!(shards.cross_shard_bound_skips, 5);
                 assert_eq!(shards.unavailable, vec![2]);
                 assert_eq!(shards.gather.count, 31);
+                assert_eq!(shards.health.len(), 4);
+                assert_eq!(shards.health[2].state, ShardHealthState::Quarantined);
+                assert_eq!(shards.health[2].breaker_opened, 1);
+                assert_eq!(shards.health[3].recoveries, 1);
                 assert_eq!(stats.scheduler.queue_wait.p99_ns, 400_000);
             }
             other => panic!("wrong reply: {other:?}"),
@@ -907,6 +997,57 @@ mod tests {
             resp.into_result().unwrap_err(),
             CoreError::Wire { code: ErrorCode::ShardUnavailable, .. }
         ));
+    }
+
+    fn canned_reply() -> SearchReply {
+        SearchReply {
+            base_score: 0.4,
+            final_score: 0.9,
+            steps: Vec::new(),
+            evaluations: 7,
+            bound_skips: 2,
+            candidates_truncated: 0,
+            elapsed_ms: 12,
+            stop_reason: StopReason::Converged,
+            features: vec!["base_x".into()],
+            model: ModelReply { intercept: true, coefficients: vec![0.1, 0.8] },
+            request_id: Some(99),
+            spans: SpanBreakdown::default(),
+            degraded: false,
+            shards_missing: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn degraded_reply_roundtrips_labeled() {
+        let mut reply = canned_reply();
+        reply.degraded = true;
+        reply.shards_missing = vec![1, 3];
+        let resp = WireSearchResponse::ok(reply.clone());
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"degraded\":true"), "label must be explicit on the wire: {json}");
+        let back: WireSearchResponse = serde_json::from_str(&json).unwrap();
+        let got = back.into_result().unwrap();
+        assert!(got.degraded);
+        assert_eq!(got.shards_missing, vec![1, 3]);
+        assert_eq!(got, reply);
+    }
+
+    #[test]
+    fn old_style_reply_without_degraded_fields_still_parses() {
+        // A reply serialized by a pre-fault-tolerance build has neither
+        // `degraded` nor `shards_missing`. The schema-evolution policy
+        // (module docs) says additive defaulted fields must parse as their
+        // zero value — i.e. an unlabeled reply is a complete reply.
+        let json = serde_json::to_string(&WireSearchResponse::ok(canned_reply())).unwrap();
+        let stripped =
+            json.replace(",\"degraded\":false", "").replace(",\"shards_missing\":[]", "");
+        assert_ne!(json, stripped, "test must actually strip the new fields");
+        let back: WireSearchResponse = serde_json::from_str(&stripped).unwrap();
+        let got = back.into_result().unwrap();
+        assert!(!got.degraded);
+        assert!(got.shards_missing.is_empty());
+        assert_eq!(got, canned_reply());
     }
 
     #[test]

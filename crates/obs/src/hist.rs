@@ -269,11 +269,7 @@ pub struct HistogramSummary {
 impl HistogramSummary {
     /// Mean sample value (0 when empty).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_ns / self.count
-        }
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 

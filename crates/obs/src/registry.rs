@@ -108,9 +108,21 @@ pub struct Metrics {
     pub requests_cancel: Counter,
     /// Searches that crossed the slow-search threshold.
     pub slow_searches: Counter,
+    /// Failed scatter shard calls (injected faults and crashes).
+    pub shard_call_failures: Counter,
+    /// Per-shard gather deadline strikes.
+    pub shard_timeout_strikes: Counter,
+    /// Shard circuit breakers opened (shard quarantined).
+    pub shard_breaker_opened: Counter,
+    /// Quarantined shards recovered (breaker closed again).
+    pub shard_recoveries: Counter,
+    /// Searches that completed degraded (replies labeled `degraded`).
+    pub searches_degraded: Counter,
 
     /// TCP connections currently open.
     pub connections_open: Gauge,
+    /// Shards currently quarantined by their circuit breaker.
+    pub shards_quarantined: Gauge,
 
     /// Full per-search time: submit receipt → reply built.
     pub search_total: Histogram,
@@ -160,8 +172,16 @@ impl Metrics {
             ("requests_submit".to_string(), self.requests_submit.get()),
             ("requests_cancel".to_string(), self.requests_cancel.get()),
             ("slow_searches".to_string(), self.slow_searches.get()),
+            ("shard_call_failures".to_string(), self.shard_call_failures.get()),
+            ("shard_timeout_strikes".to_string(), self.shard_timeout_strikes.get()),
+            ("shard_breaker_opened".to_string(), self.shard_breaker_opened.get()),
+            ("shard_recoveries".to_string(), self.shard_recoveries.get()),
+            ("searches_degraded".to_string(), self.searches_degraded.get()),
         ];
-        let gauges = vec![("connections_open".to_string(), self.connections_open.get())];
+        let gauges = vec![
+            ("connections_open".to_string(), self.connections_open.get()),
+            ("shards_quarantined".to_string(), self.shards_quarantined.get()),
+        ];
         let histograms = vec![
             ("search_total_ns".to_string(), self.search_total.report()),
             ("search_prepare_ns".to_string(), self.search_prepare.report()),

@@ -20,6 +20,13 @@ pub enum SearchError {
     Privacy(String),
     /// A referenced dataset is missing from the store/corpus.
     DatasetNotFound(String),
+    /// A shard failed mid-scatter (injected fault or crash) and the search
+    /// was not allowed to degrade. The sharded coordinator maps this to its
+    /// typed `ShardUnavailable` error.
+    ShardFailed {
+        /// The shard that failed.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -31,6 +38,7 @@ impl fmt::Display for SearchError {
             SearchError::Relation(m) => write!(f, "relation error: {m}"),
             SearchError::Privacy(m) => write!(f, "privacy error: {m}"),
             SearchError::DatasetNotFound(m) => write!(f, "dataset not found: {m}"),
+            SearchError::ShardFailed { shard } => write!(f, "shard {shard} failed mid-scatter"),
         }
     }
 }

@@ -42,4 +42,7 @@ pub use greedy::{
 };
 pub use proxy::ProxyState;
 pub use request::{SearchConfig, SearchRequest, SketchedRequest, TaskSpec};
-pub use scatter::{build_shard_slices, ScatterSearch, ScatterStats, ShardPartition, ShardSlice};
+pub use scatter::{
+    build_shard_slices, ScatterSearch, ScatterStats, ShardCallFault, ShardCallInterceptor,
+    ShardPartition, ShardSlice,
+};

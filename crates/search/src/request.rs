@@ -221,6 +221,21 @@ pub struct SearchConfig {
     /// counted as truncated and reported through `SearchOutcome`/events).
     /// Defaults are generous; they bound degenerate corpora, not recall.
     pub limits: CandidateLimits,
+    /// Opt-in degraded search: when shards are down (or get struck out
+    /// mid-search), proceed over the live shard subset instead of failing
+    /// with `ShardUnavailable`. Off by default — a partial scatter silently
+    /// changes which augmentations win, so clients must ask for it, and
+    /// every partial reply is labeled `degraded: true` with the exact
+    /// missing-shard list. `#[serde(default)]` keeps requests from
+    /// pre-degraded clients parseable.
+    #[serde(default)]
+    pub degraded_ok: bool,
+    /// Per-shard time budget per gather round, in milliseconds (0 = no
+    /// deadline). A shard whose round scoring blows this budget is recorded
+    /// as a timeout strike — fed to the coordinator's circuit breaker — so
+    /// one slow shard degrades instead of stalling every session.
+    #[serde(default)]
+    pub shard_deadline_ms: u64,
 }
 
 impl Default for SearchConfig {
@@ -235,6 +250,8 @@ impl Default for SearchConfig {
             parallel: false,
             pruning: true,
             limits: CandidateLimits::default(),
+            degraded_ok: false,
+            shard_deadline_ms: 0,
         }
     }
 }
@@ -294,10 +311,31 @@ mod tests {
 
     #[test]
     fn config_serde_roundtrip() {
-        let cfg = SearchConfig { time_budget: Duration::from_millis(1234), ..Default::default() };
+        let cfg = SearchConfig {
+            time_budget: Duration::from_millis(1234),
+            degraded_ok: true,
+            shard_deadline_ms: 250,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SearchConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.time_budget, Duration::from_millis(1234));
         assert_eq!(back.max_augmentations, cfg.max_augmentations);
+        assert!(back.degraded_ok);
+        assert_eq!(back.shard_deadline_ms, 250);
+    }
+
+    #[test]
+    fn config_from_pre_degraded_client_still_parses() {
+        // A config serialized before the fault-tolerance fields existed:
+        // `degraded_ok` / `shard_deadline_ms` absent. `#[serde(default)]`
+        // must fall back to the fail-fast defaults rather than erroring.
+        let json = serde_json::to_string(&SearchConfig::default()).unwrap();
+        let stripped =
+            json.replace(",\"degraded_ok\":false", "").replace(",\"shard_deadline_ms\":0", "");
+        assert_ne!(json, stripped, "test must actually strip the new fields");
+        let back: SearchConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(!back.degraded_ok);
+        assert_eq!(back.shard_deadline_ms, 0);
     }
 }

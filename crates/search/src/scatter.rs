@@ -27,7 +27,7 @@
 
 use crate::cache::{CachedCandidate, CandidateCache};
 use crate::candidates::Candidate;
-use crate::error::Result;
+use crate::error::{Result, SearchError};
 use crate::greedy::{
     GreedySearch, SearchControl, SearchEvent, SearchOutcome, SelectionStep, StopReason,
 };
@@ -35,7 +35,8 @@ use crate::proxy::ProxyState;
 use crate::request::SearchConfig;
 use mileena_relation::DatasetInterner;
 use mileena_sketch::SketchStore;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One shard's share of a search's candidates, pre-projection.
 pub struct ShardPartition<'a> {
@@ -72,6 +73,28 @@ impl ShardSlice {
     }
 }
 
+/// What an injected per-shard call fault does (the scatter-level shape of
+/// the platform's `FaultSite::ShardCall` rules; the coordinator's
+/// interceptor closure does the breaker/availability bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCallFault {
+    /// The shard call fails outright: a fail-fast search errors with
+    /// [`SearchError::ShardFailed`]; a `degraded_ok` search drops the
+    /// shard for the rest of the session.
+    Fail,
+    /// The shard call stalls for this long before serving (lets per-shard
+    /// gather deadlines trip).
+    Latency(Duration),
+}
+
+/// Interceptor invoked before every per-shard scatter call, keyed by shard
+/// index. `None` = serve normally.
+pub type ShardCallInterceptor = Arc<dyn Fn(usize) -> Option<ShardCallFault> + Send + Sync>;
+
+/// Timeout strikes within one search before a `degraded_ok` session stops
+/// hedging on a slow shard and drops it for the remaining rounds.
+const HEDGE_STRIKES: u32 = 2;
+
 /// Scatter-gather execution counters (surfaced through platform stats).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScatterStats {
@@ -86,6 +109,14 @@ pub struct ScatterStats {
     /// per `shard_rounds` increment, in scatter order): the per-shard
     /// gather time the platform feeds into its `shard_gather` histogram.
     pub gather_ns: Vec<u64>,
+    /// One entry (the shard index) per gather-deadline timeout strike:
+    /// that shard's round scoring blew `SearchConfig::shard_deadline_ms`.
+    /// The coordinator feeds these to its circuit breaker.
+    pub timeouts: Vec<usize>,
+    /// Shards dropped mid-search (injected failure, or struck out after
+    /// repeated deadline blows under `degraded_ok`), ascending. The
+    /// coordinator merges these into the reply's `shards_missing`.
+    pub dead_shards: Vec<usize>,
 }
 
 impl ScatterStats {
@@ -141,15 +172,32 @@ pub fn build_shard_slices(
 /// The scatter-gather searcher: drives the same greedy loop as
 /// [`GreedySearch::run_observed`], with each round's candidate evaluation
 /// scattered across shard slices.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ScatterSearch {
     config: SearchConfig,
+    interceptor: Option<ShardCallInterceptor>,
+}
+
+impl std::fmt::Debug for ScatterSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterSearch")
+            .field("config", &self.config)
+            .field("interceptor", &self.interceptor.is_some())
+            .finish()
+    }
 }
 
 impl ScatterSearch {
     /// New searcher.
     pub fn new(config: SearchConfig) -> Self {
-        ScatterSearch { config }
+        ScatterSearch { config, interceptor: None }
+    }
+
+    /// Install a per-shard call interceptor (fault injection hook; see
+    /// [`ShardCallInterceptor`]).
+    pub fn with_interceptor(mut self, interceptor: ShardCallInterceptor) -> Self {
+        self.interceptor = Some(interceptor);
+        self
     }
 
     /// Run the loop over shard slices. `candidates_truncated` is the
@@ -182,6 +230,10 @@ impl ScatterSearch {
         });
 
         let mut stop_reason = StopReason::MaxAugmentations;
+        let deadline = Duration::from_millis(self.config.shard_deadline_ms);
+        // Per-slice gather-deadline strikes within this search (hedging
+        // state: a repeatedly slow shard gets dropped under `degraded_ok`).
+        let mut strikes: Vec<u32> = vec![0; slices.len()];
         for round in 0..self.config.max_augmentations {
             if control.is_cancelled() {
                 stop_reason = StopReason::Cancelled;
@@ -212,6 +264,9 @@ impl ScatterSearch {
             let mut winner: Option<(f64, usize, usize, usize)> = None;
             let mut round_evaluated = 0usize;
             let mut round_skipped = 0usize;
+            // Slice indices to drop after this round's commit (injected
+            // failure, or struck out by repeated deadline blows).
+            let mut struck_out: Vec<usize> = Vec::new();
             for si in order {
                 let slice = &slices[si];
                 if slice.entries.is_empty() {
@@ -228,11 +283,36 @@ impl ScatterSearch {
                 }
                 stats.shard_rounds += 1;
                 let shard_start = Instant::now();
+                if let Some(fault) = self.interceptor.as_ref().and_then(|hook| hook(slice.shard)) {
+                    match fault {
+                        ShardCallFault::Latency(d) => std::thread::sleep(d),
+                        ShardCallFault::Fail => {
+                            stats.gather_ns.push(
+                                u64::try_from(shard_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                            if !self.config.degraded_ok {
+                                return Err(SearchError::ShardFailed { shard: slice.shard });
+                            }
+                            struck_out.push(si);
+                            continue;
+                        }
+                    }
+                }
                 let (best, evaluated, skipped) =
                     round_plan.score_round(&state, &slice.entries, current);
                 stats
                     .gather_ns
                     .push(u64::try_from(shard_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if !deadline.is_zero() && shard_start.elapsed() >= deadline {
+                    stats.timeouts.push(slice.shard);
+                    strikes[si] += 1;
+                    // Hedge: the slow shard's answer this round still
+                    // counts (it did respond), but after HEDGE_STRIKES a
+                    // degraded-tolerant session stops waiting on it.
+                    if self.config.degraded_ok && strikes[si] >= HEDGE_STRIKES {
+                        struck_out.push(si);
+                    }
+                }
                 round_evaluated += evaluated;
                 round_skipped += skipped;
                 if let Some((local_idx, score)) = best {
@@ -251,6 +331,11 @@ impl ScatterSearch {
             round_eval_ns.push(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             evaluations += round_evaluated;
             bound_skips += round_skipped;
+            for &si in &struck_out {
+                if !stats.dead_shards.contains(&slices[si].shard) {
+                    stats.dead_shards.push(slices[si].shard);
+                }
+            }
 
             let Some((best_score, best_rank, si, local_idx)) = winner else {
                 stop_reason = StopReason::Converged;
@@ -307,6 +392,13 @@ impl ScatterSearch {
                     }
                 }
             }
+            // Drop struck-out shards' remaining candidates: the rest of
+            // this session runs over the live subset only (the platform
+            // labels the reply `degraded` with these shards missing).
+            for &si in &struck_out {
+                slices[si].entries.clear();
+                slices[si].ranks.clear();
+            }
             current = best_score;
             observer(SearchEvent::RoundCommitted {
                 round,
@@ -324,6 +416,7 @@ impl ScatterSearch {
             });
         }
 
+        stats.dead_shards.sort_unstable();
         observer(SearchEvent::Finished {
             stop_reason,
             final_score: current,
@@ -447,6 +540,160 @@ mod tests {
                 scatter_matches_reference(s, seed);
             }
         }
+    }
+
+    /// Build a 3-shard slice set over a small corpus, for the fault tests.
+    fn fault_harness(
+        search_cfg: &SearchConfig,
+    ) -> (SketchStore, ProxyState, crate::candidates::CandidateSet) {
+        let cfg = CorpusConfig {
+            num_datasets: 30,
+            num_signal: 3,
+            num_union: 2,
+            num_novelty_traps: 3,
+            train_rows: 300,
+            test_rows: 300,
+            provider_rows: 200,
+            key_domain: 80,
+            signal_rows_per_key: 1,
+            noise: 0.08,
+            nonlinear_strength: 0.0,
+            seed: 13,
+        };
+        let corpus = generate_corpus(&cfg);
+        let store = SketchStore::new();
+        let mut index = DiscoveryIndex::new(DiscoveryConfig::default());
+        for p in &corpus.providers {
+            store.register(build_sketch(p, &SketchConfig::default()).unwrap()).unwrap();
+            index.register(DatasetProfile::of(p, 128));
+        }
+        let request = SearchRequest {
+            train: corpus.train.clone(),
+            test: corpus.test.clone(),
+            task: TaskSpec::new("y", &["base_x"]),
+            budget: None,
+            key_columns: None,
+        };
+        let (state, profile) = build_requester_state(&request, search_cfg).unwrap();
+        let set = enumerate_candidates(&index, &store, &profile, &CandidateLimits::default());
+        (store, state, set)
+    }
+
+    fn slices_of(
+        state: &ProxyState,
+        set: &crate::candidates::CandidateSet,
+        store: &SketchStore,
+        pruning: bool,
+    ) -> Vec<ShardSlice> {
+        let mut parts: Vec<ShardPartition<'_>> = (0..3)
+            .map(|shard| ShardPartition {
+                shard,
+                candidates: Vec::new(),
+                positions: Vec::new(),
+                store,
+            })
+            .collect();
+        for (pos, cand) in set.candidates.iter().enumerate() {
+            let shard = cand.dataset().index() % 3;
+            parts[shard].candidates.push(cand.clone());
+            parts[shard].positions.push(pos);
+        }
+        build_shard_slices(state, parts, pruning).0
+    }
+
+    #[test]
+    fn injected_shard_failure_fails_fast_by_default() {
+        let search_cfg = SearchConfig::default();
+        let (store, state, set) = fault_harness(&search_cfg);
+        let slices = slices_of(&state, &set, &store, search_cfg.pruning);
+        let interceptor: ShardCallInterceptor =
+            Arc::new(|shard| (shard == 1).then_some(ShardCallFault::Fail));
+        let err = ScatterSearch::new(search_cfg)
+            .with_interceptor(interceptor)
+            .run_observed(
+                state,
+                slices,
+                0,
+                store.dataset_interner(),
+                &SearchControl::new(),
+                &mut |_| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, SearchError::ShardFailed { shard: 1 });
+    }
+
+    #[test]
+    fn degraded_search_drops_failed_shard_and_terminates() {
+        let search_cfg = SearchConfig { degraded_ok: true, ..Default::default() };
+        let (store, state, set) = fault_harness(&search_cfg);
+        let slices = slices_of(&state, &set, &store, search_cfg.pruning);
+        let interceptor: ShardCallInterceptor =
+            Arc::new(|shard| (shard == 1).then_some(ShardCallFault::Fail));
+        let state2 = state.clone();
+        let (outcome, stats) = ScatterSearch::new(search_cfg.clone())
+            .with_interceptor(interceptor)
+            .run_observed(
+                state,
+                slices,
+                0,
+                store.dataset_interner(),
+                &SearchControl::new(),
+                &mut |_| {},
+            )
+            .unwrap();
+        assert_eq!(stats.dead_shards, vec![1], "the failed shard is reported dead");
+        assert!(outcome.final_score.is_finite());
+        // The degraded run equals the reference over the live subset: a
+        // search whose slices never contained shard 1's candidates.
+        let mut live = slices_of(&state2, &set, &store, search_cfg.pruning);
+        live[1].entries.clear();
+        live[1].ranks.clear();
+        let (subset, _) = ScatterSearch::new(search_cfg)
+            .run_observed(
+                state2,
+                live,
+                0,
+                store.dataset_interner(),
+                &SearchControl::new(),
+                &mut |_| {},
+            )
+            .unwrap();
+        assert_eq!(outcome.final_score, subset.final_score);
+        assert_eq!(
+            outcome.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+            subset.steps.iter().map(|s| s.augmentation.describe()).collect::<Vec<_>>(),
+            "degraded selections equal the live-subset reference"
+        );
+    }
+
+    #[test]
+    fn deadline_blow_records_timeout_strikes() {
+        let search_cfg = SearchConfig { shard_deadline_ms: 1, ..Default::default() };
+        let (store, state, set) = fault_harness(&search_cfg);
+        let slices = slices_of(&state, &set, &store, search_cfg.pruning);
+        let interceptor: ShardCallInterceptor = Arc::new(|shard| {
+            (shard == 2).then_some(ShardCallFault::Latency(Duration::from_millis(5)))
+        });
+        let (outcome, stats) = ScatterSearch::new(search_cfg)
+            .with_interceptor(interceptor)
+            .run_observed(
+                state,
+                slices,
+                0,
+                store.dataset_interner(),
+                &SearchControl::new(),
+                &mut |_| {},
+            )
+            .unwrap();
+        assert!(outcome.final_score.is_finite());
+        assert!(
+            stats.timeouts.iter().all(|&s| s == 2) && !stats.timeouts.is_empty(),
+            "only the latency-bombed shard strikes: {:?}",
+            stats.timeouts
+        );
+        // Without degraded_ok the slow shard is never dropped: parity wins
+        // over hedging by default.
+        assert!(stats.dead_shards.is_empty());
     }
 
     #[test]

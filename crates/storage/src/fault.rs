@@ -9,8 +9,11 @@
 //! The plan is shared (`Arc<FaultPlan>`) across whatever layers it
 //! instruments — the storage engine rolls [`FaultSite::WalAppend`] /
 //! [`FaultSite::WalFsync`] / [`FaultSite::SnapshotWrite`] before touching
-//! disk, and the core session scheduler rolls [`FaultSite::Worker`] before
-//! dispatching a search. Arm/disarm is dynamic: a disarmed plan still
+//! disk, the core session scheduler rolls [`FaultSite::Worker`] before
+//! dispatching a search, and the sharded coordinator rolls
+//! [`FaultSite::ShardCall`] before each per-shard scatter call (its
+//! `Error`/`Panic` kinds model a crashed shard, `Latency` a slow one).
+//! Arm/disarm is dynamic: a disarmed plan still
 //! advances its call counters (so the schedule stays a pure function of the
 //! call sequence) but never injects, which lets a test fault a write phase
 //! and then recover with the same plan disarmed.
@@ -33,10 +36,15 @@ pub enum FaultSite {
     SnapshotWrite,
     /// A session-scheduler worker, before it runs a dequeued search.
     Worker,
+    /// A per-shard call in the sharded coordinator's scatter path:
+    /// `Error` fails the call (a strike against that shard), `Panic`
+    /// models a shard crash (the shard is marked down), `Latency` stalls
+    /// the call so per-shard gather deadlines can trip.
+    ShardCall,
 }
 
 /// How many distinct [`FaultSite`]s exist (sizes the counter arrays).
-pub const FAULT_SITES: usize = 4;
+pub const FAULT_SITES: usize = 5;
 
 impl FaultSite {
     fn idx(self) -> usize {
@@ -45,6 +53,7 @@ impl FaultSite {
             FaultSite::WalFsync => 1,
             FaultSite::SnapshotWrite => 2,
             FaultSite::Worker => 3,
+            FaultSite::ShardCall => 4,
         }
     }
 }

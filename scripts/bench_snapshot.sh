@@ -98,6 +98,11 @@ awk '
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "tcp throughput:     %.1f searches/sec at %d concurrent connections\n", n * 1e9 / m, n
 }
+/"group": "traffic"/ && /"bench": "degraded_search\// {
+    n = $0; sub(/.*degraded_search\//, "", n); sub(/".*/, "", n)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    printf "degraded search:    %.1f searches/sec at %d connections with a latency-bombed shard (hedged deadlines)\n", n * 1e9 / m, n
+}
 /"group": "telemetry"/ && /"bench": "search_instrumented\// {
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m); tele_on = m
 }

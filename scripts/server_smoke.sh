@@ -17,6 +17,13 @@
 #      tagged with wire request_id 0xBEEF (48879), scrape the metrics dump
 #      for non-zero search/series counts, and assert the slow-search JSONL
 #      log correlates the same request_id.
+#   4. The shard-kill drill: boot a 3-shard durable binary with the
+#      deterministic shard-call fault plan armed (--chaos-shard-permille,
+#      seeded via MILEENA_CHAOS_SEEDS), assert a strict search fails with
+#      the typed shard error, a degraded_ok search answers labeled with
+#      its missing-shard list, and after "chaos off" the supervised
+#      recovery path reopens the quarantined shards from their WALs and a
+#      strict search serves complete, bit-identical results.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,5 +78,13 @@ cargo test --release -q --test tcp_server \
 cargo test --release -q --test telemetry \
     server_binary_serves_metrics_dump_and_slow_search_log -- --nocapture
 echo "telemetry smoke ok (request_id 48879 correlated in slow-search log)"
+
+# Shard-kill drill against the real binary: degraded search labels
+# itself under the armed fault plan, and recovery serves a complete,
+# bit-identical search once the storm passes.
+MILEENA_CHAOS_SEEDS="${MILEENA_CHAOS_SEEDS:-11}" \
+cargo test --release -q --test tcp_server \
+    server_binary_shard_kill_drill_degrades_then_recovers
+echo "shard-kill drill ok (degraded labeled, recovery bit-identical)"
 
 echo "server smoke passed"

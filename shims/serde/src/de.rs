@@ -44,6 +44,11 @@ pub trait StructAccess<'de> {
     type De: Deserializer<'de, Error = Self::Error>;
     /// Deserializer for a named field (error if absent).
     fn field_de(&mut self, name: &'static str) -> Result<Self::De, Self::Error>;
+    /// Deserializer for a named field, or `None` when the field is absent
+    /// from the input. Drives `#[serde(default)]`: the derive falls back to
+    /// `Default::default()` on `None` instead of erroring, which is how new
+    /// reply fields stay readable against old-schema peers.
+    fn field_opt_de(&mut self, name: &'static str) -> Result<Option<Self::De>, Self::Error>;
     /// Decode a named field.
     fn field<T: Deserialize<'de>>(&mut self, name: &'static str) -> Result<T, Self::Error> {
         T::deserialize(self.field_de(name)?)

@@ -2,9 +2,12 @@
 //!
 //! Supports exactly the shapes this workspace uses: non-generic named-field
 //! structs and enums whose variants are unit, one-field tuple ("newtype"),
-//! or named-field structs. One field attribute is honored:
+//! or named-field structs. Two field attributes are honored:
 //! `#[serde(with = "module")]`, delegating to `module::{serialize,
-//! deserialize}`. Anything else fails loudly at compile time.
+//! deserialize}`, and `#[serde(default)]`, which substitutes
+//! `Default::default()` when the field is absent from the input (the
+//! schema-evolution hook for additive wire fields). Anything else fails
+//! loudly at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -12,6 +15,14 @@ struct Field {
     name: String,
     ty: String,
     with: Option<String>,
+    default: bool,
+}
+
+/// Parsed `#[serde(...)]` field attributes.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
 }
 
 enum VariantKind {
@@ -93,9 +104,9 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Skip attributes, returning any `#[serde(...)]` with-path found.
-    fn skip_attrs(&mut self) -> Option<String> {
-        let mut with = None;
+    /// Skip attributes, accumulating any `#[serde(...)]` field options found.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             self.next(); // '#'
             let Some(TokenTree::Group(g)) = self.next() else {
@@ -105,12 +116,12 @@ impl Cursor {
             if let Some(TokenTree::Ident(id)) = inner.first() {
                 if id.to_string() == "serde" {
                     if let Some(TokenTree::Group(args)) = inner.get(1) {
-                        with = parse_serde_with(args.stream());
+                        parse_serde_args(args.stream(), &mut attrs);
                     }
                 }
             }
         }
-        with
+        attrs
     }
 
     /// Skip `pub`, `pub(crate)` etc.
@@ -125,18 +136,33 @@ impl Cursor {
     }
 }
 
-fn parse_serde_with(args: TokenStream) -> Option<String> {
+fn parse_serde_args(args: TokenStream, attrs: &mut FieldAttrs) {
     let toks: Vec<TokenTree> = args.into_iter().collect();
-    match (toks.first(), toks.get(1), toks.get(2)) {
-        (
-            Some(TokenTree::Ident(key)),
-            Some(TokenTree::Punct(eq)),
-            Some(TokenTree::Literal(lit)),
-        ) if key.to_string() == "with" && eq.as_char() == '=' => {
-            let s = lit.to_string();
-            Some(s.trim_matches('"').to_string())
+    let mut i = 0;
+    while i < toks.len() {
+        match (toks.get(i), toks.get(i + 1), toks.get(i + 2)) {
+            (
+                Some(TokenTree::Ident(key)),
+                Some(TokenTree::Punct(eq)),
+                Some(TokenTree::Literal(lit)),
+            ) if key.to_string() == "with" && eq.as_char() == '=' => {
+                let s = lit.to_string();
+                attrs.with = Some(s.trim_matches('"').to_string());
+                i += 3;
+            }
+            (Some(TokenTree::Ident(key)), _, _) if key.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            _ => panic!(
+                "serde_derive: only `#[serde(with = \"module\")]` and `#[serde(default)]` \
+                 are supported"
+            ),
         }
-        _ => panic!("serde_derive: only `#[serde(with = \"module\")]` is supported"),
+        // Optional comma between options.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
     }
 }
 
@@ -174,7 +200,7 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(body);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        let with = cur.skip_attrs();
+        let attrs = cur.skip_attrs();
         if cur.at_end() {
             break;
         }
@@ -208,7 +234,7 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
             }
             ty.push_str(&tok.to_string());
         }
-        fields.push(Field { name, ty, with });
+        fields.push(Field { name, ty, with: attrs.with, default: attrs.default });
     }
     fields
 }
@@ -391,13 +417,27 @@ fn gen_ser_enum(name: &str, variants: &[Variant]) -> String {
 // Codegen: Deserialize
 
 fn de_field(f: &Field) -> String {
-    match &f.with {
-        None => format!(
+    match (&f.with, f.default) {
+        (None, false) => format!(
             "{n}: ::serde::de::StructAccess::field(&mut __st, \"{n}\")?,\n",
             n = f.name,
         ),
-        Some(with) => format!(
+        (Some(with), false) => format!(
             "{n}: {with}::deserialize(::serde::de::StructAccess::field_de(&mut __st, \"{n}\")?)?,\n",
+            n = f.name,
+        ),
+        (None, true) => format!(
+            "{n}: match ::serde::de::StructAccess::field_opt_de(&mut __st, \"{n}\")? {{
+                ::std::option::Option::Some(__de) => ::serde::de::Deserialize::deserialize(__de)?,
+                ::std::option::Option::None => ::std::default::Default::default(),
+            }},\n",
+            n = f.name,
+        ),
+        (Some(with), true) => format!(
+            "{n}: match ::serde::de::StructAccess::field_opt_de(&mut __st, \"{n}\")? {{
+                ::std::option::Option::Some(__de) => {with}::deserialize(__de)?,
+                ::std::option::Option::None => ::std::default::Default::default(),
+            }},\n",
             n = f.name,
         ),
     }

@@ -174,6 +174,9 @@ impl<'de> StructAccess<'de> for StructDe<'de> {
             .map(|(_, v)| ValueDe(v))
             .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
     }
+    fn field_opt_de(&mut self, name: &'static str) -> Result<Option<ValueDe<'de>>, Error> {
+        Ok(self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| ValueDe(v)))
+    }
 }
 
 impl<'de> MapAccess<'de> for MapDe<'de> {

@@ -28,12 +28,22 @@
 //!   metrics text to stderr every SECS seconds.
 //! - The stdin line `metrics` dumps the same text to stdout on demand,
 //!   terminated by an `# EOF` line so harnesses know where it ends.
+//!
+//! **Chaos drill surface.** `--chaos-shard-permille P` arms a
+//! deterministic shard-call fault plan (crash faults at P‰ per shard
+//! call; seed from the first `MILEENA_CHAOS_SEEDS` entry, default 11) so
+//! harnesses can rehearse shard loss against the real binary. The stdin
+//! lines `chaos off` / `chaos on` disarm/re-arm the plan at runtime —
+//! each is acknowledged on stdout (`chaos off` / `chaos on`) so scripts
+//! can sequence the drill. Quarantined shards then heal through the
+//! supervised-recovery path on the next strict search.
 
 use mileena_core::{
     CentralPlatform, PlatformConfig, PlatformService, ShardedPlatform, StoragePolicy, TcpServer,
     TcpServerConfig,
 };
 use mileena_obs::{render_prometheus, SlowSearchLog};
+use mileena_storage::{FaultKind, FaultPlan, FaultSite};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +60,8 @@ struct Args {
     slow_search_ms: u64,
     /// Periodic metrics-dump interval, seconds; 0 disables the dump.
     metrics_interval: u64,
+    /// Shard-call crash-fault rate, permille; 0 disables the chaos plan.
+    chaos_shard_permille: u16,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         max_sessions: None,
         slow_search_ms: 500,
         metrics_interval: 0,
+        chaos_shard_permille: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,10 +104,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--metrics-interval: {e}"))?
             }
+            "--chaos-shard-permille" => {
+                args.chaos_shard_permille = value("--chaos-shard-permille")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-shard-permille: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: mileena-server [--addr A] [--dir P] [--shards N] \
                             [--queue-depth N] [--max-sessions N] [--slow-search-ms MS] \
-                            [--metrics-interval SECS]"
+                            [--metrics-interval SECS] [--chaos-shard-permille P]"
                     .to_string())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -103,8 +121,31 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The deterministic shard-kill plan behind `--chaos-shard-permille`:
+/// crash faults on the shard-call site, seeded from the first
+/// `MILEENA_CHAOS_SEEDS` entry (default 11). Armed at boot.
+fn chaos_plan(permille: u16) -> Option<Arc<FaultPlan>> {
+    if permille == 0 {
+        return None;
+    }
+    let seed = std::env::var("MILEENA_CHAOS_SEEDS")
+        .ok()
+        .and_then(|raw| raw.split(',').next().and_then(|s| s.trim().parse().ok()))
+        .unwrap_or(11);
+    let plan = Arc::new(FaultPlan::new(seed).with(
+        FaultSite::ShardCall,
+        FaultKind::Panic,
+        u64::from(permille),
+    ));
+    plan.arm();
+    Some(plan)
+}
+
 /// The platform, durable if `--dir` was given, sharded if `--shards` > 1.
-fn build_service(args: &Args) -> Result<Arc<dyn PlatformService + Send + Sync>, String> {
+fn build_service(
+    args: &Args,
+    plan: Option<Arc<FaultPlan>>,
+) -> Result<Arc<dyn PlatformService + Send + Sync>, String> {
     let mut config = PlatformConfig { shards: args.shards, ..Default::default() };
     if let Some(depth) = args.queue_depth {
         config.scheduler.queue_depth = depth;
@@ -115,6 +156,7 @@ fn build_service(args: &Args) -> Result<Arc<dyn PlatformService + Send + Sync>, 
     if let Some(dir) = &args.dir {
         config.storage = Some(StoragePolicy::at(dir));
     }
+    config.scheduler.faults = plan;
     if args.shards > 1 {
         let platform = if config.storage.is_some() {
             ShardedPlatform::open_with(config).map_err(|e| e.to_string())?
@@ -140,7 +182,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let service = match build_service(&args) {
+    let plan = chaos_plan(args.chaos_shard_permille);
+    let service = match build_service(&args, plan.clone()) {
         Ok(service) => service,
         Err(msg) => {
             eprintln!("mileena-server: {msg}");
@@ -200,6 +243,22 @@ fn main() -> ExitCode {
                     Err(e) => eprintln!("mileena-server: metrics: {e}"),
                 }
                 println!("# EOF");
+                let _ = std::io::stdout().flush();
+            }
+            // Chaos drill control: flip the fault plan at runtime and ack
+            // on stdout so harnesses can sequence around the change.
+            Ok(cmd) if cmd.trim() == "chaos off" => {
+                if let Some(plan) = &plan {
+                    plan.disarm();
+                }
+                println!("chaos off");
+                let _ = std::io::stdout().flush();
+            }
+            Ok(cmd) if cmd.trim() == "chaos on" => {
+                if let Some(plan) = &plan {
+                    plan.arm();
+                }
+                println!("chaos on");
                 let _ = std::io::stdout().flush();
             }
             Ok(_) => continue,

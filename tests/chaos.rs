@@ -17,12 +17,14 @@
 //!    chaos, and platforms reopened after storage faults, produce
 //!    results identical to a platform that never saw a fault.
 
+use mileena::core::wire::ShardHealthState;
 use mileena::core::{
     CentralPlatform, CoreError, InProcess, JsonWire, LocalDataStore, PlatformConfig,
-    PlatformService, SchedulerConfig, SearchReply, SearchRequestBuilder, StoragePolicy,
+    PlatformService, SchedulerConfig, SearchReply, SearchRequestBuilder, ShardedPlatform,
+    StoragePolicy,
 };
 use mileena::datagen::{generate_corpus, CorpusConfig, NycCorpus};
-use mileena::search::{SearchControl, SketchedRequest, StopReason, TaskSpec};
+use mileena::search::{SearchConfig, SearchControl, SketchedRequest, StopReason, TaskSpec};
 use mileena::storage::{FaultKind, FaultPlan, FaultSite};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -327,4 +329,180 @@ fn shutdown_under_load_answers_every_session() {
     }
     assert_eq!(replies + shutdowns, 4, "every session answered");
     assert!(shutdowns >= 3, "queued sessions must be drained with Shutdown errors");
+}
+
+#[test]
+fn shard_kill_storm_labels_degraded_and_recovers_bit_identically() {
+    let c = corpus();
+    let want = reference_reply(&c);
+    const SESSIONS: usize = 16;
+    const WATCHDOG: Duration = Duration::from_secs(30);
+
+    // Aggregated across seeds so each invariant is exercised at least once
+    // even if a particular seed happens to be gentle.
+    let mut breakers_opened_total = 0u64;
+    let mut degraded_replies_total = 0usize;
+    let mut typed_unavailable_total = 0usize;
+
+    for seed in chaos_seeds() {
+        let dir = tmp_dir("shardkill", seed);
+        // Shard-call faults only: Error counts a breaker strike, Panic
+        // quarantines the shard outright, Latency perturbs timing without
+        // changing results. Worker/storage sites stay quiet so every
+        // failure in this storm is attributable to a shard call.
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with(FaultSite::ShardCall, FaultKind::Error, 140)
+                .with(FaultSite::ShardCall, FaultKind::Panic, 80)
+                .with(FaultSite::ShardCall, FaultKind::Latency(Duration::from_millis(4)), 160),
+        );
+        let mut policy = StoragePolicy::at(&dir);
+        policy.checkpoint_every = 4;
+        let config = PlatformConfig {
+            shards: 3,
+            storage: Some(policy),
+            scheduler: SchedulerConfig {
+                workers: Some(2),
+                queue_depth: SESSIONS,
+                faults: Some(Arc::clone(&plan)),
+            },
+            ..Default::default()
+        };
+        let platform = Arc::new(ShardedPlatform::open_with(config).unwrap());
+        serve(&c, platform.as_ref());
+
+        // Pre-storm parity: with the plan disarmed the sharded platform
+        // must match the central reference bit-for-bit.
+        let clean = platform.submit(sketched(&c, "warmup"), None).unwrap().wait().unwrap();
+        assert_eq!(clean.final_score, want.final_score, "seed {seed}: pre-storm parity");
+        assert_eq!(clean.selected_joins(), want.selected_joins(), "seed {seed}");
+        assert!(!clean.degraded, "seed {seed}: clean reply must not be labeled degraded");
+
+        plan.arm();
+        let (tx, rx) = mpsc::channel();
+        let mut launched = 0usize;
+        std::thread::scope(|scope| {
+            for i in 0..SESSIONS {
+                let degraded_ok = i % 2 == 0;
+                let cfg =
+                    degraded_ok.then(|| SearchConfig { degraded_ok: true, ..Default::default() });
+                match platform.submit(sketched(&c, &format!("storm-{i}")), cfg) {
+                    Ok(session) => {
+                        launched += 1;
+                        let tx = tx.clone();
+                        scope.spawn(move || {
+                            let _ = tx.send((i, degraded_ok, session.wait()));
+                        });
+                    }
+                    // The gate may reject fail-fast submits while a shard
+                    // sits quarantined (or degraded submits if the storm
+                    // took every shard down at once) — typed, never hung.
+                    Err(CoreError::ShardUnavailable { shard }) => {
+                        assert!(shard < 3, "seed {seed}: shard id out of range");
+                        typed_unavailable_total += 1;
+                    }
+                    Err(other) => panic!("seed {seed}: submit {i} failed untyped: {other}"),
+                }
+            }
+            drop(tx);
+
+            for _ in 0..launched {
+                let (i, degraded_ok, outcome) = rx
+                    .recv_timeout(WATCHDOG)
+                    .unwrap_or_else(|_| panic!("seed {seed}: session hung past watchdog"));
+                match outcome {
+                    Ok(reply) => {
+                        if reply.degraded {
+                            degraded_replies_total += 1;
+                            assert!(
+                                degraded_ok,
+                                "seed {seed}: session {i} never opted into degraded results"
+                            );
+                            assert!(
+                                !reply.shards_missing.is_empty(),
+                                "seed {seed}: degraded reply must name its missing shards"
+                            );
+                            let mut sorted = reply.shards_missing.clone();
+                            sorted.sort_unstable();
+                            sorted.dedup();
+                            assert_eq!(
+                                sorted, reply.shards_missing,
+                                "seed {seed}: missing-shard list must be sorted and unique"
+                            );
+                            assert!(
+                                reply.shards_missing.iter().all(|&s| (s as usize) < 3),
+                                "seed {seed}: missing-shard id out of range"
+                            );
+                        } else {
+                            // An unlabeled reply promises the full corpus
+                            // was searched: it must match the reference.
+                            assert!(
+                                reply.shards_missing.is_empty(),
+                                "seed {seed}: unlabeled reply with missing shards"
+                            );
+                            if matches!(
+                                reply.stop_reason,
+                                StopReason::Converged | StopReason::MaxAugmentations
+                            ) {
+                                assert_eq!(
+                                    reply.final_score, want.final_score,
+                                    "seed {seed}: session {i} silently diverged"
+                                );
+                                assert_eq!(reply.selected_joins(), want.selected_joins());
+                            }
+                        }
+                    }
+                    // Fail-fast sessions that hit a shard fault mid-run
+                    // must surface it as the typed error, never as a
+                    // silently partial reply.
+                    Err(CoreError::ShardUnavailable { shard }) => {
+                        assert!(shard < 3, "seed {seed}: shard id out of range");
+                        assert!(
+                            !degraded_ok,
+                            "seed {seed}: degraded session {i} must absorb shard loss, not fail"
+                        );
+                        typed_unavailable_total += 1;
+                    }
+                    Err(other) => panic!("seed {seed}: session {i} failed untyped: {other}"),
+                }
+            }
+        });
+
+        assert_eq!(platform.active_sessions(), 0, "seed {seed}: leaked session slots");
+        for h in platform.shard_health() {
+            breakers_opened_total += h.breaker_opened;
+        }
+
+        // Calm seas: disarm the plan and run a strict (fail-fast) search.
+        // The submit gate auto-recovers any quarantined shard from its own
+        // WAL directory, so this must succeed and match the reference.
+        plan.disarm();
+        let healed = platform.submit(sketched(&c, "post-storm"), None).unwrap().wait().unwrap();
+        assert!(!healed.degraded, "seed {seed}: recovered platform must serve complete results");
+        assert_eq!(healed.final_score, want.final_score, "seed {seed}: recovery diverged");
+        assert_eq!(healed.selected_joins(), want.selected_joins(), "seed {seed}");
+        assert_eq!(healed.model, want.model, "seed {seed}");
+        for h in platform.shard_health() {
+            assert!(
+                !matches!(h.state, ShardHealthState::Quarantined | ShardHealthState::Recovering),
+                "seed {seed}: shard {} still down after recovery",
+                h.shard
+            );
+            if h.breaker_opened > 0 {
+                assert!(
+                    h.recoveries >= 1,
+                    "seed {seed}: shard {} opened its breaker but never recovered",
+                    h.shard
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The storm must actually exercise all three surfaces across the seed
+    // set: breakers opening, labeled degraded replies, and typed fail-fast
+    // rejections.
+    assert!(breakers_opened_total > 0, "no breaker ever opened — storm too gentle");
+    assert!(degraded_replies_total > 0, "no degraded reply observed — storm too gentle");
+    assert!(typed_unavailable_total > 0, "no typed shard rejection observed — storm too gentle");
 }

@@ -427,6 +427,7 @@ fn overload_shed_is_typed_over_the_wire_and_retry_recovers() {
         base: Duration::from_millis(20),
         cap: Duration::from_millis(200),
         seed: 11,
+        retry_shard_unavailable: false,
     };
     let reply = mileena::core::search_with_retry(&wire, &sketched(&c), None, &policy).unwrap();
     assert!(reply.final_score > reply.base_score);

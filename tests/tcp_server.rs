@@ -23,7 +23,7 @@ use mileena::core::{
     ShardedPlatform, TcpServer, TcpServerConfig, TcpWire, WIRE_VERSION,
 };
 use mileena::datagen::{generate_corpus, CorpusConfig, NycCorpus};
-use mileena::search::{SketchedRequest, TaskSpec};
+use mileena::search::{SearchConfig, SketchedRequest, TaskSpec};
 use mileena::storage::{FaultKind, FaultPlan, FaultSite};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -340,6 +340,74 @@ fn overload_shedding_round_trips_over_tcp() {
 }
 
 #[test]
+fn degraded_search_labels_survive_tcp() {
+    let c = corpus();
+    let sharded =
+        Arc::new(ShardedPlatform::new(PlatformConfig { shards: 3, ..Default::default() }));
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&sharded) as Arc<dyn PlatformService + Send + Sync>,
+        TcpServerConfig::default(),
+    )
+    .unwrap();
+    let client = TcpWire::connect(server.local_addr()).unwrap();
+    serve(&c, &client);
+
+    let full = client.search(sketched(&c, "full"), None).unwrap();
+    assert!(!full.degraded, "full-strength replies are unlabeled");
+    assert!(full.shards_missing.is_empty());
+
+    sharded.set_shard_available(2, false);
+    // Fail-fast default: the typed error crosses the socket with its
+    // shard index.
+    match client.search(sketched(&c, "strict"), None) {
+        Err(CoreError::ShardUnavailable { shard: 2 }) => {}
+        other => panic!("expected typed ShardUnavailable over tcp, got {other:?}"),
+    }
+    // Degraded opt-in: the reply crosses labeled, missing list exact.
+    let reply = client
+        .search(
+            sketched(&c, "degraded"),
+            Some(SearchConfig { degraded_ok: true, ..Default::default() }),
+        )
+        .unwrap();
+    assert!(reply.degraded, "partial scatter must label the reply on the wire");
+    assert_eq!(reply.shards_missing, vec![2]);
+    server.shutdown();
+}
+
+#[test]
+fn pooled_connection_survives_server_restart() {
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        platform as Arc<dyn PlatformService + Send + Sync>,
+        TcpServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let client = TcpWire::connect(addr).unwrap();
+    assert!(client.stats().is_ok(), "first call seeds the pool");
+    server.shutdown();
+
+    // Restart on the same port: every stream in the client's pool is now
+    // dead. The next call must discard the stale stream and redial, not
+    // surface a transport error.
+    let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
+    let server = TcpServer::bind(
+        addr,
+        platform as Arc<dyn PlatformService + Send + Sync>,
+        TcpServerConfig::default(),
+    )
+    .unwrap();
+    let stats = client
+        .stats()
+        .expect("a stale pooled connection must be dropped and redialed, not poison the client");
+    assert_eq!(stats.datasets, 0, "the reply comes from the fresh server");
+    server.shutdown();
+}
+
+#[test]
 fn wrong_version_is_rejected_over_tcp() {
     let platform = Arc::new(CentralPlatform::new(PlatformConfig::default()));
     let server = TcpServer::bind(
@@ -360,34 +428,56 @@ fn wrong_version_is_rejected_over_tcp() {
     server.shutdown();
 }
 
-/// Boot the real `mileena-server` binary and return (child, address).
-fn spawn_server(dir: &std::path::Path) -> (std::process::Child, String) {
+/// Blocking read of the next stdout line from the server child.
+fn read_stdout_line(child: &mut std::process::Child) -> String {
+    let mut line = String::new();
+    let stdout = child.stdout.as_mut().unwrap();
+    let mut byte = [0u8; 1];
+    while stdout.read_exact(&mut byte).is_ok() {
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0] as char);
+    }
+    line
+}
+
+/// Send a control line to the server's stdin and wait for its stdout ack
+/// (the chaos commands echo themselves back).
+fn server_command(child: &mut std::process::Child, cmd: &str) {
+    let stdin = child.stdin.as_mut().unwrap();
+    stdin.write_all(cmd.as_bytes()).unwrap();
+    stdin.write_all(b"\n").unwrap();
+    stdin.flush().unwrap();
+    let ack = read_stdout_line(child);
+    assert_eq!(ack.trim(), cmd, "server must ack the control line");
+}
+
+/// Boot the real `mileena-server` binary with extra flags and return
+/// (child, address).
+fn spawn_server_args(dir: &std::path::Path, extra: &[&str]) -> (std::process::Child, String) {
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mileena-server"))
         .args(["--addr", "127.0.0.1:0", "--dir"])
         .arg(dir)
+        .args(extra)
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::inherit())
         .spawn()
         .expect("spawn mileena-server");
     // First stdout line: "listening on <addr>".
-    let mut line = String::new();
-    {
-        let stdout = child.stdout.as_mut().unwrap();
-        let mut byte = [0u8; 1];
-        while stdout.read_exact(&mut byte).is_ok() {
-            if byte[0] == b'\n' {
-                break;
-            }
-            line.push(byte[0] as char);
-        }
-    }
+    let line = read_stdout_line(&mut child);
     let addr = line
         .strip_prefix("listening on ")
         .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
         .trim()
         .to_string();
     (child, addr)
+}
+
+/// Boot the real `mileena-server` binary and return (child, address).
+fn spawn_server(dir: &std::path::Path) -> (std::process::Child, String) {
+    spawn_server_args(dir, &[])
 }
 
 #[test]
@@ -418,5 +508,57 @@ fn server_binary_survives_kill_and_recovers_bit_identically() {
     assert!(output.status.success(), "graceful shutdown must exit 0: {:?}", output.status);
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("shutdown complete"), "got: {stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn server_binary_shard_kill_drill_degrades_then_recovers() {
+    let c = corpus();
+    let dir = std::env::temp_dir().join(format!("mileena-server-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A 3-shard durable deployment with a deterministic shard-kill plan:
+    // every shard call crashes while the plan is armed.
+    let (mut child, addr) =
+        spawn_server_args(&dir, &["--shards", "3", "--chaos-shard-permille", "1000"]);
+    let client = TcpWire::connect(addr.as_str()).unwrap();
+    serve(&c, &client);
+
+    // Calm reference first: the plan arms at boot, so disarm before taking
+    // the baseline the recovered platform must reproduce.
+    server_command(&mut child, "chaos off");
+    let reference = client.search(sketched(&c, "reference"), None).unwrap();
+    assert!(!reference.degraded, "calm search must be unlabeled");
+
+    // Storm on. Fail-fast searches must surface the typed shard error
+    // across the socket — never a silently partial reply.
+    server_command(&mut child, "chaos on");
+    match client.search(sketched(&c, "strict"), None) {
+        Err(CoreError::ShardUnavailable { shard }) => assert!(shard < 3),
+        other => panic!("strict search under shard faults must fail typed, got {other:?}"),
+    }
+    // Opt-in degraded search answers from the surviving subset, labeled.
+    let degraded = client
+        .search(
+            sketched(&c, "degraded"),
+            Some(SearchConfig { degraded_ok: true, ..Default::default() }),
+        )
+        .unwrap();
+    assert!(degraded.degraded, "partial scatter must label itself during the drill");
+    assert!(!degraded.shards_missing.is_empty(), "degraded reply must name missing shards");
+    assert!(degraded.shards_missing.iter().all(|&s| (s as usize) < 3));
+
+    // Storm off: the submit gate reopens quarantined shards from their own
+    // WAL directories, and a strict search serves complete results again,
+    // bit-identical to the pre-storm baseline.
+    server_command(&mut child, "chaos off");
+    let healed = client.search(sketched(&c, "healed"), None).unwrap();
+    assert!(!healed.degraded, "recovered platform must serve complete results");
+    assert!(healed.shards_missing.is_empty());
+    assert_replies_identical(&reference, &healed, "post-drill recovery");
+
+    child.stdin.as_mut().unwrap().write_all(b"shutdown\n").unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success(), "drill shutdown must exit 0: {:?}", output.status);
     std::fs::remove_dir_all(&dir).unwrap();
 }
