@@ -42,8 +42,24 @@ pub struct StoragePolicy {
     /// Snapshots to retain; ≥ 2 lets recovery survive a corrupted newest
     /// snapshot by falling back one checkpoint.
     pub retain_snapshots: usize,
+    /// Hydrate v2 snapshot sketches lazily: profiles and the ledger load
+    /// eagerly at open, sketch blobs decode on first evaluation touch.
+    /// `false` forces the v1 behavior (everything materializes at open).
+    pub lazy_hydration: bool,
+    /// Spawn a background thread at open that drains the unhydrated pool
+    /// while the platform already serves traffic. Only meaningful with
+    /// `lazy_hydration`.
+    pub background_hydration: bool,
+    /// Emit differential checkpoints when a base snapshot exists: the
+    /// auto-checkpoint writes only the datasets/ledger rows changed since
+    /// the chain head. Explicit checkpoints are always full.
+    pub delta_checkpoints: bool,
+    /// Delta links to chain before the next auto-checkpoint is forced
+    /// full (caps the recovery read amplification).
+    pub max_delta_chain: usize,
     /// Chaos hook: deterministic fault plan rolled at the storage-engine
-    /// sites (WAL append/fsync, snapshot write). `None` in production.
+    /// sites (WAL append/fsync, snapshot/delta write). `None` in
+    /// production.
     pub faults: Option<std::sync::Arc<mileena_storage::FaultPlan>>,
 }
 
@@ -55,6 +71,10 @@ impl StoragePolicy {
             checkpoint_every: 256,
             fsync_appends: false,
             retain_snapshots: 2,
+            lazy_hydration: true,
+            background_hydration: true,
+            delta_checkpoints: true,
+            max_delta_chain: 4,
             faults: None,
         }
     }
@@ -335,8 +355,20 @@ pub struct PlatformSnapshot {
 }
 
 impl PlatformSnapshot {
-    /// Decode a snapshot payload.
+    /// Decode a snapshot payload, any format version: v2 binary (leading
+    /// [`SNAPSHOT_V2_MARKER`] byte) materializes every sketch blob; v1
+    /// JSON (leading `{`) takes the serde path unchanged, so snapshots
+    /// written before the binary format still recover bit-identically.
     pub fn decode(payload: &[u8]) -> Result<PlatformSnapshot> {
+        if payload.first() == Some(&SNAPSHOT_V2_MARKER) {
+            let index = SnapshotIndex::decode(payload)?;
+            let mut datasets = Vec::with_capacity(index.datasets.len());
+            for slot in index.datasets {
+                let sketch = slot.sketch.materialize(payload)?;
+                datasets.push(DatasetEntry { sketch, profile: slot.profile });
+            }
+            return Ok(PlatformSnapshot { datasets, ledger: index.ledger });
+        }
         let text = std::str::from_utf8(payload)
             .map_err(|e| CoreError::Storage(format!("snapshot is not UTF-8: {e}")))?;
         serde_json::from_str(text)
@@ -539,6 +571,587 @@ impl Serialize for PlatformSnapshotRef<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot format v2: binary, zero-parse slabs, per-dataset skippable blobs.
+//
+// Payload layout (all integers/floats little-endian):
+//
+// ```text
+// [0x02]                                   version marker (v1 JSON is '{')
+// [u32 n_datasets]
+//   per dataset:
+//     [u32 profile_len][profile bytes]     eager: discovery needs it at open
+//     [u64 sketch_len][sketch blob]        skippable: hydrates on touch
+// [u32 n_ledger]
+//   per row: [str dataset][f64 ε_limit][f64 δ_limit][f64 ε_spent][f64 δ_spent]
+//
+// profile bytes:
+//   [str name][u64 rows][u32 n_columns]
+//   per column:
+//     [str name][u8 type]                  0x00 = Int | 0x01 = Float | 0x02 = Str
+//     [u64 distinct][u64 non_null]
+//     [u32 k][raw u64 LE ...]              minhash slab, k×8 bytes
+//     [f64 total][u32 n_terms] per term (term-sorted): [str term][f64 count]
+//
+// sketch blob:
+//   [str name][strs raw_features][strs features]
+//   [u32 full_len][full CovarTriple JSON]
+//   [u64 row_count][u32 n_keyed]
+//   per keyed:
+//     [str key_column][strs features]
+//     [u32 d] per key: [u32 n_values] per value:
+//         0x00 = Null | 0x01 [i64] = Int | 0x02 [str] = Str
+//     [u64 bytes][raw f64 LE ...]          c slab, length d
+//     [u64 bytes][raw f64 LE ...]          s slab, length d·m
+//     [u64 bytes][raw f64 LE ...]          qu slab, length d·m(m+1)/2
+//
+// str  = [u32 len][UTF-8 bytes]
+// strs = [u32 count][str ...]
+// ```
+//
+// The c/s/qu slabs — the dominant snapshot bytes — rehydrate by bulk
+// `f64::from_le_bytes` copy into `GroupedArena::from_parts` with zero float
+// parsing; the per-dataset `sketch_len` prefix lets the eager open skip
+// every blob and index `(offset, len)` spans for lazy hydration.
+// ---------------------------------------------------------------------------
+
+/// Leading payload byte of a v2 binary snapshot (v1 JSON leads with `{`).
+pub const SNAPSHOT_V2_MARKER: u8 = 0x02;
+
+/// Leading payload byte of a delta-checkpoint payload.
+pub const DELTA_MARKER: u8 = 0x03;
+
+fn put_u32(out: &mut Vec<u8>, n: usize) -> Result<()> {
+    let n = u32::try_from(n)
+        .map_err(|_| CoreError::Storage(format!("snapshot section too large: {n}")))?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    put_u32(out, s.len())?;
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_strs(out: &mut Vec<u8>, strs: &[String]) -> Result<()> {
+    put_u32(out, strs.len())?;
+    for s in strs {
+        put_str(out, s)?;
+    }
+    Ok(())
+}
+
+fn put_budget(out: &mut Vec<u8>, b: &PrivacyBudget) {
+    out.extend_from_slice(&b.epsilon.to_le_bytes());
+    out.extend_from_slice(&b.delta.to_le_bytes());
+}
+
+/// Length-prefixed binary profile. Profiles are the *eager* half of a v2
+/// snapshot — every open decodes all of them before the first search — so
+/// the MinHash signatures (the dominant profile bytes) serialize as raw
+/// u64 slabs instead of JSON number lists.
+fn put_profile(out: &mut Vec<u8>, profile: &DatasetProfile) -> Result<()> {
+    use mileena_relation::DataType;
+    let mut body = Vec::new();
+    put_str(&mut body, &profile.name)?;
+    body.extend_from_slice(&(profile.rows as u64).to_le_bytes());
+    put_u32(&mut body, profile.columns.len())?;
+    for col in &profile.columns {
+        put_str(&mut body, &col.name)?;
+        body.push(match col.data_type {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Str => 2,
+        });
+        body.extend_from_slice(&(col.distinct as u64).to_le_bytes());
+        body.extend_from_slice(&(col.non_null as u64).to_le_bytes());
+        let mins = col.minhash.mins();
+        put_u32(&mut body, mins.len())?;
+        for m in mins {
+            body.extend_from_slice(&m.to_le_bytes());
+        }
+        body.extend_from_slice(&col.terms.total.to_le_bytes());
+        // Term-sorted: FxHashMap iteration order is not deterministic and
+        // snapshot bytes must be process-independent.
+        let mut terms: Vec<(&String, &f64)> = col.terms.counts.iter().collect();
+        terms.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        put_u32(&mut body, terms.len())?;
+        for (term, count) in terms {
+            put_str(&mut body, term)?;
+            body.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    put_u32(out, body.len())?;
+    out.extend_from_slice(&body);
+    Ok(())
+}
+
+/// Inverse of [`put_profile`].
+fn read_profile(r: &mut ByteReader<'_>) -> Result<DatasetProfile> {
+    use mileena_discovery::{ColumnProfile, MinHashSignature, TermVector};
+    use mileena_relation::{DataType, FxHashMap};
+    let len = r.u32("profile")?;
+    let mut pr = ByteReader::new(r.take(len, "profile")?);
+    let name = pr.str_("profile name")?;
+    let rows = pr.u64("profile rows")? as usize;
+    let n_columns = pr.u32("profile column count")?;
+    let mut columns = Vec::new();
+    for _ in 0..n_columns {
+        let col_name = pr.str_("column name")?;
+        let data_type = match pr.u8("column type")? {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Str,
+            tag => return Err(CoreError::Storage(format!("unknown column type tag {tag}"))),
+        };
+        let distinct = pr.u64("column distinct")? as usize;
+        let non_null = pr.u64("column non_null")? as usize;
+        let k = pr.u32("minhash length")?;
+        let raw = pr.take(
+            k.checked_mul(8).ok_or_else(|| CoreError::Storage("minhash slab too large".into()))?,
+            "minhash slab",
+        )?;
+        let mins = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        let total = pr.f64("terms total")?;
+        let n_terms = pr.u32("term count")?;
+        let mut counts = FxHashMap::default();
+        for _ in 0..n_terms {
+            let term = pr.str_("term")?;
+            let count = pr.f64("term weight")?;
+            counts.insert(term, count);
+        }
+        columns.push(ColumnProfile {
+            name: col_name,
+            data_type,
+            distinct,
+            non_null,
+            minhash: MinHashSignature::from_mins(mins),
+            terms: TermVector { counts, total },
+        });
+    }
+    if !pr.done() {
+        return Err(CoreError::Storage("trailing bytes after profile".into()));
+    }
+    Ok(DatasetProfile { name, rows, columns })
+}
+
+/// Bounds-checked little-endian reader over a snapshot payload; every
+/// overrun surfaces as a typed storage error, never a panic or a
+/// corrupt-length allocation.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.buf.len())
+            .ok_or_else(|| CoreError::Storage(format!("truncated snapshot: {what}")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<usize> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str_(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CoreError::Storage(format!("snapshot {what} is not UTF-8: {e}")))
+    }
+
+    fn strs(&mut self, what: &str) -> Result<Vec<String>> {
+        let count = self.u32(what)?;
+        let mut out = Vec::new();
+        for _ in 0..count {
+            out.push(self.str_(what)?);
+        }
+        Ok(out)
+    }
+
+    fn budget(&mut self, what: &str) -> Result<PrivacyBudget> {
+        Ok(PrivacyBudget { epsilon: self.f64(what)?, delta: self.f64(what)? })
+    }
+
+    /// A length-prefixed raw f64 slab: the zero-parse bulk copy.
+    fn f64_slab(&mut self, what: &str) -> Result<Vec<f64>> {
+        let bytes = self.u64(what)?;
+        if bytes % 8 != 0 {
+            return Err(CoreError::Storage(format!(
+                "snapshot {what} slab is {bytes} bytes, not a multiple of 8"
+            )));
+        }
+        let raw = self.take(bytes as usize, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_key_value(out: &mut Vec<u8>, v: &mileena_relation::KeyValue) -> Result<()> {
+    use mileena_relation::KeyValue;
+    match v {
+        KeyValue::Null => out.push(0x00),
+        KeyValue::Int(i) => {
+            out.push(0x01);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        KeyValue::Str(s) => {
+            out.push(0x02);
+            put_str(out, s)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_key_value(r: &mut ByteReader<'_>) -> Result<mileena_relation::KeyValue> {
+    use mileena_relation::KeyValue;
+    match r.u8("key value tag")? {
+        0x00 => Ok(KeyValue::Null),
+        0x01 => Ok(KeyValue::Int(r.i64("int key value")?)),
+        0x02 => Ok(KeyValue::Str(r.str_("str key value")?)),
+        tag => Err(CoreError::Storage(format!("unknown key value tag {tag:#x}"))),
+    }
+}
+
+/// Encode one dataset sketch as a v2 binary blob, straight from the live
+/// arena slabs (by reference — nothing is cloned but the bytes written).
+fn encode_sketch_blob(sketch: &DatasetSketch) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    put_str(&mut out, &sketch.name)?;
+    put_strs(&mut out, &sketch.raw_features)?;
+    put_strs(&mut out, &sketch.features)?;
+    let full = serde_json::to_string(&sketch.full)
+        .map_err(|e| CoreError::Storage(format!("encode full triple: {e}")))?;
+    put_u32(&mut out, full.len())?;
+    out.extend_from_slice(full.as_bytes());
+    out.extend_from_slice(&(sketch.row_count as u64).to_le_bytes());
+    put_u32(&mut out, sketch.keyed.len())?;
+    for keyed in &sketch.keyed {
+        let arena = keyed.arena();
+        let m = arena.num_features();
+        let p = mileena_semiring::packed_len(m);
+        // Sorted by key *value* so snapshot bytes are process-independent
+        // (arena row order follows interner-id assignment order).
+        let sorted = arena.sorted_keys();
+        let d = sorted.len();
+        put_str(&mut out, &keyed.key_column)?;
+        put_strs(&mut out, arena.schema())?;
+        put_u32(&mut out, d)?;
+        for (_, key) in &sorted {
+            put_u32(&mut out, key.len())?;
+            for v in key {
+                put_key_value(&mut out, v)?;
+            }
+        }
+        out.extend_from_slice(&((d * 8) as u64).to_le_bytes());
+        for (r, _) in &sorted {
+            out.extend_from_slice(&arena.row(*r).0.to_le_bytes());
+        }
+        out.extend_from_slice(&((d * m * 8) as u64).to_le_bytes());
+        for (r, _) in &sorted {
+            for v in arena.row(*r).1 {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&((d * p * 8) as u64).to_le_bytes());
+        for (r, _) in &sorted {
+            // The arena row *is* the packed triangle: write it verbatim.
+            for v in arena.row(*r).2 {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decode one v2 sketch blob (the lazy-hydration unit).
+pub fn decode_sketch_blob(bytes: &[u8]) -> Result<CompactSketch> {
+    let mut r = ByteReader::new(bytes);
+    let sketch = read_sketch_blob(&mut r)?;
+    if !r.done() {
+        return Err(CoreError::Storage("trailing bytes after sketch blob".into()));
+    }
+    Ok(sketch)
+}
+
+fn read_sketch_blob(r: &mut ByteReader<'_>) -> Result<CompactSketch> {
+    let name = r.str_("sketch name")?;
+    let raw_features = r.strs("raw features")?;
+    let features = r.strs("features")?;
+    let full_len = r.u32("full triple")?;
+    let full_text = std::str::from_utf8(r.take(full_len, "full triple")?)
+        .map_err(|e| CoreError::Storage(format!("full triple is not UTF-8: {e}")))?;
+    let full: mileena_semiring::CovarTriple = serde_json::from_str(full_text)
+        .map_err(|e| CoreError::Storage(format!("undecodable full triple: {e}")))?;
+    let row_count = r.u64("row count")? as usize;
+    let n_keyed = r.u32("keyed count")?;
+    let mut keyed = Vec::new();
+    for _ in 0..n_keyed {
+        let key_column = r.str_("key column")?;
+        let kfeatures = r.strs("keyed features")?;
+        let d = r.u32("key count")?;
+        let mut keys = Vec::new();
+        for _ in 0..d {
+            let n_values = r.u32("key width")?;
+            let mut key = Vec::new();
+            for _ in 0..n_values {
+                key.push(read_key_value(r)?);
+            }
+            keys.push(key);
+        }
+        let c = r.f64_slab("c slab")?;
+        let s = r.f64_slab("s slab")?;
+        let qu = r.f64_slab("qu slab")?;
+        keyed.push(CompactKeyed { key_column, features: kfeatures, keys, c, s, qu });
+    }
+    Ok(CompactSketch { name, raw_features, features, full, keyed, row_count })
+}
+
+/// Where one dataset's sketch bytes live in a decoded snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchRegion {
+    /// v1 JSON: the sketch came as part of the document, already
+    /// materialized.
+    Inline(Box<CompactSketch>),
+    /// v2 binary: a skippable span of the shared payload; decode on touch.
+    Span {
+        /// Byte offset of the blob in the payload.
+        offset: usize,
+        /// Blob length in bytes.
+        len: usize,
+    },
+}
+
+impl SketchRegion {
+    /// Materialize the compact sketch (decoding the span against the
+    /// payload it was indexed from).
+    pub fn materialize(self, payload: &[u8]) -> Result<CompactSketch> {
+        match self {
+            SketchRegion::Inline(sketch) => Ok(*sketch),
+            SketchRegion::Span { offset, len } => {
+                let end = offset
+                    .checked_add(len)
+                    .filter(|end| *end <= payload.len())
+                    .ok_or_else(|| CoreError::Storage("sketch span out of bounds".into()))?;
+                decode_sketch_blob(&payload[offset..end])
+            }
+        }
+    }
+}
+
+/// One dataset's eager half in a decoded snapshot: the profile (discovery
+/// hydrates immediately) plus where the sketch bytes are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSlot {
+    /// Dataset name (from the profile, so the eager pass never touches
+    /// the sketch blob).
+    pub name: String,
+    /// The discovery profile.
+    pub profile: DatasetProfile,
+    /// The sketch bytes (inline for v1, a payload span for v2).
+    pub sketch: SketchRegion,
+}
+
+/// The eager skeleton of a decoded snapshot: profiles and the ledger
+/// materialize; sketch blobs stay as spans until touched. Decoding one of
+/// these is what makes time-to-first-search independent of sketch volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotIndex {
+    /// Every dataset, snapshot order (name-sorted at write time).
+    pub datasets: Vec<DatasetSlot>,
+    /// The full budget ledger.
+    pub ledger: Vec<LedgerEntry>,
+}
+
+impl SnapshotIndex {
+    /// Decode a snapshot payload's eager skeleton, either format version.
+    /// For v1 JSON the sketches are already materialized (inline); for v2
+    /// each sketch is a `(offset, len)` span into `payload`.
+    pub fn decode(payload: &[u8]) -> Result<SnapshotIndex> {
+        if payload.first() != Some(&SNAPSHOT_V2_MARKER) {
+            let snapshot = PlatformSnapshot::decode(payload)?;
+            let datasets = snapshot
+                .datasets
+                .into_iter()
+                .map(|entry| DatasetSlot {
+                    name: entry.sketch.name.clone(),
+                    profile: entry.profile,
+                    sketch: SketchRegion::Inline(Box::new(entry.sketch)),
+                })
+                .collect();
+            return Ok(SnapshotIndex { datasets, ledger: snapshot.ledger });
+        }
+        let mut r = ByteReader::new(payload);
+        r.u8("version marker")?;
+        let n_datasets = r.u32("dataset count")?;
+        let mut datasets = Vec::new();
+        for _ in 0..n_datasets {
+            let profile = read_profile(&mut r)?;
+            let len = r.u64("sketch blob")? as usize;
+            let offset = r.pos;
+            r.take(len, "sketch blob")?;
+            datasets.push(DatasetSlot {
+                name: profile.name.clone(),
+                profile,
+                sketch: SketchRegion::Span { offset, len },
+            });
+        }
+        let n_ledger = r.u32("ledger count")?;
+        let mut ledger = Vec::new();
+        for _ in 0..n_ledger {
+            let dataset = r.str_("ledger dataset")?;
+            let limit = r.budget("ledger limit")?;
+            let spent = r.budget("ledger spent")?;
+            ledger.push(LedgerEntry { dataset, limit, spent });
+        }
+        if !r.done() {
+            return Err(CoreError::Storage("trailing bytes after snapshot".into()));
+        }
+        Ok(SnapshotIndex { datasets, ledger })
+    }
+}
+
+impl PlatformSnapshotRef<'_> {
+    /// Encode to the v2 binary payload (the checkpoint writer's format;
+    /// [`encode`](Self::encode) keeps producing v1 JSON for the
+    /// format-evolution pin tests).
+    pub fn encode_binary(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        out.push(SNAPSHOT_V2_MARKER);
+        put_u32(&mut out, self.datasets.len())?;
+        for (sketch, profile) in &self.datasets {
+            put_profile(&mut out, profile)?;
+            let blob = encode_sketch_blob(sketch)?;
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        put_u32(&mut out, self.ledger.len())?;
+        for (dataset, limit, spent) in self.ledger {
+            put_str(&mut out, dataset)?;
+            put_budget(&mut out, limit);
+            put_budget(&mut out, spent);
+        }
+        Ok(out)
+    }
+}
+
+/// A decoded delta-checkpoint payload: only what changed since the base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPayload {
+    /// Datasets registered or replaced since the base (full entries).
+    pub datasets: Vec<DatasetEntry>,
+    /// Dataset names removed since the base.
+    pub removed: Vec<String>,
+    /// Ledger rows that changed since the base (full rows, keyed by name).
+    pub ledger: Vec<LedgerEntry>,
+}
+
+impl DeltaPayload {
+    /// Decode a delta payload (leading [`DELTA_MARKER`] byte). Deltas are
+    /// small — everything materializes eagerly.
+    pub fn decode(payload: &[u8]) -> Result<DeltaPayload> {
+        let mut r = ByteReader::new(payload);
+        if r.u8("delta marker")? != DELTA_MARKER {
+            return Err(CoreError::Storage("not a delta payload".into()));
+        }
+        let n_datasets = r.u32("delta dataset count")?;
+        let mut datasets = Vec::new();
+        for _ in 0..n_datasets {
+            let profile = read_profile(&mut r)?;
+            let len = r.u64("delta sketch blob")? as usize;
+            let sketch = decode_sketch_blob(r.take(len, "delta sketch blob")?)?;
+            datasets.push(DatasetEntry { sketch, profile });
+        }
+        let removed = r.strs("delta removed")?;
+        let n_ledger = r.u32("delta ledger count")?;
+        let mut ledger = Vec::new();
+        for _ in 0..n_ledger {
+            let dataset = r.str_("delta ledger dataset")?;
+            let limit = r.budget("delta ledger limit")?;
+            let spent = r.budget("delta ledger spent")?;
+            ledger.push(LedgerEntry { dataset, limit, spent });
+        }
+        if !r.done() {
+            return Err(CoreError::Storage("trailing bytes after delta".into()));
+        }
+        Ok(DeltaPayload { datasets, removed, ledger })
+    }
+}
+
+/// Borrowed delta writer: serializes the changed subset straight from the
+/// live store, same dataset-entry layout as the v2 snapshot body.
+pub struct DeltaPayloadRef<'a> {
+    /// `(sketch, profile)` per changed dataset, name-sorted.
+    pub datasets: Vec<(&'a DatasetSketch, &'a DatasetProfile)>,
+    /// Names removed since the base, sorted.
+    pub removed: &'a [String],
+    /// Changed ledger rows, name-sorted.
+    pub ledger: &'a [(String, PrivacyBudget, PrivacyBudget)],
+}
+
+impl DeltaPayloadRef<'_> {
+    /// Encode to the delta payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        out.push(DELTA_MARKER);
+        put_u32(&mut out, self.datasets.len())?;
+        for (sketch, profile) in &self.datasets {
+            put_profile(&mut out, profile)?;
+            let blob = encode_sketch_blob(sketch)?;
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        put_strs(&mut out, self.removed)?;
+        put_u32(&mut out, self.ledger.len())?;
+        for (dataset, limit, spent) in self.ledger {
+            put_str(&mut out, dataset)?;
+            put_budget(&mut out, limit);
+            put_budget(&mut out, spent);
+        }
+        Ok(out)
+    }
+}
+
 /// What recovery found on disk, surfaced through `stats()` so operators can
 /// see whether the last shutdown was clean.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -551,6 +1164,23 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
     /// Snapshot files skipped for failing verification.
     pub invalid_snapshots: u64,
+    /// Snapshot payload bytes read at open (base plus delta chain).
+    #[serde(default)]
+    pub snapshot_bytes: u64,
+    /// Delta-checkpoint links applied on top of the base snapshot.
+    #[serde(default)]
+    pub delta_links: u64,
+    /// Milliseconds spent in the eager open phase (snapshot skeleton,
+    /// deltas, replay, index rebuild) before the platform served traffic.
+    #[serde(default)]
+    pub eager_ms: u64,
+    /// Milliseconds of the eager phase spent replaying WAL records.
+    #[serde(default)]
+    pub replay_ms: u64,
+    /// Datasets left unhydrated at open (lazy sketch slots; drains via
+    /// evaluation touches and the background hydrator).
+    #[serde(default)]
+    pub lazy_datasets: u64,
 }
 
 #[cfg(test)]
@@ -672,5 +1302,126 @@ mod tests {
         assert!(WalOp::decode(b"{ nope").is_err());
         assert!(WalOp::decode(&[0xFF, 0xFE]).is_err());
         assert!(PlatformSnapshot::decode(b"[]").is_err());
+        assert!(PlatformSnapshot::decode(&[SNAPSHOT_V2_MARKER]).is_err());
+        assert!(DeltaPayload::decode(&[DELTA_MARKER, 0xFF]).is_err());
+        assert!(DeltaPayload::decode(b"{}").is_err());
+    }
+
+    fn second_upload() -> ProviderUpload {
+        let r = RelationBuilder::new("e")
+            .int_col("k", &[2, 3, 5, 5])
+            .str_col("city", &["ny", "sf", "ny", "la"])
+            .float_col("y", &[4.0, -1.25, 0.0, 9.5])
+            .build()
+            .unwrap();
+        LocalDataStore::new(r).prepare_upload(None, 4).unwrap()
+    }
+
+    fn reference_snapshot() -> (PlatformSnapshotRef<'static>, PlatformSnapshot) {
+        let u = Box::leak(Box::new(upload()));
+        let v = Box::leak(Box::new(second_upload()));
+        let ledger = Box::leak(Box::new(vec![(
+            "d".to_string(),
+            PrivacyBudget::new(1.0, 1e-6).unwrap(),
+            PrivacyBudget::new(0.25, 1e-7).unwrap(),
+        )]));
+        let by_ref = PlatformSnapshotRef {
+            datasets: vec![(&u.sketch, &u.profile), (&v.sketch, &v.profile)],
+            ledger,
+        };
+        let owned = PlatformSnapshot {
+            datasets: vec![
+                DatasetEntry { sketch: CompactSketch::of(&u.sketch), profile: u.profile.clone() },
+                DatasetEntry { sketch: CompactSketch::of(&v.sketch), profile: v.profile.clone() },
+            ],
+            ledger: vec![LedgerEntry {
+                dataset: "d".into(),
+                limit: ledger[0].1,
+                spent: ledger[0].2,
+            }],
+        };
+        (by_ref, owned)
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_bit_identically() {
+        let (by_ref, owned) = reference_snapshot();
+        let bytes = by_ref.encode_binary().unwrap();
+        assert_eq!(bytes[0], SNAPSHOT_V2_MARKER);
+        // Full decode is value-identical to the v1 path over the same state.
+        let decoded = PlatformSnapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded, owned);
+        // The rehydrated sketches are bit-identical to the originals (the
+        // raw-f64 slabs round-trip with zero parsing).
+        for (entry, (sketch, _)) in decoded.datasets.into_iter().zip(&by_ref.datasets) {
+            assert_eq!(&entry.sketch.into_sketch().unwrap(), *sketch);
+        }
+    }
+
+    #[test]
+    fn snapshot_index_spans_hydrate_independently() {
+        let (by_ref, owned) = reference_snapshot();
+        let bytes = by_ref.encode_binary().unwrap();
+        let index = SnapshotIndex::decode(&bytes).unwrap();
+        assert_eq!(index.datasets.len(), 2);
+        assert_eq!(index.ledger, owned.ledger);
+        for (slot, entry) in index.datasets.into_iter().zip(owned.datasets) {
+            assert_eq!(slot.name, entry.profile.name);
+            assert_eq!(slot.profile, entry.profile);
+            assert!(matches!(slot.sketch, SketchRegion::Span { .. }));
+            assert_eq!(slot.sketch.materialize(&bytes).unwrap(), entry.sketch);
+        }
+        // The v1 JSON form indexes too (inline, already materialized).
+        let v1 = by_ref.encode().unwrap();
+        let index = SnapshotIndex::decode(&v1).unwrap();
+        assert!(index.datasets.iter().all(|s| matches!(s.sketch, SketchRegion::Inline(_))));
+    }
+
+    #[test]
+    fn binary_snapshot_rejects_every_truncation() {
+        let (by_ref, _) = reference_snapshot();
+        let bytes = by_ref.encode_binary().unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                PlatformSnapshot::decode(&bytes[..len]).is_err(),
+                "prefix of {len}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+        // Trailing garbage is rejected too, not silently ignored.
+        let mut padded = bytes;
+        padded.push(0x00);
+        assert!(PlatformSnapshot::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn delta_payload_roundtrips() {
+        let u = upload();
+        let removed = vec!["gone".to_string()];
+        let ledger = vec![(
+            "d".to_string(),
+            PrivacyBudget::new(1.0, 1e-6).unwrap(),
+            PrivacyBudget::new(0.5, 0.0).unwrap(),
+        )];
+        let bytes = DeltaPayloadRef {
+            datasets: vec![(&u.sketch, &u.profile)],
+            removed: &removed,
+            ledger: &ledger,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(bytes[0], DELTA_MARKER);
+        let decoded = DeltaPayload::decode(&bytes).unwrap();
+        assert_eq!(decoded.removed, removed);
+        assert_eq!(decoded.datasets.len(), 1);
+        assert_eq!(decoded.datasets[0].profile, u.profile);
+        assert_eq!(decoded.datasets[0].sketch.clone().into_sketch().unwrap(), u.sketch);
+        assert_eq!(
+            decoded.ledger,
+            vec![LedgerEntry { dataset: "d".into(), limit: ledger[0].1, spent: ledger[0].2 }]
+        );
+        for len in 0..bytes.len() {
+            assert!(DeltaPayload::decode(&bytes[..len]).is_err());
+        }
     }
 }

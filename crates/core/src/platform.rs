@@ -9,7 +9,8 @@
 //! providers keep registering.
 
 use crate::durable::{
-    PlatformSnapshot, PlatformSnapshotRef, RecoveryReport, StoragePolicy, WalOp, WalOpRef,
+    DeltaPayload, DeltaPayloadRef, PlatformSnapshotRef, RecoveryReport, SketchRegion,
+    SnapshotIndex, StoragePolicy, WalOp, WalOpRef,
 };
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
@@ -18,7 +19,7 @@ use crate::service::SearchSession;
 use crate::wire::{
     CheckpointReceipt, DiscoveryReport, PlatformStats, SearchReply, SpanBreakdown, StorageReport,
 };
-use mileena_discovery::{DiscoveryConfig, DiscoveryIndex};
+use mileena_discovery::{DatasetProfile, DiscoveryConfig, DiscoveryIndex};
 use mileena_ml::{LinearModel, RidgeConfig};
 use mileena_obs::{Metrics, MetricsReport};
 use mileena_privacy::{BudgetAccountant, PrivacyBudget};
@@ -29,6 +30,7 @@ use mileena_search::{
 use mileena_sketch::{SketchError, SketchStore};
 use mileena_storage::{StorageEngine, StorageOptions};
 use parking_lot::{Mutex, RwLock};
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -108,6 +110,44 @@ struct DurableState {
     engine: Option<StorageEngine>,
     recovery: Option<RecoveryReport>,
     last_checkpoint_error: Option<String>,
+    /// Datasets registered or replaced since the last checkpoint (full or
+    /// delta) — the next delta checkpoint serializes exactly these.
+    dirty_datasets: std::collections::BTreeSet<String>,
+    /// Datasets removed since the last checkpoint.
+    removed_datasets: std::collections::BTreeSet<String>,
+    /// Ledger rows changed since the last checkpoint (grants and charges).
+    dirty_ledger: std::collections::BTreeSet<String>,
+}
+
+impl DurableState {
+    /// Track which state a journaled mutation dirties, so a delta
+    /// checkpoint can serialize only the changed subset.
+    fn note_mutation(&mut self, op: &WalOpRef<'_>) {
+        match op {
+            WalOpRef::Register { upload } | WalOpRef::Replace { upload } => {
+                let name = &upload.sketch.name;
+                self.dirty_datasets.insert(name.clone());
+                self.removed_datasets.remove(name);
+                if upload.budget.is_some() {
+                    self.dirty_ledger.insert(name.clone());
+                }
+            }
+            WalOpRef::Remove { dataset } => {
+                self.dirty_datasets.remove(*dataset);
+                self.removed_datasets.insert((*dataset).to_string());
+            }
+            WalOpRef::Grant { dataset, .. } | WalOpRef::Charge { dataset, .. } => {
+                self.dirty_ledger.insert((*dataset).to_string());
+            }
+        }
+    }
+
+    /// A checkpoint (full or delta) captured everything dirty so far.
+    fn clear_dirty(&mut self) {
+        self.dirty_datasets.clear();
+        self.removed_datasets.clear();
+        self.dirty_ledger.clear();
+    }
 }
 
 /// Cumulative evaluation-plan counters across every search the platform
@@ -157,6 +197,7 @@ impl CentralPlatform {
             BudgetAccountant::new(),
             config,
             DurableState::default(),
+            Arc::new(Metrics::new()),
         )
     }
 
@@ -200,33 +241,134 @@ impl CentralPlatform {
             retain_snapshots: policy.retain_snapshots,
             faults: policy.faults.clone(),
         };
+        let eager_started = Instant::now();
         let (engine, recovered) = StorageEngine::open(&policy.dir, opts)?;
         let mut accountant = BudgetAccountant::new();
+        let metrics = Arc::new(Metrics::new());
 
-        // 1. Hydrate from the snapshot: sketches re-intern into the store's
-        //    key space via the normal registration path, profiles rebuild
-        //    the index, and the ledger restores verbatim (limits + spent).
+        // Wire the hydration observer before any lazy slot registers so no
+        // fill goes uncounted.
+        {
+            let m = Arc::clone(&metrics);
+            store.set_hydration_observer(Box::new(move |background| {
+                if !background {
+                    m.hydrations_lazy.inc();
+                }
+                m.datasets_unhydrated.add(-1);
+            }));
+        }
+
+        // 1. Hydrate the snapshot skeleton. Profiles and the ledger load
+        //    eagerly — discovery and budget accounting need them before the
+        //    first search — while v2 sketch blobs stay as lazy spans that
+        //    decode on first evaluation touch, so time-to-first-search is
+        //    independent of sketch volume. v1 JSON snapshots (inline
+        //    sketches) keep materializing everything at open.
         let snapshot_seq = recovered.snapshot.as_ref().map(|(seq, _)| *seq);
-        if let Some((_, payload)) = &recovered.snapshot {
-            let snapshot = PlatformSnapshot::decode(payload)?;
-            for entry in snapshot.datasets {
-                store
-                    .register(entry.sketch.into_sketch()?)
-                    .map_err(|e| CoreError::Storage(format!("snapshot hydration: {e}")))?;
-                index.register(entry.profile);
+        let mut profiles: std::collections::BTreeMap<String, DatasetProfile> =
+            std::collections::BTreeMap::new();
+        let mut snapshot_bytes = 0u64;
+        if let Some((_, payload)) = recovered.snapshot {
+            snapshot_bytes += payload.len() as u64;
+            let snap_index = SnapshotIndex::decode(&payload)?;
+            let payload: Arc<Vec<u8>> = Arc::new(payload);
+            for slot in snap_index.datasets {
+                profiles.insert(slot.name.clone(), slot.profile);
+                match slot.sketch {
+                    SketchRegion::Span { offset, len } if policy.lazy_hydration => {
+                        let payload = Arc::clone(&payload);
+                        store
+                            .register_lazy(
+                                &slot.name,
+                                Box::new(move |_background| {
+                                    crate::durable::decode_sketch_blob(
+                                        &payload[offset..offset + len],
+                                    )
+                                    .map_err(|e| e.to_string())?
+                                    .into_sketch()
+                                    .map_err(|e| e.to_string())
+                                }),
+                            )
+                            .map_err(|e| CoreError::Storage(format!("snapshot hydration: {e}")))?;
+                    }
+                    region => {
+                        store
+                            .register(region.materialize(&payload)?.into_sketch()?)
+                            .map_err(|e| CoreError::Storage(format!("snapshot hydration: {e}")))?;
+                    }
+                }
             }
-            for row in snapshot.ledger {
+            for row in snap_index.ledger {
                 accountant.restore(&row.dataset, row.limit, row.spent);
             }
         }
 
-        // 2. Replay the WAL tail on top.
-        let replayed_records = recovered.records.len() as u64;
-        for record in &recovered.records {
-            let op = WalOp::decode(&record.payload)
-                .map_err(|e| CoreError::Storage(format!("record {}: {e}", record.seq)))?;
-            Self::replay(&store, &mut index, &mut accountant, op)
+        // 2. Apply the delta chain in order: each link replaces its changed
+        //    datasets, applies its removals, and restores its ledger rows.
+        let mut delta_links = 0u64;
+        let mut chain_head = snapshot_seq.unwrap_or(0);
+        for (seq, payload) in &recovered.deltas {
+            snapshot_bytes += payload.len() as u64;
+            let delta = DeltaPayload::decode(payload)?;
+            for entry in delta.datasets {
+                profiles.insert(entry.profile.name.clone(), entry.profile);
+                store.replace(entry.sketch.into_sketch()?);
+            }
+            for name in &delta.removed {
+                profiles.remove(name);
+                let _ = store.remove(name);
+            }
+            for row in delta.ledger {
+                accountant.restore(&row.dataset, row.limit, row.spent);
+            }
+            chain_head = *seq;
+            delta_links += 1;
+        }
+
+        // 3. Replay the WAL tail on top, skipping records the delta chain
+        //    already covers. Frame decode — the dominant replay cost, each
+        //    record embeds a full upload document — fans out on the worker
+        //    pool; apply stays sequential in sequence order so budget
+        //    accounting is never double-spent.
+        let replay_started = Instant::now();
+        let tail: Vec<_> =
+            recovered.records.iter().filter(|record| record.seq > chain_head).collect();
+        let replayed_records = tail.len() as u64;
+        let decoded: Vec<Result<WalOp>> = tail
+            .par_iter()
+            .map(|record| {
+                WalOp::decode(&record.payload)
+                    .map_err(|e| CoreError::Storage(format!("record {}: {e}", record.seq)))
+            })
+            .collect();
+        for (record, op) in tail.iter().zip(decoded) {
+            Self::replay(&store, &mut profiles, &mut accountant, op?)
                 .map_err(|e| CoreError::Storage(format!("replay record {}: {e}", record.seq)))?;
+        }
+        let replay_ms = replay_started.elapsed().as_millis() as u64;
+
+        // 4. Rebuild the discovery index once, over the final profile set —
+        //    per-record register/replace/remove churn during replay is what
+        //    made the replay path ~2× the snapshot path. Ranking tie-breaks
+        //    are by name, so the name-sorted rebuild order is
+        //    search-identical to incremental registration.
+        for (_, profile) in profiles {
+            index.register(profile);
+        }
+
+        // 5. Publish hydration state and kick the background hydrator:
+        //    the platform serves traffic while the pool drains.
+        let pending = store.unhydrated();
+        metrics.snapshot_bytes.add(snapshot_bytes);
+        metrics.datasets_unhydrated.set(pending as i64);
+        if pending > 0
+            && policy.background_hydration
+            && std::env::var_os("MILEENA_NO_BG_HYDRATION").is_none()
+        {
+            let hydrator = store.clone();
+            std::thread::spawn(move || {
+                let _ = hydrator.hydrate_pending();
+            });
         }
 
         let durable = DurableState {
@@ -236,10 +378,15 @@ impl CentralPlatform {
                 replayed_records,
                 torn_tail: recovered.torn_tail,
                 invalid_snapshots: recovered.invalid_snapshots as u64,
+                snapshot_bytes,
+                delta_links,
+                eager_ms: eager_started.elapsed().as_millis() as u64,
+                replay_ms,
+                lazy_datasets: pending as u64,
             }),
-            last_checkpoint_error: None,
+            ..DurableState::default()
         };
-        Ok(Self::assemble(store, index, accountant, config, durable))
+        Ok(Self::assemble(store, index, accountant, config, durable, metrics))
     }
 
     /// [`CentralPlatform::new`] over caller-built store/index shells (the
@@ -249,7 +396,14 @@ impl CentralPlatform {
         store: SketchStore,
         index: DiscoveryIndex,
     ) -> Self {
-        Self::assemble(store, index, BudgetAccountant::new(), config, DurableState::default())
+        Self::assemble(
+            store,
+            index,
+            BudgetAccountant::new(),
+            config,
+            DurableState::default(),
+            Arc::new(Metrics::new()),
+        )
     }
 
     fn assemble(
@@ -258,6 +412,7 @@ impl CentralPlatform {
         accountant: BudgetAccountant,
         config: PlatformConfig,
         durable: DurableState,
+        metrics: Arc<Metrics>,
     ) -> Self {
         let sched = SessionScheduler::new(
             config.scheduler.effective_workers(config.max_concurrent_sessions),
@@ -272,7 +427,7 @@ impl CentralPlatform {
             active_sessions: Arc::new(AtomicUsize::new(0)),
             session_counter: AtomicU64::new(0),
             search_totals: Arc::new(SearchTotals::default()),
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             sched,
             durable: Mutex::new(durable),
         }
@@ -284,7 +439,7 @@ impl CentralPlatform {
     /// skipped rather than double-charged.
     fn replay(
         store: &SketchStore,
-        index: &mut DiscoveryIndex,
+        profiles: &mut std::collections::BTreeMap<String, DatasetProfile>,
         accountant: &mut BudgetAccountant,
         op: WalOp,
     ) -> Result<()> {
@@ -295,7 +450,7 @@ impl CentralPlatform {
                     return Ok(()); // effect already present: refuse to double-apply
                 }
                 store.register(upload.sketch)?;
-                index.register(upload.profile);
+                profiles.insert(name.clone(), upload.profile);
                 if let Some(budget) = upload.budget {
                     if !accountant.contains(&name) {
                         accountant.register_and_charge(&name, budget)?;
@@ -305,14 +460,14 @@ impl CentralPlatform {
             WalOp::Replace { upload } => {
                 let name = upload.sketch.name.clone();
                 store.replace(upload.sketch);
-                index.replace(upload.profile);
+                profiles.insert(name.clone(), upload.profile);
                 if let Some(budget) = upload.budget {
                     accountant.top_up_and_charge(&name, budget)?;
                 }
             }
             WalOp::Remove { dataset } => {
                 let _ = store.remove(&dataset);
-                index.remove(&dataset);
+                profiles.remove(&dataset);
                 // The ledger entry stays: spent budget is spent forever.
             }
             WalOp::Grant { dataset, budget } => {
@@ -329,9 +484,10 @@ impl CentralPlatform {
     /// durable lock held, *before* the in-memory apply: an acknowledged
     /// mutation is on disk first.
     fn journal(&self, state: &mut DurableState, op: WalOpRef<'_>) -> Result<()> {
-        if let Some(engine) = state.engine.as_mut() {
+        if state.engine.is_some() {
             let payload = op.encode()?;
-            engine.append(&payload)?;
+            state.engine.as_mut().expect("checked above").append(&payload)?;
+            state.note_mutation(&op);
             self.metrics.wal_appends.inc();
         }
         Ok(())
@@ -341,25 +497,42 @@ impl CentralPlatform {
     /// failing checkpoint never fails the mutation (the WAL already holds
     /// it); the error is surfaced through `stats()` instead.
     fn maybe_auto_checkpoint(&self, state: &mut DurableState) {
-        let every = match &self.config.storage {
-            Some(policy) if policy.checkpoint_every > 0 => policy.checkpoint_every,
+        let policy = match &self.config.storage {
+            Some(policy) if policy.checkpoint_every > 0 => policy,
             _ => return,
         };
-        let due = state.engine.as_ref().is_some_and(|e| e.records_since_checkpoint() >= every);
-        if due {
-            state.last_checkpoint_error =
-                self.checkpoint_locked(state).err().map(|e| e.to_string());
+        let due = state
+            .engine
+            .as_ref()
+            .is_some_and(|e| e.records_since_checkpoint() >= policy.checkpoint_every);
+        if !due {
+            return;
         }
+        // Differential checkpoint when a base exists and the chain has
+        // room; otherwise (first checkpoint, chain at cap, deltas off) a
+        // full snapshot resets the chain. A failed delta — injected fault,
+        // or state the dirty sets can't serialize — falls back to a full
+        // snapshot rather than leaving the WAL unbounded.
+        let use_delta = policy.delta_checkpoints
+            && state.engine.as_ref().is_some_and(|e| {
+                e.snapshot_seq().is_some() && e.delta_chain_len() < policy.max_delta_chain
+            });
+        let result = if use_delta {
+            self.checkpoint_delta_locked(state).or_else(|_| self.checkpoint_locked(state))
+        } else {
+            self.checkpoint_locked(state)
+        };
+        state.last_checkpoint_error = result.err().map(|e| e.to_string());
     }
 
     /// Serialize the full platform state and checkpoint the engine at the
     /// current sequence. Called with the durable lock held.
     fn checkpoint_locked(&self, state: &mut DurableState) -> Result<CheckpointReceipt> {
-        let engine = state.engine.as_mut().ok_or_else(|| {
-            CoreError::Storage("platform has no durable storage configured".into())
-        })?;
+        if state.engine.is_none() {
+            return Err(CoreError::Storage("platform has no durable storage configured".into()));
+        }
         let index = self.index.read();
-        let sketches = self.store.all();
+        let sketches = self.store.all()?;
         let mut datasets = Vec::with_capacity(sketches.len());
         for sketch in &sketches {
             let profile = index.profile(&sketch.name).ok_or_else(|| {
@@ -368,8 +541,43 @@ impl CentralPlatform {
             datasets.push((sketch.as_ref(), profile));
         }
         let ledger = self.accountant.lock().entries();
-        let payload = PlatformSnapshotRef { datasets, ledger: &ledger }.encode()?;
-        let seq = engine.checkpoint(&payload)?;
+        let payload = PlatformSnapshotRef { datasets, ledger: &ledger }.encode_binary()?;
+        let seq = state.engine.as_mut().expect("checked above").checkpoint(&payload)?;
+        state.clear_dirty();
+        self.metrics.snapshots_written.inc();
+        Ok(CheckpointReceipt { seq, datasets: sketches.len(), snapshot_bytes: payload.len() })
+    }
+
+    /// Serialize only what changed since the chain head and append a delta
+    /// link. Called with the durable lock held; the caller falls back to a
+    /// full snapshot on error.
+    fn checkpoint_delta_locked(&self, state: &mut DurableState) -> Result<CheckpointReceipt> {
+        if state.engine.is_none() {
+            return Err(CoreError::Storage("platform has no durable storage configured".into()));
+        }
+        let index = self.index.read();
+        let mut sketches = Vec::with_capacity(state.dirty_datasets.len());
+        for name in &state.dirty_datasets {
+            sketches.push(self.store.get(name)?); // hydrates on demand
+        }
+        let mut datasets = Vec::with_capacity(sketches.len());
+        for (name, sketch) in state.dirty_datasets.iter().zip(&sketches) {
+            let profile = index.profile(name).ok_or_else(|| {
+                CoreError::Storage(format!("dataset {name} has no indexed profile"))
+            })?;
+            datasets.push((sketch.as_ref(), profile));
+        }
+        let removed: Vec<String> = state.removed_datasets.iter().cloned().collect();
+        let ledger: Vec<_> = self
+            .accountant
+            .lock()
+            .entries()
+            .into_iter()
+            .filter(|(name, _, _)| state.dirty_ledger.contains(name))
+            .collect();
+        let payload = DeltaPayloadRef { datasets, removed: &removed, ledger: &ledger }.encode()?;
+        let seq = state.engine.as_mut().expect("checked above").checkpoint_delta(&payload)?;
+        state.clear_dirty();
         self.metrics.snapshots_written.inc();
         Ok(CheckpointReceipt { seq, datasets: sketches.len(), snapshot_bytes: payload.len() })
     }

@@ -44,6 +44,7 @@
 //! still-resident worker. Operator downs (`set_shard_available`) are
 //! *not* auto-recovered — only the operator flips them back.
 
+use crate::durable::RecoveryReport;
 use crate::error::{CoreError, Result};
 use crate::local::ProviderUpload;
 use crate::platform::{
@@ -330,22 +331,38 @@ impl ShardedPlatform {
             )));
         }
         let terms = TermSpace::new();
+        // Shards recover from disjoint directories with no cross-shard
+        // ordering dependency (the shared interner and term space are
+        // concurrency-safe), so the S opens run concurrently — restart
+        // time is the slowest shard, not the sum.
+        let workers: Vec<Result<CentralPlatform>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..s)
+                .map(|i| {
+                    let config = &config;
+                    let policy = &policy;
+                    let terms = terms.clone();
+                    scope.spawn(move || {
+                        let store = SketchStore::new();
+                        let index = DiscoveryIndex::with_term_space(
+                            config.discovery.clone(),
+                            Arc::clone(store.dataset_interner()),
+                            terms,
+                        );
+                        let mut shard_policy = policy.clone();
+                        shard_policy.dir = policy.dir.join(format!("shard-{i}"));
+                        CentralPlatform::open_with_parts(
+                            shard_worker_config(config, Some(shard_policy)),
+                            store,
+                            index,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard open panicked")).collect()
+        });
         let mut shards = Vec::with_capacity(s);
-        for i in 0..s {
-            let store = SketchStore::new();
-            let index = DiscoveryIndex::with_term_space(
-                config.discovery.clone(),
-                Arc::clone(store.dataset_interner()),
-                terms.clone(),
-            );
-            let mut shard_policy = policy.clone();
-            shard_policy.dir = policy.dir.join(format!("shard-{i}"));
-            let worker = CentralPlatform::open_with_parts(
-                shard_worker_config(&config, Some(shard_policy)),
-                store,
-                index,
-            )?;
-            shards.push(Arc::new(worker));
+        for worker in workers {
+            shards.push(Arc::new(worker?));
         }
         let platform = Self::assemble(shards, config, terms);
         platform.rebuild_membership();
@@ -413,8 +430,10 @@ impl ShardedPlatform {
         let mut membership = self.membership.lock();
         for i in 0..self.shards.len() {
             let shard = self.shard(i);
-            for sketch in shard.store().all() {
-                membership.insert(sketch.name.clone(), i);
+            // names() never hydrates — membership rebuild must not defeat
+            // lazy sketch hydration by touching every blob.
+            for name in shard.store().names() {
+                membership.insert(name, i);
             }
             for name in shard.ledger_datasets() {
                 membership.insert(name, i);
@@ -505,8 +524,8 @@ impl ShardedPlatform {
         // Re-merge the recovered shard's membership: its store and ledger
         // say what it owns, same as the open-time rebuild.
         let mut membership = self.membership.lock();
-        for sketch in worker.store().all() {
-            membership.insert(sketch.name.clone(), shard);
+        for name in worker.store().names() {
+            membership.insert(name, shard);
         }
         for name in worker.ledger_datasets() {
             membership.insert(name, shard);
@@ -578,6 +597,39 @@ impl ShardedPlatform {
     /// Number of shard workers.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Merge the shards' recovery reports into one restart summary:
+    /// counters sum across shards; the phase timings take the slowest
+    /// shard, since the S opens ran concurrently. `None` on volatile
+    /// deployments.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        let reports: Vec<_> =
+            (0..self.shards.len()).filter_map(|i| self.shard(i).recovery_report()).collect();
+        let mut merged: Option<RecoveryReport> = None;
+        for r in reports {
+            let m = merged.get_or_insert(RecoveryReport {
+                snapshot_seq: None,
+                replayed_records: 0,
+                torn_tail: false,
+                invalid_snapshots: 0,
+                snapshot_bytes: 0,
+                delta_links: 0,
+                eager_ms: 0,
+                replay_ms: 0,
+                lazy_datasets: 0,
+            });
+            m.snapshot_seq = m.snapshot_seq.max(r.snapshot_seq);
+            m.replayed_records += r.replayed_records;
+            m.torn_tail |= r.torn_tail;
+            m.invalid_snapshots += r.invalid_snapshots;
+            m.snapshot_bytes += r.snapshot_bytes;
+            m.delta_links += r.delta_links;
+            m.eager_ms = m.eager_ms.max(r.eager_ms);
+            m.replay_ms = m.replay_ms.max(r.replay_ms);
+            m.lazy_datasets += r.lazy_datasets;
+        }
+        merged
     }
 
     /// The shard currently owning a dataset (`None` = never placed).

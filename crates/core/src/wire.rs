@@ -860,6 +860,11 @@ mod tests {
                     replayed_records: 2,
                     torn_tail: true,
                     invalid_snapshots: 0,
+                    snapshot_bytes: 2048,
+                    delta_links: 1,
+                    eager_ms: 7,
+                    replay_ms: 3,
+                    lazy_datasets: 4,
                 }),
                 last_checkpoint_error: None,
                 append_time: HistogramSummary {

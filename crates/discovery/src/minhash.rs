@@ -31,6 +31,17 @@ impl MinHashSignature {
         self.mins.len()
     }
 
+    /// The raw per-bucket minima — the signature's whole state, exposed so
+    /// binary snapshots can persist it as a zero-parse u64 slab.
+    pub fn mins(&self) -> &[u64] {
+        &self.mins
+    }
+
+    /// Rebuild from raw minima (inverse of [`Self::mins`]).
+    pub fn from_mins(mins: Vec<u64>) -> Self {
+        MinHashSignature { mins }
+    }
+
     /// Build from an iterator of element hashes.
     pub fn from_hashes(hashes: impl Iterator<Item = u64>, k: usize) -> Self {
         let mut mins = vec![u64::MAX; k];

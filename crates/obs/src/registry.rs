@@ -118,11 +118,19 @@ pub struct Metrics {
     pub shard_recoveries: Counter,
     /// Searches that completed degraded (replies labeled `degraded`).
     pub searches_degraded: Counter,
+    /// Snapshot payload bytes read at open (cold-start input volume).
+    pub snapshot_bytes: Counter,
+    /// Sketches hydrated lazily on an evaluation touch (not by the
+    /// background hydrator and not eagerly at open).
+    pub hydrations_lazy: Counter,
 
     /// TCP connections currently open.
     pub connections_open: Gauge,
     /// Shards currently quarantined by their circuit breaker.
     pub shards_quarantined: Gauge,
+    /// Datasets whose sketch slabs are still waiting to hydrate (drains
+    /// to 0 as the background hydrator and evaluation touches catch up).
+    pub datasets_unhydrated: Gauge,
 
     /// Full per-search time: submit receipt → reply built.
     pub search_total: Histogram,
@@ -177,10 +185,13 @@ impl Metrics {
             ("shard_breaker_opened".to_string(), self.shard_breaker_opened.get()),
             ("shard_recoveries".to_string(), self.shard_recoveries.get()),
             ("searches_degraded".to_string(), self.searches_degraded.get()),
+            ("snapshot_bytes".to_string(), self.snapshot_bytes.get()),
+            ("hydrations_lazy".to_string(), self.hydrations_lazy.get()),
         ];
         let gauges = vec![
             ("connections_open".to_string(), self.connections_open.get()),
             ("shards_quarantined".to_string(), self.shards_quarantined.get()),
+            ("datasets_unhydrated".to_string(), self.datasets_unhydrated.get()),
         ];
         let histograms = vec![
             ("search_total_ns".to_string(), self.search_total.report()),

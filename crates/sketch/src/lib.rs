@@ -25,4 +25,4 @@ pub use augment::{eval_join, eval_union, AugmentedStats};
 pub use build::{build_sketch, qualify, DatasetSketch, SketchConfig};
 pub use error::{Result, SketchError};
 pub use keyed::KeyedSketch;
-pub use store::SketchStore;
+pub use store::{LazySketchBuilder, SketchStore};

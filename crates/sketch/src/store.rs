@@ -7,12 +7,60 @@ use mileena_relation::{DatasetId, DatasetInterner, FxHashMap};
 use mileena_semiring::KeyInterner;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Builder for a lazily-hydrated sketch. Invoked with `background = true`
+/// when the hydration was driven by a bulk drain (checkpoint, background
+/// hydrator) rather than an evaluation touch. Concurrent first touches may
+/// invoke the builder more than once; the first finished build wins the
+/// slot, so the builder must be deterministic (same bytes every call).
+pub type LazySketchBuilder =
+    Box<dyn Fn(bool) -> std::result::Result<DatasetSketch, String> + Send + Sync>;
+
+/// One lazily-hydrating slot: the builder plus the once-filled cell.
+struct LazySlot {
+    cell: OnceLock<Arc<DatasetSketch>>,
+    build: LazySketchBuilder,
+    /// Whether this slot has been counted out of the "unhydrated" pool
+    /// (hydrated, removed, or replaced) — keeps the hydration observer
+    /// exactly-once per slot under races.
+    counted: AtomicBool,
+}
+
+impl std::fmt::Debug for LazySlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazySlot").field("hydrated", &self.cell.get().is_some()).finish()
+    }
+}
+
+/// A registered dataset: either a fully materialized sketch or a pending
+/// slot that hydrates on first touch. Clones share the pending slot, so a
+/// hydration fill is visible through every clone (including [`frozen`]
+/// snapshots taken before the fill).
+///
+/// [`frozen`]: SketchStore::frozen
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Arc<DatasetSketch>),
+    Pending(Arc<LazySlot>),
+}
+
+/// Observer invoked exactly once per pending slot when it leaves the
+/// unhydrated pool; the `bool` is the builder's `background` flag (`true`
+/// also covers slots dropped by `remove`/`replace` before hydrating).
+pub struct HydrationObserver(pub Box<dyn Fn(bool) + Send + Sync>);
+
+impl std::fmt::Debug for HydrationObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HydrationObserver")
+    }
+}
 
 #[derive(Debug, Default, Clone)]
 struct StoreInner {
-    by_name: BTreeMap<String, Arc<DatasetSketch>>,
-    by_id: FxHashMap<DatasetId, Arc<DatasetSketch>>,
+    by_name: BTreeMap<String, Slot>,
+    by_id: FxHashMap<DatasetId, Slot>,
 }
 
 /// Thread-safe sketch registry keyed by dataset name *and* interned
@@ -36,6 +84,9 @@ pub struct SketchStore {
     inner: Arc<RwLock<StoreInner>>,
     interner: Arc<KeyInterner>,
     dataset_ids: Arc<DatasetInterner>,
+    /// Set at most once per store family (clones and frozen snapshots
+    /// share it); fired once per pending slot leaving the unhydrated pool.
+    on_hydrate: Arc<OnceLock<HydrationObserver>>,
 }
 
 impl Default for SketchStore {
@@ -44,6 +95,7 @@ impl Default for SketchStore {
             inner: Arc::default(),
             interner: Arc::clone(KeyInterner::global()),
             dataset_ids: Arc::clone(DatasetInterner::global()),
+            on_hydrate: Arc::default(),
         }
     }
 }
@@ -69,7 +121,26 @@ impl SketchStore {
     /// foreign interner would silently resolve to a different dataset
     /// here.
     pub fn with_interners(keys: Arc<KeyInterner>, datasets: Arc<DatasetInterner>) -> Self {
-        SketchStore { inner: Arc::default(), interner: keys, dataset_ids: datasets }
+        SketchStore {
+            inner: Arc::default(),
+            interner: keys,
+            dataset_ids: datasets,
+            on_hydrate: Arc::default(),
+        }
+    }
+
+    /// Install the hydration observer (at most one per store family —
+    /// clones and frozen snapshots share it; later installs are ignored).
+    /// Fired exactly once per pending slot when it leaves the unhydrated
+    /// pool; see [`HydrationObserver`].
+    pub fn set_hydration_observer(&self, hook: Box<dyn Fn(bool) + Send + Sync>) {
+        let _ = self.on_hydrate.set(HydrationObserver(hook));
+    }
+
+    fn fire_hook(&self, background: bool) {
+        if let Some(hook) = self.on_hydrate.get() {
+            (hook.0)(background);
+        }
     }
 
     /// The store's key space.
@@ -105,6 +176,7 @@ impl SketchStore {
             inner: Arc::new(RwLock::new(self.inner.read().clone())),
             interner: Arc::clone(&self.interner),
             dataset_ids: Arc::clone(&self.dataset_ids),
+            on_hydrate: Arc::clone(&self.on_hydrate),
         }
     }
 
@@ -132,22 +204,128 @@ impl SketchStore {
             return Err(SketchError::DuplicateDataset(sketch.name));
         }
         let sketch = Arc::new(sketch);
-        inner.by_name.insert(sketch.name.clone(), Arc::clone(&sketch));
-        inner.by_id.insert(id, sketch);
+        let name = sketch.name.clone();
+        let slot = Slot::Ready(sketch);
+        inner.by_name.insert(name, slot.clone());
+        inner.by_id.insert(id, slot);
         Ok(())
+    }
+
+    /// Register a dataset whose sketch hydrates on first touch: the slot
+    /// is visible immediately (`contains` / `names` / `len` see it, so
+    /// candidate enumeration over ids works), but the sketch bytes only
+    /// materialize when [`get`](Self::get) / [`get_by_id`](Self::get_by_id)
+    /// first resolve it — or when a bulk drain ([`hydrate_pending`]
+    /// (Self::hydrate_pending), [`all`](Self::all)) reaches it. Rejects
+    /// duplicates like [`register`](Self::register).
+    pub fn register_lazy(&self, name: &str, build: LazySketchBuilder) -> Result<()> {
+        let id = self.dataset_ids.intern(name);
+        let mut inner = self.inner.write();
+        if inner.by_name.contains_key(name) {
+            return Err(SketchError::DuplicateDataset(name.to_string()));
+        }
+        let slot = Slot::Pending(Arc::new(LazySlot {
+            cell: OnceLock::new(),
+            build,
+            counted: AtomicBool::new(false),
+        }));
+        inner.by_name.insert(name.to_string(), slot.clone());
+        inner.by_id.insert(id, slot);
+        Ok(())
+    }
+
+    /// Materialize a pending slot (idempotent; first finished build wins).
+    fn hydrate(&self, lazy: &Arc<LazySlot>, background: bool) -> Result<Arc<DatasetSketch>> {
+        if let Some(s) = lazy.cell.get() {
+            return Ok(Arc::clone(s));
+        }
+        let built = (lazy.build)(background)
+            .map_err(|e| SketchError::Serde(format!("lazy hydration: {e}")))?;
+        let built = Arc::new(self.adopt(built));
+        if lazy.cell.set(built).is_ok() && !lazy.counted.swap(true, Ordering::SeqCst) {
+            self.fire_hook(background);
+        }
+        Ok(Arc::clone(lazy.cell.get().expect("cell filled above")))
+    }
+
+    /// Resolve a slot to its sketch, hydrating a pending one.
+    fn resolve(&self, slot: Slot, background: bool) -> Result<Arc<DatasetSketch>> {
+        match slot {
+            Slot::Ready(s) => Ok(s),
+            Slot::Pending(lazy) => self.hydrate(&lazy, background),
+        }
+    }
+
+    /// A slot leaving the store (remove/replace) before hydrating is one
+    /// fewer dataset waiting to hydrate — tell the observer so level
+    /// gauges don't leak.
+    fn count_dropped_slot(&self, slot: &Slot) {
+        if let Slot::Pending(lazy) = slot {
+            if !lazy.counted.swap(true, Ordering::SeqCst) {
+                self.fire_hook(true);
+            }
+        }
+    }
+
+    /// Number of registered datasets whose sketch has not hydrated yet.
+    pub fn unhydrated(&self) -> usize {
+        self.inner
+            .read()
+            .by_name
+            .values()
+            .filter(|slot| matches!(slot, Slot::Pending(l) if l.cell.get().is_none()))
+            .count()
+    }
+
+    /// Hydrate every still-pending sketch (the background drain), name
+    /// order. Returns how many this call materialized; stops at the first
+    /// failing builder.
+    pub fn hydrate_pending(&self) -> Result<usize> {
+        let pending: Vec<Arc<LazySlot>> = self
+            .inner
+            .read()
+            .by_name
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Pending(l) if l.cell.get().is_none() => Some(Arc::clone(l)),
+                _ => None,
+            })
+            .collect();
+        let mut drained = 0;
+        for lazy in pending {
+            let raced = lazy.cell.get().is_some();
+            self.hydrate(&lazy, true)?;
+            if !raced {
+                drained += 1;
+            }
+        }
+        Ok(drained)
     }
 
     /// Replace a sketch unconditionally, returning the previous sketch
     /// under that name (so callers coordinating index/ledger state — the
     /// platform's journaled mutation path — can roll back). Budget
     /// accounting is the caller's concern.
+    /// A pending predecessor that never hydrated yields `None` (its bytes
+    /// were never materialized; rollback re-registers from the journal).
     pub fn replace(&self, sketch: DatasetSketch) -> Option<Arc<DatasetSketch>> {
         let sketch = self.adopt(sketch);
         let id = self.dataset_ids.intern(&sketch.name);
         let mut inner = self.inner.write();
-        let sketch = Arc::new(sketch);
-        inner.by_id.insert(id, Arc::clone(&sketch));
-        inner.by_name.insert(sketch.name.clone(), sketch)
+        let name = sketch.name.clone();
+        let slot = Slot::Ready(Arc::new(sketch));
+        inner.by_id.insert(id, slot.clone());
+        let previous = inner.by_name.insert(name, slot);
+        drop(inner);
+        match previous {
+            Some(Slot::Ready(prev)) => Some(prev),
+            Some(Slot::Pending(lazy)) => {
+                let prev = lazy.cell.get().cloned();
+                self.count_dropped_slot(&Slot::Pending(lazy));
+                prev
+            }
+            None => None,
+        }
     }
 
     /// Whether a dataset is registered.
@@ -170,39 +348,49 @@ impl SketchStore {
         if let Some(id) = self.dataset_ids.get(name) {
             inner.by_id.remove(&id);
         }
-        drop(removed);
+        drop(inner);
+        self.count_dropped_slot(&removed);
         Ok(())
     }
 
-    /// Fetch a dataset's sketch by name.
+    /// Fetch a dataset's sketch by name, hydrating a pending slot (this is
+    /// an evaluation touch: the lazy-hydration counter fires).
     pub fn get(&self, name: &str) -> Result<Arc<DatasetSketch>> {
-        self.inner
+        let slot = self
+            .inner
             .read()
             .by_name
             .get(name)
             .cloned()
-            .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))
+            .ok_or_else(|| SketchError::DatasetNotFound(name.to_string()))?;
+        self.resolve(slot, false)
     }
 
     /// Fetch a dataset's sketch by interned id — the hot-path lookup (one
-    /// hash probe on a `u32`-keyed map, no string hashing).
+    /// hash probe on a `u32`-keyed map, no string hashing). Hydrates a
+    /// pending slot as an evaluation touch.
     pub fn get_by_id(&self, id: DatasetId) -> Result<Arc<DatasetSketch>> {
-        self.inner
+        let slot = self
+            .inner
             .read()
             .by_id
             .get(&id)
             .cloned()
-            .ok_or_else(|| SketchError::DatasetNotFound(id.to_string()))
+            .ok_or_else(|| SketchError::DatasetNotFound(id.to_string()))?;
+        self.resolve(slot, false)
     }
 
-    /// All registered dataset names, sorted.
+    /// All registered dataset names, sorted. Never hydrates.
     pub fn names(&self) -> Vec<String> {
         self.inner.read().by_name.keys().cloned().collect()
     }
 
-    /// Snapshot of all sketches, name-sorted.
-    pub fn all(&self) -> Vec<Arc<DatasetSketch>> {
-        self.inner.read().by_name.values().cloned().collect()
+    /// Snapshot of all sketches, name-sorted. Hydrates every pending slot
+    /// (as a bulk drain, not an evaluation touch) — the checkpoint path
+    /// needs real bytes for every dataset.
+    pub fn all(&self) -> Result<Vec<Arc<DatasetSketch>>> {
+        let slots: Vec<Slot> = self.inner.read().by_name.values().cloned().collect();
+        slots.into_iter().map(|slot| self.resolve(slot, true)).collect()
     }
 
     /// Number of registered datasets.
@@ -314,6 +502,165 @@ mod tests {
         // Content is unchanged by adoption.
         let original = sketch("a");
         assert_eq!(adopted.keyed[0].sorted_pairs(), original.keyed[0].sorted_pairs());
+    }
+
+    fn lazy(name: &str, builds: &Arc<std::sync::atomic::AtomicUsize>) -> LazySketchBuilder {
+        let name = name.to_string();
+        let builds = Arc::clone(builds);
+        Box::new(move |_background| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok(sketch(&name))
+        })
+    }
+
+    #[test]
+    fn lazy_slot_hydrates_once_on_first_touch() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SketchStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let touches = Arc::new(AtomicUsize::new(0));
+        let drains = Arc::new(AtomicUsize::new(0));
+        {
+            let (touches, drains) = (Arc::clone(&touches), Arc::clone(&drains));
+            store.set_hydration_observer(Box::new(move |background| {
+                if background {
+                    drains.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    touches.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        store.register_lazy("lz", lazy("lz", &builds)).unwrap();
+        // Visible without hydrating.
+        assert!(store.contains("lz"));
+        assert_eq!(store.names(), vec!["lz"]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.unhydrated(), 1);
+        assert_eq!(builds.load(Ordering::SeqCst), 0, "metadata access must not hydrate");
+        // First touch builds; later touches reuse the fill.
+        let a = store.get("lz").unwrap();
+        let b = store.get_by_id(store.dataset_id("lz").unwrap()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(store.unhydrated(), 0);
+        assert_eq!((touches.load(Ordering::SeqCst), drains.load(Ordering::SeqCst)), (1, 0));
+        // Duplicate registration is still rejected against a lazy slot.
+        assert!(store.register(sketch("lz")).is_err());
+        assert!(store.register_lazy("lz", lazy("lz", &builds)).is_err());
+    }
+
+    #[test]
+    fn hydrate_pending_drains_in_background() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SketchStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        store.register_lazy("p1", lazy("p1", &builds)).unwrap();
+        store.register_lazy("p2", lazy("p2", &builds)).unwrap();
+        store.register(sketch("r1")).unwrap();
+        assert_eq!(store.unhydrated(), 2);
+        assert_eq!(store.hydrate_pending().unwrap(), 2);
+        assert_eq!(store.unhydrated(), 0);
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+        // all() sees real bytes for every slot.
+        let all = store.all().unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|s| !s.keyed.is_empty()));
+    }
+
+    #[test]
+    fn frozen_snapshot_shares_pending_fills() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SketchStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        store.register_lazy("shared", lazy("shared", &builds)).unwrap();
+        let snap = store.frozen();
+        // Hydrating through the live store fills the snapshot's slot too
+        // (and vice versa): the slot Arc is shared, so the build runs once.
+        let live = store.get("shared").unwrap();
+        let frozen = snap.get("shared").unwrap();
+        assert!(Arc::ptr_eq(&live, &frozen));
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn failed_lazy_build_surfaces_and_retries() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SketchStore::new();
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&attempts);
+        store
+            .register_lazy(
+                "flaky",
+                Box::new(move |_| {
+                    if counter.fetch_add(1, Ordering::SeqCst) == 0 {
+                        Err("decode failed".to_string())
+                    } else {
+                        Ok(sketch("flaky"))
+                    }
+                }),
+            )
+            .unwrap();
+        let err = store.get("flaky").unwrap_err();
+        assert!(err.to_string().contains("decode failed"), "{err}");
+        assert_eq!(store.unhydrated(), 1, "a failed build leaves the slot pending");
+        assert_eq!(store.get("flaky").unwrap().name, "flaky", "next touch retries");
+        assert_eq!(store.unhydrated(), 0);
+    }
+
+    #[test]
+    fn removing_or_replacing_unhydrated_slot_informs_observer() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SketchStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let dropped = Arc::new(AtomicUsize::new(0));
+        {
+            let dropped = Arc::clone(&dropped);
+            store.set_hydration_observer(Box::new(move |background| {
+                assert!(background, "drops count as background departures");
+                dropped.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        store.register_lazy("gone", lazy("gone", &builds)).unwrap();
+        store.register_lazy("swapped", lazy("swapped", &builds)).unwrap();
+        store.remove("gone").unwrap();
+        assert!(store.replace(sketch("swapped")).is_none(), "never-hydrated predecessor");
+        assert_eq!(dropped.load(Ordering::SeqCst), 2);
+        assert_eq!(store.unhydrated(), 0);
+        assert_eq!(builds.load(Ordering::SeqCst), 0, "neither slot ever built");
+        assert_eq!(store.get("swapped").unwrap().name, "swapped");
+    }
+
+    #[test]
+    fn concurrent_first_touches_converge_on_one_fill() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SketchStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let hydrations = Arc::new(AtomicUsize::new(0));
+        {
+            let hydrations = Arc::clone(&hydrations);
+            store.set_hydration_observer(Box::new(move |_| {
+                hydrations.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for i in 0..8 {
+            store.register_lazy(&format!("c{i}"), lazy(&format!("c{i}"), &builds)).unwrap();
+        }
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..8 {
+                        store.get(&format!("c{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.unhydrated(), 0);
+        assert_eq!(hydrations.load(Ordering::SeqCst), 8, "observer fires once per slot");
+        // Builders may race, but every reader of a given name sees one Arc.
+        let a = store.get("c3").unwrap();
+        let b = store.get("c3").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

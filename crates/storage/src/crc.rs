@@ -1,31 +1,86 @@
 //! CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding every
-//! WAL record and snapshot payload. Table-driven, no dependencies.
+//! WAL record and snapshot payload. Slicing-by-8 table lookup, no
+//! dependencies: snapshots are checksummed whole at every open, so the
+//! byte-at-a-time loop this replaces was a measurable slice of cold start
+//! at 100k-dataset snapshot sizes.
 
-/// Lazily built 256-entry lookup table.
-fn table() -> &'static [u32; 256] {
+/// Lazily built 8×256-entry lookup tables (slicing-by-8).
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, entry) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
             *entry = c;
         }
-        table
+        for i in 0..256 {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        t
     })
+}
+
+/// Incremental CRC-32: feed bytes in any chunking, same digest as one
+/// [`crc32`] call over the concatenation. Lets header fields and large
+/// payloads checksum together without copying them into one buffer.
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh digest state.
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Fold `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = tables();
+        let mut c = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ c;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+            c = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
 }
 
 /// CRC-32 of a byte slice.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
 }
 
 #[cfg(test)]
@@ -45,5 +100,38 @@ mod tests {
         let a = crc32(b"hello world");
         let b = crc32(b"hello worle");
         assert_ne!(a, b);
+    }
+
+    /// The sliced fast path must agree with the definitional
+    /// byte-at-a-time loop at every alignment and length.
+    #[test]
+    fn matches_bytewise_reference_at_every_length() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let t = &tables()[0];
+            let mut c = !0u32;
+            for &b in bytes {
+                c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> =
+            (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for len in 0..64 {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+        assert_eq!(crc32(&data), reference(&data));
+    }
+
+    /// Incremental updates at any split point equal one whole-slice call.
+    #[test]
+    fn incremental_matches_oneshot_at_every_split() {
+        let data: Vec<u8> = (0..256u32).map(|i| (i.wrapping_mul(40503) >> 7) as u8).collect();
+        let want = crc32(&data);
+        for split in 0..=data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), want, "split {split}");
+        }
     }
 }

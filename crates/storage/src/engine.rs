@@ -22,7 +22,9 @@
 use crate::error::{Result, StorageError};
 use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::log::{list_segments, read_segment, Record, SegmentWriter, SEGMENT_MAGIC};
-use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot};
+use crate::snapshot::{
+    list_deltas, list_snapshots, read_delta, read_snapshot, write_delta, write_snapshot,
+};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -55,7 +57,16 @@ impl Default for StorageOptions {
 pub struct RecoveredState {
     /// The newest valid snapshot, if any: `(covered_seq, payload)`.
     pub snapshot: Option<(u64, Vec<u8>)>,
-    /// Log records with `seq` past the snapshot, in sequence order.
+    /// The valid delta chain on top of the snapshot, in chain order:
+    /// `(covered_seq, payload)` per link. Each link was diffed against the
+    /// previous one (or the base snapshot); an invalid link truncates the
+    /// chain there and WAL replay covers the rest.
+    pub deltas: Vec<(u64, Vec<u8>)>,
+    /// Log records with `seq` past the snapshot, in sequence order. When a
+    /// delta chain recovered, records at or below the chain head are
+    /// *also* present (segments are retained back to the base snapshot so
+    /// a broken chain can fall back to replay) — the semantic layer skips
+    /// the prefix the deltas already cover.
     pub records: Vec<Record>,
     /// True when the newest segment ended in a torn (incomplete or
     /// checksum-failing) frame that was truncated away.
@@ -95,6 +106,11 @@ pub struct StorageEngine {
     writer: SegmentWriter,
     last_seq: u64,
     snapshot_seq: Option<u64>,
+    /// Chain head of the delta checkpoints on top of `snapshot_seq`
+    /// (`None` when the newest checkpoint is a full snapshot).
+    delta_seq: Option<u64>,
+    /// Links in the current delta chain (0 right after a full checkpoint).
+    delta_chain: usize,
     records_since_checkpoint: u64,
     /// Snapshot files this engine wrote or fully verified, so `purge`
     /// doesn't re-read multi-MB payloads on every checkpoint just to
@@ -194,6 +210,37 @@ impl StorageEngine {
         }
         let last_seq = records.last().map_or(base_seq, |r| r.seq);
 
+        // Walk the delta chain upward from the base snapshot. A link is
+        // usable only when it verifies, its base field names the current
+        // chain head, *and* the WAL still holds every record it covers
+        // (a delta can outlive an unsynced torn tail on power loss; the
+        // WAL-only state is then the one the durability contract
+        // promises). Anything else — stale (at or behind the base),
+        // torn/corrupt, or chained off a rejected link — holds nothing
+        // recovery can use (segments are retained back to the base
+        // precisely for this fallback), so it is deleted on sight like an
+        // invalid snapshot.
+        let mut deltas: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut chain_head = base_seq;
+        let mut removed_deltas = false;
+        for (seq, path) in list_deltas(dir)? {
+            let link = if seq > chain_head && seq <= last_seq { read_delta(&path)? } else { None };
+            match link {
+                Some((dseq, dbase, payload)) if dseq == seq && dbase == chain_head => {
+                    chain_head = dseq;
+                    deltas.push((dseq, payload));
+                }
+                _ => {
+                    std::fs::remove_file(&path)
+                        .map_err(|e| StorageError::io(format!("remove {}", path.display()), e))?;
+                    removed_deltas = true;
+                }
+            }
+        }
+        if removed_deltas {
+            crate::fsutil::fsync_dir(dir)?;
+        }
+
         // Resume appending: truncate the torn tail of the newest segment,
         // or start a fresh segment when the directory has none.
         let writer = match tail {
@@ -207,12 +254,16 @@ impl StorageEngine {
             writer,
             last_seq,
             snapshot_seq: snapshot.as_ref().map(|(seq, _)| *seq),
-            records_since_checkpoint: records.len() as u64,
+            delta_seq: deltas.last().map(|(seq, _)| *seq),
+            delta_chain: deltas.len(),
+            // Replay debt counts from the chain head, not the base: a
+            // delta checkpoint settled everything at or below its seq.
+            records_since_checkpoint: last_seq - chain_head,
             trusted_snapshots: snapshot_path.into_iter().collect(),
             append_time: mileena_obs::Histogram::new(),
             checkpoint_time: mileena_obs::Histogram::new(),
         };
-        Ok((engine, RecoveredState { snapshot, records, torn_tail, invalid_snapshots }))
+        Ok((engine, RecoveredState { snapshot, deltas, records, torn_tail, invalid_snapshots }))
     }
 
     /// Roll the chaos schedule at `site` (no-op without a plan): latency
@@ -258,11 +309,43 @@ impl StorageEngine {
         let written = write_snapshot(&self.dir, seq, payload)?;
         self.trusted_snapshots.insert(written);
         self.snapshot_seq = Some(seq);
+        self.delta_seq = None;
+        self.delta_chain = 0;
         self.records_since_checkpoint = 0;
+        // The full snapshot supersedes the whole delta chain.
+        for (_, path) in list_deltas(&self.dir)? {
+            std::fs::remove_file(&path)
+                .map_err(|e| StorageError::io(format!("remove {}", path.display()), e))?;
+        }
         if !self.writer.is_empty() {
             self.writer = SegmentWriter::create(&self.dir, seq + 1)?;
         }
         self.purge()?;
+        self.checkpoint_time.record_duration(started.elapsed());
+        Ok(seq)
+    }
+
+    /// Write a *delta* checkpoint: only the changes since the current
+    /// chain head (the base snapshot or the previous delta), chained by
+    /// sequence. Requires a base snapshot to chain from. Unlike a full
+    /// checkpoint this neither rotates the segment nor purges — segments
+    /// back to the base snapshot stay on disk so a torn or corrupt link
+    /// falls back to base + WAL replay bit-identically. Returns the
+    /// covered sequence.
+    pub fn checkpoint_delta(&mut self, payload: &[u8]) -> Result<u64> {
+        let base = self.delta_seq.or(self.snapshot_seq).ok_or_else(|| {
+            StorageError::InvalidState("delta checkpoint requires a base snapshot".into())
+        })?;
+        self.roll_fault(FaultSite::DeltaWrite, "injected delta write fault")?;
+        let seq = self.last_seq;
+        if seq == base {
+            return Ok(seq); // nothing journaled since the chain head
+        }
+        let started = std::time::Instant::now();
+        write_delta(&self.dir, seq, base, payload)?;
+        self.delta_seq = Some(seq);
+        self.delta_chain += 1;
+        self.records_since_checkpoint = 0;
         self.checkpoint_time.record_duration(started.elapsed());
         Ok(seq)
     }
@@ -325,6 +408,17 @@ impl StorageEngine {
     /// Sequence covered by the newest snapshot.
     pub fn snapshot_seq(&self) -> Option<u64> {
         self.snapshot_seq
+    }
+
+    /// Sequence covered by the newest delta checkpoint (the chain head),
+    /// if the newest checkpoint was differential.
+    pub fn delta_seq(&self) -> Option<u64> {
+        self.delta_seq
+    }
+
+    /// Links in the current delta chain (0 right after a full checkpoint).
+    pub fn delta_chain_len(&self) -> usize {
+        self.delta_chain
     }
 
     /// Records journaled since the last checkpoint.
@@ -623,6 +717,125 @@ mod tests {
         drop(engine);
         let (_, recovered) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
         assert_eq!(recovered.snapshot.as_ref().unwrap().1, b"state");
+        assert!(recovered.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_checkpoints_chain_and_recover() {
+        let dir = tmp_dir("delta-chain");
+        let (mut engine, _) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        engine.append(b"a").unwrap();
+        engine.append(b"b").unwrap();
+        assert_eq!(engine.checkpoint(b"full-ab").unwrap(), 2);
+        engine.append(b"c").unwrap();
+        engine.append(b"d").unwrap();
+        assert_eq!(engine.checkpoint_delta(b"delta-cd").unwrap(), 4);
+        assert_eq!(engine.records_since_checkpoint(), 0);
+        engine.append(b"e").unwrap();
+        assert_eq!(engine.checkpoint_delta(b"delta-e").unwrap(), 5);
+        assert_eq!(engine.delta_seq(), Some(5));
+        assert_eq!(engine.delta_chain_len(), 2);
+        engine.append(b"f").unwrap();
+        drop(engine);
+
+        let (engine, recovered) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().1, b"full-ab");
+        let chain: Vec<(u64, &[u8])> =
+            recovered.deltas.iter().map(|(s, p)| (*s, p.as_slice())).collect();
+        assert_eq!(chain, vec![(4, b"delta-cd".as_slice()), (5, b"delta-e".as_slice())]);
+        // All records past the base are still replayable (fallback), the
+        // semantic layer skips the delta-covered prefix.
+        assert_eq!(
+            payloads(&recovered),
+            vec![b"c".as_slice(), b"d".as_slice(), b"e".as_slice(), b"f".as_slice()]
+        );
+        assert_eq!(engine.last_seq(), 6);
+        assert_eq!(engine.delta_seq(), Some(5));
+        assert_eq!(engine.delta_chain_len(), 2);
+        assert_eq!(engine.records_since_checkpoint(), 1, "debt counts from the chain head");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_delta_breaks_chain_and_replay_covers() {
+        let dir = tmp_dir("delta-corrupt");
+        let (mut engine, _) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        engine.append(b"a").unwrap();
+        engine.checkpoint(b"full-a").unwrap();
+        engine.append(b"b").unwrap();
+        engine.checkpoint_delta(b"delta-b").unwrap();
+        engine.append(b"c").unwrap();
+        engine.checkpoint_delta(b"delta-c").unwrap();
+        drop(engine);
+        // Corrupt the *first* link: both links become unusable (the second
+        // chains off a rejected base) and are deleted; replay covers b, c.
+        let (_, first) = list_deltas(&dir).unwrap().remove(0);
+        let mut bytes = std::fs::read(&first).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&first, &bytes).unwrap();
+
+        let (engine, recovered) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().1, b"full-a");
+        assert!(recovered.deltas.is_empty());
+        assert_eq!(payloads(&recovered), vec![b"b".as_slice(), b"c".as_slice()]);
+        assert_eq!(engine.records_since_checkpoint(), 2);
+        assert!(list_deltas(&dir).unwrap().is_empty(), "broken links deleted on sight");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn full_checkpoint_supersedes_delta_chain() {
+        let dir = tmp_dir("delta-supersede");
+        let (mut engine, _) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        engine.append(b"a").unwrap();
+        engine.checkpoint(b"full-a").unwrap();
+        engine.append(b"b").unwrap();
+        engine.checkpoint_delta(b"delta-b").unwrap();
+        engine.append(b"c").unwrap();
+        engine.checkpoint(b"full-abc").unwrap();
+        assert_eq!(engine.delta_seq(), None);
+        assert_eq!(engine.delta_chain_len(), 0);
+        assert!(list_deltas(&dir).unwrap().is_empty(), "full checkpoint clears the chain");
+        drop(engine);
+        let (_, recovered) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().1, b"full-abc");
+        assert!(recovered.deltas.is_empty());
+        assert!(recovered.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_without_base_snapshot_is_rejected() {
+        let dir = tmp_dir("delta-nobase");
+        let (mut engine, _) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        engine.append(b"a").unwrap();
+        assert!(matches!(engine.checkpoint_delta(b"delta"), Err(StorageError::InvalidState(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_delta_fault_fails_cleanly() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        let dir = tmp_dir("delta-fault");
+        let plan = Arc::new(FaultPlan::new(11).with(FaultSite::DeltaWrite, FaultKind::Error, 1000));
+        let opts = StorageOptions { faults: Some(Arc::clone(&plan)), ..Default::default() };
+        let (mut engine, _) = StorageEngine::open(&dir, opts).unwrap();
+        engine.append(b"a").unwrap();
+        engine.checkpoint(b"full-a").unwrap();
+        engine.append(b"b").unwrap();
+        plan.arm();
+        assert!(matches!(engine.checkpoint_delta(b"doomed"), Err(StorageError::Io { .. })));
+        assert_eq!(engine.delta_seq(), None);
+        assert_eq!(engine.records_since_checkpoint(), 1, "debt survives the failed delta");
+        assert!(list_deltas(&dir).unwrap().is_empty());
+        // Full checkpoints roll a different site: unaffected by the plan.
+        engine.checkpoint(b"full-ab").unwrap();
+        plan.disarm();
+        drop(engine);
+        let (_, recovered) = StorageEngine::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().1, b"full-ab");
         assert!(recovered.records.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }

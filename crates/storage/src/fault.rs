@@ -41,10 +41,15 @@ pub enum FaultSite {
     /// models a shard crash (the shard is marked down), `Latency` stalls
     /// the call so per-shard gather deadlines can trip.
     ShardCall,
+    /// `StorageEngine::checkpoint_delta`, before the delta snapshot file
+    /// is written. Kept distinct from [`FaultSite::SnapshotWrite`] so a
+    /// chaos schedule can fault differential checkpoints without touching
+    /// full ones (the fallback path under test).
+    DeltaWrite,
 }
 
 /// How many distinct [`FaultSite`]s exist (sizes the counter arrays).
-pub const FAULT_SITES: usize = 5;
+pub const FAULT_SITES: usize = 6;
 
 impl FaultSite {
     fn idx(self) -> usize {
@@ -54,6 +59,7 @@ impl FaultSite {
             FaultSite::SnapshotWrite => 2,
             FaultSite::Worker => 3,
             FaultSite::ShardCall => 4,
+            FaultSite::DeltaWrite => 5,
         }
     }
 }

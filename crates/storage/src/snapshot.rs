@@ -14,7 +14,6 @@
 //! fails any of these is reported invalid so the engine can fall back to
 //! an older one (plus a longer log replay).
 
-use crate::crc::crc32;
 use crate::error::{Result, StorageError};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -54,26 +53,27 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
 /// records the snapshot claims to cover, making replay double-apply (or
 /// skip) committed records.
 fn snapshot_crc(seq: u64, payload: &[u8]) -> u32 {
-    let mut covered = Vec::with_capacity(8 + payload.len());
-    covered.extend_from_slice(&seq.to_le_bytes());
-    covered.extend_from_slice(payload);
-    crc32(&covered)
+    let mut crc = crate::crc::Crc32::new();
+    crc.update(&seq.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
 }
 
 /// Atomically write a snapshot of state-as-of `seq`.
 pub fn write_snapshot(dir: &Path, seq: u64, payload: &[u8]) -> Result<PathBuf> {
     let path = snapshot_path(dir, seq);
     let tmp = path.with_extension("snap.tmp");
-    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
-    bytes.extend_from_slice(SNAPSHOT_MAGIC);
-    bytes.extend_from_slice(&seq.to_le_bytes());
-    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(&snapshot_crc(seq, payload).to_le_bytes());
-    bytes.extend_from_slice(payload);
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(SNAPSHOT_MAGIC);
+    header[8..16].copy_from_slice(&seq.to_le_bytes());
+    header[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[20..24].copy_from_slice(&snapshot_crc(seq, payload).to_le_bytes());
     {
         let mut file = std::fs::File::create(&tmp)
             .map_err(|e| StorageError::io(format!("create {}", tmp.display()), e))?;
-        file.write_all(&bytes)
+        file.write_all(&header)
+            .map_err(|e| StorageError::io(format!("write {}", tmp.display()), e))?;
+        file.write_all(payload)
             .map_err(|e| StorageError::io(format!("write {}", tmp.display()), e))?;
         file.sync_all().map_err(|e| StorageError::io(format!("sync {}", tmp.display()), e))?;
     }
@@ -86,11 +86,114 @@ pub fn write_snapshot(dir: &Path, seq: u64, payload: &[u8]) -> Result<PathBuf> {
     Ok(path)
 }
 
+/// Delta snapshot file magic ("MLNDELT" + format version). A delta file
+/// `delta-<seq>.snap` holds only the state that changed since its base
+/// (a full snapshot or an earlier delta), chained by sequence:
+///
+/// ```text
+/// [magic: 8][seq: u64 LE][base_seq: u64 LE][len: u32 LE][crc: u32 LE][payload]
+/// ```
+///
+/// `base_seq` names the chain link this delta extends; the crc covers
+/// `seq ‖ base_seq ‖ payload` so a header flip can never silently re-parent
+/// a delta onto the wrong base. A delta that fails verification breaks the
+/// chain at that point — recovery falls back to the last valid link (or the
+/// base snapshot) plus a longer WAL replay, which stays bit-identical
+/// because segments are retained back past the base.
+pub const DELTA_MAGIC: &[u8; 8] = b"MLNDELT1";
+
+/// Fixed delta header length: magic (8) + seq (8) + base_seq (8) + len (4)
+/// + crc (4).
+const DELTA_HEADER_LEN: usize = 32;
+
+/// Path of the delta snapshot covering WAL sequences `base_seq+1 ..= seq`.
+pub fn delta_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("delta-{seq:020}.snap"))
+}
+
+/// All delta files in `dir`, sorted by covered sequence, ascending.
+pub fn list_deltas(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| StorageError::io(format!("read_dir {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io("read_dir entry", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name.strip_prefix("delta-").and_then(|s| s.strip_suffix(".snap")) {
+            if let Ok(seq) = stem.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+fn delta_crc(seq: u64, base_seq: u64, payload: &[u8]) -> u32 {
+    let mut crc = crate::crc::Crc32::new();
+    crc.update(&seq.to_le_bytes());
+    crc.update(&base_seq.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Atomically write a delta snapshot of changes in `base_seq+1 ..= seq`.
+pub fn write_delta(dir: &Path, seq: u64, base_seq: u64, payload: &[u8]) -> Result<PathBuf> {
+    let path = delta_path(dir, seq);
+    let tmp = path.with_extension("snap.tmp");
+    let mut header = [0u8; DELTA_HEADER_LEN];
+    header[..8].copy_from_slice(DELTA_MAGIC);
+    header[8..16].copy_from_slice(&seq.to_le_bytes());
+    header[16..24].copy_from_slice(&base_seq.to_le_bytes());
+    header[24..28].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[28..32].copy_from_slice(&delta_crc(seq, base_seq, payload).to_le_bytes());
+    {
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| StorageError::io(format!("create {}", tmp.display()), e))?;
+        file.write_all(&header)
+            .map_err(|e| StorageError::io(format!("write {}", tmp.display()), e))?;
+        file.write_all(payload)
+            .map_err(|e| StorageError::io(format!("write {}", tmp.display()), e))?;
+        file.sync_all().map_err(|e| StorageError::io(format!("sync {}", tmp.display()), e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        StorageError::io(format!("rename {} -> {}", tmp.display(), path.display()), e)
+    })?;
+    crate::fsutil::fsync_dir(dir)?;
+    Ok(path)
+}
+
+/// Read and verify one delta file. `Ok(None)` means the file exists but is
+/// invalid (bad magic, framing, or checksum) — the chain breaks there and
+/// recovery falls back to the last valid link. On success returns
+/// `(seq, base_seq, payload)`.
+pub fn read_delta(path: &Path) -> Result<Option<(u64, u64, Vec<u8>)>> {
+    let mut bytes =
+        std::fs::read(path).map_err(|e| StorageError::io(format!("read {}", path.display()), e))?;
+    if bytes.len() < DELTA_HEADER_LEN || &bytes[..8] != DELTA_MAGIC {
+        return Ok(None);
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let base_seq = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes"));
+    if bytes.len() != DELTA_HEADER_LEN + len {
+        return Ok(None);
+    }
+    if delta_crc(seq, base_seq, &bytes[DELTA_HEADER_LEN..]) != crc {
+        return Ok(None);
+    }
+    // In-place header strip: one memmove, no second payload allocation.
+    bytes.drain(..DELTA_HEADER_LEN);
+    Ok(Some((seq, base_seq, bytes)))
+}
+
 /// Read and verify one snapshot file. `Ok(None)` means the file exists but
 /// is invalid (bad magic, framing, or checksum) — recoverable by falling
 /// back to an older snapshot.
 pub fn read_snapshot(path: &Path) -> Result<Option<(u64, Vec<u8>)>> {
-    let bytes =
+    let mut bytes =
         std::fs::read(path).map_err(|e| StorageError::io(format!("read {}", path.display()), e))?;
     if bytes.len() < HEADER_LEN || &bytes[..8] != SNAPSHOT_MAGIC {
         return Ok(None);
@@ -101,11 +204,12 @@ pub fn read_snapshot(path: &Path) -> Result<Option<(u64, Vec<u8>)>> {
     if bytes.len() != HEADER_LEN + len {
         return Ok(None);
     }
-    let payload = &bytes[HEADER_LEN..];
-    if snapshot_crc(seq, payload) != crc {
+    if snapshot_crc(seq, &bytes[HEADER_LEN..]) != crc {
         return Ok(None);
     }
-    Ok(Some((seq, payload.to_vec())))
+    // In-place header strip: one memmove, no second payload allocation.
+    bytes.drain(..HEADER_LEN);
+    Ok(Some((seq, bytes)))
 }
 
 #[cfg(test)]
@@ -175,6 +279,46 @@ mod tests {
         write_snapshot(&dir, 5, b"a").unwrap();
         let seqs: Vec<u64> = list_snapshots(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
         assert_eq!(seqs, vec![5, 30]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_roundtrip_and_listing() {
+        let dir = tmp_dir("delta");
+        let path = write_delta(&dir, 12, 8, b"changed rows").unwrap();
+        assert_eq!(path, delta_path(&dir, 12));
+        let (seq, base, payload) = read_delta(&path).unwrap().unwrap();
+        assert_eq!((seq, base), (12, 8));
+        assert_eq!(payload, b"changed rows");
+        write_delta(&dir, 20, 12, b"more").unwrap();
+        let seqs: Vec<u64> = list_deltas(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![12, 20]);
+        // Deltas never show up in the full-snapshot listing, or vice versa.
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_base_seq_flip_reads_as_invalid() {
+        // The crc must cover base_seq: a header flip would otherwise
+        // silently re-parent the delta onto a base it was not diffed
+        // against, replaying the wrong state.
+        let dir = tmp_dir("delta-baseflip");
+        let path = write_delta(&dir, 12, 8, b"delta over base 8").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16] ^= 0x01; // base 8 -> 9
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_delta(&path).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_delta_reads_as_invalid() {
+        let dir = tmp_dir("delta-torn");
+        let path = write_delta(&dir, 3, 1, b"0123456789").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_delta(&path).unwrap().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

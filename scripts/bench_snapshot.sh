@@ -69,6 +69,12 @@ awk '
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m); snap = m
     printf "cold start (snapshot): %.1f ms\n", snap / 1e6
 }
+/"group": "cold_start"/ && /"bench": "first_search\// {
+    n = $0; sub(/.*first_search\//, "", n); sub(/".*/, "", n)
+    m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
+    fs[n + 0] = m
+    printf "cold start (time-to-first-search, %d-dataset registry): %.1f ms  (%.1f µs/dataset)\n", n, m / 1e6, m / 1e3 / n
+}
 /"group": "cold_start"/ && /"bench": "resketch_raw\// {
     m = $0; sub(/.*"mean_ns": /, "", m); sub(/,.*/, "", m)
     printf "cold start (re-sketch baseline, 200-row toy providers): %.1f ms", m / 1e6
@@ -121,6 +127,10 @@ END {
     if (tele_on > 0 && tele_off > 0) {
         printf "telemetry overhead: %+.2f%% (instrumented %.2f ms vs disabled %.2f ms; budget <3%%)\n",
             (tele_on / tele_off - 1.0) * 100.0, tele_on / 1e6, tele_off / 1e6
+    }
+    if (fs[500] > 0 && fs[20000] > 0) {
+        printf "cold start scaling: 40x registry (500 -> 20k) costs %.1fx time-to-first-search\n",
+            fs[20000] / fs[500]
     }
     if (dj > 0 && du > 0) {
         printf "discovery @20k (join+union query): %.3f ms indexed", (dj + du) / 1e6

@@ -11,8 +11,11 @@
 #      "shutdown complete", and the process must exit 0.
 #   2. The end-to-end pass through the real binary: register + search over
 #      TCP, a hard kill, bit-identical recovery from the WAL, then a
-#      graceful shutdown — reusing the integration test that already
-#      spawns the binary via CARGO_BIN_EXE, in release mode.
+#      reboot from the binary snapshot with the background hydrator held
+#      off (MILEENA_NO_BG_HYDRATION=1) proving a correct search is served
+#      *before* full sketch hydration completes — reusing the integration
+#      test that already spawns the binary via CARGO_BIN_EXE, in release
+#      mode.
 #   3. The telemetry pass: boot with --slow-search-ms 1, drive a search
 #      tagged with wire request_id 0xBEEF (48879), scrape the metrics dump
 #      for non-zero search/series counts, and assert the slow-search JSONL
@@ -71,6 +74,7 @@ echo "graceful shutdown ok (exit 0)"
 
 cargo test --release -q --test tcp_server \
     server_binary_survives_kill_and_recovers_bit_identically
+echo "kill/recover ok (bit-identical, search served before full hydration)"
 
 # Telemetry end to end: non-zero metrics after traffic, slow-search log
 # correlated by the wire request_id (0xBEEF = 48879; the test prints the

@@ -9,15 +9,24 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig { cases: env_case_floor(64) }
     }
 }
 
 impl ProptestConfig {
-    /// Config with an explicit case count.
+    /// Config with an explicit case count. `MILEENA_PROPTEST_CASES` acts
+    /// as a floor so CI can widen every property suite without touching
+    /// in-source counts (mirrors `MILEENA_CHAOS_SEEDS`).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases: env_case_floor(cases) }
     }
+}
+
+fn env_case_floor(cases: u32) -> u32 {
+    std::env::var("MILEENA_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map_or(cases, |floor| floor.max(cases))
 }
 
 /// A failed property case.

@@ -163,6 +163,7 @@ fn build_service(
         } else {
             ShardedPlatform::new(config)
         };
+        restart_report(platform.recovery_report(), platform.num_datasets());
         Ok(Arc::new(platform))
     } else {
         let platform = if config.storage.is_some() {
@@ -170,8 +171,28 @@ fn build_service(
         } else {
             CentralPlatform::new(config)
         };
+        restart_report(platform.recovery_report(), platform.num_datasets());
         Ok(Arc::new(platform))
     }
+}
+
+/// One-line restart report on stderr (stdout's first line must stay the
+/// `listening on` banner harnesses parse). Printed once recovery's eager
+/// phase is done — lazy sketches keep hydrating after this line while the
+/// server already answers searches.
+fn restart_report(recovery: Option<mileena_core::RecoveryReport>, datasets: usize) {
+    let Some(r) = recovery else { return };
+    eprintln!(
+        "restart: snapshot seq {} + {} delta(s), {} bytes, {datasets} dataset(s) \
+         ({} lazy), replayed {} record(s), eager {} ms (replay {} ms)",
+        r.snapshot_seq.map_or_else(|| "none".to_string(), |s| s.to_string()),
+        r.delta_links,
+        r.snapshot_bytes,
+        r.lazy_datasets,
+        r.replayed_records,
+        r.eager_ms,
+        r.replay_ms,
+    );
 }
 
 fn main() -> ExitCode {

@@ -92,15 +92,20 @@ fn storage_faults_fail_cleanly_and_recovery_is_bit_identical() {
 
     for seed in chaos_seeds() {
         let dir = tmp_dir("storage", seed);
-        let plan =
-            Arc::new(FaultPlan::new(seed).with(FaultSite::WalAppend, FaultKind::Error, 250).with(
-                FaultSite::SnapshotWrite,
-                FaultKind::Error,
-                250,
-            ));
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with(FaultSite::WalAppend, FaultKind::Error, 250)
+                .with(FaultSite::SnapshotWrite, FaultKind::Error, 250)
+                .with(FaultSite::DeltaWrite, FaultKind::Error, 250),
+        );
         plan.arm();
+        // Delta checkpoints on: auto-checkpoints emit chain links, so the
+        // DeltaWrite site actually rolls. An injected delta failure never
+        // fails the mutation (auto-checkpoints are best-effort) — it must
+        // only show up as a degraded chain that recovery walks past.
         let mut policy = StoragePolicy::at(&dir);
         policy.checkpoint_every = 4;
+        policy.delta_checkpoints = true;
         policy.faults = Some(Arc::clone(&plan));
         let config = PlatformConfig { storage: Some(policy), ..Default::default() };
         let platform = Arc::new(CentralPlatform::open_with(config).unwrap());

@@ -191,6 +191,62 @@ fn assert_state_parity(
 }
 
 // ---------------------------------------------------------------------------
+// Fixture: a durable directory holding a base snapshot + delta chain.
+
+/// The on-disk files (name → bytes) of a durable dir whose checkpoints ran
+/// through the differential path: auto-checkpoint every 3 records lands
+/// one full base snapshot and then a chain of delta links, with the full
+/// WAL tail alongside (deltas never rotate segments).
+#[allow(clippy::type_complexity)]
+fn delta_fixture() -> &'static (Vec<(String, Vec<u8>)>, usize) {
+    static FILES: OnceLock<(Vec<(String, Vec<u8>)>, usize)> = OnceLock::new();
+    FILES.get_or_init(|| {
+        let fx = fixture();
+        let dir = base_dir("delta-src");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut policy = StoragePolicy::at(&dir);
+        policy.checkpoint_every = 3;
+        policy.max_delta_chain = 8;
+        let config = PlatformConfig { storage: Some(policy), ..Default::default() };
+        let platform = CentralPlatform::open_with(config).unwrap();
+        for op in &fx.ops {
+            op.apply(&platform);
+        }
+        drop(platform);
+        let mut files = Vec::new();
+        let mut deltas = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            deltas += usize::from(name.starts_with("delta-"));
+            files.push((name, std::fs::read(&path).unwrap()));
+        }
+        files.sort();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(deltas >= 2, "fixture must exercise a real chain, got {deltas} deltas");
+        (files, deltas)
+    })
+}
+
+/// Materialize the delta fixture into a fresh dir, keeping only the delta
+/// files selected by `keep` (indexed in seq order).
+fn materialize_delta_dir(tag: &str, keep: impl Fn(usize) -> bool) -> PathBuf {
+    let (files, _) = delta_fixture();
+    let dir = base_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut delta_idx = 0;
+    for (name, bytes) in files {
+        let is_delta = name.starts_with("delta-");
+        if !is_delta || keep(delta_idx) {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+        delta_idx += usize::from(is_delta);
+    }
+    dir
+}
+
+// ---------------------------------------------------------------------------
 // Property: any byte-prefix of the WAL recovers to a consistent op prefix.
 
 proptest! {
@@ -278,6 +334,61 @@ proptest! {
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    #[test]
+    fn any_delta_chain_subset_recovers_bit_identically(mask in 0usize..256) {
+        // Deltas are an optimization, never load-bearing: the WAL tail
+        // they summarize stays on disk (delta checkpoints don't rotate
+        // segments). So recovery must reach the same final state whatever
+        // subset of the chain survives — a prefix replays less, a gap
+        // breaks the chain at the hole and replays from there, and the
+        // broken links are deleted on sight.
+        let fx = fixture();
+        let n = delta_fixture().1;
+        let mask = mask % (1 << n);
+        let dir = materialize_delta_dir(&format!("mask-{mask}"), |i| mask & (1 << i) != 0);
+
+        let recovered = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        let report = recovered.recovery_report().unwrap();
+        // The surviving chain is the longest all-kept prefix of the mask.
+        let prefix = (0..n).take_while(|i| mask & (1 << i) != 0).count() as u64;
+        prop_assert_eq!(report.delta_links, prefix);
+        let reference = fx.reference_prefix(fx.ops.len());
+        assert_state_parity(fx, &recovered, &reference)?;
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_or_corrupt_delta_falls_back_to_base(flip_permille in 0usize..=1000) {
+        // Damage the first delta link anywhere in its bytes (a flip past
+        // the end truncates instead — the torn-write case). The whole
+        // chain must be rejected and recovery must fall back to the base
+        // snapshot + full WAL replay, bit-identically.
+        let fx = fixture();
+        let dir = materialize_delta_dir(&format!("dmg-{flip_permille}"), |_| true);
+        let first_delta = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.file_name().unwrap().to_string_lossy().starts_with("delta-"))
+            .min()
+            .unwrap();
+        let mut bytes = std::fs::read(&first_delta).unwrap();
+        let pos = bytes.len() * flip_permille / 1000;
+        if pos < bytes.len() {
+            bytes[pos] ^= 0x2A;
+        } else {
+            bytes.truncate(bytes.len() - 3);
+        }
+        std::fs::write(&first_delta, &bytes).unwrap();
+
+        let recovered = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+        let report = recovered.recovery_report().unwrap();
+        prop_assert_eq!(report.delta_links, 0, "a damaged first link voids the chain");
+        prop_assert!(!first_delta.exists(), "rejected links are deleted on sight");
+        let reference = fx.reference_prefix(fx.ops.len());
+        assert_state_parity(fx, &recovered, &reference)?;
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +452,59 @@ fn acknowledged_charge_survives_a_crash_without_checkpoint() {
     assert!((remaining.epsilon - 0.3).abs() < 1e-12, "remaining ε = {}", remaining.epsilon);
     // The recovered ledger still enforces exhaustion.
     assert!(recovered.charge_budget("sensor_feed", b.fraction(0.5).unwrap()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Format-evolution pin: a v1 (JSON) snapshot file — what every release
+/// before snapshot format v2 wrote at checkpoint — must keep recovering
+/// bit-identically. v1 payloads carry no sketch spans, so recovery
+/// hydrates every dataset eagerly (`lazy_datasets == 0`).
+#[test]
+fn v1_json_snapshot_still_recovers_bit_identically() {
+    use mileena::core::durable::PlatformSnapshotRef;
+
+    let fx = fixture();
+    let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+    let spent = b.fraction(0.25).unwrap();
+    let mut uploads: Vec<ProviderUpload> = fx
+        .corpus
+        .providers
+        .iter()
+        .enumerate()
+        .map(|(i, p)| LocalDataStore::new(p.clone()).prepare_upload(None, i as u64 + 1).unwrap())
+        .collect();
+    uploads.sort_by(|a, b| a.sketch.name.cmp(&b.sketch.name));
+    let ledger = vec![("apm_data".to_string(), b, spent)];
+    let payload = PlatformSnapshotRef {
+        datasets: uploads.iter().map(|u| (&u.sketch, &u.profile)).collect(),
+        ledger: &ledger,
+    }
+    .encode()
+    .unwrap();
+    assert_eq!(payload[0], b'{', "v1 payloads are JSON objects");
+
+    let dir = base_dir("v1-pin");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    mileena::storage::snapshot::write_snapshot(&dir, uploads.len() as u64, &payload).unwrap();
+
+    let recovered = CentralPlatform::open_with(durable_config(&dir)).unwrap();
+    let report = recovered.recovery_report().unwrap();
+    assert_eq!(report.snapshot_seq, Some(uploads.len() as u64));
+    assert_eq!(report.lazy_datasets, 0, "v1 snapshots hydrate eagerly");
+    assert_eq!(recovered.num_datasets(), uploads.len());
+    assert_eq!(recovered.budget_spent("apm_data").unwrap().epsilon, spent.epsilon);
+
+    let reference = CentralPlatform::new(PlatformConfig::default());
+    for upload in &uploads {
+        reference.register(upload.clone()).unwrap();
+    }
+    let got = recovered.search(&request(&fx.corpus), &SearchConfig::default()).unwrap();
+    let want = reference.search(&request(&fx.corpus), &SearchConfig::default()).unwrap();
+    assert_eq!(got.outcome.base_score, want.outcome.base_score);
+    assert_eq!(got.outcome.final_score, want.outcome.final_score);
+    assert_eq!(got.outcome.selected_joins(), want.outcome.selected_joins());
+    assert_eq!(got.outcome.selected_unions(), want.outcome.selected_unions());
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

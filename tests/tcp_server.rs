@@ -453,13 +453,18 @@ fn server_command(child: &mut std::process::Child, cmd: &str) {
     assert_eq!(ack.trim(), cmd, "server must ack the control line");
 }
 
-/// Boot the real `mileena-server` binary with extra flags and return
-/// (child, address).
-fn spawn_server_args(dir: &std::path::Path, extra: &[&str]) -> (std::process::Child, String) {
+/// Boot the real `mileena-server` binary with extra flags and environment
+/// overrides, returning (child, address).
+fn spawn_server_env(
+    dir: &std::path::Path,
+    extra: &[&str],
+    envs: &[(&str, &str)],
+) -> (std::process::Child, String) {
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mileena-server"))
         .args(["--addr", "127.0.0.1:0", "--dir"])
         .arg(dir)
         .args(extra)
+        .envs(envs.iter().copied())
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::inherit())
@@ -475,9 +480,36 @@ fn spawn_server_args(dir: &std::path::Path, extra: &[&str]) -> (std::process::Ch
     (child, addr)
 }
 
+/// Boot the real `mileena-server` binary with extra flags and return
+/// (child, address).
+fn spawn_server_args(dir: &std::path::Path, extra: &[&str]) -> (std::process::Child, String) {
+    spawn_server_env(dir, extra, &[])
+}
+
 /// Boot the real `mileena-server` binary and return (child, address).
 fn spawn_server(dir: &std::path::Path) -> (std::process::Child, String) {
     spawn_server_args(dir, &[])
+}
+
+/// Ask the server for its metrics dump (stdin `metrics` command) and read
+/// one metric's value off the Prometheus-style text.
+fn scrape_metric(child: &mut std::process::Child, name: &str) -> i64 {
+    let stdin = child.stdin.as_mut().unwrap();
+    stdin.write_all(b"metrics\n").unwrap();
+    stdin.flush().unwrap();
+    let mut value = None;
+    loop {
+        let line = read_stdout_line(child);
+        if line.trim() == "# EOF" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Ok(v) = rest.trim().parse() {
+                value = Some(v);
+            }
+        }
+    }
+    value.unwrap_or_else(|| panic!("metric {name} not in dump"))
 }
 
 #[test]
@@ -495,12 +527,33 @@ fn server_binary_survives_kill_and_recovers_bit_identically() {
     child.wait().unwrap();
 
     // Reboot on the same directory: the WAL replays, and the same search
-    // gives the same answer through the same binary.
+    // gives the same answer through the same binary. Graceful shutdown
+    // then writes the (binary, lazily-hydratable) snapshot.
     let (mut child, addr) = spawn_server(&dir);
     let client = TcpWire::connect(addr.as_str()).unwrap();
     assert_eq!(client.stats().unwrap().datasets, c.providers.len());
     let after = client.search(sketched(&c, "after"), None).unwrap();
     assert_replies_identical(&before, &after, "kill/reopen through the binary");
+    child.stdin.as_mut().unwrap().write_all(b"shutdown\n").unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success(), "graceful shutdown must exit 0: {:?}", output.status);
+
+    // Reboot from that snapshot with the background hydrator held off:
+    // the server must answer the same search correctly *before* full
+    // hydration completes — only the sketches the search touches hydrate.
+    let (mut child, addr) = spawn_server_env(&dir, &[], &[("MILEENA_NO_BG_HYDRATION", "1")]);
+    let client = TcpWire::connect(addr.as_str()).unwrap();
+    assert_eq!(client.stats().unwrap().datasets, c.providers.len());
+    let unhydrated = scrape_metric(&mut child, "mileena_datasets_unhydrated");
+    assert_eq!(
+        unhydrated,
+        c.providers.len() as i64,
+        "every sketch must still be cold before the first search"
+    );
+    let lazy = client.search(sketched(&c, "lazy"), None).unwrap();
+    assert_replies_identical(&before, &lazy, "search before full hydration");
+    let touched = scrape_metric(&mut child, "mileena_hydrations_lazy");
+    assert!(touched > 0, "the search must have hydrated sketches on demand");
 
     // Polite shutdown: drains, checkpoints, exits 0.
     child.stdin.as_mut().unwrap().write_all(b"shutdown\n").unwrap();
